@@ -1,0 +1,100 @@
+// Ablation F2 — CPU+GPU sensor fusion (§III-C open problem).
+//
+// The challenge datasets are GPU-only, but the labelled dataset also ships
+// host telemetry at a 90× slower rate; "the analysis of compute utilization
+// data from various compute workloads" across sensors is the paper's stated
+// goal. This bench quantifies what the 16 host summary statistics add on
+// top of the 28 GPU covariance features, for each window policy.
+#include <iostream>
+
+#include "common/env.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/fusion.hpp"
+#include "core/report.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+#include "telemetry/corpus.hpp"
+
+namespace {
+
+using namespace scwc;
+
+linalg::Matrix take_block(const linalg::Matrix& m, std::size_t col_lo,
+                          std::size_t width) {
+  linalg::Matrix out(m.rows(), width);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto src = m.row(r);
+    std::copy(src.begin() + static_cast<std::ptrdiff_t>(col_lo),
+              src.begin() + static_cast<std::ptrdiff_t>(col_lo + width),
+              out.row(r).begin());
+  }
+  return out;
+}
+
+double rf_accuracy(const linalg::Matrix& train, std::span<const int> y_train,
+                   const linalg::Matrix& test, std::span<const int> y_test) {
+  ml::RandomForest forest({.n_estimators = 100});
+  forest.fit(train, y_train);
+  return ml::accuracy(y_test, forest.predict(test));
+}
+
+}  // namespace
+
+int main() {
+  const ScaleProfile profile = ScaleProfile::from_env("tiny");
+  core::print_profile_banner(std::cout, profile,
+                             "F2 — CPU+GPU fusion (§III-C open problem)");
+
+  telemetry::CorpusConfig corpus_config;
+  corpus_config.jobs_per_class_scale = profile.jobs_per_class;
+  const telemetry::Corpus corpus = telemetry::generate_corpus(corpus_config);
+  core::ChallengeConfig challenge =
+      core::ChallengeConfig::from_profile(profile);
+  // Sibling GPU trials of one job share a host, so under the released
+  // trial-level split ANY host statistic becomes a job fingerprint and
+  // classifies through leakage alone. The fusion question — how much
+  // *class* information the host adds — is only answerable under the
+  // job-level split.
+  challenge.split_unit = data::SplitUnit::kJob;
+
+  TextTable table("RF(100) accuracy by sensor modality (%)");
+  table.set_header({"Windows", "GPU cov28", "CPU stats16", "Fused 44"});
+  for (const auto policy :
+       {data::WindowPolicy::kStart, data::WindowPolicy::kMiddle,
+        data::WindowPolicy::kRandom}) {
+    core::FusionConfig fusion;
+    fusion.policy = policy;
+    const core::FusedDataset fused =
+        core::build_fused_dataset(corpus, challenge, fusion);
+
+    const linalg::Matrix gpu_train =
+        take_block(fused.x_train, 0, fused.gpu_features);
+    const linalg::Matrix gpu_test =
+        take_block(fused.x_test, 0, fused.gpu_features);
+    const linalg::Matrix cpu_train =
+        take_block(fused.x_train, fused.gpu_features, fused.cpu_features);
+    const linalg::Matrix cpu_test =
+        take_block(fused.x_test, fused.gpu_features, fused.cpu_features);
+
+    const double gpu_acc =
+        rf_accuracy(gpu_train, fused.y_train, gpu_test, fused.y_test);
+    const double cpu_acc =
+        rf_accuracy(cpu_train, fused.y_train, cpu_test, fused.y_test);
+    const double fused_acc =
+        rf_accuracy(fused.x_train, fused.y_train, fused.x_test, fused.y_test);
+
+    table.add_row({data::window_policy_name(policy),
+                   format_fixed(gpu_acc * 100.0, 2),
+                   format_fixed(cpu_acc * 100.0, 2),
+                   format_fixed(fused_acc * 100.0, 2)});
+  }
+  std::cout << table;
+  std::cout << "job-level split throughout (see comment in source): under "
+               "the released trial-level split, host stats are a job "
+               "fingerprint and score >90% through leakage alone.\n"
+            << "expected shape: host statistics alone separate families "
+               "but not sub-architectures; fusion helps on start windows, "
+               "where the GPU signal is weakest.\n";
+  return 0;
+}

@@ -1,0 +1,195 @@
+// M1 — google-benchmark micro-benchmarks for the heavy kernels backing the
+// reproduction: GEMM, covariance reduction, PCA fit, forest fit, SMO SVM,
+// boosted trees, LSTM step and telemetry synthesis.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/gemm.hpp"
+#include "ml/gbt.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/svm.hpp"
+#include "nn/lstm.hpp"
+#include "preprocess/covariance_features.hpp"
+#include "preprocess/pca.hpp"
+#include "preprocess/scaler.hpp"
+#include "telemetry/gpu_synth.hpp"
+
+namespace {
+
+using namespace scwc;
+using linalg::Matrix;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (double& x : m.flat()) x = rng.normal();
+  return m;
+}
+
+void blob_data(std::size_t n, std::size_t d, std::size_t classes, Matrix& x,
+               std::vector<int>& y) {
+  Rng rng(11);
+  x = Matrix(n, d);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<int>(i % classes);
+    for (std::size_t c = 0; c < d; ++c) {
+      x(i, c) = (c % classes == static_cast<std::size_t>(y[i]) ? 2.0 : 0.0) +
+                rng.normal();
+    }
+  }
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 1);
+  const Matrix b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTransposed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 3);
+  const Matrix b = random_matrix(n, n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::matmul_at_b(a, b));
+  }
+}
+BENCHMARK(BM_GemmTransposed)->Arg(128);
+
+void BM_CovarianceFeatures(benchmark::State& state) {
+  const auto trials = static_cast<std::size_t>(state.range(0));
+  data::Tensor3 x(trials, 540, 7);
+  Rng rng(5);
+  for (double& v : x.raw()) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(preprocess::covariance_features(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trials));
+}
+BENCHMARK(BM_CovarianceFeatures)->Arg(128)->Arg(512);
+
+void BM_ScalerFitTransform(benchmark::State& state) {
+  const Matrix x = random_matrix(1024, 630, 6);
+  for (auto _ : state) {
+    preprocess::StandardScaler scaler;
+    benchmark::DoNotOptimize(scaler.fit_transform(x));
+  }
+}
+BENCHMARK(BM_ScalerFitTransform);
+
+void BM_PcaFit(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const Matrix x = random_matrix(400, 630, 7);
+  for (auto _ : state) {
+    preprocess::Pca pca(k);
+    pca.fit(x);
+    benchmark::DoNotOptimize(pca.components_matrix());
+  }
+}
+BENCHMARK(BM_PcaFit)->Arg(28)->Arg(64);
+
+void BM_RandomForestFit(benchmark::State& state) {
+  Matrix x;
+  std::vector<int> y;
+  blob_data(800, 28, 26, x, y);
+  for (auto _ : state) {
+    ml::RandomForest forest({.n_estimators = 50});
+    forest.fit(x, y);
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+}
+BENCHMARK(BM_RandomForestFit);
+
+void BM_SvmFit(benchmark::State& state) {
+  Matrix x;
+  std::vector<int> y;
+  blob_data(400, 28, 8, x, y);
+  for (auto _ : state) {
+    ml::Svm svm;
+    svm.fit(x, y);
+    benchmark::DoNotOptimize(svm.support_vector_count());
+  }
+}
+BENCHMARK(BM_SvmFit);
+
+void BM_GbtFit(benchmark::State& state) {
+  Matrix x;
+  std::vector<int> y;
+  blob_data(500, 28, 26, x, y);
+  for (auto _ : state) {
+    ml::GradientBoostedTrees gbt({.n_rounds = 10});
+    gbt.fit(x, y);
+    benchmark::DoNotOptimize(gbt.rounds_fitted());
+  }
+}
+BENCHMARK(BM_GbtFit);
+
+void BM_BiLstmForward(benchmark::State& state) {
+  const auto hidden = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  nn::BiLstm lstm(7, hidden, rng);
+  nn::Sequence x(90, 32, 7);
+  for (std::size_t t = 0; t < 90; ++t) {
+    for (double& v : x[t].flat()) v = rng.normal();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lstm.forward(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_BiLstmForward)->Arg(32)->Arg(128);
+
+void BM_BiLstmTrainStep(benchmark::State& state) {
+  Rng rng(9);
+  nn::BiLstm lstm(7, 32, rng);
+  nn::Sequence x(90, 32, 7);
+  for (std::size_t t = 0; t < 90; ++t) {
+    for (double& v : x[t].flat()) v = rng.normal();
+  }
+  nn::Sequence dout(90, 32, 64);
+  for (std::size_t t = 0; t < 90; ++t) {
+    for (double& v : dout[t].flat()) v = rng.normal() * 0.01;
+  }
+  for (auto _ : state) {
+    lstm.zero_grad();
+    benchmark::DoNotOptimize(lstm.forward(x));
+    benchmark::DoNotOptimize(lstm.backward(dout));
+  }
+}
+BENCHMARK(BM_BiLstmTrainStep);
+
+void BM_GpuSynthesis(benchmark::State& state) {
+  telemetry::JobSpec job;
+  job.job_id = 1;
+  job.class_id = 5;
+  job.num_gpus = 1;
+  job.num_nodes = 1;
+  job.duration_s = 600.0;
+  job.seed = 77;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        telemetry::synthesize_gpu_series(job, 0, 9.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(600 * 9));
+}
+BENCHMARK(BM_GpuSynthesis);
+
+void BM_TopkEigen(benchmark::State& state) {
+  const Matrix x = random_matrix(200, 400, 10);
+  const Matrix cov = linalg::gram_at_a(x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::topk_eigen(cov, 16));
+  }
+}
+BENCHMARK(BM_TopkEigen);
+
+}  // namespace

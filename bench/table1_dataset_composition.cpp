@@ -1,0 +1,78 @@
+// Reproduces Tables I, II, III, VII, VIII, IX — the labelled dataset's
+// composition and sensor schemas — from the architecture registry and a
+// generated corpus at the active scale.
+#include <iostream>
+#include <map>
+
+#include "common/env.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/report.hpp"
+#include "telemetry/architectures.hpp"
+#include "telemetry/corpus.hpp"
+
+int main() {
+  using namespace scwc;
+  using telemetry::ModelFamily;
+
+  const ScaleProfile profile = ScaleProfile::from_env("small");
+  core::print_profile_banner(
+      std::cout, profile,
+      "T1 — labelled dataset composition (Tables I, VII, VIII, IX)");
+
+  telemetry::CorpusConfig config;
+  config.jobs_per_class_scale = profile.jobs_per_class;
+  const telemetry::Corpus corpus = telemetry::generate_corpus(config);
+  const auto counts = corpus.class_counts();
+
+  // Table I: family totals.
+  std::map<ModelFamily, int> family_paper;
+  std::map<ModelFamily, int> family_generated;
+  for (const auto& arch : telemetry::architecture_registry()) {
+    family_paper[arch.family] += arch.paper_job_count;
+    family_generated[arch.family] += counts.at(arch.class_id);
+  }
+  TextTable table1("Table I — architecture totals (jobs)");
+  table1.set_header({"Family", "Paper jobs", "Generated jobs"});
+  for (const auto& [family, paper_count] : family_paper) {
+    table1.add_row({std::string(family_name(family)),
+                    std::to_string(paper_count),
+                    std::to_string(family_generated[family])});
+  }
+  std::cout << table1 << '\n';
+
+  // Tables VII–IX: per-class counts.
+  TextTable table789("Tables VII-IX — per-class job counts");
+  table789.set_header({"Class", "Family", "Paper jobs", "Generated jobs"});
+  for (const auto& arch : telemetry::architecture_registry()) {
+    table789.add_row({arch.name, std::string(family_name(arch.family)),
+                      std::to_string(arch.paper_job_count),
+                      std::to_string(counts.at(arch.class_id))});
+  }
+  std::cout << table789 << '\n';
+
+  // Tables II & III: metric schemas.
+  TextTable table2("Table II — CPU time series features");
+  table2.set_header({"#", "Metric"});
+  for (std::size_t m = 0; m < telemetry::kNumCpuMetrics; ++m) {
+    table2.add_row({std::to_string(m),
+                    std::string(telemetry::cpu_metric_name(m))});
+  }
+  std::cout << table2 << '\n';
+
+  TextTable table3("Table III — GPU time series features (tensor order)");
+  table3.set_header({"#", "Metric"});
+  for (std::size_t s = 0; s < telemetry::kNumGpuSensors; ++s) {
+    table3.add_row({std::to_string(s),
+                    std::string(telemetry::gpu_sensor_name(s))});
+  }
+  std::cout << table3 << '\n';
+
+  std::cout << "corpus summary: " << corpus.size() << " labelled jobs, "
+            << corpus.total_gpu_series()
+            << " GPU series (paper: 3,430 jobs / >17,000 series at 1x)\n"
+            << "jobs shorter than 60 s (dropped by the challenge filter): "
+            << corpus.size() - corpus.jobs_running_at_least(60.0).size()
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Reproduces Section IV-B — XGBoost on the 60-random-1 dataset with
+// covariance features: 5-fold grid search over (gamma, alpha, lambda),
+// 40 boosting rounds, test accuracy (paper: 88.47 %) and the top-3 feature
+// importances (paper: cov(GPU util, mem util), var(GPU util), var(power)).
+#include <iostream>
+
+#include "common/env.hpp"
+#include "core/baselines.hpp"
+#include "core/challenge.hpp"
+#include "core/report.hpp"
+#include "telemetry/corpus.hpp"
+
+int main() {
+  using namespace scwc;
+
+  const ScaleProfile profile = ScaleProfile::from_env("tiny");
+  core::print_profile_banner(std::cout, profile,
+                             "X1 — XGBoost on 60-random-1 (Section IV-B)");
+
+  telemetry::CorpusConfig corpus_config;
+  corpus_config.jobs_per_class_scale = profile.jobs_per_class;
+  const telemetry::Corpus corpus = telemetry::generate_corpus(corpus_config);
+  const data::ChallengeDataset ds = core::build_challenge_dataset(
+      corpus, core::ChallengeConfig::from_profile(profile),
+      data::WindowPolicy::kRandom, 0);
+
+  const core::XgbConfig config = core::XgbConfig::from_profile(profile);
+  const core::XgbOutcome outcome = core::run_xgboost_experiment(ds, config);
+  std::cout << '\n';
+  core::print_xgboost_report(std::cout, outcome);
+  return 0;
+}

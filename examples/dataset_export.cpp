@@ -1,0 +1,69 @@
+// Exports the full release surface of the (simulated) labelled dataset:
+// the seven challenge datasets as numpy .npz archives (the paper's release
+// format, loadable with `numpy.load`), per-trial CSVs, and the anonymised
+// scheduler accounting log.
+//
+//   ./dataset_export [--scale tiny|small|full] [--out DIR]
+#include <filesystem>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/env.hpp"
+#include "core/challenge.hpp"
+#include "data/npz.hpp"
+#include "data/serialize.hpp"
+#include "telemetry/corpus.hpp"
+#include "telemetry/scheduler_log.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scwc;
+
+  CliParser cli("Export challenge datasets (.npz), CSV samples and the "
+                "scheduler log.");
+  cli.add_flag("scale", "tiny", "scale profile: tiny|small|full");
+  cli.add_flag("out", "/tmp/scwc_release", "output directory");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) return 0;
+
+  const ScaleProfile profile = ScaleProfile::named(cli.get_string("scale"));
+  const std::filesystem::path out_dir(cli.get_string("out"));
+  std::filesystem::create_directories(out_dir);
+
+  telemetry::CorpusConfig corpus_config;
+  corpus_config.jobs_per_class_scale = profile.jobs_per_class;
+  const telemetry::Corpus corpus = telemetry::generate_corpus(corpus_config);
+
+  std::cout << "building " << corpus.size() << " jobs / "
+            << corpus.total_gpu_series() << " GPU series...\n";
+  const auto datasets = core::build_challenge_datasets(
+      corpus, core::ChallengeConfig::from_profile(profile));
+
+  for (const auto& ds : datasets) {
+    const auto npz_path = out_dir / (ds.name + ".npz");
+    data::save_npz(ds, npz_path);
+    std::cout << "  " << npz_path.string() << "  (X_train "
+              << ds.train_trials() << "x" << ds.steps() << "x"
+              << ds.sensors() << ")\n";
+  }
+
+  // A sample trial as CSV, for eyeballing the sensor traces.
+  const auto csv_path = out_dir / "sample_trial.csv";
+  data::export_trial_csv(datasets[1].x_train, 0, csv_path);
+  std::cout << "  " << csv_path.string() << "  (one "
+            << datasets[1].model_train[0] << " trial)\n";
+
+  // The anonymised scheduler log.
+  const auto log = telemetry::build_scheduler_log(corpus);
+  const auto sched_path = out_dir / "scheduler_log.csv";
+  telemetry::export_scheduler_csv(log, sched_path);
+  std::cout << "  " << sched_path.string() << "  (" << log.size()
+            << " accounting records)\n";
+
+  std::cout << "\nverify in python:\n"
+            << "  >>> import numpy as np\n"
+            << "  >>> d = np.load('" << (out_dir / "60-middle-1.npz").string()
+            << "')\n"
+            << "  >>> d['X_train'].shape, d['y_train'].max(), "
+               "d['model_train'][:3]\n";
+  return 0;
+}

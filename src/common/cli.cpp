@@ -1,0 +1,97 @@
+#include "common/cli.hpp"
+
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace scwc {
+
+void CliParser::add_flag(const std::string& name, std::string default_value,
+                         std::string help) {
+  SCWC_REQUIRE(!flags_.contains(name), "duplicate flag --" + name);
+  flags_[name] = Flag{default_value, default_value, std::move(help)};
+  order_.push_back(name);
+}
+
+void CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage(argv[0]);
+      help_requested_ = true;
+      return;
+    }
+    SCWC_REQUIRE(starts_with(arg, "--"), "unexpected positional argument: " + arg);
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      const auto it = flags_.find(name);
+      SCWC_REQUIRE(it != flags_.end(), "unknown flag --" + name);
+      // Boolean switches may omit the value ("--verbose").
+      const bool is_bool_default = it->second.default_value == "true" ||
+                                   it->second.default_value == "false";
+      if (is_bool_default &&
+          (i + 1 >= argc || starts_with(argv[i + 1], "--"))) {
+        value = "true";
+      } else {
+        SCWC_REQUIRE(i + 1 < argc, "flag --" + name + " expects a value");
+        value = argv[++i];
+      }
+    }
+    const auto it = flags_.find(name);
+    SCWC_REQUIRE(it != flags_.end(), "unknown flag --" + name);
+    it->second.value = value;
+  }
+}
+
+const std::string& CliParser::get_string(const std::string& name) const {
+  const auto it = flags_.find(name);
+  SCWC_REQUIRE(it != flags_.end(), "flag --" + name + " was not registered");
+  return it->second.value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string& v = get_string(name);
+  try {
+    return std::stoll(v);
+  } catch (...) {
+    SCWC_FAIL("flag --" + name + " expects an integer, got '" + v + "'");
+  }
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string& v = get_string(name);
+  try {
+    return std::stod(v);
+  } catch (...) {
+    SCWC_FAIL("flag --" + name + " expects a number, got '" + v + "'");
+  }
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = to_lower(get_string(name));
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  SCWC_FAIL("flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+std::string CliParser::usage(const std::string& argv0) const {
+  std::ostringstream os;
+  if (!description_.empty()) os << description_ << "\n\n";
+  os << "usage: " << argv0 << " [flags]\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name << " (default: " << f.default_value << ")\n        "
+       << f.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace scwc

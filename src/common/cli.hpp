@@ -1,0 +1,54 @@
+// Tiny command-line flag parser used by the example binaries and benches.
+//
+// Supports "--name value" and "--name=value" forms plus boolean switches;
+// unknown flags raise an error listing the registered options, which keeps
+// example usage discoverable without a heavyweight dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace scwc {
+
+/// Declarative flag registry + parser.
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description = {})
+      : description_(std::move(program_description)) {}
+
+  /// Registers a string flag with a default value and help text.
+  void add_flag(const std::string& name, std::string default_value,
+                std::string help);
+
+  /// Parses argv; throws scwc::Error on unknown flags or missing values.
+  /// Recognises --help by printing usage and setting help_requested().
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool help_requested() const noexcept { return help_requested_; }
+
+  /// Typed accessors. All throw if the flag was never registered.
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Renders the usage/help text.
+  [[nodiscard]] std::string usage(const std::string& argv0) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  bool help_requested_ = false;
+};
+
+}  // namespace scwc

@@ -1,0 +1,86 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace scwc {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const auto v = env_string(name);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t parsed = std::stoll(*v, &pos);
+    if (pos != v->size()) return fallback;
+    return parsed;
+  } catch (...) {
+    return fallback;
+  }
+}
+
+ScaleProfile ScaleProfile::named(std::string_view name) {
+  // window_steps/sample_hz keep the 60 s window semantics at every scale:
+  // tiny samples at 1 Hz (60 steps), small at 1.5 Hz (90), full matches the
+  // paper's 9 Hz (540 steps).
+  if (name == "tiny") {
+    return ScaleProfile{
+        .name = "tiny",
+        .jobs_per_class = 0.06,
+        .window_steps = 60,
+        .sample_hz = 1.0,
+        .rnn_hidden_scale = 0.25,
+        .max_epochs = 32,
+        .patience = 10,
+        .svm_max_train = 0,
+        .cv_folds = 3,
+        .grid_row_cap = 400,
+        .rnn_max_train = 420,
+    };
+  }
+  if (name == "small") {
+    return ScaleProfile{
+        .name = "small",
+        .jobs_per_class = 0.15,
+        .window_steps = 90,
+        .sample_hz = 1.5,
+        .rnn_hidden_scale = 0.25,
+        .max_epochs = 30,
+        .patience = 10,
+        .svm_max_train = 0,
+        .cv_folds = 3,
+        .grid_row_cap = 800,
+        .rnn_max_train = 700,
+    };
+  }
+  if (name == "full") {
+    return ScaleProfile{
+        .name = "full",
+        .jobs_per_class = 1.0,
+        .window_steps = 540,
+        .sample_hz = 9.0,
+        .rnn_hidden_scale = 1.0,
+        .max_epochs = 1000,
+        .patience = 100,
+        .svm_max_train = 4000,
+        .cv_folds = 10,
+        .grid_row_cap = 0,
+        .rnn_max_train = 0,
+    };
+  }
+  SCWC_FAIL("unknown SCWC_SCALE profile: " + std::string(name) +
+            " (expected tiny|small|full)");
+}
+
+ScaleProfile ScaleProfile::from_env(std::string_view fallback) {
+  const auto v = env_string("SCWC_SCALE");
+  return named(v ? std::string_view(*v) : fallback);
+}
+
+}  // namespace scwc

@@ -1,0 +1,31 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace scwc {
+
+namespace {
+std::string format_what(std::string_view what_arg, std::string_view file,
+                        int line) {
+  std::ostringstream os;
+  os << what_arg << " [" << file << ":" << line << "]";
+  return os.str();
+}
+}  // namespace
+
+Error::Error(std::string_view what_arg, std::string_view file, int line)
+    : std::runtime_error(format_what(what_arg, file, line)),
+      file_(file),
+      line_(line) {}
+
+namespace detail {
+
+void throw_error(std::string_view expr, std::string_view msg,
+                 std::string_view file, int line) {
+  std::ostringstream os;
+  os << "check failed: (" << expr << ") — " << msg;
+  throw Error(os.str(), file, line);
+}
+
+}  // namespace detail
+}  // namespace scwc

@@ -1,0 +1,66 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace scwc {
+
+namespace {
+
+LogLevel parse_level(const char* text) {
+  if (text == nullptr) return LogLevel::kInfo;
+  const std::string_view s(text);
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& threshold_storage() noexcept {
+  static std::atomic<int> level{
+      static_cast<int>(parse_level(std::getenv("SCWC_LOG")))};
+  return level;
+}
+
+std::mutex& log_mutex() noexcept {
+  static std::mutex m;
+  return m;
+}
+
+constexpr std::string_view level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?????";
+  }
+}
+
+}  // namespace
+
+LogLevel log_threshold() noexcept {
+  return static_cast<LogLevel>(threshold_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_threshold(LogLevel level) noexcept {
+  threshold_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void log_line(LogLevel level, std::string_view message) {
+  const std::lock_guard<std::mutex> lock(log_mutex());
+  std::cerr << "[scwc:" << level_tag(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+}  // namespace scwc

@@ -1,0 +1,45 @@
+// Minimal leveled logger.
+//
+// Bench binaries and examples narrate progress through this instead of raw
+// std::cerr so verbosity is centrally controllable (SCWC_LOG=debug|info|
+// warn|error|off). Logging is line-buffered and mutex-guarded so parallel
+// sections interleave at line granularity.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace scwc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold. Initialised from the SCWC_LOG environment variable
+/// on first use; defaults to kInfo.
+LogLevel log_threshold() noexcept;
+
+/// Overrides the global threshold (tests use this).
+void set_log_threshold(LogLevel level) noexcept;
+
+namespace detail {
+void log_line(LogLevel level, std::string_view message);
+}
+
+/// Stream-style log statement: SCWC_LOG_INFO("trained " << n << " trees").
+#define SCWC_LOG_AT(level, expr)                                      \
+  do {                                                                \
+    if (static_cast<int>(level) >=                                    \
+        static_cast<int>(::scwc::log_threshold())) {                  \
+      std::ostringstream scwc_log_os_;                                \
+      scwc_log_os_ << expr;                                           \
+      ::scwc::detail::log_line((level), scwc_log_os_.str());          \
+    }                                                                 \
+  } while (false)
+
+#define SCWC_LOG_DEBUG(expr) SCWC_LOG_AT(::scwc::LogLevel::kDebug, expr)
+#define SCWC_LOG_INFO(expr) SCWC_LOG_AT(::scwc::LogLevel::kInfo, expr)
+#define SCWC_LOG_WARN(expr) SCWC_LOG_AT(::scwc::LogLevel::kWarn, expr)
+#define SCWC_LOG_ERROR(expr) SCWC_LOG_AT(::scwc::LogLevel::kError, expr)
+
+}  // namespace scwc

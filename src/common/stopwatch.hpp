@@ -1,0 +1,29 @@
+// Monotonic wall-clock stopwatch used by the experiment harness.
+#pragma once
+
+#include <chrono>
+
+namespace scwc {
+
+/// Starts running on construction; `seconds()` reads the elapsed time.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  /// Restarts the measurement.
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace scwc

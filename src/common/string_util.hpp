@@ -1,0 +1,29 @@
+// Small string helpers shared across modules (no locale dependence).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scwc {
+
+/// Splits `s` on `sep`, keeping empty fields (CSV semantics).
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view s) noexcept;
+
+/// Joins items with `sep`.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+/// ASCII lower-casing (locale-free).
+std::string to_lower(std::string_view s);
+
+/// Formats a double with fixed precision, e.g. format_fixed(93.0152, 2)
+/// == "93.02". Used by the table printers reproducing the paper's layout.
+std::string format_fixed(double value, int digits);
+
+}  // namespace scwc

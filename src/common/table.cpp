@@ -1,0 +1,76 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace scwc {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t width) {
+  std::string out = s;
+  out.resize(std::max(width, s.size()), ' ');
+  return out;
+}
+
+std::string rule(const std::vector<std::size_t>& widths) {
+  std::string out = "+";
+  for (const std::size_t w : widths) {
+    out += std::string(w + 2, '-');
+    out += '+';
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace
+
+std::string TextTable::render() const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  if (columns == 0) return title_.empty() ? std::string{} : title_ + "\n";
+
+  std::vector<std::size_t> widths(columns, 0);
+  const auto measure = [&widths](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) measure(row);
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+  const std::string sep = rule(widths);
+  os << sep;
+  const auto emit = [&os, &widths, columns](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << ' ' << pad(cell, widths[c]) << " |";
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    os << sep;
+  }
+  for (const auto& row : rows_) emit(row);
+  os << sep;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.render();
+}
+
+}  // namespace scwc

@@ -1,0 +1,41 @@
+// ASCII table rendering.
+//
+// The bench harness reproduces the paper's tables (Table I, IV, V, VI, …)
+// as monospace tables on stdout; this type owns column sizing/alignment so
+// every bench prints in one consistent format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace scwc {
+
+/// A simple column-aligned text table with a header row and optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row; defines the column count.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row. Rows shorter than the header are padded with "".
+  /// Rows longer than the header extend the column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with box-drawing separators.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders straight to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scwc

@@ -1,0 +1,117 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace scwc {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t n = threads;
+  if (n == 0) {
+    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> pt(std::move(task));
+  std::future<void> fut = pt.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SCWC_CHECK(!stop_, "submit on a stopped ThreadPool");
+    queue_.push_back(std::move(pt));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+namespace {
+// True on threads owned by a ThreadPool. Nested parallel_for calls from a
+// worker run serially: blocking a worker on futures served by the same
+// pool would deadlock once all workers wait.
+thread_local bool t_inside_pool_worker = false;
+}  // namespace
+
+void ThreadPool::worker_loop() {
+  t_inside_pool_worker = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the packaged_task's future
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  parallel_for_blocked(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      grain);
+}
+
+void parallel_for_blocked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t min_block) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t workers = pool.size();
+  if (t_inside_pool_worker || workers <= 1 ||
+      n <= std::max<std::size_t>(min_block, 1)) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t blocks =
+      std::min(workers, (n + min_block - 1) / std::max<std::size_t>(min_block, 1));
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = begin + b * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    futures.push_back(pool.submit([&body, lo, hi] { body(lo, hi); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace scwc

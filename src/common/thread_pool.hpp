@@ -1,0 +1,69 @@
+// Work-sharing thread pool and parallel_for.
+//
+// All data-parallel loops in SCWC (GEMM row blocks, random-forest trees,
+// grid-search cells, simulator jobs, LSTM batches) funnel through
+// scwc::parallel_for so the whole library shares one pool and one policy:
+//  * tasks are chunked statically (HPC-style block decomposition),
+//  * exceptions thrown by any chunk are captured and rethrown on the caller,
+//  * with a single hardware thread the loop degenerates to a serial run
+//    with zero scheduling overhead, keeping results deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scwc {
+
+/// A fixed-size pool of worker threads executing queued tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the returned future rethrows any exception.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Process-wide default pool (lazily constructed, sized to hardware).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Blocked parallel loop over [begin, end).
+///
+/// `body(i)` is invoked exactly once for every index; chunking is static so
+/// that a fixed thread count yields a fixed work decomposition. Runs
+/// serially when the range is small or the pool has one thread.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+/// Blocked variant exposing the chunk range — preferred when the body can
+/// amortise per-chunk setup (e.g. a per-chunk RNG or accumulator).
+void parallel_for_blocked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t min_block = 1);
+
+}  // namespace scwc

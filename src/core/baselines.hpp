@@ -1,0 +1,98 @@
+// Classical-ML baseline drivers (Sections IV-A and IV-B).
+//
+// run_classical_experiment reproduces one cell of Table V: standardise →
+// {PCA(k grid) | covariance} → {SVM(C grid) | RF(trees grid)} selected by
+// k-fold grid search on the training split, then a final refit and test
+// evaluation. run_xgboost_experiment reproduces §IV-B: covariance features,
+// 5-fold grid over (γ, α, λ), 40 boosting rounds, and the top-k feature
+// importance ranking.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "data/challenge_dataset.hpp"
+#include "ml/gbt.hpp"
+#include "preprocess/pipeline.hpp"
+
+namespace scwc::core {
+
+/// Which classifier family a Table-V cell uses.
+enum class ClassicalModel { kSvm, kRandomForest };
+
+/// Configuration of one Table-V experiment cell.
+struct ClassicalConfig {
+  ClassicalModel model = ClassicalModel::kRandomForest;
+  preprocess::Reduction reduction = preprocess::Reduction::kCovariance;
+
+  // Paper grids.
+  std::vector<double> svm_c_grid{0.1, 1.0, 10.0};
+  std::vector<std::size_t> rf_trees_grid{50, 100, 250};
+  std::vector<std::size_t> pca_grid{28, 64, 256, 512};
+
+  std::size_t cv_folds = 10;
+  /// Rows used during grid-search CV (0 = all). The final refit always uses
+  /// the full training split (subject to svm_train_cap for the SVM).
+  std::size_t grid_row_cap = 0;
+  /// Cap on SVM refit rows (0 = all): kernel prediction cost grows with the
+  /// support-vector count, so reduced profiles bound it.
+  std::size_t svm_train_cap = 0;
+  std::uint64_t seed = 61803;
+
+  /// Derives fold count / row caps from a scale profile.
+  static ClassicalConfig from_profile(const ScaleProfile& profile,
+                                      ClassicalModel model,
+                                      preprocess::Reduction reduction);
+
+  /// Table-V row label ("SVM PCA", "RF Cov.", …).
+  [[nodiscard]] std::string label() const;
+};
+
+/// Outcome of one experiment cell.
+struct ClassicalOutcome {
+  std::string model_label;
+  std::string dataset;
+  double cv_accuracy = 0.0;    ///< best grid-search CV accuracy
+  double test_accuracy = 0.0;  ///< refit accuracy on the held-out test set
+  std::string best_params;     ///< human-readable winning configuration
+  double seconds = 0.0;
+};
+
+ClassicalOutcome run_classical_experiment(const data::ChallengeDataset& ds,
+                                          const ClassicalConfig& config);
+
+/// Configuration of the §IV-B XGBoost experiment.
+struct XgbConfig {
+  std::vector<double> gamma_grid{0.0, 0.5, 2.0};
+  std::vector<double> alpha_grid{0.0, 0.1, 1.0};
+  std::vector<double> lambda_grid{0.5, 1.0, 2.0};
+  std::size_t n_rounds = 40;
+  std::size_t max_depth = 6;
+  double learning_rate = 0.3;
+  std::size_t cv_folds = 5;
+  std::size_t grid_row_cap = 0;
+  std::size_t top_features = 3;
+  std::uint64_t seed = 27182;
+
+  static XgbConfig from_profile(const ScaleProfile& profile);
+};
+
+/// Outcome of the XGBoost experiment, including the importance ranking the
+/// paper reports (top sensor variances/covariances by gain).
+struct XgbOutcome {
+  std::string dataset;
+  double cv_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  double train_accuracy = 0.0;   ///< paper: "training set error is very
+                                 ///  close to zero" (overfit check)
+  std::string best_params;
+  std::vector<std::pair<std::string, double>> top_features;  ///< (name, gain)
+  std::vector<double> train_accuracy_per_round;  ///< plateau curve
+  double seconds = 0.0;
+};
+
+XgbOutcome run_xgboost_experiment(const data::ChallengeDataset& ds,
+                                  const XgbConfig& config);
+
+}  // namespace scwc::core

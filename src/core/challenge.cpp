@@ -1,0 +1,246 @@
+#include "core/challenge.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/thread_pool.hpp"
+#include "data/window.hpp"
+#include "telemetry/architectures.hpp"
+#include "telemetry/gpu_synth.hpp"
+
+namespace scwc::core {
+
+namespace {
+
+using data::WindowPolicy;
+
+/// One dataset to cut: policy plus the index of the random draw.
+struct WindowSpec {
+  std::string name;
+  WindowPolicy policy;
+  std::size_t random_index;
+};
+
+std::vector<WindowSpec> window_specs(std::size_t random_draws) {
+  std::vector<WindowSpec> specs;
+  specs.push_back({"60-start-1", WindowPolicy::kStart, 0});
+  specs.push_back({"60-middle-1", WindowPolicy::kMiddle, 0});
+  for (std::size_t r = 0; r < random_draws; ++r) {
+    specs.push_back({"60-random-" + std::to_string(r + 1),
+                     WindowPolicy::kRandom, r});
+  }
+  return specs;
+}
+
+/// Deterministic per-trial RNG for the random-window draws.
+Rng window_rng(std::uint64_t config_seed, std::size_t random_index,
+               std::uint64_t job_seed, int gpu) {
+  return Rng(config_seed ^ (0x9e3779b97f4a7c15ULL * (random_index + 1)) ^
+             (job_seed * 0xbf58476d1ce4e5b9ULL) ^
+             static_cast<std::uint64_t>(gpu + 1));
+}
+
+std::vector<telemetry::JobSpec> eligible_jobs(const telemetry::Corpus& corpus,
+                                              const ChallengeConfig& config) {
+  const double window_s =
+      static_cast<double>(config.window_steps) / config.sample_hz;
+  std::vector<telemetry::JobSpec> jobs =
+      corpus.jobs_running_at_least(window_s + 1.0 / config.sample_hz);
+  if (config.max_jobs > 0 && jobs.size() > config.max_jobs) {
+    // Uniform thinning preserves the class mix without a reshuffle.
+    std::vector<telemetry::JobSpec> kept;
+    kept.reserve(config.max_jobs);
+    const double stride = static_cast<double>(jobs.size()) /
+                          static_cast<double>(config.max_jobs);
+    for (std::size_t k = 0; k < config.max_jobs; ++k) {
+      kept.push_back(jobs[static_cast<std::size_t>(
+          std::floor(static_cast<double>(k) * stride))]);
+    }
+    jobs = std::move(kept);
+  }
+  return jobs;
+}
+
+/// Trial bookkeeping shared by the builders.
+struct TrialIndex {
+  std::vector<std::size_t> job_offset;  ///< first trial of each job
+  std::size_t total_trials = 0;
+};
+
+TrialIndex index_trials(const std::vector<telemetry::JobSpec>& jobs) {
+  TrialIndex idx;
+  idx.job_offset.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    idx.job_offset.push_back(idx.total_trials);
+    idx.total_trials += static_cast<std::size_t>(job.num_gpus);
+  }
+  return idx;
+}
+
+data::ChallengeDataset assemble_split(
+    const std::string& name, WindowPolicy policy, data::Tensor3&& x,
+    std::vector<int>&& labels, std::vector<std::int64_t>&& job_ids,
+    const ChallengeConfig& config, std::uint64_t split_salt) {
+  Rng split_rng(config.seed ^ (split_salt * 0x94d049bb133111ebULL));
+  const data::SplitIndices split = data::stratified_split(
+      labels, job_ids, config.test_fraction, config.split_unit, split_rng);
+
+  data::ChallengeDataset out;
+  out.name = name;
+  out.policy = policy;
+  out.x_train = x.gather(split.train);
+  out.x_test = x.gather(split.test);
+  const auto fill = [&](const std::vector<std::size_t>& rows,
+                        std::vector<int>& y, std::vector<std::string>& models,
+                        std::vector<std::int64_t>& jobs) {
+    y.reserve(rows.size());
+    models.reserve(rows.size());
+    jobs.reserve(rows.size());
+    for (const std::size_t r : rows) {
+      y.push_back(labels[r]);
+      models.push_back(telemetry::architecture(labels[r]).name);
+      jobs.push_back(job_ids[r]);
+    }
+  };
+  fill(split.train, out.y_train, out.model_train, out.job_train);
+  fill(split.test, out.y_test, out.model_test, out.job_test);
+  out.validate();
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> challenge_dataset_names() {
+  std::vector<std::string> names;
+  for (const auto& spec : window_specs(5)) names.push_back(spec.name);
+  return names;
+}
+
+ChallengeConfig ChallengeConfig::from_profile(const ScaleProfile& profile,
+                                              std::uint64_t seed) {
+  ChallengeConfig cfg;
+  cfg.window_steps = profile.window_steps;
+  cfg.sample_hz = profile.sample_hz;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<data::ChallengeDataset> build_challenge_datasets(
+    const telemetry::Corpus& corpus, const ChallengeConfig& config) {
+  const std::vector<WindowSpec> specs = window_specs(config.random_draws);
+  const std::vector<telemetry::JobSpec> jobs = eligible_jobs(corpus, config);
+  SCWC_REQUIRE(!jobs.empty(), "no jobs long enough for the window");
+  const TrialIndex idx = index_trials(jobs);
+  SCWC_LOG_INFO("challenge builder: " << jobs.size() << " jobs, "
+                                      << idx.total_trials << " GPU trials, "
+                                      << specs.size() << " datasets");
+
+  const std::size_t sensors = telemetry::kNumGpuSensors;
+  std::vector<data::Tensor3> tensors;
+  tensors.reserve(specs.size());
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    tensors.emplace_back(idx.total_trials, config.window_steps, sensors);
+  }
+  std::vector<int> labels(idx.total_trials, 0);
+  std::vector<std::int64_t> job_ids(idx.total_trials, 0);
+
+  // Synthesise every GPU series once; cut all windows from it.
+  parallel_for(
+      0, jobs.size(),
+      [&](std::size_t j) {
+        const telemetry::JobSpec& job = jobs[j];
+        for (int g = 0; g < job.num_gpus; ++g) {
+          const std::size_t trial =
+              idx.job_offset[j] + static_cast<std::size_t>(g);
+          labels[trial] = job.class_id;
+          job_ids[trial] = job.job_id;
+          const telemetry::TimeSeries series =
+              telemetry::synthesize_gpu_series(job, g, config.sample_hz);
+          for (std::size_t s = 0; s < specs.size(); ++s) {
+            Rng rng = window_rng(config.seed, specs[s].random_index, job.seed,
+                                 g);
+            const auto offset = data::choose_window_offset(
+                series.steps(), config.window_steps, specs[s].policy, rng);
+            SCWC_CHECK(offset.has_value(),
+                       "eligible job produced a too-short series");
+            data::extract_window(series, *offset, config.window_steps,
+                                 tensors[s].trial(trial));
+          }
+        }
+      },
+      1);
+
+  std::vector<data::ChallengeDataset> datasets;
+  datasets.reserve(specs.size());
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    std::vector<int> y = labels;
+    std::vector<std::int64_t> jids = job_ids;
+    datasets.push_back(assemble_split(specs[s].name, specs[s].policy,
+                                      std::move(tensors[s]), std::move(y),
+                                      std::move(jids), config, s + 1));
+  }
+  return datasets;
+}
+
+data::ChallengeDataset build_challenge_dataset(const telemetry::Corpus& corpus,
+                                               const ChallengeConfig& config,
+                                               data::WindowPolicy policy,
+                                               std::size_t random_index) {
+  const std::vector<telemetry::JobSpec> jobs = eligible_jobs(corpus, config);
+  SCWC_REQUIRE(!jobs.empty(), "no jobs long enough for the window");
+  const TrialIndex idx = index_trials(jobs);
+
+  data::Tensor3 x(idx.total_trials, config.window_steps,
+                  telemetry::kNumGpuSensors);
+  std::vector<int> labels(idx.total_trials, 0);
+  std::vector<std::int64_t> job_ids(idx.total_trials, 0);
+
+  parallel_for(
+      0, jobs.size(),
+      [&](std::size_t j) {
+        const telemetry::JobSpec& job = jobs[j];
+        for (int g = 0; g < job.num_gpus; ++g) {
+          const std::size_t trial =
+              idx.job_offset[j] + static_cast<std::size_t>(g);
+          labels[trial] = job.class_id;
+          job_ids[trial] = job.job_id;
+          // Start windows only need the prefix — skip the tail of long jobs.
+          const telemetry::TimeSeries series =
+              policy == data::WindowPolicy::kStart
+                  ? telemetry::synthesize_gpu_series_prefix(
+                        job, g, config.sample_hz, config.window_steps)
+                  : telemetry::synthesize_gpu_series(job, g, config.sample_hz);
+          Rng rng = window_rng(config.seed, random_index, job.seed, g);
+          const auto offset = data::choose_window_offset(
+              series.steps(), config.window_steps, policy, rng);
+          SCWC_CHECK(offset.has_value(),
+                     "eligible job produced a too-short series");
+          data::extract_window(series, *offset, config.window_steps,
+                               x.trial(trial));
+        }
+      },
+      1);
+
+  std::string name;
+  std::uint64_t salt = 1;
+  switch (policy) {
+    case data::WindowPolicy::kStart:
+      name = "60-start-1";
+      salt = 1;
+      break;
+    case data::WindowPolicy::kMiddle:
+      name = "60-middle-1";
+      salt = 2;
+      break;
+    case data::WindowPolicy::kRandom:
+      name = "60-random-" + std::to_string(random_index + 1);
+      salt = 3 + random_index;
+      break;
+  }
+  return assemble_split(name, policy, std::move(x), std::move(labels),
+                        std::move(job_ids), config, salt);
+}
+
+}  // namespace scwc::core

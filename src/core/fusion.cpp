@@ -1,0 +1,157 @@
+#include "core/fusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "data/split.hpp"
+#include "data/window.hpp"
+#include "linalg/stats.hpp"
+#include "preprocess/covariance_features.hpp"
+#include "preprocess/scaler.hpp"
+#include "telemetry/cpu_synth.hpp"
+#include "telemetry/gpu_synth.hpp"
+
+namespace scwc::core {
+
+namespace {
+
+Rng fusion_window_rng(std::uint64_t config_seed, std::uint64_t job_seed,
+                      int gpu) {
+  return Rng(config_seed ^ (job_seed * 0xbf58476d1ce4e5b9ULL) ^
+             static_cast<std::uint64_t>(gpu + 1));
+}
+
+}  // namespace
+
+FusedDataset build_fused_dataset(const telemetry::Corpus& corpus,
+                                 const ChallengeConfig& challenge,
+                                 const FusionConfig& fusion) {
+  const double window_s =
+      static_cast<double>(challenge.window_steps) / challenge.sample_hz;
+  const std::vector<telemetry::JobSpec> jobs = corpus.jobs_running_at_least(
+      window_s + 1.0 / challenge.sample_hz);
+  SCWC_REQUIRE(!jobs.empty(), "fusion: no jobs long enough for the window");
+
+  std::vector<std::size_t> job_offsets;
+  std::size_t total_trials = 0;
+  for (const auto& job : jobs) {
+    job_offsets.push_back(total_trials);
+    total_trials += static_cast<std::size_t>(job.num_gpus);
+  }
+
+  const std::size_t gpu_sensor_count = telemetry::kNumGpuSensors;
+  const std::size_t cpu_metric_count = telemetry::kNumCpuMetrics;
+  data::Tensor3 gpu_windows(total_trials, challenge.window_steps,
+                            gpu_sensor_count);
+  linalg::Matrix cpu_stats(total_trials, 2 * cpu_metric_count);
+  std::vector<int> labels(total_trials, 0);
+  std::vector<std::int64_t> job_ids(total_trials, 0);
+
+  parallel_for(
+      0, jobs.size(),
+      [&](std::size_t j) {
+        const telemetry::JobSpec& job = jobs[j];
+        for (int g = 0; g < job.num_gpus; ++g) {
+          const std::size_t trial =
+              job_offsets[j] + static_cast<std::size_t>(g);
+          labels[trial] = job.class_id;
+          job_ids[trial] = job.job_id;
+
+          const telemetry::TimeSeries gpu_series =
+              telemetry::synthesize_gpu_series(job, g, challenge.sample_hz);
+          Rng rng = fusion_window_rng(challenge.seed, job.seed, g);
+          const auto offset = data::choose_window_offset(
+              gpu_series.steps(), challenge.window_steps, fusion.policy, rng);
+          SCWC_CHECK(offset.has_value(), "fusion: series too short");
+          data::extract_window(gpu_series, *offset, challenge.window_steps,
+                               gpu_windows.trial(trial));
+
+          // Matching host context: the node that carries this GPU.
+          const int node = g / 2;
+          const telemetry::TimeSeries cpu_series =
+              telemetry::synthesize_cpu_series(job, node);
+          const double t_lo = static_cast<double>(*offset) /
+                                  challenge.sample_hz -
+                              fusion.cpu_context_s / 2.0;
+          const double t_hi = t_lo + window_s + fusion.cpu_context_s;
+          const auto lo = static_cast<std::size_t>(std::max(
+              0.0, t_lo * cpu_series.sample_hz));
+          const auto hi = std::min<std::size_t>(
+              cpu_series.steps(),
+              static_cast<std::size_t>(
+                  std::max(0.0, t_hi * cpu_series.sample_hz)) + 1);
+          SCWC_CHECK(hi > lo, "fusion: empty CPU context window");
+
+          auto stats_row = cpu_stats.row(trial);
+          for (std::size_t m = 0; m < cpu_metric_count; ++m) {
+            std::vector<double> column;
+            column.reserve(hi - lo);
+            for (std::size_t t = lo; t < hi; ++t) {
+              column.push_back(cpu_series.values(t, m));
+            }
+            stats_row[2 * m] = linalg::mean(column);
+            stats_row[2 * m + 1] = linalg::sample_stddev(column);
+          }
+        }
+      },
+      1);
+
+  Rng split_rng(challenge.seed ^ 0xF0510ULL);
+  const data::SplitIndices split = data::stratified_split(
+      labels, job_ids, challenge.test_fraction, challenge.split_unit,
+      split_rng);
+
+  // GPU block: §IV pipeline (scaler fit on train, covariance reduction).
+  const data::Tensor3 gpu_train = gpu_windows.gather(split.train);
+  const data::Tensor3 gpu_test = gpu_windows.gather(split.test);
+  preprocess::StandardScaler gpu_scaler;
+  const linalg::Matrix gpu_train_scaled =
+      gpu_scaler.fit_transform(gpu_train.flatten());
+  const linalg::Matrix gpu_test_scaled =
+      gpu_scaler.transform(gpu_test.flatten());
+  const linalg::Matrix gpu_train_features =
+      preprocess::covariance_features_flat(
+          gpu_train_scaled, challenge.window_steps, gpu_sensor_count);
+  const linalg::Matrix gpu_test_features =
+      preprocess::covariance_features_flat(
+          gpu_test_scaled, challenge.window_steps, gpu_sensor_count);
+
+  // CPU block: standardised summary statistics.
+  const auto take_rows = [&cpu_stats](const std::vector<std::size_t>& rows) {
+    linalg::Matrix out(rows.size(), cpu_stats.cols());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::copy(cpu_stats.row(rows[i]).begin(), cpu_stats.row(rows[i]).end(),
+                out.row(i).begin());
+    }
+    return out;
+  };
+  preprocess::StandardScaler cpu_scaler;
+  const linalg::Matrix cpu_train =
+      cpu_scaler.fit_transform(take_rows(split.train));
+  const linalg::Matrix cpu_test = cpu_scaler.transform(take_rows(split.test));
+
+  FusedDataset out;
+  out.gpu_features = gpu_train_features.cols();
+  out.cpu_features = cpu_train.cols();
+  const auto concat = [](const linalg::Matrix& a, const linalg::Matrix& b) {
+    linalg::Matrix m(a.rows(), a.cols() + b.cols());
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      auto dst = m.row(r);
+      std::copy(a.row(r).begin(), a.row(r).end(), dst.begin());
+      std::copy(b.row(r).begin(), b.row(r).end(),
+                dst.begin() + static_cast<std::ptrdiff_t>(a.cols()));
+    }
+    return m;
+  };
+  out.x_train = concat(gpu_train_features, cpu_train);
+  out.x_test = concat(gpu_test_features, cpu_test);
+  out.y_train.reserve(split.train.size());
+  out.y_test.reserve(split.test.size());
+  for (const auto i : split.train) out.y_train.push_back(labels[i]);
+  for (const auto i : split.test) out.y_test.push_back(labels[i]);
+  return out;
+}
+
+}  // namespace scwc::core

@@ -1,0 +1,49 @@
+// CPU+GPU sensor fusion — one of the challenge's stated open problems.
+//
+// §III-C: "the data was collected in a multi-sensor environment …
+// the CPU and GPU time series are sampled at different rates, they will
+// have different lengths for the same trial. Solving the issue of aligning
+// time series of varying lengths for machine learning is one of the
+// primary problems this dataset presents."
+//
+// This module builds a fused feature matrix per challenge trial: the
+// GPU-side covariance features (R^28, as in §IV) concatenated with summary
+// statistics of the matching node's CPU metrics over a context window
+// around the GPU window (mean + stddev per Table-II metric → R^16).
+// The slow 0.1 Hz host sampling is exactly why simple summary statistics —
+// not another covariance matrix — are the right alignment device here.
+#pragma once
+
+#include "common/env.hpp"
+#include "core/challenge.hpp"
+#include "linalg/matrix.hpp"
+#include "telemetry/corpus.hpp"
+
+namespace scwc::core {
+
+/// A fused train/test feature bundle.
+struct FusedDataset {
+  linalg::Matrix x_train;  ///< trials × (28 + 16)
+  std::vector<int> y_train;
+  linalg::Matrix x_test;
+  std::vector<int> y_test;
+  std::size_t gpu_features = 0;  ///< width of the GPU block (28)
+  std::size_t cpu_features = 0;  ///< width of the CPU block (16)
+};
+
+/// Fusion parameters.
+struct FusionConfig {
+  data::WindowPolicy policy = data::WindowPolicy::kMiddle;
+  /// Seconds of host telemetry around the GPU window used for the CPU
+  /// summary (the host stream is 0.1 Hz, so 600 s ≈ 60 samples).
+  double cpu_context_s = 600.0;
+};
+
+/// Builds fused features for a corpus. GPU features follow the §IV
+/// pipeline exactly (scaler fit on train, covariance reduction); the CPU
+/// block is standardised with the same protocol.
+FusedDataset build_fused_dataset(const telemetry::Corpus& corpus,
+                                 const ChallengeConfig& challenge,
+                                 const FusionConfig& fusion = {});
+
+}  // namespace scwc::core

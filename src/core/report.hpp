@@ -1,0 +1,35 @@
+// Result-table rendering shared by the bench binaries.
+//
+// Each helper renders outcomes in the layout of the corresponding paper
+// table so bench output and paper can be compared row by row.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "core/baselines.hpp"
+#include "core/rnn_experiments.hpp"
+
+namespace scwc::core {
+
+/// Banner stating the active scale profile and why absolute numbers may
+/// differ from the paper. Printed by every bench.
+void print_profile_banner(std::ostream& os, const ScaleProfile& profile,
+                          const std::string& experiment_id);
+
+/// Table V layout: model rows × dataset columns (Start, Middle, R1..R5).
+void print_table5(std::ostream& os,
+                  const std::vector<ClassicalOutcome>& outcomes,
+                  const std::vector<std::string>& dataset_names);
+
+/// Table VI layout: model rows × {Start, Middle, Random} columns.
+void print_table6(std::ostream& os, const std::vector<RnnOutcome>& outcomes,
+                  const std::vector<std::string>& dataset_names);
+
+/// §IV-B summary: accuracy + top feature importances + plateau curve.
+void print_xgboost_report(std::ostream& os, const XgbOutcome& outcome);
+
+}  // namespace scwc::core

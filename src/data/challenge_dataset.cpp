@@ -1,0 +1,40 @@
+#include "data/challenge_dataset.hpp"
+
+#include "common/error.hpp"
+#include "telemetry/architectures.hpp"
+
+namespace scwc::data {
+
+void ChallengeDataset::validate() const {
+  SCWC_REQUIRE(x_train.trials() == y_train.size(),
+               "y_train length must match X_train trials");
+  SCWC_REQUIRE(x_train.trials() == model_train.size(),
+               "model_train length must match X_train trials");
+  SCWC_REQUIRE(x_train.trials() == job_train.size(),
+               "job_train length must match X_train trials");
+  SCWC_REQUIRE(x_test.trials() == y_test.size(),
+               "y_test length must match X_test trials");
+  SCWC_REQUIRE(x_test.trials() == model_test.size(),
+               "model_test length must match X_test trials");
+  SCWC_REQUIRE(x_test.trials() == job_test.size(),
+               "job_test length must match X_test trials");
+  SCWC_REQUIRE(x_train.trials() > 0 && x_test.trials() > 0,
+               "both splits must be non-empty");
+  SCWC_REQUIRE(x_train.steps() == x_test.steps() &&
+                   x_train.sensors() == x_test.sensors(),
+               "train/test tensors must agree on steps and sensors");
+  const auto check_labels = [](const std::vector<int>& y,
+                               const std::vector<std::string>& names) {
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      SCWC_REQUIRE(y[i] >= 0 && static_cast<std::size_t>(y[i]) <
+                                     telemetry::kNumClasses,
+                   "label out of range");
+      SCWC_REQUIRE(telemetry::architecture(y[i]).name == names[i],
+                   "model name does not match label");
+    }
+  };
+  check_labels(y_train, model_train);
+  check_labels(y_test, model_test);
+}
+
+}  // namespace scwc::data

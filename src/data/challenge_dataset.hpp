@@ -1,0 +1,49 @@
+// The challenge dataset container (one row of Table IV).
+//
+// Mirrors the released npz layout: X_train/y_train/model_train and
+// X_test/y_test/model_test, where X is (trials, samples, sensors), y holds
+// integer class labels 0..25 and model_* the corresponding class names.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/tensor3.hpp"
+#include "data/window.hpp"
+
+namespace scwc::data {
+
+/// Train/test bundle for one sampling policy (e.g. "60-random-1").
+struct ChallengeDataset {
+  std::string name;                     ///< "60-start-1", "60-middle-1", "60-random-3", …
+  WindowPolicy policy = WindowPolicy::kStart;
+
+  Tensor3 x_train;
+  std::vector<int> y_train;             ///< class ids, one per training trial
+  std::vector<std::string> model_train; ///< class names aligned with y_train
+  std::vector<std::int64_t> job_train;  ///< source job id per trial (extra
+                                        ///  provenance; enables job-level
+                                        ///  leakage analysis)
+
+  Tensor3 x_test;
+  std::vector<int> y_test;
+  std::vector<std::string> model_test;
+  std::vector<std::int64_t> job_test;
+
+  [[nodiscard]] std::size_t train_trials() const noexcept {
+    return x_train.trials();
+  }
+  [[nodiscard]] std::size_t test_trials() const noexcept {
+    return x_test.trials();
+  }
+  [[nodiscard]] std::size_t steps() const noexcept { return x_train.steps(); }
+  [[nodiscard]] std::size_t sensors() const noexcept {
+    return x_train.sensors();
+  }
+
+  /// Throws unless the invariants hold (aligned lengths, label range, both
+  /// splits non-empty and shape-consistent).
+  void validate() const;
+};
+
+}  // namespace scwc::data

@@ -1,0 +1,171 @@
+#include "data/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "telemetry/architectures.hpp"
+
+namespace scwc::data {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'C', 'W', 'C', 'B', '0', '0', '1'};
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  // Explicit little-endian byte order for portability.
+  for (int i = 0; i < 8; ++i) {
+    const char byte = static_cast<char>((v >> (8 * i)) & 0xFF);
+    os.put(byte);
+  }
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    const int byte = is.get();
+    SCWC_REQUIRE(byte != EOF, "scb: truncated integer");
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(byte))
+         << (8 * i);
+  }
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  SCWC_REQUIRE(n < (1ULL << 24), "scb: unreasonable string length");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  SCWC_REQUIRE(is.good(), "scb: truncated string");
+  return s;
+}
+
+void write_doubles(std::ostream& os, std::span<const double> v) {
+  write_u64(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+std::vector<double> read_doubles(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  SCWC_REQUIRE(n < (1ULL << 32), "scb: unreasonable array length");
+  std::vector<double> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  SCWC_REQUIRE(is.good(), "scb: truncated double array");
+  return v;
+}
+
+void write_split(std::ostream& os, const Tensor3& x,
+                 const std::vector<int>& y,
+                 const std::vector<std::string>& names,
+                 const std::vector<std::int64_t>& jobs) {
+  write_u64(os, x.trials());
+  write_u64(os, x.steps());
+  write_u64(os, x.sensors());
+  write_doubles(os, x.raw());
+  write_u64(os, y.size());
+  for (const int label : y) write_u64(os, static_cast<std::uint64_t>(label));
+  write_u64(os, names.size());
+  for (const auto& n : names) write_string(os, n);
+  write_u64(os, jobs.size());
+  for (const auto j : jobs) write_u64(os, static_cast<std::uint64_t>(j));
+}
+
+void read_split(std::istream& is, Tensor3& x, std::vector<int>& y,
+                std::vector<std::string>& names,
+                std::vector<std::int64_t>& jobs) {
+  const std::uint64_t trials = read_u64(is);
+  const std::uint64_t steps = read_u64(is);
+  const std::uint64_t sensors = read_u64(is);
+  const std::vector<double> raw = read_doubles(is);
+  SCWC_REQUIRE(raw.size() == trials * steps * sensors,
+               "scb: tensor size mismatch");
+  x = Tensor3(trials, steps, sensors);
+  std::memcpy(x.raw().data(), raw.data(), raw.size() * sizeof(double));
+
+  const std::uint64_t ny = read_u64(is);
+  SCWC_REQUIRE(ny == trials, "scb: label count mismatch");
+  y.resize(ny);
+  for (auto& label : y) label = static_cast<int>(read_u64(is));
+
+  const std::uint64_t nn = read_u64(is);
+  SCWC_REQUIRE(nn == trials, "scb: model-name count mismatch");
+  names.resize(nn);
+  for (auto& n : names) n = read_string(is);
+
+  const std::uint64_t nj = read_u64(is);
+  SCWC_REQUIRE(nj == trials, "scb: job-id count mismatch");
+  jobs.resize(nj);
+  for (auto& j : jobs) j = static_cast<std::int64_t>(read_u64(is));
+}
+
+}  // namespace
+
+void write_scb(const ChallengeDataset& dataset, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  write_string(os, dataset.name);
+  write_u64(os, static_cast<std::uint64_t>(dataset.policy));
+  write_split(os, dataset.x_train, dataset.y_train, dataset.model_train,
+              dataset.job_train);
+  write_split(os, dataset.x_test, dataset.y_test, dataset.model_test,
+              dataset.job_test);
+  SCWC_REQUIRE(os.good(), "scb: write failed");
+}
+
+ChallengeDataset read_scb(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  SCWC_REQUIRE(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+               "scb: bad magic");
+  ChallengeDataset d;
+  d.name = read_string(is);
+  const std::uint64_t policy = read_u64(is);
+  SCWC_REQUIRE(policy <= 2, "scb: bad window policy");
+  d.policy = static_cast<WindowPolicy>(policy);
+  read_split(is, d.x_train, d.y_train, d.model_train, d.job_train);
+  read_split(is, d.x_test, d.y_test, d.model_test, d.job_test);
+  d.validate();
+  return d;
+}
+
+void save_scb(const ChallengeDataset& dataset,
+              const std::filesystem::path& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  SCWC_REQUIRE(os.is_open(), "cannot open " + path.string() + " for writing");
+  write_scb(dataset, os);
+}
+
+ChallengeDataset load_scb(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  SCWC_REQUIRE(is.is_open(), "cannot open " + path.string() + " for reading");
+  return read_scb(is);
+}
+
+void export_trial_csv(const Tensor3& x, std::size_t trial,
+                      const std::filesystem::path& path) {
+  SCWC_REQUIRE(trial < x.trials(), "trial index out of range");
+  std::ofstream os(path, std::ios::trunc);
+  SCWC_REQUIRE(os.is_open(), "cannot open " + path.string() + " for writing");
+  for (std::size_t s = 0; s < x.sensors(); ++s) {
+    if (s > 0) os << ',';
+    os << telemetry::gpu_sensor_name(s);
+  }
+  os << '\n';
+  for (std::size_t t = 0; t < x.steps(); ++t) {
+    for (std::size_t s = 0; s < x.sensors(); ++s) {
+      if (s > 0) os << ',';
+      os << x(trial, t, s);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace scwc::data

@@ -1,0 +1,31 @@
+// Dataset serialisation.
+//
+// The released challenge data ships as Numpy .npz archives; the C++
+// counterpart here is a little-endian binary container (.scb) holding the
+// same six arrays plus provenance, and a CSV exporter for interoperability
+// with the original Python baselines.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "data/challenge_dataset.hpp"
+
+namespace scwc::data {
+
+/// Writes `dataset` to `path` in SCB v1 format. Overwrites existing files.
+void save_scb(const ChallengeDataset& dataset, const std::filesystem::path& path);
+
+/// Reads an SCB v1 file. Throws scwc::Error on malformed input (bad magic,
+/// truncated arrays, inconsistent lengths).
+ChallengeDataset load_scb(const std::filesystem::path& path);
+
+/// Stream-level API (used by tests to round-trip through memory).
+void write_scb(const ChallengeDataset& dataset, std::ostream& os);
+ChallengeDataset read_scb(std::istream& is);
+
+/// Exports one trial as CSV: header of sensor names, one row per time step.
+void export_trial_csv(const Tensor3& x, std::size_t trial,
+                      const std::filesystem::path& path);
+
+}  // namespace scwc::data

@@ -1,0 +1,87 @@
+#include "data/split.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace scwc::data {
+
+namespace {
+
+// Splits the per-class unit list (trials or jobs) into test/train with at
+// least one unit on each side when possible.
+void split_units(std::vector<std::size_t>& units, double test_fraction,
+                 Rng& rng, std::vector<std::size_t>& test_units,
+                 std::vector<std::size_t>& train_units) {
+  rng.shuffle(units);
+  std::size_t n_test = static_cast<std::size_t>(
+      std::lround(test_fraction * static_cast<double>(units.size())));
+  if (units.size() >= 2) {
+    n_test = std::clamp<std::size_t>(n_test, 1, units.size() - 1);
+  }
+  test_units.assign(units.begin(),
+                    units.begin() + static_cast<std::ptrdiff_t>(n_test));
+  train_units.assign(units.begin() + static_cast<std::ptrdiff_t>(n_test),
+                     units.end());
+}
+
+}  // namespace
+
+SplitIndices stratified_split(std::span<const int> labels,
+                              std::span<const std::int64_t> job_ids,
+                              double test_fraction, SplitUnit unit, Rng& rng) {
+  SCWC_REQUIRE(labels.size() == job_ids.size(),
+               "labels and job_ids must be aligned");
+  SCWC_REQUIRE(test_fraction > 0.0 && test_fraction < 1.0,
+               "test_fraction must be in (0, 1)");
+
+  SplitIndices out;
+  if (unit == SplitUnit::kTrial) {
+    // Per class, shuffle trial indices and take the tail as test.
+    std::map<int, std::vector<std::size_t>> by_class;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      by_class[labels[i]].push_back(i);
+    }
+    for (auto& [cls, indices] : by_class) {
+      std::vector<std::size_t> test_units;
+      std::vector<std::size_t> train_units;
+      split_units(indices, test_fraction, rng, test_units, train_units);
+      out.test.insert(out.test.end(), test_units.begin(), test_units.end());
+      out.train.insert(out.train.end(), train_units.begin(),
+                       train_units.end());
+    }
+  } else {
+    // Per class, shuffle *jobs*; a job carries all of its trials.
+    std::map<int, std::vector<std::int64_t>> jobs_by_class;
+    std::map<std::int64_t, std::vector<std::size_t>> trials_by_job;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      auto& class_jobs = jobs_by_class[labels[i]];
+      if (trials_by_job.find(job_ids[i]) == trials_by_job.end()) {
+        class_jobs.push_back(job_ids[i]);
+      }
+      trials_by_job[job_ids[i]].push_back(i);
+    }
+    for (auto& [cls, jobs] : jobs_by_class) {
+      std::vector<std::size_t> job_positions(jobs.size());
+      for (std::size_t k = 0; k < jobs.size(); ++k) job_positions[k] = k;
+      std::vector<std::size_t> test_units;
+      std::vector<std::size_t> train_units;
+      split_units(job_positions, test_fraction, rng, test_units, train_units);
+      for (const std::size_t k : test_units) {
+        const auto& trials = trials_by_job[jobs[k]];
+        out.test.insert(out.test.end(), trials.begin(), trials.end());
+      }
+      for (const std::size_t k : train_units) {
+        const auto& trials = trials_by_job[jobs[k]];
+        out.train.insert(out.train.end(), trials.begin(), trials.end());
+      }
+    }
+  }
+  std::sort(out.train.begin(), out.train.end());
+  std::sort(out.test.begin(), out.test.end());
+  return out;
+}
+
+}  // namespace scwc::data

@@ -1,0 +1,38 @@
+// Train/test splitting.
+//
+// The paper splits each challenge dataset 80/20 at the *trial* (GPU-series)
+// level. Because a multi-GPU job contributes several near-identical trials,
+// a trial-level split leaks sibling series across the boundary; we
+// reproduce that faithfully (kTrial) and additionally offer a job-level
+// split (kJob) so the leakage effect can be quantified — see
+// bench/ablation_split.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace scwc::data {
+
+/// What unit the 80/20 boundary respects.
+enum class SplitUnit { kTrial, kJob };
+
+/// Outcome of a split: indices into the original trial array.
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Stratified 80/20 split.
+///
+/// `labels[i]` is the class of trial i and `job_ids[i]` its source job.
+/// Stratification is per class so every class appears in both sides
+/// (each class is guaranteed ≥1 test and ≥1 train trial when it has ≥2
+/// trials/jobs). With kJob, all trials of one job land on the same side.
+SplitIndices stratified_split(std::span<const int> labels,
+                              std::span<const std::int64_t> job_ids,
+                              double test_fraction, SplitUnit unit, Rng& rng);
+
+}  // namespace scwc::data

@@ -1,0 +1,42 @@
+#include "data/tensor3.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace scwc::data {
+
+linalg::Matrix Tensor3::trial_matrix(std::size_t i) const {
+  SCWC_REQUIRE(i < trials_, "trial index out of range");
+  linalg::Matrix m(steps_, sensors_);
+  const auto src = trial(i);
+  std::copy(src.begin(), src.end(), m.flat().begin());
+  return m;
+}
+
+linalg::Matrix Tensor3::flatten() const {
+  linalg::Matrix m(trials_, steps_ * sensors_);
+  std::copy(data_.begin(), data_.end(), m.flat().begin());
+  return m;
+}
+
+Tensor3 Tensor3::from_flat(const linalg::Matrix& flat, std::size_t steps,
+                           std::size_t sensors) {
+  SCWC_REQUIRE(flat.cols() == steps * sensors,
+               "from_flat: column count must equal steps*sensors");
+  Tensor3 t(flat.rows(), steps, sensors);
+  std::copy(flat.flat().begin(), flat.flat().end(), t.data_.begin());
+  return t;
+}
+
+Tensor3 Tensor3::gather(std::span<const std::size_t> indices) const {
+  Tensor3 out(indices.size(), steps_, sensors_);
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    SCWC_REQUIRE(indices[k] < trials_, "gather index out of range");
+    const auto src = trial(indices[k]);
+    std::copy(src.begin(), src.end(), out.trial(k).begin());
+  }
+  return out;
+}
+
+}  // namespace scwc::data

@@ -1,0 +1,49 @@
+#include "data/window.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace scwc::data {
+
+std::string window_policy_name(WindowPolicy policy) {
+  switch (policy) {
+    case WindowPolicy::kStart:
+      return "start";
+    case WindowPolicy::kMiddle:
+      return "middle";
+    case WindowPolicy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::optional<std::size_t> choose_window_offset(std::size_t series_steps,
+                                                std::size_t window_steps,
+                                                WindowPolicy policy,
+                                                Rng& rng) {
+  if (series_steps < window_steps || window_steps == 0) return std::nullopt;
+  const std::size_t slack = series_steps - window_steps;
+  switch (policy) {
+    case WindowPolicy::kStart:
+      return 0;
+    case WindowPolicy::kMiddle:
+      return slack / 2;
+    case WindowPolicy::kRandom:
+      return static_cast<std::size_t>(rng.uniform_index(slack + 1));
+  }
+  return std::nullopt;
+}
+
+void extract_window(const telemetry::TimeSeries& series, std::size_t offset,
+                    std::size_t window_steps, std::span<double> dest) {
+  const std::size_t sensors = series.sensors();
+  SCWC_REQUIRE(offset + window_steps <= series.steps(),
+               "window exceeds series length");
+  SCWC_REQUIRE(dest.size() == window_steps * sensors,
+               "destination span has the wrong size");
+  const double* src = series.values.data() + offset * sensors;
+  std::copy(src, src + window_steps * sensors, dest.begin());
+}
+
+}  // namespace scwc::data

@@ -1,0 +1,208 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "linalg/gemm.hpp"
+
+namespace scwc::linalg {
+
+namespace {
+
+void check_symmetric(const Matrix& a, double tol) {
+  SCWC_REQUIRE(a.rows() == a.cols(), "eigen: matrix must be square");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      SCWC_REQUIRE(std::abs(a(i, j) - a(j, i)) <=
+                       tol * (1.0 + std::abs(a(i, j))),
+                   "eigen: matrix is not symmetric");
+    }
+  }
+}
+
+// Sorts eigenpairs in place by descending eigenvalue.
+EigenResult sort_descending(Vector values, Matrix vectors) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&values](std::size_t a, std::size_t b) {
+    return values[a] > values[b];
+  });
+  Vector sorted_values(n);
+  Matrix sorted_vectors(vectors.rows(), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    sorted_values[k] = values[order[k]];
+    for (std::size_t r = 0; r < vectors.rows(); ++r) {
+      sorted_vectors(r, k) = vectors(r, order[k]);
+    }
+  }
+  return EigenResult{std::move(sorted_values), std::move(sorted_vectors)};
+}
+
+}  // namespace
+
+EigenResult jacobi_eigen(const Matrix& input, double tol,
+                         std::size_t max_sweeps, double symmetry_tol) {
+  check_symmetric(input, symmetry_tol);
+  const std::size_t n = input.rows();
+  Matrix a = input;
+  Matrix v = Matrix::identity(n);
+
+  const auto off_diagonal_norm = [&a, n] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) s += a(i, j) * a(i, j);
+    }
+    return std::sqrt(2.0 * s);
+  };
+  const double scale = std::max(1.0, a.frobenius_norm());
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= tol * scale) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable tangent of the rotation angle.
+        const double t = (theta >= 0.0)
+                             ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                             : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        for (std::size_t i = 0; i < n; ++i) {
+          const double aip = a(i, p);
+          const double aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(i, q) = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double api = a(p, i);
+          const double aqi = a(q, i);
+          a(p, i) = c * api - s * aqi;
+          a(q, i) = s * api + c * aqi;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  Vector values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = a(i, i);
+  return sort_descending(std::move(values), std::move(v));
+}
+
+Matrix orthonormalize_columns(const Matrix& a, std::uint64_t seed) {
+  const std::size_t n = a.rows();
+  const std::size_t k = a.cols();
+  Matrix q = a;
+  Rng rng(seed);
+  for (std::size_t j = 0; j < k; ++j) {
+    // Two rounds of modified Gram–Schmidt for numerical orthogonality.
+    for (int round = 0; round < 2; ++round) {
+      for (std::size_t prev = 0; prev < j; ++prev) {
+        double proj = 0.0;
+        for (std::size_t r = 0; r < n; ++r) proj += q(r, j) * q(r, prev);
+        for (std::size_t r = 0; r < n; ++r) q(r, j) -= proj * q(r, prev);
+      }
+    }
+    double nrm = 0.0;
+    for (std::size_t r = 0; r < n; ++r) nrm += q(r, j) * q(r, j);
+    nrm = std::sqrt(nrm);
+    if (nrm < 1e-12) {
+      // Column is linearly dependent — replace with a random direction and
+      // redo the orthogonalisation for this column.
+      for (std::size_t r = 0; r < n; ++r) q(r, j) = rng.normal();
+      --j;  // retry
+      continue;
+    }
+    for (std::size_t r = 0; r < n; ++r) q(r, j) /= nrm;
+  }
+  return q;
+}
+
+EigenResult topk_eigen(const Matrix& a, std::size_t k, std::size_t max_iters,
+                       double tol, std::uint64_t seed) {
+  SCWC_REQUIRE(a.rows() == a.cols(), "topk_eigen: matrix must be square");
+  const std::size_t n = a.rows();
+  k = std::min(k, n);
+  if (k == 0) return EigenResult{{}, Matrix(n, 0)};
+
+  // Small problems — or large requested fractions of the spectrum, where
+  // subspace iteration would run a comparably sized Rayleigh–Ritz solve on
+  // every iteration anyway — run Jacobi once and truncate.
+  if (n <= 160 || k + 8 >= n || (n <= 768 && 4 * k >= n)) {
+    EigenResult full = jacobi_eigen(a, 1e-12, 64, 1e-6);
+    Vector values(full.values.begin(),
+                  full.values.begin() + static_cast<std::ptrdiff_t>(k));
+    Matrix vectors(n, k);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < k; ++c) vectors(r, c) = full.vectors(r, c);
+    }
+    return EigenResult{std::move(values), std::move(vectors)};
+  }
+
+  // Block subspace iteration with a modest oversampling margin.
+  const std::size_t block = std::min(n, k + std::min<std::size_t>(10, n - k));
+  Matrix q(n, block);
+  Rng rng(seed);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < block; ++c) q(r, c) = rng.normal();
+  }
+  q = orthonormalize_columns(q, seed + 1);
+
+  Vector prev_ritz(block, 0.0);
+  Matrix ritz_vectors(n, block);
+  Vector ritz_values(block, 0.0);
+
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    Matrix z = matmul(a, q);           // n×block
+    q = orthonormalize_columns(z, seed + 2 + iter);
+
+    // Rayleigh–Ritz: project A into the subspace and solve the small
+    // symmetric problem exactly.
+    Matrix aq = matmul(a, q);          // n×block
+    Matrix small = matmul_at_b(q, aq); // block×block
+    // Symmetrise to wash out round-off before Jacobi.
+    for (std::size_t i = 0; i < block; ++i) {
+      for (std::size_t j = i + 1; j < block; ++j) {
+        const double avg = 0.5 * (small(i, j) + small(j, i));
+        small(i, j) = avg;
+        small(j, i) = avg;
+      }
+    }
+    const EigenResult sub = jacobi_eigen(small);
+    ritz_values = sub.values;
+    ritz_vectors = matmul(q, sub.vectors);  // n×block
+
+    double delta = 0.0;
+    double scale = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      delta = std::max(delta, std::abs(ritz_values[i] - prev_ritz[i]));
+      scale = std::max(scale, std::abs(ritz_values[i]));
+    }
+    prev_ritz = ritz_values;
+    q = ritz_vectors;
+    if (delta <= tol * std::max(1.0, scale)) break;
+  }
+
+  Vector values(ritz_values.begin(),
+                ritz_values.begin() + static_cast<std::ptrdiff_t>(k));
+  Matrix vectors(n, k);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < k; ++c) vectors(r, c) = ritz_vectors(r, c);
+  }
+  return EigenResult{std::move(values), std::move(vectors)};
+}
+
+}  // namespace scwc::linalg

@@ -1,0 +1,47 @@
+// Symmetric eigensolvers.
+//
+// PCA needs the leading eigenpairs of a covariance/Gram matrix. Two solvers
+// cover the size spectrum:
+//  * cyclic Jacobi — full spectrum, robust, O(n^3) per sweep; used for
+//    small matrices (sensor covariances, tests, and as the Rayleigh–Ritz
+//    inner solve), and
+//  * block subspace iteration with Rayleigh–Ritz — leading k eigenpairs of
+//    large symmetric matrices without forming the full spectrum.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace scwc::linalg {
+
+/// Eigen decomposition result: `values[i]` pairs with column i of `vectors`,
+/// sorted by descending eigenvalue.
+struct EigenResult {
+  Vector values;
+  Matrix vectors;  ///< n×k, orthonormal columns
+};
+
+/// Full eigen decomposition of a symmetric matrix via cyclic Jacobi.
+///
+/// Intended for small/medium n (≤ a few hundred). `a` must be symmetric
+/// within `symmetry_tol` or the call throws.
+EigenResult jacobi_eigen(const Matrix& a, double tol = 1e-12,
+                         std::size_t max_sweeps = 64,
+                         double symmetry_tol = 1e-8);
+
+/// Leading-k eigen decomposition of a symmetric PSD matrix via block
+/// subspace iteration (power iterations on a k-dimensional block with
+/// QR re-orthogonalisation and a Rayleigh–Ritz projection).
+///
+/// `k` is clamped to n. Deterministic for a fixed `seed`.
+EigenResult topk_eigen(const Matrix& a, std::size_t k,
+                       std::size_t max_iters = 100, double tol = 1e-9,
+                       std::uint64_t seed = 12345);
+
+/// Thin QR (Gram–Schmidt with re-orthogonalisation) returning Q with
+/// orthonormal columns spanning the columns of `a`. Rank deficiencies are
+/// patched with fresh random directions so Q always has full column rank.
+Matrix orthonormalize_columns(const Matrix& a, std::uint64_t seed = 999);
+
+}  // namespace scwc::linalg

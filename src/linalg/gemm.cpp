@@ -1,0 +1,144 @@
+#include "linalg/gemm.hpp"
+
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+
+namespace scwc::linalg {
+
+namespace {
+
+// Cache-blocking parameters: the inner micro-kernel streams over contiguous
+// rows of B, accumulating into a contiguous row of C, which keeps all three
+// operands in L1/L2 for typical SCWC shapes (hundreds × thousands).
+constexpr std::size_t kBlockM = 64;
+constexpr std::size_t kBlockN = 256;
+constexpr std::size_t kBlockK = 64;
+
+// C[mb, nb] += A[mb, kb] * B[kb, nb] where A is accessed via a row-lambda so
+// the same kernel serves normal and transposed A layouts.
+template <typename GetA>
+void gemm_block(std::size_t m_lo, std::size_t m_hi, std::size_t n,
+                std::size_t k, GetA&& a_at, const Matrix& b, Matrix& c) {
+  for (std::size_t mb = m_lo; mb < m_hi; mb += kBlockM) {
+    const std::size_t m_end = std::min(m_hi, mb + kBlockM);
+    for (std::size_t kb = 0; kb < k; kb += kBlockK) {
+      const std::size_t k_end = std::min(k, kb + kBlockK);
+      for (std::size_t nb = 0; nb < n; nb += kBlockN) {
+        const std::size_t n_end = std::min(n, nb + kBlockN);
+        for (std::size_t i = mb; i < m_end; ++i) {
+          double* crow = c.data() + i * n;
+          for (std::size_t p = kb; p < k_end; ++p) {
+            const double aval = a_at(i, p);
+            if (aval == 0.0) continue;
+            const double* brow = b.data() + p * n;
+            for (std::size_t j = nb; j < n_end; ++j) {
+              crow[j] += aval * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void matmul_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
+  SCWC_REQUIRE(a.cols() == b.rows(), "matmul: inner dimensions differ");
+  SCWC_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
+               "matmul: output shape mismatch");
+  const std::size_t m = a.rows();
+  const std::size_t n = b.cols();
+  const std::size_t k = a.cols();
+  const auto a_at = [&a](std::size_t i, std::size_t p) { return a(i, p); };
+  parallel_for_blocked(
+      0, m,
+      [&](std::size_t lo, std::size_t hi) {
+        gemm_block(lo, hi, n, k, a_at, b, c);
+      },
+      kBlockM);
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  matmul_accumulate(a, b, c);
+  return c;
+}
+
+void matmul_at_b_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
+  SCWC_REQUIRE(a.rows() == b.rows(), "matmul_at_b: inner dimensions differ");
+  SCWC_REQUIRE(c.rows() == a.cols() && c.cols() == b.cols(),
+               "matmul_at_b: output shape mismatch");
+  const std::size_t m = a.cols();
+  const std::size_t n = b.cols();
+  const std::size_t k = a.rows();
+  const auto a_at = [&a](std::size_t i, std::size_t p) { return a(p, i); };
+  parallel_for_blocked(
+      0, m,
+      [&](std::size_t lo, std::size_t hi) {
+        gemm_block(lo, hi, n, k, a_at, b, c);
+      },
+      kBlockM);
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  matmul_at_b_accumulate(a, b, c);
+  return c;
+}
+
+void matmul_a_bt_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
+  SCWC_REQUIRE(a.cols() == b.cols(), "matmul_a_bt: inner dimensions differ");
+  SCWC_REQUIRE(c.rows() == a.rows() && c.cols() == b.rows(),
+               "matmul_a_bt: output shape mismatch");
+  // A·Bᵀ: rows of both operands are contiguous, so a dot-product kernel is
+  // the cache-friendly formulation here.
+  const std::size_t m = a.rows();
+  const std::size_t n = b.rows();
+  parallel_for_blocked(
+      0, m,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto arow = a.row(i);
+          double* crow = c.data() + i * n;
+          for (std::size_t j = 0; j < n; ++j) {
+            crow[j] += dot(arow, b.row(j));
+          }
+        }
+      },
+      16);
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  matmul_a_bt_accumulate(a, b, c);
+  return c;
+}
+
+Vector matvec(const Matrix& a, std::span<const double> x) {
+  SCWC_REQUIRE(a.cols() == x.size(), "matvec: dimension mismatch");
+  Vector y(a.rows(), 0.0);
+  parallel_for_blocked(
+      0, a.rows(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) y[i] = dot(a.row(i), x);
+      },
+      64);
+  return y;
+}
+
+Vector matvec_transposed(const Matrix& a, std::span<const double> x) {
+  SCWC_REQUIRE(a.rows() == x.size(), "matvec_transposed: dimension mismatch");
+  Vector y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    axpy(x[i], a.row(i), y);
+  }
+  return y;
+}
+
+Matrix gram_at_a(const Matrix& a) { return matmul_at_b(a, a); }
+
+Matrix gram_a_at(const Matrix& a) { return matmul_a_bt(a, a); }
+
+}  // namespace scwc::linalg

@@ -1,0 +1,45 @@
+// Matrix-multiply kernels.
+//
+// One blocked, thread-parallel kernel services all shapes through a small
+// trait describing whether either operand is logically transposed — the NN
+// backward passes need AᵀB and ABᵀ without materialising transposes.
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace scwc::linalg {
+
+/// C = A · B. Shapes: (m×k) · (k×n) → (m×n).
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = Aᵀ · B. Shapes: (k×m)ᵀ · (k×n) → (m×n).
+Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+
+/// C = A · Bᵀ. Shapes: (m×k) · (n×k)ᵀ → (m×n).
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+/// C += A · B (accumulating form; shapes as matmul, C pre-sized).
+void matmul_accumulate(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C += Aᵀ · B.
+void matmul_at_b_accumulate(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C += A · Bᵀ.
+void matmul_a_bt_accumulate(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// y = A · x (m×n times n-vector).
+Vector matvec(const Matrix& a, std::span<const double> x);
+
+/// y = Aᵀ · x (m×n transposed times m-vector).
+Vector matvec_transposed(const Matrix& a, std::span<const double> x);
+
+/// Gram matrix AᵀA (n×n for an m×n input) — the covariance-feature and
+/// PCA front ends both reduce to this product.
+Matrix gram_at_a(const Matrix& a);
+
+/// Gram matrix AAᵀ (m×m) — used by PCA's small-side trick.
+Matrix gram_a_at(const Matrix& a);
+
+}  // namespace scwc::linalg

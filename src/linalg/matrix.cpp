@@ -1,0 +1,140 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace scwc::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    SCWC_REQUIRE(r.size() == cols_, "ragged initializer_list for Matrix");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  SCWC_REQUIRE(r < rows_ && c < cols_, "Matrix::at out of range");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  SCWC_REQUIRE(r < rows_ && c < cols_, "Matrix::at out of range");
+  return (*this)(r, c);
+}
+
+void Matrix::reshape(std::size_t rows, std::size_t cols) {
+  SCWC_REQUIRE(rows * cols == data_.size(),
+               "reshape must preserve the element count");
+  rows_ = rows;
+  cols_ = cols;
+}
+
+void Matrix::fill(double value) noexcept {
+  for (double& x : data_) x = value;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  // Blocked transpose for cache behaviour on large inputs.
+  constexpr std::size_t kBlock = 32;
+  for (std::size_t rb = 0; rb < rows_; rb += kBlock) {
+    const std::size_t rend = std::min(rows_, rb + kBlock);
+    for (std::size_t cb = 0; cb < cols_; cb += kBlock) {
+      const std::size_t cend = std::min(cols_, cb + kBlock);
+      for (std::size_t r = rb; r < rend; ++r) {
+        for (std::size_t c = cb; c < cend; ++c) {
+          out(c, r) = (*this)(r, c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  SCWC_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+               "Matrix += shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  SCWC_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+               "Matrix -= shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) noexcept {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+double Matrix::frobenius_norm() const noexcept {
+  double sum = 0.0;
+  for (const double x : data_) sum += x * x;
+  return std::sqrt(sum);
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  SCWC_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+               "max_abs_diff shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[[" : " [");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << (*this)(r, c);
+    }
+    os << (r + 1 == rows_ ? "]]" : "]\n");
+  }
+  return os.str();
+}
+
+double dot(std::span<const double> a, std::span<const double> b) noexcept {
+  double s = 0.0;
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) noexcept {
+  const std::size_t n = x.size() < y.size() ? x.size() : y.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double norm2(std::span<const double> v) noexcept {
+  return std::sqrt(dot(v, v));
+}
+
+double squared_distance(std::span<const double> a,
+                        std::span<const double> b) noexcept {
+  double s = 0.0;
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace scwc::linalg

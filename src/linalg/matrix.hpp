@@ -1,0 +1,120 @@
+// Dense row-major matrix of doubles.
+//
+// This is the single numeric container shared by the preprocessing, classic
+// ML and neural-network modules. It deliberately stays small: owning
+// storage, bounds-checked element access in debug flavour, and a handful of
+// whole-matrix operations. Heavy kernels (GEMM, eigensolvers) live in
+// separate translation units so they can be tuned independently.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace scwc::linalg {
+
+/// Dense row-major matrix. Elements are doubles; storage is contiguous.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows×cols matrix, zero-initialised.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// rows×cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Row-major construction from nested initialiser lists (tests).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access (used by tests and cold paths).
+  double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
+  /// View of one row.
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Whole-storage view (row-major).
+  [[nodiscard]] std::span<double> flat() noexcept { return {data_}; }
+  [[nodiscard]] std::span<const double> flat() const noexcept { return {data_}; }
+
+  /// Reshapes in place; total element count must be preserved.
+  void reshape(std::size_t rows, std::size_t cols);
+
+  /// Sets every element to `value`.
+  void fill(double value) noexcept;
+
+  /// Returns the transpose (out-of-place).
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Elementwise operations (shapes must match).
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar) noexcept;
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+  friend Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const noexcept;
+
+  /// Max |a_ij - b_ij|; both shapes must match.
+  [[nodiscard]] double max_abs_diff(const Matrix& other) const;
+
+  /// Identity matrix of order n.
+  static Matrix identity(std::size_t n);
+
+  /// Compact debug rendering (small matrices only).
+  [[nodiscard]] std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// A plain dense vector alias used throughout the ML modules.
+using Vector = std::vector<double>;
+
+/// Dot product over equal-length spans.
+double dot(std::span<const double> a, std::span<const double> b) noexcept;
+
+/// y += alpha * x (equal lengths).
+void axpy(double alpha, std::span<const double> x, std::span<double> y) noexcept;
+
+/// Euclidean norm of a span.
+double norm2(std::span<const double> v) noexcept;
+
+/// Squared Euclidean distance between two spans of equal length.
+double squared_distance(std::span<const double> a,
+                        std::span<const double> b) noexcept;
+
+}  // namespace scwc::linalg

@@ -1,0 +1,37 @@
+// Common classifier interface.
+//
+// Every baseline model (SVM, random forest, gradient-boosted trees, and the
+// RNN adapters in scwc::core) exposes fit/predict over a feature matrix so
+// the grid-search and experiment drivers stay model-agnostic.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace scwc::ml {
+
+/// Supervised multi-class classifier over dense feature rows.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on rows of `x` with labels `y` (0-based class ids).
+  virtual void fit(const linalg::Matrix& x, std::span<const int> y) = 0;
+
+  /// Predicts one class id per row of `x`. Requires a prior fit().
+  [[nodiscard]] virtual std::vector<int> predict(const linalg::Matrix& x) const = 0;
+
+  /// Short display name (used in result tables).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Factory used by cross-validation/grid search to build a fresh, untrained
+/// model per fold.
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+}  // namespace scwc::ml

@@ -1,0 +1,354 @@
+#include "ml/gbt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "ml/metrics.hpp"
+
+namespace scwc::ml {
+
+namespace {
+
+/// XGBoost leaf weight with L1/L2: -T_alpha(G) / (H + lambda).
+double leaf_weight(double g, double h, double alpha, double lambda) {
+  double t;
+  if (g > alpha) {
+    t = g - alpha;
+  } else if (g < -alpha) {
+    t = g + alpha;
+  } else {
+    t = 0.0;
+  }
+  return -t / (h + lambda);
+}
+
+/// Structure score used inside the split gain: T_alpha(G)^2 / (H + lambda).
+double score(double g, double h, double alpha, double lambda) {
+  double t;
+  if (g > alpha) {
+    t = g - alpha;
+  } else if (g < -alpha) {
+    t = g + alpha;
+  } else {
+    t = 0.0;
+  }
+  return t * t / (h + lambda);
+}
+
+}  // namespace
+
+std::vector<std::size_t> FeatureImportance::ranking_by_gain() const {
+  std::vector<std::size_t> order(total_gain.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return total_gain[a] > total_gain[b];
+  });
+  return order;
+}
+
+GradientBoostedTrees::RegTree GradientBoostedTrees::build_tree(
+    const linalg::Matrix& x, std::span<const double> grad,
+    std::span<const double> hess, std::span<const std::size_t> rows,
+    std::span<const std::size_t> features, Rng& rng) {
+  (void)rng;
+  RegTree tree;
+
+  struct Frame {
+    std::vector<std::size_t> rows;
+    std::size_t depth;
+    std::int32_t node;
+  };
+
+  tree.emplace_back();
+  std::vector<Frame> stack;
+  stack.push_back(Frame{{rows.begin(), rows.end()}, 0, 0});
+
+  std::vector<std::pair<double, std::size_t>> sorted;
+
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+
+    double g_total = 0.0;
+    double h_total = 0.0;
+    for (const std::size_t r : frame.rows) {
+      g_total += grad[r];
+      h_total += hess[r];
+    }
+
+    const auto finalize_leaf = [&] {
+      tree[static_cast<std::size_t>(frame.node)].weight =
+          leaf_weight(g_total, h_total, config_.reg_alpha, config_.reg_lambda);
+    };
+
+    if (frame.depth >= config_.max_depth || frame.rows.size() < 2) {
+      finalize_leaf();
+      continue;
+    }
+
+    const double parent_score =
+        score(g_total, h_total, config_.reg_alpha, config_.reg_lambda);
+    double best_gain = 0.0;
+    std::size_t best_feature = 0;
+    double best_threshold = 0.0;
+
+    for (const std::size_t f : features) {
+      sorted.clear();
+      for (const std::size_t r : frame.rows) sorted.emplace_back(x(r, f), r);
+      std::sort(sorted.begin(), sorted.end());
+      if (sorted.front().first == sorted.back().first) continue;
+
+      double g_left = 0.0;
+      double h_left = 0.0;
+      for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+        const std::size_t r = sorted[i].second;
+        g_left += grad[r];
+        h_left += hess[r];
+        if (sorted[i].first == sorted[i + 1].first) continue;
+        const double h_right = h_total - h_left;
+        if (h_left < config_.min_child_weight ||
+            h_right < config_.min_child_weight) {
+          continue;
+        }
+        const double g_right = g_total - g_left;
+        const double gain =
+            0.5 * (score(g_left, h_left, config_.reg_alpha, config_.reg_lambda) +
+                   score(g_right, h_right, config_.reg_alpha,
+                         config_.reg_lambda) -
+                   parent_score) -
+            config_.gamma;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = f;
+          best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+        }
+      }
+    }
+
+    if (best_gain <= 0.0) {
+      finalize_leaf();
+      continue;
+    }
+
+    importance_.total_gain[best_feature] += best_gain;
+    importance_.frequency[best_feature] += 1.0;
+
+    Frame left_frame;
+    Frame right_frame;
+    left_frame.depth = frame.depth + 1;
+    right_frame.depth = frame.depth + 1;
+    for (const std::size_t r : frame.rows) {
+      if (x(r, best_feature) <= best_threshold) {
+        left_frame.rows.push_back(r);
+      } else {
+        right_frame.rows.push_back(r);
+      }
+    }
+    if (left_frame.rows.empty() || right_frame.rows.empty()) {
+      finalize_leaf();
+      continue;
+    }
+
+    tree.emplace_back();
+    tree.emplace_back();
+    const auto left_idx = static_cast<std::int32_t>(tree.size() - 2);
+    const auto right_idx = static_cast<std::int32_t>(tree.size() - 1);
+    TreeNode& node = tree[static_cast<std::size_t>(frame.node)];
+    node.feature = static_cast<std::int32_t>(best_feature);
+    node.threshold = best_threshold;
+    node.left = left_idx;
+    node.right = right_idx;
+    left_frame.node = left_idx;
+    right_frame.node = right_idx;
+    stack.push_back(std::move(left_frame));
+    stack.push_back(std::move(right_frame));
+  }
+  return tree;
+}
+
+double GradientBoostedTrees::tree_value(const RegTree& tree,
+                                        std::span<const double> row) {
+  std::size_t idx = 0;
+  for (;;) {
+    const TreeNode& node = tree[idx];
+    if (node.feature < 0) return node.weight;
+    idx = static_cast<std::size_t>(
+        row[static_cast<std::size_t>(node.feature)] <= node.threshold
+            ? node.left
+            : node.right);
+  }
+}
+
+void GradientBoostedTrees::fit(const linalg::Matrix& x,
+                               std::span<const int> y) {
+  fit_with_history(x, y, nullptr);
+}
+
+void GradientBoostedTrees::fit_with_history(
+    const linalg::Matrix& x, std::span<const int> y,
+    std::vector<double>* train_accuracy_per_round) {
+  SCWC_REQUIRE(x.rows() == y.size(), "GBT: X/y length mismatch");
+  SCWC_REQUIRE(x.rows() > 0, "GBT: empty training set");
+
+  int max_label = 0;
+  for (const int label : y) {
+    SCWC_REQUIRE(label >= 0, "GBT: labels must be non-negative");
+    max_label = std::max(max_label, label);
+  }
+  num_classes_ = static_cast<std::size_t>(max_label) + 1;
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const std::size_t k = num_classes_;
+
+  trees_.clear();
+  importance_.total_gain.assign(d, 0.0);
+  importance_.frequency.assign(d, 0.0);
+  base_score_ = 0.0;
+
+  linalg::Matrix margins(n, k);  // raw scores per class
+  linalg::Matrix proba(n, k);
+  linalg::Vector grad(n);
+  linalg::Vector hess(n);
+  Rng rng(config_.seed);
+
+  for (std::size_t round = 0; round < config_.n_rounds; ++round) {
+    // Softmax probabilities from current margins.
+    parallel_for_blocked(
+        0, n,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            const auto m = margins.row(i);
+            auto p = proba.row(i);
+            double max_m = m[0];
+            for (std::size_t c = 1; c < k; ++c) max_m = std::max(max_m, m[c]);
+            double sum = 0.0;
+            for (std::size_t c = 0; c < k; ++c) {
+              p[c] = std::exp(m[c] - max_m);
+              sum += p[c];
+            }
+            for (std::size_t c = 0; c < k; ++c) p[c] /= sum;
+          }
+        },
+        256);
+
+    // Row/column subsampling for this round.
+    std::vector<std::size_t> rows;
+    rows.reserve(n);
+    if (config_.subsample >= 1.0) {
+      rows.resize(n);
+      std::iota(rows.begin(), rows.end(), 0);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rng.bernoulli(config_.subsample)) rows.push_back(i);
+      }
+      if (rows.empty()) rows.push_back(0);
+    }
+    std::vector<std::size_t> features(d);
+    std::iota(features.begin(), features.end(), 0);
+    if (config_.colsample < 1.0) {
+      rng.shuffle(features);
+      const std::size_t keep = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::lround(
+                 config_.colsample * static_cast<double>(d))));
+      features.resize(keep);
+    }
+
+    std::vector<RegTree> round_trees(k);
+    for (std::size_t cls = 0; cls < k; ++cls) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double p = proba(i, cls);
+        const double target =
+            static_cast<std::size_t>(y[i]) == cls ? 1.0 : 0.0;
+        grad[i] = p - target;
+        hess[i] = std::max(1e-12, p * (1.0 - p));
+      }
+      round_trees[cls] = build_tree(x, grad, hess, rows, features, rng);
+      // Update margins for this class.
+      const RegTree& tree = round_trees[cls];
+      parallel_for_blocked(
+          0, n,
+          [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              margins(i, cls) +=
+                  config_.learning_rate * tree_value(tree, x.row(i));
+            }
+          },
+          256);
+    }
+    trees_.push_back(std::move(round_trees));
+
+    if (train_accuracy_per_round != nullptr) {
+      std::vector<int> pred(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto m = margins.row(i);
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < k; ++c) {
+          if (m[c] > m[best]) best = c;
+        }
+        pred[i] = static_cast<int>(best);
+      }
+      train_accuracy_per_round->push_back(accuracy(y, pred));
+    }
+  }
+}
+
+void GradientBoostedTrees::accumulate_margins(const linalg::Matrix& x,
+                                              linalg::Matrix& margins) const {
+  const std::size_t k = num_classes_;
+  parallel_for_blocked(
+      0, x.rows(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto row = x.row(i);
+          auto m = margins.row(i);
+          for (const auto& round : trees_) {
+            for (std::size_t c = 0; c < k; ++c) {
+              m[c] += config_.learning_rate * tree_value(round[c], row);
+            }
+          }
+        }
+      },
+      64);
+}
+
+linalg::Matrix GradientBoostedTrees::predict_proba(
+    const linalg::Matrix& x) const {
+  SCWC_REQUIRE(!trees_.empty(), "GBT::predict before fit");
+  linalg::Matrix margins(x.rows(), num_classes_);
+  accumulate_margins(x, margins);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    auto m = margins.row(i);
+    double max_m = m[0];
+    for (std::size_t c = 1; c < num_classes_; ++c) {
+      max_m = std::max(max_m, m[c]);
+    }
+    double sum = 0.0;
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      m[c] = std::exp(m[c] - max_m);
+      sum += m[c];
+    }
+    for (std::size_t c = 0; c < num_classes_; ++c) m[c] /= sum;
+  }
+  return margins;
+}
+
+std::vector<int> GradientBoostedTrees::predict(const linalg::Matrix& x) const {
+  SCWC_REQUIRE(!trees_.empty(), "GBT::predict before fit");
+  linalg::Matrix margins(x.rows(), num_classes_);
+  accumulate_margins(x, margins);
+  std::vector<int> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto m = margins.row(i);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < num_classes_; ++c) {
+      if (m[c] > m[best]) best = c;
+    }
+    out[i] = static_cast<int>(best);
+  }
+  return out;
+}
+
+}  // namespace scwc::ml

@@ -1,0 +1,84 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace scwc::ml {
+
+void Knn::fit(const linalg::Matrix& x, std::span<const int> y) {
+  SCWC_REQUIRE(x.rows() == y.size(), "kNN: X/y length mismatch");
+  SCWC_REQUIRE(x.rows() > 0, "kNN: empty training set");
+  SCWC_REQUIRE(config_.k >= 1, "kNN: k must be positive");
+  train_x_ = x;
+  train_y_.assign(y.begin(), y.end());
+  int max_label = 0;
+  for (const int label : y) {
+    SCWC_REQUIRE(label >= 0, "kNN: labels must be non-negative");
+    max_label = std::max(max_label, label);
+  }
+  num_classes_ = static_cast<std::size_t>(max_label) + 1;
+}
+
+linalg::Matrix Knn::predict_proba(const linalg::Matrix& x) const {
+  SCWC_REQUIRE(!train_y_.empty(), "kNN::predict before fit");
+  SCWC_REQUIRE(x.cols() == train_x_.cols(), "kNN: feature width mismatch");
+  const std::size_t k = std::min(config_.k, train_x_.rows());
+  linalg::Matrix proba(x.rows(), num_classes_);
+
+  parallel_for_blocked(
+      0, x.rows(),
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<std::pair<double, int>> dist(train_x_.rows());
+        for (std::size_t r = lo; r < hi; ++r) {
+          const auto query = x.row(r);
+          for (std::size_t t = 0; t < train_x_.rows(); ++t) {
+            double d = 0.0;
+            const auto row = train_x_.row(t);
+            if (config_.metric == KnnMetric::kEuclidean) {
+              d = linalg::squared_distance(query, row);
+            } else {
+              for (std::size_t c = 0; c < query.size(); ++c) {
+                d += std::abs(query[c] - row[c]);
+              }
+            }
+            dist[t] = {d, train_y_[t]};
+          }
+          std::partial_sort(dist.begin(),
+                            dist.begin() + static_cast<std::ptrdiff_t>(k),
+                            dist.end());
+          auto votes = proba.row(r);
+          double total = 0.0;
+          for (std::size_t i = 0; i < k; ++i) {
+            const double w = config_.distance_weighted
+                                 ? 1.0 / (std::sqrt(dist[i].first) + 1e-9)
+                                 : 1.0;
+            votes[static_cast<std::size_t>(dist[i].second)] += w;
+            total += w;
+          }
+          if (total > 0.0) {
+            for (std::size_t c = 0; c < num_classes_; ++c) votes[c] /= total;
+          }
+        }
+      },
+      4);
+  return proba;
+}
+
+std::vector<int> Knn::predict(const linalg::Matrix& x) const {
+  const linalg::Matrix proba = predict_proba(x);
+  std::vector<int> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = proba.row(r);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < num_classes_; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[r] = static_cast<int>(best);
+  }
+  return out;
+}
+
+}  // namespace scwc::ml

@@ -1,0 +1,48 @@
+// k-nearest-neighbour classifier.
+//
+// The challenge statement asks whether "traditional machine learning
+// techniques [would] be better suited for this problem" (§III-C); kNN on
+// the covariance features is the most traditional answer available and a
+// strong reference point because the trial-level split leaves sibling GPU
+// series — near-duplicates — in the training set (see bench/ablation_split).
+#pragma once
+
+#include <cstddef>
+
+#include "ml/classifier.hpp"
+
+namespace scwc::ml {
+
+/// Distance metric for kNN.
+enum class KnnMetric { kEuclidean, kManhattan };
+
+/// kNN hyper-parameters.
+struct KnnConfig {
+  std::size_t k = 5;
+  KnnMetric metric = KnnMetric::kEuclidean;
+  /// Weight neighbours by inverse distance instead of uniformly.
+  bool distance_weighted = false;
+};
+
+/// Exact brute-force kNN (suitable for the challenge's feature sizes).
+class Knn final : public Classifier {
+ public:
+  explicit Knn(KnnConfig config = {}) : config_(config) {}
+
+  void fit(const linalg::Matrix& x, std::span<const int> y) override;
+  [[nodiscard]] std::vector<int> predict(const linalg::Matrix& x) const override;
+  [[nodiscard]] std::string name() const override { return "kNN"; }
+
+  /// Per-class vote shares, rows × classes.
+  [[nodiscard]] linalg::Matrix predict_proba(const linalg::Matrix& x) const;
+
+  [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
+
+ private:
+  KnnConfig config_;
+  linalg::Matrix train_x_;
+  std::vector<int> train_y_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace scwc::ml

@@ -1,0 +1,118 @@
+#include "ml/logistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "linalg/gemm.hpp"
+
+namespace scwc::ml {
+
+namespace {
+
+/// Row-wise softmax in place; returns mean NLL against targets.
+double softmax_rows_nll(linalg::Matrix& logits, std::span<const int> y) {
+  double loss = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    auto row = logits.row(r);
+    double max_v = row[0];
+    for (const double v : row) max_v = std::max(max_v, v);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      row[c] = std::exp(row[c] - max_v);
+      sum += row[c];
+    }
+    for (std::size_t c = 0; c < row.size(); ++c) row[c] /= sum;
+    loss -= std::log(
+        std::max(1e-300, row[static_cast<std::size_t>(y[r])]));
+  }
+  return loss / static_cast<double>(logits.rows());
+}
+
+}  // namespace
+
+void LogisticRegression::fit(const linalg::Matrix& x, std::span<const int> y) {
+  SCWC_REQUIRE(x.rows() == y.size(), "LogReg: X/y length mismatch");
+  SCWC_REQUIRE(x.rows() > 0, "LogReg: empty training set");
+  int max_label = 0;
+  for (const int label : y) {
+    SCWC_REQUIRE(label >= 0, "LogReg: labels must be non-negative");
+    max_label = std::max(max_label, label);
+  }
+  num_classes_ = static_cast<std::size_t>(max_label) + 1;
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+
+  weights_ = linalg::Matrix(d, num_classes_);  // zero init is standard
+  bias_.assign(num_classes_, 0.0);
+  loss_history_.clear();
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  double previous_loss = std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 0; iter < config_.max_iters; ++iter) {
+    linalg::Matrix probs = linalg::matmul(x, weights_);
+    for (std::size_t r = 0; r < n; ++r) {
+      auto row = probs.row(r);
+      for (std::size_t c = 0; c < num_classes_; ++c) row[c] += bias_[c];
+    }
+    const double loss = softmax_rows_nll(probs, y);
+    loss_history_.push_back(loss);
+
+    // Gradient: Xᵀ(P - Y)/n + λW.
+    for (std::size_t r = 0; r < n; ++r) {
+      probs(r, static_cast<std::size_t>(y[r])) -= 1.0;
+    }
+    linalg::Matrix grad = linalg::matmul_at_b(x, probs);
+    grad *= inv_n;
+    grad += weights_ * config_.l2;
+
+    weights_ -= grad * config_.learning_rate;
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      double gb = 0.0;
+      for (std::size_t r = 0; r < n; ++r) gb += probs(r, c);
+      bias_[c] -= config_.learning_rate * gb * inv_n;
+    }
+
+    if (previous_loss - loss < config_.tol && iter > 10) break;
+    previous_loss = loss;
+  }
+}
+
+linalg::Matrix LogisticRegression::predict_proba(
+    const linalg::Matrix& x) const {
+  SCWC_REQUIRE(!weights_.empty(), "LogReg::predict before fit");
+  SCWC_REQUIRE(x.cols() == weights_.rows(), "LogReg: width mismatch");
+  linalg::Matrix probs = linalg::matmul(x, weights_);
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    auto row = probs.row(r);
+    double max_v = row[0];
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      row[c] += bias_[c];
+      max_v = std::max(max_v, row[c]);
+    }
+    double sum = 0.0;
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      row[c] = std::exp(row[c] - max_v);
+      sum += row[c];
+    }
+    for (std::size_t c = 0; c < num_classes_; ++c) row[c] /= sum;
+  }
+  return probs;
+}
+
+std::vector<int> LogisticRegression::predict(const linalg::Matrix& x) const {
+  const linalg::Matrix proba = predict_proba(x);
+  std::vector<int> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = proba.row(r);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < num_classes_; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[r] = static_cast<int>(best);
+  }
+  return out;
+}
+
+}  // namespace scwc::ml

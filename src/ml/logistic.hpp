@@ -1,0 +1,50 @@
+// Multinomial logistic regression (softmax regression).
+//
+// The simplest parametric baseline for the challenge: a single linear map
+// with softmax, trained by full-batch gradient descent with L2 weight
+// decay. Serves as the floor against which the paper's SVM/RF/GBT/RNN
+// baselines are calibrated, and as a fast sanity model in examples.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/classifier.hpp"
+
+namespace scwc::ml {
+
+/// Logistic-regression hyper-parameters.
+struct LogisticConfig {
+  double learning_rate = 0.5;
+  std::size_t max_iters = 300;
+  double l2 = 1e-4;            ///< weight decay
+  double tol = 1e-6;           ///< stop when the loss improves less
+  std::uint64_t seed = 1729;
+};
+
+/// Softmax regression over dense features.
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticConfig config = {}) : config_(config) {}
+
+  void fit(const linalg::Matrix& x, std::span<const int> y) override;
+  [[nodiscard]] std::vector<int> predict(const linalg::Matrix& x) const override;
+  [[nodiscard]] std::string name() const override { return "LogReg"; }
+
+  /// Class probabilities, rows × classes.
+  [[nodiscard]] linalg::Matrix predict_proba(const linalg::Matrix& x) const;
+
+  /// Mean NLL per GD iteration (diagnostics / tests).
+  [[nodiscard]] const std::vector<double>& loss_history() const noexcept {
+    return loss_history_;
+  }
+  [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
+
+ private:
+  LogisticConfig config_;
+  std::size_t num_classes_ = 0;
+  linalg::Matrix weights_;  // features × classes
+  linalg::Vector bias_;
+  std::vector<double> loss_history_;
+};
+
+}  // namespace scwc::ml

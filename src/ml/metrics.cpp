@@ -1,0 +1,94 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace scwc::ml {
+
+double accuracy(std::span<const int> truth, std::span<const int> predicted) {
+  SCWC_REQUIRE(truth.size() == predicted.size(),
+               "accuracy: length mismatch");
+  if (truth.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+linalg::Matrix confusion_matrix(std::span<const int> truth,
+                                std::span<const int> predicted,
+                                std::size_t num_classes) {
+  SCWC_REQUIRE(truth.size() == predicted.size(),
+               "confusion_matrix: length mismatch");
+  linalg::Matrix cm(num_classes, num_classes);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const int t = truth[i];
+    const int p = predicted[i];
+    SCWC_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < num_classes,
+                 "confusion_matrix: truth label out of range");
+    SCWC_REQUIRE(p >= 0 && static_cast<std::size_t>(p) < num_classes,
+                 "confusion_matrix: predicted label out of range");
+    cm(static_cast<std::size_t>(t), static_cast<std::size_t>(p)) += 1.0;
+  }
+  return cm;
+}
+
+ClassReport classification_report(std::span<const int> truth,
+                                  std::span<const int> predicted,
+                                  std::size_t num_classes) {
+  const linalg::Matrix cm = confusion_matrix(truth, predicted, num_classes);
+  ClassReport rep;
+  rep.precision.assign(num_classes, 0.0);
+  rep.recall.assign(num_classes, 0.0);
+  rep.f1.assign(num_classes, 0.0);
+  rep.support.assign(num_classes, 0);
+
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    double tp = cm(c, c);
+    double fp = 0.0;
+    double fn = 0.0;
+    for (std::size_t other = 0; other < num_classes; ++other) {
+      if (other == c) continue;
+      fp += cm(other, c);
+      fn += cm(c, other);
+    }
+    rep.support[c] = static_cast<std::size_t>(tp + fn);
+    rep.precision[c] = (tp + fp) > 0.0 ? tp / (tp + fp) : 0.0;
+    rep.recall[c] = (tp + fn) > 0.0 ? tp / (tp + fn) : 0.0;
+    const double denom = rep.precision[c] + rep.recall[c];
+    rep.f1[c] = denom > 0.0 ? 2.0 * rep.precision[c] * rep.recall[c] / denom
+                            : 0.0;
+    rep.macro_precision += rep.precision[c];
+    rep.macro_recall += rep.recall[c];
+    rep.macro_f1 += rep.f1[c];
+  }
+  if (num_classes > 0) {
+    rep.macro_precision /= static_cast<double>(num_classes);
+    rep.macro_recall /= static_cast<double>(num_classes);
+    rep.macro_f1 /= static_cast<double>(num_classes);
+  }
+  return rep;
+}
+
+double top_k_accuracy(const linalg::Matrix& scores,
+                      std::span<const int> truth, std::size_t k) {
+  SCWC_REQUIRE(scores.rows() == truth.size(),
+               "top_k_accuracy: row count mismatch");
+  SCWC_REQUIRE(k >= 1, "top_k_accuracy: k must be positive");
+  if (truth.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < scores.rows(); ++r) {
+    const auto row = scores.row(r);
+    const double target_score = row[static_cast<std::size_t>(truth[r])];
+    std::size_t strictly_better = 0;
+    for (const double s : row) {
+      if (s > target_score) ++strictly_better;
+    }
+    if (strictly_better < k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace scwc::ml

@@ -1,0 +1,39 @@
+// Classification metrics: accuracy, confusion matrix, per-class report.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace scwc::ml {
+
+/// Fraction of positions where predicted == truth. Empty input → 0.
+double accuracy(std::span<const int> truth, std::span<const int> predicted);
+
+/// num_classes×num_classes matrix; entry (t, p) counts truth t predicted p.
+linalg::Matrix confusion_matrix(std::span<const int> truth,
+                                std::span<const int> predicted,
+                                std::size_t num_classes);
+
+/// Per-class precision/recall/F1 plus support, macro-averaged summary.
+struct ClassReport {
+  std::vector<double> precision;
+  std::vector<double> recall;
+  std::vector<double> f1;
+  std::vector<std::size_t> support;
+  double macro_precision = 0.0;
+  double macro_recall = 0.0;
+  double macro_f1 = 0.0;
+};
+
+ClassReport classification_report(std::span<const int> truth,
+                                  std::span<const int> predicted,
+                                  std::size_t num_classes);
+
+/// Top-k accuracy given per-row class scores (rows × num_classes).
+double top_k_accuracy(const linalg::Matrix& scores,
+                      std::span<const int> truth, std::size_t k);
+
+}  // namespace scwc::ml

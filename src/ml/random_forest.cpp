@@ -1,0 +1,137 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace scwc::ml {
+
+void RandomForest::fit(const linalg::Matrix& x, std::span<const int> y) {
+  SCWC_REQUIRE(x.rows() == y.size(), "RandomForest: X/y length mismatch");
+  SCWC_REQUIRE(x.rows() > 0, "RandomForest: empty training set");
+  SCWC_REQUIRE(config_.n_estimators > 0, "RandomForest: need at least 1 tree");
+
+  int max_label = 0;
+  for (const int label : y) max_label = std::max(max_label, label);
+  num_classes_ = static_cast<std::size_t>(max_label) + 1;
+
+  DecisionTreeConfig tree_config = config_.tree;
+  tree_config.num_classes = num_classes_;
+  if (tree_config.max_features == 0) {
+    tree_config.max_features = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(x.cols()))));
+  }
+
+  // Pre-draw every tree's stream so results do not depend on scheduling.
+  Rng root(config_.seed);
+  std::vector<std::uint64_t> tree_seeds(config_.n_estimators);
+  std::vector<std::uint64_t> bootstrap_seeds(config_.n_estimators);
+  for (std::size_t t = 0; t < config_.n_estimators; ++t) {
+    tree_seeds[t] = root.next_u64();
+    bootstrap_seeds[t] = root.next_u64();
+  }
+
+  trees_.assign(config_.n_estimators, DecisionTree(tree_config));
+  const std::size_t n = x.rows();
+  parallel_for(
+      0, config_.n_estimators,
+      [&](std::size_t t) {
+        trees_[t] = DecisionTree(tree_config, tree_seeds[t]);
+        if (config_.bootstrap) {
+          Rng boot(bootstrap_seeds[t]);
+          std::vector<std::size_t> rows(n);
+          for (std::size_t i = 0; i < n; ++i) {
+            rows[i] = static_cast<std::size_t>(boot.uniform_index(n));
+          }
+          trees_[t].fit_on_rows(x, y, rows);
+        } else {
+          trees_[t].fit(x, y);
+        }
+      },
+      1);
+}
+
+linalg::Matrix RandomForest::predict_proba(const linalg::Matrix& x) const {
+  SCWC_REQUIRE(!trees_.empty(), "RandomForest::predict before fit");
+  linalg::Matrix proba(x.rows(), num_classes_);
+  // Soft voting: average leaf class distributions across trees.
+  std::mutex merge_mutex;
+  parallel_for_blocked(
+      0, trees_.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        linalg::Matrix local(x.rows(), num_classes_);
+        for (std::size_t t = lo; t < hi; ++t) {
+          local += trees_[t].predict_proba(x);
+        }
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        proba += local;
+      },
+      1);
+  proba *= 1.0 / static_cast<double>(trees_.size());
+  return proba;
+}
+
+std::vector<int> RandomForest::predict(const linalg::Matrix& x) const {
+  const linalg::Matrix proba = predict_proba(x);
+  std::vector<int> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = proba.row(r);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < num_classes_; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[r] = static_cast<int>(best);
+  }
+  return out;
+}
+
+}  // namespace scwc::ml
+
+#include <fstream>
+
+namespace scwc::ml {
+
+// Defined in decision_tree.cpp.
+namespace detail {
+void write_u64_le(std::ostream& os, std::uint64_t v);
+std::uint64_t read_u64_le(std::istream& is);
+}  // namespace detail
+
+namespace {
+constexpr std::uint64_t kForestMagic = 0x534357435F524631ULL;  // "SCWC_RF1"
+}
+
+void RandomForest::save(std::ostream& os) const {
+  SCWC_REQUIRE(!trees_.empty(), "RandomForest::save before fit");
+  detail::write_u64_le(os, kForestMagic);
+  detail::write_u64_le(os, num_classes_);
+  detail::write_u64_le(os, trees_.size());
+  for (const DecisionTree& tree : trees_) tree.save(os);
+}
+
+void RandomForest::load(std::istream& is) {
+  SCWC_REQUIRE(detail::read_u64_le(is) == kForestMagic,
+               "RandomForest::load: bad magic");
+  num_classes_ = detail::read_u64_le(is);
+  const std::uint64_t count = detail::read_u64_le(is);
+  SCWC_REQUIRE(count >= 1 && count < (1ULL << 20),
+               "RandomForest::load: unreasonable tree count");
+  trees_.assign(count, DecisionTree());
+  for (DecisionTree& tree : trees_) tree.load(is);
+}
+
+void RandomForest::save_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  SCWC_REQUIRE(os.is_open(), "cannot open " + path + " for writing");
+  save(os);
+}
+
+void RandomForest::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  SCWC_REQUIRE(is.is_open(), "cannot open " + path + " for reading");
+  load(is);
+}
+
+}  // namespace scwc::ml

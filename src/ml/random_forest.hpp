@@ -1,0 +1,55 @@
+// Random forest classifier (bagging + per-split feature subsampling).
+//
+// Matches scikit-learn's RandomForestClassifier defaults where the paper
+// relies on them: Gini splits, bootstrap samples the size of the training
+// set, sqrt(d) features per split, soft (probability-averaged) voting.
+// Trees are grown in parallel, each from a forked RNG stream, so results
+// are independent of the thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ml/decision_tree.hpp"
+
+namespace scwc::ml {
+
+/// Forest hyper-parameters. The paper grid-searches n_estimators over
+/// {50, 100, 250}.
+struct RandomForestConfig {
+  std::size_t n_estimators = 100;
+  DecisionTreeConfig tree;           ///< tree.max_features 0 → sqrt(d)
+  bool bootstrap = true;
+  std::uint64_t seed = 20220401;
+};
+
+/// Ensemble of CART trees with probability-averaged voting.
+class RandomForest final : public Classifier {
+ public:
+  explicit RandomForest(RandomForestConfig config = {}) : config_(config) {}
+
+  void fit(const linalg::Matrix& x, std::span<const int> y) override;
+  [[nodiscard]] std::vector<int> predict(const linalg::Matrix& x) const override;
+  [[nodiscard]] linalg::Matrix predict_proba(const linalg::Matrix& x) const;
+  [[nodiscard]] std::string name() const override { return "RandomForest"; }
+
+  [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
+  [[nodiscard]] const RandomForestConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Serialises the fitted forest so a deployed monitor (see
+  /// examples/live_monitor.cpp) can load it without retraining.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+  /// File-path convenience wrappers.
+  void save_file(const std::string& path) const;
+  void load_file(const std::string& path);
+
+ private:
+  RandomForestConfig config_;
+  std::vector<DecisionTree> trees_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace scwc::ml

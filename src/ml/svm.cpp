@@ -1,0 +1,297 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace scwc::ml {
+
+namespace {
+
+double kernel_eval(KernelType kernel, double gamma,
+                   std::span<const double> a, std::span<const double> b) {
+  switch (kernel) {
+    case KernelType::kLinear:
+      return linalg::dot(a, b);
+    case KernelType::kRbf:
+      return std::exp(-gamma * linalg::squared_distance(a, b));
+  }
+  return 0.0;
+}
+
+/// Dense kernel matrix over the pair's rows (pairs are small by design).
+linalg::Matrix kernel_matrix(KernelType kernel, double gamma,
+                             const linalg::Matrix& x) {
+  const std::size_t n = x.rows();
+  linalg::Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = kernel_eval(kernel, gamma, x.row(i), x.row(i));
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = kernel_eval(kernel, gamma, x.row(i), x.row(j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+/// Platt's SMO on a precomputed kernel. y in {-1, +1}. Returns (alpha, b).
+struct SmoResult {
+  linalg::Vector alpha;
+  double bias = 0.0;
+};
+
+SmoResult smo_solve(const linalg::Matrix& k, std::span<const double> y,
+                    double c, double tol, std::size_t max_passes,
+                    std::size_t max_iters, Rng& rng) {
+  const std::size_t n = y.size();
+  SmoResult res;
+  res.alpha.assign(n, 0.0);
+  res.bias = 0.0;
+
+  // Cached decision errors E_i = f(x_i) - y_i; maintained incrementally.
+  linalg::Vector errors(n);
+  for (std::size_t i = 0; i < n; ++i) errors[i] = -y[i];
+
+  std::size_t passes = 0;
+  std::size_t iters = 0;
+  while (passes < max_passes && iters < max_iters) {
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < n && iters < max_iters; ++i) {
+      const double ei = errors[i];
+      const double ri = ei * y[i];
+      const bool violates = (ri < -tol && res.alpha[i] < c) ||
+                            (ri > tol && res.alpha[i] > 0.0);
+      if (!violates) continue;
+
+      // Second-choice heuristic: maximise |E_i - E_j|, falling back to a
+      // random partner when the step degenerates.
+      std::size_t j = i;
+      double best_gap = -1.0;
+      for (std::size_t cand = 0; cand < n; ++cand) {
+        if (cand == i) continue;
+        const double gap = std::abs(ei - errors[cand]);
+        if (gap > best_gap) {
+          best_gap = gap;
+          j = cand;
+        }
+      }
+      if (j == i) continue;
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        ++iters;
+        const double alpha_i_old = res.alpha[i];
+        const double alpha_j_old = res.alpha[j];
+        double lo;
+        double hi;
+        if (y[i] != y[j]) {
+          lo = std::max(0.0, alpha_j_old - alpha_i_old);
+          hi = std::min(c, c + alpha_j_old - alpha_i_old);
+        } else {
+          lo = std::max(0.0, alpha_i_old + alpha_j_old - c);
+          hi = std::min(c, alpha_i_old + alpha_j_old);
+        }
+        const double eta = 2.0 * k(i, j) - k(i, i) - k(j, j);
+        if (lo < hi && eta < 0.0) {
+          double aj = alpha_j_old - y[j] * (ei - errors[j]) / eta;
+          aj = std::clamp(aj, lo, hi);
+          if (std::abs(aj - alpha_j_old) > 1e-7 * (aj + alpha_j_old + 1e-7)) {
+            const double ai =
+                alpha_i_old + y[i] * y[j] * (alpha_j_old - aj);
+            res.alpha[i] = ai;
+            res.alpha[j] = aj;
+
+            const double b1 = res.bias - ei -
+                              y[i] * (ai - alpha_i_old) * k(i, i) -
+                              y[j] * (aj - alpha_j_old) * k(i, j);
+            const double b2 = res.bias - errors[j] -
+                              y[i] * (ai - alpha_i_old) * k(i, j) -
+                              y[j] * (aj - alpha_j_old) * k(j, j);
+            double new_bias;
+            if (ai > 0.0 && ai < c) {
+              new_bias = b1;
+            } else if (aj > 0.0 && aj < c) {
+              new_bias = b2;
+            } else {
+              new_bias = 0.5 * (b1 + b2);
+            }
+            const double db = new_bias - res.bias;
+            res.bias = new_bias;
+            const double di = y[i] * (ai - alpha_i_old);
+            const double dj = y[j] * (aj - alpha_j_old);
+            for (std::size_t t = 0; t < n; ++t) {
+              errors[t] += di * k(i, t) + dj * k(j, t) + db;
+            }
+            ++changed;
+            break;
+          }
+        }
+        // Degenerate step: retry once with a random partner.
+        j = static_cast<std::size_t>(rng.uniform_index(n));
+        if (j == i) j = (j + 1) % n;
+      }
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+  return res;
+}
+
+}  // namespace
+
+void Svm::fit(const linalg::Matrix& x, std::span<const int> y) {
+  SCWC_REQUIRE(x.rows() == y.size(), "SVM: X/y length mismatch");
+  SCWC_REQUIRE(x.rows() >= 2, "SVM: need at least two samples");
+
+  int max_label = 0;
+  for (const int label : y) {
+    SCWC_REQUIRE(label >= 0, "SVM: labels must be non-negative");
+    max_label = std::max(max_label, label);
+  }
+  num_classes_ = static_cast<std::size_t>(max_label) + 1;
+  SCWC_REQUIRE(num_classes_ >= 2, "SVM: need at least two classes");
+
+  // gamma = "scale": 1 / (d * Var(all features)).
+  if (config_.gamma > 0.0) {
+    fitted_gamma_ = config_.gamma;
+  } else {
+    const auto flat = x.flat();
+    double mean = 0.0;
+    for (const double v : flat) mean += v;
+    mean /= static_cast<double>(flat.size());
+    double var = 0.0;
+    for (const double v : flat) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(flat.size());
+    fitted_gamma_ = var > 1e-12
+                        ? 1.0 / (static_cast<double>(x.cols()) * var)
+                        : 1.0;
+  }
+
+  // Rows per class.
+  std::vector<std::vector<std::size_t>> by_class(num_classes_);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    by_class[static_cast<std::size_t>(y[i])].push_back(i);
+  }
+
+  // All unordered class pairs with data on both sides.
+  std::vector<std::pair<int, int>> pairs;
+  for (std::size_t a = 0; a < num_classes_; ++a) {
+    for (std::size_t b = a + 1; b < num_classes_; ++b) {
+      if (!by_class[a].empty() && !by_class[b].empty()) {
+        pairs.emplace_back(static_cast<int>(a), static_cast<int>(b));
+      }
+    }
+  }
+
+  machines_.assign(pairs.size(), BinaryMachine{});
+  Rng root(config_.seed);
+  std::vector<std::uint64_t> seeds(pairs.size());
+  for (auto& s : seeds) s = root.next_u64();
+
+  parallel_for(
+      0, pairs.size(),
+      [&](std::size_t p) {
+        const auto [cls_a, cls_b] = pairs[p];
+        const auto& rows_a = by_class[static_cast<std::size_t>(cls_a)];
+        const auto& rows_b = by_class[static_cast<std::size_t>(cls_b)];
+        const std::size_t n = rows_a.size() + rows_b.size();
+
+        linalg::Matrix px(n, x.cols());
+        linalg::Vector py(n);
+        std::size_t idx = 0;
+        for (const std::size_t r : rows_a) {
+          std::copy(x.row(r).begin(), x.row(r).end(), px.row(idx).begin());
+          py[idx++] = +1.0;
+        }
+        for (const std::size_t r : rows_b) {
+          std::copy(x.row(r).begin(), x.row(r).end(), px.row(idx).begin());
+          py[idx++] = -1.0;
+        }
+
+        const linalg::Matrix k =
+            kernel_matrix(config_.kernel, fitted_gamma_, px);
+        Rng rng(seeds[p]);
+        const SmoResult sol = smo_solve(k, py, config_.c, config_.tol,
+                                        config_.max_passes, config_.max_iters,
+                                        rng);
+
+        // Keep only support vectors.
+        std::vector<std::size_t> sv;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (sol.alpha[i] > 1e-9) sv.push_back(i);
+        }
+        BinaryMachine m;
+        m.class_a = cls_a;
+        m.class_b = cls_b;
+        m.bias = sol.bias;
+        m.support_x = linalg::Matrix(sv.size(), x.cols());
+        m.alpha_y.resize(sv.size());
+        for (std::size_t s = 0; s < sv.size(); ++s) {
+          std::copy(px.row(sv[s]).begin(), px.row(sv[s]).end(),
+                    m.support_x.row(s).begin());
+          m.alpha_y[s] = sol.alpha[sv[s]] * py[sv[s]];
+        }
+        machines_[p] = std::move(m);
+      },
+      1);
+}
+
+double Svm::machine_decision(const BinaryMachine& m,
+                             std::span<const double> row) const {
+  double f = m.bias;
+  for (std::size_t s = 0; s < m.support_x.rows(); ++s) {
+    f += m.alpha_y[s] *
+         kernel_eval(config_.kernel, fitted_gamma_, m.support_x.row(s), row);
+  }
+  return f;
+}
+
+linalg::Matrix Svm::decision_scores(const linalg::Matrix& x) const {
+  SCWC_REQUIRE(!machines_.empty(), "SVM::predict before fit");
+  linalg::Matrix scores(x.rows(), num_classes_);
+  parallel_for_blocked(
+      0, x.rows(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          auto row_scores = scores.row(r);
+          for (const BinaryMachine& m : machines_) {
+            const double f = machine_decision(m, x.row(r));
+            // One full vote to the winner, plus a small bounded margin
+            // contribution as the tiebreaker (the scikit-learn approach).
+            const double margin = std::clamp(f, -1.0, 1.0) * 1e-3;
+            if (f >= 0.0) {
+              row_scores[static_cast<std::size_t>(m.class_a)] += 1.0;
+            } else {
+              row_scores[static_cast<std::size_t>(m.class_b)] += 1.0;
+            }
+            row_scores[static_cast<std::size_t>(m.class_a)] += margin;
+            row_scores[static_cast<std::size_t>(m.class_b)] -= margin;
+          }
+        }
+      },
+      8);
+  return scores;
+}
+
+std::vector<int> Svm::predict(const linalg::Matrix& x) const {
+  const linalg::Matrix scores = decision_scores(x);
+  std::vector<int> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = scores.row(r);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < num_classes_; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[r] = static_cast<int>(best);
+  }
+  return out;
+}
+
+std::size_t Svm::support_vector_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& m : machines_) total += m.support_x.rows();
+  return total;
+}
+
+}  // namespace scwc::ml

@@ -1,0 +1,154 @@
+#include "nn/conv.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "linalg/gemm.hpp"
+
+namespace scwc::nn {
+
+Conv1d::Conv1d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, Rng& rng)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      w_(kernel * in_channels, out_channels),
+      dw_(kernel * in_channels, out_channels),
+      b_(out_channels, 0.0),
+      db_(out_channels, 0.0) {
+  SCWC_REQUIRE(kernel >= 1 && stride >= 1, "Conv1d: bad kernel/stride");
+  glorot_init(w_.flat(), kernel * in_channels, out_channels, rng);
+}
+
+std::size_t Conv1d::output_steps(std::size_t input_steps) const {
+  SCWC_REQUIRE(input_steps >= kernel_,
+               "Conv1d: sequence shorter than the kernel");
+  return (input_steps - kernel_) / stride_ + 1;
+}
+
+Sequence Conv1d::forward(const Sequence& x) {
+  SCWC_REQUIRE(x.features() == in_ch_, "Conv1d: channel mismatch");
+  cached_input_ = x;
+  const std::size_t t_out = output_steps(x.steps());
+  const std::size_t batch = x.batch();
+
+  Sequence out(t_out, batch, out_ch_);
+  linalg::Matrix window(batch, kernel_ * in_ch_);
+  for (std::size_t to = 0; to < t_out; ++to) {
+    const std::size_t t0 = to * stride_;
+    // im2col for this output step: concatenate the kernel_ input steps.
+    for (std::size_t kk = 0; kk < kernel_; ++kk) {
+      const linalg::Matrix& step = x[t0 + kk];
+      for (std::size_t r = 0; r < batch; ++r) {
+        const auto src = step.row(r);
+        auto dst = window.row(r);
+        for (std::size_t c = 0; c < in_ch_; ++c) {
+          dst[kk * in_ch_ + c] = src[c];
+        }
+      }
+    }
+    out[to] = linalg::matmul(window, w_);
+    for (std::size_t r = 0; r < batch; ++r) {
+      auto row = out[to].row(r);
+      for (std::size_t c = 0; c < out_ch_; ++c) row[c] += b_[c];
+    }
+  }
+  return out;
+}
+
+Sequence Conv1d::backward(const Sequence& dout) {
+  const std::size_t t_out = dout.steps();
+  const std::size_t batch = dout.batch();
+  SCWC_REQUIRE(dout.features() == out_ch_, "Conv1d: gradient width mismatch");
+  SCWC_REQUIRE(t_out == output_steps(cached_input_.steps()),
+               "Conv1d: backward before forward");
+
+  Sequence dx = cached_input_.zeros_like();
+  linalg::Matrix window(batch, kernel_ * in_ch_);
+  for (std::size_t to = 0; to < t_out; ++to) {
+    const std::size_t t0 = to * stride_;
+    for (std::size_t kk = 0; kk < kernel_; ++kk) {
+      const linalg::Matrix& step = cached_input_[t0 + kk];
+      for (std::size_t r = 0; r < batch; ++r) {
+        const auto src = step.row(r);
+        auto dst = window.row(r);
+        for (std::size_t c = 0; c < in_ch_; ++c) {
+          dst[kk * in_ch_ + c] = src[c];
+        }
+      }
+    }
+    linalg::matmul_at_b_accumulate(window, dout[to], dw_);
+    for (std::size_t r = 0; r < batch; ++r) {
+      const auto row = dout[to].row(r);
+      for (std::size_t c = 0; c < out_ch_; ++c) db_[c] += row[c];
+    }
+    const linalg::Matrix dwin = linalg::matmul_a_bt(dout[to], w_);
+    for (std::size_t kk = 0; kk < kernel_; ++kk) {
+      linalg::Matrix& dstep = dx[t0 + kk];
+      for (std::size_t r = 0; r < batch; ++r) {
+        const auto src = dwin.row(r);
+        auto dst = dstep.row(r);
+        for (std::size_t c = 0; c < in_ch_; ++c) {
+          dst[c] += src[kk * in_ch_ + c];
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+void Conv1d::collect_params(std::vector<ParamRef>& out) {
+  out.push_back(ParamRef{w_.flat(), dw_.flat()});
+  out.push_back(ParamRef{{b_}, {db_}});
+}
+
+Sequence MaxPool1d::forward(const Sequence& x) {
+  SCWC_REQUIRE(pool_ >= 1, "MaxPool1d: bad pool size");
+  input_steps_ = x.steps();
+  batch_ = x.batch();
+  channels_ = x.features();
+  const std::size_t t_out = output_steps(x.steps());
+  SCWC_REQUIRE(t_out >= 1, "MaxPool1d: sequence shorter than the pool");
+
+  Sequence out(t_out, batch_, channels_);
+  argmax_.assign(t_out * batch_ * channels_, 0);
+  for (std::size_t to = 0; to < t_out; ++to) {
+    for (std::size_t r = 0; r < batch_; ++r) {
+      auto dst = out[to].row(r);
+      for (std::size_t c = 0; c < channels_; ++c) {
+        double best = -std::numeric_limits<double>::infinity();
+        std::size_t best_t = to * pool_;
+        for (std::size_t kk = 0; kk < pool_; ++kk) {
+          const double v = x[to * pool_ + kk](r, c);
+          if (v > best) {
+            best = v;
+            best_t = to * pool_ + kk;
+          }
+        }
+        dst[c] = best;
+        argmax_[(to * batch_ + r) * channels_ + c] = best_t;
+      }
+    }
+  }
+  return out;
+}
+
+Sequence MaxPool1d::backward(const Sequence& dout) const {
+  SCWC_REQUIRE(dout.batch() == batch_ && dout.features() == channels_,
+               "MaxPool1d: gradient shape mismatch");
+  Sequence dx(input_steps_, batch_, channels_);
+  const std::size_t t_out = dout.steps();
+  for (std::size_t to = 0; to < t_out; ++to) {
+    for (std::size_t r = 0; r < batch_; ++r) {
+      const auto src = dout[to].row(r);
+      for (std::size_t c = 0; c < channels_; ++c) {
+        const std::size_t t = argmax_[(to * batch_ + r) * channels_ + c];
+        dx[t](r, c) += src[c];
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace scwc::nn

@@ -1,0 +1,64 @@
+// 1-D convolution and max pooling over the time axis.
+//
+// The CNN-LSTM baselines of Section V-B feed the input sequence through two
+// 1-D convolutional layers sandwiching a max-pooling layer before the
+// BiLSTM; the convolution shortens the sequence (valid padding, stride > 1)
+// which is where the paper's ~8× training speed-up comes from.
+#pragma once
+
+#include "nn/param.hpp"
+#include "nn/sequence.hpp"
+
+namespace scwc::nn {
+
+/// Valid-padding 1-D convolution along time: (T,B,C_in) → (T',B,C_out)
+/// with T' = (T - kernel)/stride + 1.
+class Conv1d final : public Parametrized {
+ public:
+  Conv1d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t stride, Rng& rng);
+
+  [[nodiscard]] Sequence forward(const Sequence& x);
+  [[nodiscard]] Sequence backward(const Sequence& dout);
+
+  void collect_params(std::vector<ParamRef>& out) override;
+
+  [[nodiscard]] std::size_t output_steps(std::size_t input_steps) const;
+  [[nodiscard]] std::size_t out_channels() const noexcept { return out_ch_; }
+  [[nodiscard]] std::size_t kernel() const noexcept { return kernel_; }
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+
+ private:
+  std::size_t in_ch_;
+  std::size_t out_ch_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  linalg::Matrix w_;   // (kernel · in_ch) × out_ch
+  linalg::Matrix dw_;
+  linalg::Vector b_;
+  linalg::Vector db_;
+  Sequence cached_input_;
+};
+
+/// Non-overlapping max pooling along time: (T,B,C) → (T/p,B,C). Remainder
+/// steps at the tail are dropped (PyTorch default).
+class MaxPool1d {
+ public:
+  explicit MaxPool1d(std::size_t pool) : pool_(pool) {}
+
+  [[nodiscard]] Sequence forward(const Sequence& x);
+  [[nodiscard]] Sequence backward(const Sequence& dout) const;
+
+  [[nodiscard]] std::size_t output_steps(std::size_t input_steps) const {
+    return input_steps / pool_;
+  }
+
+ private:
+  std::size_t pool_;
+  std::size_t input_steps_ = 0;
+  std::size_t batch_ = 0;
+  std::size_t channels_ = 0;
+  std::vector<std::size_t> argmax_;  // flat (t', b, c) → source step
+};
+
+}  // namespace scwc::nn

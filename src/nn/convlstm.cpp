@@ -1,0 +1,246 @@
+#include "nn/convlstm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/gemm.hpp"
+
+namespace scwc::nn {
+
+namespace {
+double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+ConvLstm1d::ConvLstm1d(std::size_t positions, std::size_t in_channels,
+                       std::size_t hidden_channels, std::size_t kernel,
+                       Rng& rng)
+    : positions_(positions),
+      in_ch_(in_channels),
+      hidden_(hidden_channels),
+      kernel_(kernel),
+      w_(kernel * in_channels, 4 * hidden_channels),
+      u_(kernel * hidden_channels, 4 * hidden_channels),
+      b_(4 * hidden_channels, 0.0),
+      dw_(kernel * in_channels, 4 * hidden_channels),
+      du_(kernel * hidden_channels, 4 * hidden_channels),
+      db_(4 * hidden_channels, 0.0) {
+  SCWC_REQUIRE(kernel % 2 == 1, "ConvLstm1d: kernel must be odd");
+  SCWC_REQUIRE(positions >= 1, "ConvLstm1d: need at least one position");
+  glorot_init(w_.flat(), kernel * in_channels, 4 * hidden_channels, rng);
+  glorot_init(u_.flat(), kernel * hidden_channels, 4 * hidden_channels, rng);
+  for (std::size_t c = 0; c < hidden_; ++c) b_[hidden_ + c] = 1.0;  // forget
+}
+
+linalg::Matrix ConvLstm1d::im2col(const linalg::Matrix& frame,
+                                  std::size_t channels) const {
+  const std::size_t batch = frame.rows();
+  const std::size_t pad = kernel_ / 2;
+  linalg::Matrix col(batch * positions_, kernel_ * channels);
+  for (std::size_t r = 0; r < batch; ++r) {
+    const auto src = frame.row(r);
+    for (std::size_t l = 0; l < positions_; ++l) {
+      auto dst = col.row(r * positions_ + l);
+      for (std::size_t kk = 0; kk < kernel_; ++kk) {
+        const std::ptrdiff_t pos = static_cast<std::ptrdiff_t>(l + kk) -
+                                   static_cast<std::ptrdiff_t>(pad);
+        if (pos < 0 || pos >= static_cast<std::ptrdiff_t>(positions_)) {
+          continue;  // zero padding
+        }
+        for (std::size_t c = 0; c < channels; ++c) {
+          dst[kk * channels + c] =
+              src[static_cast<std::size_t>(pos) * channels + c];
+        }
+      }
+    }
+  }
+  return col;
+}
+
+void ConvLstm1d::col2im(const linalg::Matrix& dcol, std::size_t channels,
+                        linalg::Matrix& dframe) const {
+  const std::size_t batch = dframe.rows();
+  const std::size_t pad = kernel_ / 2;
+  for (std::size_t r = 0; r < batch; ++r) {
+    auto dst = dframe.row(r);
+    for (std::size_t l = 0; l < positions_; ++l) {
+      const auto src = dcol.row(r * positions_ + l);
+      for (std::size_t kk = 0; kk < kernel_; ++kk) {
+        const std::ptrdiff_t pos = static_cast<std::ptrdiff_t>(l + kk) -
+                                   static_cast<std::ptrdiff_t>(pad);
+        if (pos < 0 || pos >= static_cast<std::ptrdiff_t>(positions_)) {
+          continue;
+        }
+        for (std::size_t c = 0; c < channels; ++c) {
+          dst[static_cast<std::size_t>(pos) * channels + c] +=
+              src[kk * channels + c];
+        }
+      }
+    }
+  }
+}
+
+Sequence ConvLstm1d::forward(const Sequence& x) {
+  SCWC_REQUIRE(x.features() == positions_ * in_ch_,
+               "ConvLstm1d: frame width mismatch");
+  const std::size_t steps = x.steps();
+  const std::size_t batch = x.batch();
+  const std::size_t rows = batch * positions_;
+
+  cached_input_ = x;
+  gates_.assign(steps, linalg::Matrix());
+  cells_.assign(steps, linalg::Matrix(rows, hidden_));
+  hiddens_.assign(steps, linalg::Matrix(batch, positions_ * hidden_));
+
+  Sequence out(steps, batch, positions_ * hidden_);
+  linalg::Matrix h_prev(batch, positions_ * hidden_);
+  linalg::Matrix c_prev(rows, hidden_);
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    // Fused pre-activations via two convolutions (as GEMMs over columns).
+    linalg::Matrix z = linalg::matmul(im2col(x[t], in_ch_), w_);
+    linalg::matmul_accumulate(im2col(h_prev, hidden_), u_, z);
+
+    linalg::Matrix& c_t = cells_[t];
+    linalg::Matrix& h_frame = hiddens_[t];
+    for (std::size_t row = 0; row < rows; ++row) {
+      auto zr = z.row(row);
+      const auto cp = c_prev.row(row);
+      auto cr = c_t.row(row);
+      const std::size_t b_idx = row / positions_;
+      const std::size_t l_idx = row % positions_;
+      auto hr = h_frame.row(b_idx);
+      for (std::size_t c = 0; c < hidden_; ++c) {
+        const double gi = sigmoid(zr[c] + b_[c]);
+        const double gf = sigmoid(zr[hidden_ + c] + b_[hidden_ + c]);
+        const double gg = std::tanh(zr[2 * hidden_ + c] + b_[2 * hidden_ + c]);
+        const double go = sigmoid(zr[3 * hidden_ + c] + b_[3 * hidden_ + c]);
+        zr[c] = gi;
+        zr[hidden_ + c] = gf;
+        zr[2 * hidden_ + c] = gg;
+        zr[3 * hidden_ + c] = go;
+        cr[c] = gf * cp[c] + gi * gg;
+        hr[l_idx * hidden_ + c] = go * std::tanh(cr[c]);
+      }
+    }
+    gates_[t] = std::move(z);
+    out[t] = h_frame;
+    h_prev = h_frame;
+    c_prev = c_t;
+  }
+  return out;
+}
+
+Sequence ConvLstm1d::backward(const Sequence& dout) {
+  const std::size_t steps = cached_input_.steps();
+  const std::size_t batch = cached_input_.batch();
+  const std::size_t rows = batch * positions_;
+  SCWC_REQUIRE(dout.steps() == steps && dout.batch() == batch,
+               "ConvLstm1d: gradient shape mismatch");
+  SCWC_REQUIRE(dout.features() == positions_ * hidden_,
+               "ConvLstm1d: gradient width mismatch");
+
+  Sequence dx(steps, batch, positions_ * in_ch_);
+  linalg::Matrix dh_frame(batch, positions_ * hidden_);  // from step t+1
+  linalg::Matrix dc(rows, hidden_);
+  linalg::Matrix dz(rows, 4 * hidden_);
+
+  for (std::size_t t = steps; t-- > 0;) {
+    const linalg::Matrix& gates = gates_[t];
+    const linalg::Matrix& c_t = cells_[t];
+    const linalg::Matrix* c_prev = t > 0 ? &cells_[t - 1] : nullptr;
+    const linalg::Matrix* h_prev = t > 0 ? &hiddens_[t - 1] : nullptr;
+
+    for (std::size_t row = 0; row < rows; ++row) {
+      const auto g = gates.row(row);
+      const auto c = c_t.row(row);
+      const std::size_t b_idx = row / positions_;
+      const std::size_t l_idx = row % positions_;
+      const auto dout_row = dout[t].row(b_idx);
+      const auto dh_row = dh_frame.row(b_idx);
+      auto dcr = dc.row(row);
+      auto zr = dz.row(row);
+      for (std::size_t ch = 0; ch < hidden_; ++ch) {
+        const double gi = g[ch];
+        const double gf = g[hidden_ + ch];
+        const double gg = g[2 * hidden_ + ch];
+        const double go = g[3 * hidden_ + ch];
+        const double tc = std::tanh(c[ch]);
+        const double dht =
+            dout_row[l_idx * hidden_ + ch] + dh_row[l_idx * hidden_ + ch];
+        const double dct = dcr[ch] + dht * go * (1.0 - tc * tc);
+        const double cprev = c_prev != nullptr ? (*c_prev)(row, ch) : 0.0;
+
+        zr[ch] = dct * gg * gi * (1.0 - gi);
+        zr[hidden_ + ch] = dct * cprev * gf * (1.0 - gf);
+        zr[2 * hidden_ + ch] = dct * gi * (1.0 - gg * gg);
+        zr[3 * hidden_ + ch] = dht * tc * go * (1.0 - go);
+        dcr[ch] = dct * gf;
+      }
+    }
+
+    // Parameter gradients.
+    linalg::matmul_at_b_accumulate(im2col(cached_input_[t], in_ch_), dz, dw_);
+    if (h_prev != nullptr) {
+      linalg::matmul_at_b_accumulate(im2col(*h_prev, hidden_), dz, du_);
+    }
+    for (std::size_t row = 0; row < rows; ++row) {
+      const auto zr = dz.row(row);
+      for (std::size_t c = 0; c < 4 * hidden_; ++c) db_[c] += zr[c];
+    }
+
+    // Upstream gradients through both convolutions.
+    const linalg::Matrix dcol_x = linalg::matmul_a_bt(dz, w_);
+    col2im(dcol_x, in_ch_, dx[t]);
+    dh_frame.fill(0.0);
+    const linalg::Matrix dcol_h = linalg::matmul_a_bt(dz, u_);
+    col2im(dcol_h, hidden_, dh_frame);
+  }
+  return dx;
+}
+
+void ConvLstm1d::collect_params(std::vector<ParamRef>& out) {
+  out.push_back(ParamRef{w_.flat(), dw_.flat()});
+  out.push_back(ParamRef{u_.flat(), du_.flat()});
+  out.push_back(ParamRef{{b_}, {db_}});
+}
+
+ConvLstmClassifier::ConvLstmClassifier(const Config& config)
+    : config_(config) {
+  Rng rng(config.seed);
+  convlstm_ = std::make_unique<ConvLstm1d>(
+      config.positions, /*in_channels=*/1, config.hidden_channels,
+      config.kernel, rng);
+  dropout_ = std::make_unique<Dropout>(config.dropout, rng.next_u64());
+  head_ = std::make_unique<Dense>(config.positions * config.hidden_channels,
+                                  config.num_classes, rng);
+}
+
+linalg::Matrix ConvLstmClassifier::forward(const Sequence& x, bool train) {
+  SCWC_REQUIRE(x.features() == config_.positions,
+               "ConvLstmClassifier: expects one channel per sensor");
+  last_batch_ = x.batch();
+  last_steps_ = x.steps();
+  const Sequence h = convlstm_->forward(x);
+
+  // Head reads the full final hidden state (positions kept distinct —
+  // which sensor lit up matters for workload identity).
+  const linalg::Matrix dropped =
+      dropout_->forward(h[h.steps() - 1], train);
+  return head_->forward(dropped);
+}
+
+void ConvLstmClassifier::backward(const linalg::Matrix& dlogits) {
+  const linalg::Matrix dfinal =
+      dropout_->backward(head_->backward(dlogits));
+  Sequence dh(last_steps_, last_batch_,
+              config_.positions * config_.hidden_channels);
+  dh[last_steps_ - 1] = dfinal;
+  (void)convlstm_->backward(dh);
+}
+
+void ConvLstmClassifier::collect_params(std::vector<ParamRef>& out) {
+  convlstm_->collect_params(out);
+  head_->collect_params(out);
+}
+
+}  // namespace scwc::nn

@@ -1,0 +1,111 @@
+// ConvLSTM — the paper's "future work" architecture (§VI).
+//
+// "we believe that the ConvLSTM architecture is promising in its ability
+//  to capture convolutional features in both the input-to-state and
+//  state-to-state domains" (Shi et al., NeurIPS 2015).
+//
+// This is the 1-D instantiation for multivariate telemetry: the sensor
+// axis plays the role of space. At every time step the four gates are
+// computed by same-padded 1-D convolutions over the sensor axis applied to
+// both the input frame and the previous hidden state, so the recurrence
+// itself is convolutional:
+//
+//   Z_t = Conv_k(X_t; W) + Conv_k(H_{t-1}; U) + b          (per position)
+//   i,f,o = sigmoid(Z…), g = tanh(Z_g)
+//   C_t = f ⊙ C_{t-1} + i ⊙ g,   H_t = o ⊙ tanh(C_t)
+//
+// State tensors are (batch, positions, channels), stored as
+// (batch·positions) × channels matrices so every step is two GEMMs after
+// an im2col gather, exactly like the dense LSTM.
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.hpp"
+#include "nn/param.hpp"
+#include "nn/sequence.hpp"
+
+namespace scwc::nn {
+
+/// One-dimensional ConvLSTM layer.
+///
+/// Input sequence steps are (batch × positions·in_channels) matrices
+/// (position-major); outputs are (batch × positions·hidden_channels).
+class ConvLstm1d final : public Parametrized {
+ public:
+  /// `positions` is the spatial length (e.g. 7 sensors), `kernel` the
+  /// odd-sized convolution width over that axis.
+  ConvLstm1d(std::size_t positions, std::size_t in_channels,
+             std::size_t hidden_channels, std::size_t kernel, Rng& rng);
+
+  [[nodiscard]] Sequence forward(const Sequence& x);
+  [[nodiscard]] Sequence backward(const Sequence& dout);
+
+  void collect_params(std::vector<ParamRef>& out) override;
+
+  [[nodiscard]] std::size_t positions() const noexcept { return positions_; }
+  [[nodiscard]] std::size_t hidden_channels() const noexcept {
+    return hidden_;
+  }
+
+ private:
+  /// Gathers the same-padded k-neighbourhood of every position:
+  /// (batch × positions·channels) → (batch·positions × kernel·channels).
+  [[nodiscard]] linalg::Matrix im2col(const linalg::Matrix& frame,
+                                      std::size_t channels) const;
+  /// Transpose of im2col: scatter-adds column gradients back to frames.
+  void col2im(const linalg::Matrix& dcol, std::size_t channels,
+              linalg::Matrix& dframe) const;
+
+  std::size_t positions_;
+  std::size_t in_ch_;
+  std::size_t hidden_;
+  std::size_t kernel_;
+
+  linalg::Matrix w_;   // (kernel·in_ch) × 4·hidden
+  linalg::Matrix u_;   // (kernel·hidden) × 4·hidden
+  linalg::Vector b_;   // 4·hidden
+  linalg::Matrix dw_;
+  linalg::Matrix du_;
+  linalg::Vector db_;
+
+  Sequence cached_input_;
+  std::vector<linalg::Matrix> gates_;    // (B·L × 4C) post-activation
+  std::vector<linalg::Matrix> cells_;    // (B·L × C)
+  std::vector<linalg::Matrix> hiddens_;  // (B × L·C) frame layout
+};
+
+/// ConvLSTM workload classifier: ConvLSTM1d over the sensor axis, global
+/// average of the final hidden state over positions, dropout, and a linear
+/// head — the §VI candidate, runnable against Table VI's baselines.
+class ConvLstmClassifier final : public Parametrized {
+ public:
+  struct Config {
+    std::size_t positions = 7;        ///< sensors
+    std::size_t seq_len = 540;
+    std::size_t hidden_channels = 16;
+    std::size_t kernel = 3;
+    std::size_t num_classes = 26;
+    double dropout = 0.5;
+    std::uint64_t seed = 31415;
+  };
+
+  explicit ConvLstmClassifier(const Config& config);
+
+  [[nodiscard]] linalg::Matrix forward(const Sequence& x, bool train);
+  void backward(const linalg::Matrix& dlogits);
+  void collect_params(std::vector<ParamRef>& out) override;
+
+  [[nodiscard]] std::string display_name() const { return "ConvLSTM"; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  std::unique_ptr<ConvLstm1d> convlstm_;
+  std::unique_ptr<Dropout> dropout_;
+  std::unique_ptr<Dense> head_;
+  std::size_t last_batch_ = 0;
+  std::size_t last_steps_ = 0;
+};
+
+}  // namespace scwc::nn

@@ -1,0 +1,103 @@
+#include "nn/layers.hpp"
+
+#include "common/error.hpp"
+#include "linalg/gemm.hpp"
+
+namespace scwc::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      w_(in_features, out_features),
+      dw_(in_features, out_features),
+      b_(out_features, 0.0),
+      db_(out_features, 0.0) {
+  glorot_init(w_.flat(), in_features, out_features, rng);
+}
+
+linalg::Matrix Dense::forward(const linalg::Matrix& x) {
+  SCWC_REQUIRE(x.cols() == in_, "Dense: input width mismatch");
+  cached_input_ = x;
+  linalg::Matrix y = linalg::matmul(x, w_);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    auto row = y.row(r);
+    for (std::size_t c = 0; c < out_; ++c) row[c] += b_[c];
+  }
+  return y;
+}
+
+linalg::Matrix Dense::backward(const linalg::Matrix& dout) {
+  SCWC_REQUIRE(dout.cols() == out_, "Dense: gradient width mismatch");
+  SCWC_REQUIRE(dout.rows() == cached_input_.rows(),
+               "Dense: backward before forward");
+  linalg::matmul_at_b_accumulate(cached_input_, dout, dw_);
+  for (std::size_t r = 0; r < dout.rows(); ++r) {
+    const auto row = dout.row(r);
+    for (std::size_t c = 0; c < out_; ++c) db_[c] += row[c];
+  }
+  return linalg::matmul_a_bt(dout, w_);
+}
+
+void Dense::collect_params(std::vector<ParamRef>& out) {
+  out.push_back(ParamRef{w_.flat(), dw_.flat()});
+  out.push_back(ParamRef{{b_}, {db_}});
+}
+
+linalg::Matrix Dropout::forward(const linalg::Matrix& x, bool train) {
+  if (!train || p_ <= 0.0) {
+    mask_ = linalg::Matrix();
+    return x;
+  }
+  mask_ = linalg::Matrix(x.rows(), x.cols());
+  linalg::Matrix y(x.rows(), x.cols());
+  const double keep = 1.0 - p_;
+  const double scale = 1.0 / keep;
+  auto m = mask_.flat();
+  auto src = x.flat();
+  auto dst = y.flat();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const double keep_it = rng_.bernoulli(keep) ? scale : 0.0;
+    m[i] = keep_it;
+    dst[i] = src[i] * keep_it;
+  }
+  return y;
+}
+
+linalg::Matrix Dropout::backward(const linalg::Matrix& dout) const {
+  if (mask_.empty()) return dout;
+  SCWC_REQUIRE(mask_.rows() == dout.rows() && mask_.cols() == dout.cols(),
+               "Dropout: gradient shape mismatch");
+  linalg::Matrix din(dout.rows(), dout.cols());
+  auto m = mask_.flat();
+  auto src = dout.flat();
+  auto dst = din.flat();
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i] * m[i];
+  return din;
+}
+
+linalg::Matrix LeakyRelu::forward(const linalg::Matrix& x) {
+  cached_input_ = x;
+  linalg::Matrix y(x.rows(), x.cols());
+  auto src = x.flat();
+  auto dst = y.flat();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = src[i] > 0.0 ? src[i] : slope_ * src[i];
+  }
+  return y;
+}
+
+linalg::Matrix LeakyRelu::backward(const linalg::Matrix& dout) const {
+  SCWC_REQUIRE(dout.rows() == cached_input_.rows() &&
+                   dout.cols() == cached_input_.cols(),
+               "LeakyRelu: backward before forward");
+  linalg::Matrix din(dout.rows(), dout.cols());
+  auto x = cached_input_.flat();
+  auto src = dout.flat();
+  auto dst = din.flat();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = x[i] > 0.0 ? src[i] : slope_ * src[i];
+  }
+  return din;
+}
+
+}  // namespace scwc::nn

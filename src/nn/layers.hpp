@@ -1,0 +1,72 @@
+// Feed-forward layers: Dense, Dropout, LeakyReLU.
+//
+// Layers are explicit forward/backward pairs (no tape): forward() caches
+// whatever the matching backward() needs, so each layer instance serves one
+// position in one model. This is the standard formulation for small,
+// fixed-architecture training loops and keeps the math auditable.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+#include "nn/param.hpp"
+
+namespace scwc::nn {
+
+/// Fully-connected layer: y = xW + b, x is (batch × in), W (in × out).
+class Dense final : public Parametrized {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  [[nodiscard]] linalg::Matrix forward(const linalg::Matrix& x);
+  /// Returns dL/dx; accumulates dL/dW, dL/db into the gradient buffers.
+  [[nodiscard]] linalg::Matrix backward(const linalg::Matrix& dout);
+
+  void collect_params(std::vector<ParamRef>& out) override;
+
+  [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
+  [[nodiscard]] std::size_t out_features() const noexcept { return out_; }
+  [[nodiscard]] linalg::Matrix& weight() noexcept { return w_; }
+  [[nodiscard]] linalg::Vector& bias() noexcept { return b_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  linalg::Matrix w_;
+  linalg::Matrix dw_;
+  linalg::Vector b_;
+  linalg::Vector db_;
+  linalg::Matrix cached_input_;
+};
+
+/// Inverted dropout: scales kept activations by 1/(1-p) at train time so
+/// eval-time forward is the identity.
+class Dropout {
+ public:
+  Dropout(double p, std::uint64_t seed) : p_(p), rng_(seed) {}
+
+  [[nodiscard]] linalg::Matrix forward(const linalg::Matrix& x, bool train);
+  [[nodiscard]] linalg::Matrix backward(const linalg::Matrix& dout) const;
+
+  [[nodiscard]] double probability() const noexcept { return p_; }
+
+ private:
+  double p_;
+  Rng rng_;
+  linalg::Matrix mask_;
+};
+
+/// Leaky rectified linear unit with fixed negative slope (paper's default).
+class LeakyRelu {
+ public:
+  explicit LeakyRelu(double negative_slope = 0.01) : slope_(negative_slope) {}
+
+  [[nodiscard]] linalg::Matrix forward(const linalg::Matrix& x);
+  [[nodiscard]] linalg::Matrix backward(const linalg::Matrix& dout) const;
+
+ private:
+  double slope_;
+  linalg::Matrix cached_input_;
+};
+
+}  // namespace scwc::nn

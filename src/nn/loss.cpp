@@ -1,0 +1,75 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace scwc::nn {
+
+linalg::Matrix log_softmax(const linalg::Matrix& logits) {
+  linalg::Matrix out(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const auto src = logits.row(r);
+    auto dst = out.row(r);
+    double max_v = src[0];
+    for (const double v : src) max_v = std::max(max_v, v);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < src.size(); ++c) {
+      sum += std::exp(src[c] - max_v);
+    }
+    const double log_sum = std::log(sum) + max_v;
+    for (std::size_t c = 0; c < src.size(); ++c) {
+      dst[c] = src[c] - log_sum;
+    }
+  }
+  return out;
+}
+
+LossResult softmax_nll(const linalg::Matrix& logits,
+                       std::span<const int> targets) {
+  SCWC_REQUIRE(logits.rows() == targets.size(),
+               "softmax_nll: batch size mismatch");
+  SCWC_REQUIRE(logits.rows() > 0, "softmax_nll: empty batch");
+  const std::size_t batch = logits.rows();
+  const std::size_t classes = logits.cols();
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+
+  LossResult res;
+  res.dlogits = linalg::Matrix(batch, classes);
+  res.predictions.resize(batch);
+
+  for (std::size_t r = 0; r < batch; ++r) {
+    const auto src = logits.row(r);
+    auto grad = res.dlogits.row(r);
+    const int target = targets[r];
+    SCWC_REQUIRE(target >= 0 && static_cast<std::size_t>(target) < classes,
+                 "softmax_nll: target out of range");
+
+    double max_v = src[0];
+    std::size_t argmax = 0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      if (src[c] > max_v) {
+        max_v = src[c];
+        argmax = c;
+      }
+    }
+    res.predictions[r] = static_cast<int>(argmax);
+
+    double sum = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      sum += std::exp(src[c] - max_v);
+    }
+    const double log_sum = std::log(sum) + max_v;
+    res.loss += (log_sum - src[static_cast<std::size_t>(target)]) * inv_batch;
+
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double p = std::exp(src[c] - log_sum);
+      grad[c] = (p - (c == static_cast<std::size_t>(target) ? 1.0 : 0.0)) *
+                inv_batch;
+    }
+  }
+  return res;
+}
+
+}  // namespace scwc::nn

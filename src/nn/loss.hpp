@@ -1,0 +1,29 @@
+// Log-softmax + negative log-likelihood, fused.
+//
+// The paper's head "appl[ies] a log-softmax transform on the output vector
+// … [and] take[s] the negative log-likelihood loss"; fusing the two gives
+// the numerically stable logits gradient (softmax(x) - onehot(y)) / batch.
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace scwc::nn {
+
+/// Result of a loss evaluation.
+struct LossResult {
+  double loss = 0.0;             ///< mean NLL over the batch
+  linalg::Matrix dlogits;        ///< gradient w.r.t. the raw logits
+  std::vector<int> predictions;  ///< argmax class per row
+};
+
+/// Computes mean NLL of log-softmax(logits) against `targets`, plus the
+/// gradient and hard predictions in one pass.
+LossResult softmax_nll(const linalg::Matrix& logits,
+                       std::span<const int> targets);
+
+/// Log-softmax of each row (exposed for tests and inference probing).
+linalg::Matrix log_softmax(const linalg::Matrix& logits);
+
+}  // namespace scwc::nn

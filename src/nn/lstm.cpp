@@ -1,0 +1,197 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/gemm.hpp"
+
+namespace scwc::nn {
+
+namespace {
+double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+LstmLayer::LstmLayer(std::size_t input_size, std::size_t hidden_size,
+                     bool reverse, Rng& rng)
+    : input_(input_size),
+      hidden_(hidden_size),
+      reverse_(reverse),
+      w_(input_size, 4 * hidden_size),
+      u_(hidden_size, 4 * hidden_size),
+      b_(4 * hidden_size, 0.0),
+      dw_(input_size, 4 * hidden_size),
+      du_(hidden_size, 4 * hidden_size),
+      db_(4 * hidden_size, 0.0) {
+  glorot_init(w_.flat(), input_size, 4 * hidden_size, rng);
+  glorot_init(u_.flat(), hidden_size, 4 * hidden_size, rng);
+  // Standard trick: positive forget-gate bias stabilises early training.
+  for (std::size_t h = 0; h < hidden_; ++h) b_[hidden_ + h] = 1.0;
+}
+
+void LstmLayer::step_forward(const linalg::Matrix& x_t,
+                             const linalg::Matrix& h_prev,
+                             const linalg::Matrix& c_prev,
+                             linalg::Matrix& gates, linalg::Matrix& c_t,
+                             linalg::Matrix& h_t) const {
+  // Fused pre-activations: Z = x_t W + h_prev U + b, columns [i f g o].
+  gates = linalg::matmul(x_t, w_);
+  linalg::matmul_accumulate(h_prev, u_, gates);
+  const std::size_t batch = x_t.rows();
+  for (std::size_t r = 0; r < batch; ++r) {
+    auto z = gates.row(r);
+    const auto cp = c_prev.row(r);
+    auto c = c_t.row(r);
+    auto h = h_t.row(r);
+    for (std::size_t k = 0; k < hidden_; ++k) {
+      const double zi = z[k] + b_[k];
+      const double zf = z[hidden_ + k] + b_[hidden_ + k];
+      const double zg = z[2 * hidden_ + k] + b_[2 * hidden_ + k];
+      const double zo = z[3 * hidden_ + k] + b_[3 * hidden_ + k];
+      const double gi = sigmoid(zi);
+      const double gf = sigmoid(zf);
+      const double gg = std::tanh(zg);
+      const double go = sigmoid(zo);
+      z[k] = gi;
+      z[hidden_ + k] = gf;
+      z[2 * hidden_ + k] = gg;
+      z[3 * hidden_ + k] = go;
+      c[k] = gf * cp[k] + gi * gg;
+      h[k] = go * std::tanh(c[k]);
+    }
+  }
+}
+
+Sequence LstmLayer::forward(const Sequence& x) {
+  SCWC_REQUIRE(x.features() == input_, "LstmLayer: input width mismatch");
+  const std::size_t steps = x.steps();
+  const std::size_t batch = x.batch();
+
+  cached_input_ = x;
+  gates_.assign(steps, linalg::Matrix());
+  cells_.assign(steps, linalg::Matrix(batch, hidden_));
+  hiddens_.assign(steps, linalg::Matrix(batch, hidden_));
+
+  Sequence out(steps, batch, hidden_);
+  linalg::Matrix h_prev(batch, hidden_);
+  linalg::Matrix c_prev(batch, hidden_);
+
+  for (std::size_t p = 0; p < steps; ++p) {
+    const std::size_t t = reverse_ ? steps - 1 - p : p;
+    step_forward(x[t], h_prev, c_prev, gates_[p], cells_[p], hiddens_[p]);
+    out[t] = hiddens_[p];
+    h_prev = hiddens_[p];
+    c_prev = cells_[p];
+  }
+  return out;
+}
+
+Sequence LstmLayer::backward(const Sequence& dout) {
+  const std::size_t steps = cached_input_.steps();
+  const std::size_t batch = cached_input_.batch();
+  SCWC_REQUIRE(dout.steps() == steps && dout.batch() == batch,
+               "LstmLayer: gradient shape mismatch");
+  SCWC_REQUIRE(dout.features() == hidden_,
+               "LstmLayer: gradient width mismatch");
+
+  Sequence dx(steps, batch, input_);
+  linalg::Matrix dh_next(batch, hidden_);  // dL/dh flowing from step p+1
+  linalg::Matrix dc_next(batch, hidden_);
+  linalg::Matrix dz(batch, 4 * hidden_);   // pre-activation gradient
+
+  for (std::size_t p = steps; p-- > 0;) {
+    const std::size_t t = reverse_ ? steps - 1 - p : p;
+    const linalg::Matrix& gates = gates_[p];
+    const linalg::Matrix& c_t = cells_[p];
+    // h_{p-1}, c_{p-1} in processing order (zeros at p == 0).
+    const linalg::Matrix* h_prev = p > 0 ? &hiddens_[p - 1] : nullptr;
+    const linalg::Matrix* c_prev = p > 0 ? &cells_[p - 1] : nullptr;
+
+    for (std::size_t r = 0; r < batch; ++r) {
+      const auto g = gates.row(r);
+      const auto c = c_t.row(r);
+      const auto dout_row = dout[t].row(r);
+      auto dh = dh_next.row(r);
+      auto dc = dc_next.row(r);
+      auto z = dz.row(r);
+      for (std::size_t k = 0; k < hidden_; ++k) {
+        const double gi = g[k];
+        const double gf = g[hidden_ + k];
+        const double gg = g[2 * hidden_ + k];
+        const double go = g[3 * hidden_ + k];
+        const double tc = std::tanh(c[k]);
+        const double dht = dout_row[k] + dh[k];
+        const double dct = dc[k] + dht * go * (1.0 - tc * tc);
+        const double cprev = c_prev != nullptr ? (*c_prev)(r, k) : 0.0;
+
+        z[k] = dct * gg * gi * (1.0 - gi);                 // d zi
+        z[hidden_ + k] = dct * cprev * gf * (1.0 - gf);    // d zf
+        z[2 * hidden_ + k] = dct * gi * (1.0 - gg * gg);   // d zg
+        z[3 * hidden_ + k] = dht * tc * go * (1.0 - go);   // d zo
+
+        dc[k] = dct * gf;        // flows to step p-1
+        dh[k] = 0.0;             // recomputed below via U
+      }
+    }
+
+    // Parameter gradients and upstream propagation.
+    linalg::matmul_at_b_accumulate(cached_input_[t], dz, dw_);
+    if (h_prev != nullptr) {
+      linalg::matmul_at_b_accumulate(*h_prev, dz, du_);
+    }
+    for (std::size_t r = 0; r < batch; ++r) {
+      const auto z = dz.row(r);
+      for (std::size_t k = 0; k < 4 * hidden_; ++k) db_[k] += z[k];
+    }
+    dx[t] = linalg::matmul_a_bt(dz, w_);
+    dh_next = linalg::matmul_a_bt(dz, u_);
+  }
+  return dx;
+}
+
+void LstmLayer::collect_params(std::vector<ParamRef>& out) {
+  out.push_back(ParamRef{w_.flat(), dw_.flat()});
+  out.push_back(ParamRef{u_.flat(), du_.flat()});
+  out.push_back(ParamRef{{b_}, {db_}});
+}
+
+BiLstm::BiLstm(std::size_t input_size, std::size_t hidden_size, Rng& rng)
+    : forward_(input_size, hidden_size, /*reverse=*/false, rng),
+      backward_(input_size, hidden_size, /*reverse=*/true, rng) {}
+
+Sequence BiLstm::forward(const Sequence& x) {
+  const Sequence fwd = forward_.forward(x);
+  const Sequence bwd = backward_.forward(x);
+  return Sequence::concat_features(fwd, bwd);
+}
+
+Sequence BiLstm::backward(const Sequence& dout) {
+  const std::size_t h = forward_.hidden_size();
+  const std::size_t steps = dout.steps();
+  const std::size_t batch = dout.batch();
+  SCWC_REQUIRE(dout.features() == 2 * h, "BiLstm: gradient width mismatch");
+
+  Sequence dfwd(steps, batch, h);
+  Sequence dbwd(steps, batch, h);
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (std::size_t r = 0; r < batch; ++r) {
+      const auto src = dout[t].row(r);
+      auto a = dfwd[t].row(r);
+      auto b = dbwd[t].row(r);
+      for (std::size_t k = 0; k < h; ++k) {
+        a[k] = src[k];
+        b[k] = src[h + k];
+      }
+    }
+  }
+  Sequence dx = forward_.backward(dfwd);
+  const Sequence dx2 = backward_.backward(dbwd);
+  for (std::size_t t = 0; t < steps; ++t) dx[t] += dx2[t];
+  return dx;
+}
+
+void BiLstm::collect_params(std::vector<ParamRef>& out) {
+  forward_.collect_params(out);
+  backward_.collect_params(out);
+}
+
+}  // namespace scwc::nn

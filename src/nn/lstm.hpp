@@ -1,0 +1,78 @@
+// Long Short-Term Memory layers with full backpropagation through time.
+//
+// LstmLayer is a single direction (optionally processing the sequence in
+// reverse); BiLstm pairs two of them and concatenates their per-step
+// outputs, exactly the "bidirectional LSTM" of Section V-A. The step
+// arithmetic is batched: each timestep is two GEMMs (input and recurrent)
+// over the whole minibatch.
+#pragma once
+
+#include "nn/param.hpp"
+#include "nn/sequence.hpp"
+
+namespace scwc::nn {
+
+/// One LSTM direction. Gate layout in the fused buffers is [i | f | g | o].
+class LstmLayer final : public Parametrized {
+ public:
+  /// `reverse` processes steps T-1..0 (the "backward" half of a BiLSTM);
+  /// outputs are stored at their original time indices either way.
+  LstmLayer(std::size_t input_size, std::size_t hidden_size, bool reverse,
+            Rng& rng);
+
+  /// Full-sequence forward; returns h_t per step (batch × hidden each).
+  [[nodiscard]] Sequence forward(const Sequence& x);
+
+  /// BPTT; `dout[t]` is dL/dh_t. Returns dL/dx and accumulates weight grads.
+  [[nodiscard]] Sequence backward(const Sequence& dout);
+
+  void collect_params(std::vector<ParamRef>& out) override;
+
+  [[nodiscard]] std::size_t hidden_size() const noexcept { return hidden_; }
+  [[nodiscard]] std::size_t input_size() const noexcept { return input_; }
+  [[nodiscard]] bool is_reverse() const noexcept { return reverse_; }
+
+ private:
+  void step_forward(const linalg::Matrix& x_t, const linalg::Matrix& h_prev,
+                    const linalg::Matrix& c_prev, linalg::Matrix& gates,
+                    linalg::Matrix& c_t, linalg::Matrix& h_t) const;
+
+  std::size_t input_;
+  std::size_t hidden_;
+  bool reverse_;
+
+  linalg::Matrix w_;   // input weights  (input × 4H)
+  linalg::Matrix u_;   // recurrent weights (hidden × 4H)
+  linalg::Vector b_;   // bias (4H), forget gate initialised to 1
+  linalg::Matrix dw_;
+  linalg::Matrix du_;
+  linalg::Vector db_;
+
+  // Caches for BPTT (indexed in processing order).
+  Sequence cached_input_;
+  std::vector<linalg::Matrix> gates_;   // post-activation [i f g o]
+  std::vector<linalg::Matrix> cells_;   // c_t
+  std::vector<linalg::Matrix> hiddens_; // h_t
+};
+
+/// Bidirectional LSTM: concatenation of a forward and a reverse LstmLayer.
+class BiLstm final : public Parametrized {
+ public:
+  BiLstm(std::size_t input_size, std::size_t hidden_size, Rng& rng);
+
+  /// (T × B × input) → (T × B × 2·hidden).
+  [[nodiscard]] Sequence forward(const Sequence& x);
+  [[nodiscard]] Sequence backward(const Sequence& dout);
+
+  void collect_params(std::vector<ParamRef>& out) override;
+
+  [[nodiscard]] std::size_t hidden_size() const noexcept {
+    return forward_.hidden_size();
+  }
+
+ private:
+  LstmLayer forward_;
+  LstmLayer backward_;
+};
+
+}  // namespace scwc::nn

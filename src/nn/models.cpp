@@ -1,0 +1,220 @@
+#include "nn/models.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace scwc::nn {
+
+Sequence SequenceDropout::forward(const Sequence& x, bool train) {
+  if (!train || p_ <= 0.0) {
+    masks_.clear();
+    return x;
+  }
+  const double keep = 1.0 - p_;
+  const double scale = 1.0 / keep;
+  masks_.assign(x.steps(), linalg::Matrix());
+  Sequence out(x.steps(), x.batch(), x.features());
+  for (std::size_t t = 0; t < x.steps(); ++t) {
+    masks_[t] = linalg::Matrix(x.batch(), x.features());
+    auto m = masks_[t].flat();
+    const auto src = x[t].flat();
+    auto dst = out[t].flat();
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      const double keep_it = rng_.bernoulli(keep) ? scale : 0.0;
+      m[i] = keep_it;
+      dst[i] = src[i] * keep_it;
+    }
+  }
+  return out;
+}
+
+Sequence SequenceDropout::backward(const Sequence& dout) const {
+  if (masks_.empty()) return dout;
+  Sequence din(dout.steps(), dout.batch(), dout.features());
+  for (std::size_t t = 0; t < dout.steps(); ++t) {
+    const auto m = masks_[t].flat();
+    const auto src = dout[t].flat();
+    auto dst = din[t].flat();
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i] * m[i];
+  }
+  return din;
+}
+
+Sequence SequenceLeakyRelu::forward(const Sequence& x) {
+  cached_input_ = x;
+  Sequence out(x.steps(), x.batch(), x.features());
+  for (std::size_t t = 0; t < x.steps(); ++t) {
+    const auto src = x[t].flat();
+    auto dst = out[t].flat();
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      dst[i] = src[i] > 0.0 ? src[i] : slope_ * src[i];
+    }
+  }
+  return out;
+}
+
+Sequence SequenceLeakyRelu::backward(const Sequence& dout) const {
+  Sequence din(dout.steps(), dout.batch(), dout.features());
+  for (std::size_t t = 0; t < dout.steps(); ++t) {
+    const auto x = cached_input_[t].flat();
+    const auto src = dout[t].flat();
+    auto dst = din[t].flat();
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      dst[i] = x[i] > 0.0 ? src[i] : slope_ * src[i];
+    }
+  }
+  return din;
+}
+
+SequenceClassifier::SequenceClassifier(const RnnModelConfig& config)
+    : config_(config) {
+  SCWC_REQUIRE(config.lstm_layers >= 1 && config.lstm_layers <= 4,
+               "SequenceClassifier: 1..4 LSTM layers supported");
+  Rng rng(config.seed);
+
+  std::size_t steps = config.seq_len;
+  std::size_t features = config.input_features;
+
+  if (config.use_cnn) {
+    conv1_ = std::make_unique<Conv1d>(features, config.conv_channels,
+                                      config.conv1_kernel, config.conv1_stride,
+                                      rng);
+    conv1_act_ = std::make_unique<SequenceLeakyRelu>();
+    steps = conv1_->output_steps(steps);
+    pool_ = std::make_unique<MaxPool1d>(config.pool);
+    steps = pool_->output_steps(steps);
+    conv2_ = std::make_unique<Conv1d>(config.conv_channels,
+                                      config.conv_channels,
+                                      config.conv2_kernel, config.conv2_stride,
+                                      rng);
+    conv2_act_ = std::make_unique<SequenceLeakyRelu>();
+    steps = conv2_->output_steps(steps);
+    features = config.conv_channels;
+  }
+  lstm_steps_ = steps;
+  SCWC_REQUIRE(lstm_steps_ >= 2,
+               "SequenceClassifier: conv front end collapsed the sequence");
+
+  std::size_t in = features;
+  for (std::size_t layer = 0; layer < config.lstm_layers; ++layer) {
+    lstms_.push_back(std::make_unique<BiLstm>(in, config.hidden, rng));
+    in = 2 * config.hidden;
+    if (layer + 1 < config.lstm_layers) {
+      lstm_dropouts_.push_back(std::make_unique<SequenceDropout>(
+          config.dropout, rng.next_u64()));
+    }
+  }
+
+  // Paper head: FC projects the concatenated final states down to a feature
+  // size equal to the (LSTM input) sequence length.
+  fc1_ = std::make_unique<Dense>(2 * config.hidden, lstm_steps_, rng);
+  head_dropout_ = std::make_unique<Dropout>(config.dropout, rng.next_u64());
+  head_act_ = std::make_unique<LeakyRelu>();
+  fc2_ = std::make_unique<Dense>(lstm_steps_, config.num_classes, rng);
+}
+
+linalg::Matrix SequenceClassifier::forward(const Sequence& x, bool train) {
+  SCWC_REQUIRE(x.steps() == config_.seq_len,
+               "SequenceClassifier: sequence length mismatch");
+  SCWC_REQUIRE(x.features() == config_.input_features,
+               "SequenceClassifier: feature width mismatch");
+  last_batch_ = x.batch();
+
+  Sequence h = x;
+  if (config_.use_cnn) {
+    h = conv1_->forward(h);
+    h = conv1_act_->forward(h);
+    h = pool_->forward(h);
+    h = conv2_->forward(h);
+    h = conv2_act_->forward(h);
+  }
+  for (std::size_t layer = 0; layer < lstms_.size(); ++layer) {
+    h = lstms_[layer]->forward(h);
+    if (layer < lstm_dropouts_.size()) {
+      h = lstm_dropouts_[layer]->forward(h, train);
+    }
+  }
+
+  // Final-state concatenation: forward direction's h_T (first half of the
+  // last step) and backward direction's h_1 (second half of step 0).
+  const std::size_t hid = config_.hidden;
+  linalg::Matrix summary(last_batch_, 2 * hid);
+  const linalg::Matrix& last_step = h[h.steps() - 1];
+  const linalg::Matrix& first_step = h[0];
+  for (std::size_t r = 0; r < last_batch_; ++r) {
+    auto dst = summary.row(r);
+    const auto fwd = last_step.row(r);
+    const auto bwd = first_step.row(r);
+    for (std::size_t k = 0; k < hid; ++k) {
+      dst[k] = fwd[k];
+      dst[hid + k] = bwd[hid + k];
+    }
+  }
+
+  linalg::Matrix z = fc1_->forward(summary);
+  z = head_dropout_->forward(z, train);
+  z = head_act_->forward(z);
+  return fc2_->forward(z);
+}
+
+void SequenceClassifier::backward(const linalg::Matrix& dlogits) {
+  linalg::Matrix dz = fc2_->backward(dlogits);
+  dz = head_act_->backward(dz);
+  dz = head_dropout_->backward(dz);
+  const linalg::Matrix dsummary = fc1_->backward(dz);
+
+  // Scatter the summary gradient back into the BiLSTM output sequence.
+  const std::size_t hid = config_.hidden;
+  Sequence dh(lstm_steps_, last_batch_, 2 * hid);
+  for (std::size_t r = 0; r < last_batch_; ++r) {
+    const auto src = dsummary.row(r);
+    auto last = dh[lstm_steps_ - 1].row(r);
+    auto first = dh[0].row(r);
+    for (std::size_t k = 0; k < hid; ++k) {
+      last[k] += src[k];
+      first[hid + k] += src[hid + k];
+    }
+  }
+
+  for (std::size_t layer = lstms_.size(); layer-- > 0;) {
+    if (layer < lstm_dropouts_.size()) {
+      dh = lstm_dropouts_[layer]->backward(dh);
+    }
+    dh = lstms_[layer]->backward(dh);
+  }
+
+  if (config_.use_cnn) {
+    dh = conv2_act_->backward(dh);
+    dh = conv2_->backward(dh);
+    dh = pool_->backward(dh);
+    dh = conv1_act_->backward(dh);
+    (void)conv1_->backward(dh);  // input gradient unused
+  }
+}
+
+void SequenceClassifier::collect_params(std::vector<ParamRef>& out) {
+  if (config_.use_cnn) {
+    conv1_->collect_params(out);
+    conv2_->collect_params(out);
+  }
+  for (auto& lstm : lstms_) lstm->collect_params(out);
+  fc1_->collect_params(out);
+  fc2_->collect_params(out);
+}
+
+std::string SequenceClassifier::display_name() const {
+  std::ostringstream os;
+  if (config_.use_cnn) {
+    os << "CNN-LSTM (h=" << config_.hidden;
+    if (config_.conv1_kernel <= 3) os << ", small kernel";
+    os << ")";
+  } else {
+    os << "LSTM (h=" << config_.hidden;
+    if (config_.lstm_layers > 1) os << ", " << config_.lstm_layers << "-layer";
+    os << ")";
+  }
+  return os.str();
+}
+
+}  // namespace scwc::nn

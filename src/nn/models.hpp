@@ -1,0 +1,125 @@
+// The paper's RNN baselines (Section V), as trainable models.
+//
+// BiLSTM head (V-A): input → (stacked) bidirectional LSTM → concatenation
+// of the two directions' final states → FC(2h → T) → Dropout(0.5) →
+// LeakyReLU → FC(T → classes) → log-softmax/NLL (fused in the loss).
+//
+// CNN-LSTM (V-B): two 1-D conv layers sandwiching a max-pool in front of
+// the same BiLSTM head; stride/kernel choices shorten the sequence ~8×
+// (or less, for the "small kernel" variant).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "nn/conv.hpp"
+#include "nn/layers.hpp"
+#include "nn/lstm.hpp"
+#include "nn/sequence.hpp"
+
+namespace scwc::nn {
+
+/// Per-timestep dropout over a sequence (fresh mask per step).
+class SequenceDropout {
+ public:
+  SequenceDropout(double p, std::uint64_t seed) : p_(p), rng_(seed) {}
+  [[nodiscard]] Sequence forward(const Sequence& x, bool train);
+  [[nodiscard]] Sequence backward(const Sequence& dout) const;
+
+ private:
+  double p_;
+  Rng rng_;
+  std::vector<linalg::Matrix> masks_;
+};
+
+/// Per-timestep LeakyReLU over a sequence.
+class SequenceLeakyRelu {
+ public:
+  explicit SequenceLeakyRelu(double slope = 0.01) : slope_(slope) {}
+  [[nodiscard]] Sequence forward(const Sequence& x);
+  [[nodiscard]] Sequence backward(const Sequence& dout) const;
+
+ private:
+  double slope_;
+  Sequence cached_input_;
+};
+
+/// Configuration covering every Table-VI row.
+struct RnnModelConfig {
+  std::size_t input_features = 7;
+  std::size_t seq_len = 540;       ///< steps fed to the model
+  std::size_t hidden = 128;
+  std::size_t lstm_layers = 1;     ///< 1 or 2 (stacked, dropout between)
+  std::size_t num_classes = 26;
+  double dropout = 0.5;
+
+  bool use_cnn = false;            ///< prepend the conv front end
+  std::size_t conv_channels = 32;  ///< channels of both conv layers
+  std::size_t conv1_kernel = 7;
+  std::size_t conv1_stride = 2;
+  std::size_t pool = 2;
+  std::size_t conv2_kernel = 5;
+  std::size_t conv2_stride = 2;
+
+  std::uint64_t seed = 20220606;
+
+  /// The "small kernel and step size" CNN-LSTM variant of Section V-B.
+  void apply_small_kernel() {
+    conv1_kernel = 3;
+    conv1_stride = 1;
+    conv2_kernel = 3;
+    conv2_stride = 1;
+  }
+};
+
+/// Trainable sequence classifier implementing both Table-VI families.
+class SequenceClassifier final : public Parametrized {
+ public:
+  explicit SequenceClassifier(const RnnModelConfig& config);
+
+  /// (T × B × features) → logits (B × classes). `train` enables dropout.
+  [[nodiscard]] linalg::Matrix forward(const Sequence& x, bool train);
+
+  /// Backpropagates dL/dlogits through the whole stack, accumulating
+  /// parameter gradients. Must follow a forward() with train == true.
+  void backward(const linalg::Matrix& dlogits);
+
+  void collect_params(std::vector<ParamRef>& out) override;
+
+  /// Display name matching the paper's Table VI rows, e.g.
+  /// "LSTM (h=128)" or "CNN-LSTM (h=512, small kernel)".
+  [[nodiscard]] std::string display_name() const;
+
+  [[nodiscard]] const RnnModelConfig& config() const noexcept {
+    return config_;
+  }
+  /// Sequence length that actually reaches the LSTM (post conv/pool).
+  [[nodiscard]] std::size_t lstm_steps() const noexcept { return lstm_steps_; }
+
+ private:
+  RnnModelConfig config_;
+  std::size_t lstm_steps_;
+
+  // Optional conv front end.
+  std::unique_ptr<Conv1d> conv1_;
+  std::unique_ptr<SequenceLeakyRelu> conv1_act_;
+  std::unique_ptr<MaxPool1d> pool_;
+  std::unique_ptr<Conv1d> conv2_;
+  std::unique_ptr<SequenceLeakyRelu> conv2_act_;
+
+  // Recurrent trunk.
+  std::vector<std::unique_ptr<BiLstm>> lstms_;
+  std::vector<std::unique_ptr<SequenceDropout>> lstm_dropouts_;
+
+  // Head.
+  std::unique_ptr<Dense> fc1_;
+  std::unique_ptr<Dropout> head_dropout_;
+  std::unique_ptr<LeakyRelu> head_act_;
+  std::unique_ptr<Dense> fc2_;
+
+  // Shapes cached by forward for the backward scatter.
+  std::size_t last_batch_ = 0;
+};
+
+}  // namespace scwc::nn

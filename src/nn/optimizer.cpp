@@ -1,0 +1,71 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace scwc::nn {
+
+double Optimizer::clip_grad_norm(double max_norm) {
+  double sq = 0.0;
+  for (const auto& p : params_) {
+    for (const double g : p.grad) sq += g * g;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (auto& p : params_) {
+      for (double& g : p.grad) g *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<ParamRef> params, double momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.emplace_back(p.value.size(), 0.0);
+  }
+}
+
+void Sgd::step(double learning_rate) {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    auto& vel = velocity_[i];
+    for (std::size_t k = 0; k < p.value.size(); ++k) {
+      vel[k] = momentum_ * vel[k] - learning_rate * p.grad[k];
+      p.value[k] += vel[k];
+    }
+  }
+}
+
+Adam::Adam(std::vector<ParamRef> params, double beta1, double beta2,
+           double eps)
+    : Optimizer(std::move(params)), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value.size(), 0.0);
+    v_.emplace_back(p.value.size(), 0.0);
+  }
+}
+
+void Adam::step(double learning_rate) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t k = 0; k < p.value.size(); ++k) {
+      const double g = p.grad[k];
+      m[k] = beta1_ * m[k] + (1.0 - beta1_) * g;
+      v[k] = beta2_ * v[k] + (1.0 - beta2_) * g * g;
+      const double m_hat = m[k] / bc1;
+      const double v_hat = v[k] / bc2;
+      p.value[k] -= learning_rate * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace scwc::nn

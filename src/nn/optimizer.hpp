@@ -1,0 +1,62 @@
+// First-order optimisers over ParamRef views.
+#pragma once
+
+#include <vector>
+
+#include "nn/param.hpp"
+
+namespace scwc::nn {
+
+/// Optimiser interface: owns per-parameter state keyed by registration
+/// order, applies one update per step() given the current learning rate.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ParamRef> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently in the buffers.
+  virtual void step(double learning_rate) = 0;
+
+  /// Zeroes every gradient buffer.
+  void zero_grad() {
+    for (auto& p : params_) {
+      for (double& g : p.grad) g = 0.0;
+    }
+  }
+
+  /// Global gradient-norm clipping (returns the pre-clip norm).
+  double clip_grad_norm(double max_norm);
+
+ protected:
+  std::vector<ParamRef> params_;
+};
+
+/// SGD with classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<ParamRef> params, double momentum = 0.9);
+  void step(double learning_rate) override;
+
+ private:
+  double momentum_;
+  std::vector<std::vector<double>> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<ParamRef> params, double beta1 = 0.9, double beta2 = 0.999,
+       double eps = 1e-8);
+  void step(double learning_rate) override;
+
+ private:
+  double beta1_;
+  double beta2_;
+  double eps_;
+  std::size_t t_ = 0;
+  std::vector<std::vector<double>> m_;
+  std::vector<std::vector<double>> v_;
+};
+
+}  // namespace scwc::nn

@@ -1,0 +1,59 @@
+// Parameter bookkeeping for the neural-network layers.
+//
+// Every layer owns its weights and gradients as flat double buffers and
+// registers them with the optimiser through ParamRef views; the optimiser
+// never knows layer structure, and layers never know the update rule.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace scwc::nn {
+
+/// A view over one parameter buffer and its gradient buffer.
+struct ParamRef {
+  std::span<double> value;
+  std::span<double> grad;
+};
+
+/// Interface implemented by anything owning trainable parameters.
+class Parametrized {
+ public:
+  virtual ~Parametrized() = default;
+
+  /// Appends this module's parameter views to `out`.
+  virtual void collect_params(std::vector<ParamRef>& out) = 0;
+
+  /// Zeroes all gradient buffers.
+  void zero_grad() {
+    std::vector<ParamRef> refs;
+    collect_params(refs);
+    for (auto& r : refs) {
+      for (double& g : r.grad) g = 0.0;
+    }
+  }
+
+  /// Total trainable scalar count.
+  std::size_t parameter_count() {
+    std::vector<ParamRef> refs;
+    collect_params(refs);
+    std::size_t n = 0;
+    for (const auto& r : refs) n += r.value.size();
+    return n;
+  }
+};
+
+/// Glorot/Xavier uniform initialisation over a flat buffer treated as a
+/// fan_in×fan_out matrix.
+inline void glorot_init(std::span<double> w, std::size_t fan_in,
+                        std::size_t fan_out, Rng& rng) {
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (double& x : w) x = rng.uniform(-limit, limit);
+}
+
+}  // namespace scwc::nn

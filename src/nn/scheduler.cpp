@@ -1,0 +1,36 @@
+#include "nn/scheduler.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace scwc::nn {
+
+CyclicalCosineLr::CyclicalCosineLr(double max_lr, double min_lr,
+                                   std::size_t cycle_steps, double peak_decay)
+    : max_lr_(max_lr),
+      min_lr_(min_lr),
+      cycle_steps_(cycle_steps),
+      peak_decay_(peak_decay) {
+  SCWC_REQUIRE(max_lr > 0.0 && min_lr >= 0.0 && min_lr <= max_lr,
+               "CyclicalCosineLr: need 0 <= min_lr <= max_lr");
+  SCWC_REQUIRE(cycle_steps >= 1, "CyclicalCosineLr: cycle must be >= 1 step");
+  SCWC_REQUIRE(peak_decay > 0.0 && peak_decay <= 1.0,
+               "CyclicalCosineLr: peak_decay in (0, 1]");
+}
+
+double CyclicalCosineLr::at(std::size_t step) const {
+  const std::size_t cycle = step / cycle_steps_;
+  const std::size_t pos = step % cycle_steps_;
+  const double peak =
+      max_lr_ * std::pow(peak_decay_, static_cast<double>(cycle));
+  const double span = peak - min_lr_;
+  const double phase = static_cast<double>(pos) /
+                       static_cast<double>(cycle_steps_);
+  return min_lr_ + 0.5 * span * (1.0 + std::cos(std::numbers::pi * phase));
+}
+
+double CyclicalCosineLr::next() { return at(counter_++); }
+
+}  // namespace scwc::nn

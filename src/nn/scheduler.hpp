@@ -1,0 +1,42 @@
+// Learning-rate schedules.
+//
+// Section V-A: "a cyclical learning rate scheduler was used with cosine
+// annealing as it has been shown to drastically improve convergence"
+// (Smith, WACV 2017 + cosine warm restarts). CyclicalCosineLr anneals from
+// max_lr to min_lr over one cycle with a cosine shape, then restarts, with
+// an optional per-cycle decay of the peak.
+#pragma once
+
+#include <cstddef>
+
+namespace scwc::nn {
+
+/// Cosine-annealed cyclical learning rate with warm restarts.
+class CyclicalCosineLr {
+ public:
+  /// `cycle_steps` is the period in optimisation steps; the peak is
+  /// multiplied by `peak_decay` after every restart.
+  CyclicalCosineLr(double max_lr, double min_lr, std::size_t cycle_steps,
+                   double peak_decay = 1.0);
+
+  /// Learning rate for 0-based step `step`.
+  [[nodiscard]] double at(std::size_t step) const;
+
+  /// Convenience: rate for the next step (internal counter).
+  double next();
+
+  [[nodiscard]] double max_lr() const noexcept { return max_lr_; }
+  [[nodiscard]] double min_lr() const noexcept { return min_lr_; }
+  [[nodiscard]] std::size_t cycle_steps() const noexcept {
+    return cycle_steps_;
+  }
+
+ private:
+  double max_lr_;
+  double min_lr_;
+  std::size_t cycle_steps_;
+  double peak_decay_;
+  std::size_t counter_ = 0;
+};
+
+}  // namespace scwc::nn

@@ -1,0 +1,51 @@
+#include "nn/sequence.hpp"
+
+#include "common/error.hpp"
+
+namespace scwc::nn {
+
+Sequence::Sequence(std::size_t steps, std::size_t batch,
+                   std::size_t features) {
+  steps_.reserve(steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    steps_.emplace_back(batch, features);
+  }
+}
+
+Sequence Sequence::from_tensor(const data::Tensor3& x,
+                               std::span<const std::size_t> rows) {
+  Sequence seq(x.steps(), rows.size(), x.sensors());
+  for (std::size_t b = 0; b < rows.size(); ++b) {
+    SCWC_REQUIRE(rows[b] < x.trials(), "from_tensor: trial index out of range");
+    for (std::size_t t = 0; t < x.steps(); ++t) {
+      auto dst = seq.steps_[t].row(b);
+      for (std::size_t f = 0; f < x.sensors(); ++f) {
+        dst[f] = x(rows[b], t, f);
+      }
+    }
+  }
+  return seq;
+}
+
+Sequence Sequence::concat_features(const Sequence& a, const Sequence& b) {
+  SCWC_REQUIRE(a.steps() == b.steps() && a.batch() == b.batch(),
+               "concat_features: shape mismatch");
+  Sequence out(a.steps(), a.batch(), a.features() + b.features());
+  for (std::size_t t = 0; t < a.steps(); ++t) {
+    for (std::size_t r = 0; r < a.batch(); ++r) {
+      auto dst = out.steps_[t].row(r);
+      const auto sa = a[t].row(r);
+      const auto sb = b[t].row(r);
+      std::copy(sa.begin(), sa.end(), dst.begin());
+      std::copy(sb.begin(), sb.end(),
+                dst.begin() + static_cast<std::ptrdiff_t>(sa.size()));
+    }
+  }
+  return out;
+}
+
+Sequence Sequence::zeros_like() const {
+  return Sequence(steps(), batch(), features());
+}
+
+}  // namespace scwc::nn

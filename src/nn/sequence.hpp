@@ -1,0 +1,49 @@
+// Sequence activations: a batch of equal-length multivariate series stored
+// time-major — Sequence[t] is a contiguous batch×features matrix, which is
+// exactly the operand shape the batched LSTM/conv kernels multiply at each
+// step.
+#pragma once
+
+#include <vector>
+
+#include "data/tensor3.hpp"
+#include "linalg/matrix.hpp"
+
+namespace scwc::nn {
+
+/// Time-major batch of sequences: steps_ matrices of (batch × features).
+class Sequence {
+ public:
+  Sequence() = default;
+  Sequence(std::size_t steps, std::size_t batch, std::size_t features);
+
+  [[nodiscard]] std::size_t steps() const noexcept { return steps_.size(); }
+  [[nodiscard]] std::size_t batch() const noexcept {
+    return steps_.empty() ? 0 : steps_.front().rows();
+  }
+  [[nodiscard]] std::size_t features() const noexcept {
+    return steps_.empty() ? 0 : steps_.front().cols();
+  }
+
+  [[nodiscard]] linalg::Matrix& operator[](std::size_t t) noexcept {
+    return steps_[t];
+  }
+  [[nodiscard]] const linalg::Matrix& operator[](std::size_t t) const noexcept {
+    return steps_[t];
+  }
+
+  /// Builds a time-major sequence from `rows` of a (trials × T × F) tensor.
+  static Sequence from_tensor(const data::Tensor3& x,
+                              std::span<const std::size_t> rows);
+
+  /// Concatenates two sequences feature-wise (same steps and batch).
+  static Sequence concat_features(const Sequence& a, const Sequence& b);
+
+  /// Same shape, all zeros.
+  [[nodiscard]] Sequence zeros_like() const;
+
+ private:
+  std::vector<linalg::Matrix> steps_;
+};
+
+}  // namespace scwc::nn

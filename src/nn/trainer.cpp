@@ -1,0 +1,147 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "ml/metrics.hpp"
+#include "nn/loss.hpp"
+
+namespace scwc::nn {
+
+namespace {
+
+/// Snapshot/restore of all parameters (for best-validation restoration).
+std::vector<std::vector<double>> snapshot(SequenceClassifier& model) {
+  std::vector<ParamRef> refs;
+  model.collect_params(refs);
+  std::vector<std::vector<double>> snap;
+  snap.reserve(refs.size());
+  for (const auto& r : refs) {
+    snap.emplace_back(r.value.begin(), r.value.end());
+  }
+  return snap;
+}
+
+void restore(SequenceClassifier& model,
+             const std::vector<std::vector<double>>& snap) {
+  std::vector<ParamRef> refs;
+  model.collect_params(refs);
+  SCWC_CHECK(refs.size() == snap.size(), "snapshot shape drifted");
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    std::copy(snap[i].begin(), snap[i].end(), refs[i].value.begin());
+  }
+}
+
+}  // namespace
+
+TrainResult Trainer::fit(SequenceClassifier& model,
+                         const data::Tensor3& x_train,
+                         std::span<const int> y_train,
+                         const data::Tensor3& x_val,
+                         std::span<const int> y_val) {
+  SCWC_REQUIRE(x_train.trials() == y_train.size(),
+               "Trainer: X/y train mismatch");
+  SCWC_REQUIRE(x_val.trials() == y_val.size(), "Trainer: X/y val mismatch");
+  SCWC_REQUIRE(x_train.trials() > 0, "Trainer: empty training set");
+
+  std::vector<ParamRef> refs;
+  model.collect_params(refs);
+  Adam optimizer(refs);
+
+  const std::size_t n = x_train.trials();
+  const std::size_t batches_per_epoch =
+      (n + config_.batch_size - 1) / config_.batch_size;
+  CyclicalCosineLr schedule(config_.max_lr, config_.min_lr,
+                            std::max<std::size_t>(
+                                1, config_.cycle_epochs * batches_per_epoch),
+                            /*peak_decay=*/0.9);
+
+  Rng rng(config_.seed);
+  TrainResult result;
+  std::vector<std::vector<double>> best_weights;
+  std::size_t since_best = 0;
+
+  for (std::size_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    const std::vector<std::size_t> order = rng.permutation(n);
+    double epoch_loss = 0.0;
+
+    for (std::size_t b = 0; b < batches_per_epoch; ++b) {
+      const std::size_t lo = b * config_.batch_size;
+      const std::size_t hi = std::min(n, lo + config_.batch_size);
+      const std::span<const std::size_t> rows(order.data() + lo, hi - lo);
+
+      const Sequence batch = Sequence::from_tensor(x_train, rows);
+      std::vector<int> targets(rows.size());
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        targets[i] = y_train[rows[i]];
+      }
+
+      optimizer.zero_grad();
+      const linalg::Matrix logits = model.forward(batch, /*train=*/true);
+      const LossResult loss = softmax_nll(logits, targets);
+      model.backward(loss.dlogits);
+      optimizer.clip_grad_norm(config_.clip_norm);
+      optimizer.step(schedule.next());
+      epoch_loss += loss.loss * static_cast<double>(rows.size());
+    }
+    epoch_loss /= static_cast<double>(n);
+    result.train_loss.push_back(epoch_loss);
+
+    const double val_acc = evaluate(model, x_val, y_val);
+    result.val_accuracy.push_back(val_acc);
+    result.epochs_run = epoch + 1;
+
+    if (val_acc > result.best_val_accuracy) {
+      result.best_val_accuracy = val_acc;
+      result.best_epoch = epoch;
+      since_best = 0;
+      if (config_.restore_best) best_weights = snapshot(model);
+    } else {
+      ++since_best;
+    }
+    if (config_.verbose) {
+      SCWC_LOG_INFO(model.display_name()
+                    << " epoch " << epoch << " loss " << epoch_loss
+                    << " val_acc " << val_acc);
+    }
+    if (since_best >= config_.patience) break;
+  }
+
+  if (config_.restore_best && !best_weights.empty()) {
+    restore(model, best_weights);
+  }
+  return result;
+}
+
+std::vector<int> Trainer::predict(SequenceClassifier& model,
+                                  const data::Tensor3& x,
+                                  std::size_t batch_size) {
+  std::vector<int> out;
+  out.reserve(x.trials());
+  std::vector<std::size_t> rows;
+  for (std::size_t lo = 0; lo < x.trials(); lo += batch_size) {
+    const std::size_t hi = std::min(x.trials(), lo + batch_size);
+    rows.resize(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) rows[i - lo] = i;
+    const Sequence batch = Sequence::from_tensor(x, rows);
+    const linalg::Matrix logits = model.forward(batch, /*train=*/false);
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+      const auto row = logits.row(r);
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < row.size(); ++c) {
+        if (row[c] > row[best]) best = c;
+      }
+      out.push_back(static_cast<int>(best));
+    }
+  }
+  return out;
+}
+
+double Trainer::evaluate(SequenceClassifier& model, const data::Tensor3& x,
+                         std::span<const int> y, std::size_t batch_size) {
+  const std::vector<int> pred = predict(model, x, batch_size);
+  return ml::accuracy(y, pred);
+}
+
+}  // namespace scwc::nn

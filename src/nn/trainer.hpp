@@ -1,0 +1,65 @@
+// Mini-batch trainer with early stopping — the training protocol of
+// Section V: Adam + cyclical cosine learning rate, dropout at train time,
+// "trained for [max_epochs] epochs, early stopping if the validation
+// accuracy did not improve over [patience] epochs", reporting the best
+// validation accuracy.
+#pragma once
+
+#include <cstdint>
+
+#include "data/tensor3.hpp"
+#include "nn/models.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/scheduler.hpp"
+
+namespace scwc::nn {
+
+/// Training-loop hyper-parameters.
+struct TrainerConfig {
+  std::size_t max_epochs = 1000;
+  std::size_t patience = 100;      ///< epochs without val improvement
+  std::size_t batch_size = 64;
+  double max_lr = 3e-3;
+  double min_lr = 1e-4;
+  std::size_t cycle_epochs = 4;    ///< cosine cycle length
+  double clip_norm = 5.0;          ///< global gradient clipping
+  std::uint64_t seed = 99;
+  bool restore_best = true;        ///< load best-val weights after training
+  bool verbose = false;
+};
+
+/// Outcome of one training run.
+struct TrainResult {
+  double best_val_accuracy = 0.0;
+  std::size_t best_epoch = 0;
+  std::size_t epochs_run = 0;
+  std::vector<double> train_loss;    ///< mean loss per epoch
+  std::vector<double> val_accuracy;  ///< accuracy per epoch
+};
+
+/// Runs the Section-V protocol on a SequenceClassifier.
+class Trainer {
+ public:
+  explicit Trainer(TrainerConfig config) : config_(config) {}
+
+  /// Trains on (x_train, y_train), early-stops on (x_val, y_val).
+  /// Inputs must already be standardised (the paper scales before the RNN).
+  TrainResult fit(SequenceClassifier& model, const data::Tensor3& x_train,
+                  std::span<const int> y_train, const data::Tensor3& x_val,
+                  std::span<const int> y_val);
+
+  /// Batch prediction (eval mode).
+  static std::vector<int> predict(SequenceClassifier& model,
+                                  const data::Tensor3& x,
+                                  std::size_t batch_size = 128);
+
+  /// Accuracy of the model on a labelled tensor.
+  static double evaluate(SequenceClassifier& model, const data::Tensor3& x,
+                         std::span<const int> y,
+                         std::size_t batch_size = 128);
+
+ private:
+  TrainerConfig config_;
+};
+
+}  // namespace scwc::nn

@@ -1,0 +1,113 @@
+#include "preprocess/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/stats.hpp"
+
+namespace scwc::preprocess {
+
+void Pca::fit(const linalg::Matrix& x) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  SCWC_REQUIRE(n >= 2, "PCA needs at least two samples");
+  const std::size_t k = std::min({components_, n, d});
+  SCWC_REQUIRE(k > 0, "PCA with zero components");
+
+  mean_ = linalg::column_means(x);
+  linalg::Matrix centered(n, d);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto src = x.row(r);
+    auto dst = centered.row(r);
+    for (std::size_t c = 0; c < d; ++c) dst[c] = src[c] - mean_[c];
+  }
+
+  const double denom = static_cast<double>(n - 1);
+  components_matrix_ = linalg::Matrix(d, k);
+  explained_variance_.assign(k, 0.0);
+
+  double total_variance = 0.0;
+  {
+    // Total variance = sum of column variances of the centered matrix.
+    for (std::size_t c = 0; c < d; ++c) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        const double v = centered(r, c);
+        s += v * v;
+      }
+      total_variance += s / denom;
+    }
+  }
+
+  if (d <= n) {
+    // Feature-side covariance: C = XᵀX/(n-1), eigenvectors are directly the
+    // principal directions.
+    linalg::Matrix cov = linalg::gram_at_a(centered);
+    cov *= 1.0 / denom;
+    const linalg::EigenResult eig = linalg::topk_eigen(cov, k, 60, 1e-7);
+    for (std::size_t j = 0; j < k; ++j) {
+      explained_variance_[j] = std::max(0.0, eig.values[j]);
+      for (std::size_t r = 0; r < d; ++r) {
+        components_matrix_(r, j) = eig.vectors(r, j);
+      }
+    }
+  } else {
+    // Sample-side Gram trick: G = XXᵀ/(n-1) shares nonzero eigenvalues with
+    // the covariance; directions are recovered as v = Xᵀu / sqrt(λ(n-1)).
+    linalg::Matrix gram = linalg::gram_a_at(centered);
+    gram *= 1.0 / denom;
+    const linalg::EigenResult eig = linalg::topk_eigen(gram, k, 60, 1e-7);
+    for (std::size_t j = 0; j < k; ++j) {
+      const double lambda = std::max(0.0, eig.values[j]);
+      explained_variance_[j] = lambda;
+      linalg::Vector u(n);
+      for (std::size_t r = 0; r < n; ++r) u[r] = eig.vectors(r, j);
+      linalg::Vector v = linalg::matvec_transposed(centered, u);
+      const double scale = std::sqrt(lambda * denom);
+      const double inv = scale > 1e-12 ? 1.0 / scale : 0.0;
+      for (std::size_t r = 0; r < d; ++r) {
+        components_matrix_(r, j) = v[r] * inv;
+      }
+    }
+  }
+
+  explained_variance_ratio_.assign(k, 0.0);
+  if (total_variance > 0.0) {
+    for (std::size_t j = 0; j < k; ++j) {
+      explained_variance_ratio_[j] = explained_variance_[j] / total_variance;
+    }
+  }
+  fitted_k_ = k;
+}
+
+linalg::Matrix Pca::transform(const linalg::Matrix& x) const {
+  SCWC_REQUIRE(fitted(), "PCA used before fit()");
+  SCWC_REQUIRE(x.cols() == mean_.size(), "PCA width mismatch");
+  linalg::Matrix centered(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto src = x.row(r);
+    auto dst = centered.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) dst[c] = src[c] - mean_[c];
+  }
+  return linalg::matmul(centered, components_matrix_);
+}
+
+linalg::Matrix Pca::fit_transform(const linalg::Matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+linalg::Matrix Pca::inverse_transform(const linalg::Matrix& z) const {
+  SCWC_REQUIRE(fitted(), "PCA used before fit()");
+  SCWC_REQUIRE(z.cols() == fitted_k_, "inverse_transform width mismatch");
+  linalg::Matrix x = linalg::matmul_a_bt(z, components_matrix_);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    auto row = x.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] += mean_[c];
+  }
+  return x;
+}
+
+}  // namespace scwc::preprocess

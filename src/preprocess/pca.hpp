@@ -1,0 +1,65 @@
+// Principal component analysis.
+//
+// The paper's first dimensionality-reduction arm: each trial is reshaped to
+// a 3,780-vector, standardised, and projected onto the leading k principal
+// components (grid over k ∈ {28, 64, 256, 512}).
+//
+// Implementation notes: the covariance eigenproblem is solved on whichever
+// Gram side is smaller — XᵀX (d×d) when features are few, XXᵀ (n×n) when
+// trials are few — and eigenpairs come from block subspace iteration, so
+// fitting k=512 components of a 3,780-dim problem never forms the full
+// spectrum.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/eigen.hpp"
+#include "linalg/matrix.hpp"
+
+namespace scwc::preprocess {
+
+/// Truncated PCA (fit/transform interface mirroring scikit-learn).
+class Pca {
+ public:
+  /// Prepares a PCA that will keep `components` directions.
+  explicit Pca(std::size_t components) : components_(components) {}
+
+  /// Learns the mean and the leading principal directions of `x`
+  /// (rows = samples). `components` is clamped to min(rows, cols).
+  void fit(const linalg::Matrix& x);
+
+  /// Projects rows of `x` onto the fitted components → (rows × k).
+  [[nodiscard]] linalg::Matrix transform(const linalg::Matrix& x) const;
+
+  /// fit() then transform().
+  [[nodiscard]] linalg::Matrix fit_transform(const linalg::Matrix& x);
+
+  /// Reconstructs from component space back to the original space.
+  [[nodiscard]] linalg::Matrix inverse_transform(const linalg::Matrix& z) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return !mean_.empty(); }
+  [[nodiscard]] std::size_t components() const noexcept { return fitted_k_; }
+
+  /// Variance captured by each kept component, descending.
+  [[nodiscard]] const linalg::Vector& explained_variance() const noexcept {
+    return explained_variance_;
+  }
+  /// Fraction of total variance captured by each kept component.
+  [[nodiscard]] const linalg::Vector& explained_variance_ratio() const noexcept {
+    return explained_variance_ratio_;
+  }
+  /// d×k matrix of principal directions (columns).
+  [[nodiscard]] const linalg::Matrix& components_matrix() const noexcept {
+    return components_matrix_;
+  }
+
+ private:
+  std::size_t components_ = 0;
+  std::size_t fitted_k_ = 0;
+  linalg::Vector mean_;
+  linalg::Matrix components_matrix_;  // d × k
+  linalg::Vector explained_variance_;
+  linalg::Vector explained_variance_ratio_;
+};
+
+}  // namespace scwc::preprocess

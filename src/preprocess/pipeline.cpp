@@ -1,0 +1,67 @@
+#include "preprocess/pipeline.hpp"
+
+#include "common/error.hpp"
+
+namespace scwc::preprocess {
+
+std::string reduction_name(Reduction reduction) {
+  switch (reduction) {
+    case Reduction::kPca:
+      return "PCA";
+    case Reduction::kCovariance:
+      return "Cov.";
+    case Reduction::kNone:
+      return "raw";
+  }
+  return "?";
+}
+
+void FeaturePipeline::fit(const data::Tensor3& x_train) {
+  steps_ = x_train.steps();
+  sensors_ = x_train.sensors();
+  const linalg::Matrix flat = x_train.flatten();
+  const linalg::Matrix scaled = [&] {
+    scaler_.fit(flat);
+    return scaler_.transform(flat);
+  }();
+  if (config_.reduction == Reduction::kPca) {
+    pca_.emplace(config_.pca_components);
+    pca_->fit(scaled);
+  }
+}
+
+linalg::Matrix FeaturePipeline::transform(const data::Tensor3& x) const {
+  SCWC_REQUIRE(scaler_.fitted(), "FeaturePipeline used before fit()");
+  SCWC_REQUIRE(x.steps() == steps_ && x.sensors() == sensors_,
+               "tensor shape differs from the fitted shape");
+  const linalg::Matrix scaled = scaler_.transform(x.flatten());
+  switch (config_.reduction) {
+    case Reduction::kPca:
+      return pca_->transform(scaled);
+    case Reduction::kCovariance:
+      return covariance_features_flat(scaled, steps_, sensors_);
+    case Reduction::kNone:
+      return scaled;
+  }
+  SCWC_FAIL("unhandled reduction");
+}
+
+linalg::Matrix FeaturePipeline::fit_transform(const data::Tensor3& x_train) {
+  fit(x_train);
+  return transform(x_train);
+}
+
+std::size_t FeaturePipeline::output_dim() const {
+  SCWC_REQUIRE(scaler_.fitted(), "FeaturePipeline used before fit()");
+  switch (config_.reduction) {
+    case Reduction::kPca:
+      return pca_->components();
+    case Reduction::kCovariance:
+      return covariance_feature_count(sensors_);
+    case Reduction::kNone:
+      return steps_ * sensors_;
+  }
+  SCWC_FAIL("unhandled reduction");
+}
+
+}  // namespace scwc::preprocess

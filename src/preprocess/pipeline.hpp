@@ -1,0 +1,54 @@
+// The paper's preprocessing pipeline: flatten → StandardScaler → one of
+// {PCA(k), covariance features}. Fit on the training tensor only; the test
+// tensor is transformed with the fitted parameters (no leakage through the
+// scaler or the PCA basis).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/tensor3.hpp"
+#include "preprocess/covariance_features.hpp"
+#include "preprocess/pca.hpp"
+#include "preprocess/scaler.hpp"
+
+namespace scwc::preprocess {
+
+/// Which dimensionality-reduction arm of Section IV to apply.
+enum class Reduction { kPca, kCovariance, kNone };
+
+/// Name used in tables ("PCA", "Cov.", "raw").
+std::string reduction_name(Reduction reduction);
+
+/// Configuration for the classical-ML feature pipeline.
+struct FeaturePipelineConfig {
+  Reduction reduction = Reduction::kCovariance;
+  std::size_t pca_components = 28;  ///< used when reduction == kPca
+};
+
+/// Stateful pipeline: fit() learns scaler (and PCA basis) from the training
+/// tensor; transform() featurises any tensor of the same shape.
+class FeaturePipeline {
+ public:
+  explicit FeaturePipeline(FeaturePipelineConfig config) : config_(config) {}
+
+  void fit(const data::Tensor3& x_train);
+  [[nodiscard]] linalg::Matrix transform(const data::Tensor3& x) const;
+  [[nodiscard]] linalg::Matrix fit_transform(const data::Tensor3& x_train);
+
+  /// Width of the produced feature matrix (valid after fit()).
+  [[nodiscard]] std::size_t output_dim() const;
+
+  [[nodiscard]] const FeaturePipelineConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  FeaturePipelineConfig config_;
+  std::size_t steps_ = 0;
+  std::size_t sensors_ = 0;
+  StandardScaler scaler_;
+  std::optional<Pca> pca_;
+};
+
+}  // namespace scwc::preprocess

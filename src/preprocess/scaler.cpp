@@ -1,0 +1,60 @@
+#include "preprocess/scaler.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "linalg/stats.hpp"
+
+namespace scwc::preprocess {
+
+void StandardScaler::fit(const linalg::Matrix& x) {
+  SCWC_REQUIRE(x.rows() > 0, "StandardScaler::fit needs at least one row");
+  means_ = linalg::column_means(x);
+  scales_ = linalg::column_stddevs(x);  // population std, like scikit-learn
+  for (double& s : scales_) {
+    if (s <= 0.0 || !std::isfinite(s)) s = 1.0;
+  }
+}
+
+linalg::Matrix StandardScaler::transform(const linalg::Matrix& x) const {
+  SCWC_REQUIRE(fitted(), "StandardScaler used before fit()");
+  SCWC_REQUIRE(x.cols() == means_.size(),
+               "StandardScaler width mismatch with fitted data");
+  linalg::Matrix out(x.rows(), x.cols());
+  parallel_for_blocked(
+      0, x.rows(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          const auto src = x.row(r);
+          auto dst = out.row(r);
+          for (std::size_t c = 0; c < x.cols(); ++c) {
+            dst[c] = (src[c] - means_[c]) / scales_[c];
+          }
+        }
+      },
+      256);
+  return out;
+}
+
+linalg::Matrix StandardScaler::fit_transform(const linalg::Matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+linalg::Matrix StandardScaler::inverse_transform(const linalg::Matrix& x) const {
+  SCWC_REQUIRE(fitted(), "StandardScaler used before fit()");
+  SCWC_REQUIRE(x.cols() == means_.size(),
+               "StandardScaler width mismatch with fitted data");
+  linalg::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto src = x.row(r);
+    auto dst = out.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      dst[c] = src[c] * scales_[c] + means_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace scwc::preprocess

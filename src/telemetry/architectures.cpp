@@ -1,0 +1,122 @@
+#include "telemetry/architectures.hpp"
+
+#include <array>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace scwc::telemetry {
+
+std::string_view family_name(ModelFamily family) noexcept {
+  switch (family) {
+    case ModelFamily::kVgg:
+      return "VGG";
+    case ModelFamily::kResNet:
+      return "ResNet";
+    case ModelFamily::kInception:
+      return "Inception";
+    case ModelFamily::kUNet:
+      return "U-Net";
+    case ModelFamily::kBert:
+      return "Bert";
+    case ModelFamily::kDistilBert:
+      return "DistillBert";
+    case ModelFamily::kGnn:
+      return "GNN";
+  }
+  return "?";
+}
+
+std::string_view gpu_sensor_name(std::size_t sensor) noexcept {
+  static constexpr std::array<std::string_view, kNumGpuSensors> kNames{
+      "utilization_gpu_pct", "utilization_memory_pct", "memory_free_MiB",
+      "memory_used_MiB",     "temperature_gpu",        "temperature_memory",
+      "power_draw_W",
+  };
+  return sensor < kNames.size() ? kNames[sensor] : "?";
+}
+
+std::string_view cpu_metric_name(std::size_t metric) noexcept {
+  static constexpr std::array<std::string_view, kNumCpuMetrics> kNames{
+      "CPUFrequency", "CPUTime", "CPUUtilization", "RSS",
+      "VMSize",       "Pages",   "ReadMB",         "WriteMB",
+  };
+  return metric < kNames.size() ? kNames[metric] : "?";
+}
+
+namespace {
+
+std::vector<ArchitectureInfo> build_registry() {
+  std::vector<ArchitectureInfo> r;
+  r.reserve(kNumClasses);
+  int id = 0;
+  const auto add = [&r, &id](std::string name, ModelFamily fam, int jobs,
+                             double depth) {
+    r.push_back(ArchitectureInfo{id++, std::move(name), fam, jobs, depth});
+  };
+  // Table VII — VGG and Inception vision models.
+  add("VGG11", ModelFamily::kVgg, 185, 1.00);
+  add("VGG16", ModelFamily::kVgg, 176, 1.35);
+  add("VGG19", ModelFamily::kVgg, 199, 1.55);
+  add("Inception3", ModelFamily::kInception, 241, 1.00);
+  add("Inception4", ModelFamily::kInception, 243, 1.45);
+  // Table VIII — ResNet variants.
+  add("ResNet50", ModelFamily::kResNet, 111, 1.00);
+  add("ResNet50_v1.5", ModelFamily::kResNet, 91, 1.08);
+  add("ResNet101", ModelFamily::kResNet, 77, 1.70);
+  add("ResNet101_v2", ModelFamily::kResNet, 54, 1.78);
+  add("ResNet152", ModelFamily::kResNet, 76, 2.35);
+  add("ResNet152_v2", ModelFamily::kResNet, 54, 2.45);
+  // Table VIII — U-Net variants (U<depth>-<base filters>).
+  add("U3-32", ModelFamily::kUNet, 165, 1.00);
+  add("U3-64", ModelFamily::kUNet, 159, 1.45);
+  add("U3-128", ModelFamily::kUNet, 165, 2.10);
+  add("U4-32", ModelFamily::kUNet, 163, 1.25);
+  add("U4-64", ModelFamily::kUNet, 158, 1.80);
+  add("U4-128", ModelFamily::kUNet, 157, 2.60);
+  add("U5-32", ModelFamily::kUNet, 158, 1.55);
+  add("U5-64", ModelFamily::kUNet, 158, 2.25);
+  add("U5-128", ModelFamily::kUNet, 148, 3.20);
+  // Table IX — NLP.
+  add("Bert", ModelFamily::kBert, 185, 1.00);
+  add("DistillBert", ModelFamily::kDistilBert, 241, 1.00);
+  // Table IX — GNN.
+  add("Dimenet", ModelFamily::kGnn, 33, 1.60);
+  add("Schnet", ModelFamily::kGnn, 39, 1.00);
+  add("PNA", ModelFamily::kGnn, 27, 1.30);
+  add("NNConv", ModelFamily::kGnn, 32, 1.15);
+  SCWC_CHECK(r.size() == kNumClasses, "architecture registry must have 26 classes");
+  return r;
+}
+
+const std::vector<ArchitectureInfo>& registry() {
+  static const std::vector<ArchitectureInfo> r = build_registry();
+  return r;
+}
+
+}  // namespace
+
+std::span<const ArchitectureInfo> architecture_registry() noexcept {
+  return registry();
+}
+
+const ArchitectureInfo& architecture(int class_id) {
+  SCWC_REQUIRE(class_id >= 0 && static_cast<std::size_t>(class_id) < kNumClasses,
+               "class_id out of range [0, 26)");
+  return registry()[static_cast<std::size_t>(class_id)];
+}
+
+const ArchitectureInfo& architecture_by_name(std::string_view name) {
+  for (const auto& a : registry()) {
+    if (a.name == name) return a;
+  }
+  SCWC_FAIL("unknown architecture name: " + std::string(name));
+}
+
+int total_paper_jobs() noexcept {
+  int total = 0;
+  for (const auto& a : registry()) total += a.paper_job_count;
+  return total;
+}
+
+}  // namespace scwc::telemetry

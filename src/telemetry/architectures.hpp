@@ -1,0 +1,88 @@
+// The 26 labelled workload classes of the MIT Supercloud labelled dataset.
+//
+// Tables VII, VIII and IX of the paper enumerate the deep-learning
+// architectures that were run and manually labelled on TX-Gaia, together
+// with per-class job counts. This registry is the single source of truth
+// for class ids, names, families and paper job counts; the simulator, the
+// dataset builders and the benches all read from it.
+//
+// Note: the paper is internally inconsistent about the NLP counts (Table I
+// says Bert=189/DistillBert=172 while Table IX says 185/241) and the ResNet
+// family total (Table I says 464, Table VIII sums to 463). We follow the
+// per-class Tables VII–IX, which are the ones the challenge datasets were
+// cut from, and record the discrepancy here.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace scwc::telemetry {
+
+/// Model family groups used by the signature model — sub-architectures of a
+/// family share a telemetry "shape" and differ by scale, which is what makes
+/// them confusable (and keeps classifier accuracy below 100 %).
+enum class ModelFamily {
+  kVgg,
+  kResNet,
+  kInception,
+  kUNet,
+  kBert,
+  kDistilBert,
+  kGnn,
+};
+
+/// Human-readable family name.
+std::string_view family_name(ModelFamily family) noexcept;
+
+/// One labelled class (row of Tables VII–IX).
+struct ArchitectureInfo {
+  int class_id;           ///< 0..25, the integer label used in y_train/y_test
+  std::string name;       ///< e.g. "VGG16", "U4-64", "SchNet"
+  ModelFamily family;
+  int paper_job_count;    ///< job count from Tables VII–IX
+  double depth_scale;     ///< relative compute depth within the family (≥ 1)
+};
+
+/// Number of labelled classes (26).
+constexpr std::size_t kNumClasses = 26;
+
+/// Number of GPU sensors per sample (Table III).
+constexpr std::size_t kNumGpuSensors = 7;
+
+/// Number of CPU metrics per sample (Table II).
+constexpr std::size_t kNumCpuMetrics = 8;
+
+/// GPU sensor indices, in the exact order of Table III (and of the last
+/// dimension of the challenge tensors).
+enum GpuSensor : std::size_t {
+  kUtilizationGpuPct = 0,
+  kUtilizationMemoryPct = 1,
+  kMemoryFreeMiB = 2,
+  kMemoryUsedMiB = 3,
+  kTemperatureGpu = 4,
+  kTemperatureMemory = 5,
+  kPowerDrawW = 6,
+};
+
+/// Name of a GPU sensor as it appears in Table III.
+std::string_view gpu_sensor_name(std::size_t sensor) noexcept;
+
+/// Name of a CPU metric as it appears in Table II.
+std::string_view cpu_metric_name(std::size_t metric) noexcept;
+
+/// The full registry, ordered by class_id. Stable across the process.
+std::span<const ArchitectureInfo> architecture_registry() noexcept;
+
+/// Lookup by class id; throws for out-of-range ids.
+const ArchitectureInfo& architecture(int class_id);
+
+/// Lookup by name (exact match); throws for unknown names.
+const ArchitectureInfo& architecture_by_name(std::string_view name);
+
+/// Sum of paper job counts across all classes (the labelled corpus size
+/// implied by Tables VII–IX).
+int total_paper_jobs() noexcept;
+
+}  // namespace scwc::telemetry

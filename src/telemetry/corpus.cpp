@@ -1,0 +1,64 @@
+#include "telemetry/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "telemetry/architectures.hpp"
+
+namespace scwc::telemetry {
+
+std::map<int, int> Corpus::class_counts() const {
+  std::map<int, int> counts;
+  for (const auto& j : jobs_) ++counts[j.class_id];
+  return counts;
+}
+
+std::int64_t Corpus::total_gpu_series() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& j : jobs_) total += j.num_gpus;
+  return total;
+}
+
+std::vector<JobSpec> Corpus::jobs_running_at_least(double min_duration_s) const {
+  std::vector<JobSpec> out;
+  out.reserve(jobs_.size());
+  for (const auto& j : jobs_) {
+    if (j.duration_s >= min_duration_s) out.push_back(j);
+  }
+  return out;
+}
+
+Corpus generate_corpus(const CorpusConfig& config) {
+  SCWC_REQUIRE(config.jobs_per_class_scale > 0.0,
+               "jobs_per_class_scale must be positive");
+  SCWC_REQUIRE(config.min_jobs_per_class >= 2,
+               "min_jobs_per_class must be at least 2 for an 80/20 split");
+
+  Rng root(config.seed);
+  std::vector<JobSpec> jobs;
+  std::int64_t next_id = 1;
+
+  for (const ArchitectureInfo& arch : architecture_registry()) {
+    // Each class gets its own child stream so the corpus for class k is
+    // independent of how many jobs other classes received.
+    Rng class_rng = root.fork();
+    const int target = std::max(
+        config.min_jobs_per_class,
+        static_cast<int>(std::lround(arch.paper_job_count *
+                                     config.jobs_per_class_scale)));
+    for (int i = 0; i < target; ++i) {
+      JobSpec job;
+      job.job_id = next_id++;
+      job.class_id = arch.class_id;
+      job.duration_s = sample_duration_s(class_rng);
+      job.num_gpus = sample_num_gpus(class_rng);
+      job.num_nodes = nodes_for_gpus(job.num_gpus);
+      job.seed = class_rng.next_u64();
+      jobs.push_back(job);
+    }
+  }
+  return Corpus(std::move(jobs));
+}
+
+}  // namespace scwc::telemetry

@@ -1,0 +1,126 @@
+#include "telemetry/cpu_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace scwc::telemetry {
+
+namespace {
+
+/// Host-side intensity per family: vision dataloaders hammer the CPUs and
+/// the filesystem; language models stream tokenised shards; GNNs spend CPU
+/// time on graph batching.
+struct HostProfile {
+  double util_base;     // % across the allocated cores
+  double util_amp;
+  double rss_mib;
+  double read_mb_per_s;
+  double write_burst_mb; // checkpoint size written at epoch boundaries
+};
+
+HostProfile host_profile(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kVgg:
+      return {62.0, 14.0, 21000.0, 95.0, 530.0};
+    case ModelFamily::kResNet:
+      return {58.0, 15.0, 18500.0, 110.0, 260.0};
+    case ModelFamily::kInception:
+      return {55.0, 16.0, 19500.0, 105.0, 340.0};
+    case ModelFamily::kUNet:
+      return {48.0, 10.0, 16000.0, 140.0, 180.0};
+    case ModelFamily::kBert:
+      return {30.0, 8.0, 30000.0, 60.0, 1300.0};
+    case ModelFamily::kDistilBert:
+      return {28.0, 8.0, 23000.0, 55.0, 700.0};
+    case ModelFamily::kGnn:
+      return {44.0, 18.0, 9000.0, 25.0, 60.0};
+  }
+  SCWC_FAIL("unhandled model family");
+}
+
+}  // namespace
+
+TimeSeries synthesize_cpu_series(const JobSpec& job, int node_index,
+                                 double sample_hz) {
+  SCWC_REQUIRE(sample_hz > 0.0, "sample_hz must be positive");
+  SCWC_REQUIRE(node_index >= 0 && node_index < job.num_nodes,
+               "node_index out of range for job");
+
+  HostProfile prof = host_profile(architecture(job.class_id).family);
+  Rng job_rng(job.seed ^ 0xC0FFEEULL);
+  // Per-job host variability: dataloader worker counts, dataset location
+  // (local scratch vs Lustre), checkpoint cadence and co-resident daemons
+  // make host metrics far noisier per job than the GPU counters are.
+  prof.util_base *= std::exp(job_rng.normal(0.0, 0.20));
+  prof.util_amp *= std::exp(job_rng.normal(0.0, 0.25));
+  prof.rss_mib *= std::exp(job_rng.normal(0.0, 0.30));
+  prof.read_mb_per_s *= std::exp(job_rng.normal(0.0, 0.35));
+  prof.write_burst_mb *= std::exp(job_rng.normal(0.0, 0.40));
+  const GpuSignature sig =
+      jitter_signature(base_signature(architecture(job.class_id)), job_rng);
+  Rng rng(job.seed ^ (0xa0761d6478bd642fULL *
+                      static_cast<std::uint64_t>(node_index + 7)));
+
+  const double dt = 1.0 / sample_hz;
+  const auto steps =
+      static_cast<std::size_t>(std::floor(job.duration_s * sample_hz));
+
+  TimeSeries out;
+  out.sample_hz = sample_hz;
+  out.values = linalg::Matrix(steps, kNumCpuMetrics);
+
+  const double startup_s = sig.startup_mean_s;
+  const double epoch_s = sig.epoch_period_s;
+  double cpu_time_s = 0.0;
+  double pages = rng.uniform(2.0e5, 4.0e5);
+  const int cores = 40;  // two 20-core Xeon 6248 per TX-Gaia node
+
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    double util;
+    double read_mb;
+    double write_mb = 0.0;
+    double rss;
+    if (t < startup_s) {
+      // Startup: heavy read (staging the dataset), moderate CPU.
+      util = 35.0 + rng.normal(0.0, 8.0);
+      read_mb = (prof.read_mb_per_s * 3.0 + rng.normal(0.0, 20.0)) * dt;
+      rss = prof.rss_mib * std::min(1.0, t / startup_s) * 0.8;
+    } else {
+      const double ts = t - startup_s;
+      util = prof.util_base +
+             prof.util_amp *
+                 std::sin(2.0 * std::numbers::pi * ts / (epoch_s * 0.23)) +
+             rng.normal(0.0, 4.0);
+      read_mb = (prof.read_mb_per_s + rng.normal(0.0, 8.0)) * dt;
+      rss = prof.rss_mib * (1.0 + 0.03 * std::sin(ts / 300.0)) +
+            rng.normal(0.0, 120.0);
+      // Checkpoint write at epoch boundaries.
+      const double epos = std::fmod(ts, epoch_s);
+      if (epos < dt) write_mb = prof.write_burst_mb * rng.uniform(0.8, 1.2);
+    }
+    util = std::clamp(util, 0.0, 100.0);
+    cpu_time_s += dt * util / 100.0 * cores;
+    pages += std::max(0.0, rng.normal(900.0, 250.0)) * dt;
+
+    // Frequency governor: boost under load, base clock otherwise.
+    const double freq =
+        util > 50.0 ? rng.normal(3700.0, 60.0) : rng.normal(2700.0, 120.0);
+
+    auto row = out.values.row(i);
+    row[0] = std::clamp(freq, 1200.0, 4000.0);           // CPUFrequency
+    row[1] = cpu_time_s;                                  // CPUTime
+    row[2] = util;                                        // CPUUtilization
+    row[3] = std::max(500.0, rss);                        // RSS
+    row[4] = std::max(500.0, rss) * 1.6 + 9000.0;         // VMSize
+    row[5] = pages;                                       // Pages
+    row[6] = std::max(0.0, read_mb);                      // ReadMB
+    row[7] = std::max(0.0, write_mb);                     // WriteMB
+  }
+  return out;
+}
+
+}  // namespace scwc::telemetry

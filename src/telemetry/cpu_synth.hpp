@@ -1,0 +1,28 @@
+// CPU/host telemetry synthesiser (Table II metrics).
+//
+// The challenge datasets are GPU-only, but the labelled dataset the paper
+// releases also carries per-job CPU series sampled by the scheduler at a
+// much lower rate than the GPU sensors ("the CPU and GPU time series are
+// sampled at different rates, they will have different lengths for the same
+// trial"). This module completes the substrate so downstream users can
+// experiment with CPU+GPU fusion, one of the challenge's stated open
+// problems.
+#pragma once
+
+#include "telemetry/gpu_synth.hpp"
+#include "telemetry/job.hpp"
+
+namespace scwc::telemetry {
+
+/// Default host sampling rate (one sample every 10 s, an order of magnitude
+/// slower than the GPU sensors — mirroring the real collection pipeline).
+constexpr double kDefaultCpuSampleHz = 0.1;
+
+/// Synthesises the 8-metric host series of Table II for one node of `job`.
+/// Order of columns: CPUFrequency (MHz), CPUTime (s, cumulative),
+/// CPUUtilization (%), RSS (MiB), VMSize (MiB), Pages (cumulative),
+/// ReadMB (per-interval), WriteMB (per-interval).
+TimeSeries synthesize_cpu_series(const JobSpec& job, int node_index,
+                                 double sample_hz = kDefaultCpuSampleHz);
+
+}  // namespace scwc::telemetry

@@ -1,0 +1,33 @@
+#include "telemetry/job.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace scwc::telemetry {
+
+double sample_duration_s(Rng& rng) {
+  // ~3% of jobs die in the first minute (OOM, bad config). The paper's
+  // challenge datasets keep only trials that ran for at least ~a minute.
+  if (rng.bernoulli(0.03)) {
+    return rng.uniform(8.0, 58.0);
+  }
+  // Log-normal with median exp(7.05) ≈ 1150 s and a long right tail,
+  // clipped to the cluster's 24 h limit.
+  const double d = rng.lognormal(7.05, 0.85);
+  return std::clamp(d, 65.0, 86400.0);
+}
+
+int sample_num_gpus(Rng& rng) {
+  static constexpr std::array<double, 6> kWeights{0.34, 0.20, 0.16, 0.15,
+                                                  0.10, 0.05};
+  static constexpr std::array<int, 6> kCounts{1, 2, 4, 8, 16, 32};
+  const std::size_t idx = rng.categorical(kWeights);
+  return kCounts[idx];
+}
+
+int nodes_for_gpus(int num_gpus) noexcept {
+  return (num_gpus + 1) / 2;
+}
+
+}  // namespace scwc::telemetry

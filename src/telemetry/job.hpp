@@ -1,0 +1,39 @@
+// Job model: one labelled training run on the simulated cluster.
+//
+// A job requests 1–32 GPUs across up to 16 two-GPU nodes (TX-Gaia nodes
+// hold two V100s); the monitoring pipeline emits one GPU time series per
+// allocated GPU, all carrying the job's label. That is why the challenge
+// datasets contain ~17k GPU series from 3,430 jobs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace scwc::telemetry {
+
+/// A single labelled job (metadata only; series are synthesised on demand
+/// from `seed` so the corpus stays small in memory at any scale).
+struct JobSpec {
+  std::int64_t job_id = 0;
+  int class_id = 0;        ///< 0..25 architecture label
+  int num_gpus = 1;        ///< GPU series emitted for this job
+  int num_nodes = 1;       ///< ceil(num_gpus / 2) on two-GPU nodes
+  double duration_s = 0.0; ///< wall-clock run time
+  std::uint64_t seed = 0;  ///< root seed for all of the job's series
+};
+
+/// Samples a job duration in seconds: log-normal body (median ≈ 19 min)
+/// with a small fraction of very short runs (crashed/smoke-test jobs) so the
+/// challenge builder's ≥60 s filter is actually exercised, as in the paper.
+double sample_duration_s(Rng& rng);
+
+/// Samples the GPU count from the TX-Gaia allocation mix (mean ≈ 5 GPUs per
+/// job, matching >17k series from 3,430 jobs).
+int sample_num_gpus(Rng& rng);
+
+/// Node count implied by a GPU count on two-GPU nodes.
+int nodes_for_gpus(int num_gpus) noexcept;
+
+}  // namespace scwc::telemetry

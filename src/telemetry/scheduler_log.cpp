@@ -1,0 +1,107 @@
+#include "telemetry/scheduler_log.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace scwc::telemetry {
+
+std::string_view job_state_name(JobState state) noexcept {
+  switch (state) {
+    case JobState::kCompleted:
+      return "COMPLETED";
+    case JobState::kFailed:
+      return "FAILED";
+    case JobState::kTimeout:
+      return "TIMEOUT";
+    case JobState::kCancelled:
+      return "CANCELLED";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string hash_hex(std::uint64_t value) {
+  // SplitMix64 avalanche as the "anonymisation" hash (the real pipeline
+  // uses salted SHA-256; here only the shape of the field matters).
+  SplitMix64 sm(value);
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << sm.next();
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<SchedulerRecord> build_scheduler_log(
+    const Corpus& corpus, const SchedulerConfig& config) {
+  SCWC_REQUIRE(config.mean_interarrival_s > 0.0,
+               "scheduler: interarrival must be positive");
+  SCWC_REQUIRE(config.simulated_users >= 1, "scheduler: need users");
+
+  Rng rng(config.seed);
+  std::vector<SchedulerRecord> records;
+  records.reserve(corpus.size());
+
+  double clock_s = 0.0;
+  for (const JobSpec& job : corpus.jobs()) {
+    clock_s += rng.exponential(1.0 / config.mean_interarrival_s);
+
+    SchedulerRecord rec;
+    rec.job_id = job.job_id;
+    // Users submit in bursts: the user id is sticky across nearby jobs.
+    if (rng.bernoulli(0.6) && !records.empty()) {
+      rec.user_hash = records.back().user_hash;
+    } else {
+      rec.user_hash =
+          hash_hex(config.seed ^ rng.uniform_index(config.simulated_users));
+    }
+    rec.partition = "gaia";
+    rec.submit_time_s = clock_s;
+    const double queue_wait =
+        rng.lognormal(config.queue_wait_mu, config.queue_wait_sigma);
+    rec.start_time_s = rec.submit_time_s + queue_wait;
+    rec.end_time_s = rec.start_time_s + job.duration_s;
+    rec.nodes = job.num_nodes;
+    rec.gpus = job.num_gpus;
+    rec.cpus = job.num_nodes * 40;  // two 20-core Xeons per node
+
+    if (job.duration_s >= config.timeout_limit_s) {
+      rec.state = JobState::kTimeout;
+    } else if (job.duration_s < 60.0) {
+      // The short-lived jobs in the corpus are the crashed ones.
+      rec.state = rng.bernoulli(0.8) ? JobState::kFailed
+                                     : JobState::kCancelled;
+    } else {
+      rec.state = rng.bernoulli(0.97) ? JobState::kCompleted
+                                      : JobState::kFailed;
+    }
+    records.push_back(std::move(rec));
+  }
+
+  std::sort(records.begin(), records.end(),
+            [](const SchedulerRecord& a, const SchedulerRecord& b) {
+              return a.submit_time_s < b.submit_time_s;
+            });
+  return records;
+}
+
+void export_scheduler_csv(const std::vector<SchedulerRecord>& records,
+                          const std::filesystem::path& path) {
+  std::ofstream os(path, std::ios::trunc);
+  SCWC_REQUIRE(os.is_open(), "cannot open " + path.string() + " for writing");
+  os << "job_id,user,partition,submit_s,start_s,end_s,nodes,gpus,cpus,"
+        "state\n";
+  for (const auto& rec : records) {
+    os << rec.job_id << ',' << rec.user_hash << ',' << rec.partition << ','
+       << rec.submit_time_s << ',' << rec.start_time_s << ','
+       << rec.end_time_s << ',' << rec.nodes << ',' << rec.gpus << ','
+       << rec.cpus << ',' << job_state_name(rec.state) << '\n';
+  }
+  SCWC_REQUIRE(os.good(), "scheduler csv: write failed");
+}
+
+}  // namespace scwc::telemetry

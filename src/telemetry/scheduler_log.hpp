@@ -1,0 +1,59 @@
+// Scheduler-log substrate.
+//
+// The MIT Supercloud Dataset "consists of time series of CPU and GPU
+// utilization, … as well as the scheduler log" (§II-A), with all
+// identifiable data anonymised. This module emits the slurm-accounting
+// style records for a labelled corpus so the full release surface of the
+// dataset exists in this reproduction: submission/queue/run times, node
+// and GPU allocations, anonymised user hashes, and terminal job states.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "telemetry/corpus.hpp"
+
+namespace scwc::telemetry {
+
+/// Terminal state of a job, as the scheduler records it.
+enum class JobState { kCompleted, kFailed, kTimeout, kCancelled };
+
+std::string_view job_state_name(JobState state) noexcept;
+
+/// One anonymised accounting record (one line of the released log).
+struct SchedulerRecord {
+  std::int64_t job_id = 0;
+  std::string user_hash;      ///< anonymised submitter id (16 hex chars)
+  std::string partition;      ///< "gaia" for the GPU nodes
+  double submit_time_s = 0;   ///< seconds since the trace epoch
+  double start_time_s = 0;    ///< submit + queue wait
+  double end_time_s = 0;      ///< start + duration
+  int nodes = 1;
+  int gpus = 1;
+  int cpus = 1;               ///< 20 cores per requested GPU slot pair
+  JobState state = JobState::kCompleted;
+};
+
+/// Scheduler simulation parameters.
+struct SchedulerConfig {
+  double mean_interarrival_s = 120.0;  ///< Poisson submissions
+  double queue_wait_mu = 4.0;          ///< log-normal queue wait (log-s)
+  double queue_wait_sigma = 1.4;
+  double timeout_limit_s = 86400.0;    ///< 24 h partition limit
+  std::size_t simulated_users = 90;
+  std::uint64_t seed = 60221023;
+};
+
+/// Builds the accounting log for every job of a corpus. Record order is by
+/// submit time; durations/states are consistent with the jobs' telemetry
+/// (a job whose series lasted d seconds ran for exactly d seconds).
+std::vector<SchedulerRecord> build_scheduler_log(
+    const Corpus& corpus, const SchedulerConfig& config = {});
+
+/// Writes the log as the anonymised CSV the dataset releases.
+void export_scheduler_csv(const std::vector<SchedulerRecord>& records,
+                          const std::filesystem::path& path);
+
+}  // namespace scwc::telemetry

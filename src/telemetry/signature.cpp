@@ -1,0 +1,178 @@
+#include "telemetry/signature.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace scwc::telemetry {
+
+namespace {
+
+// Family-level operating points. Values are chosen to mirror published
+// utilisation/power characterisations of V100 training workloads (e.g. the
+// Supercloud dataset paper and the Philly traces): dense CNNs run the GPU
+// near saturation, transformer language models are memory-bandwidth heavy,
+// and message-passing GNNs leave the GPU starved between irregular kernels.
+struct FamilyBase {
+  double util_base;
+  double util_amp;
+  double batch_period_s;
+  double util_noise;
+  double epoch_period_s;
+  double epoch_dip_frac;
+  double epoch_dip_depth;
+  double mem_base_mib;      // footprint of the depth_scale == 1 variant
+  double mem_per_depth_mib; // additional MiB per unit depth_scale above 1
+  double mem_util_base;
+  double mem_util_coupling;
+  double power_per_util;
+  double stall_rate_hz;
+  double stall_len_s;
+  double stall_residual;
+};
+
+FamilyBase family_base(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kVgg:
+      return FamilyBase{.util_base = 93.0, .util_amp = 5.0,
+                        .batch_period_s = 0.9, .util_noise = 2.2,
+                        .epoch_period_s = 95.0, .epoch_dip_frac = 0.07,
+                        .epoch_dip_depth = 0.55, .mem_base_mib = 9600.0,
+                        .mem_per_depth_mib = 6200.0, .mem_util_base = 46.0,
+                        .mem_util_coupling = 0.55, .power_per_util = 2.35,
+                        .stall_rate_hz = 0.004, .stall_len_s = 1.2,
+                        .stall_residual = 0.25};
+    case ModelFamily::kResNet:
+      return FamilyBase{.util_base = 87.0, .util_amp = 9.0,
+                        .batch_period_s = 0.55, .util_noise = 3.0,
+                        .epoch_period_s = 70.0, .epoch_dip_frac = 0.08,
+                        .epoch_dip_depth = 0.50, .mem_base_mib = 7400.0,
+                        .mem_per_depth_mib = 3600.0, .mem_util_base = 37.0,
+                        .mem_util_coupling = 0.48, .power_per_util = 2.10,
+                        .stall_rate_hz = 0.006, .stall_len_s = 1.0,
+                        .stall_residual = 0.30};
+    case ModelFamily::kInception:
+      return FamilyBase{.util_base = 83.0, .util_amp = 12.0,
+                        .batch_period_s = 0.7, .util_noise = 3.6,
+                        .epoch_period_s = 110.0, .epoch_dip_frac = 0.06,
+                        .epoch_dip_depth = 0.45, .mem_base_mib = 8600.0,
+                        .mem_per_depth_mib = 5200.0, .mem_util_base = 33.0,
+                        .mem_util_coupling = 0.42, .power_per_util = 1.95,
+                        .stall_rate_hz = 0.008, .stall_len_s = 1.1,
+                        .stall_residual = 0.35};
+    case ModelFamily::kUNet:
+      return FamilyBase{.util_base = 96.0, .util_amp = 3.2,
+                        .batch_period_s = 1.3, .util_noise = 1.6,
+                        .epoch_period_s = 48.0, .epoch_dip_frac = 0.10,
+                        .epoch_dip_depth = 0.40, .mem_base_mib = 5200.0,
+                        .mem_per_depth_mib = 3100.0, .mem_util_base = 55.0,
+                        .mem_util_coupling = 0.62, .power_per_util = 2.50,
+                        .stall_rate_hz = 0.003, .stall_len_s = 0.8,
+                        .stall_residual = 0.30};
+    case ModelFamily::kBert:
+      return FamilyBase{.util_base = 78.0, .util_amp = 15.0,
+                        .batch_period_s = 1.15, .util_noise = 4.2,
+                        .epoch_period_s = 290.0, .epoch_dip_frac = 0.04,
+                        .epoch_dip_depth = 0.60, .mem_base_mib = 15600.0,
+                        .mem_per_depth_mib = 5000.0, .mem_util_base = 61.0,
+                        .mem_util_coupling = 0.70, .power_per_util = 2.25,
+                        .stall_rate_hz = 0.010, .stall_len_s = 1.6,
+                        .stall_residual = 0.20};
+    case ModelFamily::kDistilBert:
+      return FamilyBase{.util_base = 71.0, .util_amp = 13.0,
+                        .batch_period_s = 0.72, .util_noise = 4.0,
+                        .epoch_period_s = 180.0, .epoch_dip_frac = 0.05,
+                        .epoch_dip_depth = 0.55, .mem_base_mib = 9900.0,
+                        .mem_per_depth_mib = 3200.0, .mem_util_base = 50.0,
+                        .mem_util_coupling = 0.66, .power_per_util = 2.05,
+                        .stall_rate_hz = 0.012, .stall_len_s = 1.4,
+                        .stall_residual = 0.22};
+    case ModelFamily::kGnn:
+      return FamilyBase{.util_base = 38.0, .util_amp = 20.0,
+                        .batch_period_s = 2.1, .util_noise = 7.5,
+                        .epoch_period_s = 25.0, .epoch_dip_frac = 0.14,
+                        .epoch_dip_depth = 0.55, .mem_base_mib = 2600.0,
+                        .mem_per_depth_mib = 1500.0, .mem_util_base = 12.0,
+                        .mem_util_coupling = 0.25, .power_per_util = 1.55,
+                        .stall_rate_hz = 0.10, .stall_len_s = 2.2,
+                        .stall_residual = 0.12};
+  }
+  SCWC_FAIL("unhandled model family");
+}
+
+// Per-class tweaks on top of the family base, driven by depth_scale.
+// Deeper variants: larger memory footprint, slower batches, slightly lower
+// achieved utilisation (more memory traffic per FLOP), higher power draw.
+GpuSignature derive(const ArchitectureInfo& arch) {
+  const FamilyBase fb = family_base(arch.family);
+  const double d = arch.depth_scale;
+  GpuSignature s{};
+  s.util_base = std::clamp(fb.util_base - 2.4 * (d - 1.0), 5.0, 99.0);
+  s.util_batch_amp = fb.util_amp * (1.0 + 0.12 * (d - 1.0));
+  s.batch_period_s = fb.batch_period_s * (0.75 + 0.25 * d);
+  s.util_noise_sd = fb.util_noise;
+  s.epoch_period_s = fb.epoch_period_s * (0.80 + 0.20 * d);
+  s.epoch_dip_frac = fb.epoch_dip_frac;
+  s.epoch_dip_depth = fb.epoch_dip_depth;
+  s.mem_used_mib = fb.mem_base_mib + fb.mem_per_depth_mib * (d - 1.0);
+  s.mem_wander_mib = 0.035 * s.mem_used_mib;
+  s.mem_util_base = std::clamp(fb.mem_util_base * (1.0 + 0.10 * (d - 1.0)),
+                               2.0, 98.0);
+  s.mem_util_coupling = fb.mem_util_coupling;
+  s.mem_util_noise_sd = 0.25 * fb.util_noise;
+  s.power_per_util = fb.power_per_util * (1.0 + 0.05 * (d - 1.0));
+  s.power_noise_sd = 4.0;
+  s.stall_rate_hz = fb.stall_rate_hz;
+  s.stall_len_s = fb.stall_len_s;
+  s.stall_residual = fb.stall_residual;
+  s.startup_mean_s = 45.0;
+  s.startup_sd_s = 14.0;
+  return s;
+}
+
+}  // namespace
+
+GpuSignature base_signature(const ArchitectureInfo& arch) {
+  return derive(arch);
+}
+
+GpuSignature jitter_signature(const GpuSignature& nominal, Rng& rng) {
+  GpuSignature s = nominal;
+  // Batch size is the dominant per-job degree of freedom: it scales the
+  // oscillation period and the activation footprint together.
+  const double batch_factor = std::exp(rng.normal(0.0, 0.18));
+  s.batch_period_s = nominal.batch_period_s * batch_factor;
+  // Memory footprints overlap heavily across jobs of neighbouring classes
+  // (batch size, input resolution and framework caching dominate the model
+  // itself), so absolute memory levels are a weak class signature — in the
+  // real data the discriminative features are the utilisation dynamics
+  // (§IV-B's top-3 are util/power variances and covariances).
+  s.mem_used_mib =
+      nominal.mem_used_mib * (0.70 + 0.30 * batch_factor) *
+      std::exp(rng.normal(0.0, 0.10));
+  s.mem_used_mib = std::clamp(s.mem_used_mib, 500.0,
+                              gpu_device().total_memory_mib * 0.96);
+  s.util_base = std::clamp(nominal.util_base + rng.normal(0.0, 1.2), 3.0, 99.5);
+  s.util_batch_amp = nominal.util_batch_amp * std::exp(rng.normal(0.0, 0.12));
+  s.epoch_period_s = nominal.epoch_period_s * std::exp(rng.normal(0.0, 0.20));
+  s.mem_util_base =
+      std::clamp(nominal.mem_util_base + rng.normal(0.0, 1.2), 1.0, 99.0);
+  s.power_per_util = nominal.power_per_util * std::exp(rng.normal(0.0, 0.04));
+  s.stall_rate_hz = nominal.stall_rate_hz * std::exp(rng.normal(0.0, 0.25));
+  s.startup_mean_s =
+      std::max(12.0, nominal.startup_mean_s + rng.normal(0.0, nominal.startup_sd_s));
+  return s;
+}
+
+const StartupSignature& startup_signature() noexcept {
+  static const StartupSignature s{};
+  return s;
+}
+
+const GpuDevice& gpu_device() noexcept {
+  static const GpuDevice d{};
+  return d;
+}
+
+}  // namespace scwc::telemetry

@@ -1,0 +1,96 @@
+// Per-class telemetry signature model.
+//
+// The real labelled dataset was produced by running actual DNN training
+// jobs on V100 nodes; we cannot rerun those here, so this module encodes
+// what the classifiers in the paper actually exploit: each architecture has
+// a characteristic *operating point* (GPU/memory utilisation levels, memory
+// footprint, power) and *temporal texture* (batch-rate oscillation, epoch
+// validation dips, dataloader stalls), with sub-architectures of a family
+// sharing the shape and differing by scale. The paper's key empirical
+// finding — windows from the start of a job are the hardest to classify —
+// is reproduced by a class-generic startup phase (dataset download/parse,
+// library initialisation) that precedes steady training in every job.
+#pragma once
+
+#include "common/rng.hpp"
+#include "telemetry/architectures.hpp"
+
+namespace scwc::telemetry {
+
+/// Physical device constants for the simulated NVIDIA V100-32GB.
+struct GpuDevice {
+  double total_memory_mib = 32510.0;  ///< as reported by nvidia-smi
+  double ambient_temp_c = 30.0;       ///< inlet air temperature
+  double temp_per_watt = 0.175;       ///< steady-state °C per Watt
+  double temp_tau_s = 25.0;           ///< first-order thermal time constant
+  double mem_temp_offset_c = 4.5;     ///< HBM runs hotter than the die
+  double idle_power_w = 42.0;
+  double max_power_w = 300.0;         ///< board power limit
+};
+
+/// Steady-state training signature for one class (after per-job jitter).
+struct GpuSignature {
+  // Utilisation process: base level with batch-frequency oscillation.
+  double util_base;        ///< mean GPU utilisation %, steady training
+  double util_batch_amp;   ///< oscillation amplitude (%)
+  double batch_period_s;   ///< seconds per batch-group oscillation
+  double util_noise_sd;    ///< white noise on utilisation (%)
+
+  // Epoch structure: periodic validation/checkpoint dip.
+  double epoch_period_s;   ///< seconds per epoch
+  double epoch_dip_frac;   ///< fraction of the epoch spent in the dip
+  double epoch_dip_depth;  ///< relative utilisation drop during the dip
+
+  // Memory.
+  double mem_used_mib;     ///< steady allocator footprint
+  double mem_wander_mib;   ///< slow random-walk amplitude of the footprint
+  double mem_util_base;    ///< memory-controller utilisation % at util_base
+  double mem_util_coupling;///< d(mem_util)/d(gpu_util)
+  double mem_util_noise_sd;
+
+  // Power: affine in utilisation plus noise.
+  double power_per_util;   ///< Watts per utilisation %
+  double power_noise_sd;
+
+  // Dataloader stalls (dominant texture for GNN workloads).
+  double stall_rate_hz;    ///< Poisson rate of stalls
+  double stall_len_s;      ///< mean stall duration
+  double stall_residual;   ///< utilisation fraction remaining during a stall
+
+  // Startup phase (class-generic, see StartupSignature).
+  double startup_mean_s;   ///< mean duration of the generic startup phase
+  double startup_sd_s;
+};
+
+/// The class-generic startup phase: data staging, Python imports, CUDA
+/// context creation. Deliberately (nearly) identical across classes — this
+/// is what degrades classification accuracy on "start" windows in Table V
+/// and Table VI of the paper.
+struct StartupSignature {
+  double util_burst_level = 28.0;   ///< mean of short compute bursts (%)
+  double util_burst_amp = 18.0;
+  double burst_period_s = 5.5;
+  double util_noise_sd = 6.0;
+  double base_memory_mib = 650.0;   ///< CUDA context + framework overhead
+  double ramp_fraction = 0.55;      ///< memory reaches the model footprint
+                                    ///  after this fraction of the startup
+  double mem_util_level = 9.0;
+  double mem_util_noise_sd = 3.0;
+};
+
+/// Nominal (pre-jitter) signature for a class. Deterministic.
+GpuSignature base_signature(const ArchitectureInfo& arch);
+
+/// Applies per-job jitter: batch-size choice, dataset variation, node
+/// thermals. Two jobs of one class get correlated but distinct signatures;
+/// this is what keeps the problem from being trivially separable.
+GpuSignature jitter_signature(const GpuSignature& nominal, Rng& rng);
+
+/// The startup signature (shared by every class; tiny per-job jitter is
+/// applied inside the synthesiser).
+const StartupSignature& startup_signature() noexcept;
+
+/// The simulated device model.
+const GpuDevice& gpu_device() noexcept;
+
+}  // namespace scwc::telemetry

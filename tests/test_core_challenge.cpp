@@ -1,0 +1,187 @@
+// Tests for the challenge dataset builder (Table IV pipeline).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/challenge.hpp"
+#include "telemetry/architectures.hpp"
+
+namespace scwc::core {
+namespace {
+
+telemetry::Corpus micro_corpus(std::uint64_t seed = 11) {
+  telemetry::CorpusConfig config;
+  config.jobs_per_class_scale = 0.01;  // min_jobs_per_class dominates
+  config.min_jobs_per_class = 3;
+  config.seed = seed;
+  return telemetry::generate_corpus(config);
+}
+
+ChallengeConfig micro_config() {
+  ChallengeConfig config;
+  config.window_steps = 30;
+  config.sample_hz = 0.5;  // 60 s windows of 30 samples
+  config.seed = 77;
+  return config;
+}
+
+TEST(Challenge, DatasetNamesMatchPaperNaming) {
+  const auto names = challenge_dataset_names();
+  ASSERT_EQ(names.size(), 7u);  // Table IV: seven datasets
+  EXPECT_EQ(names[0], "60-start-1");
+  EXPECT_EQ(names[1], "60-middle-1");
+  EXPECT_EQ(names[2], "60-random-1");
+  EXPECT_EQ(names[6], "60-random-5");
+}
+
+TEST(Challenge, BuildsSevenConsistentDatasets) {
+  const auto datasets =
+      build_challenge_datasets(micro_corpus(), micro_config());
+  ASSERT_EQ(datasets.size(), 7u);
+  for (const auto& ds : datasets) {
+    EXPECT_NO_THROW(ds.validate());
+    EXPECT_EQ(ds.steps(), 30u);
+    EXPECT_EQ(ds.sensors(), telemetry::kNumGpuSensors);
+    EXPECT_GT(ds.train_trials(), 0u);
+    EXPECT_GT(ds.test_trials(), 0u);
+  }
+  // All datasets cut from the same trial universe → same trial totals.
+  const std::size_t total =
+      datasets[0].train_trials() + datasets[0].test_trials();
+  for (const auto& ds : datasets) {
+    EXPECT_EQ(ds.train_trials() + ds.test_trials(), total);
+  }
+}
+
+TEST(Challenge, SplitRatioIsEightyTwenty) {
+  const auto datasets =
+      build_challenge_datasets(micro_corpus(), micro_config());
+  for (const auto& ds : datasets) {
+    const double frac =
+        static_cast<double>(ds.test_trials()) /
+        static_cast<double>(ds.train_trials() + ds.test_trials());
+    EXPECT_NEAR(frac, 0.2, 0.05) << ds.name;
+  }
+}
+
+TEST(Challenge, EveryClassAppearsOnBothSides) {
+  const auto ds = build_challenge_dataset(micro_corpus(), micro_config(),
+                                          data::WindowPolicy::kMiddle);
+  std::set<int> train_classes(ds.y_train.begin(), ds.y_train.end());
+  std::set<int> test_classes(ds.y_test.begin(), ds.y_test.end());
+  EXPECT_EQ(train_classes.size(), telemetry::kNumClasses);
+  EXPECT_EQ(test_classes.size(), telemetry::kNumClasses);
+}
+
+TEST(Challenge, StartWindowEqualsSeriesPrefix) {
+  const telemetry::Corpus corpus = micro_corpus();
+  const ChallengeConfig config = micro_config();
+  const auto ds = build_challenge_dataset(corpus, config,
+                                          data::WindowPolicy::kStart);
+  // Reconstruct the first trial's source series and compare.
+  const std::int64_t job_id = ds.job_train[0];
+  const telemetry::JobSpec* job = nullptr;
+  for (const auto& j : corpus.jobs()) {
+    if (j.job_id == job_id) job = &j;
+  }
+  ASSERT_NE(job, nullptr);
+  const telemetry::TimeSeries series =
+      telemetry::synthesize_gpu_series(*job, 0, config.sample_hz);
+  // Trial 0 of the job is GPU 0; the start window must be its prefix.
+  bool matches = true;
+  for (std::size_t t = 0; t < config.window_steps && matches; ++t) {
+    for (std::size_t s = 0; s < telemetry::kNumGpuSensors; ++s) {
+      if (ds.x_train(0, t, s) != series.values(t, s)) {
+        matches = false;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(matches);
+}
+
+TEST(Challenge, RandomDrawsDifferAcrossDatasets) {
+  const auto datasets =
+      build_challenge_datasets(micro_corpus(), micro_config());
+  // 60-random-1 vs 60-random-2 must have different window contents.
+  const auto& r1 = datasets[2];
+  const auto& r2 = datasets[3];
+  double diff = 0.0;
+  const std::size_t n =
+      std::min(r1.x_train.raw().size(), r2.x_train.raw().size());
+  for (std::size_t i = 0; i < n; ++i) {
+    diff += std::abs(r1.x_train.raw()[i] - r2.x_train.raw()[i]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Challenge, BuilderIsDeterministic) {
+  const auto a = build_challenge_dataset(micro_corpus(), micro_config(),
+                                         data::WindowPolicy::kRandom, 2);
+  const auto b = build_challenge_dataset(micro_corpus(), micro_config(),
+                                         data::WindowPolicy::kRandom, 2);
+  EXPECT_EQ(a.y_train, b.y_train);
+  ASSERT_EQ(a.x_train.raw().size(), b.x_train.raw().size());
+  for (std::size_t i = 0; i < a.x_train.raw().size(); ++i) {
+    EXPECT_EQ(a.x_train.raw()[i], b.x_train.raw()[i]);
+  }
+}
+
+TEST(Challenge, SingleDatasetMatchesBatchBuilderMetadata) {
+  const telemetry::Corpus corpus = micro_corpus();
+  const ChallengeConfig config = micro_config();
+  const auto batch = build_challenge_datasets(corpus, config);
+  const auto single = build_challenge_dataset(corpus, config,
+                                              data::WindowPolicy::kStart);
+  EXPECT_EQ(single.name, batch[0].name);
+  EXPECT_EQ(single.train_trials(), batch[0].train_trials());
+  EXPECT_EQ(single.y_train, batch[0].y_train);
+}
+
+TEST(Challenge, ShortJobsAreFilteredOut) {
+  const telemetry::Corpus corpus = micro_corpus();
+  const ChallengeConfig config = micro_config();
+  const double window_s = 30.0 / 0.5;
+  std::size_t eligible_series = 0;
+  for (const auto& j : corpus.jobs()) {
+    if (j.duration_s >= window_s + 2.0) {
+      eligible_series += static_cast<std::size_t>(j.num_gpus);
+    }
+  }
+  const auto ds = build_challenge_dataset(corpus, config,
+                                          data::WindowPolicy::kMiddle);
+  // All built trials come from eligible jobs (within rounding margin).
+  EXPECT_LE(ds.train_trials() + ds.test_trials(), eligible_series + 32);
+}
+
+TEST(Challenge, MaxJobsCapIsHonoured) {
+  ChallengeConfig config = micro_config();
+  config.max_jobs = 30;
+  const auto ds = build_challenge_dataset(micro_corpus(), config,
+                                          data::WindowPolicy::kMiddle);
+  std::set<std::int64_t> jobs(ds.job_train.begin(), ds.job_train.end());
+  jobs.insert(ds.job_test.begin(), ds.job_test.end());
+  EXPECT_LE(jobs.size(), 30u);
+}
+
+TEST(Challenge, JobLevelSplitHasNoJobOverlap) {
+  ChallengeConfig config = micro_config();
+  config.split_unit = data::SplitUnit::kJob;
+  const auto ds = build_challenge_dataset(micro_corpus(), config,
+                                          data::WindowPolicy::kMiddle);
+  const std::set<std::int64_t> train_jobs(ds.job_train.begin(),
+                                          ds.job_train.end());
+  for (const auto j : ds.job_test) {
+    EXPECT_EQ(train_jobs.count(j), 0u);
+  }
+}
+
+TEST(Challenge, FromProfileCopiesWindowParams) {
+  const ScaleProfile profile = ScaleProfile::named("tiny");
+  const ChallengeConfig config = ChallengeConfig::from_profile(profile);
+  EXPECT_EQ(config.window_steps, profile.window_steps);
+  EXPECT_DOUBLE_EQ(config.sample_hz, profile.sample_hz);
+}
+
+}  // namespace
+}  // namespace scwc::core

@@ -1,0 +1,138 @@
+// Tests for .scb serialisation, CSV export and dataset validation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "data/serialize.hpp"
+#include "telemetry/architectures.hpp"
+
+namespace scwc::data {
+namespace {
+
+ChallengeDataset tiny_dataset() {
+  ChallengeDataset ds;
+  ds.name = "60-test-1";
+  ds.policy = WindowPolicy::kRandom;
+  ds.x_train = Tensor3(4, 3, 2);
+  ds.x_test = Tensor3(2, 3, 2);
+  double v = 0.5;
+  for (double& x : ds.x_train.raw()) x = v += 1.0;
+  for (double& x : ds.x_test.raw()) x = v -= 0.25;
+  ds.y_train = {0, 1, 2, 1};
+  ds.y_test = {0, 2};
+  for (const int y : ds.y_train) {
+    ds.model_train.push_back(telemetry::architecture(y).name);
+  }
+  for (const int y : ds.y_test) {
+    ds.model_test.push_back(telemetry::architecture(y).name);
+  }
+  ds.job_train = {11, 22, 33, 22};
+  ds.job_test = {44, 55};
+  return ds;
+}
+
+TEST(Scb, RoundTripsThroughMemory) {
+  const ChallengeDataset ds = tiny_dataset();
+  std::stringstream buffer;
+  write_scb(ds, buffer);
+  const ChallengeDataset back = read_scb(buffer);
+  EXPECT_EQ(back.name, ds.name);
+  EXPECT_EQ(back.policy, ds.policy);
+  EXPECT_EQ(back.y_train, ds.y_train);
+  EXPECT_EQ(back.y_test, ds.y_test);
+  EXPECT_EQ(back.model_train, ds.model_train);
+  EXPECT_EQ(back.job_train, ds.job_train);
+  ASSERT_EQ(back.x_train.trials(), ds.x_train.trials());
+  for (std::size_t i = 0; i < ds.x_train.raw().size(); ++i) {
+    EXPECT_EQ(back.x_train.raw()[i], ds.x_train.raw()[i]);
+  }
+}
+
+TEST(Scb, RoundTripsThroughFile) {
+  const auto path = std::filesystem::temp_directory_path() / "scwc_test.scb";
+  const ChallengeDataset ds = tiny_dataset();
+  save_scb(ds, path);
+  const ChallengeDataset back = load_scb(path);
+  EXPECT_EQ(back.name, ds.name);
+  EXPECT_EQ(back.test_trials(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(Scb, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "NOTSCWC1garbagegarbage";
+  EXPECT_THROW((void)read_scb(buffer), Error);
+}
+
+TEST(Scb, RejectsTruncatedStream) {
+  const ChallengeDataset ds = tiny_dataset();
+  std::stringstream buffer;
+  write_scb(ds, buffer);
+  const std::string full = buffer.str();
+  for (const double frac : {0.3, 0.6, 0.95}) {
+    std::stringstream cut(full.substr(
+        0, static_cast<std::size_t>(static_cast<double>(full.size()) * frac)));
+    EXPECT_THROW((void)read_scb(cut), Error) << "at fraction " << frac;
+  }
+}
+
+TEST(Scb, MissingFileThrows) {
+  EXPECT_THROW((void)load_scb("/nonexistent/dir/x.scb"), Error);
+}
+
+TEST(CsvExport, WritesHeaderAndRows) {
+  const ChallengeDataset ds = tiny_dataset();
+  const auto path = std::filesystem::temp_directory_path() / "scwc_trial.csv";
+  export_trial_csv(ds.x_train, 1, path);
+  std::ifstream is(path);
+  std::string header;
+  std::getline(is, header);
+  EXPECT_NE(header.find("utilization_gpu_pct"), std::string::npos);
+  int rows = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, 3);  // steps
+  std::filesystem::remove(path);
+}
+
+TEST(CsvExport, RejectsBadTrialIndex) {
+  const ChallengeDataset ds = tiny_dataset();
+  EXPECT_THROW(export_trial_csv(ds.x_train, 99, "/tmp/x.csv"), Error);
+}
+
+TEST(Validate, AcceptsConsistentDataset) {
+  EXPECT_NO_THROW(tiny_dataset().validate());
+}
+
+TEST(Validate, CatchesLengthMismatch) {
+  ChallengeDataset ds = tiny_dataset();
+  ds.y_train.pop_back();
+  EXPECT_THROW(ds.validate(), Error);
+}
+
+TEST(Validate, CatchesWrongModelName) {
+  ChallengeDataset ds = tiny_dataset();
+  ds.model_train[0] = "WrongNet";
+  EXPECT_THROW(ds.validate(), Error);
+}
+
+TEST(Validate, CatchesLabelOutOfRange) {
+  ChallengeDataset ds = tiny_dataset();
+  ds.y_test[0] = 26;
+  ds.model_test[0] = "whatever";
+  EXPECT_THROW(ds.validate(), Error);
+}
+
+TEST(Validate, CatchesShapeMismatch) {
+  ChallengeDataset ds = tiny_dataset();
+  ds.x_test = Tensor3(2, 4, 2);  // wrong steps
+  EXPECT_THROW(ds.validate(), Error);
+}
+
+}  // namespace
+}  // namespace scwc::data

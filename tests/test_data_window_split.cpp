@@ -1,0 +1,217 @@
+// Tests for window placement and the stratified 80/20 split.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "data/split.hpp"
+#include "data/window.hpp"
+
+namespace scwc::data {
+namespace {
+
+TEST(Window, PolicyNames) {
+  EXPECT_EQ(window_policy_name(WindowPolicy::kStart), "start");
+  EXPECT_EQ(window_policy_name(WindowPolicy::kMiddle), "middle");
+  EXPECT_EQ(window_policy_name(WindowPolicy::kRandom), "random");
+}
+
+TEST(Window, StartOffsetIsZero) {
+  Rng rng(1);
+  const auto off = choose_window_offset(100, 60, WindowPolicy::kStart, rng);
+  ASSERT_TRUE(off.has_value());
+  EXPECT_EQ(*off, 0u);
+}
+
+TEST(Window, MiddleOffsetIsCentred) {
+  Rng rng(1);
+  const auto off = choose_window_offset(100, 60, WindowPolicy::kMiddle, rng);
+  ASSERT_TRUE(off.has_value());
+  EXPECT_EQ(*off, 20u);  // (100 - 60) / 2
+}
+
+TEST(Window, RandomOffsetsCoverTheRange) {
+  Rng rng(7);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto off = choose_window_offset(70, 60, WindowPolicy::kRandom, rng);
+    ASSERT_TRUE(off.has_value());
+    EXPECT_LE(*off, 10u);
+    seen.insert(*off);
+  }
+  EXPECT_EQ(seen.size(), 11u);  // offsets 0..10 all reachable
+}
+
+TEST(Window, TooShortSeriesIsRejected) {
+  Rng rng(1);
+  EXPECT_FALSE(
+      choose_window_offset(59, 60, WindowPolicy::kStart, rng).has_value());
+  EXPECT_FALSE(
+      choose_window_offset(10, 60, WindowPolicy::kRandom, rng).has_value());
+  // Exact fit is allowed.
+  const auto off = choose_window_offset(60, 60, WindowPolicy::kMiddle, rng);
+  ASSERT_TRUE(off.has_value());
+  EXPECT_EQ(*off, 0u);
+}
+
+TEST(Window, ExtractCopiesTheRightSlice) {
+  telemetry::TimeSeries series;
+  series.sample_hz = 1.0;
+  series.values = linalg::Matrix(10, 2);
+  for (std::size_t t = 0; t < 10; ++t) {
+    series.values(t, 0) = static_cast<double>(t);
+    series.values(t, 1) = static_cast<double>(t) + 100.0;
+  }
+  std::vector<double> dest(3 * 2);
+  extract_window(series, 4, 3, dest);
+  EXPECT_EQ(dest[0], 4.0);
+  EXPECT_EQ(dest[1], 104.0);
+  EXPECT_EQ(dest[4], 6.0);
+}
+
+TEST(Window, ExtractValidatesBounds) {
+  telemetry::TimeSeries series;
+  series.sample_hz = 1.0;
+  series.values = linalg::Matrix(10, 2);
+  std::vector<double> dest(3 * 2);
+  EXPECT_THROW(extract_window(series, 8, 3, dest), Error);
+  std::vector<double> wrong_size(5);
+  EXPECT_THROW(extract_window(series, 0, 3, wrong_size), Error);
+}
+
+// ---------- splits ----------
+
+struct SplitCase {
+  std::size_t trials_per_class;
+  std::size_t classes;
+  double test_fraction;
+};
+
+class StratifiedSplitTest : public ::testing::TestWithParam<SplitCase> {};
+
+TEST_P(StratifiedSplitTest, PartitionIsExactAndStratified) {
+  const SplitCase param = GetParam();
+  std::vector<int> labels;
+  std::vector<std::int64_t> jobs;
+  for (std::size_t c = 0; c < param.classes; ++c) {
+    for (std::size_t i = 0; i < param.trials_per_class; ++i) {
+      labels.push_back(static_cast<int>(c));
+      jobs.push_back(static_cast<std::int64_t>(labels.size()));
+    }
+  }
+  Rng rng(42);
+  const SplitIndices split = stratified_split(
+      labels, jobs, param.test_fraction, SplitUnit::kTrial, rng);
+
+  // Exact partition.
+  EXPECT_EQ(split.train.size() + split.test.size(), labels.size());
+  std::set<std::size_t> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), labels.size());
+
+  // Every class present on both sides.
+  std::map<int, int> train_counts;
+  std::map<int, int> test_counts;
+  for (const auto i : split.train) ++train_counts[labels[i]];
+  for (const auto i : split.test) ++test_counts[labels[i]];
+  for (std::size_t c = 0; c < param.classes; ++c) {
+    EXPECT_GE(train_counts[static_cast<int>(c)], 1);
+    EXPECT_GE(test_counts[static_cast<int>(c)], 1);
+    // Ratio approximately test_fraction (rounded per class).
+    const double ratio =
+        static_cast<double>(test_counts[static_cast<int>(c)]) /
+        static_cast<double>(param.trials_per_class);
+    EXPECT_NEAR(ratio, param.test_fraction,
+                1.0 / static_cast<double>(param.trials_per_class) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, StratifiedSplitTest,
+    ::testing::Values(SplitCase{10, 3, 0.2}, SplitCase{25, 26, 0.2},
+                      SplitCase{5, 4, 0.4}, SplitCase{100, 2, 0.1},
+                      SplitCase{2, 5, 0.2}));
+
+TEST(StratifiedSplit, JobUnitKeepsJobsTogether) {
+  // 4 classes × 6 jobs × 4 trials per job.
+  std::vector<int> labels;
+  std::vector<std::int64_t> jobs;
+  std::int64_t job_id = 0;
+  for (int c = 0; c < 4; ++c) {
+    for (int j = 0; j < 6; ++j) {
+      ++job_id;
+      for (int t = 0; t < 4; ++t) {
+        labels.push_back(c);
+        jobs.push_back(job_id);
+      }
+    }
+  }
+  Rng rng(7);
+  const SplitIndices split =
+      stratified_split(labels, jobs, 0.2, SplitUnit::kJob, rng);
+  std::set<std::int64_t> train_jobs;
+  std::set<std::int64_t> test_jobs;
+  for (const auto i : split.train) train_jobs.insert(jobs[i]);
+  for (const auto i : split.test) test_jobs.insert(jobs[i]);
+  for (const auto j : test_jobs) {
+    EXPECT_EQ(train_jobs.count(j), 0u) << "job " << j << " leaked";
+  }
+  EXPECT_EQ(split.train.size() + split.test.size(), labels.size());
+}
+
+TEST(StratifiedSplit, TrialUnitLeaksSiblingSeries) {
+  // Sanity check of the *paper-faithful* behaviour: with multi-trial jobs
+  // and a trial-level split, at least one job usually spans both sides.
+  std::vector<int> labels;
+  std::vector<std::int64_t> jobs;
+  for (std::int64_t j = 1; j <= 10; ++j) {
+    for (int t = 0; t < 8; ++t) {
+      labels.push_back(0);
+      jobs.push_back(j);
+    }
+  }
+  Rng rng(11);
+  const SplitIndices split =
+      stratified_split(labels, jobs, 0.2, SplitUnit::kTrial, rng);
+  std::set<std::int64_t> train_jobs;
+  std::set<std::int64_t> test_jobs;
+  for (const auto i : split.train) train_jobs.insert(jobs[i]);
+  for (const auto i : split.test) test_jobs.insert(jobs[i]);
+  bool any_leak = false;
+  for (const auto j : test_jobs) any_leak |= train_jobs.count(j) > 0;
+  EXPECT_TRUE(any_leak);
+}
+
+TEST(StratifiedSplit, DeterministicForFixedSeed) {
+  std::vector<int> labels(40, 0);
+  std::vector<std::int64_t> jobs(40);
+  for (std::size_t i = 0; i < 40; ++i) jobs[i] = static_cast<std::int64_t>(i);
+  Rng rng_a(3);
+  Rng rng_b(3);
+  const SplitIndices a =
+      stratified_split(labels, jobs, 0.25, SplitUnit::kTrial, rng_a);
+  const SplitIndices b =
+      stratified_split(labels, jobs, 0.25, SplitUnit::kTrial, rng_b);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+}
+
+TEST(StratifiedSplit, InvalidArgumentsThrow) {
+  std::vector<int> labels{0, 1};
+  std::vector<std::int64_t> jobs{1};
+  Rng rng(1);
+  EXPECT_THROW(
+      (void)stratified_split(labels, jobs, 0.2, SplitUnit::kTrial, rng),
+      Error);
+  std::vector<std::int64_t> jobs2{1, 2};
+  EXPECT_THROW(
+      (void)stratified_split(labels, jobs2, 0.0, SplitUnit::kTrial, rng),
+      Error);
+  EXPECT_THROW(
+      (void)stratified_split(labels, jobs2, 1.0, SplitUnit::kTrial, rng),
+      Error);
+}
+
+}  // namespace
+}  // namespace scwc::data

@@ -1,0 +1,169 @@
+// Cross-module integration tests: the full corpus → datasets → features →
+// classifier pipeline, plus the paper's qualitative findings at micro scale.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/baselines.hpp"
+#include "core/challenge.hpp"
+#include "core/rnn_experiments.hpp"
+#include "data/serialize.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+#include "preprocess/pipeline.hpp"
+
+namespace scwc::core {
+namespace {
+
+struct MicroWorld {
+  telemetry::Corpus corpus;
+  ChallengeConfig config;
+  std::vector<data::ChallengeDataset> datasets;
+};
+
+const MicroWorld& world() {
+  static const MicroWorld w = [] {
+    MicroWorld out;
+    telemetry::CorpusConfig corpus_config;
+    corpus_config.jobs_per_class_scale = 0.02;
+    corpus_config.min_jobs_per_class = 4;
+    corpus_config.seed = 99;
+    out.corpus = telemetry::generate_corpus(corpus_config);
+    out.config.window_steps = 45;
+    out.config.sample_hz = 0.75;  // 60 s windows
+    out.config.seed = 1234;
+    out.datasets = build_challenge_datasets(out.corpus, out.config);
+    return out;
+  }();
+  return w;
+}
+
+double rf_cov_accuracy(const data::ChallengeDataset& ds,
+                       std::size_t trees = 60) {
+  preprocess::FeaturePipeline pipeline(
+      {preprocess::Reduction::kCovariance, 0});
+  const linalg::Matrix train = pipeline.fit_transform(ds.x_train);
+  const linalg::Matrix test = pipeline.transform(ds.x_test);
+  ml::RandomForestConfig config;
+  config.n_estimators = trees;
+  ml::RandomForest forest(config);
+  forest.fit(train, ds.y_train);
+  return ml::accuracy(ds.y_test, forest.predict(test));
+}
+
+TEST(Integration, AllSevenDatasetsClassifyWellAboveChance) {
+  for (const auto& ds : world().datasets) {
+    const double acc = rf_cov_accuracy(ds, 40);
+    EXPECT_GT(acc, 0.4) << ds.name;  // chance ≈ 0.04
+  }
+}
+
+TEST(Integration, MiddleWindowsBeatStartWindows) {
+  // The paper's central qualitative finding (Tables V & VI): models score
+  // worst on the start dataset because the startup phase is class-generic.
+  const double start_acc = rf_cov_accuracy(world().datasets[0]);
+  const double middle_acc = rf_cov_accuracy(world().datasets[1]);
+  EXPECT_GT(middle_acc, start_acc);
+}
+
+TEST(Integration, RandomWindowsLandBetweenStartAndMiddle) {
+  const double start_acc = rf_cov_accuracy(world().datasets[0]);
+  const double middle_acc = rf_cov_accuracy(world().datasets[1]);
+  double random_acc = 0.0;
+  for (std::size_t r = 2; r < 7; ++r) {
+    random_acc += rf_cov_accuracy(world().datasets[r]);
+  }
+  random_acc /= 5.0;
+  EXPECT_GT(random_acc, start_acc - 0.03);
+  EXPECT_LT(random_acc, middle_acc + 0.03);
+}
+
+TEST(Integration, SerializedDatasetTrainsIdentically) {
+  const auto& ds = world().datasets[1];
+  const auto path =
+      std::filesystem::temp_directory_path() / "scwc_integration.scb";
+  data::save_scb(ds, path);
+  const data::ChallengeDataset loaded = data::load_scb(path);
+  std::filesystem::remove(path);
+  EXPECT_DOUBLE_EQ(rf_cov_accuracy(ds), rf_cov_accuracy(loaded));
+}
+
+TEST(Integration, JobLevelSplitIsHarderThanTrialLevel) {
+  // Quantifies the sibling-series leakage of the paper's trial-level split:
+  // the job-level split removes the leakage and cannot be easier.
+  ChallengeConfig config = world().config;
+  config.split_unit = data::SplitUnit::kJob;
+  const auto job_ds = build_challenge_dataset(world().corpus, config,
+                                              data::WindowPolicy::kMiddle);
+  const double job_acc = rf_cov_accuracy(job_ds);
+  const double trial_acc = rf_cov_accuracy(world().datasets[1]);
+  EXPECT_LE(job_acc, trial_acc + 0.02);
+}
+
+TEST(Integration, RnnExperimentRunsEndToEnd) {
+  const ScaleProfile profile = ScaleProfile::named("tiny");
+  auto suite = table6_model_suite(profile, world().config.window_steps);
+  ASSERT_EQ(suite.size(), 6u);  // the six Table-VI rows
+  EXPECT_EQ(suite[0].label, "LSTM (h=128)");
+  EXPECT_EQ(suite[5].label, "CNN-LSTM (h=512, small kernel)");
+
+  RnnRunConfig run;
+  run.trainer.max_epochs = 2;
+  run.trainer.patience = 2;
+  run.trainer.batch_size = 32;
+  run.max_train_trials = 150;
+  const RnnOutcome outcome =
+      run_rnn_experiment(world().datasets[1], suite[0], run);
+  EXPECT_EQ(outcome.model_label, "LSTM (h=128)");
+  EXPECT_GT(outcome.best_val_accuracy, 0.05);  // learned something
+  EXPECT_LE(outcome.epochs_run, 2u);
+  EXPECT_GT(outcome.parameters, 1000u);
+}
+
+TEST(Integration, CnnLstmSuiteShortensSequences) {
+  const ScaleProfile profile = ScaleProfile::named("tiny");
+  const auto suite = table6_model_suite(profile, 60);
+  // CNN variants must be constructible and shorter than the input.
+  for (std::size_t i = 2; i < 6; ++i) {
+    nn::RnnModelConfig config = suite[i].model;
+    config.seq_len = 60;
+    nn::SequenceClassifier model(config);
+    EXPECT_LT(model.lstm_steps(), 60u) << suite[i].label;
+    EXPECT_GE(model.lstm_steps(), 2u) << suite[i].label;
+  }
+}
+
+TEST(Integration, CovarianceFeaturesAreClassDiscriminative) {
+  // Within-class feature distance must be smaller than between-class
+  // distance on average — the geometric property the whole §IV pipeline
+  // relies on.
+  const auto& ds = world().datasets[1];
+  preprocess::FeaturePipeline pipeline(
+      {preprocess::Reduction::kCovariance, 0});
+  const linalg::Matrix f = pipeline.fit_transform(ds.x_train);
+
+  double within = 0.0;
+  std::size_t within_n = 0;
+  double between = 0.0;
+  std::size_t between_n = 0;
+  const std::size_t n = std::min<std::size_t>(f.rows(), 300);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = linalg::squared_distance(f.row(i), f.row(j));
+      if (ds.y_train[i] == ds.y_train[j]) {
+        within += d;
+        ++within_n;
+      } else {
+        between += d;
+        ++between_n;
+      }
+    }
+  }
+  ASSERT_GT(within_n, 0u);
+  ASSERT_GT(between_n, 0u);
+  EXPECT_LT(within / static_cast<double>(within_n),
+            between / static_cast<double>(between_n));
+}
+
+}  // namespace
+}  // namespace scwc::core

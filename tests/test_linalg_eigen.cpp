@@ -1,0 +1,199 @@
+// Eigensolver tests: Jacobi exactness on known spectra, orthonormality,
+// reconstruction, and agreement between the top-k and full solvers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/gemm.hpp"
+
+namespace scwc::linalg {
+namespace {
+
+Matrix random_symmetric(std::size_t n, Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+/// Symmetric PSD matrix with a prescribed spectrum.
+Matrix with_spectrum(const std::vector<double>& eigenvalues, Rng& rng) {
+  const std::size_t n = eigenvalues.size();
+  Matrix q(n, n);
+  for (double& x : q.flat()) x = rng.normal();
+  q = orthonormalize_columns(q);
+  Matrix scaled = q;
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t r = 0; r < n; ++r) scaled(r, c) *= eigenvalues[c];
+  }
+  return matmul_a_bt(scaled, q);  // Q Λ Qᵀ
+}
+
+void expect_orthonormal_columns(const Matrix& v, double tol = 1e-8) {
+  const Matrix gram = gram_at_a(v);
+  EXPECT_LT(gram.max_abs_diff(Matrix::identity(v.cols())), tol);
+}
+
+TEST(JacobiEigen, DiagonalMatrix) {
+  Matrix a{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}};
+  const EigenResult res = jacobi_eigen(a);
+  ASSERT_EQ(res.values.size(), 3u);
+  EXPECT_NEAR(res.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(res.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(res.values[2], 1.0, 1e-12);
+}
+
+TEST(JacobiEigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a{{2, 1}, {1, 2}};
+  const EigenResult res = jacobi_eigen(a);
+  EXPECT_NEAR(res.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(res.values[1], 1.0, 1e-12);
+  // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(res.vectors(0, 0)), std::sqrt(0.5), 1e-10);
+  EXPECT_NEAR(res.vectors(0, 0), res.vectors(1, 0), 1e-10);
+}
+
+TEST(JacobiEigen, PrescribedSpectrumRecovered) {
+  Rng rng(7);
+  const std::vector<double> spectrum{9.0, 4.0, 2.5, 1.0, 0.25};
+  const Matrix a = with_spectrum(spectrum, rng);
+  const EigenResult res = jacobi_eigen(a);
+  for (std::size_t i = 0; i < spectrum.size(); ++i) {
+    EXPECT_NEAR(res.values[i], spectrum[i], 1e-8);
+  }
+}
+
+TEST(JacobiEigen, VectorsAreOrthonormal) {
+  Rng rng(11);
+  const Matrix a = random_symmetric(20, rng);
+  const EigenResult res = jacobi_eigen(a);
+  expect_orthonormal_columns(res.vectors);
+}
+
+TEST(JacobiEigen, ReconstructsMatrix) {
+  Rng rng(13);
+  const Matrix a = random_symmetric(15, rng);
+  const EigenResult res = jacobi_eigen(a);
+  // A == V Λ Vᵀ.
+  Matrix scaled = res.vectors;
+  for (std::size_t c = 0; c < scaled.cols(); ++c) {
+    for (std::size_t r = 0; r < scaled.rows(); ++r) {
+      scaled(r, c) *= res.values[c];
+    }
+  }
+  const Matrix rebuilt = matmul_a_bt(scaled, res.vectors);
+  EXPECT_LT(rebuilt.max_abs_diff(a), 1e-8);
+}
+
+TEST(JacobiEigen, TraceEqualsEigenvalueSum) {
+  Rng rng(17);
+  const Matrix a = random_symmetric(12, rng);
+  const EigenResult res = jacobi_eigen(a);
+  double trace = 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 12; ++i) {
+    trace += a(i, i);
+    sum += res.values[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+TEST(JacobiEigen, RejectsAsymmetric) {
+  Matrix a{{1, 2}, {3, 4}};
+  EXPECT_THROW((void)jacobi_eigen(a), Error);
+  Matrix b(2, 3);
+  EXPECT_THROW((void)jacobi_eigen(b), Error);
+}
+
+TEST(Orthonormalize, ProducesOrthonormalColumns) {
+  Rng rng(19);
+  Matrix a(30, 8);
+  for (double& x : a.flat()) x = rng.normal();
+  expect_orthonormal_columns(orthonormalize_columns(a));
+}
+
+TEST(Orthonormalize, HandlesRankDeficiency) {
+  Matrix a(10, 3);
+  for (std::size_t r = 0; r < 10; ++r) {
+    a(r, 0) = static_cast<double>(r);
+    a(r, 1) = 2.0 * static_cast<double>(r);  // dependent column
+    a(r, 2) = r % 2 == 0 ? 1.0 : -1.0;
+  }
+  expect_orthonormal_columns(orthonormalize_columns(a));
+}
+
+TEST(TopkEigen, MatchesJacobiOnSmallProblem) {
+  Rng rng(23);
+  const Matrix cov = gram_at_a(random_symmetric(25, rng));  // PSD
+  const EigenResult full = jacobi_eigen(cov);
+  const EigenResult topk = topk_eigen(cov, 5);
+  ASSERT_EQ(topk.values.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(topk.values[i], full.values[i],
+                1e-6 * std::max(1.0, std::abs(full.values[i])));
+  }
+}
+
+TEST(TopkEigen, LargeProblemLeadingEigenpairs) {
+  Rng rng(29);
+  // PSD with a decaying spectrum, n > 128 to force subspace iteration.
+  Matrix x(80, 150);
+  for (double& v : x.flat()) v = rng.normal();
+  Matrix cov = gram_at_a(x);  // 150×150 PSD, rank ≤ 80
+  const EigenResult topk = topk_eigen(cov, 6);
+  expect_orthonormal_columns(topk.vectors, 1e-6);
+  // Residuals ||A v - λ v|| must be small relative to λ.
+  for (std::size_t j = 0; j < 6; ++j) {
+    Vector v(150);
+    for (std::size_t r = 0; r < 150; ++r) v[r] = topk.vectors(r, j);
+    const Vector av = matvec(cov, v);
+    double resid = 0.0;
+    for (std::size_t r = 0; r < 150; ++r) {
+      const double d = av[r] - topk.values[j] * v[r];
+      resid += d * d;
+    }
+    EXPECT_LT(std::sqrt(resid), 5e-4 * std::max(1.0, topk.values[j]));
+  }
+  // Descending order.
+  for (std::size_t j = 1; j < 6; ++j) {
+    EXPECT_GE(topk.values[j - 1], topk.values[j] - 1e-9);
+  }
+}
+
+TEST(TopkEigen, KClampedToDimension) {
+  Rng rng(31);
+  const Matrix a = gram_at_a(random_symmetric(6, rng));
+  const EigenResult res = topk_eigen(a, 100);
+  EXPECT_EQ(res.values.size(), 6u);
+}
+
+TEST(TopkEigen, ZeroComponentsIsEmpty) {
+  Matrix a = Matrix::identity(4);
+  const EigenResult res = topk_eigen(a, 0);
+  EXPECT_TRUE(res.values.empty());
+  EXPECT_EQ(res.vectors.cols(), 0u);
+}
+
+TEST(TopkEigen, DeterministicAcrossCalls) {
+  Rng rng(37);
+  Matrix x(60, 140);
+  for (double& v : x.flat()) v = rng.normal();
+  const Matrix cov = gram_at_a(x);
+  const EigenResult a = topk_eigen(cov, 4, 100, 1e-9, 42);
+  const EigenResult b = topk_eigen(cov, 4, 100, 1e-9, 42);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(a.values[i], b.values[i]);
+  }
+  EXPECT_EQ(a.vectors.max_abs_diff(b.vectors), 0.0);
+}
+
+}  // namespace
+}  // namespace scwc::linalg

@@ -1,0 +1,152 @@
+// GEMM kernels vs a naive reference, across shapes (property-style sweep).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "linalg/gemm.hpp"
+
+namespace scwc::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& x : m.flat()) x = rng.normal();
+  return m;
+}
+
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+TEST(Gemm, TwoByTwoKnownValues) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  Rng rng(5);
+  const Matrix a = random_matrix(13, 13, rng);
+  EXPECT_LT(matmul(a, Matrix::identity(13)).max_abs_diff(a), 1e-12);
+  EXPECT_LT(matmul(Matrix::identity(13), a).max_abs_diff(a), 1e-12);
+}
+
+TEST(Gemm, InnerDimensionMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(4, 2);
+  EXPECT_THROW((void)matmul(a, b), Error);
+}
+
+class GemmShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeTest, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 10007 + k * 101 + n));
+  const Matrix a = random_matrix(static_cast<std::size_t>(m),
+                                 static_cast<std::size_t>(k), rng);
+  const Matrix b = random_matrix(static_cast<std::size_t>(k),
+                                 static_cast<std::size_t>(n), rng);
+  const Matrix expected = naive_matmul(a, b);
+  EXPECT_LT(matmul(a, b).max_abs_diff(expected), 1e-9);
+}
+
+TEST_P(GemmShapeTest, TransposedVariantsMatchExplicitTranspose) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 31 + k * 7 + n * 3));
+  const Matrix a = random_matrix(static_cast<std::size_t>(k),
+                                 static_cast<std::size_t>(m), rng);
+  const Matrix b = random_matrix(static_cast<std::size_t>(k),
+                                 static_cast<std::size_t>(n), rng);
+  // AᵀB
+  const Matrix expected_atb = naive_matmul(a.transposed(), b);
+  EXPECT_LT(matmul_at_b(a, b).max_abs_diff(expected_atb), 1e-9);
+  // ABᵀ
+  const Matrix c = random_matrix(static_cast<std::size_t>(m),
+                                 static_cast<std::size_t>(k), rng);
+  const Matrix d = random_matrix(static_cast<std::size_t>(n),
+                                 static_cast<std::size_t>(k), rng);
+  const Matrix expected_abt = naive_matmul(c, d.transposed());
+  EXPECT_LT(matmul_a_bt(c, d).max_abs_diff(expected_abt), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 7, 3),
+                      std::make_tuple(5, 1, 5), std::make_tuple(8, 8, 8),
+                      std::make_tuple(17, 33, 9), std::make_tuple(64, 64, 64),
+                      std::make_tuple(65, 130, 70),
+                      std::make_tuple(100, 257, 3),
+                      std::make_tuple(3, 300, 100)));
+
+TEST(Gemm, AccumulateAddsIntoExisting) {
+  Rng rng(77);
+  const Matrix a = random_matrix(6, 4, rng);
+  const Matrix b = random_matrix(4, 5, rng);
+  Matrix c(6, 5, 1.0);
+  matmul_accumulate(a, b, c);
+  Matrix expected = naive_matmul(a, b);
+  for (double& x : expected.flat()) x += 1.0;
+  EXPECT_LT(c.max_abs_diff(expected), 1e-10);
+}
+
+TEST(Gemm, MatvecMatchesMatmul) {
+  Rng rng(88);
+  const Matrix a = random_matrix(9, 6, rng);
+  Matrix x_col(6, 1);
+  std::vector<double> x(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    x[i] = rng.normal();
+    x_col(i, 0) = x[i];
+  }
+  const Matrix expected = naive_matmul(a, x_col);
+  const Vector y = matvec(a, x);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_NEAR(y[i], expected(i, 0), 1e-10);
+}
+
+TEST(Gemm, MatvecTransposedMatchesReference) {
+  Rng rng(99);
+  const Matrix a = random_matrix(7, 4, rng);
+  std::vector<double> x(7);
+  for (auto& v : x) v = rng.normal();
+  const Vector y = matvec_transposed(a, x);
+  for (std::size_t c = 0; c < 4; ++c) {
+    double expected = 0.0;
+    for (std::size_t r = 0; r < 7; ++r) expected += a(r, c) * x[r];
+    EXPECT_NEAR(y[c], expected, 1e-10);
+  }
+}
+
+TEST(Gemm, GramMatricesAreSymmetricAndConsistent) {
+  Rng rng(111);
+  const Matrix a = random_matrix(12, 8, rng);
+  const Matrix ata = gram_at_a(a);
+  const Matrix aat = gram_a_at(a);
+  EXPECT_EQ(ata.rows(), 8u);
+  EXPECT_EQ(aat.rows(), 12u);
+  EXPECT_LT(ata.max_abs_diff(ata.transposed()), 1e-10);
+  EXPECT_LT(aat.max_abs_diff(aat.transposed()), 1e-10);
+  // Traces agree: tr(AᵀA) == tr(AAᵀ) == ||A||_F².
+  double tr1 = 0.0;
+  double tr2 = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) tr1 += ata(i, i);
+  for (std::size_t i = 0; i < 12; ++i) tr2 += aat(i, i);
+  EXPECT_NEAR(tr1, tr2, 1e-9);
+  EXPECT_NEAR(tr1, a.frobenius_norm() * a.frobenius_norm(), 1e-9);
+}
+
+}  // namespace
+}  // namespace scwc::linalg

@@ -1,0 +1,154 @@
+// Unit tests for the Matrix container and vector helpers.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+
+namespace scwc::linalg {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ZeroInitialised) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(Matrix, FillConstructorAndFill) {
+  Matrix m(2, 2, 7.5);
+  EXPECT_EQ(m(1, 1), 7.5);
+  m.fill(-1.0);
+  EXPECT_EQ(m(0, 0), -1.0);
+}
+
+TEST(Matrix, InitializerListLayout) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(0, 2), 3.0);
+  EXPECT_EQ(m(1, 0), 4.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), Error);
+}
+
+TEST(Matrix, AtBoundsChecks) {
+  Matrix m(2, 2);
+  EXPECT_NO_THROW(m.at(1, 1));
+  EXPECT_THROW(m.at(2, 0), Error);
+  EXPECT_THROW(m.at(0, 2), Error);
+}
+
+TEST(Matrix, RowSpanAliasesStorage) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[2] = 42.0;
+  EXPECT_EQ(m(1, 2), 42.0);
+}
+
+TEST(Matrix, ReshapePreservesData) {
+  Matrix m{{1, 2, 3, 4}};
+  m.reshape(2, 2);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_THROW(m.reshape(3, 2), Error);
+}
+
+TEST(Matrix, TransposeSmall) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(0, 1), 4.0);
+  EXPECT_EQ(t(2, 0), 3.0);
+}
+
+TEST(Matrix, TransposeLargeIsInvolution) {
+  Matrix m(67, 45);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      m(r, c) = static_cast<double>(r * 1000 + c);
+    }
+  }
+  EXPECT_EQ(m.transposed().transposed().max_abs_diff(m), 0.0);
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{10, 20}, {30, 40}};
+  const Matrix sum = a + b;
+  EXPECT_EQ(sum(1, 1), 44.0);
+  const Matrix diff = b - a;
+  EXPECT_EQ(diff(0, 0), 9.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_EQ(scaled(1, 0), 6.0);
+  const Matrix scaled2 = 3.0 * a;
+  EXPECT_EQ(scaled2(0, 1), 6.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  Matrix b(2, 3);
+  EXPECT_THROW(a += b, Error);
+  EXPECT_THROW(a -= b, Error);
+  EXPECT_THROW((void)a.max_abs_diff(b), Error);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix m{{3, 4}};
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, IdentityIsIdentity) {
+  const Matrix eye = Matrix::identity(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(eye(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, ToStringContainsValues) {
+  Matrix m{{1.5, 2.5}};
+  const std::string s = m.to_string(1);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+TEST(VectorOps, DotProduct) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(VectorOps, Axpy) {
+  const std::vector<double> x{1, 2};
+  std::vector<double> y{10, 20};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VectorOps, Norm2) {
+  const std::vector<double> v{3, 4};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+}
+
+TEST(VectorOps, SquaredDistance) {
+  const std::vector<double> a{0, 0};
+  const std::vector<double> b{3, 4};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+}
+
+}  // namespace
+}  // namespace scwc::linalg

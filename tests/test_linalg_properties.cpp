@@ -1,0 +1,124 @@
+// Property-based tests over random inputs for the linear-algebra layer:
+// algebraic identities that must hold for any operands.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/stats.hpp"
+
+namespace scwc::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& x : m.flat()) x = rng.normal();
+  return m;
+}
+
+class RandomSeedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSeedTest, MatmulIsAssociative) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t a = 3 + rng.uniform_index(20);
+  const std::size_t b = 3 + rng.uniform_index(20);
+  const std::size_t c = 3 + rng.uniform_index(20);
+  const std::size_t d = 3 + rng.uniform_index(20);
+  const Matrix x = random_matrix(a, b, rng);
+  const Matrix y = random_matrix(b, c, rng);
+  const Matrix z = random_matrix(c, d, rng);
+  const Matrix left = matmul(matmul(x, y), z);
+  const Matrix right = matmul(x, matmul(y, z));
+  EXPECT_LT(left.max_abs_diff(right),
+            1e-9 * std::max(1.0, left.frobenius_norm()));
+}
+
+TEST_P(RandomSeedTest, MatmulDistributesOverAddition) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const std::size_t m = 2 + rng.uniform_index(15);
+  const std::size_t k = 2 + rng.uniform_index(15);
+  const std::size_t n = 2 + rng.uniform_index(15);
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  const Matrix c = random_matrix(k, n, rng);
+  const Matrix left = matmul(a, b + c);
+  const Matrix right = matmul(a, b) + matmul(a, c);
+  EXPECT_LT(left.max_abs_diff(right), 1e-10 * (1.0 + left.frobenius_norm()));
+}
+
+TEST_P(RandomSeedTest, TransposeReversesProducts) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 200);
+  const std::size_t m = 2 + rng.uniform_index(12);
+  const std::size_t k = 2 + rng.uniform_index(12);
+  const std::size_t n = 2 + rng.uniform_index(12);
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  // (AB)ᵀ == BᵀAᵀ
+  const Matrix left = matmul(a, b).transposed();
+  const Matrix right = matmul(b.transposed(), a.transposed());
+  EXPECT_LT(left.max_abs_diff(right), 1e-10 * (1.0 + left.frobenius_norm()));
+}
+
+TEST_P(RandomSeedTest, CovarianceMatrixIsPsd) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 300);
+  const std::size_t n = 10 + rng.uniform_index(40);
+  const std::size_t d = 2 + rng.uniform_index(8);
+  const Matrix x = random_matrix(n, d, rng);
+  const Matrix cov = covariance_matrix(x);
+  const EigenResult eig = jacobi_eigen(cov);
+  for (const double lambda : eig.values) {
+    EXPECT_GE(lambda, -1e-10);
+  }
+}
+
+TEST_P(RandomSeedTest, GramEigenvaluesAreSharedAcrossSides) {
+  // Nonzero eigenvalues of AᵀA equal those of AAᵀ.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 400);
+  const std::size_t m = 4 + rng.uniform_index(8);
+  const std::size_t n = m + 1 + rng.uniform_index(8);  // m < n
+  const Matrix a = random_matrix(m, n, rng);
+  const EigenResult small = jacobi_eigen(gram_a_at(a));   // m×m
+  const EigenResult large = jacobi_eigen(gram_at_a(a));   // n×n
+  for (std::size_t i = 0; i < m; ++i) {
+    EXPECT_NEAR(small.values[i], large.values[i],
+                1e-8 * std::max(1.0, small.values[i]));
+  }
+  // The trailing eigenvalues of the larger Gram are ~0 (rank ≤ m).
+  for (std::size_t i = m; i < n; ++i) {
+    EXPECT_NEAR(large.values[i], 0.0, 1e-8);
+  }
+}
+
+TEST_P(RandomSeedTest, CauchySchwarzOnRandomVectors) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 500);
+  const std::size_t n = 1 + rng.uniform_index(50);
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.normal();
+    b[i] = rng.normal();
+  }
+  EXPECT_LE(std::abs(dot(a, b)), norm2(a) * norm2(b) + 1e-12);
+}
+
+TEST_P(RandomSeedTest, PearsonIsScaleInvariant) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 600);
+  const std::size_t n = 5 + rng.uniform_index(50);
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.normal();
+    b[i] = rng.normal();
+  }
+  const double base = pearson(a, b);
+  std::vector<double> a_scaled(n);
+  for (std::size_t i = 0; i < n; ++i) a_scaled[i] = 3.5 * a[i] + 7.0;
+  EXPECT_NEAR(pearson(a_scaled, b), base, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSeedTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace scwc::linalg

@@ -1,0 +1,224 @@
+// Tests for the XGBoost-style gradient-boosted trees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/gbt.hpp"
+#include "ml/metrics.hpp"
+
+namespace scwc::ml {
+namespace {
+
+using linalg::Matrix;
+
+void make_blobs(std::size_t per_class, std::size_t classes, std::size_t dims,
+                double spread, Matrix& x, std::vector<int>& y,
+                std::uint64_t seed = 21) {
+  Rng rng(seed);
+  x = Matrix(per_class * classes, dims);
+  y.assign(per_class * classes, 0);
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const std::size_t row = c * per_class + i;
+      y[row] = static_cast<int>(c);
+      for (std::size_t d = 0; d < dims; ++d) {
+        x(row, d) = (d == c % dims ? 3.0 : 0.0) + rng.normal() * spread;
+      }
+    }
+  }
+}
+
+TEST(Gbt, FitsSeparableMulticlassData) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(40, 3, 4, 0.5, x, y);
+  GbtConfig config;
+  config.n_rounds = 15;
+  GradientBoostedTrees gbt(config);
+  gbt.fit(x, y);
+  EXPECT_GT(accuracy(y, gbt.predict(x)), 0.98);
+  EXPECT_EQ(gbt.num_classes(), 3u);
+  EXPECT_EQ(gbt.rounds_fitted(), 15u);
+}
+
+TEST(Gbt, GeneralisesToHeldOutBlobs) {
+  Matrix x_train;
+  std::vector<int> y_train;
+  make_blobs(60, 4, 5, 1.2, x_train, y_train, 5);
+  Matrix x_test;
+  std::vector<int> y_test;
+  make_blobs(25, 4, 5, 1.2, x_test, y_test, 6);
+  GbtConfig config;
+  config.n_rounds = 25;
+  GradientBoostedTrees gbt(config);
+  gbt.fit(x_train, y_train);
+  EXPECT_GT(accuracy(y_test, gbt.predict(x_test)), 0.8);
+}
+
+TEST(Gbt, TrainAccuracyApproachesOneWithRounds) {
+  // The paper: "the model is overfitting as the training set error is very
+  // close to zero" after ~40 rounds.
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(30, 4, 4, 2.0, x, y, 9);
+  GbtConfig config;
+  config.n_rounds = 40;
+  GradientBoostedTrees gbt(config);
+  std::vector<double> history;
+  gbt.fit_with_history(x, y, &history);
+  ASSERT_EQ(history.size(), 40u);
+  EXPECT_GT(history.back(), 0.97);
+  // Accuracy curve is (weakly) improving overall: late > early.
+  EXPECT_GT(history.back(), history.front());
+}
+
+TEST(Gbt, HistoryPlateausAfterConvergence) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(30, 3, 3, 0.8, x, y, 10);
+  GbtConfig config;
+  config.n_rounds = 40;
+  GradientBoostedTrees gbt(config);
+  std::vector<double> history;
+  gbt.fit_with_history(x, y, &history);
+  // Once ~perfect, it stays ~perfect (plateau claim of §IV-B).
+  const double at20 = history[19];
+  const double at39 = history[39];
+  EXPECT_NEAR(at39, at20, 0.03);
+}
+
+TEST(Gbt, ProbabilitiesAreDistributions) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(20, 3, 3, 1.0, x, y);
+  GradientBoostedTrees gbt({.n_rounds = 10});
+  gbt.fit(x, y);
+  const Matrix proba = gbt.predict_proba(x);
+  for (std::size_t r = 0; r < proba.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < proba.cols(); ++c) {
+      EXPECT_GE(proba(r, c), 0.0);
+      sum += proba(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Gbt, ImportanceFindsTheInformativeFeature) {
+  // Only feature 0 carries signal; the rest are noise.
+  Rng rng(12);
+  Matrix x(300, 6);
+  std::vector<int> y(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    x(i, 0) = y[i] == 0 ? -1.0 + rng.normal() * 0.3 : 1.0 + rng.normal() * 0.3;
+    for (std::size_t d = 1; d < 6; ++d) x(i, d) = rng.normal();
+  }
+  GradientBoostedTrees gbt({.n_rounds = 10});
+  gbt.fit(x, y);
+  const auto ranking = gbt.feature_importance().ranking_by_gain();
+  EXPECT_EQ(ranking[0], 0u);
+  EXPECT_GT(gbt.feature_importance().total_gain[0],
+            10.0 * gbt.feature_importance().total_gain[ranking[1]]);
+  EXPECT_GT(gbt.feature_importance().frequency[0], 0.0);
+}
+
+TEST(Gbt, GammaPrunesSplits) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(40, 3, 4, 2.5, x, y, 14);
+  GbtConfig loose;
+  loose.n_rounds = 10;
+  loose.gamma = 0.0;
+  GbtConfig strict = loose;
+  strict.gamma = 50.0;  // only very strong splits survive
+  GradientBoostedTrees a(loose);
+  GradientBoostedTrees b(strict);
+  a.fit(x, y);
+  b.fit(x, y);
+  double splits_loose = 0.0;
+  double splits_strict = 0.0;
+  for (const double f : a.feature_importance().frequency) splits_loose += f;
+  for (const double f : b.feature_importance().frequency) splits_strict += f;
+  EXPECT_LT(splits_strict, splits_loose);
+}
+
+TEST(Gbt, LambdaShrinksLeafInfluence) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(30, 2, 3, 1.0, x, y, 15);
+  GbtConfig weak;
+  weak.n_rounds = 1;
+  weak.reg_lambda = 0.1;
+  GbtConfig strong = weak;
+  strong.reg_lambda = 100.0;
+  GradientBoostedTrees a(weak);
+  GradientBoostedTrees b(strong);
+  a.fit(x, y);
+  b.fit(x, y);
+  // After one round, heavy L2 keeps probabilities closer to uniform.
+  const Matrix pa = a.predict_proba(x);
+  const Matrix pb = b.predict_proba(x);
+  double conf_a = 0.0;
+  double conf_b = 0.0;
+  for (std::size_t r = 0; r < pa.rows(); ++r) {
+    conf_a += std::abs(pa(r, 0) - 0.5);
+    conf_b += std::abs(pb(r, 0) - 0.5);
+  }
+  EXPECT_LT(conf_b, conf_a);
+}
+
+TEST(Gbt, AlphaZeroesWeakLeaves) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(30, 2, 3, 1.0, x, y, 16);
+  GbtConfig config;
+  config.n_rounds = 3;
+  config.reg_alpha = 1e6;  // L1 so strong every leaf collapses to zero
+  GradientBoostedTrees gbt(config);
+  gbt.fit(x, y);
+  const Matrix proba = gbt.predict_proba(x);
+  for (std::size_t r = 0; r < proba.rows(); ++r) {
+    EXPECT_NEAR(proba(r, 0), 0.5, 1e-6);
+  }
+}
+
+TEST(Gbt, SubsamplingStillLearns) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(60, 3, 4, 0.8, x, y, 17);
+  GbtConfig config;
+  config.n_rounds = 20;
+  config.subsample = 0.7;
+  config.colsample = 0.75;
+  GradientBoostedTrees gbt(config);
+  gbt.fit(x, y);
+  EXPECT_GT(accuracy(y, gbt.predict(x)), 0.9);
+}
+
+TEST(Gbt, DeterministicAcrossRuns) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(30, 3, 4, 1.0, x, y, 18);
+  GbtConfig config;
+  config.n_rounds = 8;
+  config.subsample = 0.8;
+  GradientBoostedTrees a(config);
+  GradientBoostedTrees b(config);
+  a.fit(x, y);
+  b.fit(x, y);
+  EXPECT_EQ(a.predict(x), b.predict(x));
+}
+
+TEST(Gbt, ErrorsOnMisuse) {
+  GradientBoostedTrees gbt;
+  Matrix x(3, 2);
+  EXPECT_THROW((void)gbt.predict(x), Error);
+  std::vector<int> wrong(2, 0);
+  EXPECT_THROW(gbt.fit(x, wrong), Error);
+}
+
+}  // namespace
+}  // namespace scwc::ml

@@ -1,0 +1,225 @@
+// Tests for the kNN and multinomial logistic-regression baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/knn.hpp"
+#include "ml/logistic.hpp"
+#include "ml/metrics.hpp"
+
+namespace scwc::ml {
+namespace {
+
+using linalg::Matrix;
+
+void make_blobs(std::size_t per_class, std::size_t classes, std::size_t dims,
+                double spread, Matrix& x, std::vector<int>& y,
+                std::uint64_t seed = 77) {
+  Rng rng(seed);
+  x = Matrix(per_class * classes, dims);
+  y.assign(per_class * classes, 0);
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const std::size_t row = c * per_class + i;
+      y[row] = static_cast<int>(c);
+      for (std::size_t d = 0; d < dims; ++d) {
+        x(row, d) = (d == c % dims ? 4.0 : 0.0) + rng.normal() * spread;
+      }
+    }
+  }
+}
+
+TEST(Knn, OneNearestNeighbourIsPerfectOnTrain) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(20, 3, 4, 1.0, x, y);
+  Knn knn({.k = 1});
+  knn.fit(x, y);
+  EXPECT_DOUBLE_EQ(accuracy(y, knn.predict(x)), 1.0);
+}
+
+TEST(Knn, GeneralisesOnBlobs) {
+  Matrix x_train;
+  std::vector<int> y_train;
+  make_blobs(40, 4, 5, 1.0, x_train, y_train, 1);
+  Matrix x_test;
+  std::vector<int> y_test;
+  make_blobs(15, 4, 5, 1.0, x_test, y_test, 2);
+  Knn knn({.k = 5});
+  knn.fit(x_train, y_train);
+  EXPECT_GT(accuracy(y_test, knn.predict(x_test)), 0.9);
+}
+
+TEST(Knn, ManhattanMetricWorks) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(30, 3, 3, 0.6, x, y, 3);
+  Knn knn({.k = 3, .metric = KnnMetric::kManhattan});
+  knn.fit(x, y);
+  EXPECT_GT(accuracy(y, knn.predict(x)), 0.95);
+}
+
+TEST(Knn, DistanceWeightingBreaksTies) {
+  // Query sits between two classes; the closer neighbours must win under
+  // distance weighting even when outnumbered by farther ones.
+  Matrix x(5, 1);
+  x(0, 0) = 0.00;  // class 0, adjacent
+  x(1, 0) = 0.05;  // class 0, adjacent
+  x(2, 0) = 3.00;  // class 1, far
+  x(3, 0) = 3.10;  // class 1, far
+  x(4, 0) = 3.20;  // class 1, far
+  const std::vector<int> y{0, 0, 1, 1, 1};
+  Knn weighted({.k = 5, .distance_weighted = true});
+  weighted.fit(x, y);
+  Matrix query(1, 1);
+  query(0, 0) = 0.1;
+  EXPECT_EQ(weighted.predict(query)[0], 0);
+  Knn uniform({.k = 5, .distance_weighted = false});
+  uniform.fit(x, y);
+  EXPECT_EQ(uniform.predict(query)[0], 1);  // majority of 5 wins
+}
+
+TEST(Knn, ProbaIsAVoteShare) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(10, 2, 2, 0.5, x, y, 4);
+  Knn knn({.k = 4});
+  knn.fit(x, y);
+  const Matrix proba = knn.predict_proba(x);
+  for (std::size_t r = 0; r < proba.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < proba.cols(); ++c) {
+      EXPECT_GE(proba(r, c), 0.0);
+      sum += proba(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Knn, KClampedToTrainingSize) {
+  Matrix x(3, 1);
+  x(0, 0) = 0.0;
+  x(1, 0) = 1.0;
+  x(2, 0) = 2.0;
+  const std::vector<int> y{0, 1, 1};
+  Knn knn({.k = 99});
+  knn.fit(x, y);
+  EXPECT_EQ(knn.predict(x)[0], 1);  // majority over the whole set
+}
+
+TEST(Knn, ErrorsOnMisuse) {
+  Knn knn;
+  Matrix x(2, 2);
+  EXPECT_THROW((void)knn.predict(x), Error);
+  std::vector<int> wrong(1, 0);
+  EXPECT_THROW(knn.fit(x, wrong), Error);
+}
+
+TEST(Logistic, SeparableBinaryProblem) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(50, 2, 3, 0.5, x, y, 5);
+  LogisticRegression lr;
+  lr.fit(x, y);
+  EXPECT_GT(accuracy(y, lr.predict(x)), 0.98);
+}
+
+TEST(Logistic, MulticlassBlobs) {
+  Matrix x_train;
+  std::vector<int> y_train;
+  make_blobs(60, 4, 6, 1.0, x_train, y_train, 6);
+  Matrix x_test;
+  std::vector<int> y_test;
+  make_blobs(20, 4, 6, 1.0, x_test, y_test, 7);
+  LogisticRegression lr;
+  lr.fit(x_train, y_train);
+  EXPECT_GT(accuracy(y_test, lr.predict(x_test)), 0.9);
+}
+
+TEST(Logistic, LossDecreasesMonotonicallyEnough) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(40, 3, 4, 1.0, x, y, 8);
+  LogisticConfig config;
+  config.max_iters = 100;
+  LogisticRegression lr(config);
+  lr.fit(x, y);
+  const auto& hist = lr.loss_history();
+  ASSERT_GE(hist.size(), 10u);
+  EXPECT_LT(hist.back(), hist.front());
+  // First iteration starts at ln(3) (uniform prediction with zero weights).
+  EXPECT_NEAR(hist.front(), std::log(3.0), 1e-9);
+}
+
+TEST(Logistic, StrongL2KeepsProbabilitiesSoft) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(30, 2, 3, 0.5, x, y, 9);
+  LogisticConfig weak;
+  weak.l2 = 0.0;
+  weak.learning_rate = 0.1;
+  LogisticConfig strong;
+  strong.l2 = 2.0;  // keep lr*l2 << 1 so GD stays stable
+  strong.learning_rate = 0.1;
+  LogisticRegression a(weak);
+  LogisticRegression b(strong);
+  a.fit(x, y);
+  b.fit(x, y);
+  double conf_a = 0.0;
+  double conf_b = 0.0;
+  const Matrix pa = a.predict_proba(x);
+  const Matrix pb = b.predict_proba(x);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    conf_a += std::abs(pa(r, 0) - 0.5);
+    conf_b += std::abs(pb(r, 0) - 0.5);
+  }
+  EXPECT_LT(conf_b, conf_a);
+}
+
+TEST(Logistic, ProbaRowsSumToOne) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(20, 3, 3, 1.0, x, y, 10);
+  LogisticRegression lr;
+  lr.fit(x, y);
+  const Matrix proba = lr.predict_proba(x);
+  for (std::size_t r = 0; r < proba.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < proba.cols(); ++c) sum += proba(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Logistic, ErrorsOnMisuse) {
+  LogisticRegression lr;
+  Matrix x(3, 2);
+  EXPECT_THROW((void)lr.predict(x), Error);
+  std::vector<int> wrong(2, 0);
+  EXPECT_THROW(lr.fit(x, wrong), Error);
+}
+
+TEST(Baselines, TreeBeatsLinearOnXor) {
+  // Sanity ordering between model families: XOR defeats the linear model
+  // but not the neighbour-based one.
+  Rng rng(11);
+  Matrix x(240, 2);
+  std::vector<int> y(240);
+  for (std::size_t i = 0; i < 240; ++i) {
+    const bool a = rng.bernoulli(0.5);
+    const bool b = rng.bernoulli(0.5);
+    x(i, 0) = (a ? 1.0 : 0.0) + rng.normal() * 0.1;
+    x(i, 1) = (b ? 1.0 : 0.0) + rng.normal() * 0.1;
+    y[i] = (a != b) ? 1 : 0;
+  }
+  LogisticRegression lr;
+  lr.fit(x, y);
+  Knn knn({.k = 5});
+  knn.fit(x, y);
+  EXPECT_LT(accuracy(y, lr.predict(x)), 0.75);
+  EXPECT_GT(accuracy(y, knn.predict(x)), 0.95);
+}
+
+}  // namespace
+}  // namespace scwc::ml

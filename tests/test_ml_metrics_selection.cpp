@@ -1,0 +1,185 @@
+// Tests for metrics, k-fold cross-validation and grid search.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model_selection.hpp"
+
+namespace scwc::ml {
+namespace {
+
+using linalg::Matrix;
+
+TEST(Metrics, AccuracyBasics) {
+  const std::vector<int> truth{0, 1, 2, 1};
+  const std::vector<int> pred{0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(accuracy(truth, pred), 0.75);
+  EXPECT_DOUBLE_EQ(accuracy(std::vector<int>{}, std::vector<int>{}), 0.0);
+  const std::vector<int> short_pred{0};
+  EXPECT_THROW((void)accuracy(truth, short_pred), Error);
+}
+
+TEST(Metrics, ConfusionMatrixEntries) {
+  const std::vector<int> truth{0, 0, 1, 1, 2};
+  const std::vector<int> pred{0, 1, 1, 1, 0};
+  const Matrix cm = confusion_matrix(truth, pred, 3);
+  EXPECT_EQ(cm(0, 0), 1.0);
+  EXPECT_EQ(cm(0, 1), 1.0);
+  EXPECT_EQ(cm(1, 1), 2.0);
+  EXPECT_EQ(cm(2, 0), 1.0);
+  EXPECT_EQ(cm(2, 2), 0.0);
+  // Row sums equal class supports.
+  double total = 0.0;
+  for (const double v : cm.flat()) total += v;
+  EXPECT_EQ(total, 5.0);
+}
+
+TEST(Metrics, ConfusionMatrixRejectsBadLabels) {
+  const std::vector<int> truth{0, 3};
+  const std::vector<int> pred{0, 1};
+  EXPECT_THROW((void)confusion_matrix(truth, pred, 3), Error);
+}
+
+TEST(Metrics, ClassificationReportPerfectPrediction) {
+  const std::vector<int> truth{0, 1, 2, 0, 1, 2};
+  const ClassReport rep = classification_report(truth, truth, 3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(rep.precision[c], 1.0);
+    EXPECT_DOUBLE_EQ(rep.recall[c], 1.0);
+    EXPECT_DOUBLE_EQ(rep.f1[c], 1.0);
+    EXPECT_EQ(rep.support[c], 2u);
+  }
+  EXPECT_DOUBLE_EQ(rep.macro_f1, 1.0);
+}
+
+TEST(Metrics, ClassificationReportKnownValues) {
+  const std::vector<int> truth{0, 0, 0, 1};
+  const std::vector<int> pred{0, 0, 1, 1};
+  const ClassReport rep = classification_report(truth, pred, 2);
+  EXPECT_DOUBLE_EQ(rep.precision[0], 1.0);
+  EXPECT_NEAR(rep.recall[0], 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rep.precision[1], 0.5);
+  EXPECT_DOUBLE_EQ(rep.recall[1], 1.0);
+}
+
+TEST(Metrics, TopKAccuracy) {
+  Matrix scores{{0.5, 0.3, 0.2}, {0.1, 0.2, 0.7}, {0.3, 0.4, 0.3}};
+  const std::vector<int> truth{1, 2, 0};
+  EXPECT_NEAR(top_k_accuracy(scores, truth, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(top_k_accuracy(scores, truth, 2), 1.0, 1e-12);
+}
+
+class KFoldTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(KFoldTest, PartitionProperties) {
+  const auto [n, k] = GetParam();
+  const auto folds = kfold(static_cast<std::size_t>(n),
+                           static_cast<std::size_t>(k), true, 7);
+  ASSERT_EQ(folds.size(), static_cast<std::size_t>(k));
+  std::set<std::size_t> all_validation;
+  for (const auto& fold : folds) {
+    // Validation sets are disjoint and cover everything.
+    for (const auto i : fold.validation) {
+      EXPECT_TRUE(all_validation.insert(i).second) << "duplicate " << i;
+    }
+    // Train+validation is the full index set for each fold.
+    EXPECT_EQ(fold.train.size() + fold.validation.size(),
+              static_cast<std::size_t>(n));
+    std::set<std::size_t> fold_train(fold.train.begin(), fold.train.end());
+    for (const auto i : fold.validation) {
+      EXPECT_EQ(fold_train.count(i), 0u);
+    }
+    // Balanced within one row.
+    EXPECT_LE(fold.validation.size(),
+              static_cast<std::size_t>(n) / static_cast<std::size_t>(k) + 1);
+    EXPECT_GE(fold.validation.size(),
+              static_cast<std::size_t>(n) / static_cast<std::size_t>(k));
+  }
+  EXPECT_EQ(all_validation.size(), static_cast<std::size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KFoldTest,
+                         ::testing::Values(std::make_pair(10, 2),
+                                           std::make_pair(10, 10),
+                                           std::make_pair(103, 10),
+                                           std::make_pair(29, 5),
+                                           std::make_pair(1000, 3)));
+
+TEST(KFold, ShuffleChangesAssignment) {
+  const auto a = kfold(50, 5, true, 1);
+  const auto b = kfold(50, 5, true, 2);
+  EXPECT_NE(a[0].validation, b[0].validation);
+  const auto c = kfold(50, 5, false, 1);
+  // Unshuffled: first fold validation is 0..9.
+  EXPECT_EQ(c[0].validation.front(), 0u);
+  EXPECT_EQ(c[0].validation.back(), 9u);
+}
+
+TEST(KFold, InvalidArgsThrow) {
+  EXPECT_THROW((void)kfold(5, 1, true, 0), Error);
+  EXPECT_THROW((void)kfold(3, 5, true, 0), Error);
+}
+
+TEST(TakeRows, SelectsAndValidates) {
+  Matrix x{{1, 2}, {3, 4}, {5, 6}};
+  const std::vector<std::size_t> rows{2, 0};
+  const Matrix sel = take_rows(x, rows);
+  EXPECT_EQ(sel(0, 0), 5.0);
+  EXPECT_EQ(sel(1, 1), 2.0);
+  const std::vector<std::size_t> bad{5};
+  EXPECT_THROW((void)take_rows(x, bad), Error);
+  const std::vector<int> y{7, 8, 9};
+  EXPECT_EQ(take_labels(y, rows), (std::vector<int>{9, 7}));
+}
+
+TEST(CrossVal, PerfectModelScoresOne) {
+  // Trivially separable data → a tree CV-scores ~1.
+  Matrix x(40, 1);
+  std::vector<int> y(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    y[i] = i < 20 ? 0 : 1;
+    x(i, 0) = y[i] == 0 ? -1.0 : 1.0;
+  }
+  const auto folds = kfold(40, 5, true, 3);
+  const double score = cross_val_accuracy(
+      x, y, folds, [] { return std::make_unique<DecisionTree>(); });
+  EXPECT_DOUBLE_EQ(score, 1.0);
+}
+
+TEST(CrossVal, RandomLabelsScoreNearChance) {
+  Rng rng(5);
+  Matrix x(200, 3);
+  std::vector<int> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    y[i] = static_cast<int>(rng.uniform_index(2));
+    for (std::size_t d = 0; d < 3; ++d) x(i, d) = rng.normal();
+  }
+  const auto folds = kfold(200, 5, true, 4);
+  DecisionTreeConfig config;
+  config.max_depth = 3;
+  const double score = cross_val_accuracy(x, y, folds, [config] {
+    return std::make_unique<DecisionTree>(config);
+  });
+  EXPECT_GT(score, 0.3);
+  EXPECT_LT(score, 0.7);
+}
+
+TEST(GridSearch, FindsTheArgmax) {
+  const std::vector<double> landscape{0.1, 0.7, 0.3, 0.9, 0.2};
+  const GridSearchResult res = grid_search(
+      landscape.size(), [&](std::size_t i) { return landscape[i]; });
+  EXPECT_EQ(res.best_index, 3u);
+  EXPECT_DOUBLE_EQ(res.best_score, 0.9);
+  EXPECT_EQ(res.scores, landscape);
+}
+
+TEST(GridSearch, EmptyGridThrows) {
+  EXPECT_THROW((void)grid_search(0, [](std::size_t) { return 0.0; }), Error);
+}
+
+}  // namespace
+}  // namespace scwc::ml

@@ -1,0 +1,130 @@
+// Tests for trained-model persistence (tree + forest save/load).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+
+namespace scwc::ml {
+namespace {
+
+using linalg::Matrix;
+
+void make_blobs(std::size_t per_class, std::size_t classes, std::size_t dims,
+                Matrix& x, std::vector<int>& y, std::uint64_t seed) {
+  Rng rng(seed);
+  x = Matrix(per_class * classes, dims);
+  y.assign(per_class * classes, 0);
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const std::size_t row = c * per_class + i;
+      y[row] = static_cast<int>(c);
+      for (std::size_t d = 0; d < dims; ++d) {
+        x(row, d) = (d == c % dims ? 3.0 : 0.0) + rng.normal();
+      }
+    }
+  }
+}
+
+TEST(Persistence, TreeRoundTripsThroughMemory) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(30, 3, 4, x, y, 1);
+  DecisionTree tree;
+  tree.fit(x, y);
+
+  std::stringstream buffer;
+  tree.save(buffer);
+  DecisionTree restored;
+  restored.load(buffer);
+
+  EXPECT_EQ(restored.node_count(), tree.node_count());
+  EXPECT_EQ(restored.depth(), tree.depth());
+  EXPECT_EQ(restored.num_classes(), tree.num_classes());
+  EXPECT_EQ(restored.predict(x), tree.predict(x));
+  EXPECT_EQ(restored.predict_proba(x).max_abs_diff(tree.predict_proba(x)),
+            0.0);
+}
+
+TEST(Persistence, ForestRoundTripsThroughMemory) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(25, 4, 5, x, y, 2);
+  RandomForest forest({.n_estimators = 12});
+  forest.fit(x, y);
+
+  std::stringstream buffer;
+  forest.save(buffer);
+  RandomForest restored;
+  restored.load(buffer);
+
+  EXPECT_EQ(restored.tree_count(), 12u);
+  EXPECT_EQ(restored.predict(x), forest.predict(x));
+  EXPECT_EQ(restored.predict_proba(x).max_abs_diff(forest.predict_proba(x)),
+            0.0);
+}
+
+TEST(Persistence, ForestRoundTripsThroughFile) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(20, 3, 3, x, y, 3);
+  RandomForest forest({.n_estimators = 8});
+  forest.fit(x, y);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "scwc_forest.bin").string();
+  forest.save_file(path);
+  RandomForest restored;
+  restored.load_file(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(restored.predict(x), forest.predict(x));
+}
+
+TEST(Persistence, LoadedForestGeneralisesLikeTheOriginal) {
+  Matrix x_train;
+  std::vector<int> y_train;
+  make_blobs(40, 3, 4, x_train, y_train, 4);
+  Matrix x_test;
+  std::vector<int> y_test;
+  make_blobs(15, 3, 4, x_test, y_test, 5);
+  RandomForest forest({.n_estimators = 20});
+  forest.fit(x_train, y_train);
+  std::stringstream buffer;
+  forest.save(buffer);
+  RandomForest restored;
+  restored.load(buffer);
+  EXPECT_DOUBLE_EQ(accuracy(y_test, restored.predict(x_test)),
+                   accuracy(y_test, forest.predict(x_test)));
+}
+
+TEST(Persistence, RejectsGarbage) {
+  RandomForest forest;
+  std::stringstream garbage("not a forest at all, sorry");
+  EXPECT_THROW(forest.load(garbage), Error);
+}
+
+TEST(Persistence, RejectsTruncatedStream) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(15, 2, 3, x, y, 6);
+  RandomForest forest({.n_estimators = 4});
+  forest.fit(x, y);
+  std::stringstream buffer;
+  forest.save(buffer);
+  const std::string full = buffer.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  RandomForest restored;
+  EXPECT_THROW(restored.load(cut), Error);
+}
+
+TEST(Persistence, SaveBeforeFitThrows) {
+  RandomForest forest;
+  std::stringstream buffer;
+  EXPECT_THROW(forest.save(buffer), Error);
+}
+
+}  // namespace
+}  // namespace scwc::ml

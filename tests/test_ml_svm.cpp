@@ -1,0 +1,194 @@
+// Tests for the SMO SVM (linear + RBF, one-vs-one multiclass).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+#include "ml/svm.hpp"
+
+namespace scwc::ml {
+namespace {
+
+using linalg::Matrix;
+
+TEST(Svm, LinearlySeparableBinaryProblem) {
+  Rng rng(1);
+  Matrix x(80, 2);
+  std::vector<int> y(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    const int cls = i % 2;
+    x(i, 0) = (cls == 0 ? -2.0 : 2.0) + rng.normal() * 0.3;
+    x(i, 1) = rng.normal();
+    y[i] = cls;
+  }
+  SvmConfig config;
+  config.kernel = KernelType::kLinear;
+  Svm svm(config);
+  svm.fit(x, y);
+  EXPECT_DOUBLE_EQ(accuracy(y, svm.predict(x)), 1.0);
+}
+
+TEST(Svm, RbfSolvesConcentricCircles) {
+  // Not linearly separable: inner disk vs outer ring.
+  Rng rng(2);
+  Matrix x(200, 2);
+  std::vector<int> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const int cls = i % 2;
+    const double radius = cls == 0 ? rng.uniform(0.0, 1.0)
+                                   : rng.uniform(2.0, 3.0);
+    const double theta = rng.uniform(0.0, 6.28318);
+    x(i, 0) = radius * std::cos(theta);
+    x(i, 1) = radius * std::sin(theta);
+    y[i] = cls;
+  }
+  SvmConfig config;
+  config.kernel = KernelType::kRbf;
+  config.c = 10.0;
+  Svm svm(config);
+  svm.fit(x, y);
+  EXPECT_GT(accuracy(y, svm.predict(x)), 0.97);
+}
+
+TEST(Svm, LinearKernelFailsOnCircles) {
+  // Control for the previous test: a linear machine cannot separate rings.
+  Rng rng(3);
+  Matrix x(200, 2);
+  std::vector<int> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const int cls = i % 2;
+    const double radius =
+        cls == 0 ? rng.uniform(0.0, 1.0) : rng.uniform(2.0, 3.0);
+    const double theta = rng.uniform(0.0, 6.28318);
+    x(i, 0) = radius * std::cos(theta);
+    x(i, 1) = radius * std::sin(theta);
+    y[i] = cls;
+  }
+  SvmConfig config;
+  config.kernel = KernelType::kLinear;
+  Svm svm(config);
+  svm.fit(x, y);
+  EXPECT_LT(accuracy(y, svm.predict(x)), 0.8);
+}
+
+TEST(Svm, MulticlassOneVsOneBlobs) {
+  Rng rng(5);
+  constexpr std::size_t kClasses = 4;
+  constexpr std::size_t kPer = 30;
+  Matrix x(kClasses * kPer, 3);
+  std::vector<int> y(kClasses * kPer);
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    for (std::size_t i = 0; i < kPer; ++i) {
+      const std::size_t row = c * kPer + i;
+      y[row] = static_cast<int>(c);
+      for (std::size_t d = 0; d < 3; ++d) {
+        x(row, d) = (d == c % 3 ? 3.0 * (1.0 + static_cast<double>(c) / 2.0)
+                                : 0.0) +
+                    rng.normal() * 0.4;
+      }
+    }
+  }
+  Svm svm;
+  svm.fit(x, y);
+  EXPECT_GT(accuracy(y, svm.predict(x)), 0.95);
+  EXPECT_EQ(svm.num_classes(), kClasses);
+}
+
+TEST(Svm, DecisionScoresShapeAndArgmaxConsistency) {
+  Rng rng(7);
+  Matrix x(60, 2);
+  std::vector<int> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    const int cls = static_cast<int>(i % 3);
+    x(i, 0) = cls * 3.0 + rng.normal() * 0.3;
+    x(i, 1) = rng.normal() * 0.3;
+    y[i] = cls;
+  }
+  Svm svm;
+  svm.fit(x, y);
+  const Matrix scores = svm.decision_scores(x);
+  EXPECT_EQ(scores.rows(), 60u);
+  EXPECT_EQ(scores.cols(), 3u);
+  const auto pred = svm.predict(x);
+  for (std::size_t r = 0; r < 60; ++r) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < 3; ++c) {
+      if (scores(r, c) > scores(r, best)) best = c;
+    }
+    EXPECT_EQ(pred[r], static_cast<int>(best));
+  }
+}
+
+TEST(Svm, SmallCIsSofterThanLargeC) {
+  // With overlapping classes, small C keeps more support vectors bounded.
+  Rng rng(11);
+  Matrix x(120, 2);
+  std::vector<int> y(120);
+  for (std::size_t i = 0; i < 120; ++i) {
+    const int cls = static_cast<int>(i % 2);
+    x(i, 0) = (cls == 0 ? -0.5 : 0.5) + rng.normal();
+    x(i, 1) = rng.normal();
+    y[i] = cls;
+  }
+  SvmConfig soft;
+  soft.c = 0.1;
+  SvmConfig hard;
+  hard.c = 10.0;
+  Svm svm_soft(soft);
+  Svm svm_hard(hard);
+  svm_soft.fit(x, y);
+  svm_hard.fit(x, y);
+  // Soft margin keeps at least as many support vectors on noisy data.
+  EXPECT_GE(svm_soft.support_vector_count() + 10,
+            svm_hard.support_vector_count());
+}
+
+TEST(Svm, ExplicitGammaIsAccepted) {
+  Rng rng(13);
+  Matrix x(40, 2);
+  std::vector<int> y(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    const int cls = static_cast<int>(i % 2);
+    x(i, 0) = cls * 4.0 + rng.normal() * 0.2;
+    x(i, 1) = rng.normal() * 0.2;
+    y[i] = cls;
+  }
+  SvmConfig config;
+  config.gamma = 0.5;
+  Svm svm(config);
+  svm.fit(x, y);
+  EXPECT_GT(accuracy(y, svm.predict(x)), 0.95);
+}
+
+TEST(Svm, DeterministicAcrossRuns) {
+  Rng rng(17);
+  Matrix x(60, 3);
+  std::vector<int> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    y[i] = static_cast<int>(i % 3);
+    for (std::size_t d = 0; d < 3; ++d) {
+      x(i, d) = (d == static_cast<std::size_t>(y[i]) ? 2.5 : 0.0) +
+                rng.normal() * 0.5;
+    }
+  }
+  Svm a;
+  Svm b;
+  a.fit(x, y);
+  b.fit(x, y);
+  EXPECT_EQ(a.predict(x), b.predict(x));
+}
+
+TEST(Svm, ErrorsOnMisuse) {
+  Svm svm;
+  Matrix x(4, 2);
+  EXPECT_THROW((void)svm.predict(x), Error);  // before fit
+  std::vector<int> one_class(4, 0);
+  EXPECT_THROW(svm.fit(x, one_class), Error);  // needs ≥ 2 classes
+  std::vector<int> mismatch(3, 0);
+  EXPECT_THROW(svm.fit(x, mismatch), Error);
+}
+
+}  // namespace
+}  // namespace scwc::ml

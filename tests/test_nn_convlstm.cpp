@@ -1,0 +1,234 @@
+// Tests for the 1-D ConvLSTM (§VI future-work architecture): shapes,
+// determinism, gradient checks, and end-to-end learning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/convlstm.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace scwc::nn {
+namespace {
+
+constexpr double kEps = 1e-5;
+constexpr double kTol = 5e-5;
+
+Sequence random_sequence(std::size_t steps, std::size_t batch,
+                         std::size_t features, Rng& rng) {
+  Sequence s(steps, batch, features);
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (double& v : s[t].flat()) v = rng.normal();
+  }
+  return s;
+}
+
+TEST(ConvLstm, OutputShape) {
+  Rng rng(1);
+  ConvLstm1d layer(/*positions=*/7, /*in_channels=*/1, /*hidden=*/4,
+                   /*kernel=*/3, rng);
+  const Sequence x = random_sequence(5, 3, 7, rng);
+  const Sequence h = layer.forward(x);
+  EXPECT_EQ(h.steps(), 5u);
+  EXPECT_EQ(h.batch(), 3u);
+  EXPECT_EQ(h.features(), 7u * 4u);
+}
+
+TEST(ConvLstm, OutputsAreBounded) {
+  Rng rng(2);
+  ConvLstm1d layer(5, 1, 3, 3, rng);
+  const Sequence x = random_sequence(8, 2, 5, rng);
+  const Sequence h = layer.forward(x);
+  for (std::size_t t = 0; t < h.steps(); ++t) {
+    for (const double v : h[t].flat()) {
+      EXPECT_GT(v, -1.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(ConvLstm, DeterministicForward) {
+  Rng rng_a(3);
+  ConvLstm1d a(7, 1, 4, 3, rng_a);
+  Rng rng_b(3);
+  ConvLstm1d b(7, 1, 4, 3, rng_b);
+  Rng data_rng(4);
+  const Sequence x = random_sequence(6, 2, 7, data_rng);
+  const Sequence ha = a.forward(x);
+  const Sequence hb = b.forward(x);
+  for (std::size_t t = 0; t < 6; ++t) {
+    EXPECT_EQ(ha[t].max_abs_diff(hb[t]), 0.0);
+  }
+}
+
+TEST(ConvLstm, KernelMustBeOdd) {
+  Rng rng(5);
+  EXPECT_THROW(ConvLstm1d(7, 1, 4, 2, rng), Error);
+}
+
+TEST(ConvLstm, GradCheckParameters) {
+  Rng rng(6);
+  ConvLstm1d layer(4, 1, 3, 3, rng);
+  const Sequence x = random_sequence(4, 2, 4, rng);
+  std::vector<int> targets{1, 0};
+
+  const auto loss_fn = [&]() -> double {
+    layer.zero_grad();
+    Sequence h = layer.forward(x);
+    // Read a 2-wide slice of the last step as logits.
+    linalg::Matrix logits(2, 2);
+    for (std::size_t r = 0; r < 2; ++r) {
+      logits(r, 0) = h[3](r, 0);
+      logits(r, 1) = h[3](r, 5);
+    }
+    const LossResult res = softmax_nll(logits, targets);
+    Sequence dh(4, 2, 4 * 3);
+    for (std::size_t r = 0; r < 2; ++r) {
+      dh[3](r, 0) = res.dlogits(r, 0);
+      dh[3](r, 5) = res.dlogits(r, 1);
+    }
+    (void)layer.backward(dh);
+    return res.loss;
+  };
+
+  layer.zero_grad();
+  (void)loss_fn();
+  std::vector<ParamRef> refs;
+  layer.collect_params(refs);
+  std::vector<std::vector<double>> analytic;
+  for (const auto& ref : refs) {
+    analytic.emplace_back(ref.grad.begin(), ref.grad.end());
+  }
+  for (std::size_t p = 0; p < refs.size(); ++p) {
+    auto& ref = refs[p];
+    const std::size_t stride = std::max<std::size_t>(1, ref.value.size() / 10);
+    for (std::size_t i = 0; i < ref.value.size(); i += stride) {
+      const double saved = ref.value[i];
+      ref.value[i] = saved + kEps;
+      const double plus = loss_fn();
+      ref.value[i] = saved - kEps;
+      const double minus = loss_fn();
+      ref.value[i] = saved;
+      const double numeric = (plus - minus) / (2.0 * kEps);
+      const double scale =
+          std::max({1.0, std::abs(analytic[p][i]), std::abs(numeric)});
+      EXPECT_NEAR(analytic[p][i], numeric, kTol * scale)
+          << "param " << p << " index " << i;
+    }
+  }
+}
+
+TEST(ConvLstmClassifier, ForwardShapeAndParams) {
+  ConvLstmClassifier::Config config;
+  config.positions = 7;
+  config.seq_len = 10;
+  config.hidden_channels = 6;
+  config.num_classes = 26;
+  config.dropout = 0.0;
+  ConvLstmClassifier model(config);
+  Rng rng(7);
+  const Sequence x = random_sequence(10, 3, 7, rng);
+  const linalg::Matrix logits = model.forward(x, false);
+  EXPECT_EQ(logits.rows(), 3u);
+  EXPECT_EQ(logits.cols(), 26u);
+  EXPECT_GT(model.parameter_count(), 100u);
+}
+
+TEST(ConvLstmClassifier, GradCheckFullModel) {
+  ConvLstmClassifier::Config config;
+  config.positions = 4;
+  config.seq_len = 5;
+  config.hidden_channels = 3;
+  config.kernel = 3;
+  config.num_classes = 3;
+  config.dropout = 0.0;
+  ConvLstmClassifier model(config);
+
+  Rng rng(8);
+  const Sequence x = random_sequence(5, 2, 4, rng);
+  const std::vector<int> targets{2, 0};
+
+  const auto loss_fn = [&]() -> double {
+    model.zero_grad();
+    const linalg::Matrix logits = model.forward(x, true);
+    const LossResult res = softmax_nll(logits, targets);
+    model.backward(res.dlogits);
+    return res.loss;
+  };
+
+  (void)loss_fn();
+  std::vector<ParamRef> refs;
+  model.collect_params(refs);
+  std::vector<std::vector<double>> analytic;
+  for (const auto& ref : refs) {
+    analytic.emplace_back(ref.grad.begin(), ref.grad.end());
+  }
+  for (std::size_t p = 0; p < refs.size(); ++p) {
+    auto& ref = refs[p];
+    const std::size_t stride = std::max<std::size_t>(1, ref.value.size() / 8);
+    for (std::size_t i = 0; i < ref.value.size(); i += stride) {
+      const double saved = ref.value[i];
+      ref.value[i] = saved + kEps;
+      const double plus = loss_fn();
+      ref.value[i] = saved - kEps;
+      const double minus = loss_fn();
+      ref.value[i] = saved;
+      const double numeric = (plus - minus) / (2.0 * kEps);
+      const double scale =
+          std::max({1.0, std::abs(analytic[p][i]), std::abs(numeric)});
+      EXPECT_NEAR(analytic[p][i], numeric, kTol * scale)
+          << "param " << p << " index " << i;
+    }
+  }
+}
+
+TEST(ConvLstmClassifier, LearnsAToySequenceTask) {
+  // Two classes distinguished by which sensor carries the oscillation.
+  ConvLstmClassifier::Config config;
+  config.positions = 4;
+  config.seq_len = 12;
+  config.hidden_channels = 6;
+  config.num_classes = 2;
+  config.dropout = 0.0;
+  ConvLstmClassifier model(config);
+
+  Rng rng(9);
+  const std::size_t batch = 40;
+  Sequence x(12, batch, 4);
+  std::vector<int> y(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    y[b] = static_cast<int>(b % 2);
+    for (std::size_t t = 0; t < 12; ++t) {
+      for (std::size_t l = 0; l < 4; ++l) {
+        const bool active = (y[b] == 0 && l < 2) || (y[b] == 1 && l >= 2);
+        x[t](b, l) = (active ? std::sin(0.7 * static_cast<double>(t)) : 0.0) +
+                     rng.normal() * 0.05;
+      }
+    }
+  }
+
+  std::vector<ParamRef> refs;
+  model.collect_params(refs);
+  Adam adam(refs);
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    adam.zero_grad();
+    const linalg::Matrix logits = model.forward(x, true);
+    const LossResult res = softmax_nll(logits, y);
+    model.backward(res.dlogits);
+    adam.step(5e-3);
+    last_loss = res.loss;
+  }
+  EXPECT_LT(last_loss, 0.2);
+  const linalg::Matrix logits = model.forward(x, false);
+  const LossResult res = softmax_nll(logits, y);
+  std::size_t correct = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    if (res.predictions[b] == y[b]) ++correct;
+  }
+  EXPECT_GE(correct, batch * 9 / 10);
+}
+
+}  // namespace
+}  // namespace scwc::nn

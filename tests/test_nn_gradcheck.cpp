@@ -1,0 +1,325 @@
+// Finite-difference gradient checks for every trainable layer and for the
+// full SequenceClassifier stacks. These are the strongest correctness tests
+// in the NN module: if BPTT or any backward pass is wrong, they fail.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/conv.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+#include "nn/models.hpp"
+
+namespace scwc::nn {
+namespace {
+
+constexpr double kEps = 1e-5;
+constexpr double kTol = 5e-5;  // relative tolerance on central differences
+
+Sequence random_sequence(std::size_t steps, std::size_t batch,
+                         std::size_t features, Rng& rng) {
+  Sequence s(steps, batch, features);
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (double& v : s[t].flat()) v = rng.normal();
+  }
+  return s;
+}
+
+std::vector<int> random_targets(std::size_t batch, std::size_t classes,
+                                Rng& rng) {
+  std::vector<int> y(batch);
+  for (auto& v : y) v = static_cast<int>(rng.uniform_index(classes));
+  return y;
+}
+
+/// Checks analytic parameter gradients of `loss_fn` (which must run
+/// forward+backward and return the scalar loss) against central finite
+/// differences, for every parameter of `module`.
+void check_param_gradients(Parametrized& module,
+                           const std::function<double()>& loss_fn,
+                           std::size_t max_checks_per_param = 12) {
+  module.zero_grad();
+  (void)loss_fn();  // analytic gradients now in the buffers
+
+  std::vector<ParamRef> refs;
+  module.collect_params(refs);
+  ASSERT_FALSE(refs.empty());
+
+  // Snapshot analytic gradients: later loss_fn calls (for the finite
+  // differences) rerun backward and overwrite the buffers.
+  std::vector<std::vector<double>> analytic_grads;
+  analytic_grads.reserve(refs.size());
+  for (const auto& ref : refs) {
+    analytic_grads.emplace_back(ref.grad.begin(), ref.grad.end());
+  }
+
+  for (std::size_t p = 0; p < refs.size(); ++p) {
+    auto& ref = refs[p];
+    const std::size_t stride =
+        std::max<std::size_t>(1, ref.value.size() / max_checks_per_param);
+    for (std::size_t i = 0; i < ref.value.size(); i += stride) {
+      const double saved = ref.value[i];
+      const double analytic = analytic_grads[p][i];
+
+      ref.value[i] = saved + kEps;
+      const double plus = loss_fn();
+      ref.value[i] = saved - kEps;
+      const double minus = loss_fn();
+      ref.value[i] = saved;
+
+      const double numeric = (plus - minus) / (2.0 * kEps);
+      const double scale =
+          std::max({1.0, std::abs(analytic), std::abs(numeric)});
+      EXPECT_NEAR(analytic, numeric, kTol * scale)
+          << "param " << p << " index " << i;
+    }
+  }
+}
+
+TEST(GradCheck, DenseLayer) {
+  Rng rng(1);
+  Dense dense(4, 3, rng);
+  linalg::Matrix x(5, 4);
+  for (double& v : x.flat()) v = rng.normal();
+  const std::vector<int> targets = random_targets(5, 3, rng);
+
+  const auto loss_fn = [&] {
+    Dense& d = dense;
+    d.zero_grad();
+    const linalg::Matrix logits = d.forward(x);
+    const LossResult res = softmax_nll(logits, targets);
+    // Re-run backward so grads match the current weights.
+    (void)d.backward(res.dlogits);
+    return res.loss;
+  };
+  check_param_gradients(dense, loss_fn, 20);
+}
+
+TEST(GradCheck, DenseInputGradient) {
+  Rng rng(2);
+  Dense dense(3, 2, rng);
+  linalg::Matrix x(4, 3);
+  for (double& v : x.flat()) v = rng.normal();
+  const std::vector<int> targets = random_targets(4, 2, rng);
+
+  dense.zero_grad();
+  const linalg::Matrix logits = dense.forward(x);
+  const LossResult res = softmax_nll(logits, targets);
+  const linalg::Matrix dx = dense.backward(res.dlogits);
+
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double saved = x(r, c);
+      x(r, c) = saved + kEps;
+      const double plus = softmax_nll(dense.forward(x), targets).loss;
+      x(r, c) = saved - kEps;
+      const double minus = softmax_nll(dense.forward(x), targets).loss;
+      x(r, c) = saved;
+      const double numeric = (plus - minus) / (2.0 * kEps);
+      EXPECT_NEAR(dx(r, c), numeric, kTol);
+    }
+  }
+}
+
+/// Shared harness: summarise a sequence module's output into a scalar loss
+/// by summing the final step through softmax-NLL against fixed targets.
+template <typename Module>
+void check_sequence_module(Module& module, const Sequence& x,
+                           std::size_t out_features, Rng& rng) {
+  const std::size_t batch = x.batch();
+  const std::vector<int> targets = random_targets(batch, out_features, rng);
+
+  const auto loss_fn = [&]() -> double {
+    module.zero_grad();
+    Sequence out = module.forward(x);
+    // Loss reads the LAST step (exercises the whole recurrence for LSTMs).
+    const LossResult res = softmax_nll(out[out.steps() - 1], targets);
+    Sequence dout(out.steps(), batch, out_features);
+    dout[out.steps() - 1] = res.dlogits;
+    (void)module.backward(dout);
+    return res.loss;
+  };
+  check_param_gradients(module, loss_fn);
+}
+
+TEST(GradCheck, LstmForwardDirection) {
+  Rng rng(3);
+  LstmLayer lstm(3, 4, /*reverse=*/false, rng);
+  const Sequence x = random_sequence(6, 3, 3, rng);
+  check_sequence_module(lstm, x, 4, rng);
+}
+
+TEST(GradCheck, LstmReverseDirection) {
+  Rng rng(4);
+  LstmLayer lstm(3, 4, /*reverse=*/true, rng);
+  const Sequence x = random_sequence(6, 3, 3, rng);
+  check_sequence_module(lstm, x, 4, rng);
+}
+
+TEST(GradCheck, LstmInputGradient) {
+  Rng rng(5);
+  LstmLayer lstm(2, 3, false, rng);
+  Sequence x = random_sequence(5, 2, 2, rng);
+  const std::vector<int> targets = random_targets(2, 3, rng);
+
+  const auto forward_loss = [&]() -> double {
+    Sequence out = lstm.forward(x);
+    return softmax_nll(out[4], targets).loss;
+  };
+
+  lstm.zero_grad();
+  Sequence out = lstm.forward(x);
+  const LossResult res = softmax_nll(out[4], targets);
+  Sequence dout(5, 2, 3);
+  dout[4] = res.dlogits;
+  const Sequence dx = lstm.backward(dout);
+
+  for (std::size_t t = 0; t < 5; ++t) {
+    for (std::size_t r = 0; r < 2; ++r) {
+      for (std::size_t f = 0; f < 2; ++f) {
+        const double saved = x[t](r, f);
+        x[t](r, f) = saved + kEps;
+        const double plus = forward_loss();
+        x[t](r, f) = saved - kEps;
+        const double minus = forward_loss();
+        x[t](r, f) = saved;
+        const double numeric = (plus - minus) / (2.0 * kEps);
+        EXPECT_NEAR(dx[t](r, f), numeric, kTol)
+            << "t=" << t << " r=" << r << " f=" << f;
+      }
+    }
+  }
+}
+
+TEST(GradCheck, BiLstm) {
+  Rng rng(6);
+  BiLstm bilstm(3, 3, rng);
+  const Sequence x = random_sequence(5, 2, 3, rng);
+  check_sequence_module(bilstm, x, 6, rng);
+}
+
+TEST(GradCheck, Conv1d) {
+  Rng rng(7);
+  Conv1d conv(3, 4, /*kernel=*/3, /*stride=*/2, rng);
+  const Sequence x = random_sequence(9, 3, 3, rng);
+  check_sequence_module(conv, x, 4, rng);
+}
+
+TEST(GradCheck, Conv1dInputGradientThroughPool) {
+  Rng rng(8);
+  Conv1d conv(2, 3, 3, 1, rng);
+  MaxPool1d pool(2);
+  Sequence x = random_sequence(8, 2, 2, rng);
+  const std::vector<int> targets = random_targets(2, 3, rng);
+
+  const auto forward_loss = [&]() -> double {
+    Sequence h = conv.forward(x);
+    Sequence p = pool.forward(h);
+    return softmax_nll(p[p.steps() - 1], targets).loss;
+  };
+
+  conv.zero_grad();
+  Sequence h = conv.forward(x);
+  Sequence p = pool.forward(h);
+  const LossResult res = softmax_nll(p[p.steps() - 1], targets);
+  Sequence dp(p.steps(), 2, 3);
+  dp[p.steps() - 1] = res.dlogits;
+  const Sequence dh = pool.backward(dp);
+  const Sequence dx = conv.backward(dh);
+
+  for (std::size_t t = 0; t < 8; t += 2) {
+    for (std::size_t r = 0; r < 2; ++r) {
+      const double saved = x[t](r, 0);
+      x[t](r, 0) = saved + kEps;
+      const double plus = forward_loss();
+      x[t](r, 0) = saved - kEps;
+      const double minus = forward_loss();
+      x[t](r, 0) = saved;
+      EXPECT_NEAR(dx[t](r, 0), (plus - minus) / (2.0 * kEps), kTol);
+    }
+  }
+}
+
+TEST(GradCheck, FullBiLstmClassifier) {
+  Rng rng(9);
+  RnnModelConfig config;
+  config.input_features = 3;
+  config.seq_len = 6;
+  config.hidden = 4;
+  config.lstm_layers = 1;
+  config.num_classes = 3;
+  config.dropout = 0.0;  // deterministic loss for finite differences
+  config.use_cnn = false;
+  SequenceClassifier model(config);
+
+  const Sequence x = random_sequence(6, 4, 3, rng);
+  const std::vector<int> targets = random_targets(4, 3, rng);
+
+  const auto loss_fn = [&]() -> double {
+    model.zero_grad();
+    const linalg::Matrix logits = model.forward(x, /*train=*/true);
+    const LossResult res = softmax_nll(logits, targets);
+    model.backward(res.dlogits);
+    return res.loss;
+  };
+  check_param_gradients(model, loss_fn, 8);
+}
+
+TEST(GradCheck, FullStackedBiLstmClassifier) {
+  Rng rng(10);
+  RnnModelConfig config;
+  config.input_features = 2;
+  config.seq_len = 5;
+  config.hidden = 3;
+  config.lstm_layers = 2;
+  config.num_classes = 2;
+  config.dropout = 0.0;
+  SequenceClassifier model(config);
+
+  const Sequence x = random_sequence(5, 3, 2, rng);
+  const std::vector<int> targets = random_targets(3, 2, rng);
+
+  const auto loss_fn = [&]() -> double {
+    model.zero_grad();
+    const linalg::Matrix logits = model.forward(x, true);
+    const LossResult res = softmax_nll(logits, targets);
+    model.backward(res.dlogits);
+    return res.loss;
+  };
+  check_param_gradients(model, loss_fn, 6);
+}
+
+TEST(GradCheck, FullCnnLstmClassifier) {
+  Rng rng(11);
+  RnnModelConfig config;
+  config.input_features = 3;
+  config.seq_len = 16;
+  config.hidden = 3;
+  config.num_classes = 3;
+  config.dropout = 0.0;
+  config.use_cnn = true;
+  config.conv_channels = 4;
+  config.conv1_kernel = 3;
+  config.conv1_stride = 1;
+  config.pool = 2;
+  config.conv2_kernel = 3;
+  config.conv2_stride = 1;
+  SequenceClassifier model(config);
+
+  const Sequence x = random_sequence(16, 3, 3, rng);
+  const std::vector<int> targets = random_targets(3, 3, rng);
+
+  const auto loss_fn = [&]() -> double {
+    model.zero_grad();
+    const linalg::Matrix logits = model.forward(x, true);
+    const LossResult res = softmax_nll(logits, targets);
+    model.backward(res.dlogits);
+    return res.loss;
+  };
+  check_param_gradients(model, loss_fn, 6);
+}
+
+}  // namespace
+}  // namespace scwc::nn

@@ -1,0 +1,405 @@
+// Behavioural tests for NN layers, loss, optimisers and the LR schedule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "nn/conv.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+#include "nn/models.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/scheduler.hpp"
+#include "nn/sequence.hpp"
+
+namespace scwc::nn {
+namespace {
+
+TEST(Sequence, FromTensorLayout) {
+  data::Tensor3 x(3, 4, 2);
+  double v = 0.0;
+  for (double& e : x.raw()) e = v++;
+  const std::vector<std::size_t> rows{2, 0};
+  const Sequence s = Sequence::from_tensor(x, rows);
+  EXPECT_EQ(s.steps(), 4u);
+  EXPECT_EQ(s.batch(), 2u);
+  EXPECT_EQ(s.features(), 2u);
+  EXPECT_EQ(s[0](0, 0), x(2, 0, 0));
+  EXPECT_EQ(s[3](1, 1), x(0, 3, 1));
+}
+
+TEST(Sequence, ConcatFeatures) {
+  Sequence a(2, 3, 2);
+  Sequence b(2, 3, 1);
+  a[1](2, 1) = 5.0;
+  b[1](2, 0) = 9.0;
+  const Sequence c = Sequence::concat_features(a, b);
+  EXPECT_EQ(c.features(), 3u);
+  EXPECT_EQ(c[1](2, 1), 5.0);
+  EXPECT_EQ(c[1](2, 2), 9.0);
+}
+
+TEST(Dense, KnownForward) {
+  Rng rng(1);
+  Dense dense(2, 2, rng);
+  dense.weight() = linalg::Matrix{{1.0, 2.0}, {3.0, 4.0}};
+  dense.bias() = {0.5, -0.5};
+  linalg::Matrix x{{1.0, 1.0}};
+  const linalg::Matrix y = dense.forward(x);
+  EXPECT_DOUBLE_EQ(y(0, 0), 4.5);   // 1*1 + 1*3 + 0.5
+  EXPECT_DOUBLE_EQ(y(0, 1), 5.5);   // 1*2 + 1*4 - 0.5
+}
+
+TEST(Dense, ParameterCount) {
+  Rng rng(2);
+  Dense dense(5, 3, rng);
+  EXPECT_EQ(dense.parameter_count(), 5u * 3u + 3u);
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Dropout dropout(0.5, 1);
+  linalg::Matrix x(4, 4, 2.0);
+  const linalg::Matrix y = dropout.forward(x, /*train=*/false);
+  EXPECT_EQ(y.max_abs_diff(x), 0.0);
+}
+
+TEST(Dropout, TrainModeZeroesAboutPFraction) {
+  Dropout dropout(0.5, 2);
+  linalg::Matrix x(100, 100, 1.0);
+  const linalg::Matrix y = dropout.forward(x, true);
+  std::size_t zeros = 0;
+  for (const double v : y.flat()) {
+    if (v == 0.0) {
+      ++zeros;
+    } else {
+      EXPECT_DOUBLE_EQ(v, 2.0);  // inverted scaling 1/(1-0.5)
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.5, 0.03);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Dropout dropout(0.3, 3);
+  linalg::Matrix x(10, 10, 1.0);
+  const linalg::Matrix y = dropout.forward(x, true);
+  linalg::Matrix dout(10, 10, 1.0);
+  const linalg::Matrix din = dropout.backward(dout);
+  EXPECT_EQ(din.max_abs_diff(y), 0.0);  // same mask, same scale
+}
+
+TEST(LeakyRelu, ForwardAndBackward) {
+  LeakyRelu act(0.1);
+  linalg::Matrix x{{-2.0, 3.0}};
+  const linalg::Matrix y = act.forward(x);
+  EXPECT_DOUBLE_EQ(y(0, 0), -0.2);
+  EXPECT_DOUBLE_EQ(y(0, 1), 3.0);
+  linalg::Matrix dout{{1.0, 1.0}};
+  const linalg::Matrix din = act.backward(dout);
+  EXPECT_DOUBLE_EQ(din(0, 0), 0.1);
+  EXPECT_DOUBLE_EQ(din(0, 1), 1.0);
+}
+
+TEST(Lstm, OutputShapesAndRange) {
+  Rng rng(4);
+  LstmLayer lstm(3, 5, false, rng);
+  Sequence x(7, 2, 3);
+  for (std::size_t t = 0; t < 7; ++t) {
+    for (double& v : x[t].flat()) v = rng.normal();
+  }
+  const Sequence h = lstm.forward(x);
+  EXPECT_EQ(h.steps(), 7u);
+  EXPECT_EQ(h.batch(), 2u);
+  EXPECT_EQ(h.features(), 5u);
+  // h = o * tanh(c) ∈ (-1, 1).
+  for (std::size_t t = 0; t < 7; ++t) {
+    for (const double v : h[t].flat()) {
+      EXPECT_GT(v, -1.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(Lstm, ReverseDirectionMirrorsReversedInput) {
+  // Running the reverse layer on x equals running an identically-weighted
+  // forward layer on time-reversed x, with outputs re-reversed.
+  Rng rng_a(5);
+  LstmLayer fwd(2, 3, false, rng_a);
+  Rng rng_b(5);  // identical weights
+  LstmLayer bwd(2, 3, true, rng_b);
+
+  Rng data_rng(6);
+  Sequence x(5, 2, 2);
+  Sequence x_reversed(5, 2, 2);
+  for (std::size_t t = 0; t < 5; ++t) {
+    for (double& v : x[t].flat()) v = data_rng.normal();
+  }
+  for (std::size_t t = 0; t < 5; ++t) x_reversed[t] = x[4 - t];
+
+  const Sequence out_bwd = bwd.forward(x);
+  const Sequence out_fwd = fwd.forward(x_reversed);
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_LT(out_bwd[t].max_abs_diff(out_fwd[4 - t]), 1e-12) << t;
+  }
+}
+
+TEST(BiLstm, ConcatenatesBothDirections) {
+  Rng rng(7);
+  BiLstm bilstm(2, 4, rng);
+  Sequence x(3, 2, 2);
+  for (std::size_t t = 0; t < 3; ++t) {
+    for (double& v : x[t].flat()) v = rng.normal();
+  }
+  const Sequence h = bilstm.forward(x);
+  EXPECT_EQ(h.features(), 8u);
+}
+
+TEST(Conv1d, OutputStepsFormula) {
+  Rng rng(8);
+  Conv1d conv(2, 3, 5, 2, rng);
+  EXPECT_EQ(conv.output_steps(5), 1u);
+  EXPECT_EQ(conv.output_steps(6), 1u);
+  EXPECT_EQ(conv.output_steps(7), 2u);
+  EXPECT_EQ(conv.output_steps(13), 5u);
+  EXPECT_THROW((void)conv.output_steps(3), Error);
+}
+
+TEST(Conv1d, IdentityKernelCopiesInput) {
+  Rng rng(9);
+  Conv1d conv(1, 1, 1, 1, rng);
+  std::vector<ParamRef> refs;
+  conv.collect_params(refs);
+  refs[0].value[0] = 1.0;  // kernel weight
+  refs[1].value[0] = 0.0;  // bias
+  Sequence x(4, 2, 1);
+  for (std::size_t t = 0; t < 4; ++t) {
+    x[t](0, 0) = static_cast<double>(t);
+    x[t](1, 0) = -static_cast<double>(t);
+  }
+  const Sequence y = conv.forward(x);
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_DOUBLE_EQ(y[t](0, 0), static_cast<double>(t));
+  }
+}
+
+TEST(MaxPool1d, SelectsMaxima) {
+  MaxPool1d pool(2);
+  Sequence x(4, 1, 2);
+  x[0](0, 0) = 1.0;
+  x[1](0, 0) = 5.0;
+  x[2](0, 0) = -3.0;
+  x[3](0, 0) = -1.0;
+  x[0](0, 1) = 0.0;
+  x[1](0, 1) = -2.0;
+  x[2](0, 1) = 7.0;
+  x[3](0, 1) = 4.0;
+  const Sequence y = pool.forward(x);
+  ASSERT_EQ(y.steps(), 2u);
+  EXPECT_DOUBLE_EQ(y[0](0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(y[1](0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(y[0](0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(y[1](0, 1), 7.0);
+}
+
+TEST(MaxPool1d, BackwardRoutesToArgmax) {
+  MaxPool1d pool(2);
+  Sequence x(4, 1, 1);
+  x[0](0, 0) = 1.0;
+  x[1](0, 0) = 5.0;
+  x[2](0, 0) = 3.0;
+  x[3](0, 0) = 2.0;
+  (void)pool.forward(x);
+  Sequence dout(2, 1, 1);
+  dout[0](0, 0) = 10.0;
+  dout[1](0, 0) = 20.0;
+  const Sequence din = pool.backward(dout);
+  EXPECT_DOUBLE_EQ(din[0](0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(din[1](0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(din[2](0, 0), 20.0);
+  EXPECT_DOUBLE_EQ(din[3](0, 0), 0.0);
+}
+
+TEST(Loss, LogSoftmaxRowsSumToOneInProbSpace) {
+  linalg::Matrix logits{{1.0, 2.0, 3.0}, {-5.0, 0.0, 5.0}};
+  const linalg::Matrix ls = log_softmax(logits);
+  for (std::size_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) sum += std::exp(ls(r, c));
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Loss, UniformLogitsGiveLogCClassLoss) {
+  linalg::Matrix logits(4, 26);
+  const std::vector<int> targets{0, 5, 13, 25};
+  const LossResult res = softmax_nll(logits, targets);
+  EXPECT_NEAR(res.loss, std::log(26.0), 1e-12);
+}
+
+TEST(Loss, GradientSumsToZeroPerRow) {
+  linalg::Matrix logits{{2.0, -1.0, 0.5}};
+  const std::vector<int> targets{1};
+  const LossResult res = softmax_nll(logits, targets);
+  double sum = 0.0;
+  for (std::size_t c = 0; c < 3; ++c) sum += res.dlogits(0, c);
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+  // Target coordinate gradient is negative.
+  EXPECT_LT(res.dlogits(0, 1), 0.0);
+}
+
+TEST(Loss, PredictionsAreArgmax) {
+  linalg::Matrix logits{{0.1, 0.9, 0.2}, {3.0, 1.0, 2.0}};
+  const std::vector<int> targets{0, 0};
+  const LossResult res = softmax_nll(logits, targets);
+  EXPECT_EQ(res.predictions, (std::vector<int>{1, 0}));
+}
+
+TEST(Loss, ValidatesTargets) {
+  linalg::Matrix logits(1, 3);
+  const std::vector<int> bad{3};
+  EXPECT_THROW((void)softmax_nll(logits, bad), Error);
+}
+
+TEST(Optimizer, SgdDescendsAQuadratic) {
+  // Minimise f(w) = ||w||² with explicit gradient 2w.
+  std::vector<double> w{3.0, -4.0};
+  std::vector<double> g(2, 0.0);
+  std::vector<ParamRef> refs{{std::span<double>(w), std::span<double>(g)}};
+  Sgd sgd(refs, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    g[0] = 2.0 * w[0];
+    g[1] = 2.0 * w[1];
+    sgd.step(0.1);
+  }
+  EXPECT_NEAR(w[0], 0.0, 1e-6);
+  EXPECT_NEAR(w[1], 0.0, 1e-6);
+}
+
+TEST(Optimizer, AdamDescendsAQuadratic) {
+  std::vector<double> w{3.0, -4.0};
+  std::vector<double> g(2, 0.0);
+  std::vector<ParamRef> refs{{std::span<double>(w), std::span<double>(g)}};
+  Adam adam(refs);
+  for (int i = 0; i < 600; ++i) {
+    g[0] = 2.0 * w[0];
+    g[1] = 2.0 * w[1];
+    adam.step(0.05);
+  }
+  EXPECT_NEAR(w[0], 0.0, 1e-2);
+  EXPECT_NEAR(w[1], 0.0, 1e-2);
+}
+
+TEST(Optimizer, ClipGradNormScalesDown) {
+  std::vector<double> w{0.0};
+  std::vector<double> g{30.0};
+  std::vector<ParamRef> refs{{std::span<double>(w), std::span<double>(g)}};
+  Sgd sgd(refs, 0.0);
+  const double norm = sgd.clip_grad_norm(3.0);
+  EXPECT_NEAR(norm, 30.0, 1e-12);
+  EXPECT_NEAR(g[0], 3.0, 1e-12);
+  // Below the threshold nothing changes.
+  g[0] = 1.0;
+  sgd.clip_grad_norm(3.0);
+  EXPECT_DOUBLE_EQ(g[0], 1.0);
+}
+
+TEST(Scheduler, CosineAnnealsWithinCycle) {
+  CyclicalCosineLr lr(1.0, 0.1, 10);
+  EXPECT_NEAR(lr.at(0), 1.0, 1e-12);          // peak at cycle start
+  EXPECT_NEAR(lr.at(5), 0.55, 1e-12);         // midpoint = (max+min)/2
+  EXPECT_GT(lr.at(9), 0.1);                   // approaches min
+  EXPECT_LT(lr.at(9), 0.2);
+  EXPECT_NEAR(lr.at(10), 1.0, 1e-12);         // warm restart
+}
+
+TEST(Scheduler, PeakDecayAcrossCycles) {
+  CyclicalCosineLr lr(1.0, 0.0, 4, 0.5);
+  EXPECT_NEAR(lr.at(0), 1.0, 1e-12);
+  EXPECT_NEAR(lr.at(4), 0.5, 1e-12);
+  EXPECT_NEAR(lr.at(8), 0.25, 1e-12);
+}
+
+TEST(Scheduler, NextAdvancesCounter) {
+  CyclicalCosineLr lr(1.0, 0.0, 4);
+  const double first = lr.next();
+  const double second = lr.next();
+  EXPECT_DOUBLE_EQ(first, lr.at(0));
+  EXPECT_DOUBLE_EQ(second, lr.at(1));
+}
+
+TEST(Scheduler, ValidatesArguments) {
+  EXPECT_THROW(CyclicalCosineLr(0.0, 0.0, 4), Error);
+  EXPECT_THROW(CyclicalCosineLr(1.0, 2.0, 4), Error);
+  EXPECT_THROW(CyclicalCosineLr(1.0, 0.1, 0), Error);
+  EXPECT_THROW(CyclicalCosineLr(1.0, 0.1, 4, 0.0), Error);
+}
+
+TEST(Models, DisplayNamesMatchTableVI) {
+  RnnModelConfig base;
+  base.input_features = 7;
+  base.seq_len = 20;
+  base.hidden = 128;
+  base.num_classes = 26;
+  EXPECT_EQ(SequenceClassifier(base).display_name(), "LSTM (h=128)");
+  RnnModelConfig two = base;
+  two.lstm_layers = 2;
+  EXPECT_EQ(SequenceClassifier(two).display_name(), "LSTM (h=128, 2-layer)");
+  RnnModelConfig cnn = base;
+  cnn.use_cnn = true;
+  cnn.conv1_kernel = 5;
+  cnn.conv1_stride = 1;
+  cnn.conv2_kernel = 3;
+  cnn.conv2_stride = 1;
+  cnn.pool = 2;
+  EXPECT_EQ(SequenceClassifier(cnn).display_name(), "CNN-LSTM (h=128)");
+  RnnModelConfig small = cnn;
+  small.apply_small_kernel();
+  EXPECT_EQ(SequenceClassifier(small).display_name(),
+            "CNN-LSTM (h=128, small kernel)");
+}
+
+TEST(Models, CnnFrontEndShortensSequence) {
+  RnnModelConfig config;
+  config.input_features = 7;
+  config.seq_len = 540;
+  config.hidden = 8;
+  config.num_classes = 26;
+  config.use_cnn = true;
+  config.conv_channels = 8;
+  config.conv1_kernel = 7;
+  config.conv1_stride = 2;
+  config.pool = 2;
+  config.conv2_kernel = 5;
+  config.conv2_stride = 2;
+  SequenceClassifier model(config);
+  // 540 → conv(7,2)=267 → pool2=133 → conv(5,2)=65: ~8× shorter, matching
+  // the paper's "speeding up training time by almost 8 times".
+  EXPECT_EQ(model.lstm_steps(), 65u);
+  EXPECT_NEAR(540.0 / static_cast<double>(model.lstm_steps()), 8.0, 0.5);
+}
+
+TEST(Models, ForwardShapesAndDropoutStochasticity) {
+  Rng rng(12);
+  RnnModelConfig config;
+  config.input_features = 3;
+  config.seq_len = 8;
+  config.hidden = 4;
+  config.num_classes = 5;
+  config.dropout = 0.5;
+  SequenceClassifier model(config);
+  Sequence x(8, 2, 3);
+  for (std::size_t t = 0; t < 8; ++t) {
+    for (double& v : x[t].flat()) v = rng.normal();
+  }
+  const linalg::Matrix eval_a = model.forward(x, false);
+  const linalg::Matrix eval_b = model.forward(x, false);
+  EXPECT_EQ(eval_a.rows(), 2u);
+  EXPECT_EQ(eval_a.cols(), 5u);
+  EXPECT_EQ(eval_a.max_abs_diff(eval_b), 0.0);  // eval is deterministic
+  const linalg::Matrix train_a = model.forward(x, true);
+  const linalg::Matrix train_b = model.forward(x, true);
+  EXPECT_GT(train_a.max_abs_diff(train_b), 1e-9);  // dropout differs
+}
+
+}  // namespace
+}  // namespace scwc::nn

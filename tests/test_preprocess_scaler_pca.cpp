@@ -1,0 +1,204 @@
+// Tests for StandardScaler and PCA.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/stats.hpp"
+#include "preprocess/pca.hpp"
+#include "preprocess/scaler.hpp"
+
+namespace scwc::preprocess {
+namespace {
+
+using linalg::Matrix;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng,
+                     double scale = 1.0, double shift = 0.0) {
+  Matrix m(rows, cols);
+  for (double& x : m.flat()) x = rng.normal() * scale + shift;
+  return m;
+}
+
+TEST(Scaler, ProducesZeroMeanUnitVariance) {
+  Rng rng(1);
+  const Matrix x = random_matrix(200, 5, rng, 3.0, 10.0);
+  StandardScaler scaler;
+  const Matrix z = scaler.fit_transform(x);
+  const auto means = linalg::column_means(z);
+  const auto stds = linalg::column_stddevs(z);
+  for (std::size_t c = 0; c < 5; ++c) {
+    EXPECT_NEAR(means[c], 0.0, 1e-10);
+    EXPECT_NEAR(stds[c], 1.0, 1e-10);
+  }
+}
+
+TEST(Scaler, ConstantColumnsSurvive) {
+  Matrix x(10, 2);
+  for (std::size_t r = 0; r < 10; ++r) {
+    x(r, 0) = 7.0;  // constant
+    x(r, 1) = static_cast<double>(r);
+  }
+  StandardScaler scaler;
+  const Matrix z = scaler.fit_transform(x);
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_EQ(z(r, 0), 0.0);
+    EXPECT_TRUE(std::isfinite(z(r, 1)));
+  }
+}
+
+TEST(Scaler, TransformUsesTrainStatistics) {
+  Rng rng(2);
+  const Matrix train = random_matrix(100, 3, rng, 2.0, 5.0);
+  const Matrix test = random_matrix(20, 3, rng, 2.0, 50.0);  // shifted!
+  StandardScaler scaler;
+  scaler.fit(train);
+  const Matrix z = scaler.transform(test);
+  // Shifted test data must NOT be re-centred to zero.
+  EXPECT_GT(std::abs(linalg::column_means(z)[0]), 5.0);
+}
+
+TEST(Scaler, InverseTransformRoundTrips) {
+  Rng rng(3);
+  const Matrix x = random_matrix(50, 4, rng, 3.0, -2.0);
+  StandardScaler scaler;
+  const Matrix z = scaler.fit_transform(x);
+  const Matrix back = scaler.inverse_transform(z);
+  EXPECT_LT(back.max_abs_diff(x), 1e-10);
+}
+
+TEST(Scaler, ErrorsOnMisuse) {
+  StandardScaler scaler;
+  const Matrix x(3, 2);
+  EXPECT_THROW((void)scaler.transform(x), Error);  // before fit
+  StandardScaler fitted;
+  Matrix train(5, 3, 1.0);
+  fitted.fit(train);
+  EXPECT_THROW((void)fitted.transform(x), Error);  // width mismatch
+  EXPECT_FALSE(scaler.fitted());
+  EXPECT_TRUE(fitted.fitted());
+}
+
+TEST(Pca, RecoversDominantDirection) {
+  // Data along (1, 1)/√2 with small orthogonal noise.
+  Rng rng(5);
+  Matrix x(300, 2);
+  for (std::size_t r = 0; r < 300; ++r) {
+    const double t = rng.normal() * 5.0;
+    const double noise = rng.normal() * 0.1;
+    x(r, 0) = t + noise;
+    x(r, 1) = t - noise;
+  }
+  Pca pca(1);
+  pca.fit(x);
+  const Matrix& comp = pca.components_matrix();
+  EXPECT_NEAR(std::abs(comp(0, 0)), std::sqrt(0.5), 0.02);
+  EXPECT_NEAR(comp(0, 0), comp(1, 0), 0.05);
+  EXPECT_GT(pca.explained_variance_ratio()[0], 0.99);
+}
+
+TEST(Pca, ExplainedVarianceDescends) {
+  Rng rng(7);
+  const Matrix x = random_matrix(120, 10, rng);
+  Pca pca(6);
+  pca.fit(x);
+  const auto& ev = pca.explained_variance();
+  for (std::size_t i = 1; i < ev.size(); ++i) {
+    EXPECT_GE(ev[i - 1], ev[i] - 1e-12);
+  }
+  double ratio_sum = 0.0;
+  for (const double r : pca.explained_variance_ratio()) ratio_sum += r;
+  EXPECT_LE(ratio_sum, 1.0 + 1e-9);
+}
+
+TEST(Pca, ComponentsAreOrthonormal) {
+  Rng rng(9);
+  const Matrix x = random_matrix(80, 12, rng);
+  Pca pca(5);
+  pca.fit(x);
+  const Matrix gram = linalg::gram_at_a(pca.components_matrix());
+  EXPECT_LT(gram.max_abs_diff(Matrix::identity(5)), 1e-7);
+}
+
+TEST(Pca, FullRankReconstructionIsLossless) {
+  Rng rng(11);
+  const Matrix x = random_matrix(40, 6, rng);
+  Pca pca(6);
+  const Matrix z = pca.fit_transform(x);
+  const Matrix back = pca.inverse_transform(z);
+  EXPECT_LT(back.max_abs_diff(x), 1e-7);
+}
+
+TEST(Pca, LowRankDataNeedsFewComponents) {
+  // Rank-2 data: 2 components must capture everything.
+  Rng rng(13);
+  const Matrix basis = random_matrix(2, 8, rng);
+  Matrix x(100, 8);
+  for (std::size_t r = 0; r < 100; ++r) {
+    const double a = rng.normal();
+    const double b = rng.normal();
+    for (std::size_t c = 0; c < 8; ++c) {
+      x(r, c) = a * basis(0, c) + b * basis(1, c);
+    }
+  }
+  Pca pca(2);
+  const Matrix z = pca.fit_transform(x);
+  const Matrix back = pca.inverse_transform(z);
+  EXPECT_LT(back.max_abs_diff(x), 1e-6);
+}
+
+TEST(Pca, GramTrickSideAgreesWithCovarianceSide) {
+  // n < d (Gram side) vs n > d (covariance side) must produce the same
+  // subspace: compare reconstructions of the same underlying data.
+  Rng rng(17);
+  const Matrix wide = random_matrix(20, 50, rng);  // n < d → Gram trick
+  Pca pca_wide(5);
+  const Matrix z = pca_wide.fit_transform(wide);
+  EXPECT_EQ(z.cols(), 5u);
+  const Matrix gram =
+      linalg::gram_at_a(pca_wide.components_matrix());
+  EXPECT_LT(gram.max_abs_diff(Matrix::identity(5)), 1e-6);
+  // Projection variance must equal the reported eigenvalues.
+  for (std::size_t j = 0; j < 5; ++j) {
+    std::vector<double> col(z.rows());
+    for (std::size_t r = 0; r < z.rows(); ++r) col[r] = z(r, j);
+    const double var =
+        linalg::variance(col) * static_cast<double>(z.rows()) /
+        static_cast<double>(z.rows() - 1);
+    EXPECT_NEAR(var, pca_wide.explained_variance()[j],
+                1e-6 * std::max(1.0, var));
+  }
+}
+
+TEST(Pca, ComponentsClampedToData) {
+  Rng rng(19);
+  const Matrix x = random_matrix(10, 4, rng);
+  Pca pca(100);
+  pca.fit(x);
+  EXPECT_EQ(pca.components(), 4u);
+}
+
+TEST(Pca, ErrorsOnMisuse) {
+  Pca pca(2);
+  const Matrix x(5, 3);
+  EXPECT_THROW((void)pca.transform(x), Error);  // before fit
+  Matrix one_row(1, 3);
+  EXPECT_THROW(pca.fit(one_row), Error);
+}
+
+TEST(Pca, TransformCentersWithTrainMean) {
+  Rng rng(23);
+  const Matrix train = random_matrix(60, 4, rng, 1.0, 100.0);
+  Pca pca(2);
+  pca.fit(train);
+  // The train projection must be (near) zero-mean.
+  const Matrix z = pca.transform(train);
+  const auto means = linalg::column_means(z);
+  EXPECT_NEAR(means[0], 0.0, 1e-8);
+  EXPECT_NEAR(means[1], 0.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace scwc::preprocess

@@ -1,0 +1,167 @@
+// Parameterised property sweeps over the telemetry simulator: per-class
+// CPU invariants, rate consistency, and family-level orderings that the
+// classifiers depend on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/stats.hpp"
+#include "telemetry/cpu_synth.hpp"
+#include "telemetry/gpu_synth.hpp"
+#include "telemetry/signature.hpp"
+
+namespace scwc::telemetry {
+namespace {
+
+JobSpec make_job(int class_id, double duration_s, std::uint64_t seed) {
+  JobSpec job;
+  job.job_id = 1;
+  job.class_id = class_id;
+  job.num_gpus = 2;
+  job.num_nodes = 1;
+  job.duration_s = duration_s;
+  job.seed = seed;
+  return job;
+}
+
+class PerClass : public ::testing::TestWithParam<int> {};
+
+TEST_P(PerClass, CpuSeriesRespectsPhysicalInvariants) {
+  const JobSpec job = make_job(GetParam(), 900.0, 1000 + GetParam());
+  const TimeSeries ts = synthesize_cpu_series(job, 0);
+  for (std::size_t t = 0; t < ts.steps(); ++t) {
+    const auto row = ts.values.row(t);
+    EXPECT_GE(row[0], 1200.0);                      // CPUFrequency floor
+    EXPECT_LE(row[0], 4000.0);                      // boost ceiling
+    EXPECT_GE(row[2], 0.0);                         // utilisation
+    EXPECT_LE(row[2], 100.0);
+    EXPECT_GT(row[4], row[3]);                      // VMSize > RSS
+    EXPECT_GE(row[6], 0.0);                         // ReadMB
+    EXPECT_GE(row[7], 0.0);                         // WriteMB
+  }
+  // Cumulative counters are monotone.
+  for (std::size_t t = 1; t < ts.steps(); ++t) {
+    EXPECT_GE(ts.values(t, 1), ts.values(t - 1, 1));
+    EXPECT_GE(ts.values(t, 5), ts.values(t - 1, 5));
+  }
+}
+
+TEST_P(PerClass, GpuSeriesStartupIsShorterThanJob) {
+  const JobSpec job = make_job(GetParam(), 600.0, 5000 + GetParam());
+  const TimeSeries ts = synthesize_gpu_series(job, 0, 1.0);
+  // By 300 s every class must have reached its steady regime: the trailing
+  // half's mean utilisation exceeds the first 20 s for compute-bound
+  // classes, or at least is stable (GNN classes can be low either way).
+  std::vector<double> early;
+  std::vector<double> late;
+  for (std::size_t t = 0; t < 20; ++t) {
+    early.push_back(ts.values(t, kUtilizationGpuPct));
+  }
+  for (std::size_t t = 300; t < 600 && t < ts.steps(); ++t) {
+    late.push_back(ts.values(t, kUtilizationGpuPct));
+  }
+  const GpuSignature sig = base_signature(architecture(GetParam()));
+  if (sig.util_base > 50.0) {
+    EXPECT_GT(linalg::mean(late), linalg::mean(early));
+  }
+}
+
+TEST_P(PerClass, SameJobDifferentRatesAgreeOnLevels) {
+  // Sampling the same job at 1 Hz and 4 Hz must produce the same coarse
+  // statistics (rate changes resolution, not behaviour).
+  const JobSpec job = make_job(GetParam(), 700.0, 9000 + GetParam());
+  const TimeSeries slow = synthesize_gpu_series(job, 0, 1.0);
+  const TimeSeries fast = synthesize_gpu_series(job, 0, 4.0);
+  std::vector<double> slow_util;
+  std::vector<double> fast_util;
+  for (std::size_t t = 200; t < slow.steps(); ++t) {
+    slow_util.push_back(slow.values(t, kUtilizationGpuPct));
+  }
+  for (std::size_t t = 800; t < fast.steps(); ++t) {
+    fast_util.push_back(fast.values(t, kUtilizationGpuPct));
+  }
+  EXPECT_NEAR(linalg::mean(slow_util), linalg::mean(fast_util), 6.0);
+  std::vector<double> slow_mem;
+  std::vector<double> fast_mem;
+  for (std::size_t t = 200; t < slow.steps(); ++t) {
+    slow_mem.push_back(slow.values(t, kMemoryUsedMiB));
+  }
+  for (std::size_t t = 800; t < fast.steps(); ++t) {
+    fast_mem.push_back(fast.values(t, kMemoryUsedMiB));
+  }
+  EXPECT_NEAR(linalg::mean(slow_mem) / linalg::mean(fast_mem), 1.0, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, PerClass, ::testing::Range(0, 26));
+
+TEST(FamilyOrderings, UNetRunsHotterThanGnn) {
+  // Power and utilisation orderings the covariance classifier exploits.
+  const JobSpec unet = make_job(11, 800.0, 1);   // U3-32
+  const JobSpec gnn = make_job(23, 800.0, 1);    // PNA... class 24 is PNA
+  const TimeSeries u = synthesize_gpu_series(unet, 0, 1.0);
+  const TimeSeries g = synthesize_gpu_series(gnn, 0, 1.0);
+  std::vector<double> u_power;
+  std::vector<double> g_power;
+  for (std::size_t t = 300; t < 800; ++t) {
+    u_power.push_back(u.values(t, kPowerDrawW));
+    g_power.push_back(g.values(t, kPowerDrawW));
+  }
+  EXPECT_GT(linalg::mean(u_power), linalg::mean(g_power) + 50.0);
+}
+
+TEST(FamilyOrderings, BertUsesMoreMemoryThanGnn) {
+  const JobSpec bert = make_job(20, 800.0, 2);
+  const JobSpec schnet = make_job(22, 800.0, 2);
+  const TimeSeries b = synthesize_gpu_series(bert, 0, 1.0);
+  const TimeSeries s = synthesize_gpu_series(schnet, 0, 1.0);
+  EXPECT_GT(b.values(700, kMemoryUsedMiB), s.values(700, kMemoryUsedMiB));
+}
+
+TEST(FamilyOrderings, MemoryTemperatureTracksDieTemperature) {
+  const JobSpec job = make_job(3, 900.0, 3);
+  const TimeSeries ts = synthesize_gpu_series(job, 0, 1.0);
+  std::vector<double> die;
+  std::vector<double> hbm;
+  for (std::size_t t = 0; t < ts.steps(); ++t) {
+    die.push_back(ts.values(t, kTemperatureGpu));
+    hbm.push_back(ts.values(t, kTemperatureMemory));
+  }
+  EXPECT_GT(linalg::pearson(die, hbm), 0.95);
+  EXPECT_GT(linalg::mean(hbm), linalg::mean(die));
+}
+
+TEST(JitterProperties, TwoJobsOfOneClassDiffer) {
+  const JobSpec a = make_job(0, 500.0, 11);
+  const JobSpec b = make_job(0, 500.0, 12);
+  const TimeSeries ta = synthesize_gpu_series(a, 0, 1.0);
+  const TimeSeries tb = synthesize_gpu_series(b, 0, 1.0);
+  // Same class, different jobs: correlated statistics, different traces.
+  std::vector<double> ua;
+  std::vector<double> ub;
+  for (std::size_t t = 200; t < 500; ++t) {
+    ua.push_back(ta.values(t, kUtilizationGpuPct));
+    ub.push_back(tb.values(t, kUtilizationGpuPct));
+  }
+  EXPECT_NEAR(linalg::mean(ua), linalg::mean(ub), 15.0);  // same class
+  EXPECT_GT(ta.values.max_abs_diff(tb.values), 10.0);     // not identical
+}
+
+TEST(JitterProperties, WithinFamilyMemoryOverlapsAcrossJobs) {
+  // Neighbouring variants must be confusable: some VGG16 jobs use more
+  // memory than some VGG19 jobs (otherwise the task would be trivial).
+  int overlaps = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const JobSpec v16 = make_job(1, 400.0, 100 + seed);
+    const JobSpec v19 = make_job(2, 400.0, 200 + seed);
+    const TimeSeries a = synthesize_gpu_series(v16, 0, 0.5);
+    const TimeSeries b = synthesize_gpu_series(v19, 0, 0.5);
+    if (a.values(150, kMemoryUsedMiB) > b.values(150, kMemoryUsedMiB)) {
+      ++overlaps;
+    }
+  }
+  EXPECT_GT(overlaps, 2);
+  EXPECT_LT(overlaps, 28);
+}
+
+}  // namespace
+}  // namespace scwc::telemetry

@@ -1,0 +1,164 @@
+// Tests for job sampling and labelled-corpus generation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "telemetry/architectures.hpp"
+#include "telemetry/corpus.hpp"
+
+namespace scwc::telemetry {
+namespace {
+
+TEST(JobSampling, DurationsWithinClusterLimits) {
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const double d = sample_duration_s(rng);
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, 86400.0);
+  }
+}
+
+TEST(JobSampling, SomeJobsAreShorterThanAMinute) {
+  // The ≥60 s filter of the challenge builder must have something to drop.
+  Rng rng(2);
+  int shorties = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    if (sample_duration_s(rng) < 60.0) ++shorties;
+  }
+  EXPECT_GT(shorties, kN / 100);
+  EXPECT_LT(shorties, kN / 10);
+}
+
+TEST(JobSampling, GpuCountsComeFromAllocationMix) {
+  Rng rng(3);
+  double total = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const int g = sample_num_gpus(rng);
+    EXPECT_TRUE(g == 1 || g == 2 || g == 4 || g == 8 || g == 16 || g == 32);
+    total += g;
+  }
+  // Mean near 5 GPUs/job → >17k series from 3,430 jobs as in the paper.
+  EXPECT_NEAR(total / kN, 5.3, 0.8);
+}
+
+TEST(JobSampling, NodesForGpus) {
+  EXPECT_EQ(nodes_for_gpus(1), 1);
+  EXPECT_EQ(nodes_for_gpus(2), 1);
+  EXPECT_EQ(nodes_for_gpus(3), 2);
+  EXPECT_EQ(nodes_for_gpus(32), 16);
+}
+
+TEST(Corpus, FullScaleMatchesPaperJobCounts) {
+  CorpusConfig config;
+  config.jobs_per_class_scale = 1.0;
+  const Corpus corpus = generate_corpus(config);
+  EXPECT_EQ(corpus.size(), static_cast<std::size_t>(total_paper_jobs()));
+  const auto counts = corpus.class_counts();
+  for (const auto& arch : architecture_registry()) {
+    EXPECT_EQ(counts.at(arch.class_id), arch.paper_job_count) << arch.name;
+  }
+}
+
+TEST(Corpus, FullScaleGpuSeriesCountIsPaperSized) {
+  CorpusConfig config;
+  const Corpus corpus = generate_corpus(config);
+  // The paper: "over 17,000 distinct GPU time series".
+  EXPECT_GT(corpus.total_gpu_series(), 14000);
+  EXPECT_LT(corpus.total_gpu_series(), 26000);
+}
+
+TEST(Corpus, ScaleShrinksProportionally) {
+  CorpusConfig config;
+  config.jobs_per_class_scale = 0.1;
+  config.min_jobs_per_class = 2;
+  const Corpus corpus = generate_corpus(config);
+  const auto counts = corpus.class_counts();
+  for (const auto& arch : architecture_registry()) {
+    const int expected = std::max(
+        2, static_cast<int>(std::lround(arch.paper_job_count * 0.1)));
+    EXPECT_EQ(counts.at(arch.class_id), expected) << arch.name;
+  }
+}
+
+TEST(Corpus, MinJobsPerClassIsEnforced) {
+  CorpusConfig config;
+  config.jobs_per_class_scale = 0.001;  // would give 0 jobs everywhere
+  config.min_jobs_per_class = 4;
+  const Corpus corpus = generate_corpus(config);
+  for (const auto& [cls, count] : corpus.class_counts()) {
+    EXPECT_GE(count, 4) << cls;
+  }
+}
+
+TEST(Corpus, JobIdsAreUnique) {
+  CorpusConfig config;
+  config.jobs_per_class_scale = 0.05;
+  const Corpus corpus = generate_corpus(config);
+  std::set<std::int64_t> ids;
+  for (const auto& j : corpus.jobs()) ids.insert(j.job_id);
+  EXPECT_EQ(ids.size(), corpus.size());
+}
+
+TEST(Corpus, GenerationIsDeterministic) {
+  CorpusConfig config;
+  config.jobs_per_class_scale = 0.05;
+  config.seed = 555;
+  const Corpus a = generate_corpus(config);
+  const Corpus b = generate_corpus(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.jobs()[i].seed, b.jobs()[i].seed);
+    EXPECT_EQ(a.jobs()[i].duration_s, b.jobs()[i].duration_s);
+    EXPECT_EQ(a.jobs()[i].num_gpus, b.jobs()[i].num_gpus);
+  }
+}
+
+TEST(Corpus, DifferentSeedsGiveDifferentJobs) {
+  CorpusConfig a_config;
+  a_config.jobs_per_class_scale = 0.05;
+  a_config.seed = 1;
+  CorpusConfig b_config = a_config;
+  b_config.seed = 2;
+  const Corpus a = generate_corpus(a_config);
+  const Corpus b = generate_corpus(b_config);
+  ASSERT_EQ(a.size(), b.size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff |= a.jobs()[i].seed != b.jobs()[i].seed;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Corpus, DurationFilterWorks) {
+  CorpusConfig config;
+  config.jobs_per_class_scale = 0.2;
+  const Corpus corpus = generate_corpus(config);
+  const auto longs = corpus.jobs_running_at_least(3600.0);
+  EXPECT_LT(longs.size(), corpus.size());
+  for (const auto& j : longs) EXPECT_GE(j.duration_s, 3600.0);
+}
+
+TEST(Corpus, InvalidConfigThrows) {
+  CorpusConfig config;
+  config.jobs_per_class_scale = 0.0;
+  EXPECT_THROW((void)generate_corpus(config), Error);
+  config.jobs_per_class_scale = 1.0;
+  config.min_jobs_per_class = 1;
+  EXPECT_THROW((void)generate_corpus(config), Error);
+}
+
+TEST(Corpus, NodeCountsConsistentWithGpus) {
+  CorpusConfig config;
+  config.jobs_per_class_scale = 0.05;
+  const Corpus corpus = generate_corpus(config);
+  for (const auto& j : corpus.jobs()) {
+    EXPECT_EQ(j.num_nodes, nodes_for_gpus(j.num_gpus));
+  }
+}
+
+}  // namespace
+}  // namespace scwc::telemetry

@@ -1,0 +1,125 @@
+// Tests for the architecture registry (Tables I, VII, VIII, IX).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "telemetry/architectures.hpp"
+
+namespace scwc::telemetry {
+namespace {
+
+TEST(Registry, HasTwentySixClasses) {
+  EXPECT_EQ(architecture_registry().size(), kNumClasses);
+  EXPECT_EQ(kNumClasses, 26u);
+}
+
+TEST(Registry, ClassIdsAreDenseAndOrdered) {
+  int expected = 0;
+  for (const auto& a : architecture_registry()) {
+    EXPECT_EQ(a.class_id, expected++);
+  }
+}
+
+TEST(Registry, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& a : architecture_registry()) names.insert(a.name);
+  EXPECT_EQ(names.size(), kNumClasses);
+}
+
+TEST(Registry, FamilySizesMatchAppendixTables) {
+  std::map<ModelFamily, int> counts;
+  for (const auto& a : architecture_registry()) ++counts[a.family];
+  EXPECT_EQ(counts[ModelFamily::kVgg], 3);        // Table VII
+  EXPECT_EQ(counts[ModelFamily::kInception], 2);  // Table VII
+  EXPECT_EQ(counts[ModelFamily::kResNet], 6);     // Table VIII
+  EXPECT_EQ(counts[ModelFamily::kUNet], 9);       // Table VIII
+  EXPECT_EQ(counts[ModelFamily::kBert], 1);       // Table IX
+  EXPECT_EQ(counts[ModelFamily::kDistilBert], 1); // Table IX
+  EXPECT_EQ(counts[ModelFamily::kGnn], 4);        // Table IX
+}
+
+TEST(Registry, PaperJobCountsMatchAppendix) {
+  // Spot checks against Tables VII–IX.
+  EXPECT_EQ(architecture_by_name("VGG11").paper_job_count, 185);
+  EXPECT_EQ(architecture_by_name("VGG19").paper_job_count, 199);
+  EXPECT_EQ(architecture_by_name("Inception3").paper_job_count, 241);
+  EXPECT_EQ(architecture_by_name("ResNet50").paper_job_count, 111);
+  EXPECT_EQ(architecture_by_name("ResNet152_v2").paper_job_count, 54);
+  EXPECT_EQ(architecture_by_name("U3-32").paper_job_count, 165);
+  EXPECT_EQ(architecture_by_name("U5-128").paper_job_count, 148);
+  EXPECT_EQ(architecture_by_name("Bert").paper_job_count, 185);
+  EXPECT_EQ(architecture_by_name("DistillBert").paper_job_count, 241);
+  EXPECT_EQ(architecture_by_name("PNA").paper_job_count, 27);
+}
+
+TEST(Registry, FamilyTotalsMatchTableI) {
+  std::map<ModelFamily, int> totals;
+  for (const auto& a : architecture_registry()) {
+    totals[a.family] += a.paper_job_count;
+  }
+  EXPECT_EQ(totals[ModelFamily::kVgg], 560);        // Table I: VGG 560
+  EXPECT_EQ(totals[ModelFamily::kInception], 484);  // Table I: Inception 484
+  EXPECT_EQ(totals[ModelFamily::kUNet], 1431);      // Table I: U-Net 1431
+  // Table I says ResNet 464 but Table VIII sums to 463 — we follow the
+  // per-class appendix (see architectures.hpp).
+  EXPECT_EQ(totals[ModelFamily::kResNet], 463);
+  EXPECT_EQ(totals[ModelFamily::kGnn], 33 + 39 + 27 + 32);
+}
+
+TEST(Registry, LookupByIdAndName) {
+  const ArchitectureInfo& by_id = architecture(0);
+  EXPECT_EQ(by_id.name, "VGG11");
+  const ArchitectureInfo& by_name = architecture_by_name("Schnet");
+  EXPECT_EQ(by_name.family, ModelFamily::kGnn);
+  EXPECT_EQ(architecture(by_name.class_id).name, "Schnet");
+}
+
+TEST(Registry, LookupErrors) {
+  EXPECT_THROW((void)architecture(-1), Error);
+  EXPECT_THROW((void)architecture(26), Error);
+  EXPECT_THROW((void)architecture_by_name("GPT-5"), Error);
+}
+
+TEST(Registry, DepthScalesIncreaseWithinFamilies) {
+  EXPECT_LT(architecture_by_name("VGG11").depth_scale,
+            architecture_by_name("VGG19").depth_scale);
+  EXPECT_LT(architecture_by_name("ResNet50").depth_scale,
+            architecture_by_name("ResNet152").depth_scale);
+  EXPECT_LT(architecture_by_name("U3-32").depth_scale,
+            architecture_by_name("U5-128").depth_scale);
+}
+
+TEST(Registry, SensorNamesMatchTableIII) {
+  EXPECT_EQ(gpu_sensor_name(0), "utilization_gpu_pct");
+  EXPECT_EQ(gpu_sensor_name(1), "utilization_memory_pct");
+  EXPECT_EQ(gpu_sensor_name(2), "memory_free_MiB");
+  EXPECT_EQ(gpu_sensor_name(3), "memory_used_MiB");
+  EXPECT_EQ(gpu_sensor_name(4), "temperature_gpu");
+  EXPECT_EQ(gpu_sensor_name(5), "temperature_memory");
+  EXPECT_EQ(gpu_sensor_name(6), "power_draw_W");
+  EXPECT_EQ(kNumGpuSensors, 7u);
+}
+
+TEST(Registry, CpuMetricNamesMatchTableII) {
+  EXPECT_EQ(cpu_metric_name(0), "CPUFrequency");
+  EXPECT_EQ(cpu_metric_name(2), "CPUUtilization");
+  EXPECT_EQ(cpu_metric_name(3), "RSS");
+  EXPECT_EQ(cpu_metric_name(7), "WriteMB");
+  EXPECT_EQ(kNumCpuMetrics, 8u);
+}
+
+TEST(Registry, FamilyNames) {
+  EXPECT_EQ(family_name(ModelFamily::kVgg), "VGG");
+  EXPECT_EQ(family_name(ModelFamily::kGnn), "GNN");
+}
+
+TEST(Registry, TotalJobsNearPaperTotal) {
+  // The appendix sums to 3,495 (the abstract's 3,430 is the labelled-job
+  // count before the ongoing collection update); both are the same order.
+  EXPECT_EQ(total_paper_jobs(), 3495);
+}
+
+}  // namespace
+}  // namespace scwc::telemetry

@@ -1,0 +1,134 @@
+// Tests for the scheduler-log substrate.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "telemetry/scheduler_log.hpp"
+
+namespace scwc::telemetry {
+namespace {
+
+Corpus small_corpus(std::uint64_t seed = 42) {
+  CorpusConfig config;
+  config.jobs_per_class_scale = 0.05;
+  config.seed = seed;
+  return generate_corpus(config);
+}
+
+TEST(SchedulerLog, OneRecordPerJob) {
+  const Corpus corpus = small_corpus();
+  const auto records = build_scheduler_log(corpus);
+  EXPECT_EQ(records.size(), corpus.size());
+  std::set<std::int64_t> ids;
+  for (const auto& rec : records) ids.insert(rec.job_id);
+  EXPECT_EQ(ids.size(), corpus.size());
+}
+
+TEST(SchedulerLog, TimesAreOrderedAndConsistent) {
+  const Corpus corpus = small_corpus();
+  std::map<std::int64_t, double> durations;
+  for (const auto& job : corpus.jobs()) {
+    durations[job.job_id] = job.duration_s;
+  }
+  const auto records = build_scheduler_log(corpus);
+  double prev_submit = -1.0;
+  for (const auto& rec : records) {
+    EXPECT_GE(rec.submit_time_s, prev_submit);  // sorted by submit
+    prev_submit = rec.submit_time_s;
+    EXPECT_GT(rec.start_time_s, rec.submit_time_s);  // queued
+    // Runtime equals the telemetry duration exactly.
+    EXPECT_NEAR(rec.end_time_s - rec.start_time_s,
+                durations.at(rec.job_id), 1e-9);
+  }
+}
+
+TEST(SchedulerLog, AllocationsMatchJobs) {
+  const Corpus corpus = small_corpus();
+  std::map<std::int64_t, const JobSpec*> jobs;
+  for (const auto& job : corpus.jobs()) jobs[job.job_id] = &job;
+  for (const auto& rec : build_scheduler_log(corpus)) {
+    const JobSpec* job = jobs.at(rec.job_id);
+    EXPECT_EQ(rec.gpus, job->num_gpus);
+    EXPECT_EQ(rec.nodes, job->num_nodes);
+    EXPECT_EQ(rec.cpus, job->num_nodes * 40);
+    EXPECT_EQ(rec.partition, "gaia");
+  }
+}
+
+TEST(SchedulerLog, StatesReflectDurations) {
+  const Corpus corpus = small_corpus();
+  std::map<std::int64_t, double> durations;
+  for (const auto& job : corpus.jobs()) {
+    durations[job.job_id] = job.duration_s;
+  }
+  int completed = 0;
+  for (const auto& rec : build_scheduler_log(corpus)) {
+    const double d = durations.at(rec.job_id);
+    if (d < 60.0) {
+      EXPECT_TRUE(rec.state == JobState::kFailed ||
+                  rec.state == JobState::kCancelled);
+    } else if (d >= 86400.0) {
+      EXPECT_EQ(rec.state, JobState::kTimeout);
+    }
+    if (rec.state == JobState::kCompleted) ++completed;
+  }
+  // The overwhelming majority of ≥60 s jobs complete.
+  EXPECT_GT(completed, static_cast<int>(corpus.size() * 3 / 4));
+}
+
+TEST(SchedulerLog, UserHashesAreAnonymisedAndReused) {
+  const auto records = build_scheduler_log(small_corpus());
+  std::set<std::string> users;
+  for (const auto& rec : records) {
+    EXPECT_EQ(rec.user_hash.size(), 16u);  // hex digest shape
+    for (const char c : rec.user_hash) {
+      EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c))) << c;
+    }
+    users.insert(rec.user_hash);
+  }
+  // Far fewer users than jobs (bursty submissions).
+  EXPECT_LT(users.size(), records.size() / 2);
+  EXPECT_GT(users.size(), 5u);
+}
+
+TEST(SchedulerLog, Deterministic) {
+  const Corpus corpus = small_corpus();
+  const auto a = build_scheduler_log(corpus);
+  const auto b = build_scheduler_log(corpus);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].job_id, b[i].job_id);
+    EXPECT_EQ(a[i].user_hash, b[i].user_hash);
+    EXPECT_DOUBLE_EQ(a[i].submit_time_s, b[i].submit_time_s);
+  }
+}
+
+TEST(SchedulerLog, CsvExportRoundTripsRowCount) {
+  const auto records = build_scheduler_log(small_corpus());
+  const auto path =
+      std::filesystem::temp_directory_path() / "scwc_sched.csv";
+  export_scheduler_csv(records, path);
+  std::ifstream is(path);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_NE(line.find("job_id,user,partition"), std::string::npos);
+  std::size_t rows = 0;
+  while (std::getline(is, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, records.size());
+  std::filesystem::remove(path);
+}
+
+TEST(SchedulerLog, StateNames) {
+  EXPECT_EQ(job_state_name(JobState::kCompleted), "COMPLETED");
+  EXPECT_EQ(job_state_name(JobState::kFailed), "FAILED");
+  EXPECT_EQ(job_state_name(JobState::kTimeout), "TIMEOUT");
+  EXPECT_EQ(job_state_name(JobState::kCancelled), "CANCELLED");
+}
+
+}  // namespace
+}  // namespace scwc::telemetry
