@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_boosting_rounds.dir/ablation_boosting_rounds.cpp.o"
+  "CMakeFiles/ablation_boosting_rounds.dir/ablation_boosting_rounds.cpp.o.d"
+  "ablation_boosting_rounds"
+  "ablation_boosting_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_boosting_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_convlstm.dir/ablation_convlstm.cpp.o"
+  "CMakeFiles/ablation_convlstm.dir/ablation_convlstm.cpp.o.d"
+  "ablation_convlstm"
+  "ablation_convlstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_convlstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cpu_fusion.dir/ablation_cpu_fusion.cpp.o"
+  "CMakeFiles/ablation_cpu_fusion.dir/ablation_cpu_fusion.cpp.o.d"
+  "ablation_cpu_fusion"
+  "ablation_cpu_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cpu_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

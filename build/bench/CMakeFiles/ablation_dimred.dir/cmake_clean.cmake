@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dimred.dir/ablation_dimred.cpp.o"
+  "CMakeFiles/ablation_dimred.dir/ablation_dimred.cpp.o.d"
+  "ablation_dimred"
+  "ablation_dimred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dimred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

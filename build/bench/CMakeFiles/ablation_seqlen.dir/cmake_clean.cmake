@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_seqlen.dir/ablation_seqlen.cpp.o"
+  "CMakeFiles/ablation_seqlen.dir/ablation_seqlen.cpp.o.d"
+  "ablation_seqlen"
+  "ablation_seqlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_seqlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_split.dir/ablation_split.cpp.o"
+  "CMakeFiles/ablation_split.dir/ablation_split.cpp.o.d"
+  "ablation_split"
+  "ablation_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

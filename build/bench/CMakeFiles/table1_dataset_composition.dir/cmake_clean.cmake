@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dataset_composition.dir/table1_dataset_composition.cpp.o"
+  "CMakeFiles/table1_dataset_composition.dir/table1_dataset_composition.cpp.o.d"
+  "table1_dataset_composition"
+  "table1_dataset_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dataset_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

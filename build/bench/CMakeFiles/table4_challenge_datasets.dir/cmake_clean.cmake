@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_challenge_datasets.dir/table4_challenge_datasets.cpp.o"
+  "CMakeFiles/table4_challenge_datasets.dir/table4_challenge_datasets.cpp.o.d"
+  "table4_challenge_datasets"
+  "table4_challenge_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_challenge_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_svm_rf.dir/table5_svm_rf.cpp.o"
+  "CMakeFiles/table5_svm_rf.dir/table5_svm_rf.cpp.o.d"
+  "table5_svm_rf"
+  "table5_svm_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_svm_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

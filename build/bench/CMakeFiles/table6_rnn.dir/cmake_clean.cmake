@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_rnn.dir/table6_rnn.cpp.o"
+  "CMakeFiles/table6_rnn.dir/table6_rnn.cpp.o.d"
+  "table6_rnn"
+  "table6_rnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_rnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgboost_random1.dir/xgboost_random1.cpp.o"
+  "CMakeFiles/xgboost_random1.dir/xgboost_random1.cpp.o.d"
+  "xgboost_random1"
+  "xgboost_random1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgboost_random1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

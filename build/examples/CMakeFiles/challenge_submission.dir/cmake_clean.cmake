@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/challenge_submission.dir/challenge_submission.cpp.o"
+  "CMakeFiles/challenge_submission.dir/challenge_submission.cpp.o.d"
+  "challenge_submission"
+  "challenge_submission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/challenge_submission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--scale" "tiny")
+set_tests_properties(example_quickstart PROPERTIES  ENVIRONMENT "SCWC_LOG=warn" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_live_monitor "/root/repo/build/examples/live_monitor" "--scale" "tiny")
+set_tests_properties(example_live_monitor PROPERTIES  ENVIRONMENT "SCWC_LOG=warn" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_challenge_submission "/root/repo/build/examples/challenge_submission" "--scale" "tiny" "--out" "/root/repo/build/challenge_out")
+set_tests_properties(example_challenge_submission PROPERTIES  ENVIRONMENT "SCWC_LOG=warn" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dataset_export "/root/repo/build/examples/dataset_export" "--scale" "tiny" "--out" "/root/repo/build/release_out")
+set_tests_properties(example_dataset_export PROPERTIES  ENVIRONMENT "SCWC_LOG=warn" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")

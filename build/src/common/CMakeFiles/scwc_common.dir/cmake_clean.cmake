@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scwc_common.dir/cli.cpp.o"
+  "CMakeFiles/scwc_common.dir/cli.cpp.o.d"
+  "CMakeFiles/scwc_common.dir/env.cpp.o"
+  "CMakeFiles/scwc_common.dir/env.cpp.o.d"
+  "CMakeFiles/scwc_common.dir/error.cpp.o"
+  "CMakeFiles/scwc_common.dir/error.cpp.o.d"
+  "CMakeFiles/scwc_common.dir/log.cpp.o"
+  "CMakeFiles/scwc_common.dir/log.cpp.o.d"
+  "CMakeFiles/scwc_common.dir/rng.cpp.o"
+  "CMakeFiles/scwc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/scwc_common.dir/string_util.cpp.o"
+  "CMakeFiles/scwc_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/scwc_common.dir/table.cpp.o"
+  "CMakeFiles/scwc_common.dir/table.cpp.o.d"
+  "CMakeFiles/scwc_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/scwc_common.dir/thread_pool.cpp.o.d"
+  "libscwc_common.a"
+  "libscwc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scwc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

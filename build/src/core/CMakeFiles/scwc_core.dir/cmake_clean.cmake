@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scwc_core.dir/baselines.cpp.o"
+  "CMakeFiles/scwc_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/scwc_core.dir/challenge.cpp.o"
+  "CMakeFiles/scwc_core.dir/challenge.cpp.o.d"
+  "CMakeFiles/scwc_core.dir/fusion.cpp.o"
+  "CMakeFiles/scwc_core.dir/fusion.cpp.o.d"
+  "CMakeFiles/scwc_core.dir/report.cpp.o"
+  "CMakeFiles/scwc_core.dir/report.cpp.o.d"
+  "CMakeFiles/scwc_core.dir/rnn_experiments.cpp.o"
+  "CMakeFiles/scwc_core.dir/rnn_experiments.cpp.o.d"
+  "libscwc_core.a"
+  "libscwc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scwc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

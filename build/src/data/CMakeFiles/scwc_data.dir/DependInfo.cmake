@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/challenge_dataset.cpp" "src/data/CMakeFiles/scwc_data.dir/challenge_dataset.cpp.o" "gcc" "src/data/CMakeFiles/scwc_data.dir/challenge_dataset.cpp.o.d"
+  "/root/repo/src/data/npz.cpp" "src/data/CMakeFiles/scwc_data.dir/npz.cpp.o" "gcc" "src/data/CMakeFiles/scwc_data.dir/npz.cpp.o.d"
+  "/root/repo/src/data/serialize.cpp" "src/data/CMakeFiles/scwc_data.dir/serialize.cpp.o" "gcc" "src/data/CMakeFiles/scwc_data.dir/serialize.cpp.o.d"
+  "/root/repo/src/data/split.cpp" "src/data/CMakeFiles/scwc_data.dir/split.cpp.o" "gcc" "src/data/CMakeFiles/scwc_data.dir/split.cpp.o.d"
+  "/root/repo/src/data/tensor3.cpp" "src/data/CMakeFiles/scwc_data.dir/tensor3.cpp.o" "gcc" "src/data/CMakeFiles/scwc_data.dir/tensor3.cpp.o.d"
+  "/root/repo/src/data/window.cpp" "src/data/CMakeFiles/scwc_data.dir/window.cpp.o" "gcc" "src/data/CMakeFiles/scwc_data.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scwc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/scwc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/scwc_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scwc_data.dir/challenge_dataset.cpp.o"
+  "CMakeFiles/scwc_data.dir/challenge_dataset.cpp.o.d"
+  "CMakeFiles/scwc_data.dir/npz.cpp.o"
+  "CMakeFiles/scwc_data.dir/npz.cpp.o.d"
+  "CMakeFiles/scwc_data.dir/serialize.cpp.o"
+  "CMakeFiles/scwc_data.dir/serialize.cpp.o.d"
+  "CMakeFiles/scwc_data.dir/split.cpp.o"
+  "CMakeFiles/scwc_data.dir/split.cpp.o.d"
+  "CMakeFiles/scwc_data.dir/tensor3.cpp.o"
+  "CMakeFiles/scwc_data.dir/tensor3.cpp.o.d"
+  "CMakeFiles/scwc_data.dir/window.cpp.o"
+  "CMakeFiles/scwc_data.dir/window.cpp.o.d"
+  "libscwc_data.a"
+  "libscwc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scwc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for scwc_data.
+# This may be replaced when dependencies are built.

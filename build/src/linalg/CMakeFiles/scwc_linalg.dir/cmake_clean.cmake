@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scwc_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/scwc_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/scwc_linalg.dir/gemm.cpp.o"
+  "CMakeFiles/scwc_linalg.dir/gemm.cpp.o.d"
+  "CMakeFiles/scwc_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/scwc_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/scwc_linalg.dir/stats.cpp.o"
+  "CMakeFiles/scwc_linalg.dir/stats.cpp.o.d"
+  "libscwc_linalg.a"
+  "libscwc_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scwc_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscwc_linalg.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/scwc_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/scwc_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/gbt.cpp" "src/ml/CMakeFiles/scwc_ml.dir/gbt.cpp.o" "gcc" "src/ml/CMakeFiles/scwc_ml.dir/gbt.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/scwc_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/scwc_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/logistic.cpp" "src/ml/CMakeFiles/scwc_ml.dir/logistic.cpp.o" "gcc" "src/ml/CMakeFiles/scwc_ml.dir/logistic.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/scwc_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/scwc_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/model_selection.cpp" "src/ml/CMakeFiles/scwc_ml.dir/model_selection.cpp.o" "gcc" "src/ml/CMakeFiles/scwc_ml.dir/model_selection.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/scwc_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/scwc_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/scwc_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/scwc_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scwc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/scwc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

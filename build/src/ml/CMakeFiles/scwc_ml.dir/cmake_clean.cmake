@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scwc_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/scwc_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/scwc_ml.dir/gbt.cpp.o"
+  "CMakeFiles/scwc_ml.dir/gbt.cpp.o.d"
+  "CMakeFiles/scwc_ml.dir/knn.cpp.o"
+  "CMakeFiles/scwc_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/scwc_ml.dir/logistic.cpp.o"
+  "CMakeFiles/scwc_ml.dir/logistic.cpp.o.d"
+  "CMakeFiles/scwc_ml.dir/metrics.cpp.o"
+  "CMakeFiles/scwc_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/scwc_ml.dir/model_selection.cpp.o"
+  "CMakeFiles/scwc_ml.dir/model_selection.cpp.o.d"
+  "CMakeFiles/scwc_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/scwc_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/scwc_ml.dir/svm.cpp.o"
+  "CMakeFiles/scwc_ml.dir/svm.cpp.o.d"
+  "libscwc_ml.a"
+  "libscwc_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scwc_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/scwc_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/scwc_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/convlstm.cpp" "src/nn/CMakeFiles/scwc_nn.dir/convlstm.cpp.o" "gcc" "src/nn/CMakeFiles/scwc_nn.dir/convlstm.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/scwc_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/scwc_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/scwc_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/scwc_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/scwc_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/scwc_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/nn/CMakeFiles/scwc_nn.dir/models.cpp.o" "gcc" "src/nn/CMakeFiles/scwc_nn.dir/models.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/scwc_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/scwc_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/scheduler.cpp" "src/nn/CMakeFiles/scwc_nn.dir/scheduler.cpp.o" "gcc" "src/nn/CMakeFiles/scwc_nn.dir/scheduler.cpp.o.d"
+  "/root/repo/src/nn/sequence.cpp" "src/nn/CMakeFiles/scwc_nn.dir/sequence.cpp.o" "gcc" "src/nn/CMakeFiles/scwc_nn.dir/sequence.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/scwc_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/scwc_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scwc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/scwc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/scwc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/scwc_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/scwc_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

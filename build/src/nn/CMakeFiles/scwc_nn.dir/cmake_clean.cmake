@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scwc_nn.dir/conv.cpp.o"
+  "CMakeFiles/scwc_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/scwc_nn.dir/convlstm.cpp.o"
+  "CMakeFiles/scwc_nn.dir/convlstm.cpp.o.d"
+  "CMakeFiles/scwc_nn.dir/layers.cpp.o"
+  "CMakeFiles/scwc_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/scwc_nn.dir/loss.cpp.o"
+  "CMakeFiles/scwc_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/scwc_nn.dir/lstm.cpp.o"
+  "CMakeFiles/scwc_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/scwc_nn.dir/models.cpp.o"
+  "CMakeFiles/scwc_nn.dir/models.cpp.o.d"
+  "CMakeFiles/scwc_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/scwc_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/scwc_nn.dir/scheduler.cpp.o"
+  "CMakeFiles/scwc_nn.dir/scheduler.cpp.o.d"
+  "CMakeFiles/scwc_nn.dir/sequence.cpp.o"
+  "CMakeFiles/scwc_nn.dir/sequence.cpp.o.d"
+  "CMakeFiles/scwc_nn.dir/trainer.cpp.o"
+  "CMakeFiles/scwc_nn.dir/trainer.cpp.o.d"
+  "libscwc_nn.a"
+  "libscwc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scwc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

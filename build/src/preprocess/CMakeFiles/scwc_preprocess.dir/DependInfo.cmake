@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/preprocess/covariance_features.cpp" "src/preprocess/CMakeFiles/scwc_preprocess.dir/covariance_features.cpp.o" "gcc" "src/preprocess/CMakeFiles/scwc_preprocess.dir/covariance_features.cpp.o.d"
+  "/root/repo/src/preprocess/pca.cpp" "src/preprocess/CMakeFiles/scwc_preprocess.dir/pca.cpp.o" "gcc" "src/preprocess/CMakeFiles/scwc_preprocess.dir/pca.cpp.o.d"
+  "/root/repo/src/preprocess/pipeline.cpp" "src/preprocess/CMakeFiles/scwc_preprocess.dir/pipeline.cpp.o" "gcc" "src/preprocess/CMakeFiles/scwc_preprocess.dir/pipeline.cpp.o.d"
+  "/root/repo/src/preprocess/scaler.cpp" "src/preprocess/CMakeFiles/scwc_preprocess.dir/scaler.cpp.o" "gcc" "src/preprocess/CMakeFiles/scwc_preprocess.dir/scaler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scwc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/scwc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/scwc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/scwc_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scwc_preprocess.dir/covariance_features.cpp.o"
+  "CMakeFiles/scwc_preprocess.dir/covariance_features.cpp.o.d"
+  "CMakeFiles/scwc_preprocess.dir/pca.cpp.o"
+  "CMakeFiles/scwc_preprocess.dir/pca.cpp.o.d"
+  "CMakeFiles/scwc_preprocess.dir/pipeline.cpp.o"
+  "CMakeFiles/scwc_preprocess.dir/pipeline.cpp.o.d"
+  "CMakeFiles/scwc_preprocess.dir/scaler.cpp.o"
+  "CMakeFiles/scwc_preprocess.dir/scaler.cpp.o.d"
+  "libscwc_preprocess.a"
+  "libscwc_preprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scwc_preprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

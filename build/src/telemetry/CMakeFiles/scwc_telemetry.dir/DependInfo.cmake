@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/architectures.cpp" "src/telemetry/CMakeFiles/scwc_telemetry.dir/architectures.cpp.o" "gcc" "src/telemetry/CMakeFiles/scwc_telemetry.dir/architectures.cpp.o.d"
+  "/root/repo/src/telemetry/corpus.cpp" "src/telemetry/CMakeFiles/scwc_telemetry.dir/corpus.cpp.o" "gcc" "src/telemetry/CMakeFiles/scwc_telemetry.dir/corpus.cpp.o.d"
+  "/root/repo/src/telemetry/cpu_synth.cpp" "src/telemetry/CMakeFiles/scwc_telemetry.dir/cpu_synth.cpp.o" "gcc" "src/telemetry/CMakeFiles/scwc_telemetry.dir/cpu_synth.cpp.o.d"
+  "/root/repo/src/telemetry/gpu_synth.cpp" "src/telemetry/CMakeFiles/scwc_telemetry.dir/gpu_synth.cpp.o" "gcc" "src/telemetry/CMakeFiles/scwc_telemetry.dir/gpu_synth.cpp.o.d"
+  "/root/repo/src/telemetry/job.cpp" "src/telemetry/CMakeFiles/scwc_telemetry.dir/job.cpp.o" "gcc" "src/telemetry/CMakeFiles/scwc_telemetry.dir/job.cpp.o.d"
+  "/root/repo/src/telemetry/scheduler_log.cpp" "src/telemetry/CMakeFiles/scwc_telemetry.dir/scheduler_log.cpp.o" "gcc" "src/telemetry/CMakeFiles/scwc_telemetry.dir/scheduler_log.cpp.o.d"
+  "/root/repo/src/telemetry/signature.cpp" "src/telemetry/CMakeFiles/scwc_telemetry.dir/signature.cpp.o" "gcc" "src/telemetry/CMakeFiles/scwc_telemetry.dir/signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scwc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/scwc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

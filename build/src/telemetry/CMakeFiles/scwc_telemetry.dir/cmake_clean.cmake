@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scwc_telemetry.dir/architectures.cpp.o"
+  "CMakeFiles/scwc_telemetry.dir/architectures.cpp.o.d"
+  "CMakeFiles/scwc_telemetry.dir/corpus.cpp.o"
+  "CMakeFiles/scwc_telemetry.dir/corpus.cpp.o.d"
+  "CMakeFiles/scwc_telemetry.dir/cpu_synth.cpp.o"
+  "CMakeFiles/scwc_telemetry.dir/cpu_synth.cpp.o.d"
+  "CMakeFiles/scwc_telemetry.dir/gpu_synth.cpp.o"
+  "CMakeFiles/scwc_telemetry.dir/gpu_synth.cpp.o.d"
+  "CMakeFiles/scwc_telemetry.dir/job.cpp.o"
+  "CMakeFiles/scwc_telemetry.dir/job.cpp.o.d"
+  "CMakeFiles/scwc_telemetry.dir/scheduler_log.cpp.o"
+  "CMakeFiles/scwc_telemetry.dir/scheduler_log.cpp.o.d"
+  "CMakeFiles/scwc_telemetry.dir/signature.cpp.o"
+  "CMakeFiles/scwc_telemetry.dir/signature.cpp.o.d"
+  "libscwc_telemetry.a"
+  "libscwc_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scwc_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

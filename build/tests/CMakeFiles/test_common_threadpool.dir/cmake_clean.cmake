@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_threadpool.dir/test_common_threadpool.cpp.o"
+  "CMakeFiles/test_common_threadpool.dir/test_common_threadpool.cpp.o.d"
+  "test_common_threadpool"
+  "test_common_threadpool.pdb"
+  "test_common_threadpool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_threadpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

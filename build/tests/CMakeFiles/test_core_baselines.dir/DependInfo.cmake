@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core_baselines.cpp" "tests/CMakeFiles/test_core_baselines.dir/test_core_baselines.cpp.o" "gcc" "tests/CMakeFiles/test_core_baselines.dir/test_core_baselines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scwc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/preprocess/CMakeFiles/scwc_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/scwc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/scwc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/scwc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/scwc_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/scwc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scwc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_fusion.dir/test_core_fusion.cpp.o"
+  "CMakeFiles/test_core_fusion.dir/test_core_fusion.cpp.o.d"
+  "test_core_fusion"
+  "test_core_fusion.pdb"
+  "test_core_fusion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

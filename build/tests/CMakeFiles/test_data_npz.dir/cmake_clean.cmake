@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_npz.dir/test_data_npz.cpp.o"
+  "CMakeFiles/test_data_npz.dir/test_data_npz.cpp.o.d"
+  "test_data_npz"
+  "test_data_npz.pdb"
+  "test_data_npz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_npz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

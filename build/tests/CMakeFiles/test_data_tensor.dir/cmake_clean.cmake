@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_tensor.dir/test_data_tensor.cpp.o"
+  "CMakeFiles/test_data_tensor.dir/test_data_tensor.cpp.o.d"
+  "test_data_tensor"
+  "test_data_tensor.pdb"
+  "test_data_tensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

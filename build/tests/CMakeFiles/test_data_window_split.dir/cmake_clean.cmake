@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_window_split.dir/test_data_window_split.cpp.o"
+  "CMakeFiles/test_data_window_split.dir/test_data_window_split.cpp.o.d"
+  "test_data_window_split"
+  "test_data_window_split.pdb"
+  "test_data_window_split[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_window_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

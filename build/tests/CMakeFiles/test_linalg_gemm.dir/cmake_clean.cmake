@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_gemm.dir/test_linalg_gemm.cpp.o"
+  "CMakeFiles/test_linalg_gemm.dir/test_linalg_gemm.cpp.o.d"
+  "test_linalg_gemm"
+  "test_linalg_gemm.pdb"
+  "test_linalg_gemm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_properties.dir/test_linalg_properties.cpp.o"
+  "CMakeFiles/test_linalg_properties.dir/test_linalg_properties.cpp.o.d"
+  "test_linalg_properties"
+  "test_linalg_properties.pdb"
+  "test_linalg_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

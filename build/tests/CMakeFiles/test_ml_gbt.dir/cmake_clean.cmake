@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_gbt.dir/test_ml_gbt.cpp.o"
+  "CMakeFiles/test_ml_gbt.dir/test_ml_gbt.cpp.o.d"
+  "test_ml_gbt"
+  "test_ml_gbt.pdb"
+  "test_ml_gbt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_gbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_knn_logistic.dir/test_ml_knn_logistic.cpp.o"
+  "CMakeFiles/test_ml_knn_logistic.dir/test_ml_knn_logistic.cpp.o.d"
+  "test_ml_knn_logistic"
+  "test_ml_knn_logistic.pdb"
+  "test_ml_knn_logistic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_knn_logistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

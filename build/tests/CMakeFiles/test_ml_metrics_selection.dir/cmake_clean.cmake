@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_metrics_selection.dir/test_ml_metrics_selection.cpp.o"
+  "CMakeFiles/test_ml_metrics_selection.dir/test_ml_metrics_selection.cpp.o.d"
+  "test_ml_metrics_selection"
+  "test_ml_metrics_selection.pdb"
+  "test_ml_metrics_selection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_metrics_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

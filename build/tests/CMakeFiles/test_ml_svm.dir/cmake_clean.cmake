@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_svm.dir/test_ml_svm.cpp.o"
+  "CMakeFiles/test_ml_svm.dir/test_ml_svm.cpp.o.d"
+  "test_ml_svm"
+  "test_ml_svm.pdb"
+  "test_ml_svm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_convlstm.dir/test_nn_convlstm.cpp.o"
+  "CMakeFiles/test_nn_convlstm.dir/test_nn_convlstm.cpp.o.d"
+  "test_nn_convlstm"
+  "test_nn_convlstm.pdb"
+  "test_nn_convlstm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_convlstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

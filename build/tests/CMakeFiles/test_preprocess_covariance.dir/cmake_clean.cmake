@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preprocess_covariance.dir/test_preprocess_covariance.cpp.o"
+  "CMakeFiles/test_preprocess_covariance.dir/test_preprocess_covariance.cpp.o.d"
+  "test_preprocess_covariance"
+  "test_preprocess_covariance.pdb"
+  "test_preprocess_covariance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preprocess_covariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preprocess_scaler_pca.dir/test_preprocess_scaler_pca.cpp.o"
+  "CMakeFiles/test_preprocess_scaler_pca.dir/test_preprocess_scaler_pca.cpp.o.d"
+  "test_preprocess_scaler_pca"
+  "test_preprocess_scaler_pca.pdb"
+  "test_preprocess_scaler_pca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preprocess_scaler_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

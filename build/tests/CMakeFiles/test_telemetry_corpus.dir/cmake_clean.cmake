@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telemetry_corpus.dir/test_telemetry_corpus.cpp.o"
+  "CMakeFiles/test_telemetry_corpus.dir/test_telemetry_corpus.cpp.o.d"
+  "test_telemetry_corpus"
+  "test_telemetry_corpus.pdb"
+  "test_telemetry_corpus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telemetry_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telemetry_registry.dir/test_telemetry_registry.cpp.o"
+  "CMakeFiles/test_telemetry_registry.dir/test_telemetry_registry.cpp.o.d"
+  "test_telemetry_registry"
+  "test_telemetry_registry.pdb"
+  "test_telemetry_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telemetry_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

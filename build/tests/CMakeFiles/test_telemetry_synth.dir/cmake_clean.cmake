@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telemetry_synth.dir/test_telemetry_synth.cpp.o"
+  "CMakeFiles/test_telemetry_synth.dir/test_telemetry_synth.cpp.o.d"
+  "test_telemetry_synth"
+  "test_telemetry_synth.pdb"
+  "test_telemetry_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telemetry_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
