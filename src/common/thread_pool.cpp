@@ -17,9 +17,12 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;  // idempotent — second stop (or dtor after stop())
     stop_ = true;
   }
   cv_.notify_all();
@@ -28,12 +31,21 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+bool ThreadPool::stopped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stop_;
+}
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> pt(std::move(task));
   std::future<void> fut = pt.get_future();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    SCWC_CHECK(!stop_, "submit on a stopped ThreadPool");
+    // Rejecting here (instead of silently enqueueing) is what keeps a
+    // caller from blocking forever on a future no worker will ever run.
+    SCWC_REQUIRE(!stop_,
+                 "ThreadPool::submit after stop() — the pool no longer "
+                 "accepts tasks");
     queue_.push_back(std::move(pt));
   }
   cv_.notify_one();
@@ -86,7 +98,9 @@ void parallel_for_blocked(
   const std::size_t n = end - begin;
   ThreadPool& pool = ThreadPool::global();
   const std::size_t workers = pool.size();
-  if (t_inside_pool_worker || workers <= 1 ||
+  // A stopped pool degenerates to a serial loop instead of throwing from
+  // submit — parallel_for stays usable during teardown.
+  if (t_inside_pool_worker || workers <= 1 || pool.stopped() ||
       n <= std::max<std::size_t>(min_block, 1)) {
     body(begin, end);
     return;

@@ -35,7 +35,17 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueues a task; the returned future rethrows any exception.
+  /// Throws scwc::Error once the pool has been stopped — a submit that used
+  /// to race destruction and deadlock waiting on a future no worker would
+  /// ever serve.
   std::future<void> submit(std::function<void()> task);
+
+  /// Drains queued tasks, then joins all workers. Idempotent; called by the
+  /// destructor. After stop() the pool permanently rejects submissions.
+  void stop();
+
+  /// True once stop() has begun (subsequent submits will throw).
+  [[nodiscard]] bool stopped() const;
 
   /// Process-wide default pool (lazily constructed, sized to hardware).
   static ThreadPool& global();
@@ -45,7 +55,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
 };

@@ -1,9 +1,12 @@
 #include "data/serialize.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <istream>
 #include <ostream>
+#include <string>
 
 #include "common/error.hpp"
 #include "telemetry/architectures.hpp"
@@ -22,29 +25,9 @@ void write_u64(std::ostream& os, std::uint64_t v) {
   }
 }
 
-std::uint64_t read_u64(std::istream& is) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    const int byte = is.get();
-    SCWC_REQUIRE(byte != EOF, "scb: truncated integer");
-    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(byte))
-         << (8 * i);
-  }
-  return v;
-}
-
 void write_string(std::ostream& os, const std::string& s) {
   write_u64(os, s.size());
   os.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-std::string read_string(std::istream& is) {
-  const std::uint64_t n = read_u64(is);
-  SCWC_REQUIRE(n < (1ULL << 24), "scb: unreasonable string length");
-  std::string s(n, '\0');
-  is.read(s.data(), static_cast<std::streamsize>(n));
-  SCWC_REQUIRE(is.good(), "scb: truncated string");
-  return s;
 }
 
 void write_doubles(std::ostream& os, std::span<const double> v) {
@@ -53,15 +36,79 @@ void write_doubles(std::ostream& os, std::span<const double> v) {
            static_cast<std::streamsize>(v.size() * sizeof(double)));
 }
 
-std::vector<double> read_doubles(std::istream& is) {
-  const std::uint64_t n = read_u64(is);
-  SCWC_REQUIRE(n < (1ULL << 32), "scb: unreasonable array length");
-  std::vector<double> v(n);
-  is.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(n * sizeof(double)));
-  SCWC_REQUIRE(is.good(), "scb: truncated double array");
-  return v;
-}
+/// Counting reader: every failure names the field being read and the byte
+/// offset where the stream ended or the value turned implausible, so a
+/// corrupted/truncated .scb is diagnosable instead of a crash or a silent
+/// misread.
+class ScbReader {
+ public:
+  explicit ScbReader(std::istream& is) : is_(is) {}
+
+  [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    SCWC_FAIL("scb: " + what + " at byte offset " + std::to_string(offset_));
+  }
+
+  void read_bytes(char* dst, std::size_t n, const char* what) {
+    is_.read(dst, static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(is_.gcount()) != n) {
+      offset_ += static_cast<std::uint64_t>(std::max<std::streamsize>(
+          0, is_.gcount()));
+      fail(std::string("truncated ") + what);
+    }
+    offset_ += n;
+  }
+
+  std::uint64_t read_u64(const char* what) {
+    char bytes[8];
+    read_bytes(bytes, sizeof(bytes), what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[i]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  std::string read_string(const char* what) {
+    const std::uint64_t n = read_u64(what);
+    if (n >= (1ULL << 24)) {
+      fail(std::string("unreasonable ") + what + " length " +
+           std::to_string(n));
+    }
+    std::string s(static_cast<std::size_t>(n), '\0');
+    read_bytes(s.data(), s.size(), what);
+    return s;
+  }
+
+  std::vector<double> read_doubles(const char* what) {
+    const std::uint64_t n = read_u64(what);
+    if (n >= (1ULL << 32)) {
+      fail(std::string("unreasonable ") + what + " length " +
+           std::to_string(n));
+    }
+    // Read in bounded chunks: a corrupted length field over a truncated
+    // stream then fails at the real end of data instead of attempting one
+    // gigantic allocation up front.
+    std::vector<double> v;
+    v.reserve(std::min<std::size_t>(static_cast<std::size_t>(n), 1u << 16));
+    std::size_t remaining = static_cast<std::size_t>(n);
+    while (remaining > 0) {
+      const std::size_t chunk = std::min<std::size_t>(remaining, 1u << 16);
+      const std::size_t old_size = v.size();
+      v.resize(old_size + chunk);
+      read_bytes(reinterpret_cast<char*>(v.data() + old_size),
+                 chunk * sizeof(double), what);
+      remaining -= chunk;
+    }
+    return v;
+  }
+
+ private:
+  std::istream& is_;
+  std::uint64_t offset_ = 0;
+};
 
 void write_split(std::ostream& os, const Tensor3& x,
                  const std::vector<int>& y,
@@ -79,32 +126,53 @@ void write_split(std::ostream& os, const Tensor3& x,
   for (const auto j : jobs) write_u64(os, static_cast<std::uint64_t>(j));
 }
 
-void read_split(std::istream& is, Tensor3& x, std::vector<int>& y,
+void read_split(ScbReader& reader, Tensor3& x, std::vector<int>& y,
                 std::vector<std::string>& names,
                 std::vector<std::int64_t>& jobs) {
-  const std::uint64_t trials = read_u64(is);
-  const std::uint64_t steps = read_u64(is);
-  const std::uint64_t sensors = read_u64(is);
-  const std::vector<double> raw = read_doubles(is);
-  SCWC_REQUIRE(raw.size() == trials * steps * sensors,
-               "scb: tensor size mismatch");
+  const std::uint64_t trials = reader.read_u64("trial count");
+  const std::uint64_t steps = reader.read_u64("step count");
+  const std::uint64_t sensors = reader.read_u64("sensor count");
+  // Dimension sanity *before* multiplying, so a corrupted header cannot
+  // overflow std::size_t and silently alias a smaller tensor.
+  constexpr std::uint64_t kDimCap = 1ULL << 26;
+  if (trials >= kDimCap || steps >= kDimCap || sensors >= kDimCap) {
+    reader.fail("implausible tensor dimensions " + std::to_string(trials) +
+                "×" + std::to_string(steps) + "×" + std::to_string(sensors));
+  }
+  const std::vector<double> raw = reader.read_doubles("tensor data");
+  // Overflow-safe product: capped dimensions still multiply past 64 bits,
+  // and an overflowed product could alias raw.size().
+  const std::uint64_t ts = trials * steps;  // < 2^52, cannot overflow
+  if (sensors != 0 &&
+      ts > std::numeric_limits<std::uint64_t>::max() / sensors) {
+    reader.fail("tensor dimensions overflow");
+  }
+  const std::uint64_t expected = ts * sensors;
+  if (expected != raw.size()) {
+    reader.fail("tensor size mismatch (header implies " +
+                std::to_string(trials) + "×" + std::to_string(steps) + "×" +
+                std::to_string(sensors) + " values, got " +
+                std::to_string(raw.size()) + ")");
+  }
   x = Tensor3(trials, steps, sensors);
   std::memcpy(x.raw().data(), raw.data(), raw.size() * sizeof(double));
 
-  const std::uint64_t ny = read_u64(is);
-  SCWC_REQUIRE(ny == trials, "scb: label count mismatch");
+  const std::uint64_t ny = reader.read_u64("label count");
+  if (ny != trials) reader.fail("label count mismatch");
   y.resize(ny);
-  for (auto& label : y) label = static_cast<int>(read_u64(is));
+  for (auto& label : y) label = static_cast<int>(reader.read_u64("label"));
 
-  const std::uint64_t nn = read_u64(is);
-  SCWC_REQUIRE(nn == trials, "scb: model-name count mismatch");
+  const std::uint64_t nn = reader.read_u64("model-name count");
+  if (nn != trials) reader.fail("model-name count mismatch");
   names.resize(nn);
-  for (auto& n : names) n = read_string(is);
+  for (auto& n : names) n = reader.read_string("model name");
 
-  const std::uint64_t nj = read_u64(is);
-  SCWC_REQUIRE(nj == trials, "scb: job-id count mismatch");
+  const std::uint64_t nj = reader.read_u64("job-id count");
+  if (nj != trials) reader.fail("job-id count mismatch");
   jobs.resize(nj);
-  for (auto& j : jobs) j = static_cast<std::int64_t>(read_u64(is));
+  for (auto& j : jobs) {
+    j = static_cast<std::int64_t>(reader.read_u64("job id"));
+  }
 }
 
 }  // namespace
@@ -121,17 +189,19 @@ void write_scb(const ChallengeDataset& dataset, std::ostream& os) {
 }
 
 ChallengeDataset read_scb(std::istream& is) {
+  ScbReader reader(is);
   char magic[8];
-  is.read(magic, sizeof(magic));
-  SCWC_REQUIRE(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-               "scb: bad magic");
+  reader.read_bytes(magic, sizeof(magic), "magic");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    reader.fail("bad magic (not an .scb file)");
+  }
   ChallengeDataset d;
-  d.name = read_string(is);
-  const std::uint64_t policy = read_u64(is);
-  SCWC_REQUIRE(policy <= 2, "scb: bad window policy");
+  d.name = reader.read_string("dataset name");
+  const std::uint64_t policy = reader.read_u64("window policy");
+  if (policy > 2) reader.fail("bad window policy " + std::to_string(policy));
   d.policy = static_cast<WindowPolicy>(policy);
-  read_split(is, d.x_train, d.y_train, d.model_train, d.job_train);
-  read_split(is, d.x_test, d.y_test, d.model_test, d.job_test);
+  read_split(reader, d.x_train, d.y_train, d.model_train, d.job_train);
+  read_split(reader, d.x_test, d.y_test, d.model_test, d.job_test);
   d.validate();
   return d;
 }

@@ -1,6 +1,8 @@
 #include "preprocess/covariance_features.hpp"
 
+#include <cmath>
 #include <sstream>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
@@ -27,6 +29,21 @@ void reduce_block(std::span<const double> trial, std::size_t steps,
   }
 }
 
+// NaN/Inf anywhere in a trial propagates into its covariance sums, so this
+// O(sensors²) scan of the 28-dim output detects non-finite *input* at a
+// fraction of the reduction's own cost — and stops it from flowing into the
+// classifiers as silently-poisoned features.
+void require_finite_features(std::span<const double> dest,
+                             std::size_t trial) {
+  for (const double v : dest) {
+    SCWC_REQUIRE(std::isfinite(v),
+                 "covariance features: non-finite result for trial " +
+                     std::to_string(trial) +
+                     " — input window contains NaN/Inf (impute first, see "
+                     "robust/robust_window.hpp)");
+  }
+}
+
 }  // namespace
 
 void covariance_features_of_trial(const linalg::Matrix& trial,
@@ -35,6 +52,7 @@ void covariance_features_of_trial(const linalg::Matrix& trial,
   SCWC_REQUIRE(dest.size() == covariance_feature_count(sensors),
                "covariance feature destination has the wrong size");
   reduce_block(trial.flat(), trial.rows(), sensors, dest);
+  require_finite_features(dest, 0);
 }
 
 linalg::Matrix covariance_features(const data::Tensor3& x) {
@@ -45,6 +63,7 @@ linalg::Matrix covariance_features(const data::Tensor3& x) {
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
           reduce_block(x.trial(i), x.steps(), x.sensors(), out.row(i));
+          require_finite_features(out.row(i), i);
         }
       },
       32);
@@ -63,6 +82,7 @@ linalg::Matrix covariance_features_flat(const linalg::Matrix& flat,
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
           reduce_block(flat.row(i), steps, sensors, out.row(i));
+          require_finite_features(out.row(i), i);
         }
       },
       32);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 #include "linalg/gemm.hpp"
@@ -17,6 +18,13 @@ void Pca::fit(const linalg::Matrix& x) {
   SCWC_REQUIRE(k > 0, "PCA with zero components");
 
   mean_ = linalg::column_means(x);
+  // Non-finite means indicate NaN/Inf input; fail before the eigensolver
+  // grinds on garbage and returns a poisoned basis.
+  for (std::size_t c = 0; c < d; ++c) {
+    SCWC_REQUIRE(std::isfinite(mean_[c]),
+                 "PCA::fit: non-finite mean in column " + std::to_string(c) +
+                     " — input contains NaN/Inf (impute before fitting)");
+  }
   linalg::Matrix centered(n, d);
   for (std::size_t r = 0; r < n; ++r) {
     const auto src = x.row(r);
@@ -91,7 +99,18 @@ linalg::Matrix Pca::transform(const linalg::Matrix& x) const {
     auto dst = centered.row(r);
     for (std::size_t c = 0; c < x.cols(); ++c) dst[c] = src[c] - mean_[c];
   }
-  return linalg::matmul(centered, components_matrix_);
+  linalg::Matrix z = linalg::matmul(centered, components_matrix_);
+  // NaN/Inf input survives the GEMM as non-finite projections; reject them
+  // with row context instead of handing poisoned features downstream.
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    for (const double v : z.row(r)) {
+      SCWC_REQUIRE(std::isfinite(v),
+                   "PCA::transform: non-finite projection for row " +
+                       std::to_string(r) +
+                       " — input contains NaN/Inf (impute first)");
+    }
+  }
+  return z;
 }
 
 linalg::Matrix Pca::fit_transform(const linalg::Matrix& x) {

@@ -1,6 +1,7 @@
 #include "preprocess/scaler.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
@@ -11,9 +12,18 @@ namespace scwc::preprocess {
 void StandardScaler::fit(const linalg::Matrix& x) {
   SCWC_REQUIRE(x.rows() > 0, "StandardScaler::fit needs at least one row");
   means_ = linalg::column_means(x);
+  // A non-finite mean can only come from NaN/Inf input; refuse it here with
+  // column context rather than silently baking NaN into every transform.
+  for (std::size_t c = 0; c < means_.size(); ++c) {
+    SCWC_REQUIRE(std::isfinite(means_[c]),
+                 "StandardScaler::fit: non-finite mean in column " +
+                     std::to_string(c) +
+                     " — input contains NaN/Inf (impute before fitting, "
+                     "see robust/robust_window.hpp)");
+  }
   scales_ = linalg::column_stddevs(x);  // population std, like scikit-learn
   for (double& s : scales_) {
-    if (s <= 0.0 || !std::isfinite(s)) s = 1.0;
+    if (s <= 0.0 || !std::isfinite(s)) s = 1.0;  // constant/overflowed column
   }
 }
 

@@ -1,0 +1,188 @@
+#include "robust/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace scwc::robust {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Exponential burst length with the given mean, at least one step.
+std::size_t burst_length(Rng& rng, double mean_steps) {
+  const double draw = rng.exponential(1.0 / std::max(mean_steps, 1.0));
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(draw)));
+}
+
+/// Population stddev of the finite values of one column (spike amplitude
+/// reference). Falls back to 1 for constant/empty columns.
+double column_scale(const linalg::Matrix& values, std::size_t col) {
+  double sum = 0.0;
+  double sq = 0.0;
+  std::size_t n = 0;
+  for (std::size_t r = 0; r < values.rows(); ++r) {
+    const double v = values(r, col);
+    if (!std::isfinite(v)) continue;
+    sum += v;
+    sq += v * v;
+    ++n;
+  }
+  if (n == 0) return 1.0;
+  const double mean = sum / static_cast<double>(n);
+  const double var = std::max(0.0, sq / static_cast<double>(n) - mean * mean);
+  const double sd = std::sqrt(var);
+  return sd > 0.0 ? sd : 1.0;
+}
+
+}  // namespace
+
+bool FaultProfile::empty() const noexcept {
+  return dropout_fraction <= 0.0 && nan_fraction <= 0.0 &&
+         spike_probability <= 0.0 && stuck_probability <= 0.0 &&
+         jitter_probability <= 0.0 && truncation_probability <= 0.0;
+}
+
+FaultProfile FaultProfile::at_severity(double severity) {
+  SCWC_REQUIRE(severity >= 0.0 && severity <= 1.0,
+               "fault severity must lie in [0, 1]");
+  FaultProfile p;
+  p.dropout_fraction = 0.50 * severity;
+  p.mean_gap_steps = 4.0;
+  p.nan_fraction = 0.12 * severity;
+  p.mean_nan_run_steps = 6.0;
+  p.spike_probability = 0.01 * severity;
+  p.spike_scale = 6.0;
+  p.stuck_probability = 0.30 * severity;
+  p.mean_stuck_steps = 12.0;
+  p.jitter_probability = 0.05 * severity;
+  p.truncation_probability = 0.25 * severity;
+  p.min_kept_fraction = 1.0 - 0.4 * severity;
+  return p;
+}
+
+std::string to_string(const FaultSummary& summary) {
+  std::ostringstream os;
+  os << "dropped_steps=" << summary.dropped_steps
+     << " nan_values=" << summary.nan_values
+     << " spiked=" << summary.spiked_values
+     << " stuck=" << summary.stuck_values
+     << " jittered_steps=" << summary.jittered_steps
+     << " truncated_steps=" << summary.truncated_steps;
+  return os.str();
+}
+
+FaultSummary FaultInjector::corrupt(telemetry::TimeSeries& series,
+                                    Rng& rng) const {
+  FaultSummary summary;
+  if (profile_.empty()) return summary;  // bit-for-bit no-op at severity 0
+  linalg::Matrix& m = series.values;
+  const std::size_t sensors = m.cols();
+  if (m.rows() == 0 || sensors == 0) return summary;
+
+  // 1. Premature truncation — the job died mid-epoch; only a prefix of the
+  //    series ever reached the collector.
+  if (rng.bernoulli(profile_.truncation_probability)) {
+    const double kept_fraction =
+        rng.uniform(std::clamp(profile_.min_kept_fraction, 0.0, 1.0), 1.0);
+    const std::size_t kept = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::floor(
+               static_cast<double>(m.rows()) * kept_fraction)));
+    if (kept < m.rows()) {
+      summary.truncated_steps = m.rows() - kept;
+      linalg::Matrix shorter(kept, sensors);
+      std::copy(m.flat().begin(),
+                m.flat().begin() + static_cast<std::ptrdiff_t>(kept * sensors),
+                shorter.flat().begin());
+      m = std::move(shorter);
+    }
+  }
+  const std::size_t steps = m.rows();
+
+  // 2. Clock jitter — adjacent samples delivered out of order.
+  if (profile_.jitter_probability > 0.0) {
+    for (std::size_t t = 0; t + 1 < steps; ++t) {
+      if (!rng.bernoulli(profile_.jitter_probability)) continue;
+      for (std::size_t s = 0; s < sensors; ++s) {
+        std::swap(m(t, s), m(t + 1, s));
+      }
+      summary.jittered_steps += 2;
+      ++t;  // a swapped pair is one glitch, not two
+    }
+  }
+
+  // 3. Stuck-at sensors — a sensor freezes at its current reading.
+  if (profile_.stuck_probability > 0.0) {
+    for (std::size_t s = 0; s < sensors; ++s) {
+      if (!rng.bernoulli(profile_.stuck_probability) || steps < 2) continue;
+      const std::size_t start = rng.uniform_index(steps);
+      const std::size_t len =
+          std::min(burst_length(rng, profile_.mean_stuck_steps),
+                   steps - start);
+      const double frozen = m(start, s);
+      for (std::size_t t = start + 1; t < start + len; ++t) {
+        m(t, s) = frozen;
+        ++summary.stuck_values;
+      }
+    }
+  }
+
+  // 4. Spikes — additive glitches scaled to each sensor's spread.
+  if (profile_.spike_probability > 0.0) {
+    for (std::size_t s = 0; s < sensors; ++s) {
+      const double amplitude = profile_.spike_scale * column_scale(m, s);
+      for (std::size_t t = 0; t < steps; ++t) {
+        if (!rng.bernoulli(profile_.spike_probability)) continue;
+        m(t, s) += rng.bernoulli(0.5) ? amplitude : -amplitude;
+        ++summary.spiked_values;
+      }
+    }
+  }
+
+  // 5. Dropout bursts — whole packets lost, every sensor NaN.
+  if (profile_.dropout_fraction > 0.0) {
+    const double start_p =
+        std::clamp(profile_.dropout_fraction /
+                       std::max(profile_.mean_gap_steps, 1.0),
+                   0.0, 1.0);
+    for (std::size_t t = 0; t < steps; ++t) {
+      if (!rng.bernoulli(start_p)) continue;
+      const std::size_t len =
+          std::min(burst_length(rng, profile_.mean_gap_steps), steps - t);
+      for (std::size_t g = t; g < t + len; ++g) {
+        for (std::size_t s = 0; s < sensors; ++s) m(g, s) = kNaN;
+      }
+      summary.dropped_steps += len;
+      t += len;  // resume after the burst
+    }
+  }
+
+  // 6. Per-sensor NaN runs — one sensor misreports while the rest survive.
+  if (profile_.nan_fraction > 0.0) {
+    const double start_p =
+        std::clamp(profile_.nan_fraction /
+                       std::max(profile_.mean_nan_run_steps, 1.0),
+                   0.0, 1.0);
+    for (std::size_t s = 0; s < sensors; ++s) {
+      for (std::size_t t = 0; t < steps; ++t) {
+        if (!rng.bernoulli(start_p)) continue;
+        const std::size_t len =
+            std::min(burst_length(rng, profile_.mean_nan_run_steps),
+                     steps - t);
+        for (std::size_t g = t; g < t + len; ++g) {
+          if (std::isfinite(m(g, s))) ++summary.nan_values;
+          m(g, s) = kNaN;
+        }
+        t += len;
+      }
+    }
+  }
+
+  return summary;
+}
+
+}  // namespace scwc::robust

@@ -1,0 +1,97 @@
+// Calibrated telemetry fault injection.
+//
+// The challenge datasets are cut from *clean* simulated series, but the
+// telemetry they stand in for is harvested from a production cluster where
+// sensor dropouts, NaN runs, stuck sensors, clock glitches and jobs killed
+// mid-epoch are routine (Hu et al. 2021 document all of these at datacenter
+// scale). FaultInjector reproduces that degradation on a
+// telemetry::TimeSeries so the ingestion and inference paths can be
+// exercised — and benchmarked — under realistic corruption. Every fault is
+// driven by an explicit scwc::Rng, so corrupted corpora are as reproducible
+// as clean ones.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/rng.hpp"
+#include "telemetry/gpu_synth.hpp"
+
+namespace scwc::robust {
+
+/// Rates and durations of each fault family. All rates are expectations per
+/// clean series; 0 disables the family. `at_severity` provides a calibrated
+/// mix so benches can sweep one scalar knob.
+struct FaultProfile {
+  /// Sample dropout: whole monitoring packets lost in bursts — every sensor
+  /// of an affected step becomes NaN.
+  double dropout_fraction = 0.0;  ///< expected fraction of steps dropped
+  double mean_gap_steps = 4.0;    ///< mean burst length (exponential)
+
+  /// Per-sensor NaN runs (one sensor misreports while the rest survive).
+  double nan_fraction = 0.0;      ///< expected fraction of values hit, per sensor
+  double mean_nan_run_steps = 6.0;
+
+  /// Value spikes: additive glitches of ±spike_scale standard deviations.
+  double spike_probability = 0.0;  ///< per-value probability
+  double spike_scale = 6.0;
+
+  /// Stuck-at sensor: one sensor freezes at its current reading for a while.
+  double stuck_probability = 0.0;  ///< per-sensor per-series probability
+  double mean_stuck_steps = 20.0;
+
+  /// Clock jitter: adjacent samples delivered out of order.
+  double jitter_probability = 0.0;  ///< per-step probability of a swap
+
+  /// Premature truncation: the job was killed before the series completed.
+  double truncation_probability = 0.0;  ///< per-series probability
+  double min_kept_fraction = 0.6;       ///< shortest surviving prefix
+
+  /// Calibrated mix for a severity knob in [0, 1]: 0 injects nothing (the
+  /// series is untouched, bit for bit), 1 is a heavily degraded feed
+  /// (~50 % dropped steps plus NaN runs, spikes, stuck sensors, jitter and
+  /// frequent truncation).
+  static FaultProfile at_severity(double severity);
+
+  /// True when every rate is zero (corrupt() is then a guaranteed no-op).
+  [[nodiscard]] bool empty() const noexcept;
+};
+
+/// What one corrupt() call actually injected.
+struct FaultSummary {
+  std::size_t dropped_steps = 0;    ///< steps fully lost to dropout bursts
+  std::size_t nan_values = 0;       ///< values lost to per-sensor NaN runs
+  std::size_t spiked_values = 0;
+  std::size_t stuck_values = 0;     ///< values overwritten by a frozen sensor
+  std::size_t jittered_steps = 0;   ///< steps swapped with a neighbour
+  std::size_t truncated_steps = 0;  ///< steps removed from the tail
+
+  /// Total values made non-finite (what the repair path must fill in).
+  [[nodiscard]] std::size_t missing_values(std::size_t sensors) const noexcept {
+    return dropped_steps * sensors + nan_values;
+  }
+};
+
+/// Human-readable one-line summary ("dropped=12 nan=7 ...").
+std::string to_string(const FaultSummary& summary);
+
+/// Applies a FaultProfile to series in place. Faults compose: truncation is
+/// applied first (so all indices refer to the surviving prefix), then clock
+/// jitter, stuck sensors and spikes on real values, and finally dropout and
+/// NaN runs, which overwrite whatever they land on.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultProfile profile) : profile_(profile) {}
+
+  [[nodiscard]] const FaultProfile& profile() const noexcept {
+    return profile_;
+  }
+
+  /// Corrupts series in place; deterministic in (profile, rng state).
+  FaultSummary corrupt(telemetry::TimeSeries& series, Rng& rng) const;
+
+ private:
+  FaultProfile profile_;
+};
+
+}  // namespace scwc::robust

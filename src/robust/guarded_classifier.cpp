@@ -1,0 +1,94 @@
+#include "robust/guarded_classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace scwc::robust {
+
+int majority_label(std::span<const int> labels) {
+  if (labels.empty()) return GuardedConfig::kNoLabel;
+  std::map<int, std::size_t> counts;
+  for (const int y : labels) ++counts[y];
+  int best = labels.front();
+  std::size_t best_count = 0;
+  for (const auto& [label, count] : counts) {
+    if (count > best_count) {  // map order → ties resolve to smallest id
+      best = label;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+GuardedPrediction GuardedClassifier::abstain(QualityReport report) const {
+  GuardedPrediction out;
+  out.label = config_.fallback_label;
+  out.abstained = true;
+  out.report = report;
+  return out;
+}
+
+GuardedPrediction GuardedClassifier::classify(std::span<const double> window,
+                                              std::size_t steps,
+                                              std::size_t sensors) const {
+  QualityReport report;
+  report.steps = steps;
+  report.sensors = sensors;
+
+  // 1. Shape gate: the model was fitted for exactly one window geometry.
+  if (steps != config_.window_steps || sensors != config_.sensors ||
+      steps == 0 || sensors == 0 || window.size() != steps * sensors) {
+    report.shape_ok = false;
+    return abstain(report);
+  }
+
+  try {
+    // 2. Finiteness accounting + repair through the robust ingestion path.
+    std::vector<double> repaired(window.begin(), window.end());
+    std::vector<std::size_t> finite_per_sensor(sensors, 0);
+    for (std::size_t t = 0; t < steps; ++t) {
+      std::size_t missing_here = 0;
+      for (std::size_t s = 0; s < sensors; ++s) {
+        if (std::isfinite(repaired[t * sensors + s])) {
+          ++finite_per_sensor[s];
+        } else {
+          ++missing_here;
+        }
+      }
+      report.missing_values += missing_here;
+      if (missing_here == sensors) ++report.missing_steps;
+    }
+    for (std::size_t s = 0; s < sensors; ++s) {
+      if (finite_per_sensor[s] == 0) ++report.dead_sensors;
+    }
+    impute_window(repaired, steps, sensors, config_.imputation, report);
+
+    // 3. Quality gate: don't consult the model on garbage.
+    if (!report.usable(config_.min_quality)) return abstain(report);
+
+    // 4. Featurise + predict on the repaired window.
+    data::Tensor3 one(1, steps, sensors);
+    std::copy(repaired.begin(), repaired.end(), one.trial(0).begin());
+    const linalg::Matrix features = pipeline_.transform(one);
+    const std::vector<int> predicted = model_.predict(features);
+    if (predicted.size() != 1) return abstain(report);
+
+    GuardedPrediction out;
+    out.label = predicted.front();
+    out.abstained = false;
+    out.report = report;
+    return out;
+  } catch (...) {
+    // Anything the pipeline or model rejects becomes an abstention — the
+    // guarded path never propagates exceptions to the serving loop.
+    return abstain(report);
+  }
+}
+
+GuardedPrediction GuardedClassifier::classify(
+    const linalg::Matrix& window) const {
+  return classify(window.flat(), window.rows(), window.cols());
+}
+
+}  // namespace scwc::robust

@@ -1,0 +1,80 @@
+// Guarded inference over degraded windows.
+//
+// GuardedClassifier is the hardened front door of the deployed service
+// (§VI's live-monitor use case): it accepts raw, possibly-corrupt windows,
+// validates shape and finiteness, repairs what it can through the robust
+// ingestion path, and only hands quality-checked features to the wrapped
+// model. On malformed or hopeless input it NEVER throws — it returns an
+// abstain/majority-class result flagged with the window's QualityReport so
+// the caller can decide what to do with the low-confidence answer.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "ml/classifier.hpp"
+#include "preprocess/pipeline.hpp"
+#include "robust/quality.hpp"
+#include "robust/robust_window.hpp"
+
+namespace scwc::robust {
+
+/// Thresholds and fallbacks for guarded inference.
+struct GuardedConfig {
+  std::size_t window_steps = 0;  ///< expected input shape
+  std::size_t sensors = 0;
+  /// Windows whose post-extraction quality falls below this abstain.
+  double min_quality = 0.5;
+  /// Label reported on abstention: the training majority class gives a
+  /// best-effort guess; kNoLabel refuses outright.
+  int fallback_label = -1;
+  ImputationConfig imputation;
+
+  static constexpr int kNoLabel = -1;
+};
+
+/// One guarded prediction: the label, whether the model was consulted, and
+/// the quality evidence behind the decision.
+struct GuardedPrediction {
+  int label = GuardedConfig::kNoLabel;
+  bool abstained = false;  ///< true → label is the fallback, not the model
+  QualityReport report;
+};
+
+/// Most frequent label of a training split (ties → smallest id). Returns
+/// GuardedConfig::kNoLabel on empty input.
+int majority_label(std::span<const int> labels);
+
+/// Wraps a fitted FeaturePipeline + Classifier behind shape/finiteness
+/// validation, imputation and a quality gate. Holds references only — both
+/// must outlive the wrapper.
+class GuardedClassifier {
+ public:
+  GuardedClassifier(const preprocess::FeaturePipeline& pipeline,
+                    const ml::Classifier& model, GuardedConfig config)
+      : pipeline_(pipeline), model_(model), config_(config) {}
+
+  [[nodiscard]] const GuardedConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Classifies one row-major steps×sensors window. Never throws: wrong
+  /// shape, empty input, all-NaN windows and internal pipeline failures all
+  /// surface as an abstain result with a populated QualityReport.
+  [[nodiscard]] GuardedPrediction classify(std::span<const double> window,
+                                           std::size_t steps,
+                                           std::size_t sensors) const;
+
+  /// Matrix convenience overload (rows = steps, cols = sensors).
+  [[nodiscard]] GuardedPrediction classify(const linalg::Matrix& window) const;
+
+ private:
+  GuardedPrediction abstain(QualityReport report) const;
+
+  const preprocess::FeaturePipeline& pipeline_;
+  const ml::Classifier& model_;
+  GuardedConfig config_;
+};
+
+}  // namespace scwc::robust

@@ -1,0 +1,21 @@
+#include "robust/quality.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace scwc::robust {
+
+std::string to_string(const QualityReport& report) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << "quality=" << report.quality()
+     << " missing=" << report.missing_values << '/'
+     << report.steps * report.sensors
+     << " missing_steps=" << report.missing_steps
+     << " dead_sensors=" << report.dead_sensors
+     << " truncated=" << report.truncated_steps
+     << " repaired=" << report.repaired_values
+     << (report.shape_ok ? "" : " shape=BAD");
+  return os.str();
+}
+
+}  // namespace scwc::robust

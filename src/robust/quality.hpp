@@ -1,0 +1,50 @@
+// Per-window data-quality accounting.
+//
+// Every window that passes through the robust ingestion path carries a
+// QualityReport: how much of it was missing on arrival, which sensors were
+// dead, how much the repair step filled in. Downstream consumers use it to
+// gate inference (GuardedClassifier abstains below a quality threshold) and
+// operators use it to monitor feed health.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace scwc::robust {
+
+/// What a window looked like when it arrived, and what repairs it needed.
+struct QualityReport {
+  std::size_t steps = 0;    ///< window length the consumer asked for
+  std::size_t sensors = 0;
+
+  std::size_t missing_values = 0;   ///< non-finite values on arrival
+  std::size_t missing_steps = 0;    ///< steps with every sensor non-finite
+  std::size_t dead_sensors = 0;     ///< sensors with zero finite samples
+  std::size_t truncated_steps = 0;  ///< tail steps absent from the source
+  std::size_t repaired_values = 0;  ///< values filled in by imputation
+  bool shape_ok = true;             ///< false on wrong-shape/empty input
+
+  /// Fraction of the window's values that were non-finite on arrival.
+  [[nodiscard]] double missing_fraction() const noexcept {
+    const std::size_t total = steps * sensors;
+    return total == 0 ? 1.0
+                      : static_cast<double>(missing_values) /
+                            static_cast<double>(total);
+  }
+
+  /// Scalar quality in [0, 1]: 1 − missing_fraction, 0 for malformed input.
+  [[nodiscard]] double quality() const noexcept {
+    if (!shape_ok || steps == 0 || sensors == 0) return 0.0;
+    return 1.0 - missing_fraction();
+  }
+
+  /// True when the window is trustworthy enough to classify.
+  [[nodiscard]] bool usable(double min_quality) const noexcept {
+    return shape_ok && quality() >= min_quality;
+  }
+};
+
+/// One-line rendering for logs ("quality=0.83 missing=61/420 ...").
+std::string to_string(const QualityReport& report);
+
+}  // namespace scwc::robust

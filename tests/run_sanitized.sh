@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Configure, build and run the whole test suite under ASan + UBSan.
+#
+# The robustness subsystem deliberately feeds the pipeline NaN windows,
+# truncated series and malformed shapes; this script is the cheap way to
+# prove none of those paths reads out of bounds or trips UB. Usage:
+#
+#   tests/run_sanitized.sh            # full suite
+#   tests/run_sanitized.sh Robust     # only tests matching the (case-
+#                                     # sensitive) regex, e.g. Robust*
+#
+# Uses the "asan" preset from CMakePresets.json (build dir: build-asan).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc 2>/dev/null || echo 4)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+if [ "$#" -gt 0 ]; then
+  ctest --test-dir build-asan --output-on-failure -R "$1"
+else
+  ctest --test-dir build-asan --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+fi

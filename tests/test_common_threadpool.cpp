@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/error.hpp"
 #include "common/thread_pool.hpp"
 
 namespace scwc {
@@ -30,6 +31,34 @@ TEST(ThreadPool, PropagatesExceptionsThroughFuture) {
 TEST(ThreadPool, SizeMatchesRequest) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, SubmitAfterStopThrows) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.stopped());
+  pool.submit([] {}).get();
+  pool.stop();
+  EXPECT_TRUE(pool.stopped());
+  EXPECT_THROW((void)pool.submit([] {}), Error);
+}
+
+TEST(ThreadPool, StopIsIdempotent) {
+  ThreadPool pool(2);
+  pool.stop();
+  EXPECT_NO_THROW(pool.stop());
+  EXPECT_TRUE(pool.stopped());
+}
+
+TEST(ThreadPool, TasksSubmittedBeforeStopStillComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  pool.stop();  // drains the queue before joining
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+  EXPECT_EQ(counter.load(), 100);
 }
 
 TEST(ThreadPool, GlobalPoolIsSingleton) {

@@ -1,9 +1,11 @@
 // Tests for .scb serialisation, CSV export and dataset validation.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "common/error.hpp"
 #include "data/serialize.hpp"
@@ -81,6 +83,114 @@ TEST(Scb, RejectsTruncatedStream) {
 
 TEST(Scb, MissingFileThrows) {
   EXPECT_THROW((void)load_scb("/nonexistent/dir/x.scb"), Error);
+}
+
+std::string error_message(std::stringstream& buffer) {
+  try {
+    (void)read_scb(buffer);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Magic + dataset name "x" — the valid prefix of a hand-built .scb.
+std::string scb_prefix() {
+  std::string out = "SCWCB001";
+  append_u64(out, 1);
+  out.push_back('x');
+  return out;
+}
+
+TEST(Scb, BadMagicNamesTheProblem) {
+  std::stringstream buffer;
+  buffer << "NOTSCWC1garbagegarbage";
+  const std::string what = error_message(buffer);
+  EXPECT_NE(what.find("bad magic"), std::string::npos) << what;
+}
+
+TEST(Scb, TruncationErrorsCarryByteOffset) {
+  const ChallengeDataset ds = tiny_dataset();
+  std::stringstream full;
+  write_scb(ds, full);
+  const std::string bytes = full.str();
+  // Cut mid-magic, mid-header and mid-tensor: every failure must say what
+  // field died and at which byte offset.
+  for (const std::size_t cut : {std::size_t{4}, std::size_t{20},
+                                bytes.size() / 2}) {
+    std::stringstream buffer(bytes.substr(0, cut));
+    const std::string what = error_message(buffer);
+    EXPECT_NE(what.find("truncated"), std::string::npos)
+        << "cut=" << cut << ": " << what;
+    EXPECT_NE(what.find("byte offset"), std::string::npos)
+        << "cut=" << cut << ": " << what;
+  }
+}
+
+TEST(Scb, RejectsBadWindowPolicy) {
+  std::string bytes = scb_prefix();
+  append_u64(bytes, 9);  // policy must be 0..2
+  std::stringstream buffer(bytes);
+  const std::string what = error_message(buffer);
+  EXPECT_NE(what.find("bad window policy 9"), std::string::npos) << what;
+  EXPECT_NE(what.find("byte offset"), std::string::npos) << what;
+}
+
+TEST(Scb, RejectsImplausibleTensorDimensions) {
+  // A corrupted header claiming 2^40 trials must fail the dimension cap
+  // instead of attempting a petabyte allocation (or overflowing size_t).
+  std::string bytes = scb_prefix();
+  append_u64(bytes, 0);            // policy
+  append_u64(bytes, 1ULL << 40);   // trials
+  append_u64(bytes, 3);            // steps
+  append_u64(bytes, 2);            // sensors
+  std::stringstream buffer(bytes);
+  const std::string what = error_message(buffer);
+  EXPECT_NE(what.find("implausible tensor dimensions"), std::string::npos)
+      << what;
+}
+
+TEST(Scb, RejectsTensorSizeMismatch) {
+  // Header claims 2×3×2 but only one double follows the length field.
+  std::string bytes = scb_prefix();
+  append_u64(bytes, 0);  // policy
+  append_u64(bytes, 2);  // trials
+  append_u64(bytes, 3);  // steps
+  append_u64(bytes, 2);  // sensors
+  append_u64(bytes, 1);  // tensor length: 1 ≠ 12
+  bytes.append(sizeof(double), '\0');
+  std::stringstream buffer(bytes);
+  const std::string what = error_message(buffer);
+  EXPECT_NE(what.find("tensor size mismatch"), std::string::npos) << what;
+}
+
+TEST(Scb, RejectsUnreasonableStringLength) {
+  // The name length field claims 2^32 characters on a 9-byte stream.
+  std::string bytes = "SCWCB001";
+  append_u64(bytes, 1ULL << 32);
+  std::stringstream buffer(bytes);
+  const std::string what = error_message(buffer);
+  EXPECT_NE(what.find("unreasonable"), std::string::npos) << what;
+}
+
+TEST(Scb, RejectsLabelCountMismatch) {
+  std::string bytes = scb_prefix();
+  append_u64(bytes, 0);  // policy
+  append_u64(bytes, 1);  // trials
+  append_u64(bytes, 1);  // steps
+  append_u64(bytes, 1);  // sensors
+  append_u64(bytes, 1);  // tensor length
+  bytes.append(sizeof(double), '\0');
+  append_u64(bytes, 5);  // label count ≠ trials
+  std::stringstream buffer(bytes);
+  const std::string what = error_message(buffer);
+  EXPECT_NE(what.find("label count mismatch"), std::string::npos) << what;
 }
 
 TEST(CsvExport, WritesHeaderAndRows) {

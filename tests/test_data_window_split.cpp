@@ -55,6 +55,44 @@ TEST(Window, TooShortSeriesIsRejected) {
   EXPECT_EQ(*off, 0u);
 }
 
+TEST(Window, ExactFitLeavesNoFreedomForAnyPolicy) {
+  // series length == window length → the only legal offset is 0, even for
+  // the random policy (uniform over a single choice).
+  for (const WindowPolicy policy :
+       {WindowPolicy::kStart, WindowPolicy::kMiddle, WindowPolicy::kRandom}) {
+    Rng rng(9);
+    const auto off = choose_window_offset(60, 60, policy, rng);
+    ASSERT_TRUE(off.has_value()) << window_policy_name(policy);
+    EXPECT_EQ(*off, 0u) << window_policy_name(policy);
+  }
+}
+
+TEST(Window, ShorterSeriesYieldsNulloptForAllPolicies) {
+  for (const WindowPolicy policy :
+       {WindowPolicy::kStart, WindowPolicy::kMiddle, WindowPolicy::kRandom}) {
+    Rng rng(9);
+    EXPECT_FALSE(choose_window_offset(59, 60, policy, rng).has_value())
+        << window_policy_name(policy);
+    EXPECT_FALSE(choose_window_offset(0, 60, policy, rng).has_value())
+        << window_policy_name(policy);
+    // A zero-length window is meaningless, not "always fits".
+    EXPECT_FALSE(choose_window_offset(60, 0, policy, rng).has_value())
+        << window_policy_name(policy);
+  }
+}
+
+TEST(Window, RandomOffsetsAreDeterministicForFixedSeed) {
+  Rng rng_a(1234);
+  Rng rng_b(1234);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = choose_window_offset(500, 60, WindowPolicy::kRandom, rng_a);
+    const auto b = choose_window_offset(500, 60, WindowPolicy::kRandom, rng_b);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*a, *b) << "draw " << i;
+  }
+}
+
 TEST(Window, ExtractCopiesTheRightSlice) {
   telemetry::TimeSeries series;
   series.sample_hz = 1.0;

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -79,6 +81,61 @@ TEST(Scaler, ErrorsOnMisuse) {
   EXPECT_THROW((void)fitted.transform(x), Error);  // width mismatch
   EXPECT_FALSE(scaler.fitted());
   EXPECT_TRUE(fitted.fitted());
+}
+
+TEST(Scaler, RejectsNonFiniteInputWithColumnContext) {
+  Rng rng(29);
+  Matrix x = random_matrix(30, 4, rng);
+  x(7, 2) = std::numeric_limits<double>::quiet_NaN();
+  StandardScaler scaler;
+  try {
+    scaler.fit(x);
+    FAIL() << "fit accepted a NaN column";
+  } catch (const Error& e) {
+    // The message must name the poisoned column and point at the fix.
+    EXPECT_NE(std::string(e.what()).find("column 2"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("impute"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Scaler, RejectsInfiniteInput) {
+  Rng rng(31);
+  Matrix x = random_matrix(30, 3, rng);
+  x(0, 0) = std::numeric_limits<double>::infinity();
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.fit(x), Error);
+}
+
+TEST(Pca, RejectsNonFiniteInputOnFit) {
+  Rng rng(37);
+  Matrix x = random_matrix(40, 5, rng);
+  x(11, 4) = std::numeric_limits<double>::quiet_NaN();
+  Pca pca(2);
+  try {
+    pca.fit(x);
+    FAIL() << "fit accepted a NaN column";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("column 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Pca, RejectsNonFiniteInputOnTransform) {
+  Rng rng(41);
+  const Matrix train = random_matrix(40, 5, rng);
+  Pca pca(3);
+  pca.fit(train);
+  Matrix test = random_matrix(6, 5, rng);
+  test(3, 1) = std::numeric_limits<double>::quiet_NaN();
+  try {
+    (void)pca.transform(test);
+    FAIL() << "transform accepted a NaN row";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("row 3"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Pca, RecoversDominantDirection) {
