@@ -49,19 +49,17 @@ int main() {
                     "Train (s)", "Predict (s)"});
   for (const auto& arm : arms) {
     preprocess::FeaturePipeline pipeline(arm.config);
-    Stopwatch reduce_timer;
+    Stopwatch timer;
     const linalg::Matrix train = pipeline.fit_transform(ds.x_train);
     const linalg::Matrix test = pipeline.transform(ds.x_test);
-    const double reduce_s = reduce_timer.seconds();
+    const double reduce_s = timer.lap();
 
     ml::RandomForest forest({.n_estimators = 100});
-    Stopwatch train_timer;
     forest.fit(train, ds.y_train);
-    const double train_s = train_timer.seconds();
+    const double train_s = timer.lap();
 
-    Stopwatch predict_timer;
     const auto pred = forest.predict(test);
-    const double predict_s = predict_timer.seconds();
+    const double predict_s = timer.lap();
 
     table.add_row({arm.name, std::to_string(pipeline.output_dim()),
                    format_fixed(ml::accuracy(ds.y_test, pred) * 100.0, 2),

@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "linalg/eigen.hpp"
 #include "linalg/gemm.hpp"
 #include "ml/gbt.hpp"
@@ -191,5 +193,73 @@ void BM_TopkEigen(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TopkEigen);
+
+// --- scwc::obs overhead --------------------------------------------------
+// The instrumentation budget: a counter inc must stay in the nanoseconds
+// (one relaxed atomic add when enabled, one null check when disabled), and
+// a TraceSpan must be cheap enough for per-epoch/per-round placement.
+
+class ObsToggle {
+ public:
+  explicit ObsToggle(bool on) : was_(obs::enabled()) { obs::set_enabled(on); }
+  ~ObsToggle() { obs::set_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  const ObsToggle on(true);
+  obs::CounterHandle c =
+      obs::MetricsRegistry::global().counter("scwc_bench_obs_counter_total");
+  for (auto _ : state) {
+    c.inc();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsCounterIncDisabled(benchmark::State& state) {
+  const ObsToggle off(false);
+  obs::CounterHandle c = obs::MetricsRegistry::global().counter(
+      "scwc_bench_obs_counter_off_total");
+  for (auto _ : state) {
+    c.inc();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsCounterIncDisabled);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  const ObsToggle on(true);
+  obs::HistogramHandle h = obs::MetricsRegistry::global().histogram(
+      "scwc_bench_obs_histogram_seconds",
+      obs::MetricsRegistry::default_seconds_buckets());
+  double v = 1e-6;
+  for (auto _ : state) {
+    h.observe(v);
+    v = v < 1.0 ? v * 1.5 : 1e-6;
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsTraceSpan(benchmark::State& state) {
+  const ObsToggle on(true);
+  for (auto _ : state) {
+    const obs::TraceSpan span("bench.obs_span");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsTraceSpan);
+
+void BM_ObsTraceSpanDisabled(benchmark::State& state) {
+  const ObsToggle off(false);
+  for (auto _ : state) {
+    const obs::TraceSpan span("bench.obs_span_off");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsTraceSpanDisabled);
 
 }  // namespace

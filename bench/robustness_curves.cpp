@@ -9,6 +9,7 @@
 // ingestion path. At severity 0 the robust path must reproduce the clean
 // pipeline bit for bit — the bench verifies that invariant and says so.
 #include <cmath>
+#include <cstdint>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -17,6 +18,9 @@
 #include "common/env.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 #include "core/challenge.hpp"
 #include "core/report.hpp"
 #include "ml/gbt.hpp"
@@ -88,142 +92,181 @@ int main() {
       std::cout, profile,
       "Robustness curves — accuracy vs corruption severity (60-random-1)");
 
-  telemetry::CorpusConfig corpus_config;
-  corpus_config.jobs_per_class_scale = profile.jobs_per_class;
-  const telemetry::Corpus corpus = telemetry::generate_corpus(corpus_config);
-  const core::ChallengeConfig cfg = core::ChallengeConfig::from_profile(profile);
-  const data::ChallengeDataset ds = core::build_challenge_dataset(
-      corpus, cfg, data::WindowPolicy::kRandom, 0);
-  std::cout << "dataset " << ds.name << ": " << ds.train_trials()
-            << " train / " << ds.test_trials() << " test trials, "
-            << ds.steps() << "×" << ds.sensors() << " windows\n\n";
+  const Stopwatch wall;
+  std::string dataset_name;
+  {
+    const obs::TraceSpan run_span("bench.robustness_curves");
+    telemetry::CorpusConfig corpus_config;
+    corpus_config.jobs_per_class_scale = profile.jobs_per_class;
+    const telemetry::Corpus corpus = telemetry::generate_corpus(corpus_config);
+    const core::ChallengeConfig cfg = core::ChallengeConfig::from_profile(profile);
+    const data::ChallengeDataset ds = core::build_challenge_dataset(
+        corpus, cfg, data::WindowPolicy::kRandom, 0);
+    dataset_name = ds.name;
+    std::cout << "dataset " << ds.name << ": " << ds.train_trials()
+              << " train / " << ds.test_trials() << " test trials, "
+              << ds.steps() << "×" << ds.sensors() << " windows\n\n";
 
-  // Clean pipeline: covariance features (the paper's best classical arm).
-  preprocess::FeaturePipeline pipeline({preprocess::Reduction::kCovariance, 0});
-  const linalg::Matrix train = pipeline.fit_transform(ds.x_train);
-  const linalg::Matrix test_clean = pipeline.transform(ds.x_test);
+    // Clean pipeline: covariance features (the paper's best classical arm).
+    preprocess::FeaturePipeline pipeline({preprocess::Reduction::kCovariance, 0});
+    const linalg::Matrix train = pipeline.fit_transform(ds.x_train);
+    const linalg::Matrix test_clean = pipeline.transform(ds.x_test);
 
-  ml::RandomForestConfig rf_config;
-  rf_config.n_estimators = 100;
-  ml::RandomForest rf(rf_config);
-  ml::SvmConfig svm_config;
-  svm_config.c = 10.0;
-  ml::Svm svm(svm_config);
-  ml::GbtConfig gbt_config;
-  gbt_config.n_rounds = 20;
-  gbt_config.max_depth = 4;
-  ml::GradientBoostedTrees gbt(gbt_config);
+    ml::RandomForestConfig rf_config;
+    rf_config.n_estimators = 100;
+    ml::RandomForest rf(rf_config);
+    ml::SvmConfig svm_config;
+    svm_config.c = 10.0;
+    ml::Svm svm(svm_config);
+    ml::GbtConfig gbt_config;
+    gbt_config.n_rounds = 20;
+    gbt_config.max_depth = 4;
+    ml::GradientBoostedTrees gbt(gbt_config);
 
-  const Stopwatch timer;
-  std::vector<ml::Classifier*> models{&rf, &svm, &gbt};
-  for (ml::Classifier* model : models) {
-    model->fit(train, ds.y_train);
-    std::cout << model->name() << " clean accuracy: "
-              << pct(ml::accuracy(ds.y_test, model->predict(test_clean)))
-              << " %\n";
-  }
-  std::cout << '\n';
+    std::vector<ml::Classifier*> models{&rf, &svm, &gbt};
+    for (ml::Classifier* model : models) {
+      model->fit(train, ds.y_train);
+      std::cout << model->name() << " clean accuracy: "
+                << pct(ml::accuracy(ds.y_test, model->predict(test_clean)))
+                << " %\n";
+    }
+    std::cout << '\n';
 
-  const std::vector<double> severities{0.0, 0.1, 0.2, 0.3, 0.5};
-  const std::vector<robust::Imputation> policies{
-      robust::Imputation::kForwardFill, robust::Imputation::kLinear,
-      robust::Imputation::kPriorMean};
-  const std::vector<double> priors = robust::sensor_prior_means(ds.x_train);
+    const std::vector<double> severities{0.0, 0.1, 0.2, 0.3, 0.5};
+    const std::vector<robust::Imputation> policies{
+        robust::Imputation::kForwardFill, robust::Imputation::kLinear,
+        robust::Imputation::kPriorMean};
+    const std::vector<double> priors = robust::sensor_prior_means(ds.x_train);
 
-  bool zero_severity_identical = true;
-  std::vector<double> mean_missing(severities.size(), 0.0);
+    bool zero_severity_identical = true;
+    std::vector<double> mean_missing(severities.size(), 0.0);
 
-  TextTable table("test accuracy (%) under corruption × imputation");
-  std::vector<std::string> header{"model", "imputation"};
-  for (const double s : severities) {
-    header.push_back("sev " + pct(s).substr(0, pct(s).find('.')) + "%");
-  }
-  table.set_header(std::move(header));
+    TextTable table("test accuracy (%) under corruption × imputation");
+    std::vector<std::string> header{"model", "imputation"};
+    for (const double s : severities) {
+      header.push_back("sev " + pct(s).substr(0, pct(s).find('.')) + "%");
+    }
+    table.set_header(std::move(header));
 
-  for (ml::Classifier* model : models) {
-    const std::vector<int> clean_pred = model->predict(test_clean);
-    for (const robust::Imputation policy : policies) {
-      robust::ImputationConfig repair;
-      repair.policy = policy;
-      repair.sensor_prior_means = priors;
-      std::vector<std::string> row{model->name(),
-                                   robust::imputation_name(policy)};
-      for (std::size_t k = 0; k < severities.size(); ++k) {
-        const CorruptionOutcome outcome = corrupt_and_repair(
-            ds.x_test, cfg.sample_hz, severities[k], k, cfg.seed, repair);
-        mean_missing[k] = outcome.mean_missing_fraction;
-        const linalg::Matrix features = pipeline.transform(outcome.repaired);
-        const std::vector<int> pred = model->predict(features);
-        if (severities[k] == 0.0 && pred != clean_pred) {
-          zero_severity_identical = false;
+    for (ml::Classifier* model : models) {
+      const std::vector<int> clean_pred = model->predict(test_clean);
+      for (const robust::Imputation policy : policies) {
+        robust::ImputationConfig repair;
+        repair.policy = policy;
+        repair.sensor_prior_means = priors;
+        std::vector<std::string> row{model->name(),
+                                     robust::imputation_name(policy)};
+        for (std::size_t k = 0; k < severities.size(); ++k) {
+          const CorruptionOutcome outcome = corrupt_and_repair(
+              ds.x_test, cfg.sample_hz, severities[k], k, cfg.seed, repair);
+          mean_missing[k] = outcome.mean_missing_fraction;
+          const linalg::Matrix features = pipeline.transform(outcome.repaired);
+          const std::vector<int> pred = model->predict(features);
+          if (severities[k] == 0.0 && pred != clean_pred) {
+            zero_severity_identical = false;
+          }
+          row.push_back(pct(ml::accuracy(ds.y_test, pred)));
         }
-        row.push_back(pct(ml::accuracy(ds.y_test, pred)));
-      }
-      table.add_row(std::move(row));
-    }
-  }
-  std::cout << table << '\n';
-
-  std::cout << "mean fraction of window values lost per severity:";
-  for (std::size_t k = 0; k < severities.size(); ++k) {
-    std::cout << "  " << pct(severities[k]) << "%→" << pct(mean_missing[k])
-              << "%";
-  }
-  std::cout << "\nzero-severity robust path identical to clean pipeline: "
-            << (zero_severity_identical ? "yes (bit-for-bit)" : "NO — BUG")
-            << '\n';
-
-  // Guarded inference: abstain rate of the quality gate as the feed decays.
-  robust::GuardedConfig guard;
-  guard.window_steps = ds.steps();
-  guard.sensors = ds.sensors();
-  guard.min_quality = 0.6;
-  guard.fallback_label = robust::majority_label(ds.y_train);
-  guard.imputation.policy = robust::Imputation::kLinear;
-  guard.imputation.sensor_prior_means = priors;
-  const robust::GuardedClassifier guarded(pipeline, rf, guard);
-
-  std::cout << "\nGuardedClassifier (RF, linear imputation, min_quality=0.6):"
-            << "\n  severity   abstain%   accuracy-on-answered%\n";
-  for (std::size_t k = 0; k < severities.size(); ++k) {
-    const robust::FaultInjector injector(
-        robust::FaultProfile::at_severity(severities[k]));
-    std::size_t abstained = 0;
-    std::size_t answered = 0;
-    std::size_t answered_correct = 0;
-    for (std::size_t i = 0; i < ds.x_test.trials(); ++i) {
-      telemetry::TimeSeries series;
-      series.sample_hz = cfg.sample_hz;
-      series.values = ds.x_test.trial_matrix(i);
-      Rng rng = corruption_rng(cfg.seed, k, i);
-      injector.corrupt(series, rng);
-      // Feed the raw (possibly truncated) window straight to the guard.
-      std::vector<double> window(ds.steps() * ds.sensors());
-      robust::robust_extract_window(series, 0, ds.steps(), window);
-      const robust::GuardedPrediction p =
-          guarded.classify(window, ds.steps(), ds.sensors());
-      if (p.abstained) {
-        ++abstained;
-      } else {
-        ++answered;
-        if (p.label == ds.y_test[i]) ++answered_correct;
+        table.add_row(std::move(row));
       }
     }
-    const double total = static_cast<double>(ds.x_test.trials());
-    std::cout << "  " << std::setw(7) << pct(severities[k]) << "%  "
-              << std::setw(8) << pct(static_cast<double>(abstained) / total)
-              << "%  " << std::setw(8)
-              << (answered > 0
-                      ? pct(static_cast<double>(answered_correct) /
-                            static_cast<double>(answered))
-                      : std::string("—"))
-              << "%\n";
+    std::cout << table << '\n';
+
+    std::cout << "mean fraction of window values lost per severity:";
+    for (std::size_t k = 0; k < severities.size(); ++k) {
+      std::cout << "  " << pct(severities[k]) << "%→" << pct(mean_missing[k])
+                << "%";
+    }
+    std::cout << "\nzero-severity robust path identical to clean pipeline: "
+              << (zero_severity_identical ? "yes (bit-for-bit)" : "NO — BUG")
+              << '\n';
+
+    // Guarded inference: abstain rate of the quality gate as the feed decays.
+    // The abstain accounting comes from the GuardedClassifier's own
+    // scwc_robust_guard_* counters (snapshot deltas per severity) rather than
+    // re-deriving it from individual predictions.
+    robust::GuardedConfig guard;
+    guard.window_steps = ds.steps();
+    guard.sensors = ds.sensors();
+    guard.min_quality = 0.6;
+    guard.fallback_label = robust::majority_label(ds.y_train);
+    guard.imputation.policy = robust::Imputation::kLinear;
+    guard.imputation.sensor_prior_means = priors;
+    const robust::GuardedClassifier guarded(pipeline, rf, guard);
+
+    const auto guard_counts = [](const obs::MetricsSnapshot& snap) {
+      struct Counts {
+        std::uint64_t classified, answered, quality, shape, error;
+      };
+      return Counts{
+          obs::counter_value(snap, "scwc_robust_guard_classified_total"),
+          obs::counter_value(snap, "scwc_robust_guard_answered_total"),
+          obs::counter_value(snap, "scwc_robust_guard_abstain_quality_total"),
+          obs::counter_value(snap, "scwc_robust_guard_abstain_shape_total"),
+          obs::counter_value(snap, "scwc_robust_guard_abstain_error_total")};
+    };
+
+    std::cout << "\nGuardedClassifier (RF, linear imputation, min_quality=0.6):"
+              << "\n  severity   abstain%   (quality/shape/error)   "
+                 "accuracy-on-answered%\n";
+    for (std::size_t k = 0; k < severities.size(); ++k) {
+      const robust::FaultInjector injector(
+          robust::FaultProfile::at_severity(severities[k]));
+      const auto before = guard_counts(obs::MetricsRegistry::global().snapshot());
+      std::size_t answered = 0;
+      std::size_t answered_correct = 0;
+      for (std::size_t i = 0; i < ds.x_test.trials(); ++i) {
+        telemetry::TimeSeries series;
+        series.sample_hz = cfg.sample_hz;
+        series.values = ds.x_test.trial_matrix(i);
+        Rng rng = corruption_rng(cfg.seed, k, i);
+        injector.corrupt(series, rng);
+        // Feed the raw (possibly truncated) window straight to the guard.
+        std::vector<double> window(ds.steps() * ds.sensors());
+        robust::robust_extract_window(series, 0, ds.steps(), window);
+        const robust::GuardedPrediction p =
+            guarded.classify(window, ds.steps(), ds.sensors());
+        if (!p.abstained) {
+          ++answered;
+          if (p.label == ds.y_test[i]) ++answered_correct;
+        }
+      }
+      const auto after = guard_counts(obs::MetricsRegistry::global().snapshot());
+      const double total = static_cast<double>(ds.x_test.trials());
+      const std::uint64_t abstained =
+          obs::enabled()
+              ? (after.classified - before.classified) -
+                    (after.answered - before.answered)
+              : ds.x_test.trials() - answered;  // SCWC_OBS=off fallback
+      std::cout << "  " << std::setw(7) << pct(severities[k]) << "%  "
+                << std::setw(8) << pct(static_cast<double>(abstained) / total)
+                << "%   " << std::setw(5) << (after.quality - before.quality)
+                << '/' << (after.shape - before.shape) << '/'
+                << (after.error - before.error) << "            " << std::setw(8)
+                << (answered > 0
+                        ? pct(static_cast<double>(answered_correct) /
+                              static_cast<double>(answered))
+                        : std::string("—"))
+                << "%\n";
+    }
   }
 
   std::cout << "\nreading: accuracy should fall gently with severity when "
                "imputation works;\nlinear ≥ ffill ≥ prior-mean on smooth "
                "sensors; the guard abstains more as\nquality drops, keeping "
                "answered-accuracy above the blind accuracy.\n";
-  std::cout << "total wall time: " << timer.seconds() << " s\n";
+  std::cout << "total wall time: " << wall.seconds() << " s\n";
+
+  obs::RunReport report;
+  report.run_id = "robustness_curves";
+  report.title = "Robustness curves — accuracy vs corruption severity";
+  report.profile = profile.name;
+  report.config = {{"dataset", dataset_name},
+                   {"severities", "5"},
+                   {"imputation_policies", "3"},
+                   {"min_quality", "0.6"}};
+  report.wall_seconds = wall.seconds();
+  const auto path = obs::write_run_report(report);
+  if (!path.empty()) std::cout << "run report: " << path.string() << '\n';
   return 0;
 }

@@ -9,6 +9,8 @@
 #include "core/baselines.hpp"
 #include "core/challenge.hpp"
 #include "core/report.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 #include "telemetry/corpus.hpp"
 
 int main() {
@@ -29,29 +31,31 @@ int main() {
                     : "")
             << "\n\n";
 
-  telemetry::CorpusConfig corpus_config;
-  corpus_config.jobs_per_class_scale = profile.jobs_per_class;
-  const telemetry::Corpus corpus = telemetry::generate_corpus(corpus_config);
-  const auto datasets = core::build_challenge_datasets(
-      corpus, core::ChallengeConfig::from_profile(profile));
-
-  const std::vector<std::pair<ClassicalModel, Reduction>> arms{
-      {ClassicalModel::kSvm, Reduction::kPca},
-      {ClassicalModel::kSvm, Reduction::kCovariance},
-      {ClassicalModel::kRandomForest, Reduction::kPca},
-      {ClassicalModel::kRandomForest, Reduction::kCovariance},
-  };
-
   const Stopwatch timer;
   std::vector<core::ClassicalOutcome> outcomes;
   std::vector<std::string> dataset_names;
-  for (const auto& ds : datasets) dataset_names.push_back(ds.name);
+  {
+    const obs::TraceSpan run_span("bench.table5_svm_rf");
+    telemetry::CorpusConfig corpus_config;
+    corpus_config.jobs_per_class_scale = profile.jobs_per_class;
+    const telemetry::Corpus corpus = telemetry::generate_corpus(corpus_config);
+    const auto datasets = core::build_challenge_datasets(
+        corpus, core::ChallengeConfig::from_profile(profile));
 
-  for (const auto& [model, reduction] : arms) {
-    const core::ClassicalConfig config =
-        core::ClassicalConfig::from_profile(profile, model, reduction);
-    for (const auto& ds : datasets) {
-      outcomes.push_back(core::run_classical_experiment(ds, config));
+    const std::vector<std::pair<ClassicalModel, Reduction>> arms{
+        {ClassicalModel::kSvm, Reduction::kPca},
+        {ClassicalModel::kSvm, Reduction::kCovariance},
+        {ClassicalModel::kRandomForest, Reduction::kPca},
+        {ClassicalModel::kRandomForest, Reduction::kCovariance},
+    };
+
+    for (const auto& ds : datasets) dataset_names.push_back(ds.name);
+    for (const auto& [model, reduction] : arms) {
+      const core::ClassicalConfig config =
+          core::ClassicalConfig::from_profile(profile, model, reduction);
+      for (const auto& ds : datasets) {
+        outcomes.push_back(core::run_classical_experiment(ds, config));
+      }
     }
   }
 
@@ -66,5 +70,16 @@ int main() {
       "shape checks: RF > SVM everywhere; RF Cov. best off-start; every\n"
       "model is weakest on the start dataset (generic startup phase).\n";
   std::cout << "total wall time: " << timer.seconds() << " s\n";
+
+  obs::RunReport report;
+  report.run_id = "table5_svm_rf";
+  report.title = "SVM/RF baselines (Table V)";
+  report.profile = profile.name;
+  report.config = {{"cv_folds", std::to_string(profile.cv_folds)},
+                   {"grid_row_cap", std::to_string(profile.grid_row_cap)},
+                   {"datasets", std::to_string(dataset_names.size())}};
+  report.wall_seconds = timer.seconds();
+  const auto path = obs::write_run_report(report);
+  if (!path.empty()) std::cout << "run report: " << path.string() << '\n';
   return 0;
 }

@@ -10,6 +10,8 @@
 #include "core/challenge.hpp"
 #include "core/report.hpp"
 #include "core/rnn_experiments.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 #include "telemetry/corpus.hpp"
 
 int main() {
@@ -27,31 +29,36 @@ int main() {
                     : "")
             << "\n\n";
 
-  telemetry::CorpusConfig corpus_config;
-  corpus_config.jobs_per_class_scale = profile.jobs_per_class;
-  const telemetry::Corpus corpus = telemetry::generate_corpus(corpus_config);
-  const core::ChallengeConfig challenge_config =
-      core::ChallengeConfig::from_profile(profile);
-
-  std::vector<data::ChallengeDataset> datasets;
-  datasets.push_back(core::build_challenge_dataset(
-      corpus, challenge_config, data::WindowPolicy::kStart));
-  datasets.push_back(core::build_challenge_dataset(
-      corpus, challenge_config, data::WindowPolicy::kMiddle));
-  datasets.push_back(core::build_challenge_dataset(
-      corpus, challenge_config, data::WindowPolicy::kRandom, 0));
-
-  const auto suite =
-      core::table6_model_suite(profile, challenge_config.window_steps);
-  const core::RnnRunConfig run = core::RnnRunConfig::from_profile(profile);
-
   const Stopwatch timer;
+  std::size_t n_models = 0;
   std::vector<core::RnnOutcome> outcomes;
   std::vector<std::string> dataset_names;
-  for (const auto& ds : datasets) dataset_names.push_back(ds.name);
-  for (const auto& spec : suite) {
-    for (const auto& ds : datasets) {
-      outcomes.push_back(core::run_rnn_experiment(ds, spec, run));
+  {
+    const obs::TraceSpan run_span("bench.table6_rnn");
+    telemetry::CorpusConfig corpus_config;
+    corpus_config.jobs_per_class_scale = profile.jobs_per_class;
+    const telemetry::Corpus corpus = telemetry::generate_corpus(corpus_config);
+    const core::ChallengeConfig challenge_config =
+        core::ChallengeConfig::from_profile(profile);
+
+    std::vector<data::ChallengeDataset> datasets;
+    datasets.push_back(core::build_challenge_dataset(
+        corpus, challenge_config, data::WindowPolicy::kStart));
+    datasets.push_back(core::build_challenge_dataset(
+        corpus, challenge_config, data::WindowPolicy::kMiddle));
+    datasets.push_back(core::build_challenge_dataset(
+        corpus, challenge_config, data::WindowPolicy::kRandom, 0));
+
+    const auto suite =
+        core::table6_model_suite(profile, challenge_config.window_steps);
+    const core::RnnRunConfig run = core::RnnRunConfig::from_profile(profile);
+    n_models = suite.size();
+
+    for (const auto& ds : datasets) dataset_names.push_back(ds.name);
+    for (const auto& spec : suite) {
+      for (const auto& ds : datasets) {
+        outcomes.push_back(core::run_rnn_experiment(ds, spec, run));
+      }
     }
   }
 
@@ -68,5 +75,17 @@ int main() {
       "shape checks: start << middle/random for the small models; the\n"
       "widest CNN-LSTMs overfit and fall behind.\n";
   std::cout << "total wall time: " << timer.seconds() << " s\n";
+
+  obs::RunReport report;
+  report.run_id = "table6_rnn";
+  report.title = "RNN baselines (Table VI)";
+  report.profile = profile.name;
+  report.config = {{"max_epochs", std::to_string(profile.max_epochs)},
+                   {"patience", std::to_string(profile.patience)},
+                   {"models", std::to_string(n_models)},
+                   {"datasets", std::to_string(dataset_names.size())}};
+  report.wall_seconds = timer.seconds();
+  const auto path = obs::write_run_report(report);
+  if (!path.empty()) std::cout << "run report: " << path.string() << '\n';
   return 0;
 }

@@ -2,12 +2,19 @@
 // covariance features: 5-fold grid search over (gamma, alpha, lambda),
 // 40 boosting rounds, test accuracy (paper: 88.47 %) and the top-3 feature
 // importances (paper: cov(GPU util, mem util), var(GPU util), var(power)).
+//
+// SCWC_SMOKE=1 shrinks the grid to one cell and six rounds — same code
+// path, seconds of wall time — for the bench-smoke CTest that validates the
+// emitted RunReport (see tests/bench_smoke.sh).
 #include <iostream>
 
 #include "common/env.hpp"
+#include "common/stopwatch.hpp"
 #include "core/baselines.hpp"
 #include "core/challenge.hpp"
 #include "core/report.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 #include "telemetry/corpus.hpp"
 
 int main() {
@@ -17,16 +24,43 @@ int main() {
   core::print_profile_banner(std::cout, profile,
                              "X1 — XGBoost on 60-random-1 (Section IV-B)");
 
-  telemetry::CorpusConfig corpus_config;
-  corpus_config.jobs_per_class_scale = profile.jobs_per_class;
-  const telemetry::Corpus corpus = telemetry::generate_corpus(corpus_config);
-  const data::ChallengeDataset ds = core::build_challenge_dataset(
-      corpus, core::ChallengeConfig::from_profile(profile),
-      data::WindowPolicy::kRandom, 0);
+  core::XgbConfig config = core::XgbConfig::from_profile(profile);
+  const bool smoke = env_int("SCWC_SMOKE", 0) != 0;
+  if (smoke) {
+    config.gamma_grid = {0.0};
+    config.alpha_grid = {0.0};
+    config.lambda_grid = {1.0};
+    config.n_rounds = 6;
+    std::cout << "SCWC_SMOKE: 1 grid cell, " << config.n_rounds
+              << " boosting rounds\n";
+  }
 
-  const core::XgbConfig config = core::XgbConfig::from_profile(profile);
-  const core::XgbOutcome outcome = core::run_xgboost_experiment(ds, config);
+  const Stopwatch wall;
+  core::XgbOutcome outcome;
+  {
+    const obs::TraceSpan run_span("bench.xgboost_random1");
+    telemetry::CorpusConfig corpus_config;
+    corpus_config.jobs_per_class_scale = profile.jobs_per_class;
+    const telemetry::Corpus corpus = telemetry::generate_corpus(corpus_config);
+    const data::ChallengeDataset ds = core::build_challenge_dataset(
+        corpus, core::ChallengeConfig::from_profile(profile),
+        data::WindowPolicy::kRandom, 0);
+    outcome = core::run_xgboost_experiment(ds, config);
+  }
   std::cout << '\n';
   core::print_xgboost_report(std::cout, outcome);
+
+  obs::RunReport report;
+  report.run_id = "xgboost_random1";
+  report.title = "XGBoost on 60-random-1 (Section IV-B)";
+  report.profile = profile.name;
+  report.config = {{"n_rounds", std::to_string(config.n_rounds)},
+                   {"max_depth", std::to_string(config.max_depth)},
+                   {"cv_folds", std::to_string(config.cv_folds)},
+                   {"smoke", smoke ? "1" : "0"},
+                   {"best_params", outcome.best_params}};
+  report.wall_seconds = wall.seconds();
+  const auto path = obs::write_run_report(report);
+  if (!path.empty()) std::cout << "\nrun report: " << path.string() << '\n';
   return 0;
 }

@@ -18,6 +18,9 @@
 #include "common/string_util.hpp"
 #include "core/challenge.hpp"
 #include "ml/random_forest.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "preprocess/pipeline.hpp"
 #include "telemetry/architectures.hpp"
 #include "telemetry/corpus.hpp"
@@ -90,6 +93,7 @@ int main(int argc, char** argv) {
   std::size_t total = 0;
   for (std::size_t offset = 0; offset + window <= stream.steps();
        offset += stride_steps) {
+    const obs::TraceSpan window_span("monitor.classify_window");
     data::Tensor3 snapshot(1, window, stream.sensors());
     data::extract_window(stream, offset, window, snapshot.trial(0));
     const linalg::Matrix features = pipeline.transform(snapshot);
@@ -131,5 +135,14 @@ int main(int argc, char** argv) {
   std::cout << "note: the earliest windows overlap the generic startup "
                "phase and are the hardest — the paper's Table V/VI 'start "
                "dataset' effect, live.\n";
+
+  // With SCWC_OBS=on, close the monitoring loop with the same snapshot a
+  // scrape endpoint would serve: Prometheus text plus the span tree.
+  if (obs::enabled()) {
+    std::cout << "\n--- live metrics snapshot (SCWC_OBS=on) ---\n"
+              << obs::to_prometheus(obs::MetricsRegistry::global().snapshot())
+              << "\nspan tree:\n";
+    obs::render_span_tree(std::cout, obs::span_tree_snapshot());
+  }
   return 0;
 }

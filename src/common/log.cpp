@@ -1,7 +1,10 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <iostream>
 
 namespace scwc {
@@ -45,6 +48,30 @@ constexpr std::string_view level_tag(LogLevel level) noexcept {
   }
 }
 
+/// Small sequential id instead of the opaque std::thread::id — stable for
+/// the thread's lifetime, readable when workers interleave.
+unsigned thread_tag() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// "2026-08-05T12:34:56.789Z" — UTC with millisecond resolution.
+std::string iso8601_now() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t t = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[40];
+  const std::size_t n = std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%S", &tm);
+  std::snprintf(buf + n, sizeof(buf) - n, ".%03dZ", static_cast<int>(ms));
+  return buf;
+}
+
 }  // namespace
 
 LogLevel log_threshold() noexcept {
@@ -58,8 +85,14 @@ void set_log_threshold(LogLevel level) noexcept {
 namespace detail {
 
 void log_line(LogLevel level, std::string_view message) {
+  // The SCWC_LOG_AT macro already gates on the threshold before formatting;
+  // this guard keeps direct callers from bypassing SCWC_LOG=off.
+  if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
+  const std::string stamp = iso8601_now();
+  const unsigned tid = thread_tag();
   const std::lock_guard<std::mutex> lock(log_mutex());
-  std::cerr << "[scwc:" << level_tag(level) << "] " << message << '\n';
+  std::cerr << "[scwc:" << level_tag(level) << ' ' << stamp << " t"
+            << tid << "] " << message << '\n';
 }
 
 }  // namespace detail

@@ -21,6 +21,16 @@ class Stopwatch {
   /// Elapsed milliseconds.
   [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
 
+  /// Elapsed seconds since construction or the previous lap()/reset(), then
+  /// restarts — one stopwatch times a sequence of phases instead of the
+  /// reset-and-read pair per phase.
+  [[nodiscard]] double lap() noexcept {
+    const clock::time_point now = clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;

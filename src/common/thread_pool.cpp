@@ -11,6 +11,15 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (n == 0) {
     n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  n_workers_ = n;
+  obs_epoch_ = std::chrono::steady_clock::now();
+  auto& reg = obs::MetricsRegistry::global();
+  obs_submitted_ = reg.counter("scwc_common_pool_tasks_submitted_total");
+  obs_completed_ = reg.counter("scwc_common_pool_tasks_completed_total");
+  obs_queue_depth_ = reg.gauge("scwc_common_pool_queue_depth");
+  obs_busy_seconds_ = reg.gauge("scwc_common_pool_busy_seconds");
+  obs_utilization_ = reg.gauge("scwc_common_pool_utilization");
+  obs_task_seconds_ = reg.histogram("scwc_common_pool_task_seconds");
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -47,6 +56,8 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
                  "ThreadPool::submit after stop() — the pool no longer "
                  "accepts tasks");
     queue_.push_back(std::move(pt));
+    obs_submitted_.inc();
+    obs_queue_depth_.set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
   return fut;
@@ -61,6 +72,7 @@ thread_local bool t_inside_pool_worker = false;
 
 void ThreadPool::worker_loop() {
   t_inside_pool_worker = true;
+  const bool timed = obs::enabled();
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -69,8 +81,26 @@ void ThreadPool::worker_loop() {
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      obs_queue_depth_.set(static_cast<double>(queue_.size()));
     }
-    task();  // exceptions land in the packaged_task's future
+    if (!timed) {
+      task();  // exceptions land in the packaged_task's future
+      continue;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    task();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double task_s = std::chrono::duration<double>(t1 - t0).count();
+    obs_completed_.inc();
+    obs_task_seconds_.observe(task_s);
+    obs::atomic_add(busy_seconds_, task_s);
+    const double busy = busy_seconds_.load(std::memory_order_relaxed);
+    obs_busy_seconds_.set(busy);
+    const double alive =
+        std::chrono::duration<double>(t1 - obs_epoch_).count();
+    if (alive > 0.0) {
+      obs_utilization_.set(busy / (alive * static_cast<double>(n_workers_)));
+    }
   }
 }
 

@@ -9,6 +9,8 @@
 //    with zero scheduling overhead, keeping results deterministic.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -18,6 +20,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace scwc {
 
@@ -58,6 +62,19 @@ class ThreadPool {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+
+  // Observability (scwc_common_pool_*). Handles are acquired per pool at
+  // construction so a pool created after obs::set_enabled(true) reports;
+  // all pools share the global registry's series. Inert under SCWC_OBS=off.
+  std::size_t n_workers_ = 0;
+  std::chrono::steady_clock::time_point obs_epoch_;
+  std::atomic<double> busy_seconds_{0.0};
+  obs::CounterHandle obs_submitted_;
+  obs::CounterHandle obs_completed_;
+  obs::GaugeHandle obs_queue_depth_;
+  obs::GaugeHandle obs_busy_seconds_;
+  obs::GaugeHandle obs_utilization_;
+  obs::HistogramHandle obs_task_seconds_;
 };
 
 /// Blocked parallel loop over [begin, end).

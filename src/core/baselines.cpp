@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/trace.hpp"
 #include "ml/metrics.hpp"
 #include "ml/model_selection.hpp"
 #include "ml/random_forest.hpp"
@@ -87,6 +88,7 @@ std::string ClassicalConfig::label() const {
 ClassicalOutcome run_classical_experiment(const data::ChallengeDataset& ds,
                                           const ClassicalConfig& config) {
   const Stopwatch timer;
+  const obs::TraceSpan experiment_span("classical.experiment");
   ClassicalOutcome outcome;
   outcome.model_label = config.label();
   outcome.dataset = ds.name;
@@ -176,7 +178,9 @@ ClassicalOutcome run_classical_experiment(const data::ChallengeDataset& ds,
       ml::kfold(cv_rows.size(), config.cv_folds, /*shuffle=*/true,
                 config.seed);
 
-  const ml::GridSearchResult grid = ml::grid_search(
+  const ml::GridSearchResult grid = [&] {
+    const obs::TraceSpan grid_span("classical.grid_search");
+    return ml::grid_search(
       n_configs, [&](std::size_t i) {
         const std::size_t fs_idx = i / model_axis;
         const std::size_t hp_idx = i % model_axis;
@@ -188,6 +192,7 @@ ClassicalOutcome run_classical_experiment(const data::ChallengeDataset& ds,
             cv_features[fs_idx], cv_labels, folds,
             make_factory(config, svm_c, rf_trees, config.seed + i));
       });
+  }();
 
   const std::size_t best_fs = grid.best_index / model_axis;
   const std::size_t best_hp = grid.best_index % model_axis;
@@ -198,6 +203,7 @@ ClassicalOutcome run_classical_experiment(const data::ChallengeDataset& ds,
       config.model == ClassicalModel::kSvm ? c_grid[best_hp] : 0.0;
   const std::size_t best_trees =
       config.model == ClassicalModel::kSvm ? 0 : trees_grid[best_hp];
+  const obs::TraceSpan refit_span("classical.refit");
   auto model =
       make_factory(config, best_c, best_trees, config.seed + 777)();
   if (config.model == ClassicalModel::kSvm && config.svm_train_cap > 0 &&
@@ -239,16 +245,21 @@ XgbConfig XgbConfig::from_profile(const ScaleProfile& profile) {
 XgbOutcome run_xgboost_experiment(const data::ChallengeDataset& ds,
                                   const XgbConfig& config) {
   const Stopwatch timer;
+  const obs::TraceSpan experiment_span("xgb.experiment");
   XgbOutcome outcome;
   outcome.dataset = ds.name;
 
   preprocess::StandardScaler scaler;
-  const Matrix train_scaled = scaler.fit_transform(ds.x_train.flatten());
-  const Matrix test_scaled = scaler.transform(ds.x_test.flatten());
-  const Matrix train_features = preprocess::covariance_features_flat(
-      train_scaled, ds.steps(), ds.sensors());
-  const Matrix test_features = preprocess::covariance_features_flat(
-      test_scaled, ds.steps(), ds.sensors());
+  const auto [train_features, test_features] = [&] {
+    const obs::TraceSpan features_span("xgb.features");
+    const Matrix train_scaled = scaler.fit_transform(ds.x_train.flatten());
+    const Matrix test_scaled = scaler.transform(ds.x_test.flatten());
+    return std::make_pair(
+        preprocess::covariance_features_flat(train_scaled, ds.steps(),
+                                             ds.sensors()),
+        preprocess::covariance_features_flat(test_scaled, ds.steps(),
+                                             ds.sensors()));
+  }();
 
   struct Cell {
     double gamma;
@@ -284,21 +295,27 @@ XgbOutcome run_xgboost_experiment(const data::ChallengeDataset& ds,
     return gc;
   };
 
-  const ml::GridSearchResult grid = ml::grid_search(
-      cells.size(), [&](std::size_t i) {
-        return ml::cross_val_accuracy(
-            cv_features, cv_labels, folds, [&, i] {
-              return std::make_unique<ml::GradientBoostedTrees>(
-                  make_gbt(cells[i]));
-            });
-      });
+  const ml::GridSearchResult grid = [&] {
+    const obs::TraceSpan grid_span("xgb.grid_search");
+    return ml::grid_search(
+        cells.size(), [&](std::size_t i) {
+          return ml::cross_val_accuracy(
+              cv_features, cv_labels, folds, [&, i] {
+                return std::make_unique<ml::GradientBoostedTrees>(
+                    make_gbt(cells[i]));
+              });
+        });
+  }();
 
   const Cell best = cells[grid.best_index];
   outcome.cv_accuracy = grid.best_score;
 
   ml::GradientBoostedTrees model(make_gbt(best));
-  model.fit_with_history(train_features, ds.y_train,
-                         &outcome.train_accuracy_per_round);
+  {
+    const obs::TraceSpan fit_span("xgb.final_fit");
+    model.fit_with_history(train_features, ds.y_train,
+                           &outcome.train_accuracy_per_round);
+  }
   outcome.train_accuracy = outcome.train_accuracy_per_round.back();
   outcome.test_accuracy =
       ml::accuracy(ds.y_test, model.predict(test_features));

@@ -9,6 +9,7 @@
 #include "data/window.hpp"
 #include "telemetry/architectures.hpp"
 #include "telemetry/gpu_synth.hpp"
+#include "obs/trace.hpp"
 
 namespace scwc::core {
 
@@ -188,6 +189,7 @@ data::ChallengeDataset build_challenge_dataset(const telemetry::Corpus& corpus,
                                                const ChallengeConfig& config,
                                                data::WindowPolicy policy,
                                                std::size_t random_index) {
+  const obs::TraceSpan span("core.build_challenge_dataset");
   const std::vector<telemetry::JobSpec> jobs = eligible_jobs(corpus, config);
   SCWC_REQUIRE(!jobs.empty(), "no jobs long enough for the window");
   const TrialIndex idx = index_trials(jobs);

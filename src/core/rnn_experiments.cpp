@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/trace.hpp"
 #include "preprocess/scaler.hpp"
 #include "telemetry/architectures.hpp"
 
@@ -130,6 +131,7 @@ RnnOutcome run_rnn_experiment(const data::ChallengeDataset& ds,
                               const RnnExperimentSpec& spec,
                               const RnnRunConfig& run) {
   const Stopwatch timer;
+  const obs::TraceSpan experiment_span("rnn.experiment");
 
   // Optionally cap the training split (uniform stride keeps the class mix).
   std::vector<std::size_t> rows;

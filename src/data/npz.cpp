@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace scwc::data {
 
@@ -215,6 +217,7 @@ void write_zip(std::ostream& os, const std::vector<ZipEntry>& entries) {
 
 void save_npz(const ChallengeDataset& dataset,
               const std::filesystem::path& path) {
+  const obs::TraceSpan span("npz.write");
   dataset.validate();
   std::vector<ZipEntry> entries;
   entries.push_back(
@@ -236,6 +239,11 @@ void save_npz(const ChallengeDataset& dataset,
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   SCWC_REQUIRE(os.is_open(), "cannot open " + path.string() + " for writing");
   write_zip(os, entries);
+  std::uint64_t payload = 0;
+  for (const ZipEntry& e : entries) payload += e.bytes.size();
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("scwc_data_npz_writes_total").inc();
+  reg.counter("scwc_data_npz_bytes_written_total").inc(payload);
 }
 
 }  // namespace scwc::data

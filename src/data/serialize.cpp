@@ -8,7 +8,11 @@
 #include <ostream>
 #include <string>
 
+#include <chrono>
+
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "telemetry/architectures.hpp"
 
 namespace scwc::data {
@@ -178,6 +182,8 @@ void read_split(ScbReader& reader, Tensor3& x, std::vector<int>& y,
 }  // namespace
 
 void write_scb(const ChallengeDataset& dataset, std::ostream& os) {
+  const obs::TraceSpan span("scb.write");
+  const auto start_pos = os.tellp();
   os.write(kMagic, sizeof(kMagic));
   write_string(os, dataset.name);
   write_u64(os, static_cast<std::uint64_t>(dataset.policy));
@@ -186,9 +192,18 @@ void write_scb(const ChallengeDataset& dataset, std::ostream& os) {
   write_split(os, dataset.x_test, dataset.y_test, dataset.model_test,
               dataset.job_test);
   SCWC_REQUIRE(os.good(), "scb: write failed");
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("scwc_data_scb_writes_total").inc();
+  const auto end_pos = os.tellp();
+  if (start_pos >= 0 && end_pos >= start_pos) {
+    reg.counter("scwc_data_scb_bytes_written_total")
+        .inc(static_cast<std::uint64_t>(end_pos - start_pos));
+  }
 }
 
 ChallengeDataset read_scb(std::istream& is) {
+  const obs::TraceSpan span("scb.read");
+  const auto t0 = std::chrono::steady_clock::now();
   ScbReader reader(is);
   char magic[8];
   reader.read_bytes(magic, sizeof(magic), "magic");
@@ -203,6 +218,13 @@ ChallengeDataset read_scb(std::istream& is) {
   read_split(reader, d.x_train, d.y_train, d.model_train, d.job_train);
   read_split(reader, d.x_test, d.y_test, d.model_test, d.job_test);
   d.validate();
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("scwc_data_scb_reads_total").inc();
+  reg.counter("scwc_data_scb_bytes_read_total").inc(reader.offset());
+  reg.histogram("scwc_data_scb_read_seconds")
+      .observe(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count());
   return d;
 }
 

@@ -7,6 +7,8 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "ml/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace scwc::ml {
 
@@ -214,25 +216,33 @@ void GradientBoostedTrees::fit_with_history(
   linalg::Vector hess(n);
   Rng rng(config_.seed);
 
+  auto& reg = obs::MetricsRegistry::global();
+  const obs::CounterHandle rounds_total = reg.counter("scwc_ml_gbt_rounds_total");
+  const obs::CounterHandle trees_total = reg.counter("scwc_ml_gbt_trees_total");
+  const obs::TraceSpan fit_span("gbt.fit");
+
   for (std::size_t round = 0; round < config_.n_rounds; ++round) {
     // Softmax probabilities from current margins.
-    parallel_for_blocked(
-        0, n,
-        [&](std::size_t lo, std::size_t hi) {
-          for (std::size_t i = lo; i < hi; ++i) {
-            const auto m = margins.row(i);
-            auto p = proba.row(i);
-            double max_m = m[0];
-            for (std::size_t c = 1; c < k; ++c) max_m = std::max(max_m, m[c]);
-            double sum = 0.0;
-            for (std::size_t c = 0; c < k; ++c) {
-              p[c] = std::exp(m[c] - max_m);
-              sum += p[c];
+    {
+      const obs::TraceSpan softmax_span("gbt.softmax");
+      parallel_for_blocked(
+          0, n,
+          [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              const auto m = margins.row(i);
+              auto p = proba.row(i);
+              double max_m = m[0];
+              for (std::size_t c = 1; c < k; ++c) max_m = std::max(max_m, m[c]);
+              double sum = 0.0;
+              for (std::size_t c = 0; c < k; ++c) {
+                p[c] = std::exp(m[c] - max_m);
+                sum += p[c];
+              }
+              for (std::size_t c = 0; c < k; ++c) p[c] /= sum;
             }
-            for (std::size_t c = 0; c < k; ++c) p[c] /= sum;
-          }
-        },
-        256);
+          },
+          256);
+    }
 
     // Row/column subsampling for this round.
     std::vector<std::size_t> rows;
@@ -265,9 +275,14 @@ void GradientBoostedTrees::fit_with_history(
         grad[i] = p - target;
         hess[i] = std::max(1e-12, p * (1.0 - p));
       }
-      round_trees[cls] = build_tree(x, grad, hess, rows, features, rng);
+      {
+        const obs::TraceSpan build_span("gbt.build_tree");
+        round_trees[cls] = build_tree(x, grad, hess, rows, features, rng);
+      }
+      trees_total.inc();
       // Update margins for this class.
       const RegTree& tree = round_trees[cls];
+      const obs::TraceSpan update_span("gbt.update_margins");
       parallel_for_blocked(
           0, n,
           [&](std::size_t lo, std::size_t hi) {
@@ -279,6 +294,7 @@ void GradientBoostedTrees::fit_with_history(
           256);
     }
     trees_.push_back(std::move(round_trees));
+    rounds_total.inc();
 
     if (train_accuracy_per_round != nullptr) {
       std::vector<int> pred(n);

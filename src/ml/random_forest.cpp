@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace scwc::ml {
 
@@ -35,6 +37,9 @@ void RandomForest::fit(const linalg::Matrix& x, std::span<const int> y) {
 
   trees_.assign(config_.n_estimators, DecisionTree(tree_config));
   const std::size_t n = x.rows();
+  const obs::TraceSpan fit_span("rf.fit");
+  const obs::CounterHandle trees_total =
+      obs::MetricsRegistry::global().counter("scwc_ml_rf_trees_total");
   parallel_for(
       0, config_.n_estimators,
       [&](std::size_t t) {
@@ -49,6 +54,7 @@ void RandomForest::fit(const linalg::Matrix& x, std::span<const int> y) {
         } else {
           trees_[t].fit(x, y);
         }
+        trees_total.inc();
       },
       1);
 }

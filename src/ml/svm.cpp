@@ -6,6 +6,8 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace scwc::ml {
 
@@ -38,10 +40,12 @@ linalg::Matrix kernel_matrix(KernelType kernel, double gamma,
   return k;
 }
 
-/// Platt's SMO on a precomputed kernel. y in {-1, +1}. Returns (alpha, b).
+/// Platt's SMO on a precomputed kernel. y in {-1, +1}. Returns (alpha, b)
+/// plus the iteration count for the scwc_ml_svm_smo_iterations_total counter.
 struct SmoResult {
   linalg::Vector alpha;
   double bias = 0.0;
+  std::size_t iters = 0;
 };
 
 SmoResult smo_solve(const linalg::Matrix& k, std::span<const double> y,
@@ -57,7 +61,7 @@ SmoResult smo_solve(const linalg::Matrix& k, std::span<const double> y,
   for (std::size_t i = 0; i < n; ++i) errors[i] = -y[i];
 
   std::size_t passes = 0;
-  std::size_t iters = 0;
+  std::size_t& iters = res.iters;
   while (passes < max_passes && iters < max_iters) {
     std::size_t changed = 0;
     for (std::size_t i = 0; i < n && iters < max_iters; ++i) {
@@ -189,6 +193,14 @@ void Svm::fit(const linalg::Matrix& x, std::span<const int> y) {
   std::vector<std::uint64_t> seeds(pairs.size());
   for (auto& s : seeds) s = root.next_u64();
 
+  auto& reg = obs::MetricsRegistry::global();
+  const obs::CounterHandle pairs_total = reg.counter("scwc_ml_svm_pairs_total");
+  const obs::CounterHandle smo_iters_total =
+      reg.counter("scwc_ml_svm_smo_iterations_total");
+  const obs::CounterHandle sv_total =
+      reg.counter("scwc_ml_svm_support_vectors_total");
+  const obs::TraceSpan fit_span("svm.fit");
+
   parallel_for(
       0, pairs.size(),
       [&](std::size_t p) {
@@ -216,11 +228,15 @@ void Svm::fit(const linalg::Matrix& x, std::span<const int> y) {
                                         config_.max_passes, config_.max_iters,
                                         rng);
 
+        pairs_total.inc();
+        smo_iters_total.inc(sol.iters);
+
         // Keep only support vectors.
         std::vector<std::size_t> sv;
         for (std::size_t i = 0; i < n; ++i) {
           if (sol.alpha[i] > 1e-9) sv.push_back(i);
         }
+        sv_total.inc(sv.size());
         BinaryMachine m;
         m.class_a = cls_a;
         m.class_b = cls_b;

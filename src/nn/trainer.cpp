@@ -6,6 +6,8 @@
 #include "common/log.hpp"
 #include "ml/metrics.hpp"
 #include "nn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace scwc::nn {
 
@@ -62,35 +64,58 @@ TrainResult Trainer::fit(SequenceClassifier& model,
   std::vector<std::vector<double>> best_weights;
   std::size_t since_best = 0;
 
+  auto& reg = obs::MetricsRegistry::global();
+  const obs::CounterHandle epochs_total = reg.counter("scwc_nn_epochs_total");
+  const obs::CounterHandle batches_total = reg.counter("scwc_nn_batches_total");
+  const obs::GaugeHandle loss_gauge = reg.gauge("scwc_nn_epoch_loss");
+  const obs::GaugeHandle acc_gauge = reg.gauge("scwc_nn_val_accuracy");
+  const obs::GaugeHandle gnorm_gauge = reg.gauge("scwc_nn_grad_norm");
+  const obs::GaugeHandle lr_gauge = reg.gauge("scwc_nn_learning_rate");
+  const obs::TraceSpan fit_span("nn.fit");
+
   for (std::size_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    const obs::TraceSpan epoch_span("nn.epoch");
     const std::vector<std::size_t> order = rng.permutation(n);
     double epoch_loss = 0.0;
 
-    for (std::size_t b = 0; b < batches_per_epoch; ++b) {
-      const std::size_t lo = b * config_.batch_size;
-      const std::size_t hi = std::min(n, lo + config_.batch_size);
-      const std::span<const std::size_t> rows(order.data() + lo, hi - lo);
+    {
+      const obs::TraceSpan train_span("nn.train");
+      for (std::size_t b = 0; b < batches_per_epoch; ++b) {
+        const std::size_t lo = b * config_.batch_size;
+        const std::size_t hi = std::min(n, lo + config_.batch_size);
+        const std::span<const std::size_t> rows(order.data() + lo, hi - lo);
 
-      const Sequence batch = Sequence::from_tensor(x_train, rows);
-      std::vector<int> targets(rows.size());
-      for (std::size_t i = 0; i < rows.size(); ++i) {
-        targets[i] = y_train[rows[i]];
+        const Sequence batch = Sequence::from_tensor(x_train, rows);
+        std::vector<int> targets(rows.size());
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          targets[i] = y_train[rows[i]];
+        }
+
+        optimizer.zero_grad();
+        const linalg::Matrix logits = model.forward(batch, /*train=*/true);
+        const LossResult loss = softmax_nll(logits, targets);
+        model.backward(loss.dlogits);
+        gnorm_gauge.set(optimizer.clip_grad_norm(config_.clip_norm));
+        const double lr = schedule.next();
+        lr_gauge.set(lr);
+        optimizer.step(lr);
+        epoch_loss += loss.loss * static_cast<double>(rows.size());
+        batches_total.inc();
       }
-
-      optimizer.zero_grad();
-      const linalg::Matrix logits = model.forward(batch, /*train=*/true);
-      const LossResult loss = softmax_nll(logits, targets);
-      model.backward(loss.dlogits);
-      optimizer.clip_grad_norm(config_.clip_norm);
-      optimizer.step(schedule.next());
-      epoch_loss += loss.loss * static_cast<double>(rows.size());
     }
     epoch_loss /= static_cast<double>(n);
     result.train_loss.push_back(epoch_loss);
 
-    const double val_acc = evaluate(model, x_val, y_val);
+    double val_acc = 0.0;
+    {
+      const obs::TraceSpan validate_span("nn.validate");
+      val_acc = evaluate(model, x_val, y_val);
+    }
     result.val_accuracy.push_back(val_acc);
     result.epochs_run = epoch + 1;
+    epochs_total.inc();
+    loss_gauge.set(epoch_loss);
+    acc_gauge.set(val_acc);
 
     if (val_acc > result.best_val_accuracy) {
       result.best_val_accuracy = val_acc;

@@ -1,0 +1,133 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace scwc::obs {
+
+namespace {
+
+Json histogram_to_json(const HistogramSnapshot& h) {
+  Json::Array buckets;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    Json::Object b;
+    b.emplace("le", i < h.bounds.size()
+                        ? Json(h.bounds[i])
+                        : Json("+Inf"));
+    b.emplace("count", Json(h.buckets[i]));
+    buckets.push_back(Json(std::move(b)));
+  }
+  Json::Object out;
+  out.emplace("count", Json(h.count));
+  out.emplace("sum", Json(h.sum));
+  out.emplace("p50", Json(h.p50));
+  out.emplace("p90", Json(h.p90));
+  out.emplace("p99", Json(h.p99));
+  out.emplace("buckets", Json(std::move(buckets)));
+  return Json(std::move(out));
+}
+
+Json span_to_json(const SpanStats& span) {
+  Json::Object out;
+  out.emplace("name", Json(span.name));
+  out.emplace("calls", Json(span.calls));
+  out.emplace("total_s", Json(span.total_s));
+  out.emplace("self_s", Json(span.self_s));
+  Json::Array children;
+  for (const SpanStats& child : span.children) {
+    children.push_back(span_to_json(child));
+  }
+  out.emplace("children", Json(std::move(children)));
+  return Json(std::move(out));
+}
+
+/// Prometheus number formatting: plain decimal, +Inf for the overflow le.
+std::string prom_double(double v) {
+  std::ostringstream os;
+  if (std::isinf(v)) {
+    os << (v > 0 ? "+Inf" : "-Inf");
+  } else {
+    Json(v).write(os);
+  }
+  return os.str();
+}
+
+void render_span(std::ostream& os, const SpanStats& span, int depth) {
+  std::ostringstream line;  // keeps formatting state off the caller's stream
+  line << std::fixed << std::setprecision(3);
+  for (int i = 0; i < depth; ++i) line << "  ";
+  line << span.name << "  calls=" << span.calls << "  total=" << span.total_s
+       << "s  self=" << span.self_s << 's';
+  os << line.str() << '\n';
+  for (const SpanStats& child : span.children) {
+    render_span(os, child, depth + 1);
+  }
+}
+
+}  // namespace
+
+Json metrics_to_json(const MetricsSnapshot& snapshot) {
+  Json::Object counters;
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.emplace(name, Json(value));
+  }
+  Json::Object gauges;
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.emplace(name, Json(value));
+  }
+  Json::Object histograms;
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    histograms.emplace(h.name, histogram_to_json(h));
+  }
+  Json::Object out;
+  out.emplace("counters", Json(std::move(counters)));
+  out.emplace("gauges", Json(std::move(gauges)));
+  out.emplace("histograms", Json(std::move(histograms)));
+  return Json(std::move(out));
+}
+
+Json span_tree_to_json(const SpanStats& root) {
+  Json::Array spans;
+  for (const SpanStats& child : root.children) {
+    spans.push_back(span_to_json(child));
+  }
+  return Json(std::move(spans));
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const auto& [name, value] : snapshot.counters) {
+    os << "# TYPE " << name << " counter\n" << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << "# TYPE " << name << " gauge\n"
+       << name << ' ' << prom_double(value) << '\n';
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    os << "# TYPE " << h.name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      const std::string le =
+          i < h.bounds.size() ? prom_double(h.bounds[i]) : "+Inf";
+      os << h.name << "_bucket{le=\"" << le << "\"} " << cumulative << '\n';
+    }
+    os << h.name << "_sum " << prom_double(h.sum) << '\n';
+    os << h.name << "_count " << h.count << '\n';
+  }
+  return os.str();
+}
+
+void render_span_tree(std::ostream& os, const SpanStats& root) {
+  if (root.children.empty()) {
+    os << "(no spans recorded)\n";
+    return;
+  }
+  for (const SpanStats& child : root.children) {
+    render_span(os, child, 0);
+  }
+}
+
+}  // namespace scwc::obs

@@ -1,0 +1,34 @@
+// Serialisers for metrics snapshots and span trees.
+//
+// Three formats, three consumers: JSON for RunReport artifacts and tests,
+// Prometheus text exposition for scrape-style integration (and humans with
+// grep), and an indented text tree for terminal output (live_monitor, bench
+// footers).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace scwc::obs {
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+/// p50, p90, p99, buckets: [{le, count}, ...]}}}
+[[nodiscard]] Json metrics_to_json(const MetricsSnapshot& snapshot);
+
+/// Array of span nodes: [{name, calls, total_s, self_s, children: [...]}].
+/// The synthetic root is dropped — only real spans are serialised.
+[[nodiscard]] Json span_tree_to_json(const SpanStats& root);
+
+/// Prometheus text exposition format (# TYPE comments, _bucket/_sum/_count
+/// histogram series with le labels). Deterministic: series sorted by name.
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// Indented human-readable tree: one line per span with calls/total/self,
+/// children indented beneath their parent.
+void render_span_tree(std::ostream& os, const SpanStats& root);
+
+}  // namespace scwc::obs

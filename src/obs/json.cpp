@@ -1,0 +1,419 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace scwc::obs {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* want, Json::Kind got) {
+  throw JsonError(std::string("json: expected ") + want + ", value is kind " +
+                  std::to_string(static_cast<int>(got)));
+}
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_number(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {
+    os << "null";
+    return;
+  }
+  // Integral values print without a trailing ".0" (counters, counts);
+  // everything else uses shortest round-trip formatting.
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    os << static_cast<long long>(d);
+    return;
+  }
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  os.write(buf, ptr - buf);
+}
+
+/// Recursive-descent RFC 8259 parser over a string_view.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError("json: " + what + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', found '" + peek() + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json(nullptr);
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json::Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return Json(std::move(obj));
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json::Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return Json(std::move(arr));
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad hex digit in \\u escape");
+              }
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs in metric
+            // names do not occur; reject them rather than mis-decode).
+            if (code >= 0xD800 && code <= 0xDFFF) {
+              fail("surrogate pairs are not supported");
+            }
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("unknown escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc{} || ptr != text_.data() + pos_ || pos_ == start) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::kBool) kind_error("bool", kind_);
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::kString) kind_error("string", kind_);
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  return object_;
+}
+
+bool Json::contains(std::string_view key) const {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  return object_.find(std::string(key)) != object_.end();
+}
+
+const Json& Json::at(std::string_view key) const {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  const auto it = object_.find(std::string(key));
+  if (it == object_.end()) {
+    throw JsonError("json: missing key '" + std::string(key) + "'");
+  }
+  return it->second;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  return object_[key];
+}
+
+void Json::push_back(Json value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  array_.push_back(std::move(value));
+}
+
+void Json::write_impl(std::ostream& os, int indent, int depth) const {
+  const auto newline_pad = [&](int d) {
+    if (indent < 0) return;
+    os << '\n';
+    for (int i = 0; i < indent * d; ++i) os << ' ';
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      os << "null";
+      break;
+    case Kind::kBool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case Kind::kNumber:
+      write_number(os, number_);
+      break;
+    case Kind::kString:
+      write_escaped(os, string_);
+      break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[';
+      bool first = true;
+      for (const Json& v : array_) {
+        if (!first) os << ',';
+        first = false;
+        newline_pad(depth + 1);
+        v.write_impl(os, indent, depth + 1);
+      }
+      newline_pad(depth);
+      os << ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{';
+      bool first = true;
+      for (const auto& [key, v] : object_) {
+        if (!first) os << ',';
+        first = false;
+        newline_pad(depth + 1);
+        write_escaped(os, key);
+        os << ':';
+        if (indent >= 0) os << ' ';
+        v.write_impl(os, indent, depth + 1);
+      }
+      newline_pad(depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+void Json::write(std::ostream& os, int indent) const {
+  write_impl(os, indent, 0);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream os;
+  write(os, indent);
+  return os.str();
+}
+
+Json Json::parse(std::string_view text) {
+  Parser parser(text);
+  return parser.parse_document();
+}
+
+}  // namespace scwc::obs

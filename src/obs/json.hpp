@@ -1,0 +1,105 @@
+// Minimal JSON document model, writer and parser.
+//
+// RunReports and the metrics exporter need structured, machine-readable
+// output, and the bench-smoke test needs to validate what was emitted —
+// without external dependencies. This module provides both sides: a small
+// value type with a strict RFC 8259 parser (used by the validator and the
+// golden-output tests) and a writer whose number formatting round-trips
+// doubles via shortest-form std::to_chars.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scwc::obs {
+
+/// Thrown by Json::parse on malformed input (with byte-offset context).
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One JSON value: null, bool, number (double), string, array or object.
+/// Object keys stay sorted (std::map) so output is deterministic.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() noexcept : kind_(Kind::kNull) {}
+  Json(std::nullptr_t) noexcept : kind_(Kind::kNull) {}  // NOLINT(runtime/explicit)
+  Json(bool b) noexcept : kind_(Kind::kBool), bool_(b) {}  // NOLINT
+  Json(double d) noexcept : kind_(Kind::kNumber), number_(d) {}  // NOLINT
+  Json(int i) noexcept : Json(static_cast<double>(i)) {}  // NOLINT
+  Json(std::uint64_t u) noexcept  // NOLINT(runtime/explicit)
+      : Json(static_cast<double>(u)) {}
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}  // NOLINT
+  Json(std::string s) noexcept  // NOLINT(runtime/explicit)
+      : kind_(Kind::kString), string_(std::move(s)) {}
+  Json(Array a) noexcept  // NOLINT(runtime/explicit)
+      : kind_(Kind::kArray), array_(std::move(a)) {}
+  Json(Object o) noexcept  // NOLINT(runtime/explicit)
+      : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return kind_ == Kind::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  /// Typed accessors; throw JsonError on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object convenience: member presence / lookup (throws when not an
+  /// object or the key is absent).
+  [[nodiscard]] bool contains(std::string_view key) const;
+  [[nodiscard]] const Json& at(std::string_view key) const;
+
+  /// Mutable object/array builders.
+  Json& operator[](const std::string& key);  ///< becomes an object if null
+  void push_back(Json value);                ///< becomes an array if null
+
+  /// Serialises the value. indent < 0 → compact single line; indent ≥ 0 →
+  /// pretty-printed with that many spaces per level. Non-finite numbers
+  /// are emitted as null (JSON has no Inf/NaN).
+  void write(std::ostream& os, int indent = -1) const;
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Strict parser; throws JsonError with byte-offset context. The whole
+  /// input must be one JSON value (trailing garbage is an error).
+  static Json parse(std::string_view text);
+
+ private:
+  void write_impl(std::ostream& os, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace scwc::obs

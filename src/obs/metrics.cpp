@@ -1,0 +1,195 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace scwc::obs {
+
+namespace {
+
+bool read_enabled_from_env() {
+  const char* v = std::getenv("SCWC_OBS");
+  if (v == nullptr) return true;
+  const std::string_view s(v);
+  return !(s == "off" || s == "0" || s == "false");
+}
+
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{read_enabled_from_env()};
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: need at least one bucket bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "Histogram: bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= target && counts[i] > 0) {
+      if (i >= bounds_.size()) return bounds_.back();  // overflow: clamp
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double within =
+          (target - cumulative) / static_cast<double>(counts[i]);
+      return lo + std::clamp(within, 0.0, 1.0) * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return bounds_.back();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::uint64_t counter_value(const MetricsSnapshot& snapshot,
+                            std::string_view name) noexcept {
+  for (const auto& [n, v] : snapshot.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double gauge_value(const MetricsSnapshot& snapshot,
+                   std::string_view name) noexcept {
+  for (const auto& [n, v] : snapshot.gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+CounterHandle MetricsRegistry::counter(std::string_view name) {
+  if (!enabled()) return CounterHandle{};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return CounterHandle{it->second.get()};
+}
+
+GaugeHandle MetricsRegistry::gauge(std::string_view name) {
+  if (!enabled()) return GaugeHandle{};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return GaugeHandle{it->second.get()};
+}
+
+HistogramHandle MetricsRegistry::histogram(std::string_view name,
+                                           std::vector<double> upper_bounds) {
+  if (!enabled()) return HistogramHandle{};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  }
+  return HistogramHandle{it->second.get()};
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.counters.emplace_back(name, c->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.emplace_back(name, g->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.bounds = h->bounds();
+    hs.buckets = h->bucket_counts();
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.p50 = h->quantile(0.50);
+    hs.p90 = h->quantile(0.90);
+    hs.p99 = h->quantile(0.99);
+    out.histograms.push_back(std::move(hs));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::vector<double> MetricsRegistry::default_seconds_buckets() {
+  std::vector<double> b;
+  for (double v = 1e-6; v < 200.0; v *= 4.0) b.push_back(v);
+  return b;  // 1 µs, 4 µs, …, ~107 s
+}
+
+std::vector<double> MetricsRegistry::default_bytes_buckets() {
+  std::vector<double> b;
+  for (double v = 64.0; v <= 1024.0 * 1024.0 * 1024.0; v *= 8.0) {
+    b.push_back(v);
+  }
+  return b;  // 64 B, 512 B, …, 1 GiB
+}
+
+}  // namespace scwc::obs

@@ -1,0 +1,213 @@
+// Runtime metrics for the whole SCWC stack.
+//
+// A MetricsRegistry hands out named counters, gauges and fixed-bucket
+// histograms following the `scwc_<layer>_<name>` naming convention
+// (DESIGN.md §7). The design targets hot loops:
+//  * increments/observations are lock-free relaxed atomics — the registry
+//    mutex is only taken when a handle is first acquired or a snapshot is
+//    read;
+//  * when observability is disabled (SCWC_OBS=off) handles wrap a null
+//    pointer, every operation is a predictable test-and-skip, and nothing
+//    is registered — a snapshot taken later is empty;
+//  * handles stay valid for the registry's lifetime (metrics are
+//    node-allocated and never move).
+//
+// This library is deliberately standalone (std + threads only) so that
+// scwc_common itself — ThreadPool, logging — can be instrumented without a
+// dependency cycle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scwc::obs {
+
+/// Global observability switch. Initialised once from the SCWC_OBS
+/// environment variable ("off", "0" or "false" disable; default on).
+[[nodiscard]] bool enabled() noexcept;
+
+/// Overrides the switch (tests and benches use this). Handles acquired
+/// while disabled stay inert; re-acquire after enabling.
+void set_enabled(bool on) noexcept;
+
+/// Lock-free add for pre-C++20-fetch_add platforms.
+inline void atomic_add(std::atomic<double>& a, double d) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+/// Monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-writer-wins instantaneous value (loss, LR, queue depth, …).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept { atomic_add(value_, d); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram over non-negative measurements (seconds, bytes).
+/// Buckets are cumulative-upper-bound style (Prometheus `le`), with an
+/// implicit +Inf overflow bucket.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Per-bucket counts (bounds().size() + 1 entries, last = overflow).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Quantile estimate by linear interpolation inside the owning bucket
+  /// (first bucket interpolates from 0; the overflow bucket clamps to the
+  /// largest finite bound). Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Null-safe wrappers handed out by the registry. Default-constructed (or
+/// disabled-mode) handles are inert.
+class CounterHandle {
+ public:
+  CounterHandle() = default;
+  explicit CounterHandle(Counter* c) noexcept : c_(c) {}
+  void inc(std::uint64_t n = 1) const noexcept {
+    if (c_ != nullptr) c_->inc(n);
+  }
+
+ private:
+  Counter* c_ = nullptr;
+};
+
+class GaugeHandle {
+ public:
+  GaugeHandle() = default;
+  explicit GaugeHandle(Gauge* g) noexcept : g_(g) {}
+  void set(double v) const noexcept {
+    if (g_ != nullptr) g_->set(v);
+  }
+  void add(double d) const noexcept {
+    if (g_ != nullptr) g_->add(d);
+  }
+
+ private:
+  Gauge* g_ = nullptr;
+};
+
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+  explicit HistogramHandle(Histogram* h) noexcept : h_(h) {}
+  void observe(double v) const noexcept {
+    if (h_ != nullptr) h_->observe(v);
+  }
+
+ private:
+  Histogram* h_ = nullptr;
+};
+
+/// Point-in-time copy of one histogram, with precomputed percentiles.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1, last = +Inf
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Value of a named counter in a snapshot; 0 when absent.
+[[nodiscard]] std::uint64_t counter_value(const MetricsSnapshot& snapshot,
+                                          std::string_view name) noexcept;
+/// Value of a named gauge in a snapshot; 0 when absent.
+[[nodiscard]] double gauge_value(const MetricsSnapshot& snapshot,
+                                 std::string_view name) noexcept;
+
+/// Thread-safe name → metric directory. Instantiable for tests; production
+/// code uses global().
+class MetricsRegistry {
+ public:
+  /// Returns the named counter, creating it on first use. Inert handle
+  /// when observability is disabled.
+  CounterHandle counter(std::string_view name);
+  GaugeHandle gauge(std::string_view name);
+  /// `upper_bounds` applies on first registration only; later callers get
+  /// the existing histogram regardless of the bounds they pass.
+  HistogramHandle histogram(std::string_view name,
+                            std::vector<double> upper_bounds =
+                                default_seconds_buckets());
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered metric (registrations — and therefore live
+  /// handles — stay valid).
+  void reset();
+
+  /// Process-wide registry used by all instrumented code.
+  static MetricsRegistry& global();
+
+  /// 1 µs … ~100 s exponential grid for wall-time histograms.
+  static std::vector<double> default_seconds_buckets();
+  /// 64 B … 1 GiB exponential grid for size histograms.
+  static std::vector<double> default_bytes_buckets();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace scwc::obs

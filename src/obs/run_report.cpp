@@ -1,0 +1,178 @@
+#include "obs/run_report.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+
+#include "obs/export.hpp"
+
+#ifndef SCWC_GIT_DESCRIBE
+#define SCWC_GIT_DESCRIBE "unknown"
+#endif
+
+namespace scwc::obs {
+
+namespace {
+
+constexpr std::string_view kSchema = "scwc.run_report/v1";
+
+std::string iso8601_utc_now() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t t = std::chrono::system_clock::to_time_t(now);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+std::string check_span_node(const Json& node) {
+  if (!node.is_object()) return "span node is not an object";
+  for (const char* key : {"name", "calls", "total_s", "self_s", "children"}) {
+    if (!node.contains(key)) {
+      return std::string("span node missing '") + key + "'";
+    }
+  }
+  if (!node.at("name").is_string()) return "span 'name' is not a string";
+  if (!node.at("calls").is_number()) return "span 'calls' is not a number";
+  if (!node.at("total_s").is_number()) return "span 'total_s' is not a number";
+  if (!node.at("self_s").is_number()) return "span 'self_s' is not a number";
+  if (!node.at("children").is_array()) return "span 'children' is not an array";
+  for (const Json& child : node.at("children").as_array()) {
+    const std::string err = check_span_node(child);
+    if (!err.empty()) return err;
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string build_git_describe() { return SCWC_GIT_DESCRIBE; }
+
+std::string build_compiler() {
+#if defined(__clang__)
+  return std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+Json run_report_json(const RunReport& report, const MetricsSnapshot& metrics,
+                     const SpanStats& spans) {
+  Json::Object build;
+  build.emplace("git_describe", Json(build_git_describe()));
+  build.emplace("compiler", Json(build_compiler()));
+
+  Json::Object config;
+  for (const auto& [key, value] : report.config) {
+    config.emplace(key, Json(value));
+  }
+
+  Json::Object doc;
+  doc.emplace("schema", Json(std::string(kSchema)));
+  doc.emplace("run_id", Json(report.run_id));
+  doc.emplace("title", Json(report.title));
+  doc.emplace("profile", Json(report.profile));
+  doc.emplace("written_at", Json(iso8601_utc_now()));
+  doc.emplace("build", Json(std::move(build)));
+  doc.emplace("config", Json(std::move(config)));
+  doc.emplace("wall_seconds", Json(report.wall_seconds));
+  doc.emplace("metrics", metrics_to_json(metrics));
+  doc.emplace("spans", span_tree_to_json(spans));
+  return Json(std::move(doc));
+}
+
+std::string validate_run_report_json(const Json& doc) {
+  if (!doc.is_object()) return "document is not a JSON object";
+  for (const char* key :
+       {"schema", "run_id", "title", "profile", "written_at", "build",
+        "config", "wall_seconds", "metrics", "spans"}) {
+    if (!doc.contains(key)) {
+      return std::string("missing top-level key '") + key + "'";
+    }
+  }
+  if (!doc.at("schema").is_string() ||
+      doc.at("schema").as_string() != kSchema) {
+    return "bad 'schema' (expected " + std::string(kSchema) + ")";
+  }
+  for (const char* key : {"run_id", "title", "profile", "written_at"}) {
+    if (!doc.at(key).is_string()) {
+      return std::string("'") + key + "' is not a string";
+    }
+  }
+  if (doc.at("run_id").as_string().empty()) return "'run_id' is empty";
+  if (!doc.at("wall_seconds").is_number() ||
+      doc.at("wall_seconds").as_number() < 0.0) {
+    return "'wall_seconds' is not a non-negative number";
+  }
+  const Json& build = doc.at("build");
+  if (!build.is_object() || !build.contains("git_describe") ||
+      !build.at("git_describe").is_string() || !build.contains("compiler")) {
+    return "'build' must be an object with git_describe and compiler";
+  }
+  if (!doc.at("config").is_object()) return "'config' is not an object";
+  const Json& metrics = doc.at("metrics");
+  if (!metrics.is_object()) return "'metrics' is not an object";
+  for (const char* key : {"counters", "gauges", "histograms"}) {
+    if (!metrics.contains(key) || !metrics.at(key).is_object()) {
+      return std::string("metrics.") + key + " is not an object";
+    }
+  }
+  for (const auto& [name, value] : metrics.at("counters").as_object()) {
+    if (!value.is_number()) return "counter '" + name + "' is not a number";
+  }
+  for (const auto& [name, value] : metrics.at("gauges").as_object()) {
+    if (!value.is_number() && !value.is_null()) {
+      return "gauge '" + name + "' is not a number";
+    }
+  }
+  for (const auto& [name, value] : metrics.at("histograms").as_object()) {
+    if (!value.is_object() || !value.contains("count") ||
+        !value.contains("sum") || !value.contains("p50") ||
+        !value.contains("p90") || !value.contains("p99") ||
+        !value.contains("buckets") || !value.at("buckets").is_array()) {
+      return "histogram '" + name + "' is malformed";
+    }
+  }
+  if (!doc.at("spans").is_array()) return "'spans' is not an array";
+  for (const Json& span : doc.at("spans").as_array()) {
+    const std::string err = check_span_node(span);
+    if (!err.empty()) return err;
+  }
+  return {};
+}
+
+std::filesystem::path write_run_report(const RunReport& report) {
+  if (!enabled()) return {};
+  const MetricsSnapshot metrics = MetricsRegistry::global().snapshot();
+  const SpanStats spans = span_tree_snapshot();
+  const Json doc = run_report_json(report, metrics, spans);
+
+  const char* out_dir = std::getenv("SCWC_OBS_OUT");
+  std::filesystem::path dir(out_dir != nullptr && *out_dir != '\0' ? out_dir
+                                                                   : ".");
+  const std::filesystem::path path =
+      dir / ("scwc_run_" + report.run_id + ".json");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best-effort
+  std::ofstream os(path, std::ios::trunc);
+  if (!os.is_open()) {
+    std::cerr << "[scwc:obs] cannot write RunReport to " << path.string()
+              << " — set SCWC_OBS_OUT to a writable directory\n";
+    return {};
+  }
+  doc.write(os, /*indent=*/2);
+  os << '\n';
+  if (!os) {
+    std::cerr << "[scwc:obs] short write on RunReport " << path.string()
+              << '\n';
+    return {};
+  }
+  return path;
+}
+
+}  // namespace scwc::obs

@@ -1,0 +1,54 @@
+// Per-run report artifacts.
+//
+// Every RunReport-emitting bench writes one JSON file per run — the run's
+// configuration, the full metrics snapshot, the hierarchical span tree and
+// build provenance — next to its stdout result tables, so a result is
+// never separated from the telemetry that produced it (schema:
+// "scwc.run_report/v1", DESIGN.md §7).
+//
+// Environment:
+//   SCWC_OBS=off      disables observability entirely — no report written
+//   SCWC_OBS_OUT=DIR  directory for report files (default: current dir)
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace scwc::obs {
+
+/// Identity + configuration of one bench/example run. Metrics and spans
+/// are captured from the global registry/tree at write time.
+struct RunReport {
+  std::string run_id;  ///< file-name-safe id, e.g. "xgboost_random1"
+  std::string title;   ///< one-line human description
+  std::string profile; ///< active scale profile name ("tiny"/"small"/"full")
+  std::map<std::string, std::string> config;  ///< free-form run parameters
+  double wall_seconds = 0.0;  ///< end-to-end wall time measured by the run
+};
+
+/// Compiler/VCS provenance baked in at configure time (git describe).
+[[nodiscard]] std::string build_git_describe();
+[[nodiscard]] std::string build_compiler();
+
+/// Assembles the full report document from explicit parts (pure; tests use
+/// this directly).
+[[nodiscard]] Json run_report_json(const RunReport& report,
+                                   const MetricsSnapshot& metrics,
+                                   const SpanStats& spans);
+
+/// Validates a parsed report against the v1 schema. Returns an empty
+/// string when valid, else a description of the first violation.
+[[nodiscard]] std::string validate_run_report_json(const Json& doc);
+
+/// Captures the global metrics snapshot + span tree and writes the report
+/// to `<SCWC_OBS_OUT or .>/scwc_run_<run_id>.json`. Returns the path
+/// written; empty when observability is disabled or the write failed (the
+/// failure is reported on stderr — a missing report must not fail a run).
+std::filesystem::path write_run_report(const RunReport& report);
+
+}  // namespace scwc::obs

@@ -1,0 +1,107 @@
+#include "obs/trace.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+namespace scwc::obs {
+
+namespace {
+
+/// One node of the global aggregation tree. Structure and statistics are
+/// both guarded by tree_mutex(); nodes are node-allocated and never move,
+/// so open spans can hold raw pointers across the unlocked timed region.
+struct SpanNode {
+  std::string name;
+  SpanNode* parent = nullptr;
+  std::uint64_t calls = 0;
+  double total_s = 0.0;
+  std::map<std::string, std::unique_ptr<SpanNode>, std::less<>> children;
+};
+
+std::mutex& tree_mutex() noexcept {
+  static std::mutex m;
+  return m;
+}
+
+SpanNode& tree_root() noexcept {
+  static SpanNode root;
+  return root;
+}
+
+/// The innermost open span of this thread (nullptr → at the root).
+thread_local SpanNode* t_current = nullptr;
+
+void copy_subtree(const SpanNode& node, SpanStats& out) {
+  out.name = node.name;
+  out.calls = node.calls;
+  out.total_s = node.total_s;
+  double child_total = 0.0;
+  out.children.reserve(node.children.size());
+  for (const auto& [name, child] : node.children) {
+    SpanStats stats;
+    copy_subtree(*child, stats);
+    child_total += stats.total_s;
+    out.children.push_back(std::move(stats));
+  }
+  out.self_s = out.total_s > child_total ? out.total_s - child_total : 0.0;
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(std::string_view name) {
+  if (!enabled()) return;
+  {
+    const std::lock_guard<std::mutex> lock(tree_mutex());
+    SpanNode* parent = t_current != nullptr ? t_current : &tree_root();
+    auto it = parent->children.find(name);
+    if (it == parent->children.end()) {
+      auto node = std::make_unique<SpanNode>();
+      node->name = std::string(name);
+      node->parent = parent;
+      it = parent->children.emplace(std::string(name), std::move(node)).first;
+    }
+    node_ = it->second.get();
+  }
+  parent_ = t_current;
+  t_current = static_cast<SpanNode*>(node_);
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (node_ == nullptr) return;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  t_current = static_cast<SpanNode*>(parent_);
+  const std::lock_guard<std::mutex> lock(tree_mutex());
+  auto* node = static_cast<SpanNode*>(node_);
+  node->calls += 1;
+  node->total_s += elapsed;
+}
+
+SpanStats span_tree_snapshot() {
+  const std::lock_guard<std::mutex> lock(tree_mutex());
+  SpanStats out;
+  copy_subtree(tree_root(), out);
+  out.self_s = 0.0;  // the synthetic root carries no time of its own
+  return out;
+}
+
+double total_traced_seconds(const SpanStats& root) noexcept {
+  double total = 0.0;
+  for (const SpanStats& child : root.children) total += child.total_s;
+  return total;
+}
+
+void reset_span_tree() {
+  const std::lock_guard<std::mutex> lock(tree_mutex());
+  // Open spans keep raw pointers into the tree, so resetting while spans
+  // are live would dangle them. The harness resets between phases, with no
+  // spans open; clearing children of a quiescent tree is then safe.
+  tree_root().children.clear();
+}
+
+}  // namespace scwc::obs

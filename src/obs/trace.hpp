@@ -1,0 +1,69 @@
+// Hierarchical wall-time tracing.
+//
+// A TraceSpan is an RAII scope timer that nests into a per-thread span
+// stack: spans opened while another span is live on the same thread become
+// its children. Completed spans aggregate by (path, name) into one global
+// timing tree — name → calls, total and self wall time — which replaces
+// the scatter of raw Stopwatch reads in the experiment harness.
+//
+// Cost model: one steady_clock read plus one short mutex hold at
+// construction and destruction. Spans belong around phases (an epoch, a
+// boosting round, a pipeline stage), not around per-row work — counters
+// cover those. When observability is disabled (SCWC_OBS=off) a span is a
+// no-op and nothing is recorded.
+//
+// Threading: nesting is tracked per thread. A span opened on a ThreadPool
+// worker while the main thread is inside a span does NOT nest under it —
+// it aggregates at the top level of the tree (concurrent children cannot
+// be attributed to one parent without cross-thread context propagation).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scwc::obs {
+
+/// Aggregated statistics of one span node in the timing tree.
+struct SpanStats {
+  std::string name;
+  std::uint64_t calls = 0;
+  double total_s = 0.0;  ///< wall time including children
+  double self_s = 0.0;   ///< total_s − Σ children.total_s (≥ 0)
+  std::vector<SpanStats> children;
+};
+
+/// RAII scope timer. Construct with the span name; destruction records the
+/// elapsed wall time into the global tree.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  TraceSpan(TraceSpan&&) = delete;
+  TraceSpan& operator=(TraceSpan&&) = delete;
+
+ private:
+  void* node_ = nullptr;    ///< SpanNode*; nullptr when tracing is disabled
+  void* parent_ = nullptr;  ///< this thread's node before the span opened
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Copies the aggregated tree. The returned root is synthetic (empty name,
+/// zero time); real spans are its children. total_s of in-flight spans is
+/// not included — snapshot after the spans of interest have closed.
+[[nodiscard]] SpanStats span_tree_snapshot();
+
+/// Σ total_s over the snapshot's top-level spans — the wall time the trace
+/// accounts for (may exceed real wall time when top-level spans ran on
+/// concurrent threads).
+[[nodiscard]] double total_traced_seconds(const SpanStats& root) noexcept;
+
+/// Drops the whole tree (tests and benches that run several phases).
+void reset_span_tree();
+
+}  // namespace scwc::obs

@@ -1,6 +1,8 @@
 #include "preprocess/pipeline.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace scwc::preprocess {
 
@@ -17,14 +19,20 @@ std::string reduction_name(Reduction reduction) {
 }
 
 void FeaturePipeline::fit(const data::Tensor3& x_train) {
+  const obs::TraceSpan fit_span("pipeline.fit");
+  obs::MetricsRegistry::global()
+      .counter("scwc_preprocess_fits_total")
+      .inc();
   steps_ = x_train.steps();
   sensors_ = x_train.sensors();
   const linalg::Matrix flat = x_train.flatten();
   const linalg::Matrix scaled = [&] {
+    const obs::TraceSpan scale_span("pipeline.scale");
     scaler_.fit(flat);
     return scaler_.transform(flat);
   }();
   if (config_.reduction == Reduction::kPca) {
+    const obs::TraceSpan pca_span("pipeline.pca_fit");
     pca_.emplace(config_.pca_components);
     pca_->fit(scaled);
   }
@@ -34,12 +42,23 @@ linalg::Matrix FeaturePipeline::transform(const data::Tensor3& x) const {
   SCWC_REQUIRE(scaler_.fitted(), "FeaturePipeline used before fit()");
   SCWC_REQUIRE(x.steps() == steps_ && x.sensors() == sensors_,
                "tensor shape differs from the fitted shape");
-  const linalg::Matrix scaled = scaler_.transform(x.flatten());
+  const obs::TraceSpan transform_span("pipeline.transform");
+  obs::MetricsRegistry::global()
+      .counter("scwc_preprocess_transforms_total")
+      .inc();
+  const linalg::Matrix scaled = [&] {
+    const obs::TraceSpan scale_span("pipeline.scale");
+    return scaler_.transform(x.flatten());
+  }();
   switch (config_.reduction) {
-    case Reduction::kPca:
+    case Reduction::kPca: {
+      const obs::TraceSpan reduce_span("pipeline.pca_project");
       return pca_->transform(scaled);
-    case Reduction::kCovariance:
+    }
+    case Reduction::kCovariance: {
+      const obs::TraceSpan reduce_span("pipeline.covariance");
       return covariance_features_flat(scaled, steps_, sensors_);
+    }
     case Reduction::kNone:
       return scaled;
   }

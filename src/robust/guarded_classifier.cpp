@@ -4,7 +4,50 @@
 #include <cmath>
 #include <map>
 
+#include "obs/metrics.hpp"
+
 namespace scwc::robust {
+
+namespace {
+
+struct GuardCounters {
+  obs::CounterHandle classified;
+  obs::CounterHandle answered;
+  obs::CounterHandle abstain_shape;
+  obs::CounterHandle abstain_quality;
+  obs::CounterHandle abstain_error;
+};
+
+GuardCounters& guard_counters() {
+  static GuardCounters c = [] {
+    auto& reg = obs::MetricsRegistry::global();
+    GuardCounters out;
+    out.classified = reg.counter("scwc_robust_guard_classified_total");
+    out.answered = reg.counter("scwc_robust_guard_answered_total");
+    out.abstain_shape = reg.counter("scwc_robust_guard_abstain_shape_total");
+    out.abstain_quality =
+        reg.counter("scwc_robust_guard_abstain_quality_total");
+    out.abstain_error = reg.counter("scwc_robust_guard_abstain_error_total");
+    return out;
+  }();
+  return c;
+}
+
+}  // namespace
+
+const char* abstain_reason_name(AbstainReason reason) noexcept {
+  switch (reason) {
+    case AbstainReason::kNone:
+      return "none";
+    case AbstainReason::kShape:
+      return "shape";
+    case AbstainReason::kQuality:
+      return "quality";
+    case AbstainReason::kModelError:
+      return "error";
+  }
+  return "?";
+}
 
 int majority_label(std::span<const int> labels) {
   if (labels.empty()) return GuardedConfig::kNoLabel;
@@ -21,11 +64,25 @@ int majority_label(std::span<const int> labels) {
   return best;
 }
 
-GuardedPrediction GuardedClassifier::abstain(QualityReport report) const {
+GuardedPrediction GuardedClassifier::abstain(AbstainReason reason,
+                                             QualityReport report) const {
   GuardedPrediction out;
   out.label = config_.fallback_label;
   out.abstained = true;
+  out.reason = reason;
   out.report = report;
+  GuardCounters& c = guard_counters();
+  switch (reason) {
+    case AbstainReason::kShape:
+      c.abstain_shape.inc();
+      break;
+    case AbstainReason::kQuality:
+      c.abstain_quality.inc();
+      break;
+    default:
+      c.abstain_error.inc();
+      break;
+  }
   return out;
 }
 
@@ -35,12 +92,13 @@ GuardedPrediction GuardedClassifier::classify(std::span<const double> window,
   QualityReport report;
   report.steps = steps;
   report.sensors = sensors;
+  guard_counters().classified.inc();
 
   // 1. Shape gate: the model was fitted for exactly one window geometry.
   if (steps != config_.window_steps || sensors != config_.sensors ||
       steps == 0 || sensors == 0 || window.size() != steps * sensors) {
     report.shape_ok = false;
-    return abstain(report);
+    return abstain(AbstainReason::kShape, report);
   }
 
   try {
@@ -65,24 +123,29 @@ GuardedPrediction GuardedClassifier::classify(std::span<const double> window,
     impute_window(repaired, steps, sensors, config_.imputation, report);
 
     // 3. Quality gate: don't consult the model on garbage.
-    if (!report.usable(config_.min_quality)) return abstain(report);
+    if (!report.usable(config_.min_quality)) {
+      return abstain(AbstainReason::kQuality, report);
+    }
 
     // 4. Featurise + predict on the repaired window.
     data::Tensor3 one(1, steps, sensors);
     std::copy(repaired.begin(), repaired.end(), one.trial(0).begin());
     const linalg::Matrix features = pipeline_.transform(one);
     const std::vector<int> predicted = model_.predict(features);
-    if (predicted.size() != 1) return abstain(report);
+    if (predicted.size() != 1) {
+      return abstain(AbstainReason::kModelError, report);
+    }
 
     GuardedPrediction out;
     out.label = predicted.front();
     out.abstained = false;
     out.report = report;
+    guard_counters().answered.inc();
     return out;
   } catch (...) {
     // Anything the pipeline or model rejects becomes an abstention — the
     // guarded path never propagates exceptions to the serving loop.
-    return abstain(report);
+    return abstain(AbstainReason::kModelError, report);
   }
 }
 

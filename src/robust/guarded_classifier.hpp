@@ -34,11 +34,26 @@ struct GuardedConfig {
   static constexpr int kNoLabel = -1;
 };
 
+/// Why a guarded prediction abstained. Each reason maps to a
+/// scwc_robust_guard_abstain_<reason>_total counter so serving dashboards
+/// see the breakdown without re-deriving it from QualityReports.
+enum class AbstainReason {
+  kNone = 0,    ///< did not abstain
+  kShape,       ///< geometry mismatch or empty window
+  kQuality,     ///< post-imputation quality below min_quality
+  kModelError,  ///< pipeline/model threw or returned a malformed result
+};
+
+/// Short stable name for an abstain reason ("shape", "quality", "error";
+/// "none" when the model answered).
+[[nodiscard]] const char* abstain_reason_name(AbstainReason reason) noexcept;
+
 /// One guarded prediction: the label, whether the model was consulted, and
 /// the quality evidence behind the decision.
 struct GuardedPrediction {
   int label = GuardedConfig::kNoLabel;
   bool abstained = false;  ///< true → label is the fallback, not the model
+  AbstainReason reason = AbstainReason::kNone;
   QualityReport report;
 };
 
@@ -70,7 +85,7 @@ class GuardedClassifier {
   [[nodiscard]] GuardedPrediction classify(const linalg::Matrix& window) const;
 
  private:
-  GuardedPrediction abstain(QualityReport report) const;
+  GuardedPrediction abstain(AbstainReason reason, QualityReport report) const;
 
   const preprocess::FeaturePipeline& pipeline_;
   const ml::Classifier& model_;

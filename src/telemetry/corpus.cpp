@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "telemetry/architectures.hpp"
+#include "obs/trace.hpp"
 
 namespace scwc::telemetry {
 
@@ -30,6 +31,7 @@ std::vector<JobSpec> Corpus::jobs_running_at_least(double min_duration_s) const 
 }
 
 Corpus generate_corpus(const CorpusConfig& config) {
+  const obs::TraceSpan span("telemetry.generate_corpus");
   SCWC_REQUIRE(config.jobs_per_class_scale > 0.0,
                "jobs_per_class_scale must be positive");
   SCWC_REQUIRE(config.min_jobs_per_class >= 2,

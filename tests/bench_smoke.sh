@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# bench-smoke — proves the RunReport plumbing end to end, cheaply.
+#
+# Runs the xgboost_random1 bench with SCWC_SMOKE=1 (one grid cell, six
+# boosting rounds — same code path as the real bench, seconds of wall
+# time) into a scratch directory, then validates the emitted artifact:
+# it must parse, conform to the scwc.run_report/v1 schema, and its span
+# tree must account for ≥90% of the reported wall time.
+#
+# Usage: bench_smoke.sh BENCH_BINARY VALIDATOR_BINARY SCRATCH_DIR
+set -eu
+
+bench_bin=$1
+validator=$2
+out_dir=$3
+
+rm -rf "$out_dir"
+mkdir -p "$out_dir"
+
+SCWC_OBS=on SCWC_OBS_OUT="$out_dir" SCWC_SMOKE=1 SCWC_SCALE=tiny "$bench_bin"
+
+"$validator" "$out_dir/scwc_run_xgboost_random1.json" --min-span-coverage 0.9

@@ -1,0 +1,83 @@
+// RunReport validator — the teeth of the bench-smoke CTest.
+//
+// Parses a scwc_run_*.json artifact, checks it against the
+// "scwc.run_report/v1" schema, and (optionally) checks that the span tree
+// accounts for at least a given fraction of the reported wall time:
+//
+//   obs_report_validate REPORT.json [--min-span-coverage 0.9]
+//
+// Exit 0 when the report is valid, 1 with a diagnostic on stderr otherwise.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/run_report.hpp"
+
+namespace {
+
+int fail(const std::string& message) {
+  std::cerr << "obs_report_validate: " << message << '\n';
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using scwc::obs::Json;
+
+  std::string path;
+  double min_coverage = -1.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--min-span-coverage") {
+      if (i + 1 >= argc) return fail("--min-span-coverage needs a value");
+      min_coverage = std::atof(argv[++i]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return fail("unexpected argument '" + arg + "'");
+    }
+  }
+  if (path.empty()) {
+    return fail("usage: obs_report_validate REPORT.json "
+                "[--min-span-coverage FRACTION]");
+  }
+
+  std::ifstream in(path);
+  if (!in) return fail("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  Json doc;
+  try {
+    doc = Json::parse(buffer.str());
+  } catch (const scwc::obs::JsonError& e) {
+    return fail(path + ": " + e.what());
+  }
+
+  const std::string violation = scwc::obs::validate_run_report_json(doc);
+  if (!violation.empty()) return fail(path + ": " + violation);
+
+  if (min_coverage >= 0.0) {
+    const double wall = doc.at("wall_seconds").as_number();
+    double traced = 0.0;
+    for (const Json& span : doc.at("spans").as_array()) {
+      traced += span.at("total_s").as_number();
+    }
+    const double coverage = wall > 0.0 ? traced / wall : 0.0;
+    if (coverage < min_coverage) {
+      std::ostringstream msg;
+      msg << path << ": span tree covers " << 100.0 * coverage
+          << "% of wall time (" << traced << "s of " << wall
+          << "s), below the required " << 100.0 * min_coverage << "%";
+      return fail(msg.str());
+    }
+    std::cout << "span coverage: " << 100.0 * coverage << "% of " << wall
+              << "s wall\n";
+  }
+  std::cout << path << ": valid scwc.run_report/v1\n";
+  return 0;
+}

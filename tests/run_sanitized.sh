@@ -3,11 +3,15 @@
 #
 # The robustness subsystem deliberately feeds the pipeline NaN windows,
 # truncated series and malformed shapes; this script is the cheap way to
-# prove none of those paths reads out of bounds or trips UB. Usage:
+# prove none of those paths reads out of bounds or trips UB. The obs tests
+# (ObsMetrics/ObsTrace/ObsExport) also run here — the metrics fast path is
+# relaxed atomics and the span tree is a mutex-guarded shared structure, so
+# the sanitizers double as a data-race smoke check. Usage:
 #
 #   tests/run_sanitized.sh            # full suite
 #   tests/run_sanitized.sh Robust     # only tests matching the (case-
 #                                     # sensitive) regex, e.g. Robust*
+#   tests/run_sanitized.sh Obs        # just the observability tests
 #
 # Uses the "asan" preset from CMakePresets.json (build dir: build-asan).
 set -eu

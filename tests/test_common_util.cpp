@@ -193,5 +193,19 @@ TEST(Stopwatch, MeasuresElapsedTime) {
   EXPECT_LT(sw.seconds(), 1.0);
 }
 
+TEST(Stopwatch, LapReadsAndRestarts) {
+  Stopwatch sw;
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x += static_cast<double>(i);
+  const double first = sw.lap();
+  EXPECT_GT(first, 0.0);
+  // lap() restarted the clock: an immediate read is near zero and the next
+  // lap measures only its own interval, not the cumulative time.
+  EXPECT_LT(sw.seconds(), first + 1.0);
+  const double second = sw.lap();
+  EXPECT_GE(second, 0.0);
+  EXPECT_LT(second, 10.0);
+}
+
 }  // namespace
 }  // namespace scwc

@@ -1,0 +1,172 @@
+// Unit tests for the scwc::obs metrics registry: histogram bucket
+// assignment and percentile interpolation, exact counter sums under N
+// threads, disabled-mode no-ops and snapshot lookup helpers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace scwc::obs {
+namespace {
+
+/// Saves and restores the global SCWC_OBS switch around each test so the
+/// suite is order-independent.
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = enabled();
+    set_enabled(true);
+  }
+  void TearDown() override { set_enabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = true;
+};
+
+TEST_F(ObsMetricsTest, HistogramBucketAssignmentIsUpperBoundInclusive) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);    // first bucket
+  h.observe(1.0);    // on the bound: still the first bucket (le semantics)
+  h.observe(1.5);    // second bucket
+  h.observe(4.0);    // third bucket
+  h.observe(100.0);  // overflow
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 107.0);
+}
+
+TEST_F(ObsMetricsTest, HistogramQuantileInterpolatesWithinBucket) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 5; ++i) h.observe(0.5);  // 5 in (0, 1]
+  for (int i = 0; i < 5; ++i) h.observe(1.5);  // 5 in (1, 2]
+  // p50: target 5 of 10 → exactly exhausts the first bucket → its bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  // p90: target 9 → 4 of 5 into the (1, 2] bucket → 1 + 0.8 × (2 − 1).
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 1.8);
+}
+
+TEST_F(ObsMetricsTest, HistogramQuantileEdgeCases) {
+  Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+  Histogram overflow_only({1.0, 2.0});
+  overflow_only.observe(50.0);
+  // Overflow bucket clamps to the largest finite bound.
+  EXPECT_DOUBLE_EQ(overflow_only.quantile(0.99), 2.0);
+}
+
+TEST_F(ObsMetricsTest, CounterSumsExactAcrossThreads) {
+  MetricsRegistry registry;
+  const CounterHandle c = registry.counter("scwc_test_threads_total");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kIncrements = 25000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kIncrements; ++i) c.inc();
+      c.inc(2);  // bulk increments must be exact too
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter_value(registry.snapshot(), "scwc_test_threads_total"),
+            kThreads * (kIncrements + 2));
+}
+
+TEST_F(ObsMetricsTest, DisabledRegistryHandsOutInertHandlesAndStaysEmpty) {
+  set_enabled(false);
+  MetricsRegistry registry;
+  const CounterHandle c = registry.counter("scwc_test_off_total");
+  const GaugeHandle g = registry.gauge("scwc_test_off");
+  const HistogramHandle h = registry.histogram("scwc_test_off_seconds");
+  c.inc();
+  g.set(3.0);
+  h.observe(0.1);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+
+  // Re-enabling does not revive old handles, but new ones register.
+  set_enabled(true);
+  const CounterHandle c2 = registry.counter("scwc_test_on_total");
+  c.inc();
+  c2.inc();
+  EXPECT_EQ(counter_value(registry.snapshot(), "scwc_test_on_total"), 1u);
+  EXPECT_EQ(counter_value(registry.snapshot(), "scwc_test_off_total"), 0u);
+}
+
+TEST_F(ObsMetricsTest, DefaultConstructedHandlesAreInert) {
+  const CounterHandle c;
+  const GaugeHandle g;
+  const HistogramHandle h;
+  c.inc();
+  g.set(1.0);
+  g.add(1.0);
+  h.observe(1.0);  // must not crash
+}
+
+TEST_F(ObsMetricsTest, ResetZeroesMetricsButKeepsHandlesValid) {
+  MetricsRegistry registry;
+  const CounterHandle c = registry.counter("scwc_test_reset_total");
+  const GaugeHandle g = registry.gauge("scwc_test_reset");
+  c.inc(7);
+  g.set(2.5);
+  registry.reset();
+  EXPECT_EQ(counter_value(registry.snapshot(), "scwc_test_reset_total"), 0u);
+  EXPECT_DOUBLE_EQ(gauge_value(registry.snapshot(), "scwc_test_reset"), 0.0);
+  c.inc();  // the old handle still feeds the same (zeroed) counter
+  EXPECT_EQ(counter_value(registry.snapshot(), "scwc_test_reset_total"), 1u);
+}
+
+TEST_F(ObsMetricsTest, HistogramBoundsFixedByFirstRegistration) {
+  MetricsRegistry registry;
+  const HistogramHandle first =
+      registry.histogram("scwc_test_shared_seconds", {1.0, 2.0});
+  const HistogramHandle second =
+      registry.histogram("scwc_test_shared_seconds", {42.0});
+  first.observe(0.5);
+  second.observe(0.5);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].bounds, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(snap.histograms[0].count, 2u);
+}
+
+TEST_F(ObsMetricsTest, SnapshotLookupHelpersDefaultToZeroWhenAbsent) {
+  MetricsRegistry registry;
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(counter_value(snap, "scwc_no_such_total"), 0u);
+  EXPECT_DOUBLE_EQ(gauge_value(snap, "scwc_no_such"), 0.0);
+}
+
+TEST_F(ObsMetricsTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  const GaugeHandle g = registry.gauge("scwc_test_gauge");
+  g.set(1.5);
+  g.add(0.25);
+  EXPECT_DOUBLE_EQ(gauge_value(registry.snapshot(), "scwc_test_gauge"), 1.75);
+}
+
+TEST_F(ObsMetricsTest, SnapshotPercentilesPrecomputed) {
+  MetricsRegistry registry;
+  const HistogramHandle h =
+      registry.histogram("scwc_test_pct_seconds", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 5; ++i) h.observe(0.5);
+  for (int i = 0; i < 5; ++i) h.observe(1.5);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].p50, 1.0);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].p90, 1.8);
+}
+
+}  // namespace
+}  // namespace scwc::obs

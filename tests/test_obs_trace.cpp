@@ -1,0 +1,135 @@
+// Unit tests for hierarchical trace spans: nesting shape, aggregation by
+// name, worker-thread top-level placement and disabled-mode no-ops.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace scwc::obs {
+namespace {
+
+/// Every test starts from an empty tree with tracing on, and leaves the
+/// global switch the way it found it.
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = enabled();
+    set_enabled(true);
+    reset_span_tree();
+  }
+  void TearDown() override {
+    reset_span_tree();
+    set_enabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = true;
+};
+
+const SpanStats* find_child(const SpanStats& node, std::string_view name) {
+  for (const SpanStats& child : node.children) {
+    if (child.name == name) return &child;
+  }
+  return nullptr;
+}
+
+TEST_F(ObsTraceTest, NestedSpansFormATree) {
+  {
+    const TraceSpan outer("outer");
+    { const TraceSpan inner("inner"); }
+    { const TraceSpan inner("inner"); }
+  }
+  const SpanStats root = span_tree_snapshot();
+  ASSERT_EQ(root.children.size(), 1u);
+  const SpanStats& outer = root.children[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.calls, 1u);
+  ASSERT_EQ(outer.children.size(), 1u);
+  const SpanStats& inner = outer.children[0];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.calls, 2u);  // same (path, name) aggregates into one node
+  EXPECT_TRUE(inner.children.empty());
+  EXPECT_GE(outer.total_s, inner.total_s);
+  EXPECT_GE(outer.self_s, 0.0);
+  EXPECT_GE(inner.self_s, 0.0);
+}
+
+TEST_F(ObsTraceTest, SameNameDifferentParentsAreDistinctNodes) {
+  {
+    const TraceSpan a("a");
+    const TraceSpan step("step");
+  }
+  {
+    const TraceSpan b("b");
+    const TraceSpan step("step");
+  }
+  const SpanStats root = span_tree_snapshot();
+  ASSERT_EQ(root.children.size(), 2u);
+  const SpanStats* a = find_child(root, "a");
+  const SpanStats* b = find_child(root, "b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(find_child(*a, "step"), nullptr);
+  EXPECT_NE(find_child(*b, "step"), nullptr);
+}
+
+TEST_F(ObsTraceTest, WorkerThreadSpansAggregateAtTopLevel) {
+  {
+    const TraceSpan outer("outer");
+    std::thread worker([] { const TraceSpan w("worker"); });
+    worker.join();
+  }
+  const SpanStats root = span_tree_snapshot();
+  // The worker's span is NOT attributed to "outer" — concurrent children
+  // land at the top level (see trace.hpp threading notes).
+  const SpanStats* outer = find_child(root, "outer");
+  const SpanStats* worker = find_child(root, "worker");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(worker, nullptr);
+  EXPECT_EQ(find_child(*outer, "worker"), nullptr);
+  EXPECT_EQ(worker->calls, 1u);
+}
+
+TEST_F(ObsTraceTest, DisabledSpansRecordNothing) {
+  set_enabled(false);
+  {
+    const TraceSpan outer("outer");
+    const TraceSpan inner("inner");
+  }
+  EXPECT_TRUE(span_tree_snapshot().children.empty());
+}
+
+TEST_F(ObsTraceTest, TotalTracedSecondsSumsTopLevelSpans) {
+  { const TraceSpan a("a"); }
+  { const TraceSpan b("b"); }
+  const SpanStats root = span_tree_snapshot();
+  double expected = 0.0;
+  for (const SpanStats& child : root.children) expected += child.total_s;
+  EXPECT_DOUBLE_EQ(total_traced_seconds(root), expected);
+  EXPECT_GE(expected, 0.0);
+}
+
+TEST_F(ObsTraceTest, ResetDropsTheTree) {
+  { const TraceSpan a("a"); }
+  ASSERT_FALSE(span_tree_snapshot().children.empty());
+  reset_span_tree();
+  EXPECT_TRUE(span_tree_snapshot().children.empty());
+}
+
+TEST_F(ObsTraceTest, SelfTimeExcludesChildren) {
+  {
+    const TraceSpan outer("outer");
+    const TraceSpan inner("inner");
+  }
+  const SpanStats root = span_tree_snapshot();
+  const SpanStats* outer = find_child(root, "outer");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_EQ(outer->children.size(), 1u);
+  EXPECT_NEAR(outer->self_s + outer->children[0].total_s, outer->total_s,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace scwc::obs
