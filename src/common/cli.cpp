@@ -19,7 +19,8 @@ void CliParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::cout << usage(argv[0]);
+      // --help goes to stdout by contract (pipeable, not a diagnostic).
+      std::cout << usage(argv[0]);  // scwc-lint: allow(no-stdout-in-lib)
       help_requested_ = true;
       return;
     }

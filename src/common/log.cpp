@@ -3,17 +3,19 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <ctime>
 #include <iostream>
+#include <optional>
+
+#include "common/env.hpp"
 
 namespace scwc {
 
 namespace {
 
-LogLevel parse_level(const char* text) {
-  if (text == nullptr) return LogLevel::kInfo;
-  const std::string_view s(text);
+LogLevel parse_level(const std::optional<std::string>& text) {
+  if (!text.has_value()) return LogLevel::kInfo;
+  const std::string_view s(*text);
   if (s == "debug") return LogLevel::kDebug;
   if (s == "info") return LogLevel::kInfo;
   if (s == "warn") return LogLevel::kWarn;
@@ -24,7 +26,7 @@ LogLevel parse_level(const char* text) {
 
 std::atomic<int>& threshold_storage() noexcept {
   static std::atomic<int> level{
-      static_cast<int>(parse_level(std::getenv("SCWC_LOG")))};
+      static_cast<int>(parse_level(env_string("SCWC_LOG")))};
   return level;
 }
 

@@ -31,10 +31,16 @@ ThreadPool::~ThreadPool() { stop(); }
 void ThreadPool::stop() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (stop_) return;  // idempotent — second stop (or dtor after stop())
     stop_ = true;
   }
   cv_.notify_all();
+  // No early-out on a repeated stop(): every caller must pass through the
+  // join phase so it cannot return while another thread is still joining
+  // workers (the destructor relies on this — returning early would let it
+  // destroy the pool under live workers). join_mutex_ serialises the
+  // std::thread::join calls themselves, which are not concurrency-safe on
+  // the same thread object; joinable() makes the second pass a no-op.
+  const std::lock_guard<std::mutex> join_lock(join_mutex_);
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }

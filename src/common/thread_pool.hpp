@@ -44,8 +44,13 @@ class ThreadPool {
   /// ever serve.
   std::future<void> submit(std::function<void()> task);
 
-  /// Drains queued tasks, then joins all workers. Idempotent; called by the
-  /// destructor. After stop() the pool permanently rejects submissions.
+  /// Drains queued tasks, then joins all workers. Idempotent and safe to
+  /// call from several threads at once: EVERY call — including a second,
+  /// concurrent one — returns only after all workers have exited. (An
+  /// earlier version let a second caller return while the first was still
+  /// joining, so a destructor racing another thread's stop() could free the
+  /// pool under live workers.) Called by the destructor. After stop() the
+  /// pool permanently rejects submissions.
   void stop();
 
   /// True once stop() has begun (subsequent submits will throw).
@@ -62,6 +67,9 @@ class ThreadPool {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  // Serialises the join phase of stop(). Distinct from mutex_: workers take
+  // mutex_ while draining, so joining under it would deadlock.
+  std::mutex join_mutex_;
 
   // Observability (scwc_common_pool_*). Handles are acquired per pool at
   // construction so a pool created after obs::set_enabled(true) reports;

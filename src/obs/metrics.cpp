@@ -9,7 +9,9 @@ namespace scwc::obs {
 namespace {
 
 bool read_enabled_from_env() {
-  const char* v = std::getenv("SCWC_OBS");
+  // scwc_obs sits BELOW scwc_common (so ThreadPool/log can be instrumented
+  // without a cycle) and therefore cannot use common/env.hpp.
+  const char* v = std::getenv("SCWC_OBS");  // scwc-lint: allow(no-raw-getenv)
   if (v == nullptr) return true;
   const std::string_view s(v);
   return !(s == "off" || s == "0" || s == "false");

@@ -152,7 +152,8 @@ std::filesystem::path write_run_report(const RunReport& report) {
   const SpanStats spans = span_tree_snapshot();
   const Json doc = run_report_json(report, metrics, spans);
 
-  const char* out_dir = std::getenv("SCWC_OBS_OUT");
+  // scwc_obs sits below scwc_common, so common/env.hpp is off limits here.
+  const char* out_dir = std::getenv("SCWC_OBS_OUT");  // scwc-lint: allow(no-raw-getenv)
   std::filesystem::path dir(out_dir != nullptr && *out_dir != '\0' ? out_dir
                                                                    : ".");
   const std::filesystem::path path =

@@ -6,12 +6,12 @@
 # prove none of those paths reads out of bounds or trips UB. The obs tests
 # (ObsMetrics/ObsTrace/ObsExport) also run here — the metrics fast path is
 # relaxed atomics and the span tree is a mutex-guarded shared structure, so
-# the sanitizers double as a data-race smoke check. Usage:
+# the sanitizers double as a data-race smoke check (the real race gate is
+# tests/run_tsan.sh). Usage:
 #
-#   tests/run_sanitized.sh            # full suite
-#   tests/run_sanitized.sh Robust     # only tests matching the (case-
-#                                     # sensitive) regex, e.g. Robust*
-#   tests/run_sanitized.sh Obs        # just the observability tests
+#   tests/run_sanitized.sh                # full suite
+#   tests/run_sanitized.sh Robust        # bare first arg is -R shorthand
+#   tests/run_sanitized.sh -R Obs -j 1   # any ctest args forward verbatim
 #
 # Uses the "asan" preset from CMakePresets.json (build dir: build-asan).
 set -eu
@@ -19,14 +19,30 @@ set -eu
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$repo_root"
 
-cmake --preset asan
+# Fail fast with a real diagnostic instead of ctest's opaque "no test
+# configuration" error when configuration never happened or went wrong.
+if ! cmake --preset asan; then
+  echo "run_sanitized.sh: 'cmake --preset asan' failed — the asan preset" >&2
+  echo "could not be configured (see CMakePresets.json; build dir" >&2
+  echo "build-asan/ may hold a stale cache worth deleting)." >&2
+  exit 1
+fi
+if [ ! -f build-asan/CMakeCache.txt ]; then
+  echo "run_sanitized.sh: build-asan/CMakeCache.txt missing after" >&2
+  echo "configure — refusing to run ctest against a non-existent tree." >&2
+  exit 1
+fi
 cmake --build --preset asan -j "$(nproc 2>/dev/null || echo 4)"
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
 
 if [ "$#" -gt 0 ]; then
-  ctest --test-dir build-asan --output-on-failure -R "$1"
+  case "$1" in
+    -*) ;;                                  # ctest flags — forward as-is
+    *) regex=$1; shift; set -- -R "$regex" "$@" ;;  # bare regex → -R regex
+  esac
+  ctest --test-dir build-asan --output-on-failure "$@"
 else
   ctest --test-dir build-asan --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
 fi

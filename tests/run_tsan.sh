@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Configure, build and run the test suite under ThreadSanitizer.
+#
+# The concurrency-heavy layers — ThreadPool submit/stop, the relaxed-atomic
+# MetricsRegistry fast path, the TraceSpan tree, parallel RF/GBT/NN
+# training — are exercised hardest by tests/test_concurrency_stress.cpp,
+# but the whole suite runs so any test that schedules work on the pool is
+# also checked. Usage:
+#
+#   tests/run_tsan.sh                 # full suite
+#   tests/run_tsan.sh -R Concurrency  # forward any ctest args, e.g. a regex
+#   tests/run_tsan.sh Concurrency     # bare first arg is shorthand for -R
+#
+# Uses the "tsan" preset from CMakePresets.json (build dir: build-tsan).
+# Benches and examples are disabled in that preset: TSan's 5-15x slowdown
+# makes them pointless, and the gate is the tests.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc 2>/dev/null || echo 4)"
+
+# halt_on_error keeps a race from scrolling past; second_deadlock_stack
+# makes lock-inversion reports actionable.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+
+if [ "$#" -gt 0 ]; then
+  case "$1" in
+    -*) ;;                                  # ctest flags — forward as-is
+    *) regex=$1; shift; set -- -R "$regex" "$@" ;;  # bare regex → -R regex
+  esac
+  ctest --test-dir build-tsan --output-on-failure "$@"
+else
+  ctest --test-dir build-tsan --output-on-failure -j 2
+fi

@@ -1,0 +1,347 @@
+// Concurrency stress tests, written to run under ThreadSanitizer (the
+// `tsan` preset / tests/run_tsan.sh). Each test hammers one shared
+// structure from many threads at once so TSan sees every pairing the
+// production code can produce:
+//   * ThreadPool submit racing stop(), and stop() racing stop() — the
+//     destructor-under-live-workers edge fixed in thread_pool.cpp;
+//   * MetricsRegistry counter/gauge/histogram updates concurrent with
+//     handle acquisition, snapshot() and reset();
+//   * nested TraceSpans opened on several threads against one global tree;
+//   * RF and GBT training in parallel on one shared dataset (the paper's
+//     Table V/VI models), checking bit-identical results afterwards.
+// The suite also runs in the plain and asan presets, where it still works
+// as a correctness/determinism test — only the race detection needs TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "linalg/matrix.hpp"
+#include "ml/gbt.hpp"
+#include "ml/random_forest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace scwc {
+namespace {
+
+/// Enables observability for the duration of a test (the obs races we care
+/// about only exist when the fast paths are live) and restores it after.
+class ConcurrencyStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = obs::enabled();
+    obs::set_enabled(true);
+  }
+  void TearDown() override { obs::set_enabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = true;
+};
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST_F(ConcurrencyStressTest, PoolSubmitRacesStop) {
+  // Several producer threads submit while another calls stop() midway.
+  // Every submit must either complete (future becomes ready) or throw
+  // scwc::Error — never hang, never corrupt the queue.
+  for (int round = 0; round < 8; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> executed{0};
+    std::atomic<int> rejected{0};
+    std::vector<std::thread> producers;
+    producers.reserve(4);
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&pool, &executed, &rejected] {
+        for (int i = 0; i < 64; ++i) {
+          try {
+            auto fut = pool.submit([&executed] {
+              executed.fetch_add(1, std::memory_order_relaxed);
+            });
+            fut.wait();
+          } catch (const Error&) {
+            rejected.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    std::thread stopper([&pool] { pool.stop(); });
+    for (auto& t : producers) t.join();
+    stopper.join();
+    EXPECT_EQ(executed.load() + rejected.load(), 4 * 64);
+  }
+}
+
+TEST_F(ConcurrencyStressTest, ConcurrentStopCallsAllWaitForWorkers) {
+  // The latent edge this PR fixes: two threads calling stop() at once.
+  // Both calls must return only after every worker has exited, so the
+  // pool (stack-allocated here) can be destroyed immediately afterwards.
+  for (int round = 0; round < 16; ++round) {
+    std::atomic<int> executed{0};
+    {
+      ThreadPool pool(4);
+      for (int i = 0; i < 32; ++i) {
+        (void)pool.submit([&executed] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      std::thread a([&pool] { pool.stop(); });
+      std::thread b([&pool] { pool.stop(); });
+      std::thread c([&pool] { pool.stop(); });
+      a.join();
+      b.join();
+      c.join();
+      EXPECT_TRUE(pool.stopped());
+    }  // ~ThreadPool runs a fourth stop(); workers must already be gone
+    EXPECT_EQ(executed.load(), 32);  // stop() drains before joining
+  }
+}
+
+TEST_F(ConcurrencyStressTest, DestructorRacesExternalStop) {
+  // The sharpest form of the fixed edge: the destructor's stop() runs
+  // while another thread is STILL INSIDE its own stop() call. Before the
+  // fix, the destructor saw stop_ == true, returned without waiting, and
+  // freed workers_ under the other call's join loop (use-after-free that
+  // TSan reports as a race on the worker thread objects). Now the
+  // destructor blocks on the join phase until the in-flight call is done.
+  for (int round = 0; round < 32; ++round) {
+    std::thread external;
+    {
+      ThreadPool pool(4);
+      for (int i = 0; i < 16; ++i) {
+        (void)pool.submit([] {
+          std::this_thread::yield();  // keep workers busy into the join
+        });
+      }
+      external = std::thread([&pool] { pool.stop(); });
+      // Leave scope as soon as the external stop() is underway — the
+      // destructor must now wait for it, not race it.
+      while (!pool.stopped()) std::this_thread::yield();
+    }
+    external.join();
+  }
+}
+
+TEST_F(ConcurrencyStressTest, SubmitAfterConcurrentStopThrowsOrRuns) {
+  ThreadPool pool(2);
+  std::thread stopper([&pool] { pool.stop(); });
+  for (int i = 0; i < 100; ++i) {
+    try {
+      pool.submit([] {}).wait();
+    } catch (const Error&) {
+      break;  // pool stopped — every later submit throws too
+    }
+  }
+  stopper.join();
+  EXPECT_TRUE(pool.stopped());
+  EXPECT_THROW((void)pool.submit([] {}), Error);
+}
+
+// ------------------------------------------------------------------- metrics
+
+TEST_F(ConcurrencyStressTest, RegistryUpdatesRaceSnapshotsAndReset) {
+  obs::MetricsRegistry reg;  // fresh instance — no global-state bleed
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      // Handles are deliberately (re-)acquired inside the loop on some
+      // iterations so registration races live updates and snapshots.
+      obs::CounterHandle c = reg.counter("stress_total");
+      obs::GaugeHandle g = reg.gauge("stress_gauge");
+      obs::HistogramHandle h = reg.histogram("stress_seconds");
+      for (int i = 0; i < kIters; ++i) {
+        if (i % 512 == 0) c = reg.counter("stress_total");
+        c.inc();
+        g.set(static_cast<double>(i));
+        g.add(0.5);
+        h.observe(1e-6 * static_cast<double>((t + 1) * (i + 1)));
+        if (i % 257 == 0) {
+          const obs::MetricsSnapshot snap = reg.snapshot();
+          // Monotone while no reset runs concurrently in this test.
+          EXPECT_LE(obs::counter_value(snap, "stress_total"),
+                    static_cast<std::uint64_t>(kThreads) * kIters);
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(obs::counter_value(snap, "stress_total"),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  reg.reset();
+  const obs::MetricsSnapshot zeroed = reg.snapshot();
+  EXPECT_EQ(obs::counter_value(zeroed, "stress_total"), 0u);
+}
+
+TEST_F(ConcurrencyStressTest, ResetRacesUpdatesWithoutTearing) {
+  // reset() concurrent with inc/observe: counts are indeterminate but the
+  // run must be race-free and the final reset must zero everything.
+  obs::MetricsRegistry reg;
+  std::atomic<bool> stop{false};
+  std::thread resetter([&reg, &stop] {
+    while (!stop.load(std::memory_order_acquire)) reg.reset();
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&reg] {
+      obs::CounterHandle c = reg.counter("reset_race_total");
+      obs::HistogramHandle h = reg.histogram("reset_race_seconds");
+      for (int i = 0; i < 4000; ++i) {
+        c.inc();
+        h.observe(1e-5);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  resetter.join();
+  reg.reset();
+  EXPECT_EQ(obs::counter_value(reg.snapshot(), "reset_race_total"), 0u);
+}
+
+// --------------------------------------------------------------------- trace
+
+TEST_F(ConcurrencyStressTest, NestedSpansAcrossThreadsAggregateExactly) {
+  obs::reset_span_tree();
+  constexpr int kThreads = 6;
+  constexpr int kIters = 300;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        const obs::TraceSpan outer("stress.outer");
+        {
+          const obs::TraceSpan mid("stress.mid");
+          const obs::TraceSpan inner("stress.inner");
+        }
+        if (i % 64 == 0) {
+          // Snapshots race span closure on the other threads.
+          (void)obs::span_tree_snapshot();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const obs::SpanStats root = obs::span_tree_snapshot();
+  const auto find = [](const obs::SpanStats& node,
+                       std::string_view name) -> const obs::SpanStats* {
+    for (const obs::SpanStats& c : node.children) {
+      if (c.name == name) return &c;
+    }
+    return nullptr;
+  };
+  const obs::SpanStats* outer = find(root, "stress.outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->calls, static_cast<std::uint64_t>(kThreads) * kIters);
+  const obs::SpanStats* mid = find(*outer, "stress.mid");
+  ASSERT_NE(mid, nullptr);
+  EXPECT_EQ(mid->calls, static_cast<std::uint64_t>(kThreads) * kIters);
+  const obs::SpanStats* inner = find(*mid, "stress.inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->calls, static_cast<std::uint64_t>(kThreads) * kIters);
+  obs::reset_span_tree();
+}
+
+// ------------------------------------------------------------- parallel ML
+
+/// Tiny 3-class dataset with enough structure for trees to split on.
+linalg::Matrix make_features(std::size_t rows, std::size_t cols,
+                             std::vector<int>* labels) {
+  Rng rng(991);
+  linalg::Matrix x(rows, cols);
+  labels->resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const int y = static_cast<int>(r % 3);
+    (*labels)[r] = y;
+    for (std::size_t c = 0; c < cols; ++c) {
+      x(r, c) = rng.normal(static_cast<double>(y) * 2.0, 0.6);
+    }
+  }
+  return x;
+}
+
+TEST_F(ConcurrencyStressTest, ParallelRfAndGbtTrainingOnSharedDataset) {
+  std::vector<int> y;
+  const linalg::Matrix x = make_features(90, 5, &y);
+
+  // Serial reference fits first — concurrent fits must match them exactly
+  // (forked per-tree RNG streams make results schedule-invariant).
+  ml::RandomForestConfig rf_cfg;
+  rf_cfg.n_estimators = 12;
+  ml::GbtConfig gbt_cfg;
+  gbt_cfg.n_rounds = 6;
+  gbt_cfg.max_depth = 3;
+
+  ml::RandomForest rf_ref(rf_cfg);
+  rf_ref.fit(x, y);
+  ml::GradientBoostedTrees gbt_ref(gbt_cfg);
+  gbt_ref.fit(x, y);
+  const std::vector<int> rf_ref_pred = rf_ref.predict(x);
+  const std::vector<int> gbt_ref_pred = gbt_ref.predict(x);
+
+  // Two RF fits and two GBT fits race on four threads, all reading the
+  // same x/y, all funnelling tree growth through the shared global pool
+  // and the shared metrics/trace singletons.
+  std::vector<std::vector<int>> rf_preds(2);
+  std::vector<std::vector<int>> gbt_preds(2);
+  std::vector<std::thread> trainers;
+  for (int i = 0; i < 2; ++i) {
+    trainers.emplace_back([&x, &y, &rf_cfg, &rf_preds, i] {
+      ml::RandomForest rf(rf_cfg);
+      rf.fit(x, y);
+      rf_preds[i] = rf.predict(x);
+    });
+    trainers.emplace_back([&x, &y, &gbt_cfg, &gbt_preds, i] {
+      ml::GradientBoostedTrees gbt(gbt_cfg);
+      gbt.fit(x, y);
+      gbt_preds[i] = gbt.predict(x);
+    });
+  }
+  for (auto& t : trainers) t.join();
+
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(rf_preds[i], rf_ref_pred) << "RF fit " << i << " diverged";
+    EXPECT_EQ(gbt_preds[i], gbt_ref_pred) << "GBT fit " << i << " diverged";
+  }
+}
+
+TEST_F(ConcurrencyStressTest, ParallelForFromManyThreadsOnGlobalPool) {
+  // External threads driving parallel_for concurrently — the global pool's
+  // queue, condition variable and obs gauges all see multi-producer load.
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::vector<double> sums(kThreads, 0.0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &sums] {
+      std::vector<std::atomic<int>> hits(2048);
+      parallel_for(0, hits.size(),
+                   [&hits](std::size_t i) {
+                     hits[i].fetch_add(1, std::memory_order_relaxed);
+                   });
+      double sum = 0.0;
+      for (auto& h : hits) sum += h.load(std::memory_order_relaxed);
+      sums[static_cast<std::size_t>(t)] = sum;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const double s : sums) EXPECT_DOUBLE_EQ(s, 2048.0);
+}
+
+}  // namespace
+}  // namespace scwc

@@ -56,7 +56,7 @@ TEST(Fusion, Deterministic) {
   const FusedDataset b =
       build_fused_dataset(world().corpus, world().challenge);
   EXPECT_EQ(a.y_train, b.y_train);
-  EXPECT_EQ(a.x_train.max_abs_diff(b.x_train), 0.0);
+  EXPECT_DOUBLE_EQ(a.x_train.max_abs_diff(b.x_train), 0.0);
 }
 
 TEST(Fusion, CpuBlockAloneIsInformative) {

@@ -24,7 +24,7 @@ TEST(Tensor3, ShapeAndZeroInit) {
   EXPECT_EQ(t.trials(), 3u);
   EXPECT_EQ(t.steps(), 4u);
   EXPECT_EQ(t.sensors(), 5u);
-  EXPECT_EQ(t(2, 3, 4), 0.0);
+  EXPECT_DOUBLE_EQ(t(2, 3, 4), 0.0);
   EXPECT_FALSE(t.empty());
   EXPECT_TRUE(Tensor3().empty());
 }
@@ -32,9 +32,9 @@ TEST(Tensor3, ShapeAndZeroInit) {
 TEST(Tensor3, IndexingIsTrialMajorRowMajor) {
   const Tensor3 t = numbered_tensor(2, 3, 2);
   // Layout: trial 0 [ (0,1) (2,3) (4,5) ], trial 1 starts at 6.
-  EXPECT_EQ(t(0, 0, 1), 1.0);
-  EXPECT_EQ(t(0, 2, 0), 4.0);
-  EXPECT_EQ(t(1, 0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(t(0, 2, 0), 4.0);
+  EXPECT_DOUBLE_EQ(t(1, 0, 0), 6.0);
   const auto raw = t.raw();
   EXPECT_EQ(raw[7], t(1, 0, 1));
 }
@@ -44,7 +44,7 @@ TEST(Tensor3, TrialSpanIsContiguousView) {
   auto span = t.trial(1);
   ASSERT_EQ(span.size(), 4u);
   span[0] = -1.0;
-  EXPECT_EQ(t(1, 0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(t(1, 0, 0), -1.0);
 }
 
 TEST(Tensor3, TrialMatrixCopies) {
@@ -52,8 +52,8 @@ TEST(Tensor3, TrialMatrixCopies) {
   const linalg::Matrix m = t.trial_matrix(1);
   EXPECT_EQ(m.rows(), 3u);
   EXPECT_EQ(m.cols(), 2u);
-  EXPECT_EQ(m(0, 0), 6.0);
-  EXPECT_EQ(m(2, 1), 11.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(m(2, 1), 11.0);
   EXPECT_THROW((void)t.trial_matrix(2), Error);
 }
 

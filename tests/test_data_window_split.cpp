@@ -103,9 +103,9 @@ TEST(Window, ExtractCopiesTheRightSlice) {
   }
   std::vector<double> dest(3 * 2);
   extract_window(series, 4, 3, dest);
-  EXPECT_EQ(dest[0], 4.0);
-  EXPECT_EQ(dest[1], 104.0);
-  EXPECT_EQ(dest[4], 6.0);
+  EXPECT_DOUBLE_EQ(dest[0], 4.0);
+  EXPECT_DOUBLE_EQ(dest[1], 104.0);
+  EXPECT_DOUBLE_EQ(dest[4], 6.0);
 }
 
 TEST(Window, ExtractValidatesBounds) {

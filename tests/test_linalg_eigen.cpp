@@ -192,7 +192,7 @@ TEST(TopkEigen, DeterministicAcrossCalls) {
   for (std::size_t i = 0; i < 4; ++i) {
     EXPECT_DOUBLE_EQ(a.values[i], b.values[i]);
   }
-  EXPECT_EQ(a.vectors.max_abs_diff(b.vectors), 0.0);
+  EXPECT_DOUBLE_EQ(a.vectors.max_abs_diff(b.vectors), 0.0);
 }
 
 }  // namespace

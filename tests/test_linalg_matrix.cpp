@@ -19,23 +19,23 @@ TEST(Matrix, ZeroInitialised) {
   EXPECT_EQ(m.rows(), 3u);
   EXPECT_EQ(m.cols(), 4u);
   for (std::size_t r = 0; r < 3; ++r) {
-    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.0);
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(m(r, c), 0.0);
   }
 }
 
 TEST(Matrix, FillConstructorAndFill) {
   Matrix m(2, 2, 7.5);
-  EXPECT_EQ(m(1, 1), 7.5);
+  EXPECT_DOUBLE_EQ(m(1, 1), 7.5);
   m.fill(-1.0);
-  EXPECT_EQ(m(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), -1.0);
 }
 
 TEST(Matrix, InitializerListLayout) {
   Matrix m{{1, 2, 3}, {4, 5, 6}};
   EXPECT_EQ(m.rows(), 2u);
   EXPECT_EQ(m.cols(), 3u);
-  EXPECT_EQ(m(0, 2), 3.0);
-  EXPECT_EQ(m(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 4.0);
 }
 
 TEST(Matrix, RaggedInitializerThrows) {
@@ -53,14 +53,14 @@ TEST(Matrix, RowSpanAliasesStorage) {
   Matrix m(2, 3);
   auto row = m.row(1);
   row[2] = 42.0;
-  EXPECT_EQ(m(1, 2), 42.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 42.0);
 }
 
 TEST(Matrix, ReshapePreservesData) {
   Matrix m{{1, 2, 3, 4}};
   m.reshape(2, 2);
-  EXPECT_EQ(m(0, 1), 2.0);
-  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
   EXPECT_THROW(m.reshape(3, 2), Error);
 }
 
@@ -69,8 +69,8 @@ TEST(Matrix, TransposeSmall) {
   const Matrix t = m.transposed();
   EXPECT_EQ(t.rows(), 3u);
   EXPECT_EQ(t.cols(), 2u);
-  EXPECT_EQ(t(0, 1), 4.0);
-  EXPECT_EQ(t(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
 }
 
 TEST(Matrix, TransposeLargeIsInvolution) {
@@ -80,20 +80,20 @@ TEST(Matrix, TransposeLargeIsInvolution) {
       m(r, c) = static_cast<double>(r * 1000 + c);
     }
   }
-  EXPECT_EQ(m.transposed().transposed().max_abs_diff(m), 0.0);
+  EXPECT_DOUBLE_EQ(m.transposed().transposed().max_abs_diff(m), 0.0);
 }
 
 TEST(Matrix, ArithmeticOperators) {
   Matrix a{{1, 2}, {3, 4}};
   Matrix b{{10, 20}, {30, 40}};
   const Matrix sum = a + b;
-  EXPECT_EQ(sum(1, 1), 44.0);
+  EXPECT_DOUBLE_EQ(sum(1, 1), 44.0);
   const Matrix diff = b - a;
-  EXPECT_EQ(diff(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(diff(0, 0), 9.0);
   const Matrix scaled = a * 2.0;
-  EXPECT_EQ(scaled(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
   const Matrix scaled2 = 3.0 * a;
-  EXPECT_EQ(scaled2(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(scaled2(0, 1), 6.0);
 }
 
 TEST(Matrix, ShapeMismatchThrows) {

@@ -1,0 +1,218 @@
+// Unit tests for the scwc_lint rule engine (tools/lint_core.*).
+//
+// One deliberately-violating snippet per rule proves each rule can fire;
+// the "clean" cases pin down the tricky negatives the real tree contains
+// (deleted member functions, snprintf, string/comment occurrences,
+// EXPECT_EQ on strings whose arguments merely contain float literals).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+
+#include "lint_core.hpp"
+
+namespace scwc::lint {
+namespace {
+
+std::vector<Finding> lint(std::string_view path, std::string_view src) {
+  return lint_source(path, src, classify_path(path));
+}
+
+bool fired(const std::vector<Finding>& findings, std::string_view rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [rule](const Finding& f) { return f.rule == rule; });
+}
+
+// ------------------------------------------------------------- no-raw-rand
+
+TEST(LintRules, RawRandFires) {
+  const auto f = lint("src/ml/foo.cpp", "int x = rand() % 7;\n");
+  ASSERT_TRUE(fired(f, "no-raw-rand"));
+  EXPECT_EQ(f[0].line, 1u);
+}
+
+TEST(LintRules, RandomDeviceFires) {
+  EXPECT_TRUE(fired(lint("bench/foo.cpp", "std::random_device rd;\n"),
+                    "no-raw-rand"));
+}
+
+TEST(LintRules, RngImplIsExemptAndIdentifiersDoNotMatch) {
+  // The rng implementation itself may say rand; elsewhere only the exact
+  // token fires — substrings like "operand" or "randomized" never do.
+  EXPECT_FALSE(fired(lint("src/common/rng.cpp", "int r = rand();\n"),
+                     "no-raw-rand"));
+  EXPECT_FALSE(fired(lint("src/ml/foo.cpp",
+                          "int operand = randomized_count;\n"),
+                     "no-raw-rand"));
+}
+
+// -------------------------------------------------------- no-stdout-in-lib
+
+TEST(LintRules, CoutInLibraryFires) {
+  EXPECT_TRUE(fired(lint("src/core/foo.cpp",
+                         "#include <iostream>\nstd::cout << x;\n"),
+                    "no-stdout-in-lib"));
+  EXPECT_TRUE(fired(lint("src/core/foo.cpp", "printf(\"%d\", x);\n"),
+                    "no-stdout-in-lib"));
+}
+
+TEST(LintRules, CoutOutsideLibraryAndSnprintfAreClean) {
+  // Benches/tests/tools may print; snprintf is formatting, not stdout.
+  EXPECT_FALSE(fired(lint("bench/foo.cpp", "std::cout << x;\n"),
+                     "no-stdout-in-lib"));
+  EXPECT_FALSE(fired(lint("src/obs/json.cpp",
+                          "std::snprintf(buf, sizeof(buf), \"x\");\n"),
+                     "no-stdout-in-lib"));
+}
+
+// ----------------------------------------------------------- no-raw-getenv
+
+TEST(LintRules, GetenvFires) {
+  EXPECT_TRUE(fired(lint("src/core/foo.cpp",
+                         "const char* v = std::getenv(\"HOME\");\n"),
+                    "no-raw-getenv"));
+}
+
+TEST(LintRules, EnvImplIsExemptAndSetenvIsClean) {
+  EXPECT_FALSE(fired(lint("src/common/env.cpp",
+                          "const char* v = std::getenv(name);\n"),
+                     "no-raw-getenv"));
+  // Tests that *write* the environment are fine; only reads must go
+  // through the typed accessors.
+  EXPECT_FALSE(fired(lint("tests/foo.cpp", "::setenv(\"X\", \"1\", 1);\n"),
+                     "no-raw-getenv"));
+}
+
+// ------------------------------------------------------------- pragma-once
+
+TEST(LintRules, HeaderWithoutPragmaOnceFires) {
+  const auto f = lint("src/ml/foo.hpp", "int f();\n");
+  ASSERT_TRUE(fired(f, "pragma-once"));
+  EXPECT_EQ(f[0].line, 1u);
+}
+
+TEST(LintRules, PragmaOnceSatisfiesAndCppFilesAreExempt) {
+  EXPECT_FALSE(fired(lint("src/ml/foo.hpp", "#pragma once\nint f();\n"),
+                     "pragma-once"));
+  EXPECT_FALSE(fired(lint("src/ml/foo.cpp", "int f() { return 1; }\n"),
+                     "pragma-once"));
+  // A commented-out guard does not count.
+  EXPECT_TRUE(fired(lint("src/ml/bar.hpp", "// #pragma once\nint f();\n"),
+                    "pragma-once"));
+}
+
+// -------------------------------------------------------------- no-float-eq
+
+TEST(LintRules, FloatLiteralEqualityInTestsFires) {
+  EXPECT_TRUE(fired(lint("tests/foo.cpp", "EXPECT_EQ(total, 5.0);\n"),
+                    "no-float-eq"));
+  EXPECT_TRUE(fired(lint("tests/foo.cpp", "ASSERT_EQ(1e-3, err);\n"),
+                    "no-float-eq"));
+  EXPECT_TRUE(fired(lint("tests/foo.cpp", "EXPECT_NE(x, 2.5f);\n"),
+                    "no-float-eq"));
+}
+
+TEST(LintRules, FloatEqNegativesStayClean) {
+  // Integer literals, epsilon macros, string comparisons whose arguments
+  // merely CONTAIN a float literal, and non-test files are all fine.
+  EXPECT_FALSE(fired(lint("tests/foo.cpp", "EXPECT_EQ(counts[0], 2u);\n"),
+                     "no-float-eq"));
+  EXPECT_FALSE(fired(lint("tests/foo.cpp",
+                          "EXPECT_DOUBLE_EQ(h.sum(), 107.0);\n"),
+                     "no-float-eq"));
+  EXPECT_FALSE(
+      fired(lint("tests/foo.cpp",
+                 "EXPECT_EQ(format_fixed(93.016, 2), \"93.02\");\n"),
+            "no-float-eq"));
+  EXPECT_FALSE(fired(lint("tests/foo.cpp",
+                          "EXPECT_EQ(bounds, (std::vector<double>{1.0}));\n"),
+                     "no-float-eq"));
+  EXPECT_FALSE(fired(lint("src/ml/foo.cpp", "EXPECT_EQ(total, 5.0);\n"),
+                     "no-float-eq"));
+}
+
+// ------------------------------------------------------------ no-naked-new
+
+TEST(LintRules, NakedNewAndDeleteFire) {
+  EXPECT_TRUE(fired(lint("src/ml/foo.cpp", "auto* p = new Node();\n"),
+                    "no-naked-new"));
+  EXPECT_TRUE(fired(lint("src/ml/foo.cpp", "delete p;\n"), "no-naked-new"));
+}
+
+TEST(LintRules, DeletedFunctionsAndMakeUniqueAreClean) {
+  EXPECT_FALSE(fired(lint("src/ml/foo.hpp",
+                          "#pragma once\n"
+                          "struct S {\n"
+                          "  S(const S&) = delete;\n"
+                          "  S& operator=(const S&) = delete;\n"
+                          "};\n"),
+                     "no-naked-new"));
+  EXPECT_FALSE(fired(lint("src/ml/foo.cpp",
+                          "auto p = std::make_unique<Node>();\n"),
+                     "no-naked-new"));
+}
+
+// ----------------------------------------- stripping, suppressions, context
+
+TEST(LintRules, CommentsAndStringsNeverFire) {
+  EXPECT_FALSE(fired(lint("src/ml/foo.cpp",
+                          "// old code used rand() and std::cout\n"
+                          "/* printf(\"%d\")  and getenv(\"X\") */\n"
+                          "const char* s = \"rand() new delete getenv\";\n"),
+                     "no-raw-rand"));
+  const auto f = lint("src/ml/foo.cpp",
+                      "const std::string msg = \"call rand()\";\n"
+                      "int x = rand();  // this one is real\n");
+  ASSERT_TRUE(fired(f, "no-raw-rand"));
+  EXPECT_EQ(f[0].line, 2u);  // the string on line 1 did not fire
+}
+
+TEST(LintRules, LineSuppressionSilencesOnlyThatLine) {
+  const auto f =
+      lint("src/ml/foo.cpp",
+           "int a = rand();  // scwc-lint: allow(no-raw-rand) — justified\n"
+           "int b = rand();\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 2u);
+}
+
+TEST(LintRules, FileSuppressionSilencesWholeFile) {
+  EXPECT_TRUE(lint("src/ml/foo.cpp",
+                   "// scwc-lint: allow-file(no-raw-rand)\n"
+                   "int a = rand();\n"
+                   "int b = rand();\n")
+                  .empty());
+}
+
+TEST(LintRules, SuppressionForOneRuleDoesNotSilenceAnother) {
+  const auto f = lint("src/ml/foo.cpp",
+                      "std::cout << rand();  // scwc-lint: allow(no-raw-rand)\n");
+  EXPECT_FALSE(fired(f, "no-raw-rand"));
+  EXPECT_TRUE(fired(f, "no-stdout-in-lib"));
+}
+
+TEST(LintRules, StripPreservesLineStructure) {
+  const std::string src = "int a; // comment\n\"str\\\"ing\"\n/* multi\nline */int b;\n";
+  const std::string out = strip_comments_and_strings(src);
+  EXPECT_EQ(std::count(src.begin(), src.end(), '\n'),
+            std::count(out.begin(), out.end(), '\n'));
+  EXPECT_EQ(out.find("comment"), std::string::npos);
+  EXPECT_EQ(out.find("ing"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(LintRules, RuleNamesAreStable) {
+  const auto& names = rule_names();
+  EXPECT_EQ(names.size(), 6u);
+  for (const std::string_view expected :
+       {"no-raw-rand", "no-stdout-in-lib", "no-raw-getenv", "pragma-once",
+        "no-float-eq", "no-naked-new"}) {
+    EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
+                names.end())
+        << expected;
+  }
+}
+
+}  // namespace
+}  // namespace scwc::lint

@@ -27,15 +27,15 @@ TEST(Metrics, ConfusionMatrixEntries) {
   const std::vector<int> truth{0, 0, 1, 1, 2};
   const std::vector<int> pred{0, 1, 1, 1, 0};
   const Matrix cm = confusion_matrix(truth, pred, 3);
-  EXPECT_EQ(cm(0, 0), 1.0);
-  EXPECT_EQ(cm(0, 1), 1.0);
-  EXPECT_EQ(cm(1, 1), 2.0);
-  EXPECT_EQ(cm(2, 0), 1.0);
-  EXPECT_EQ(cm(2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(cm(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cm(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(cm(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(cm(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cm(2, 2), 0.0);
   // Row sums equal class supports.
   double total = 0.0;
   for (const double v : cm.flat()) total += v;
-  EXPECT_EQ(total, 5.0);
+  EXPECT_DOUBLE_EQ(total, 5.0);
 }
 
 TEST(Metrics, ConfusionMatrixRejectsBadLabels) {
@@ -128,8 +128,8 @@ TEST(TakeRows, SelectsAndValidates) {
   Matrix x{{1, 2}, {3, 4}, {5, 6}};
   const std::vector<std::size_t> rows{2, 0};
   const Matrix sel = take_rows(x, rows);
-  EXPECT_EQ(sel(0, 0), 5.0);
-  EXPECT_EQ(sel(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(sel(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(sel(1, 1), 2.0);
   const std::vector<std::size_t> bad{5};
   EXPECT_THROW((void)take_rows(x, bad), Error);
   const std::vector<int> y{7, 8, 9};

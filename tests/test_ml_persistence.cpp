@@ -46,7 +46,7 @@ TEST(Persistence, TreeRoundTripsThroughMemory) {
   EXPECT_EQ(restored.depth(), tree.depth());
   EXPECT_EQ(restored.num_classes(), tree.num_classes());
   EXPECT_EQ(restored.predict(x), tree.predict(x));
-  EXPECT_EQ(restored.predict_proba(x).max_abs_diff(tree.predict_proba(x)),
+  EXPECT_DOUBLE_EQ(restored.predict_proba(x).max_abs_diff(tree.predict_proba(x)),
             0.0);
 }
 
@@ -64,7 +64,7 @@ TEST(Persistence, ForestRoundTripsThroughMemory) {
 
   EXPECT_EQ(restored.tree_count(), 12u);
   EXPECT_EQ(restored.predict(x), forest.predict(x));
-  EXPECT_EQ(restored.predict_proba(x).max_abs_diff(forest.predict_proba(x)),
+  EXPECT_DOUBLE_EQ(restored.predict_proba(x).max_abs_diff(forest.predict_proba(x)),
             0.0);
 }
 

@@ -58,7 +58,7 @@ TEST(ConvLstm, DeterministicForward) {
   const Sequence ha = a.forward(x);
   const Sequence hb = b.forward(x);
   for (std::size_t t = 0; t < 6; ++t) {
-    EXPECT_EQ(ha[t].max_abs_diff(hb[t]), 0.0);
+    EXPECT_DOUBLE_EQ(ha[t].max_abs_diff(hb[t]), 0.0);
   }
 }
 

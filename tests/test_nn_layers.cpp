@@ -36,8 +36,8 @@ TEST(Sequence, ConcatFeatures) {
   b[1](2, 0) = 9.0;
   const Sequence c = Sequence::concat_features(a, b);
   EXPECT_EQ(c.features(), 3u);
-  EXPECT_EQ(c[1](2, 1), 5.0);
-  EXPECT_EQ(c[1](2, 2), 9.0);
+  EXPECT_DOUBLE_EQ(c[1](2, 1), 5.0);
+  EXPECT_DOUBLE_EQ(c[1](2, 2), 9.0);
 }
 
 TEST(Dense, KnownForward) {
@@ -61,7 +61,7 @@ TEST(Dropout, EvalModeIsIdentity) {
   Dropout dropout(0.5, 1);
   linalg::Matrix x(4, 4, 2.0);
   const linalg::Matrix y = dropout.forward(x, /*train=*/false);
-  EXPECT_EQ(y.max_abs_diff(x), 0.0);
+  EXPECT_DOUBLE_EQ(y.max_abs_diff(x), 0.0);
 }
 
 TEST(Dropout, TrainModeZeroesAboutPFraction) {
@@ -85,7 +85,7 @@ TEST(Dropout, BackwardUsesSameMask) {
   const linalg::Matrix y = dropout.forward(x, true);
   linalg::Matrix dout(10, 10, 1.0);
   const linalg::Matrix din = dropout.backward(dout);
-  EXPECT_EQ(din.max_abs_diff(y), 0.0);  // same mask, same scale
+  EXPECT_DOUBLE_EQ(din.max_abs_diff(y), 0.0);  // same mask, same scale
 }
 
 TEST(LeakyRelu, ForwardAndBackward) {
@@ -395,7 +395,7 @@ TEST(Models, ForwardShapesAndDropoutStochasticity) {
   const linalg::Matrix eval_b = model.forward(x, false);
   EXPECT_EQ(eval_a.rows(), 2u);
   EXPECT_EQ(eval_a.cols(), 5u);
-  EXPECT_EQ(eval_a.max_abs_diff(eval_b), 0.0);  // eval is deterministic
+  EXPECT_DOUBLE_EQ(eval_a.max_abs_diff(eval_b), 0.0);  // eval is deterministic
   const linalg::Matrix train_a = model.forward(x, true);
   const linalg::Matrix train_b = model.forward(x, true);
   EXPECT_GT(train_a.max_abs_diff(train_b), 1e-9);  // dropout differs

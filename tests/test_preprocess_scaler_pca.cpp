@@ -46,7 +46,7 @@ TEST(Scaler, ConstantColumnsSurvive) {
   StandardScaler scaler;
   const Matrix z = scaler.fit_transform(x);
   for (std::size_t r = 0; r < 10; ++r) {
-    EXPECT_EQ(z(r, 0), 0.0);
+    EXPECT_DOUBLE_EQ(z(r, 0), 0.0);
     EXPECT_TRUE(std::isfinite(z(r, 1)));
   }
 }

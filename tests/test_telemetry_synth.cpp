@@ -37,7 +37,7 @@ TEST(GpuSynth, IsDeterministic) {
   const JobSpec job = make_job(5, 200.0, 99);
   const TimeSeries a = synthesize_gpu_series(job, 1, 1.0);
   const TimeSeries b = synthesize_gpu_series(job, 1, 1.0);
-  EXPECT_EQ(a.values.max_abs_diff(b.values), 0.0);
+  EXPECT_DOUBLE_EQ(a.values.max_abs_diff(b.values), 0.0);
 }
 
 TEST(GpuSynth, DifferentGpusOfOneJobDiffer) {
@@ -201,7 +201,7 @@ TEST(CpuSynth, ShapeAndDeterminism) {
   EXPECT_EQ(a.sensors(), kNumCpuMetrics);
   EXPECT_EQ(a.steps(), 120u);  // 1200 s at 0.1 Hz
   const TimeSeries b = synthesize_cpu_series(job, 0);
-  EXPECT_EQ(a.values.max_abs_diff(b.values), 0.0);
+  EXPECT_DOUBLE_EQ(a.values.max_abs_diff(b.values), 0.0);
 }
 
 TEST(CpuSynth, CpuAndGpuRatesDifferForSameTrial) {

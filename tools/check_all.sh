@@ -1,0 +1,86 @@
+#!/usr/bin/env sh
+# The one-command correctness meta-gate — what a CI job calls.
+#
+# Runs, in order:
+#   release   configure + build + ctest for the release preset
+#   asan      full suite under ASan+UBSan       (tests/run_sanitized.sh)
+#   tsan      full suite under ThreadSanitizer  (tests/run_tsan.sh)
+#   tidy      curated clang-tidy set            (tools/run_clang_tidy.sh)
+#   lint      scwc_lint project invariants      (tools/scwc_lint)
+#
+# and prints one PASS/FAIL/SKIP line per gate plus a final verdict. A gate
+# failure does not stop later gates — CI wants the full picture in one run.
+# Exit status: 0 when no gate FAILed (SKIPs allowed), 1 otherwise.
+#
+# Environment: SCWC_CHECK_JOBS caps build/test parallelism (default nproc).
+set -u
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+jobs=${SCWC_CHECK_JOBS:-$(nproc 2>/dev/null || echo 4)}
+summary=""
+overall=0
+
+record() {
+  # record <gate> <status 0|1|2>  — 2 means SKIP
+  case "$2" in
+    0) summary="$summary
+PASS  $1" ;;
+    2) summary="$summary
+SKIP  $1" ;;
+    *) summary="$summary
+FAIL  $1"; overall=1 ;;
+  esac
+}
+
+run_gate() {
+  # run_gate <name> <cmd...>
+  name=$1; shift
+  echo "==> gate: $name"
+  if "$@"; then
+    record "$name" 0
+  else
+    record "$name" 1
+  fi
+}
+
+# -- release ---------------------------------------------------------------
+release_gate() {
+  cmake --preset release &&
+    cmake --build --preset release -j "$jobs" &&
+    ctest --test-dir build --output-on-failure -j "$jobs"
+}
+run_gate release release_gate
+
+# -- asan ------------------------------------------------------------------
+run_gate asan tests/run_sanitized.sh
+
+# -- tsan ------------------------------------------------------------------
+run_gate tsan tests/run_tsan.sh
+
+# -- clang-tidy ------------------------------------------------------------
+echo "==> gate: tidy"
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  tools/run_clang_tidy.sh  # prints the SKIP explanation
+  record tidy 2
+elif tools/run_clang_tidy.sh; then
+  record tidy 0
+else
+  record tidy 1
+fi
+
+# -- scwc_lint -------------------------------------------------------------
+echo "==> gate: lint"
+if [ -x build/tools/scwc_lint ]; then
+  if build/tools/scwc_lint "$repo_root"; then record lint 0; else record lint 1; fi
+else
+  echo "check_all.sh: build/tools/scwc_lint missing (release gate failed?)" >&2
+  record lint 1
+fi
+
+echo
+echo "==================== check_all summary ===================="
+echo "$summary" | sed '/^$/d'
+echo "==========================================================="
+exit "$overall"

@@ -1,0 +1,450 @@
+#include "lint_core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace scwc::lint {
+
+namespace {
+
+bool is_ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `token` occurs in `line` as a whole identifier.
+bool has_token(std::string_view line, std::string_view token) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// First position of `token` as a whole identifier, npos when absent.
+std::size_t find_token(std::string_view line, std::string_view token,
+                       std::size_t from = 0) {
+  std::size_t pos = from;
+  while ((pos = line.find(token, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) return pos;
+    pos += 1;
+  }
+  return std::string_view::npos;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// True when `arg` is a bare floating-point literal (possibly signed):
+/// 1.5, .5, 5., 1e-3, 2.5f, 1E+6 — but not 2u, 107, x, f(1.0).
+bool is_float_literal(std::string_view arg) {
+  arg = trim(arg);
+  if (arg.empty()) return false;
+  if (arg.front() == '+' || arg.front() == '-') arg.remove_prefix(1);
+  bool saw_digit = false;
+  bool saw_dot = false;
+  bool saw_exp = false;
+  std::size_t i = 0;
+  for (; i < arg.size(); ++i) {
+    const char c = arg[i];
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      saw_digit = true;
+    } else if (c == '\'' && saw_digit) {
+      continue;  // digit separator
+    } else if (c == '.' && !saw_dot && !saw_exp) {
+      saw_dot = true;
+    } else if ((c == 'e' || c == 'E') && saw_digit && !saw_exp) {
+      saw_exp = true;
+      if (i + 1 < arg.size() && (arg[i + 1] == '+' || arg[i + 1] == '-')) ++i;
+    } else {
+      break;
+    }
+  }
+  if (!saw_digit || (!saw_dot && !saw_exp)) return false;
+  // Allow a float suffix; anything else means it's a larger expression.
+  const std::string_view rest = arg.substr(i);
+  return rest.empty() || rest == "f" || rest == "F" || rest == "l" ||
+         rest == "L";
+}
+
+/// Splits the contents of a balanced macro argument list at top-level
+/// commas. `text` starts just after the opening '('. Returns false when
+/// the parens never balance (macro spans something we can't parse).
+bool split_macro_args(std::string_view text, std::vector<std::string_view>* out,
+                      std::size_t* consumed) {
+  int depth = 1;
+  std::size_t arg_start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      if (depth == 0) {
+        out->push_back(text.substr(arg_start, i - arg_start));
+        *consumed = i + 1;
+        return true;
+      }
+    } else if (c == ',' && depth == 1) {
+      out->push_back(text.substr(arg_start, i - arg_start));
+      arg_start = i + 1;
+    }
+  }
+  return false;
+}
+
+/// Per-line and per-file suppressions parsed from the raw text.
+struct Suppressions {
+  std::vector<std::vector<std::string>> by_line;  // [line-1] → rules
+  std::vector<std::string> file_wide;
+};
+
+void parse_rule_list(std::string_view list, std::vector<std::string>* out) {
+  std::size_t start = 0;
+  while (start < list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string_view::npos) comma = list.size();
+    const std::string_view rule = trim(list.substr(start, comma - start));
+    if (!rule.empty()) out->emplace_back(rule);
+    start = comma + 1;
+  }
+}
+
+Suppressions parse_suppressions(const std::vector<std::string_view>& lines) {
+  Suppressions sup;
+  sup.by_line.resize(lines.size());
+  constexpr std::string_view kTag = "scwc-lint:";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::size_t tag = lines[i].find(kTag);
+    if (tag == std::string_view::npos) continue;
+    const std::string_view rest = lines[i].substr(tag + kTag.size());
+    for (const auto& [directive, file_wide] :
+         {std::pair<std::string_view, bool>{"allow-file(", true},
+          std::pair<std::string_view, bool>{"allow(", false}}) {
+      const std::size_t open = rest.find(directive);
+      if (open == std::string_view::npos) continue;
+      const std::size_t list_start = open + directive.size();
+      const std::size_t close = rest.find(')', list_start);
+      if (close == std::string_view::npos) continue;
+      const std::string_view list = rest.substr(list_start, close - list_start);
+      parse_rule_list(list, file_wide ? &sup.file_wide : &sup.by_line[i]);
+      break;  // "allow-file(" also contains "allow(" — stop after a match
+    }
+  }
+  return sup;
+}
+
+bool suppressed(const Suppressions& sup, std::size_t line_index,
+                std::string_view rule) {
+  const auto match = [rule](const std::string& r) { return r == rule; };
+  if (std::any_of(sup.file_wide.begin(), sup.file_wide.end(), match)) {
+    return true;
+  }
+  return line_index < sup.by_line.size() &&
+         std::any_of(sup.by_line[line_index].begin(),
+                     sup.by_line[line_index].end(), match);
+}
+
+}  // namespace
+
+FileContext classify_path(std::string_view rel_path) {
+  FileContext ctx;
+  ctx.is_header = rel_path.ends_with(".hpp");
+  ctx.in_lib = rel_path.starts_with("src/");
+  ctx.in_tests = rel_path.starts_with("tests/");
+  ctx.is_rng_impl = rel_path.starts_with("src/common/rng.");
+  ctx.is_env_impl = rel_path.starts_with("src/common/env.");
+  return ctx;
+}
+
+std::string strip_comments_and_strings(std::string_view source) {
+  std::string out;
+  out.reserve(source.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          // R"(...)" raw strings: skip to the matching close-delimiter so
+          // unescaped quotes/backslashes inside don't derail the scan.
+          const bool raw = i > 0 && source[i - 1] == 'R';
+          if (raw) {
+            const std::size_t paren = source.find('(', i + 1);
+            if (paren != std::string_view::npos) {
+              const std::string delim(source.substr(i + 1, paren - i - 1));
+              const std::string closer = ")" + delim + "\"";
+              const std::size_t close = source.find(closer, paren + 1);
+              const std::size_t end = close == std::string_view::npos
+                                          ? source.size()
+                                          : close + closer.size();
+              out += '"';
+              for (std::size_t j = i + 1; j < end; ++j) {
+                out += source[j] == '\n' ? '\n' : ' ';
+              }
+              i = end - 1;
+              break;
+            }
+          }
+          state = State::kString;
+          out += c;
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += c;
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char terminator = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+          if (next == '\n') out.back() = '\n';
+        } else if (c == terminator) {
+          state = State::kCode;
+          out += c;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kNames = {
+      "no-raw-rand",  "no-stdout-in-lib", "no-raw-getenv",
+      "pragma-once",  "no-float-eq",      "no-naked-new",
+  };
+  return kNames;
+}
+
+std::vector<Finding> lint_source(std::string_view rel_path,
+                                 std::string_view raw,
+                                 const FileContext& ctx) {
+  std::vector<Finding> findings;
+  const std::vector<std::string_view> raw_lines = split_lines(raw);
+  const std::string stripped = strip_comments_and_strings(raw);
+  const std::vector<std::string_view> lines = split_lines(stripped);
+  const Suppressions sup = parse_suppressions(raw_lines);
+
+  const auto report = [&](std::size_t line_index, std::string_view rule,
+                          std::string message) {
+    if (suppressed(sup, line_index, rule)) return;
+    findings.push_back(Finding{std::string(rel_path), line_index + 1,
+                               std::string(rule), std::move(message)});
+  };
+
+  // pragma-once: headers must carry the guard on a real (non-comment) line.
+  if (ctx.is_header) {
+    const bool found =
+        std::any_of(lines.begin(), lines.end(), [](std::string_view l) {
+          const std::string_view t = trim(l);
+          return t == "#pragma once" || t.starts_with("#pragma once");
+        });
+    if (!found) {
+      report(0, "pragma-once", "header is missing '#pragma once'");
+    }
+  }
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+
+    // no-raw-rand
+    if (!ctx.is_rng_impl) {
+      for (const std::string_view token : {"rand", "srand", "rand_r"}) {
+        if (has_token(line, token)) {
+          report(i, "no-raw-rand",
+                 "'" + std::string(token) +
+                     "' breaks reproducibility — draw from scwc::Rng "
+                     "(src/common/rng.hpp)");
+        }
+      }
+      if (has_token(line, "random_device")) {
+        report(i, "no-raw-rand",
+               "'std::random_device' is non-deterministic — seed scwc::Rng "
+               "explicitly instead");
+      }
+    }
+
+    // no-stdout-in-lib
+    if (ctx.in_lib) {
+      if (line.find("std::cout") != std::string_view::npos) {
+        report(i, "no-stdout-in-lib",
+               "library code must not print to std::cout — use SCWC_LOG_* "
+               "or take a std::ostream&");
+      }
+      for (const std::string_view token : {"printf", "puts", "putchar"}) {
+        if (has_token(line, token)) {
+          report(i, "no-stdout-in-lib",
+                 "library code must not call '" + std::string(token) +
+                     "' — use SCWC_LOG_* or take a std::ostream&");
+        }
+      }
+    }
+
+    // no-raw-getenv
+    if (!ctx.is_env_impl && has_token(line, "getenv")) {
+      report(i, "no-raw-getenv",
+             "read environment variables through scwc::env_string/env_int "
+             "(src/common/env.hpp)");
+    }
+
+    // no-naked-new / naked delete
+    {
+      std::size_t pos = find_token(line, "new");
+      while (pos != std::string_view::npos) {
+        const std::string_view before = trim(line.substr(0, pos));
+        const bool op_overload = before.ends_with("operator");
+        if (!op_overload) {
+          report(i, "no-naked-new",
+                 "naked 'new' — own memory with std::make_unique / "
+                 "containers");
+          break;
+        }
+        pos = find_token(line, "new", pos + 3);
+      }
+      pos = find_token(line, "delete");
+      while (pos != std::string_view::npos) {
+        const std::string_view before = trim(line.substr(0, pos));
+        const bool deleted_fn = before.ends_with("=");   // `= delete;`
+        const bool op_overload = before.ends_with("operator");
+        if (!deleted_fn && !op_overload) {
+          report(i, "no-naked-new",
+                 "naked 'delete' — pair allocation with RAII ownership "
+                 "instead");
+          break;
+        }
+        pos = find_token(line, "delete", pos + 6);
+      }
+    }
+  }
+
+  // no-float-eq: scan the whole stripped text so multi-line macros parse.
+  if (ctx.in_tests) {
+    for (const std::string_view macro : {"EXPECT_EQ", "ASSERT_EQ",
+                                         "EXPECT_NE", "ASSERT_NE"}) {
+      std::size_t pos = 0;
+      const std::string_view text = stripped;
+      while ((pos = find_token(text, macro, pos)) !=
+             std::string_view::npos) {
+        const std::size_t open = text.find('(', pos + macro.size());
+        if (open == std::string_view::npos) break;
+        std::vector<std::string_view> parts;
+        std::size_t consumed = 0;
+        if (split_macro_args(text.substr(open + 1), &parts, &consumed) &&
+            std::any_of(parts.begin(), parts.end(), is_float_literal)) {
+          const std::size_t line_index = static_cast<std::size_t>(
+              std::count(text.begin(),
+                         text.begin() + static_cast<std::ptrdiff_t>(pos),
+                         '\n'));
+          report(line_index, "no-float-eq",
+                 std::string(macro) +
+                     " against a float literal — use EXPECT_DOUBLE_EQ or "
+                     "EXPECT_NEAR with an epsilon");
+        }
+        pos = open + 1 + consumed;
+      }
+    }
+  }
+
+  return findings;
+}
+
+std::vector<Finding> lint_tree(const std::filesystem::path& root) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> findings;
+  std::vector<std::string> rel_paths;
+  for (const std::string_view top : {"src", "bench", "tests", "tools"}) {
+    const fs::path dir = root / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      rel_paths.push_back(
+          fs::relative(entry.path(), root).generic_string());
+    }
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+  for (const std::string& rel : rel_paths) {
+    std::ifstream in(root / rel, std::ios::binary);
+    if (!in.is_open()) {
+      findings.push_back(
+          Finding{rel, 0, "io-error", "cannot open file for linting"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string raw = buf.str();
+    std::vector<Finding> file_findings =
+        lint_source(rel, raw, classify_path(rel));
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+}  // namespace scwc::lint

@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Runs the curated .clang-tidy check set over the library tree, driven by
+# the compile_commands.json that every CMake preset now exports
+# (CMAKE_EXPORT_COMPILE_COMMANDS=ON).
+#
+#   tools/run_clang_tidy.sh               # lint src/ + tools/ off build/
+#   tools/run_clang_tidy.sh build-asan    # use another preset's database
+#
+# Exit status: 0 clean (or tool unavailable — see below), 1 findings,
+# 2 missing compile database.
+#
+# Gating on availability: this container ships only the GNU toolchain, so
+# clang-tidy may be absent. In that case the script prints SKIP and exits 0
+# rather than failing the meta-gate — the .clang-tidy config is still the
+# contract, enforced on any machine that has the tool (CI image, dev
+# laptops). tools/check_all.sh surfaces the SKIP distinctly from PASS.
+set -u
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+build_dir=${1:-build}
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: SKIP — clang-tidy not installed on this machine"
+  echo "(the .clang-tidy gate runs wherever LLVM is available; install"
+  echo "clang-tidy and re-run to enforce locally)"
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy.sh: no $build_dir/compile_commands.json —" >&2
+  echo "configure first (cmake --preset release); every preset exports" >&2
+  echo "the compilation database." >&2
+  exit 2
+fi
+
+# Library + tooling sources only: benches/examples/tests are compiled with
+# the same warnings but are not part of the tidy contract (gtest macros and
+# benchmark fixtures trip style checks by design).
+files=$(find src tools -name '*.cpp' | sort)
+
+status=0
+for f in $files; do
+  clang-tidy -p "$build_dir" --quiet "$f" || status=1
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "run_clang_tidy.sh: PASS — curated check set clean"
+else
+  echo "run_clang_tidy.sh: FAIL — findings above" >&2
+fi
+exit "$status"

@@ -1,0 +1,63 @@
+// scwc_lint — project-invariant checker (see tools/lint_core.hpp for the
+// rule table and DESIGN.md §8 for the rationale).
+//
+// Usage:
+//   scwc_lint [repo_root]     # default root: current directory
+//   scwc_lint --list-rules
+//
+// Exit status: 0 when the tree is clean, 1 when any rule fired, 2 on
+// usage/IO errors. Registered as a ctest (`scwc_lint`) so every preset
+// runs it; CI calls it through tools/check_all.sh.
+//
+// This is a standalone tool, not library code, so it prints to stdout on
+// purpose (it is also outside src/, where the no-stdout-in-lib rule binds).
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "lint_core.hpp"
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  using scwc::lint::Finding;
+
+  fs::path root = fs::current_path();
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : scwc::lint::rule_names()) {
+        std::cout << rule << '\n';
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: scwc_lint [repo_root] [--list-rules]\n";
+      return 0;
+    }
+    if (arg.front() == '-') {
+      std::cerr << "scwc_lint: unknown flag '" << arg << "'\n";
+      return 2;
+    }
+    root = fs::path(arg);
+  }
+
+  if (!fs::exists(root / "src")) {
+    std::cerr << "scwc_lint: '" << root.string()
+              << "' does not look like the repo root (no src/ directory)\n";
+    return 2;
+  }
+
+  const std::vector<Finding> findings = scwc::lint::lint_tree(root);
+  for (const Finding& f : findings) {
+    std::cout << f.file << ':' << f.line << ": [" << f.rule << "] "
+              << f.message << '\n';
+  }
+  if (findings.empty()) {
+    std::cout << "scwc_lint: clean (" << scwc::lint::rule_names().size()
+              << " rules)\n";
+    return 0;
+  }
+  std::cout << "scwc_lint: " << findings.size() << " finding(s)\n";
+  return 1;
+}
