@@ -4,14 +4,21 @@
 //  will help in classifying snapshots of data from live workloads running
 //  in-progress".
 //
-// This example trains a random-forest classifier on random-window data
-// (so it has seen snapshots from every phase of a job), then simulates an
-// unseen job "running live" and classifies a sliding 60-second window as
-// the telemetry streams in, printing the classifier's belief over time.
+// This example runs the production serving path (src/serve/) end to end:
+// it trains — or loads from --model-cache — a versioned model bundle,
+// registers it, and streams an unseen job "running live" through the
+// ClassificationService. The WindowAssembler closes a sliding 60-second
+// window every --stride-s seconds, the MicroBatcher coalesces them, and
+// each window's guarded verdict is printed as its batch resolves —
+// alongside the forest's top-3 belief so the classifier's confidence over
+// the job's phases stays visible.
 //
 //   ./live_monitor [--scale tiny|small|full] [--job-class NAME]
 #include <filesystem>
 #include <iostream>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/env.hpp"
@@ -21,7 +28,8 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "preprocess/pipeline.hpp"
+#include "serve/bundle_io.hpp"
+#include "serve/service.hpp"
 #include "telemetry/architectures.hpp"
 #include "telemetry/corpus.hpp"
 #include "telemetry/gpu_synth.hpp"
@@ -33,7 +41,7 @@ int main(int argc, char** argv) {
   cli.add_flag("scale", "tiny", "scale profile: tiny|small|full");
   cli.add_flag("job-class", "Bert", "architecture the live job runs");
   cli.add_flag("stride-s", "30", "seconds between classifications");
-  cli.add_flag("model-cache", "", "path to save/load the trained forest "
+  cli.add_flag("model-cache", "", "path to save/load the serving bundle "
                "(trains once, reloads on later runs)");
   cli.parse(argc, argv);
   if (cli.help_requested()) return 0;
@@ -41,36 +49,55 @@ int main(int argc, char** argv) {
   const ScaleProfile profile = ScaleProfile::named(cli.get_string("scale"));
   const telemetry::ArchitectureInfo& target =
       telemetry::architecture_by_name(cli.get_string("job-class"));
-
-  // 1) Train on random windows (best coverage of job phases).
-  std::cout << "training monitor model on 60-random-1 windows...\n";
-  telemetry::CorpusConfig corpus_config;
-  corpus_config.jobs_per_class_scale = profile.jobs_per_class;
-  const telemetry::Corpus corpus = telemetry::generate_corpus(corpus_config);
   const core::ChallengeConfig challenge_config =
       core::ChallengeConfig::from_profile(profile);
-  const data::ChallengeDataset ds = core::build_challenge_dataset(
-      corpus, challenge_config, data::WindowPolicy::kRandom, 0);
 
-  preprocess::FeaturePipeline pipeline(
-      {preprocess::Reduction::kCovariance, 0});
-  const linalg::Matrix train_features = pipeline.fit_transform(ds.x_train);
-  ml::RandomForest forest({.n_estimators = 100});
+  // 1) Obtain the serving bundle: load the cached serialisation when one
+  // exists, else train on random windows (best coverage of job phases).
   const std::string cache = cli.get_string("model-cache");
+  std::shared_ptr<const serve::ModelBundle> bundle;
   if (!cache.empty() && std::filesystem::exists(cache)) {
-    forest.load_file(cache);
-    std::cout << "loaded cached model from " << cache << "\n\n";
+    bundle = serve::load_bundle_file(cache);
+    std::cout << "loaded cached bundle " << bundle->version() << " from "
+              << cache << "\n\n";
   } else {
-    forest.fit(train_features, ds.y_train);
+    std::cout << "training monitor bundle on 60-random-1 windows...\n";
+    telemetry::CorpusConfig corpus_config;
+    corpus_config.jobs_per_class_scale = profile.jobs_per_class;
+    const telemetry::Corpus corpus =
+        telemetry::generate_corpus(corpus_config);
+    const data::ChallengeDataset ds = core::build_challenge_dataset(
+        corpus, challenge_config, data::WindowPolicy::kRandom, 0);
+    serve::RfBundleSpec spec;
+    spec.version = "rf-cov-live-v1";
+    spec.pipeline = {preprocess::Reduction::kCovariance, 0};
+    spec.forest.n_estimators = 100;
+    bundle = serve::train_rf_bundle(spec, ds.x_train, ds.y_train);
     if (!cache.empty()) {
-      forest.save_file(cache);
-      std::cout << "cached trained model to " << cache << '\n';
+      serve::save_bundle_file(*bundle, cache);
+      std::cout << "cached bundle to " << cache << '\n';
     }
+    std::cout << "bundle " << bundle->version() << " ready ("
+              << ds.train_trials() << " training trials)\n\n";
   }
-  std::cout << "model ready (" << forest.tree_count() << " trees, "
-            << ds.train_trials() << " training trials)\n\n";
+  const std::size_t window = bundle->guard_config().window_steps;
+  const std::size_t sensors = bundle->guard_config().sensors;
 
-  // 2) Simulate an unseen live job of the requested class.
+  // 2) Stand up the serving path: registry + service with a sliding-window
+  // assembler (stride < window ⇒ overlapping snapshots, like the original
+  // monitor loop — but assembled, admitted and batched by src/serve/).
+  serve::ModelRegistry registry;
+  registry.register_bundle(bundle);
+  serve::ServiceConfig service_config;
+  service_config.assembler.window_steps = window;
+  service_config.assembler.sensors = sensors;
+  service_config.assembler.stride_steps = static_cast<std::size_t>(
+      cli.get_double("stride-s") * challenge_config.sample_hz);
+  service_config.assembler.min_partial_steps = 0;  // full windows only
+  serve::ClassificationService service(registry, service_config);
+
+  // 3) Simulate an unseen live job of the requested class and stream it in
+  // one-stride chunks, the way the telemetry would actually arrive.
   telemetry::JobSpec live;
   live.job_id = 999999;
   live.class_id = target.class_id;
@@ -84,52 +111,77 @@ int main(int argc, char** argv) {
   std::cout << "live job: " << target.name << " ("
             << family_name(target.family) << "), " << live.duration_s
             << " s @ " << challenge_config.sample_hz << " Hz\n";
-  std::cout << "time(s)  prediction        correct  top-3 belief\n";
 
-  const std::size_t window = challenge_config.window_steps;
-  const auto stride_steps = static_cast<std::size_t>(
-      cli.get_double("stride-s") * challenge_config.sample_hz);
+  std::vector<serve::PendingWindow> pending;
+  const std::size_t chunk =
+      service_config.assembler.effective_stride() * sensors;
+  const auto flat = stream.values.flat();
+  for (std::size_t at = 0; at < flat.size(); at += chunk) {
+    const auto block = flat.subspan(at, std::min(chunk, flat.size() - at));
+    for (auto& p : service.ingest_block(live.job_id, block)) {
+      pending.push_back(std::move(p));
+    }
+  }
+  for (auto& p : service.finish_job(live.job_id)) {
+    pending.push_back(std::move(p));
+  }
+
+  // 4) Print each window's guarded verdict as its batch resolves, with the
+  // forest's top-3 belief recomputed for display (the service itself only
+  // reports the argmax label).
+  const auto* forest =
+      dynamic_cast<const ml::RandomForest*>(&bundle->model());
+  std::cout << "time(s)  prediction        correct  top-3 belief\n";
   std::size_t correct = 0;
   std::size_t total = 0;
-  for (std::size_t offset = 0; offset + window <= stream.steps();
-       offset += stride_steps) {
-    const obs::TraceSpan window_span("monitor.classify_window");
-    data::Tensor3 snapshot(1, window, stream.sensors());
-    data::extract_window(stream, offset, window, snapshot.trial(0));
-    const linalg::Matrix features = pipeline.transform(snapshot);
-    const linalg::Matrix proba = forest.predict_proba(features);
-
-    // Top-3 classes by probability.
-    std::vector<std::pair<double, int>> ranked;
-    for (std::size_t c = 0; c < telemetry::kNumClasses; ++c) {
-      ranked.emplace_back(proba(0, c), static_cast<int>(c));
+  for (serve::PendingWindow& p : pending) {
+    const serve::ServeResult result = p.result.get();
+    const double at_s =
+        static_cast<double>(p.start_step) / challenge_config.sample_hz;
+    if (!result.accepted) {
+      std::cout << format_fixed(at_s, 0) << "\t shed ("
+                << reject_reason_name(result.reject_reason) << ")\n";
+      continue;
     }
-    std::sort(ranked.rbegin(), ranked.rend());
-
-    const int predicted = ranked[0].second;
-    const bool hit = predicted == target.class_id;
+    if (result.prediction.abstained) {
+      std::cout << format_fixed(at_s, 0) << "\t abstain ("
+                << robust::abstain_reason_name(result.prediction.reason)
+                << ", quality "
+                << format_fixed(result.prediction.report.quality(), 2)
+                << ")\n";
+      continue;
+    }
+    const bool hit = result.prediction.label == target.class_id;
     correct += hit ? 1 : 0;
     ++total;
-
-    std::cout << format_fixed(
-                     static_cast<double>(offset) / challenge_config.sample_hz,
-                     0)
-              << "\t " << telemetry::architecture(predicted).name << "\t  "
-              << (hit ? "yes" : "NO ") << "     ";
-    for (int k = 0; k < 3; ++k) {
-      std::cout << telemetry::architecture(ranked[static_cast<std::size_t>(k)]
-                                               .second)
-                       .name
-                << "=" << format_fixed(ranked[static_cast<std::size_t>(k)]
-                                           .first * 100.0,
-                                       0)
-                << "% ";
+    std::cout << format_fixed(at_s, 0) << "\t "
+              << telemetry::architecture(result.prediction.label).name
+              << "\t  " << (hit ? "yes" : "NO ") << "     ";
+    if (forest != nullptr) {
+      const obs::TraceSpan belief_span("monitor.top3_belief");
+      data::Tensor3 snapshot(1, window, sensors);
+      data::extract_window(stream, p.start_step, window, snapshot.trial(0));
+      const linalg::Matrix proba =
+          forest->predict_proba(bundle->pipeline().transform(snapshot));
+      std::vector<std::pair<double, int>> ranked;
+      for (std::size_t c = 0; c < telemetry::kNumClasses; ++c) {
+        ranked.emplace_back(proba(0, c), static_cast<int>(c));
+      }
+      std::sort(ranked.rbegin(), ranked.rend());
+      for (int k = 0; k < 3; ++k) {
+        const auto& [belief, class_id] = ranked[static_cast<std::size_t>(k)];
+        std::cout << telemetry::architecture(class_id).name << "="
+                  << format_fixed(belief * 100.0, 0) << "% ";
+      }
     }
-    std::cout << '\n';
+    std::cout << "[batch " << result.batch_size << "]\n";
   }
+  service.stop();
+
   std::cout << "\nwindow accuracy on the live stream: "
-            << format_fixed(100.0 * static_cast<double>(correct) /
-                                static_cast<double>(total),
+            << format_fixed(total > 0 ? 100.0 * static_cast<double>(correct) /
+                                            static_cast<double>(total)
+                                      : 0.0,
                             1)
             << "% (" << correct << "/" << total << " windows)\n";
   std::cout << "note: the earliest windows overlap the generic startup "

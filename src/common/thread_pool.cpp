@@ -61,12 +61,36 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     SCWC_REQUIRE(!stop_,
                  "ThreadPool::submit after stop() — the pool no longer "
                  "accepts tasks");
+    // The unbounded contract is for bounded producers (parallel_for); a
+    // queue this deep means an open-loop producer picked the wrong API.
+    SCWC_CHECK(queue_.size() < kUnboundedQueueSanityLimit,
+               "ThreadPool::submit queue exceeded the unbounded-growth "
+               "sanity limit — open-loop producers must use try_submit");
     queue_.push_back(std::move(pt));
     obs_submitted_.inc();
     obs_queue_depth_.set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
   return fut;
+}
+
+bool ThreadPool::try_submit(std::function<void()> task,
+                            std::size_t max_queue) {
+  std::packaged_task<void()> pt(std::move(task));
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_ || queue_.size() >= max_queue) return false;
+    queue_.push_back(std::move(pt));
+    obs_submitted_.inc();
+    obs_queue_depth_.set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 namespace {

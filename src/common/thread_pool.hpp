@@ -42,7 +42,36 @@ class ThreadPool {
   /// Throws scwc::Error once the pool has been stopped — a submit that used
   /// to race destruction and deadlock waiting on a future no worker would
   /// ever serve.
+  ///
+  /// The queue is UNBOUNDED: submit never blocks and never sheds, so a
+  /// producer that outruns the workers grows the queue without limit.
+  /// That is the right contract for parallel_for (which submits at most
+  /// one task per worker and immediately waits), and the wrong one for an
+  /// open-loop request stream — servers must use try_submit, which is how
+  /// the serve layer implements admission control. As a backstop against a
+  /// runaway producer, submit asserts the queue stays below
+  /// kUnboundedQueueSanityLimit and throws scwc::Error beyond it.
   std::future<void> submit(std::function<void()> task);
+
+  /// Queue depth at which submit() declares the producer runaway. Far above
+  /// anything parallel_for/model training can create (they submit ≤ one
+  /// task per worker); hitting it means a caller needed try_submit.
+  static constexpr std::size_t kUnboundedQueueSanityLimit = 1u << 20;
+
+  /// Non-blocking bounded submit: enqueues `task` only when fewer than
+  /// `max_queue` tasks are already waiting, and returns whether it was
+  /// accepted. Never blocks and never throws on a stopped pool — a stopped
+  /// pool simply rejects (check stopped() to distinguish "full" from
+  /// "shutting down"). The task runs detached: exceptions it throws are
+  /// swallowed, so callers route failures through their own channel (the
+  /// serve layer fulfils a promise inside the task). This is the primitive
+  /// behind AdmissionController's load shedding.
+  [[nodiscard]] bool try_submit(std::function<void()> task,
+                                std::size_t max_queue);
+
+  /// Number of tasks currently waiting in the queue (excludes running
+  /// tasks). Instantaneous — use for monitoring and shed decisions only.
+  [[nodiscard]] std::size_t queue_depth() const;
 
   /// Drains queued tasks, then joins all workers. Idempotent and safe to
   /// call from several threads at once: EVERY call — including a second,

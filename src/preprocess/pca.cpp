@@ -90,6 +90,32 @@ void Pca::fit(const linalg::Matrix& x) {
   fitted_k_ = k;
 }
 
+Pca Pca::restore(linalg::Vector mean, linalg::Matrix components,
+                 linalg::Vector explained_variance,
+                 linalg::Vector explained_variance_ratio) {
+  const std::size_t d = mean.size();
+  const std::size_t k = components.cols();
+  SCWC_REQUIRE(d > 0 && k > 0, "Pca::restore: empty parameters");
+  SCWC_REQUIRE(components.rows() == d,
+               "Pca::restore: components matrix height differs from mean");
+  SCWC_REQUIRE(explained_variance.size() == k &&
+                   explained_variance_ratio.size() == k,
+               "Pca::restore: variance vector length differs from k");
+  for (const double v : mean) {
+    SCWC_REQUIRE(std::isfinite(v), "Pca::restore: non-finite mean entry");
+  }
+  for (const double v : components.flat()) {
+    SCWC_REQUIRE(std::isfinite(v), "Pca::restore: non-finite component");
+  }
+  Pca out(k);
+  out.fitted_k_ = k;
+  out.mean_ = std::move(mean);
+  out.components_matrix_ = std::move(components);
+  out.explained_variance_ = std::move(explained_variance);
+  out.explained_variance_ratio_ = std::move(explained_variance_ratio);
+  return out;
+}
+
 linalg::Matrix Pca::transform(const linalg::Matrix& x) const {
   SCWC_REQUIRE(fitted(), "PCA used before fit()");
   SCWC_REQUIRE(x.cols() == mean_.size(), "PCA width mismatch");

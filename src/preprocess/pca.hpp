@@ -40,6 +40,17 @@ class Pca {
   [[nodiscard]] bool fitted() const noexcept { return !mean_.empty(); }
   [[nodiscard]] std::size_t components() const noexcept { return fitted_k_; }
 
+  /// Per-feature mean subtracted before projection (valid after fit()).
+  [[nodiscard]] const linalg::Vector& mean() const noexcept { return mean_; }
+
+  /// Rebuilds a fitted PCA from previously extracted parameters (the
+  /// model-bundle persistence path). `components` is d×k with d ==
+  /// mean.size(); the variance vectors must have k entries each.
+  [[nodiscard]] static Pca restore(linalg::Vector mean,
+                                   linalg::Matrix components,
+                                   linalg::Vector explained_variance,
+                                   linalg::Vector explained_variance_ratio);
+
   /// Variance captured by each kept component, descending.
   [[nodiscard]] const linalg::Vector& explained_variance() const noexcept {
     return explained_variance_;

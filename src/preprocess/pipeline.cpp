@@ -65,6 +65,37 @@ linalg::Matrix FeaturePipeline::transform(const data::Tensor3& x) const {
   SCWC_FAIL("unhandled reduction");
 }
 
+FeaturePipeline FeaturePipeline::restore(FeaturePipelineConfig config,
+                                         std::size_t steps,
+                                         std::size_t sensors,
+                                         StandardScaler scaler,
+                                         std::optional<Pca> pca) {
+  SCWC_REQUIRE(steps > 0 && sensors > 0,
+               "FeaturePipeline::restore: empty window geometry");
+  SCWC_REQUIRE(scaler.fitted(), "FeaturePipeline::restore: unfitted scaler");
+  SCWC_REQUIRE(scaler.means().size() == steps * sensors,
+               "FeaturePipeline::restore: scaler width differs from "
+               "steps × sensors");
+  if (config.reduction == Reduction::kPca) {
+    SCWC_REQUIRE(pca.has_value() && pca->fitted(),
+                 "FeaturePipeline::restore: kPca pipeline needs a fitted PCA");
+    SCWC_REQUIRE(pca->mean().size() == steps * sensors,
+                 "FeaturePipeline::restore: PCA width differs from "
+                 "steps × sensors");
+    config.pca_components = pca->components();
+  } else {
+    SCWC_REQUIRE(!pca.has_value(),
+                 "FeaturePipeline::restore: PCA supplied for a non-PCA "
+                 "reduction");
+  }
+  FeaturePipeline out(config);
+  out.steps_ = steps;
+  out.sensors_ = sensors;
+  out.scaler_ = std::move(scaler);
+  out.pca_ = std::move(pca);
+  return out;
+}
+
 linalg::Matrix FeaturePipeline::fit_transform(const data::Tensor3& x_train) {
   fit(x_train);
   return transform(x_train);

@@ -43,6 +43,25 @@ class FeaturePipeline {
     return config_;
   }
 
+  /// Fitted geometry and parameters — the serve layer's bundle persistence
+  /// reads these (and restore() writes them back).
+  [[nodiscard]] bool fitted() const noexcept { return scaler_.fitted(); }
+  [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+  [[nodiscard]] std::size_t sensors() const noexcept { return sensors_; }
+  [[nodiscard]] const StandardScaler& scaler() const noexcept {
+    return scaler_;
+  }
+  [[nodiscard]] const std::optional<Pca>& pca() const noexcept { return pca_; }
+
+  /// Rebuilds a fitted pipeline from previously extracted parts. A kPca
+  /// pipeline must come with a fitted Pca whose component count matches the
+  /// config; the other reductions must come without one.
+  [[nodiscard]] static FeaturePipeline restore(FeaturePipelineConfig config,
+                                               std::size_t steps,
+                                               std::size_t sensors,
+                                               StandardScaler scaler,
+                                               std::optional<Pca> pca);
+
  private:
   FeaturePipelineConfig config_;
   std::size_t steps_ = 0;

@@ -27,6 +27,24 @@ void StandardScaler::fit(const linalg::Matrix& x) {
   }
 }
 
+StandardScaler StandardScaler::restore(linalg::Vector means,
+                                       linalg::Vector scales) {
+  SCWC_REQUIRE(!means.empty() && means.size() == scales.size(),
+               "StandardScaler::restore: means/scales length mismatch");
+  for (std::size_t c = 0; c < means.size(); ++c) {
+    SCWC_REQUIRE(std::isfinite(means[c]),
+                 "StandardScaler::restore: non-finite mean in column " +
+                     std::to_string(c));
+    SCWC_REQUIRE(std::isfinite(scales[c]) && scales[c] > 0.0,
+                 "StandardScaler::restore: non-positive scale in column " +
+                     std::to_string(c));
+  }
+  StandardScaler out;
+  out.means_ = std::move(means);
+  out.scales_ = std::move(scales);
+  return out;
+}
+
 linalg::Matrix StandardScaler::transform(const linalg::Matrix& x) const {
   SCWC_REQUIRE(fitted(), "StandardScaler used before fit()");
   SCWC_REQUIRE(x.cols() == means_.size(),

@@ -31,6 +31,12 @@ class StandardScaler {
   [[nodiscard]] const linalg::Vector& means() const noexcept { return means_; }
   [[nodiscard]] const linalg::Vector& scales() const noexcept { return scales_; }
 
+  /// Rebuilds a fitted scaler from previously extracted parameters (the
+  /// model-bundle persistence path). Lengths must match and scales must be
+  /// finite and positive, as fit() guarantees.
+  [[nodiscard]] static StandardScaler restore(linalg::Vector means,
+                                              linalg::Vector scales);
+
  private:
   linalg::Vector means_;
   linalg::Vector scales_;

@@ -86,6 +86,35 @@ GuardedPrediction GuardedClassifier::abstain(AbstainReason reason,
   return out;
 }
 
+namespace {
+
+/// Counts non-finite values / fully-missing steps / dead sensors of a
+/// steps×sensors window into `report`, then repairs it in place. Shared by
+/// the single and batched classify paths so both see identical windows.
+void account_and_impute(std::span<double> window, std::size_t steps,
+                        std::size_t sensors, const ImputationConfig& config,
+                        QualityReport& report) {
+  std::vector<std::size_t> finite_per_sensor(sensors, 0);
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::size_t missing_here = 0;
+    for (std::size_t s = 0; s < sensors; ++s) {
+      if (std::isfinite(window[t * sensors + s])) {
+        ++finite_per_sensor[s];
+      } else {
+        ++missing_here;
+      }
+    }
+    report.missing_values += missing_here;
+    if (missing_here == sensors) ++report.missing_steps;
+  }
+  for (std::size_t s = 0; s < sensors; ++s) {
+    if (finite_per_sensor[s] == 0) ++report.dead_sensors;
+  }
+  impute_window(window, steps, sensors, config, report);
+}
+
+}  // namespace
+
 GuardedPrediction GuardedClassifier::classify(std::span<const double> window,
                                               std::size_t steps,
                                               std::size_t sensors) const {
@@ -104,23 +133,7 @@ GuardedPrediction GuardedClassifier::classify(std::span<const double> window,
   try {
     // 2. Finiteness accounting + repair through the robust ingestion path.
     std::vector<double> repaired(window.begin(), window.end());
-    std::vector<std::size_t> finite_per_sensor(sensors, 0);
-    for (std::size_t t = 0; t < steps; ++t) {
-      std::size_t missing_here = 0;
-      for (std::size_t s = 0; s < sensors; ++s) {
-        if (std::isfinite(repaired[t * sensors + s])) {
-          ++finite_per_sensor[s];
-        } else {
-          ++missing_here;
-        }
-      }
-      report.missing_values += missing_here;
-      if (missing_here == sensors) ++report.missing_steps;
-    }
-    for (std::size_t s = 0; s < sensors; ++s) {
-      if (finite_per_sensor[s] == 0) ++report.dead_sensors;
-    }
-    impute_window(repaired, steps, sensors, config_.imputation, report);
+    account_and_impute(repaired, steps, sensors, config_.imputation, report);
 
     // 3. Quality gate: don't consult the model on garbage.
     if (!report.usable(config_.min_quality)) {
@@ -152,6 +165,84 @@ GuardedPrediction GuardedClassifier::classify(std::span<const double> window,
 GuardedPrediction GuardedClassifier::classify(
     const linalg::Matrix& window) const {
   return classify(window.flat(), window.rows(), window.cols());
+}
+
+std::vector<GuardedPrediction> GuardedClassifier::classify_batch(
+    const data::Tensor3& windows) const {
+  const std::size_t count = windows.trials();
+  std::vector<GuardedPrediction> out(count);
+  if (count == 0) return out;
+  const std::size_t steps = windows.steps();
+  const std::size_t sensors = windows.sensors();
+  guard_counters().classified.inc(count);
+
+  // 1. Shape gate — the tensor fixes one geometry for the whole batch, so
+  // a mismatch abstains every window (the serving layer routes odd-shaped
+  // requests through the single-window path instead of packing them).
+  if (steps != config_.window_steps || sensors != config_.sensors ||
+      steps == 0 || sensors == 0) {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i].report.steps = steps;
+      out[i].report.sensors = sensors;
+      out[i].report.shape_ok = false;
+      out[i] = abstain(AbstainReason::kShape, out[i].report);
+    }
+    return out;
+  }
+
+  // 2. Per-window accounting, repair and quality gating — identical to the
+  // single-window path. Survivors are packed densely for the model.
+  std::vector<std::size_t> survivors;
+  survivors.reserve(count);
+  data::Tensor3 repaired(count, steps, sensors);
+  for (std::size_t i = 0; i < count; ++i) {
+    QualityReport& report = out[i].report;
+    report.steps = steps;
+    report.sensors = sensors;
+    const std::span<const double> src = windows.trial(i);
+    const std::span<double> dst = repaired.trial(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+    account_and_impute(dst, steps, sensors, config_.imputation, report);
+    if (report.usable(config_.min_quality)) {
+      survivors.push_back(i);
+    } else {
+      out[i] = abstain(AbstainReason::kQuality, report);
+    }
+  }
+  if (survivors.empty()) return out;
+
+  try {
+    // 3. One featurise + one predict for every survivor. Each window's
+    // features depend only on its own values, so row r of the batch equals
+    // the features a batch-of-one would produce for that window.
+    data::Tensor3 packed(survivors.size(), steps, sensors);
+    for (std::size_t j = 0; j < survivors.size(); ++j) {
+      const std::span<const double> src = repaired.trial(survivors[j]);
+      std::copy(src.begin(), src.end(), packed.trial(j).begin());
+    }
+    const linalg::Matrix features = pipeline_.transform(packed);
+    const std::vector<int> predicted = model_.predict(features);
+    if (predicted.size() != survivors.size()) {
+      for (const std::size_t i : survivors) {
+        out[i] = abstain(AbstainReason::kModelError, out[i].report);
+      }
+      return out;
+    }
+    for (std::size_t j = 0; j < survivors.size(); ++j) {
+      GuardedPrediction& p = out[survivors[j]];
+      p.label = predicted[j];
+      p.abstained = false;
+      p.reason = AbstainReason::kNone;
+    }
+    guard_counters().answered.inc(survivors.size());
+    return out;
+  } catch (...) {
+    // Same contract as classify(): the guarded path never throws.
+    for (const std::size_t i : survivors) {
+      out[i] = abstain(AbstainReason::kModelError, out[i].report);
+    }
+    return out;
+  }
 }
 
 }  // namespace scwc::robust

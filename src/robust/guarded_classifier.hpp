@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "data/tensor3.hpp"
 #include "linalg/matrix.hpp"
 #include "ml/classifier.hpp"
 #include "preprocess/pipeline.hpp"
@@ -83,6 +84,18 @@ class GuardedClassifier {
 
   /// Matrix convenience overload (rows = steps, cols = sensors).
   [[nodiscard]] GuardedPrediction classify(const linalg::Matrix& window) const;
+
+  /// Classifies every trial of `windows` in one batched model call — the
+  /// serving fast path (serve::MicroBatcher coalesces concurrent requests
+  /// into one of these). Per-window validation, imputation and quality
+  /// gating are identical to classify(); the surviving windows share one
+  /// pipeline transform and one Classifier::predict matrix call, whose
+  /// per-row results are the same as a batch-of-one (both paths featurise
+  /// each window independently), so batched labels match single-request
+  /// labels. Never throws; a pipeline/model failure abstains every window
+  /// that reached the model with kModelError.
+  [[nodiscard]] std::vector<GuardedPrediction> classify_batch(
+      const data::Tensor3& windows) const;
 
  private:
   GuardedPrediction abstain(AbstainReason reason, QualityReport report) const;

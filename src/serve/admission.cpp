@@ -1,0 +1,66 @@
+#include "serve/admission.hpp"
+
+#include <utility>
+
+namespace scwc::serve {
+
+const char* reject_reason_name(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kQueueFull:
+      return "queue_full";
+    case RejectReason::kExecutor:
+      return "executor";
+    case RejectReason::kShutdown:
+      return "shutdown";
+    case RejectReason::kNoModel:
+      return "no_model";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(ThreadPool& pool,
+                                         AdmissionConfig config)
+    : pool_(pool), config_(config) {
+  auto& reg = obs::MetricsRegistry::global();
+  obs_shed_queue_full_ = reg.counter("scwc_serve_shed_queue_full_total");
+  obs_shed_executor_ = reg.counter("scwc_serve_shed_executor_total");
+  obs_shed_shutdown_ = reg.counter("scwc_serve_shed_shutdown_total");
+  obs_shed_no_model_ = reg.counter("scwc_serve_shed_no_model_total");
+}
+
+void AdmissionController::count_shed(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kQueueFull:
+      obs_shed_queue_full_.inc();
+      break;
+    case RejectReason::kExecutor:
+      obs_shed_executor_.inc();
+      break;
+    case RejectReason::kShutdown:
+      obs_shed_shutdown_.inc();
+      break;
+    case RejectReason::kNoModel:
+      obs_shed_no_model_.inc();
+      break;
+    case RejectReason::kNone:
+      break;
+  }
+}
+
+RejectReason AdmissionController::admit_request(std::size_t pending_now) {
+  if (closed()) return RejectReason::kShutdown;
+  if (pending_now >= config_.max_pending) return RejectReason::kQueueFull;
+  return RejectReason::kNone;
+}
+
+RejectReason AdmissionController::dispatch(std::function<void()> run_batch) {
+  if (closed()) return RejectReason::kShutdown;
+  if (pool_.try_submit(std::move(run_batch), config_.max_executor_queue)) {
+    return RejectReason::kNone;
+  }
+  return pool_.stopped() ? RejectReason::kShutdown : RejectReason::kExecutor;
+}
+
+}  // namespace scwc::serve

@@ -1,0 +1,75 @@
+// Admission control: bounded queues and typed load shedding.
+//
+// Two places in the serving path can back up — the batcher's request queue
+// (producers outrunning inference) and the ThreadPool's task queue (batch
+// execution outrunning the workers). The AdmissionController bounds both:
+// requests beyond max_pending are shed with kQueueFull BEFORE they enter
+// the batcher, and batches the pool cannot take (ThreadPool::try_submit
+// returning false at max_executor_queue) shed with kExecutor. Shedding at
+// the door keeps latency of accepted requests bounded under overload
+// instead of letting every request queue and time out — standard
+// load-shedding doctrine for open-loop arrival streams.
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "serve/serve_types.hpp"
+
+namespace scwc::serve {
+
+/// Queue bounds. Defaults absorb a 16× batch burst before shedding.
+struct AdmissionConfig {
+  std::size_t max_pending = 1024;     ///< batcher requests before kQueueFull
+  std::size_t max_executor_queue = 64;  ///< pool tasks before kExecutor
+};
+
+/// Gatekeeper in front of the MicroBatcher and the ThreadPool.
+class AdmissionController {
+ public:
+  /// `pool` must outlive the controller.
+  AdmissionController(ThreadPool& pool, AdmissionConfig config);
+
+  /// Decides whether a request may enter the batcher given its current
+  /// queue depth. Returns kNone to admit; otherwise the shed reason
+  /// (kShutdown once closed, kQueueFull at the bound). Pure decision — the
+  /// caller counts the shed through count_shed() when it rejects.
+  [[nodiscard]] RejectReason admit_request(std::size_t pending_now);
+
+  /// Hands a cut batch to the pool through try_submit. Returns kNone when
+  /// enqueued; kExecutor when the pool's queue is at the bound; kShutdown
+  /// when the pool has stopped or the controller is closed. Does NOT count
+  /// sheds — the caller sheds one batch as many requests and counts each
+  /// through count_shed().
+  [[nodiscard]] RejectReason dispatch(std::function<void()> run_batch);
+
+  /// Marks shutdown: every later admit_request/dispatch sheds kShutdown.
+  void close() noexcept { closed_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const AdmissionConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Counts one shed request for `reason` on its per-reason counter — the
+  /// single accounting point: the service calls it once per rejected
+  /// request, whatever produced the rejection (admission, dispatch, or the
+  /// service itself, e.g. kNoModel). kNone is a no-op.
+  void count_shed(RejectReason reason) noexcept;
+
+ private:
+  ThreadPool& pool_;
+  AdmissionConfig config_;
+  std::atomic<bool> closed_{false};
+
+  obs::CounterHandle obs_shed_queue_full_;
+  obs::CounterHandle obs_shed_executor_;
+  obs::CounterHandle obs_shed_shutdown_;
+  obs::CounterHandle obs_shed_no_model_;
+};
+
+}  // namespace scwc::serve

@@ -1,0 +1,30 @@
+// Bundle persistence: serialise a ModelBundle so a serving process can load
+// a version without retraining (and roll between versions from disk).
+//
+// Format: little-endian binary, mirroring the RandomForest serialisation it
+// embeds — magic, format version, bundle version string, guard config,
+// fitted pipeline parameters (scaler, optional PCA basis), then the model
+// tagged by Classifier::name(). Only RandomForest models are supported;
+// other families serve from freshly trained in-process bundles.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "serve/model_registry.hpp"
+
+namespace scwc::serve {
+
+/// Writes `bundle` to a stream/file. Throws scwc::Error for model families
+/// without a serialiser (anything but RandomForest) or on I/O failure.
+void save_bundle(const ModelBundle& bundle, std::ostream& os);
+void save_bundle_file(const ModelBundle& bundle, const std::string& path);
+
+/// Reads a bundle back. Throws scwc::Error on bad magic, unsupported format
+/// or model tag, truncation, or non-finite/ill-shaped parameters.
+[[nodiscard]] std::shared_ptr<const ModelBundle> load_bundle(std::istream& is);
+[[nodiscard]] std::shared_ptr<const ModelBundle> load_bundle_file(
+    const std::string& path);
+
+}  // namespace scwc::serve

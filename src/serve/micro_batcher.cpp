@@ -1,0 +1,101 @@
+#include "serve/micro_batcher.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace scwc::serve {
+
+MicroBatcher::MicroBatcher(MicroBatcherConfig config, BatchRunner runner)
+    : config_(config), runner_(std::move(runner)) {
+  SCWC_REQUIRE(config_.max_batch > 0, "MicroBatcher: max_batch must be > 0");
+  SCWC_REQUIRE(config_.max_delay_s >= 0.0,
+               "MicroBatcher: max_delay_s must be >= 0");
+  SCWC_REQUIRE(static_cast<bool>(runner_),
+               "MicroBatcher: a batch runner is required");
+  auto& reg = obs::MetricsRegistry::global();
+  obs_flush_size_ = reg.counter("scwc_serve_batch_flush_size_total");
+  obs_flush_deadline_ = reg.counter("scwc_serve_batch_flush_deadline_total");
+  obs_queue_depth_ = reg.gauge("scwc_serve_batch_queue_depth");
+  obs_batch_size_ = reg.histogram(
+      "scwc_serve_batch_size",
+      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+MicroBatcher::~MicroBatcher() { stop(); }
+
+bool MicroBatcher::submit(BatchRequest&& request) {
+  request.enqueued = std::chrono::steady_clock::now();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return false;
+    pending_.push_back(std::move(request));
+    obs_queue_depth_.set(static_cast<double>(pending_.size()));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::size_t MicroBatcher::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+std::vector<BatchRequest> MicroBatcher::cut_batch_locked() {
+  const std::size_t n = std::min(config_.max_batch, pending_.size());
+  std::vector<BatchRequest> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  obs_queue_depth_.set(static_cast<double>(pending_.size()));
+  obs_batch_size_.observe(static_cast<double>(n));
+  return batch;
+}
+
+void MicroBatcher::flusher_loop() {
+  const auto max_delay = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(config_.max_delay_s));
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // Wait out the remaining deadline of the OLDEST request unless the
+    // batch fills (or stop) first. wait_until re-checks under the lock, so
+    // a submit racing the deadline either makes this batch or the next.
+    const auto deadline = pending_.front().enqueued + max_delay;
+    const bool filled = cv_.wait_until(lock, deadline, [this] {
+      return stop_ || pending_.size() >= config_.max_batch;
+    });
+    if (filled && !stop_) {
+      obs_flush_size_.inc();
+    } else if (!stop_) {
+      obs_flush_deadline_.inc();
+    }
+    std::vector<BatchRequest> batch = cut_batch_locked();
+    lock.unlock();
+    runner_(std::move(batch));
+    lock.lock();
+    if (stop_ && pending_.empty()) return;
+  }
+}
+
+void MicroBatcher::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  // Serialise the join so concurrent stop() calls (destructor racing an
+  // explicit stop) both return only after the flusher exited.
+  const std::lock_guard<std::mutex> join_lock(join_mutex_);
+  if (flusher_.joinable()) flusher_.join();
+}
+
+}  // namespace scwc::serve

@@ -1,0 +1,98 @@
+// Deadline/size micro-batching of concurrent classification requests.
+//
+// Single-window inference wastes the matrix-shaped fast paths below it
+// (one pipeline transform + one Classifier::predict per window). The
+// MicroBatcher queues incoming requests and flushes them as ONE batch when
+// either the batch is full (max_batch) or the oldest request has waited
+// max_delay_s — the classic latency/throughput knob of online serving.
+//
+// The batcher owns a dedicated flusher thread; batch execution itself is
+// delegated to a BatchRunner callback installed by the owning service
+// (which typically hops onto the shared ThreadPool through the
+// AdmissionController). Each request carries a promise; whatever happens —
+// flush, shutdown, runner failure — the promise is fulfilled exactly once.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/serve_types.hpp"
+
+namespace scwc::serve {
+
+/// Flush policy. Defaults favour throughput at a 5 ms latency budget.
+struct MicroBatcherConfig {
+  std::size_t max_batch = 64;   ///< flush immediately at this size
+  double max_delay_s = 0.005;   ///< flush when the oldest request is this old
+};
+
+/// One queued classification request.
+struct BatchRequest {
+  std::vector<double> window;  ///< row-major steps × sensors
+  std::size_t steps = 0;
+  std::size_t sensors = 0;
+  std::chrono::steady_clock::time_point enqueued;
+  std::promise<ServeResult> promise;
+};
+
+/// Coalesces submitted requests into batches under a deadline/size policy.
+class MicroBatcher {
+ public:
+  /// Receives the cut batch and must fulfil every request's promise.
+  using BatchRunner = std::function<void(std::vector<BatchRequest>&&)>;
+
+  /// Starts the flusher thread. `runner` is called on the flusher thread,
+  /// once per cut batch, never concurrently with itself.
+  MicroBatcher(MicroBatcherConfig config, BatchRunner runner);
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues one request (stamping `enqueued`) and returns true, or
+  /// returns false after stop() — the caller then fulfils the promise
+  /// itself with a shutdown rejection.
+  [[nodiscard]] bool submit(BatchRequest&& request);
+
+  /// Requests currently queued (instantaneous; admission reads this).
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Flushes every queued request, then joins the flusher. Idempotent.
+  /// After stop() submit() returns false.
+  void stop();
+
+  [[nodiscard]] const MicroBatcherConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void flusher_loop();
+  /// Cuts up to max_batch requests off the queue front. Caller holds mutex_.
+  std::vector<BatchRequest> cut_batch_locked();
+
+  MicroBatcherConfig config_;
+  BatchRunner runner_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<BatchRequest> pending_;
+  bool stop_ = false;
+  std::thread flusher_;
+  // Serialises the join phase of stop(); distinct from mutex_ because the
+  // flusher takes mutex_ while draining.
+  std::mutex join_mutex_;
+
+  obs::CounterHandle obs_flush_size_;      ///< flushes triggered by max_batch
+  obs::CounterHandle obs_flush_deadline_;  ///< flushes triggered by max_delay
+  obs::GaugeHandle obs_queue_depth_;
+  obs::HistogramHandle obs_batch_size_;
+};
+
+}  // namespace scwc::serve

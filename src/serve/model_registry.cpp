@@ -1,0 +1,113 @@
+#include "serve/model_registry.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace scwc::serve {
+
+ModelBundle::ModelBundle(std::string version,
+                         preprocess::FeaturePipeline pipeline,
+                         std::unique_ptr<ml::Classifier> model,
+                         robust::GuardedConfig guard_config)
+    : version_(std::move(version)),
+      pipeline_(std::move(pipeline)),
+      model_(std::move(model)),
+      guard_(pipeline_, *model_, guard_config) {
+  SCWC_REQUIRE(!version_.empty(), "ModelBundle: version must be non-empty");
+  SCWC_REQUIRE(pipeline_.fitted(), "ModelBundle: pipeline must be fitted");
+  SCWC_REQUIRE(guard_config.window_steps == pipeline_.steps() &&
+                   guard_config.sensors == pipeline_.sensors(),
+               "ModelBundle: guard geometry must match the fitted pipeline");
+}
+
+std::shared_ptr<const ModelBundle> train_rf_bundle(
+    const RfBundleSpec& spec, const data::Tensor3& x_train,
+    std::span<const int> y_train) {
+  SCWC_REQUIRE(x_train.trials() == y_train.size(),
+               "train_rf_bundle: |x_train| != |y_train|");
+  preprocess::FeaturePipeline pipeline(spec.pipeline);
+  const linalg::Matrix features = pipeline.fit_transform(x_train);
+  auto forest = std::make_unique<ml::RandomForest>(spec.forest);
+  forest->fit(features, y_train);
+
+  robust::GuardedConfig guard;
+  guard.window_steps = x_train.steps();
+  guard.sensors = x_train.sensors();
+  guard.min_quality = spec.min_quality;
+  guard.fallback_label = robust::majority_label(y_train);
+  guard.imputation = spec.imputation;
+  return std::make_shared<const ModelBundle>(spec.version, std::move(pipeline),
+                                             std::move(forest), guard);
+}
+
+ModelRegistry::ModelRegistry() {
+  auto& reg = obs::MetricsRegistry::global();
+  obs_swaps_ = reg.counter("scwc_serve_registry_swaps_total");
+  obs_rollbacks_ = reg.counter("scwc_serve_registry_rollbacks_total");
+  obs_bundles_ = reg.gauge("scwc_serve_registry_bundles");
+}
+
+void ModelRegistry::register_bundle(std::shared_ptr<const ModelBundle> bundle,
+                                    bool activate) {
+  SCWC_REQUIRE(bundle != nullptr, "register_bundle: null bundle");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = bundles_.emplace(bundle->version(), bundle);
+  SCWC_REQUIRE(inserted, "register_bundle: version already registered: " +
+                             bundle->version());
+  obs_bundles_.set(static_cast<double>(bundles_.size()));
+  if (activate) {
+    if (current_ != nullptr) {
+      activation_history_.push_back(current_->version());
+    }
+    current_ = std::move(bundle);
+    obs_swaps_.inc();
+  }
+}
+
+std::shared_ptr<const ModelBundle> ModelRegistry::current() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::shared_ptr<const ModelBundle> ModelRegistry::get(
+    const std::string& version) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = bundles_.find(version);
+  return it == bundles_.end() ? nullptr : it->second;
+}
+
+void ModelRegistry::activate(const std::string& version) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = bundles_.find(version);
+  SCWC_REQUIRE(it != bundles_.end(), "activate: unknown version: " + version);
+  if (current_ == it->second) return;
+  if (current_ != nullptr) {
+    activation_history_.push_back(current_->version());
+  }
+  current_ = it->second;
+  obs_swaps_.inc();
+}
+
+std::shared_ptr<const ModelBundle> ModelRegistry::rollback() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (activation_history_.empty()) return nullptr;
+  const std::string version = activation_history_.back();
+  activation_history_.pop_back();
+  const auto it = bundles_.find(version);
+  // Registered bundles are never removed, so the history entry resolves.
+  SCWC_CHECK(it != bundles_.end(), "rollback: history names unknown version");
+  current_ = it->second;
+  obs_rollbacks_.inc();
+  return current_;
+}
+
+std::vector<std::string> ModelRegistry::versions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(bundles_.size());
+  for (const auto& [version, bundle] : bundles_) out.push_back(version);
+  return out;
+}
+
+}  // namespace scwc::serve

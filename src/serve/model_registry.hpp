@@ -1,0 +1,124 @@
+// Versioned model bundles with atomic hot-swap and rollback.
+//
+// A ModelBundle is everything one model version needs to serve: the fitted
+// FeaturePipeline, the Classifier, and the GuardedClassifier wrapping both
+// behind the quality gate. Bundles are immutable once registered and held
+// by shared_ptr<const>, so a hot-swap is one pointer move: in-flight
+// batches keep the bundle they captured at cut time and drain on the old
+// version while new batches pick up the new one — no request ever sees a
+// half-swapped model.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/tensor3.hpp"
+#include "ml/classifier.hpp"
+#include "ml/random_forest.hpp"
+#include "obs/metrics.hpp"
+#include "preprocess/pipeline.hpp"
+#include "robust/guarded_classifier.hpp"
+
+namespace scwc::serve {
+
+/// One immutable serving unit: pipeline + model + guard. Non-copyable and
+/// non-movable because the guard holds references into the other members —
+/// always heap-allocate through std::make_shared.
+class ModelBundle {
+ public:
+  /// Takes ownership of fitted parts. `guard_config`'s geometry must match
+  /// the pipeline's fitted geometry.
+  ModelBundle(std::string version, preprocess::FeaturePipeline pipeline,
+              std::unique_ptr<ml::Classifier> model,
+              robust::GuardedConfig guard_config);
+
+  ModelBundle(const ModelBundle&) = delete;
+  ModelBundle& operator=(const ModelBundle&) = delete;
+
+  [[nodiscard]] const std::string& version() const noexcept {
+    return version_;
+  }
+  [[nodiscard]] const robust::GuardedClassifier& guard() const noexcept {
+    return guard_;
+  }
+  [[nodiscard]] const preprocess::FeaturePipeline& pipeline() const noexcept {
+    return pipeline_;
+  }
+  [[nodiscard]] const ml::Classifier& model() const noexcept {
+    return *model_;
+  }
+  [[nodiscard]] const robust::GuardedConfig& guard_config() const noexcept {
+    return guard_.config();
+  }
+
+ private:
+  std::string version_;
+  preprocess::FeaturePipeline pipeline_;
+  std::unique_ptr<ml::Classifier> model_;
+  robust::GuardedClassifier guard_;  // references pipeline_/model_: keep last
+};
+
+/// Spec for training a fresh RandomForest bundle (the registry's built-in
+/// recipe; other model families register hand-built bundles directly).
+struct RfBundleSpec {
+  std::string version;
+  preprocess::FeaturePipelineConfig pipeline;
+  ml::RandomForestConfig forest;
+  double min_quality = 0.5;
+  robust::ImputationConfig imputation;
+};
+
+/// Fits pipeline + forest on a training tensor and wraps them as a bundle.
+/// The guard's geometry comes from the tensor; the fallback label is the
+/// training majority class.
+[[nodiscard]] std::shared_ptr<const ModelBundle> train_rf_bundle(
+    const RfBundleSpec& spec, const data::Tensor3& x_train,
+    std::span<const int> y_train);
+
+/// Thread-safe directory of bundles with one "current" serving version.
+class ModelRegistry {
+ public:
+  ModelRegistry();
+
+  /// Adds a bundle (version must be unique); when `activate` is set, makes
+  /// it current and records the previous current version for rollback().
+  void register_bundle(std::shared_ptr<const ModelBundle> bundle,
+                       bool activate = true);
+
+  /// The serving bundle, or nullptr when none is active. Callers capture
+  /// this once per BATCH (not per request) so every window in a batch is
+  /// answered by the same version.
+  [[nodiscard]] std::shared_ptr<const ModelBundle> current() const;
+
+  /// Looks up a registered version; nullptr when unknown.
+  [[nodiscard]] std::shared_ptr<const ModelBundle> get(
+      const std::string& version) const;
+
+  /// Atomically switches serving to `version`. Throws scwc::Error on an
+  /// unknown version. No-op (no history entry) when already current.
+  void activate(const std::string& version);
+
+  /// Reverts to the previously active version and returns it; returns
+  /// nullptr (and changes nothing) when there is no earlier activation.
+  std::shared_ptr<const ModelBundle> rollback();
+
+  /// Registered versions, sorted.
+  [[nodiscard]] std::vector<std::string> versions() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const ModelBundle>> bundles_;
+  std::shared_ptr<const ModelBundle> current_;
+  /// Versions that were current before each activate(), oldest first.
+  std::vector<std::string> activation_history_;
+
+  obs::CounterHandle obs_swaps_;
+  obs::CounterHandle obs_rollbacks_;
+  obs::GaugeHandle obs_bundles_;
+};
+
+}  // namespace scwc::serve

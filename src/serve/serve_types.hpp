@@ -1,0 +1,44 @@
+// Shared result types of the online serving subsystem.
+//
+// Every request that enters scwc_serve leaves exactly one of three ways:
+// rejected by admission control (ServeResult::accepted == false, with a
+// typed RejectReason), answered by the model, or abstained by the guarded
+// inference path (both accepted == true, with the GuardedPrediction
+// carrying the label/abstention and its quality evidence). Latency and
+// batch metadata ride along so load generators and dashboards never have
+// to correlate with a second channel.
+#pragma once
+
+#include <string>
+
+#include "robust/guarded_classifier.hpp"
+
+namespace scwc::serve {
+
+/// Why admission control rejected a request. Each reason maps to a
+/// scwc_serve_shed_<reason>_total counter so overload behaviour is visible
+/// per cause, not as one lump.
+enum class RejectReason {
+  kNone = 0,     ///< not rejected
+  kQueueFull,    ///< batcher queue at its bound — sustained overload
+  kExecutor,     ///< ThreadPool batch queue at its bound (try_submit false)
+  kShutdown,     ///< service stopping/stopped
+  kNoModel,      ///< registry has no active bundle
+};
+
+/// Short stable name ("queue_full", "executor", "shutdown", "no_model";
+/// "none" when accepted).
+[[nodiscard]] const char* reject_reason_name(RejectReason reason) noexcept;
+
+/// Final outcome of one serve request.
+struct ServeResult {
+  bool accepted = false;            ///< false → shed; prediction is empty
+  RejectReason reject_reason = RejectReason::kNone;
+  robust::GuardedPrediction prediction;  ///< valid when accepted
+  std::string model_version;        ///< bundle that served the batch
+  double queue_delay_s = 0.0;       ///< submit → batch cut from the queue
+  double total_latency_s = 0.0;     ///< submit → result ready
+  std::size_t batch_size = 0;       ///< windows in the serving batch
+};
+
+}  // namespace scwc::serve

@@ -1,0 +1,222 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace scwc::serve {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start,
+                     std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double>(now - start).count();
+}
+
+}  // namespace
+
+ClassificationService::ClassificationService(ModelRegistry& registry,
+                                             ServiceConfig config,
+                                             ThreadPool* pool)
+    : registry_(registry),
+      config_(config),
+      pool_(pool != nullptr ? *pool : ThreadPool::global()),
+      assembler_(config.assembler),
+      admission_(pool_, config.admission) {
+  auto& reg = obs::MetricsRegistry::global();
+  obs_requests_ = reg.counter("scwc_serve_requests_total");
+  obs_request_seconds_ = reg.histogram("scwc_serve_request_seconds");
+  obs_batch_exec_seconds_ = reg.histogram("scwc_serve_batch_exec_seconds");
+  batcher_ = std::make_unique<MicroBatcher>(
+      config_.batcher,
+      [this](std::vector<BatchRequest>&& batch) { run_batch(std::move(batch)); });
+}
+
+ClassificationService::~ClassificationService() { stop(); }
+
+void ClassificationService::shed(BatchRequest& request, RejectReason reason) {
+  admission_.count_shed(reason);
+  ServeResult result;
+  result.accepted = false;
+  result.reject_reason = reason;
+  result.total_latency_s =
+      seconds_since(request.enqueued, std::chrono::steady_clock::now());
+  request.promise.set_value(std::move(result));
+}
+
+std::future<ServeResult> ClassificationService::submit(
+    std::vector<double> window, std::size_t steps, std::size_t sensors) {
+  obs_requests_.inc();
+  BatchRequest request;
+  request.window = std::move(window);
+  request.steps = steps;
+  request.sensors = sensors;
+  request.enqueued = std::chrono::steady_clock::now();
+  std::future<ServeResult> future = request.promise.get_future();
+
+  RejectReason reason = RejectReason::kNone;
+  if (registry_.current() == nullptr) {
+    reason = RejectReason::kNoModel;
+  } else {
+    reason = admission_.admit_request(batcher_->pending());
+  }
+  if (reason == RejectReason::kNone && !batcher_->submit(std::move(request))) {
+    reason = RejectReason::kShutdown;  // batcher stopped between checks
+    // submit() moved-from only on success; on false the request is intact.
+  }
+  if (reason != RejectReason::kNone) {
+    shed(request, reason);
+  }
+  return future;
+}
+
+std::vector<PendingWindow> ClassificationService::ingest(
+    std::int64_t job_id, std::span<const double> sample) {
+  return ingest_block(job_id, sample);
+}
+
+std::vector<PendingWindow> ClassificationService::ingest_block(
+    std::int64_t job_id, std::span<const double> block) {
+  std::vector<AssembledWindow> closed = assembler_.push_block(job_id, block);
+  std::vector<PendingWindow> out;
+  out.reserve(closed.size());
+  for (AssembledWindow& window : closed) {
+    PendingWindow pending;
+    pending.job_id = window.job_id;
+    pending.start_step = window.start_step;
+    pending.result =
+        submit(std::move(window.values), config_.assembler.window_steps,
+               config_.assembler.sensors);
+    out.push_back(std::move(pending));
+  }
+  return out;
+}
+
+std::vector<PendingWindow> ClassificationService::finish_job(
+    std::int64_t job_id) {
+  std::vector<AssembledWindow> closed = assembler_.finish(job_id);
+  std::vector<PendingWindow> out;
+  out.reserve(closed.size());
+  for (AssembledWindow& window : closed) {
+    PendingWindow pending;
+    pending.job_id = window.job_id;
+    pending.start_step = window.start_step;
+    pending.result =
+        submit(std::move(window.values), config_.assembler.window_steps,
+               config_.assembler.sensors);
+    out.push_back(std::move(pending));
+  }
+  return out;
+}
+
+void ClassificationService::run_batch(std::vector<BatchRequest>&& batch) {
+  if (batch.empty()) return;
+  const obs::TraceSpan span("serve.flush");
+  const std::shared_ptr<const ModelBundle> bundle = registry_.current();
+  if (bundle == nullptr) {
+    for (BatchRequest& request : batch) shed(request, RejectReason::kNoModel);
+    return;
+  }
+
+  if (admission_.closed()) {
+    // Draining after stop(): the pool may already be needed elsewhere and
+    // new dispatches would be refused — answer the queued requests inline.
+    execute_batch(bundle, batch);
+    return;
+  }
+
+  // BatchRequest is move-only (promise) but std::function requires a
+  // copyable callable — hand the batch over through a shared_ptr.
+  auto shared =
+      std::make_shared<std::vector<BatchRequest>>(std::move(batch));
+  {
+    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    ++inflight_batches_;
+  }
+  // The notify happens UNDER inflight_mutex_: stop()'s waiter re-acquires
+  // the mutex before returning, so it cannot observe inflight == 0 and let
+  // the destructor tear down inflight_cv_ while notify_all() is still
+  // executing on this thread (cv-destruction race TSan catches otherwise).
+  const RejectReason reason = admission_.dispatch([this, bundle, shared] {
+    execute_batch(bundle, *shared);
+    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    --inflight_batches_;
+    inflight_cv_.notify_all();
+  });
+  if (reason != RejectReason::kNone) {
+    {
+      const std::lock_guard<std::mutex> lock(inflight_mutex_);
+      --inflight_batches_;
+      inflight_cv_.notify_all();
+    }
+    for (BatchRequest& request : *shared) shed(request, reason);
+  }
+}
+
+void ClassificationService::execute_batch(
+    const std::shared_ptr<const ModelBundle>& bundle,
+    std::vector<BatchRequest>& batch) {
+  const obs::TraceSpan span("serve.predict_batch");
+  const auto exec_start = std::chrono::steady_clock::now();
+  const robust::GuardedConfig& guard = bundle->guard_config();
+  const std::size_t steps = guard.window_steps;
+  const std::size_t sensors = guard.sensors;
+
+  // Pack every well-shaped request into one tensor; odd-geometry requests
+  // take the single-window path (and abstain there with kShape).
+  std::vector<std::size_t> packed_index;
+  packed_index.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const BatchRequest& r = batch[i];
+    if (r.steps == steps && r.sensors == sensors &&
+        r.window.size() == steps * sensors) {
+      packed_index.push_back(i);
+    }
+  }
+  std::vector<robust::GuardedPrediction> packed_out;
+  if (!packed_index.empty()) {
+    data::Tensor3 windows(packed_index.size(), steps, sensors);
+    for (std::size_t j = 0; j < packed_index.size(); ++j) {
+      const std::vector<double>& src = batch[packed_index[j]].window;
+      std::copy(src.begin(), src.end(), windows.trial(j).begin());
+    }
+    packed_out = bundle->guard().classify_batch(windows);
+  }
+
+  std::size_t next_packed = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    BatchRequest& request = batch[i];
+    ServeResult result;
+    result.accepted = true;
+    result.model_version = bundle->version();
+    result.batch_size = batch.size();
+    result.queue_delay_s = seconds_since(request.enqueued, exec_start);
+    if (next_packed < packed_index.size() && packed_index[next_packed] == i) {
+      result.prediction = std::move(packed_out[next_packed]);
+      ++next_packed;
+    } else {
+      result.prediction = bundle->guard().classify(
+          request.window, request.steps, request.sensors);
+    }
+    result.total_latency_s =
+        seconds_since(request.enqueued, std::chrono::steady_clock::now());
+    obs_request_seconds_.observe(result.total_latency_s);
+    request.promise.set_value(std::move(result));
+  }
+  obs_batch_exec_seconds_.observe(
+      seconds_since(exec_start, std::chrono::steady_clock::now()));
+}
+
+void ClassificationService::stop() {
+  admission_.close();
+  // Flushes every queued batch through run_batch (inline-drain path above),
+  // then joins the flusher.
+  batcher_->stop();
+  // Wait out batches already handed to the pool.
+  std::unique_lock<std::mutex> lock(inflight_mutex_);
+  inflight_cv_.wait(lock, [this] { return inflight_batches_ == 0; });
+}
+
+}  // namespace scwc::serve

@@ -1,0 +1,127 @@
+// ClassificationService — the assembled online-inference front end.
+//
+// Wires the serve components into one request path:
+//
+//   ingest/submit → AdmissionController (bounded queue, typed shedding)
+//                 → MicroBatcher (deadline/size flush)
+//                 → ThreadPool task (one GuardedClassifier::classify_batch
+//                   on the ModelRegistry bundle captured at batch cut)
+//                 → per-request promise fulfilment
+//
+// Threading model: callers submit from any thread; the batcher's flusher
+// thread cuts batches and hands them to the shared ThreadPool, so flushing
+// never blocks on inference and inference parallelises across batches. The
+// bundle is captured ONCE per batch, making hot-swap atomic from the
+// request's point of view: every window of a batch is answered by the same
+// model version, and versions change only between batches.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "serve/admission.hpp"
+#include "serve/micro_batcher.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/serve_types.hpp"
+#include "serve/window_assembler.hpp"
+
+namespace scwc::serve {
+
+/// Full serving configuration. The assembler geometry must match the
+/// bundles the registry serves (odd-geometry windows abstain with kShape).
+struct ServiceConfig {
+  WindowAssemblerConfig assembler;
+  MicroBatcherConfig batcher;
+  AdmissionConfig admission;
+};
+
+/// One window emitted by the streaming API, with its pending result.
+struct PendingWindow {
+  std::int64_t job_id = 0;
+  std::size_t start_step = 0;
+  std::future<ServeResult> result;
+};
+
+/// The online classification service (see file header for the data flow).
+class ClassificationService {
+ public:
+  /// `registry` must outlive the service. `pool` defaults to the global
+  /// pool; pass a dedicated one to isolate serving from training load.
+  ClassificationService(ModelRegistry& registry, ServiceConfig config,
+                        ThreadPool* pool = nullptr);
+  ~ClassificationService();
+
+  ClassificationService(const ClassificationService&) = delete;
+  ClassificationService& operator=(const ClassificationService&) = delete;
+
+  /// Submits one complete window for classification. The future always
+  /// becomes ready: with a shed ServeResult (accepted == false) when
+  /// admission rejects or no model is active, else with the guarded
+  /// prediction once its batch executes.
+  [[nodiscard]] std::future<ServeResult> submit(std::vector<double> window,
+                                                std::size_t steps,
+                                                std::size_t sensors);
+
+  /// Streaming front door: feeds one sample row (or several with
+  /// ingest_block) into the WindowAssembler and submits every window that
+  /// closed. Returns the pending results (usually 0 or 1 per call).
+  [[nodiscard]] std::vector<PendingWindow> ingest(
+      std::int64_t job_id, std::span<const double> sample);
+  [[nodiscard]] std::vector<PendingWindow> ingest_block(
+      std::int64_t job_id, std::span<const double> block);
+
+  /// Ends a job's stream, submitting a final truncated window when the
+  /// assembler's partial policy allows one.
+  [[nodiscard]] std::vector<PendingWindow> finish_job(std::int64_t job_id);
+
+  /// Stops accepting requests, flushes queued batches, waits for in-flight
+  /// inference. Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const WindowAssembler& assembler() const noexcept {
+    return assembler_;
+  }
+  /// Requests queued in the batcher right now.
+  [[nodiscard]] std::size_t pending() const { return batcher_->pending(); }
+
+ private:
+  /// Runs on the flusher thread: captures the current bundle and dispatches
+  /// the batch to the pool. During drain (after stop() closed admission)
+  /// the batch executes inline instead, so queued requests still get
+  /// answered rather than shed.
+  void run_batch(std::vector<BatchRequest>&& batch);
+  /// Executes one batch against `bundle` and fulfils every promise.
+  void execute_batch(const std::shared_ptr<const ModelBundle>& bundle,
+                     std::vector<BatchRequest>& batch);
+  /// Fulfils a request's promise with a typed rejection (and counts it).
+  void shed(BatchRequest& request, RejectReason reason);
+
+  ModelRegistry& registry_;
+  ServiceConfig config_;
+  ThreadPool& pool_;
+  WindowAssembler assembler_;
+  AdmissionController admission_;
+  // unique_ptr: the batcher's runner captures `this`, so it is constructed
+  // after the members it uses and destroyed (stopping the flusher) first.
+  std::unique_ptr<MicroBatcher> batcher_;
+
+  // Batches handed to the pool but not finished; stop() waits for zero.
+  std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
+  std::size_t inflight_batches_ = 0;
+
+  obs::CounterHandle obs_requests_;
+  obs::HistogramHandle obs_request_seconds_;
+  obs::HistogramHandle obs_batch_exec_seconds_;
+};
+
+}  // namespace scwc::serve

@@ -1,0 +1,124 @@
+#include "serve/window_assembler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+#include "robust/robust_window.hpp"
+#include "telemetry/gpu_synth.hpp"
+
+namespace scwc::serve {
+
+WindowAssembler::WindowAssembler(WindowAssemblerConfig config)
+    : config_(config) {
+  SCWC_REQUIRE(config_.window_steps > 0 && config_.sensors > 0,
+               "WindowAssembler: window_steps and sensors must be set");
+  auto& reg = obs::MetricsRegistry::global();
+  obs_samples_ = reg.counter("scwc_serve_assembler_samples_total");
+  obs_windows_ = reg.counter("scwc_serve_assembler_windows_total");
+  obs_partial_windows_ =
+      reg.counter("scwc_serve_assembler_partial_windows_total");
+  obs_active_jobs_ = reg.gauge("scwc_serve_assembler_active_jobs");
+}
+
+AssembledWindow WindowAssembler::cut_window(std::int64_t job_id,
+                                            const JobStream& stream,
+                                            std::size_t start,
+                                            std::size_t available_steps) const {
+  const std::size_t sensors = config_.sensors;
+  // Wrap the available rows as a TimeSeries so extraction (including the
+  // NaN-padding of an absent tail) goes through the one robust path.
+  telemetry::TimeSeries series;
+  series.sample_hz = 0.0;  // extraction is offset-based; rate is irrelevant
+  series.values = linalg::Matrix(available_steps, sensors);
+  const std::size_t first = start - stream.base_step;
+  std::copy_n(stream.rows.begin() + static_cast<std::ptrdiff_t>(first * sensors),
+              available_steps * sensors, series.values.flat().begin());
+
+  AssembledWindow window;
+  window.job_id = job_id;
+  window.start_step = start;
+  window.values.assign(config_.window_steps * sensors, 0.0);
+  window.extraction = robust::robust_extract_window(
+      series, 0, config_.window_steps, window.values);
+  return window;
+}
+
+void WindowAssembler::drain_closed(std::int64_t job_id, JobStream& stream,
+                                   std::vector<AssembledWindow>& out) {
+  const std::size_t window = config_.window_steps;
+  const std::size_t stride = config_.effective_stride();
+  while (stream.total_steps >= stream.next_start + window) {
+    out.push_back(cut_window(job_id, stream, stream.next_start, window));
+    obs_windows_.inc();
+    stream.next_start += stride;
+  }
+  // Trim consumed history: rows before the next window's start can never be
+  // read again (overlapping strides keep the shared suffix).
+  const std::size_t keep_from = std::min(stream.next_start, stream.total_steps);
+  if (keep_from > stream.base_step) {
+    const std::size_t drop = keep_from - stream.base_step;
+    stream.rows.erase(
+        stream.rows.begin(),
+        stream.rows.begin() +
+            static_cast<std::ptrdiff_t>(drop * config_.sensors));
+    stream.base_step = keep_from;
+  }
+}
+
+std::vector<AssembledWindow> WindowAssembler::push(
+    std::int64_t job_id, std::span<const double> sample) {
+  return push_block(job_id, sample);
+}
+
+std::vector<AssembledWindow> WindowAssembler::push_block(
+    std::int64_t job_id, std::span<const double> block) {
+  SCWC_REQUIRE(!block.empty() && block.size() % config_.sensors == 0,
+               "WindowAssembler: block size must be a non-zero multiple of "
+               "the sensor count");
+  const std::size_t rows = block.size() / config_.sensors;
+  std::vector<AssembledWindow> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    JobStream& stream = streams_[job_id];
+    stream.rows.insert(stream.rows.end(), block.begin(), block.end());
+    stream.total_steps += rows;
+    drain_closed(job_id, stream, out);
+    obs_active_jobs_.set(static_cast<double>(streams_.size()));
+  }
+  obs_samples_.inc(rows);
+  return out;
+}
+
+std::vector<AssembledWindow> WindowAssembler::finish(std::int64_t job_id) {
+  std::vector<AssembledWindow> out;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = streams_.find(job_id);
+  if (it == streams_.end()) return out;
+  JobStream& stream = it->second;
+  drain_closed(job_id, stream, out);  // normally a no-op; defensive
+  const std::size_t tail = stream.total_steps > stream.next_start
+                               ? stream.total_steps - stream.next_start
+                               : 0;
+  if (config_.min_partial_steps > 0 && tail >= config_.min_partial_steps) {
+    out.push_back(cut_window(job_id, stream, stream.next_start, tail));
+    obs_windows_.inc();
+    obs_partial_windows_.inc();
+  }
+  streams_.erase(it);
+  obs_active_jobs_.set(static_cast<double>(streams_.size()));
+  return out;
+}
+
+std::size_t WindowAssembler::active_jobs() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return streams_.size();
+}
+
+std::size_t WindowAssembler::stream_steps(std::int64_t job_id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = streams_.find(job_id);
+  return it == streams_.end() ? 0 : it->second.total_steps;
+}
+
+}  // namespace scwc::serve

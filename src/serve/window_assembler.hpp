@@ -1,0 +1,114 @@
+// Streaming window assembly — the ingestion front of the serving layer.
+//
+// Telemetry arrives one sample row at a time, per job; the classifiers
+// consume fixed steps×sensors windows. The WindowAssembler buffers each
+// job's stream and emits a window through robust::robust_extract_window
+// the moment it closes, so downstream code (MicroBatcher, GuardedClassifier)
+// only ever sees whole windows plus the QualityReport of their extraction.
+// Windows may overlap (stride < window) or skip samples (stride > window);
+// buffered history is trimmed to the next window's start, so per-job memory
+// stays bounded by window + stride regardless of job duration.
+//
+// Thread safety: all methods are safe to call concurrently; state is
+// guarded by one mutex (ingestion is row-sized work — contention is not a
+// throughput concern next to model inference).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "robust/quality.hpp"
+
+namespace scwc::serve {
+
+/// Assembly policy for one service.
+struct WindowAssemblerConfig {
+  std::size_t window_steps = 0;  ///< samples per emitted window (required)
+  std::size_t sensors = 0;       ///< sensors per sample (required)
+  /// Steps between consecutive window starts; 0 → window_steps (tumbling).
+  std::size_t stride_steps = 0;
+  /// On finish(): emit a final short window (NaN-padded tail, recorded as
+  /// truncated in the QualityReport) when at least this many unconsumed
+  /// steps remain. 0 disables partial emission.
+  std::size_t min_partial_steps = 1;
+
+  [[nodiscard]] std::size_t effective_stride() const noexcept {
+    return stride_steps == 0 ? window_steps : stride_steps;
+  }
+};
+
+/// One closed window, ready for classification. `values` may still contain
+/// NaNs (sensor dropouts arrive as NaN samples; a truncated final window is
+/// NaN-padded) — repair happens inside the guarded classifier, so the
+/// extraction report here covers missingness on arrival only.
+struct AssembledWindow {
+  std::int64_t job_id = 0;
+  std::size_t start_step = 0;        ///< offset in the job's stream
+  std::vector<double> values;        ///< window_steps × sensors, row-major
+  robust::QualityReport extraction;  ///< from robust_extract_window
+};
+
+/// Per-job stream buffers emitting fixed-geometry windows as they close.
+class WindowAssembler {
+ public:
+  explicit WindowAssembler(WindowAssemblerConfig config);
+
+  [[nodiscard]] const WindowAssemblerConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Appends one sample row (`sample.size() == sensors`) to `job_id`'s
+  /// stream and returns every window that closed as a result (zero or one
+  /// for stride ≥ 1). Non-finite sample values pass through untouched and
+  /// surface in the extraction QualityReport.
+  [[nodiscard]] std::vector<AssembledWindow> push(
+      std::int64_t job_id, std::span<const double> sample);
+
+  /// Appends `block.size() / sensors` consecutive rows at once (bulk
+  /// ingestion / catch-up after a feed gap).
+  [[nodiscard]] std::vector<AssembledWindow> push_block(
+      std::int64_t job_id, std::span<const double> block);
+
+  /// Ends `job_id`'s stream, dropping its buffers. When the tail holds at
+  /// least min_partial_steps unconsumed steps, emits one final truncated
+  /// window (robust_extract_window NaN-pads the absent tail and records it
+  /// as truncated_steps). Unknown jobs return {}.
+  [[nodiscard]] std::vector<AssembledWindow> finish(std::int64_t job_id);
+
+  /// Jobs currently holding buffered samples.
+  [[nodiscard]] std::size_t active_jobs() const;
+
+  /// Samples seen for a job so far (0 for unknown jobs); tests use this.
+  [[nodiscard]] std::size_t stream_steps(std::int64_t job_id) const;
+
+ private:
+  struct JobStream {
+    std::size_t base_step = 0;   ///< stream offset of rows.front()
+    std::size_t next_start = 0;  ///< stream offset of the next window
+    std::size_t total_steps = 0;
+    std::vector<double> rows;    ///< buffered samples, row-major
+  };
+
+  /// Emits every window that is closed given the current buffer, then
+  /// trims consumed history. Caller holds mutex_.
+  void drain_closed(std::int64_t job_id, JobStream& stream,
+                    std::vector<AssembledWindow>& out);
+  AssembledWindow cut_window(std::int64_t job_id, const JobStream& stream,
+                             std::size_t start,
+                             std::size_t available_steps) const;
+
+  WindowAssemblerConfig config_;
+  mutable std::mutex mutex_;
+  std::map<std::int64_t, JobStream> streams_;
+
+  obs::CounterHandle obs_samples_;
+  obs::CounterHandle obs_windows_;
+  obs::CounterHandle obs_partial_windows_;
+  obs::GaugeHandle obs_active_jobs_;
+};
+
+}  // namespace scwc::serve

@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
@@ -59,6 +61,56 @@ TEST(ThreadPool, TasksSubmittedBeforeStopStillComplete) {
   pool.stop();  // drains the queue before joining
   for (auto& f : futures) EXPECT_NO_THROW(f.get());
   EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, TrySubmitRunsAcceptedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  int accepted = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (pool.try_submit([&counter] { ++counter; }, 1024)) ++accepted;
+  }
+  pool.stop();  // drains the queue before joining
+  EXPECT_EQ(accepted, 20);
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, TrySubmitRespectsQueueBound) {
+  ThreadPool pool(1);
+  // Park the single worker so queued tasks pile up deterministically.
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  auto parked = pool.submit([open] { open.wait(); });
+  // Wait until the worker has dequeued the parked task (depth back to 0).
+  while (pool.queue_depth() != 0) std::this_thread::yield();
+
+  constexpr std::size_t kBound = 4;
+  std::atomic<int> ran{0};
+  for (std::size_t i = 0; i < kBound; ++i) {
+    EXPECT_TRUE(pool.try_submit([&ran] { ++ran; }, kBound));
+  }
+  EXPECT_EQ(pool.queue_depth(), kBound);
+  // Bound reached — further try_submits shed, the queue does not grow.
+  EXPECT_FALSE(pool.try_submit([&ran] { ++ran; }, kBound));
+  EXPECT_FALSE(pool.try_submit([&ran] { ++ran; }, kBound));
+  EXPECT_EQ(pool.queue_depth(), kBound);
+
+  gate.set_value();
+  parked.get();
+  pool.stop();
+  EXPECT_EQ(ran.load(), static_cast<int>(kBound));
+}
+
+TEST(ThreadPool, TrySubmitZeroBoundAlwaysSheds) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.try_submit([] {}, 0));
+}
+
+TEST(ThreadPool, TrySubmitAfterStopRejectsInsteadOfThrowing) {
+  ThreadPool pool(2);
+  pool.stop();
+  EXPECT_FALSE(pool.try_submit([] {}, 1024));
+  EXPECT_TRUE(pool.stopped());  // how callers tell "full" from "stopped"
 }
 
 TEST(ThreadPool, GlobalPoolIsSingleton) {

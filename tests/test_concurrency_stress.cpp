@@ -8,7 +8,9 @@
 //     handle acquisition, snapshot() and reset();
 //   * nested TraceSpans opened on several threads against one global tree;
 //   * RF and GBT training in parallel on one shared dataset (the paper's
-//     Table V/VI models), checking bit-identical results afterwards.
+//     Table V/VI models), checking bit-identical results afterwards;
+//   * the serving layer: MicroBatcher flushes racing submit() and stop(),
+//     and ModelRegistry hot-swap/rollback racing live classification.
 // The suite also runs in the plain and asan presets, where it still works
 // as a correctness/determinism test — only the race detection needs TSan.
 #include <gtest/gtest.h>
@@ -26,6 +28,7 @@
 #include "ml/random_forest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/service.hpp"
 
 namespace scwc {
 namespace {
@@ -341,6 +344,160 @@ TEST_F(ConcurrencyStressTest, ParallelForFromManyThreadsOnGlobalPool) {
   }
   for (auto& t : threads) t.join();
   for (const double s : sums) EXPECT_DOUBLE_EQ(s, 2048.0);
+}
+
+// ------------------------------------------------------------------- serving
+
+constexpr std::size_t kServeSteps = 8;
+constexpr std::size_t kServeSensors = 3;
+
+/// Cheap serving bundle (tiny forest, covariance features) for the serve
+/// stress tests; `seed` differentiates versions' forests.
+std::shared_ptr<const serve::ModelBundle> make_serve_bundle(
+    const std::string& version, std::uint64_t seed) {
+  data::Tensor3 x(45, kServeSteps, kServeSensors);
+  std::vector<int> y;
+  Rng rng(2024);
+  for (std::size_t i = 0; i < x.trials(); ++i) {
+    const int label = static_cast<int>(i % 3);
+    y.push_back(label);
+    for (double& v : x.trial(i)) {
+      v = rng.normal(static_cast<double>(label) * 2.0, 0.6);
+    }
+  }
+  serve::RfBundleSpec spec;
+  spec.version = version;
+  spec.pipeline = {preprocess::Reduction::kCovariance, 0};
+  spec.forest.n_estimators = 5;
+  spec.forest.seed = seed;
+  return serve::train_rf_bundle(spec, x, y);
+}
+
+/// One plausible request window (per-thread deterministic).
+std::vector<double> make_serve_window(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> window(kServeSteps * kServeSensors);
+  for (double& v : window) v = rng.normal(2.0, 1.5);
+  return window;
+}
+
+TEST_F(ConcurrencyStressTest, ServeBatcherFlushRacesSubmit) {
+  // Producers hammer submit() while the flusher cuts batches on a short
+  // deadline and a stopper closes the service midway. Every future must
+  // resolve exactly once — answered or typed-shed, never hung — and the
+  // two outcomes must account for every submitted request.
+  serve::ModelRegistry registry;
+  registry.register_bundle(make_serve_bundle("stress-v1", 1));
+  serve::ServiceConfig config;
+  config.assembler.window_steps = kServeSteps;
+  config.assembler.sensors = kServeSensors;
+  config.batcher.max_batch = 8;
+  config.batcher.max_delay_s = 0.0005;
+  config.admission.max_pending = 64;  // small enough to see real shedding
+  serve::ClassificationService service(registry, config);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  std::atomic<bool> go{false};
+  std::atomic<int> answered{0};
+  std::atomic<int> shed{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&service, &go, &answered, &shed, p] {
+      const std::vector<double> window =
+          make_serve_window(7700 + static_cast<std::uint64_t>(p));
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      // Buffer the futures so the batcher's queue builds real depth (size
+      // flushes, admission pressure) instead of lock-stepping one request.
+      std::vector<std::future<serve::ServeResult>> futures;
+      futures.reserve(kPerProducer);
+      for (int i = 0; i < kPerProducer; ++i) {
+        futures.push_back(service.submit(std::vector<double>(window),
+                                         kServeSteps, kServeSensors));
+      }
+      for (auto& fut : futures) {
+        const serve::ServeResult result = fut.get();
+        if (result.accepted) {
+          answered.fetch_add(1, std::memory_order_relaxed);
+          EXPECT_GE(result.batch_size, 1u);
+        } else {
+          shed.fetch_add(1, std::memory_order_relaxed);
+          EXPECT_NE(result.reject_reason, serve::RejectReason::kNone);
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Stop midway through the load: queued requests drain, later ones shed
+  // with kShutdown, nothing hangs.
+  std::thread stopper([&service] { service.stop(); });
+  for (auto& t : producers) t.join();
+  stopper.join();
+  EXPECT_EQ(answered.load() + shed.load(), kProducers * kPerProducer);
+}
+
+TEST_F(ConcurrencyStressTest, ServeRegistryHotSwapUnderLoad) {
+  // A swapper thread alternates activate()/rollback() between two versions
+  // while submitters stream requests. Atomic hot-swap contract: every
+  // answered request reports exactly one of the two versions (a batch is
+  // never served by a half-swapped model), and the service never fails to
+  // answer because a swap was in flight.
+  serve::ModelRegistry registry;
+  registry.register_bundle(make_serve_bundle("swap-v1", 11));
+  registry.register_bundle(make_serve_bundle("swap-v2", 22));
+  serve::ServiceConfig config;
+  config.assembler.window_steps = kServeSteps;
+  config.assembler.sensors = kServeSensors;
+  config.batcher.max_batch = 8;
+  config.batcher.max_delay_s = 0.0005;
+  serve::ClassificationService service(registry, config);
+
+  // State after the two registrations: current == v2, history == [v1].
+  // Each swapper iteration rolls back to v1 then re-activates v2, restoring
+  // that state exactly — so the loop can spin forever without draining the
+  // history, and the registry's counters tick on every pass.
+  std::atomic<bool> stop_swapping{false};
+  std::thread swapper([&registry, &stop_swapping] {
+    while (!stop_swapping.load(std::memory_order_acquire)) {
+      const auto rolled = registry.rollback();
+      if (rolled == nullptr || rolled->version() != "swap-v1") {
+        ADD_FAILURE() << "rollback lost the activation history";
+        break;
+      }
+      registry.activate("swap-v2");
+    }
+  });
+
+  constexpr int kSubmitters = 3;
+  constexpr int kPerSubmitter = 100;
+  std::atomic<int> answered{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&service, &answered, s] {
+      const std::vector<double> window =
+          make_serve_window(8800 + static_cast<std::uint64_t>(s));
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        const serve::ServeResult result =
+            service
+                .submit(std::vector<double>(window), kServeSteps,
+                        kServeSensors)
+                .get();
+        ASSERT_TRUE(result.accepted);
+        EXPECT_TRUE(result.model_version == "swap-v1" ||
+                    result.model_version == "swap-v2")
+            << "half-swapped version: " << result.model_version;
+        answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  stop_swapping.store(true, std::memory_order_release);
+  swapper.join();
+  service.stop();
+  EXPECT_EQ(answered.load(), kSubmitters * kPerSubmitter);
 }
 
 }  // namespace

@@ -1,0 +1,562 @@
+// Unit tests of the online serving subsystem (src/serve/): streaming
+// window assembly, micro-batching, the model registry with hot-swap and
+// rollback, bundle persistence, admission control, and the end-to-end
+// batched == single-request invariant of the ClassificationService.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "data/window.hpp"
+#include "serve/bundle_io.hpp"
+#include "serve/service.hpp"
+
+namespace scwc {
+namespace {
+
+constexpr std::size_t kSteps = 12;
+constexpr std::size_t kSensors = 3;
+
+/// Deterministic 3-class training world + a fitted RF bundle, built once —
+/// forest training is the expensive part of this suite.
+struct TinyWorld {
+  data::Tensor3 x{90, kSteps, kSensors};
+  std::vector<int> y;
+  std::shared_ptr<const serve::ModelBundle> bundle;
+};
+
+const TinyWorld& tiny_world() {
+  static const TinyWorld world = [] {
+    TinyWorld w;
+    Rng rng(4242);
+    for (std::size_t i = 0; i < w.x.trials(); ++i) {
+      const int label = static_cast<int>(i % 3);
+      w.y.push_back(label);
+      for (double& v : w.x.trial(i)) {
+        v = rng.normal(static_cast<double>(label) * 2.0, 0.5);
+      }
+    }
+    serve::RfBundleSpec spec;
+    spec.version = "tiny-v1";
+    spec.pipeline = {preprocess::Reduction::kCovariance, 0};
+    spec.forest.n_estimators = 8;
+    w.bundle = serve::train_rf_bundle(spec, w.x, w.y);
+    return w;
+  }();
+  return world;
+}
+
+/// A second, distinguishable bundle (different seed → different forest).
+std::shared_ptr<const serve::ModelBundle> make_v2_bundle() {
+  const TinyWorld& w = tiny_world();
+  serve::RfBundleSpec spec;
+  spec.version = "tiny-v2";
+  spec.pipeline = {preprocess::Reduction::kCovariance, 0};
+  spec.forest.n_estimators = 8;
+  spec.forest.seed = 99991;
+  return serve::train_rf_bundle(spec, w.x, w.y);
+}
+
+/// Stream whose sample at step t is {t, 10t, 100t} — window contents are
+/// predictable from the start offset.
+std::vector<double> ramp_row(std::size_t t) {
+  const auto v = static_cast<double>(t);
+  return {v, 10.0 * v, 100.0 * v};
+}
+
+// ------------------------------------------------------------ WindowAssembler
+
+TEST(WindowAssembler, TumblingWindowsCloseExactlyAtBoundaries) {
+  serve::WindowAssembler assembler({kSteps, kSensors});
+  std::size_t closed = 0;
+  for (std::size_t t = 0; t < 3 * kSteps; ++t) {
+    const auto out = assembler.push(7, ramp_row(t));
+    if ((t + 1) % kSteps == 0) {
+      ASSERT_EQ(out.size(), 1u) << "window must close at step " << t;
+      EXPECT_EQ(out[0].job_id, 7);
+      EXPECT_EQ(out[0].start_step, closed * kSteps);
+      EXPECT_EQ(out[0].values.size(), kSteps * kSensors);
+      EXPECT_EQ(out[0].extraction.truncated_steps, 0u);
+      // First value of the window is the ramp at its start step.
+      const double expected = static_cast<double>(closed * kSteps);
+      EXPECT_TRUE(std::memcmp(out[0].values.data(), &expected,
+                              sizeof(double)) == 0);
+      ++closed;
+    } else {
+      EXPECT_TRUE(out.empty());
+    }
+  }
+  EXPECT_EQ(closed, 3u);
+  EXPECT_EQ(assembler.active_jobs(), 1u);
+}
+
+TEST(WindowAssembler, OverlappingStrideEmitsSharedSuffixWindows) {
+  serve::WindowAssemblerConfig config{kSteps, kSensors};
+  config.stride_steps = 4;  // 8-step overlap between consecutive windows
+  serve::WindowAssembler assembler(config);
+  std::vector<serve::AssembledWindow> all;
+  for (std::size_t t = 0; t < kSteps + 8; ++t) {
+    auto out = assembler.push(1, ramp_row(t));
+    for (auto& w : out) all.push_back(std::move(w));
+  }
+  ASSERT_EQ(all.size(), 3u);  // starts 0, 4, 8 all closed by step 19
+  for (std::size_t k = 0; k < all.size(); ++k) {
+    EXPECT_EQ(all[k].start_step, 4 * k);
+    // Window k starts on the ramp value of its start step.
+    const std::vector<double> expected = ramp_row(4 * k);
+    EXPECT_TRUE(std::memcmp(all[k].values.data(), expected.data(),
+                            kSensors * sizeof(double)) == 0);
+  }
+}
+
+TEST(WindowAssembler, FinishEmitsNaNPaddedPartialAndDropsJob) {
+  serve::WindowAssembler assembler({kSteps, kSensors});
+  for (std::size_t t = 0; t < kSteps + 5; ++t) {
+    (void)assembler.push(3, ramp_row(t));
+  }
+  const auto out = assembler.finish(3);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].start_step, kSteps);
+  EXPECT_EQ(out[0].extraction.truncated_steps, kSteps - 5);
+  // The 5 buffered steps are real, the padded tail is NaN.
+  for (std::size_t t = 0; t < kSteps; ++t) {
+    for (std::size_t s = 0; s < kSensors; ++s) {
+      const double v = out[0].values[t * kSensors + s];
+      if (t < 5) {
+        EXPECT_TRUE(std::isfinite(v));
+      } else {
+        EXPECT_TRUE(std::isnan(v));
+      }
+    }
+  }
+  EXPECT_EQ(assembler.active_jobs(), 0u);
+  EXPECT_TRUE(assembler.finish(3).empty());  // unknown job now
+}
+
+TEST(WindowAssembler, FinishBelowMinPartialStepsEmitsNothing) {
+  serve::WindowAssemblerConfig config{kSteps, kSensors};
+  config.min_partial_steps = 6;
+  serve::WindowAssembler assembler(config);
+  for (std::size_t t = 0; t < 5; ++t) (void)assembler.push(9, ramp_row(t));
+  EXPECT_TRUE(assembler.finish(9).empty());
+  EXPECT_EQ(assembler.active_jobs(), 0u);
+}
+
+TEST(WindowAssembler, JobsAssembleIndependently) {
+  serve::WindowAssembler assembler({kSteps, kSensors});
+  // Interleave two jobs with different phase; each closes on its own count.
+  for (std::size_t t = 0; t < kSteps; ++t) {
+    EXPECT_TRUE(assembler.push(1, ramp_row(t)).empty() || t == kSteps - 1);
+    if (t % 2 == 0) {
+      EXPECT_TRUE(assembler.push(2, ramp_row(100 + t)).empty());
+    }
+  }
+  EXPECT_EQ(assembler.stream_steps(1), kSteps);
+  EXPECT_EQ(assembler.stream_steps(2), kSteps / 2);
+  EXPECT_EQ(assembler.active_jobs(), 2u);
+}
+
+TEST(WindowAssembler, CleanStreamWindowMatchesCleanExtractionBitForBit) {
+  // On a complete stream the assembler's robust extraction must reproduce
+  // data::extract_window exactly (same invariant the robust layer holds).
+  telemetry::TimeSeries series;
+  series.sample_hz = 1.0;
+  series.values = linalg::Matrix(kSteps, kSensors);
+  Rng rng(77);
+  for (double& v : series.values.flat()) v = rng.uniform(-3.0, 3.0);
+
+  serve::WindowAssembler assembler({kSteps, kSensors});
+  const auto out =
+      assembler.push_block(5, series.values.flat());
+  ASSERT_EQ(out.size(), 1u);
+  std::vector<double> reference(kSteps * kSensors);
+  data::extract_window(series, 0, kSteps, reference);
+  EXPECT_TRUE(std::memcmp(out[0].values.data(), reference.data(),
+                          reference.size() * sizeof(double)) == 0);
+}
+
+TEST(WindowAssembler, RejectsMisalignedBlocksAndZeroGeometry) {
+  serve::WindowAssembler assembler({kSteps, kSensors});
+  const std::vector<double> bad(kSensors + 1, 0.0);
+  EXPECT_THROW((void)assembler.push_block(1, bad), Error);
+  EXPECT_THROW(serve::WindowAssembler({0, kSensors}), Error);
+  EXPECT_THROW(serve::WindowAssembler({kSteps, 0}), Error);
+}
+
+// --------------------------------------------------------------- MicroBatcher
+
+TEST(MicroBatcher, SizeBoundFlushesFullBatchImmediately) {
+  std::mutex mu;
+  std::vector<std::size_t> batch_sizes;
+  serve::MicroBatcherConfig config;
+  config.max_batch = 4;
+  config.max_delay_s = 60.0;  // deadline effectively off
+  serve::MicroBatcher batcher(
+      config, [&](std::vector<serve::BatchRequest>&& batch) {
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          batch_sizes.push_back(batch.size());
+        }
+        for (auto& r : batch) r.promise.set_value(serve::ServeResult{});
+      });
+  std::vector<std::future<serve::ServeResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    serve::BatchRequest request;
+    request.steps = kSteps;
+    request.sensors = kSensors;
+    futures.push_back(request.promise.get_future());
+    ASSERT_TRUE(batcher.submit(std::move(request)));
+  }
+  for (auto& f : futures) (void)f.get();
+  batcher.stop();
+  const std::lock_guard<std::mutex> lock(mu);
+  std::size_t total = 0;
+  for (const std::size_t n : batch_sizes) {
+    EXPECT_LE(n, config.max_batch);
+    total += n;
+  }
+  EXPECT_EQ(total, 8u);
+}
+
+TEST(MicroBatcher, DeadlineFlushesPartialBatch) {
+  serve::MicroBatcherConfig config;
+  config.max_batch = 1000;     // size bound never reached
+  config.max_delay_s = 0.002;  // 2 ms deadline does the flushing
+  std::promise<std::size_t> seen;
+  serve::MicroBatcher batcher(
+      config, [&](std::vector<serve::BatchRequest>&& batch) {
+        seen.set_value(batch.size());
+        for (auto& r : batch) r.promise.set_value(serve::ServeResult{});
+      });
+  serve::BatchRequest request;
+  std::future<serve::ServeResult> f = request.promise.get_future();
+  ASSERT_TRUE(batcher.submit(std::move(request)));
+  EXPECT_EQ(seen.get_future().get(), 1u);  // flushed alone, by deadline
+  (void)f.get();
+  batcher.stop();
+}
+
+TEST(MicroBatcher, StopFlushesQueuedRequestsAndRejectsNewOnes) {
+  serve::MicroBatcherConfig config;
+  config.max_batch = 100;
+  config.max_delay_s = 60.0;
+  std::atomic<std::size_t> served{0};
+  serve::MicroBatcher batcher(
+      config, [&](std::vector<serve::BatchRequest>&& batch) {
+        served.fetch_add(batch.size());
+        for (auto& r : batch) r.promise.set_value(serve::ServeResult{});
+      });
+  std::vector<std::future<serve::ServeResult>> futures;
+  for (int i = 0; i < 5; ++i) {
+    serve::BatchRequest request;
+    futures.push_back(request.promise.get_future());
+    ASSERT_TRUE(batcher.submit(std::move(request)));
+  }
+  batcher.stop();  // must drain the 5 queued requests through the runner
+  EXPECT_EQ(served.load(), 5u);
+  for (auto& f : futures) (void)f.get();
+  serve::BatchRequest late;
+  EXPECT_FALSE(batcher.submit(std::move(late)));
+}
+
+// -------------------------------------------------------------- ModelRegistry
+
+TEST(ModelRegistry, RegisterActivateSwapRollback) {
+  serve::ModelRegistry registry;
+  EXPECT_EQ(registry.current(), nullptr);
+  EXPECT_EQ(registry.rollback(), nullptr);  // no history yet
+
+  const auto v1 = tiny_world().bundle;
+  const auto v2 = make_v2_bundle();
+  registry.register_bundle(v1);
+  EXPECT_EQ(registry.current()->version(), "tiny-v1");
+  registry.register_bundle(v2);  // activate defaults true → hot-swap
+  EXPECT_EQ(registry.current()->version(), "tiny-v2");
+
+  const auto rolled = registry.rollback();
+  ASSERT_NE(rolled, nullptr);
+  EXPECT_EQ(rolled->version(), "tiny-v1");
+  EXPECT_EQ(registry.current()->version(), "tiny-v1");
+
+  registry.activate("tiny-v2");
+  EXPECT_EQ(registry.current()->version(), "tiny-v2");
+  EXPECT_THROW(registry.activate("nope"), Error);
+  EXPECT_EQ(registry.get("nope"), nullptr);
+  EXPECT_EQ(registry.get("tiny-v1"), v1);
+  EXPECT_EQ(registry.versions(),
+            (std::vector<std::string>{"tiny-v1", "tiny-v2"}));
+}
+
+TEST(ModelRegistry, RegisterWithoutActivateLeavesCurrentAlone) {
+  serve::ModelRegistry registry;
+  registry.register_bundle(tiny_world().bundle);
+  registry.register_bundle(make_v2_bundle(), /*activate=*/false);
+  EXPECT_EQ(registry.current()->version(), "tiny-v1");
+  EXPECT_THROW(registry.register_bundle(tiny_world().bundle), Error);
+}
+
+// ------------------------------------------------------------------ bundle_io
+
+TEST(BundleIo, RoundTripPreservesVersionConfigAndPredictions) {
+  const TinyWorld& w = tiny_world();
+  std::stringstream stream;
+  serve::save_bundle(*w.bundle, stream);
+  const auto loaded = serve::load_bundle(stream);
+
+  EXPECT_EQ(loaded->version(), w.bundle->version());
+  EXPECT_EQ(loaded->guard_config().window_steps, kSteps);
+  EXPECT_EQ(loaded->guard_config().sensors, kSensors);
+  EXPECT_EQ(loaded->guard_config().fallback_label,
+            w.bundle->guard_config().fallback_label);
+
+  // Every training window classifies identically through both bundles.
+  const std::vector<robust::GuardedPrediction> a =
+      w.bundle->guard().classify_batch(w.x);
+  const std::vector<robust::GuardedPrediction> b =
+      loaded->guard().classify_batch(w.x);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].abstained, b[i].abstained);
+  }
+}
+
+TEST(BundleIo, RejectsGarbageAndTruncation) {
+  std::stringstream garbage("this is not a bundle at all, not even close");
+  EXPECT_THROW((void)serve::load_bundle(garbage), Error);
+
+  std::stringstream stream;
+  serve::save_bundle(*tiny_world().bundle, stream);
+  const std::string full = stream.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)serve::load_bundle(truncated), Error);
+  std::stringstream empty;
+  EXPECT_THROW((void)serve::load_bundle(empty), Error);
+}
+
+// ------------------------------------------------------------------ admission
+
+TEST(AdmissionController, TypedRejectionsPerBound) {
+  ThreadPool pool(1);
+  serve::AdmissionConfig config;
+  config.max_pending = 2;
+  config.max_executor_queue = 0;  // pool never accepts a batch
+  serve::AdmissionController admission(pool, config);
+
+  EXPECT_EQ(admission.admit_request(0), serve::RejectReason::kNone);
+  EXPECT_EQ(admission.admit_request(1), serve::RejectReason::kNone);
+  EXPECT_EQ(admission.admit_request(2), serve::RejectReason::kQueueFull);
+  EXPECT_EQ(admission.dispatch([] {}), serve::RejectReason::kExecutor);
+
+  admission.close();
+  EXPECT_EQ(admission.admit_request(0), serve::RejectReason::kShutdown);
+  EXPECT_EQ(admission.dispatch([] {}), serve::RejectReason::kShutdown);
+  pool.stop();
+}
+
+TEST(AdmissionController, StoppedPoolRejectsAsShutdown) {
+  ThreadPool pool(1);
+  pool.stop();
+  serve::AdmissionController admission(pool, {});
+  EXPECT_EQ(admission.dispatch([] {}), serve::RejectReason::kShutdown);
+}
+
+TEST(ServeTypes, RejectReasonNamesAreStable) {
+  EXPECT_STREQ(serve::reject_reason_name(serve::RejectReason::kNone), "none");
+  EXPECT_STREQ(serve::reject_reason_name(serve::RejectReason::kQueueFull),
+               "queue_full");
+  EXPECT_STREQ(serve::reject_reason_name(serve::RejectReason::kExecutor),
+               "executor");
+  EXPECT_STREQ(serve::reject_reason_name(serve::RejectReason::kShutdown),
+               "shutdown");
+  EXPECT_STREQ(serve::reject_reason_name(serve::RejectReason::kNoModel),
+               "no_model");
+}
+
+// -------------------------------------------------------------------- service
+
+serve::ServiceConfig tiny_service_config() {
+  serve::ServiceConfig config;
+  config.assembler.window_steps = kSteps;
+  config.assembler.sensors = kSensors;
+  config.batcher.max_batch = 16;
+  config.batcher.max_delay_s = 0.002;
+  return config;
+}
+
+TEST(ClassificationService, BatchedResultsEqualSingleRequestResults) {
+  const TinyWorld& w = tiny_world();
+  serve::ModelRegistry registry;
+  registry.register_bundle(w.bundle);
+  serve::ClassificationService service(registry, tiny_service_config());
+
+  // Burst-submit so the batcher actually coalesces, then compare every
+  // result against the direct single-window guarded path.
+  std::vector<std::future<serve::ServeResult>> futures;
+  const std::size_t n = 48;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = w.x.trial(i % w.x.trials());
+    futures.push_back(service.submit({src.begin(), src.end()}, kSteps,
+                                     kSensors));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const serve::ServeResult result = futures[i].get();
+    ASSERT_TRUE(result.accepted);
+    EXPECT_EQ(result.model_version, "tiny-v1");
+    EXPECT_GE(result.batch_size, 1u);
+    const auto src = w.x.trial(i % w.x.trials());
+    const robust::GuardedPrediction single =
+        w.bundle->guard().classify(src, kSteps, kSensors);
+    EXPECT_EQ(result.prediction.label, single.label);
+    EXPECT_EQ(result.prediction.abstained, single.abstained);
+  }
+  service.stop();
+}
+
+TEST(ClassificationService, OddGeometryRequestAbstainsWithShape) {
+  serve::ModelRegistry registry;
+  registry.register_bundle(tiny_world().bundle);
+  serve::ClassificationService service(registry, tiny_service_config());
+  std::vector<double> wrong(5 * 2, 0.0);
+  const serve::ServeResult result =
+      service.submit(std::move(wrong), 5, 2).get();
+  ASSERT_TRUE(result.accepted);
+  EXPECT_TRUE(result.prediction.abstained);
+  EXPECT_EQ(result.prediction.reason, robust::AbstainReason::kShape);
+  service.stop();
+}
+
+TEST(ClassificationService, EmptyRegistryShedsWithNoModel) {
+  serve::ModelRegistry registry;
+  serve::ClassificationService service(registry, tiny_service_config());
+  const serve::ServeResult result =
+      service.submit(std::vector<double>(kSteps * kSensors, 0.0), kSteps,
+                     kSensors)
+          .get();
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reject_reason, serve::RejectReason::kNoModel);
+  service.stop();
+}
+
+TEST(ClassificationService, ZeroPendingBoundShedsWithQueueFull) {
+  serve::ModelRegistry registry;
+  registry.register_bundle(tiny_world().bundle);
+  serve::ServiceConfig config = tiny_service_config();
+  config.admission.max_pending = 0;
+  serve::ClassificationService service(registry, config);
+  const serve::ServeResult result =
+      service.submit(std::vector<double>(kSteps * kSensors, 0.0), kSteps,
+                     kSensors)
+          .get();
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reject_reason, serve::RejectReason::kQueueFull);
+  service.stop();
+}
+
+TEST(ClassificationService, ZeroExecutorBoundShedsWithExecutor) {
+  serve::ModelRegistry registry;
+  registry.register_bundle(tiny_world().bundle);
+  serve::ServiceConfig config = tiny_service_config();
+  config.admission.max_executor_queue = 0;  // pool refuses every batch
+  serve::ClassificationService service(registry, config);
+  const serve::ServeResult result =
+      service.submit(std::vector<double>(kSteps * kSensors, 0.0), kSteps,
+                     kSensors)
+          .get();
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reject_reason, serve::RejectReason::kExecutor);
+  service.stop();
+}
+
+TEST(ClassificationService, SubmitAfterStopShedsWithShutdown) {
+  serve::ModelRegistry registry;
+  registry.register_bundle(tiny_world().bundle);
+  serve::ClassificationService service(registry, tiny_service_config());
+  service.stop();
+  const serve::ServeResult result =
+      service.submit(std::vector<double>(kSteps * kSensors, 0.0), kSteps,
+                     kSensors)
+          .get();
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reject_reason, serve::RejectReason::kShutdown);
+}
+
+TEST(ClassificationService, StreamingIngestClassifiesClosedWindows) {
+  const TinyWorld& w = tiny_world();
+  serve::ModelRegistry registry;
+  registry.register_bundle(w.bundle);
+  serve::ClassificationService service(registry, tiny_service_config());
+
+  // Stream one training trial's window; its prediction must match the
+  // direct guarded classification of the same values.
+  const auto src = w.x.trial(4);
+  std::vector<serve::PendingWindow> pending;
+  for (std::size_t t = 0; t < kSteps; ++t) {
+    auto out = service.ingest(
+        42, std::span<const double>(src).subspan(t * kSensors, kSensors));
+    for (auto& p : out) pending.push_back(std::move(p));
+  }
+  auto tail = service.finish_job(42);
+  for (auto& p : tail) pending.push_back(std::move(p));
+
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].job_id, 42);
+  EXPECT_EQ(pending[0].start_step, 0u);
+  const serve::ServeResult result = pending[0].result.get();
+  ASSERT_TRUE(result.accepted);
+  const robust::GuardedPrediction direct =
+      w.bundle->guard().classify(src, kSteps, kSensors);
+  EXPECT_EQ(result.prediction.label, direct.label);
+  EXPECT_EQ(result.prediction.abstained, direct.abstained);
+  service.stop();
+}
+
+TEST(ClassificationService, AllNaNWindowAbstainsOnQualityNotCrash) {
+  serve::ModelRegistry registry;
+  registry.register_bundle(tiny_world().bundle);
+  serve::ClassificationService service(registry, tiny_service_config());
+  std::vector<double> window(kSteps * kSensors,
+                             std::numeric_limits<double>::quiet_NaN());
+  const serve::ServeResult result =
+      service.submit(std::move(window), kSteps, kSensors).get();
+  ASSERT_TRUE(result.accepted);
+  EXPECT_TRUE(result.prediction.abstained);
+  EXPECT_EQ(result.prediction.reason, robust::AbstainReason::kQuality);
+  service.stop();
+}
+
+TEST(GuardedClassifierBatch, MixedQualityBatchGatesPerWindow) {
+  const TinyWorld& w = tiny_world();
+  data::Tensor3 batch(3, kSteps, kSensors);
+  const auto good = w.x.trial(0);
+  std::copy(good.begin(), good.end(), batch.trial(0).begin());
+  for (double& v : batch.trial(1)) {
+    v = std::numeric_limits<double>::quiet_NaN();  // hopeless window
+  }
+  const auto also_good = w.x.trial(1);
+  std::copy(also_good.begin(), also_good.end(), batch.trial(2).begin());
+
+  const std::vector<robust::GuardedPrediction> out =
+      w.bundle->guard().classify_batch(batch);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_FALSE(out[0].abstained);
+  EXPECT_TRUE(out[1].abstained);
+  EXPECT_EQ(out[1].reason, robust::AbstainReason::kQuality);
+  EXPECT_FALSE(out[2].abstained);
+  // Gating another window must not perturb the survivors' labels.
+  EXPECT_EQ(out[0].label,
+            w.bundle->guard().classify(good, kSteps, kSensors).label);
+  EXPECT_EQ(out[2].label,
+            w.bundle->guard().classify(also_good, kSteps, kSensors).label);
+}
+
+}  // namespace
+}  // namespace scwc

@@ -2,11 +2,12 @@
 # The one-command correctness meta-gate — what a CI job calls.
 #
 # Runs, in order:
-#   release   configure + build + ctest for the release preset
-#   asan      full suite under ASan+UBSan       (tests/run_sanitized.sh)
-#   tsan      full suite under ThreadSanitizer  (tests/run_tsan.sh)
-#   tidy      curated clang-tidy set            (tools/run_clang_tidy.sh)
-#   lint      scwc_lint project invariants      (tools/scwc_lint)
+#   release      configure + build + ctest for the release preset
+#   serve-smoke  self-checking serving load test  (SCWC_SMOKE=1 bench)
+#   asan         full suite under ASan+UBSan      (tests/run_sanitized.sh)
+#   tsan         full suite under ThreadSanitizer (tests/run_tsan.sh)
+#   tidy         curated clang-tidy set           (tools/run_clang_tidy.sh)
+#   lint         scwc_lint project invariants     (tools/scwc_lint)
 #
 # and prints one PASS/FAIL/SKIP line per gate plus a final verdict. A gate
 # failure does not stop later gates — CI wants the full picture in one run.
@@ -52,6 +53,22 @@ release_gate() {
     ctest --test-dir build --output-on-failure -j "$jobs"
 }
 run_gate release release_gate
+
+# -- serve-smoke -----------------------------------------------------------
+# Low-rate run of the serving load test; the bench fails its own exit code
+# when batched labels diverge from single-request labels or a future hangs.
+echo "==> gate: serve-smoke"
+if [ -x build/bench/serve_throughput ]; then
+  if env SCWC_SMOKE=1 SCWC_SCALE=tiny build/bench/serve_throughput \
+       --out build/bench/BENCH_serve_smoke.json; then
+    record serve-smoke 0
+  else
+    record serve-smoke 1
+  fi
+else
+  echo "check_all.sh: build/bench/serve_throughput missing (release gate failed?)" >&2
+  record serve-smoke 1
+fi
 
 # -- asan ------------------------------------------------------------------
 run_gate asan tests/run_sanitized.sh

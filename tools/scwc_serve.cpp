@@ -1,0 +1,207 @@
+// scwc_serve — run the online classification service against simulated
+// live jobs.
+//
+// Trains (or loads from --bundle-cache) a RandomForest + covariance model
+// bundle, registers it, then streams several unseen jobs' telemetry
+// through ClassificationService::ingest_block exactly as a monitoring
+// daemon would: samples arrive per job, the WindowAssembler closes
+// windows, the MicroBatcher coalesces them across jobs, and each window's
+// guarded prediction is printed as it resolves. Ends with the serve-layer
+// metrics so the shed/abstain accounting is visible.
+//
+//   ./scwc_serve [--scale tiny] [--jobs 4] [--bundle-cache PATH]
+#include <filesystem>
+#include <future>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/stopwatch.hpp"
+#include "core/challenge.hpp"
+#include "core/report.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "serve/bundle_io.hpp"
+#include "serve/service.hpp"
+#include "telemetry/architectures.hpp"
+#include "telemetry/corpus.hpp"
+#include "telemetry/gpu_synth.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scwc;
+
+  CliParser cli("Online inference service over simulated live jobs.");
+  cli.add_flag("scale", "tiny", "scale profile: tiny|small|full");
+  cli.add_flag("jobs", "4", "number of concurrent live jobs to stream");
+  cli.add_flag("duration-s", "300", "simulated duration of each live job");
+  cli.add_flag("deadline-ms", "20",
+               "latency budget; batcher max_delay is a quarter of this");
+  cli.add_flag("bundle-cache", "",
+               "path to save/load the serialised model bundle "
+               "(trains once, reloads on later runs)");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) return 0;
+
+  const ScaleProfile profile = ScaleProfile::named(cli.get_string("scale"));
+  core::print_profile_banner(std::cout, profile,
+                             "scwc_serve — online classification service");
+
+  const core::ChallengeConfig cfg =
+      core::ChallengeConfig::from_profile(profile);
+
+  // 1) Obtain the serving bundle: load the cached serialisation when one
+  // exists, else train and (optionally) cache it.
+  const std::string cache = cli.get_string("bundle-cache");
+  std::shared_ptr<const serve::ModelBundle> bundle;
+  if (!cache.empty() && std::filesystem::exists(cache)) {
+    bundle = serve::load_bundle_file(cache);
+    std::cout << "loaded bundle " << bundle->version() << " from " << cache
+              << "\n\n";
+  } else {
+    std::cout << "training serving bundle on 60-random-1 windows...\n";
+    telemetry::CorpusConfig corpus_config;
+    corpus_config.jobs_per_class_scale = profile.jobs_per_class;
+    const telemetry::Corpus corpus =
+        telemetry::generate_corpus(corpus_config);
+    const data::ChallengeDataset ds = core::build_challenge_dataset(
+        corpus, cfg, data::WindowPolicy::kRandom, 0);
+    serve::RfBundleSpec spec;
+    spec.version = "rf-cov-v1";
+    spec.pipeline = {preprocess::Reduction::kCovariance, 0};
+    spec.forest.n_estimators = 100;
+    bundle = serve::train_rf_bundle(spec, ds.x_train, ds.y_train);
+    if (!cache.empty()) {
+      serve::save_bundle_file(*bundle, cache);
+      std::cout << "cached bundle to " << cache << '\n';
+    }
+    std::cout << "bundle " << bundle->version() << " ready ("
+              << ds.train_trials() << " training trials)\n\n";
+  }
+  const std::size_t steps = bundle->guard_config().window_steps;
+  const std::size_t sensors = bundle->guard_config().sensors;
+
+  // 2) Stand up the registry + service.
+  serve::ModelRegistry registry;
+  registry.register_bundle(bundle);
+  serve::ServiceConfig service_config;
+  service_config.assembler.window_steps = steps;
+  service_config.assembler.sensors = sensors;
+  service_config.batcher.max_delay_s =
+      cli.get_double("deadline-ms") / 1000.0 / 4.0;
+  serve::ClassificationService service(registry, service_config);
+
+  // 3) Simulate unseen live jobs, one per architecture family slot, and
+  // stream them through the service a second of samples at a time —
+  // interleaved, the way independent jobs' telemetry actually arrives.
+  const auto n_jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+  struct LiveJob {
+    telemetry::JobSpec spec;
+    telemetry::TimeSeries stream;
+    std::size_t fed_steps = 0;
+  };
+  std::vector<LiveJob> jobs(n_jobs);
+  for (std::size_t j = 0; j < n_jobs; ++j) {
+    LiveJob& job = jobs[j];
+    job.spec.job_id = static_cast<std::int64_t>(900000 + j);
+    job.spec.class_id =
+        static_cast<int>((j * 7) % telemetry::kNumClasses);
+    job.spec.num_gpus = 2;
+    job.spec.num_nodes = 1;
+    job.spec.duration_s = cli.get_double("duration-s");
+    job.spec.seed = 0xFEEDF00DULL + j;  // not in the training corpus
+    job.stream = telemetry::synthesize_gpu_series(job.spec, 0, cfg.sample_hz);
+    std::cout << "live job " << job.spec.job_id << ": "
+              << telemetry::architecture(job.spec.class_id).name << ", "
+              << job.stream.steps() << " steps @ " << cfg.sample_hz
+              << " Hz\n";
+  }
+  std::cout << '\n';
+
+  struct Outcome {
+    int class_id = 0;
+    serve::PendingWindow pending;
+  };
+  std::vector<Outcome> outcomes;
+  const auto chunk = static_cast<std::size_t>(cfg.sample_hz) * 30;
+  const Stopwatch wall;
+  bool streaming = true;
+  while (streaming) {
+    streaming = false;
+    for (LiveJob& job : jobs) {
+      if (job.fed_steps >= job.stream.steps()) continue;
+      streaming = true;
+      const std::size_t n =
+          std::min(chunk, job.stream.steps() - job.fed_steps);
+      const auto block = job.stream.values.flat().subspan(
+          job.fed_steps * sensors, n * sensors);
+      for (auto& window : service.ingest_block(job.spec.job_id, block)) {
+        outcomes.push_back({job.spec.class_id, std::move(window)});
+      }
+      job.fed_steps += n;
+    }
+  }
+  for (LiveJob& job : jobs) {
+    for (auto& window : service.finish_job(job.spec.job_id)) {
+      outcomes.push_back({job.spec.class_id, std::move(window)});
+    }
+  }
+
+  // 4) Print every window's guarded verdict as the batches resolve.
+  std::cout << "job      window@s  prediction        correct  latency\n";
+  std::size_t correct = 0;
+  std::size_t answered = 0;
+  for (Outcome& outcome : outcomes) {
+    const serve::ServeResult result = outcome.pending.result.get();
+    std::cout << outcome.pending.job_id << "  " << std::setw(7) << std::fixed
+              << std::setprecision(0)
+              << static_cast<double>(outcome.pending.start_step) /
+                     cfg.sample_hz;
+    if (!result.accepted) {
+      std::cout << "  shed (" << reject_reason_name(result.reject_reason)
+                << ")\n";
+      continue;
+    }
+    if (result.prediction.abstained) {
+      std::cout << "  abstain ("
+                << robust::abstain_reason_name(result.prediction.reason)
+                << ", quality "
+                << std::setprecision(2) << result.prediction.report.quality()
+                << ")\n";
+      continue;
+    }
+    const bool hit = result.prediction.label == outcome.class_id;
+    ++answered;
+    correct += hit ? 1 : 0;
+    std::cout << "  " << std::setw(16) << std::left
+              << telemetry::architecture(result.prediction.label).name
+              << std::right << "  " << (hit ? "yes" : "NO ") << "     "
+              << std::setprecision(2) << result.total_latency_s * 1000.0
+              << " ms  [" << result.model_version << ", batch "
+              << result.batch_size << "]\n";
+  }
+  service.stop();
+
+  std::cout << "\nanswered " << answered << "/" << outcomes.size()
+            << " windows, accuracy on answered: "
+            << (answered > 0 ? 100.0 * static_cast<double>(correct) /
+                                   static_cast<double>(answered)
+                             : 0.0)
+            << " %, wall " << wall.seconds() << " s\n";
+
+  // 5) The same snapshot a scrape endpoint would serve.
+  if (obs::enabled()) {
+    std::cout << "\n--- serve metrics (SCWC_OBS=on) ---\n";
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::global().snapshot();
+    for (const auto& [name, value] : snap.counters) {
+      if (name.rfind("scwc_serve_", 0) == 0 ||
+          name.rfind("scwc_robust_guard_", 0) == 0) {
+        std::cout << name << " " << value << '\n';
+      }
+    }
+  }
+  return 0;
+}
