@@ -38,6 +38,7 @@
 #include "obs/run_report.hpp"
 #include "obs/trace.hpp"
 #include "serve/bundle_io.hpp"
+#include "serve/retry.hpp"
 #include "serve/service.hpp"
 #include "telemetry/corpus.hpp"
 
@@ -156,6 +157,9 @@ int main(int argc, char** argv) {
     service_config.batcher.max_delay_s = deadline_s / 4.0;
     service_config.admission.max_pending =
         static_cast<std::size_t>(cli.get_int("max-pending"));
+    // Deadline enforcement: a request that cannot be answered inside the
+    // budget is shed with kDeadlineExceeded instead of answered late.
+    service_config.default_deadline_s = deadline_s;
     serve::ClassificationService service(registry, service_config);
 
     std::vector<std::vector<double>> payload;
@@ -210,6 +214,7 @@ int main(int argc, char** argv) {
     std::size_t answered = 0;
     std::size_t abstained = 0;
     std::map<std::string, std::size_t> shed;
+    std::vector<std::size_t> retry_payloads;  // submission order of sheds
     std::vector<double> latencies;
     latencies.reserve(futures.size());
     std::vector<double> queue_delays;
@@ -217,10 +222,15 @@ int main(int argc, char** argv) {
     double batch_size_sum = 0.0;
     {
       const obs::TraceSpan span("serve_bench.collect");
+      std::size_t index = 0;
       for (auto& f : futures) {
         const serve::ServeResult r = f.get();
+        ++index;
         if (!r.accepted) {
           ++shed[serve::reject_reason_name(r.reject_reason)];
+          if (serve::retryable(r.reject_reason)) {
+            retry_payloads.push_back((index - 1) % payload.size());
+          }
           continue;
         }
         latencies.push_back(r.total_latency_s);
@@ -231,6 +241,22 @@ int main(int argc, char** argv) {
         } else {
           ++answered;
         }
+      }
+    }
+
+    // 6b) Retry pass: resubmit every retryable shed through the shared
+    // jittered-backoff helper. Kept OUT of the open-loop stats above — the
+    // load phase must report what the offered rate actually got — and
+    // reported separately as the recovery the client path would see.
+    std::size_t retry_recovered = 0;
+    if (!retry_payloads.empty()) {
+      const obs::TraceSpan span("serve_bench.retry");
+      serve::RetryPolicy retry_policy;
+      Rng retry_rng(cfg.seed ^ 0x0badcafeULL);
+      for (const std::size_t p : retry_payloads) {
+        const serve::ServeResult r = serve::submit_with_retry(
+            service, payload[p], steps, sensors, retry_policy, retry_rng);
+        if (r.accepted) ++retry_recovered;
       }
     }
     service.stop();
@@ -258,6 +284,11 @@ int main(int argc, char** argv) {
               << " ms, mean batch size " << mean_batch << '\n';
     for (const auto& [reason, count] : shed) {
       std::cout << "shed[" << reason << "]: " << count << '\n';
+    }
+    if (!retry_payloads.empty()) {
+      std::cout << "retry pass: " << retry_payloads.size()
+                << " retryable sheds resubmitted, " << retry_recovered
+                << " recovered\n";
     }
     const bool rate_ok = throughput >= 10000.0;
     const bool latency_ok = p99 <= deadline_s;
@@ -297,7 +328,10 @@ int main(int argc, char** argv) {
         {"queue_delay_p99_ms",
          obs::Json(quantile_sorted(queue_delays, 0.99) * 1000.0)},
         {"mean_batch_size", obs::Json(mean_batch)},
-        {"shed", obs::Json(std::move(shed_json))}};
+        {"shed", obs::Json(std::move(shed_json))},
+        {"retried", obs::Json(static_cast<double>(retry_payloads.size()))},
+        {"retry_recovered",
+         obs::Json(static_cast<double>(retry_recovered))}};
   }
 
   const std::string out_path = cli.get_string("out");

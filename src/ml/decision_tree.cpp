@@ -266,9 +266,14 @@ void DecisionTree::save(std::ostream& os) const {
 
 void DecisionTree::load(std::istream& is) {
   num_classes_ = detail::read_u64_le(is);
+  // Caps bound what a corrupted length field can make us allocate before
+  // the truncation check fires: a single flipped bit in `count` must yield
+  // a typed error, not a multi-gigabyte nodes_.assign.
+  SCWC_REQUIRE(num_classes_ <= (1ULL << 16),
+               "model: unreasonable class count");
   depth_ = detail::read_u64_le(is);
   const std::uint64_t count = detail::read_u64_le(is);
-  SCWC_REQUIRE(count < (1ULL << 28), "model: unreasonable node count");
+  SCWC_REQUIRE(count < (1ULL << 20), "model: unreasonable node count");
   nodes_.assign(count, Node{});
   for (Node& node : nodes_) {
     node.feature = static_cast<std::int32_t>(

@@ -45,6 +45,8 @@ const char* abstain_reason_name(AbstainReason reason) noexcept {
       return "quality";
     case AbstainReason::kModelError:
       return "error";
+    case AbstainReason::kDegraded:
+      return "degraded";
   }
   return "?";
 }

@@ -43,10 +43,13 @@ enum class AbstainReason {
   kShape,       ///< geometry mismatch or empty window
   kQuality,     ///< post-imputation quality below min_quality
   kModelError,  ///< pipeline/model threw or returned a malformed result
+  kDegraded,    ///< serving is in abstain-only degraded mode (no model was
+                ///< consulted) — produced by the serve layer, never by the
+                ///< guard itself
 };
 
-/// Short stable name for an abstain reason ("shape", "quality", "error";
-/// "none" when the model answered).
+/// Short stable name for an abstain reason ("shape", "quality", "error",
+/// "degraded"; "none" when the model answered).
 [[nodiscard]] const char* abstain_reason_name(AbstainReason reason) noexcept;
 
 /// One guarded prediction: the label, whether the model was consulted, and

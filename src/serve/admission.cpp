@@ -16,8 +16,18 @@ const char* reject_reason_name(RejectReason reason) noexcept {
       return "shutdown";
     case RejectReason::kNoModel:
       return "no_model";
+    case RejectReason::kDeadlineExceeded:
+      return "deadline";
+    case RejectReason::kInternal:
+      return "internal";
   }
   return "?";
+}
+
+bool retryable(RejectReason reason) noexcept {
+  return reason == RejectReason::kQueueFull ||
+         reason == RejectReason::kExecutor ||
+         reason == RejectReason::kInternal;
 }
 
 AdmissionController::AdmissionController(ThreadPool& pool,
@@ -28,6 +38,8 @@ AdmissionController::AdmissionController(ThreadPool& pool,
   obs_shed_executor_ = reg.counter("scwc_serve_shed_executor_total");
   obs_shed_shutdown_ = reg.counter("scwc_serve_shed_shutdown_total");
   obs_shed_no_model_ = reg.counter("scwc_serve_shed_no_model_total");
+  obs_shed_deadline_ = reg.counter("scwc_serve_shed_deadline_total");
+  obs_shed_internal_ = reg.counter("scwc_serve_shed_internal_total");
 }
 
 void AdmissionController::count_shed(RejectReason reason) noexcept {
@@ -43,6 +55,12 @@ void AdmissionController::count_shed(RejectReason reason) noexcept {
       break;
     case RejectReason::kNoModel:
       obs_shed_no_model_.inc();
+      break;
+    case RejectReason::kDeadlineExceeded:
+      obs_shed_deadline_.inc();
+      break;
+    case RejectReason::kInternal:
+      obs_shed_internal_.inc();
       break;
     case RejectReason::kNone:
       break;

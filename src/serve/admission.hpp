@@ -70,6 +70,8 @@ class AdmissionController {
   obs::CounterHandle obs_shed_executor_;
   obs::CounterHandle obs_shed_shutdown_;
   obs::CounterHandle obs_shed_no_model_;
+  obs::CounterHandle obs_shed_deadline_;
+  obs::CounterHandle obs_shed_internal_;
 };
 
 }  // namespace scwc::serve

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace scwc::serve {
 
@@ -48,9 +51,12 @@ void write_string(std::ostream& os, const std::string& s) {
   os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
+// Length caps bound what a corrupted stream can make load_bundle allocate
+// before a truncation/validation error fires (the fuzz test flips every
+// byte of a valid bundle; a flipped length must fail typed, not OOM).
 std::string read_string(std::istream& is) {
   const std::uint64_t n = read_u64(is);
-  SCWC_REQUIRE(n <= (1ULL << 20), "load_bundle: implausible string length");
+  SCWC_REQUIRE(n <= (1ULL << 16), "load_bundle: implausible string length");
   std::string s(n, '\0');
   is.read(s.data(), static_cast<std::streamsize>(n));
   SCWC_REQUIRE(is.good() || n == 0, "load_bundle: truncated string");
@@ -64,7 +70,7 @@ void write_vec(std::ostream& os, const linalg::Vector& v) {
 
 linalg::Vector read_vec(std::istream& is) {
   const std::uint64_t n = read_u64(is);
-  SCWC_REQUIRE(n <= (1ULL << 28), "load_bundle: implausible vector length");
+  SCWC_REQUIRE(n <= (1ULL << 24), "load_bundle: implausible vector length");
   linalg::Vector v(n);
   for (auto& x : v) x = read_f64(is);
   return v;
@@ -79,7 +85,8 @@ void write_matrix(std::ostream& os, const linalg::Matrix& m) {
 linalg::Matrix read_matrix(std::istream& is) {
   const std::uint64_t rows = read_u64(is);
   const std::uint64_t cols = read_u64(is);
-  SCWC_REQUIRE(rows <= (1ULL << 24) && cols <= (1ULL << 24),
+  SCWC_REQUIRE(rows <= (1ULL << 20) && cols <= (1ULL << 20) &&
+                   rows * cols <= (1ULL << 26),
                "load_bundle: implausible matrix shape");
   linalg::Matrix m(rows, cols);
   for (auto& x : m.flat()) x = read_f64(is);
@@ -196,6 +203,53 @@ std::shared_ptr<const ModelBundle> load_bundle_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   SCWC_REQUIRE(is.is_open(), "load_bundle_file: cannot open " + path);
   return load_bundle(is);
+}
+
+namespace {
+
+std::shared_ptr<const ModelBundle> try_swap(
+    ModelRegistry& registry,
+    const std::function<std::shared_ptr<const ModelBundle>()>& load) {
+  // The whole load happens BEFORE the registry is touched, so a failure at
+  // any byte leaves the current bundle serving — no partial swap exists.
+  std::shared_ptr<const ModelBundle> bundle;
+  std::string what;
+  try {
+    bundle = load();
+  } catch (const std::exception& e) {
+    what = e.what();
+    bundle = nullptr;
+  }
+  if (bundle == nullptr) {
+    obs::MetricsRegistry::global()
+        .counter("scwc_serve_bundle_load_failures_total")
+        .inc();
+    SCWC_LOG_WARN("bundle swap refused: " << what);
+    return nullptr;
+  }
+  try {
+    registry.register_bundle(bundle, /*activate=*/true);
+  } catch (const std::exception& e) {
+    // e.g. duplicate version — still a refused swap, registry unchanged.
+    obs::MetricsRegistry::global()
+        .counter("scwc_serve_bundle_load_failures_total")
+        .inc();
+    SCWC_LOG_WARN("bundle swap refused: " << e.what());
+    return nullptr;
+  }
+  return bundle;
+}
+
+}  // namespace
+
+std::shared_ptr<const ModelBundle> try_swap_from_stream(ModelRegistry& registry,
+                                                        std::istream& is) {
+  return try_swap(registry, [&is] { return load_bundle(is); });
+}
+
+std::shared_ptr<const ModelBundle> try_swap_from_file(ModelRegistry& registry,
+                                                      const std::string& path) {
+  return try_swap(registry, [&path] { return load_bundle_file(path); });
 }
 
 }  // namespace scwc::serve

@@ -27,4 +27,16 @@ void save_bundle_file(const ModelBundle& bundle, const std::string& path);
 [[nodiscard]] std::shared_ptr<const ModelBundle> load_bundle_file(
     const std::string& path);
 
+/// Failure-isolating hot swap: loads a bundle from the stream/file and
+/// registers + activates it atomically — or, if the load fails for ANY
+/// reason (typed parse error, I/O failure, allocation failure on a
+/// corrupted length field), leaves the registry completely untouched,
+/// counts scwc_serve_bundle_load_failures_total, and returns nullptr. A bad
+/// bundle on disk can therefore never take down serving of the current one.
+/// Returns the activated bundle on success.
+std::shared_ptr<const ModelBundle> try_swap_from_stream(ModelRegistry& registry,
+                                                        std::istream& is);
+std::shared_ptr<const ModelBundle> try_swap_from_file(ModelRegistry& registry,
+                                                      const std::string& path);
+
 }  // namespace scwc::serve

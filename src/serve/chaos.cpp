@@ -1,0 +1,146 @@
+#include "serve/chaos.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "common/log.hpp"
+
+namespace scwc::serve {
+
+namespace {
+
+void sleep_seconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+ChaosProfile ChaosProfile::at_severity(double severity) {
+  const double s = severity < 0.0 ? 0.0 : (severity > 1.0 ? 1.0 : severity);
+  ChaosProfile p;
+  if (s == 0.0) return p;
+  p.flusher_stall_probability = 0.10 * s;
+  p.flusher_stall_s = 0.02 + 0.08 * s;
+  p.batch_delay_probability = 0.15 * s;
+  p.batch_delay_s = 0.01 + 0.04 * s;
+  p.batch_drop_probability = 0.05 * s;
+  p.predict_spike_probability = 0.10 * s;
+  p.predict_spike_s = 0.02 + 0.06 * s;
+  p.corrupt_swap_probability = 0.50 * s;
+  p.starve_probability = 0.05 * s;
+  p.starve_task_s = 0.02 + 0.05 * s;
+  p.starve_tasks = 2 + static_cast<std::size_t>(4.0 * s);
+  return p;
+}
+
+bool ChaosProfile::empty() const noexcept {
+  return flusher_stall_probability == 0.0 &&
+         batch_delay_probability == 0.0 && batch_drop_probability == 0.0 &&
+         predict_spike_probability == 0.0 &&
+         corrupt_swap_probability == 0.0 && starve_probability == 0.0;
+}
+
+std::string to_string(const ChaosCounts& counts) {
+  std::ostringstream out;
+  out << "stalls=" << counts.flusher_stalls
+      << " delays=" << counts.batch_delays
+      << " drops=" << counts.batch_drops
+      << " spikes=" << counts.predict_spikes
+      << " corrupted_swaps=" << counts.corrupted_swaps
+      << " starvation_bursts=" << counts.starvation_bursts;
+  return out.str();
+}
+
+ChaosInjector::ChaosInjector(ChaosProfile profile, std::uint64_t seed)
+    : profile_(profile), rng_(seed) {}
+
+void ChaosInjector::set_armed(bool armed) noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = armed;
+}
+
+bool ChaosInjector::armed() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return armed_;
+}
+
+bool ChaosInjector::fire(double probability) {
+  if (probability <= 0.0) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_) return false;
+  return rng_.bernoulli(probability);
+}
+
+void ChaosInjector::on_flusher_cut() {
+  if (!fire(profile_.flusher_stall_probability)) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++counts_.flusher_stalls;
+  }
+  SCWC_LOG_DEBUG("chaos: stalling flusher for " << profile_.flusher_stall_s
+                                                << " s");
+  sleep_seconds(profile_.flusher_stall_s);  // off the lock: stalls, not blocks
+}
+
+BatchFate ChaosInjector::on_batch_dispatch() {
+  if (fire(profile_.batch_delay_probability)) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++counts_.batch_delays;
+    }
+    sleep_seconds(profile_.batch_delay_s);
+  }
+  if (fire(profile_.batch_drop_probability)) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++counts_.batch_drops;
+    return BatchFate::kDrop;
+  }
+  return BatchFate::kProceed;
+}
+
+void ChaosInjector::on_predict_start() {
+  if (!fire(profile_.predict_spike_probability)) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++counts_.predict_spikes;
+  }
+  sleep_seconds(profile_.predict_spike_s);
+}
+
+bool ChaosInjector::on_swap_bytes(std::vector<char>& bytes) {
+  if (bytes.empty() || !fire(profile_.corrupt_swap_probability)) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto index =
+      static_cast<std::size_t>(rng_.uniform_index(bytes.size()));
+  // Flip a bit somewhere past the magic so the failure mode varies between
+  // "bad header" and "bad payload" across draws; index 0 would always be
+  // caught by the magic check alone.
+  bytes[index] = static_cast<char>(
+      static_cast<unsigned char>(bytes[index]) ^
+      static_cast<unsigned char>(1U << rng_.uniform_index(8)));
+  ++counts_.corrupted_swaps;
+  return true;
+}
+
+void ChaosInjector::starve(ThreadPool& pool) {
+  if (!fire(profile_.starve_probability)) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++counts_.starvation_bursts;
+  }
+  const double nap = profile_.starve_task_s;
+  for (std::size_t i = 0; i < profile_.starve_tasks; ++i) {
+    // Best effort: if the pool queue is at capacity the hog is refused,
+    // which is itself back-pressure — exactly the condition being tested.
+    (void)pool.try_submit([nap] { sleep_seconds(nap); }, 64);
+  }
+}
+
+ChaosCounts ChaosInjector::counts() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counts_;
+}
+
+}  // namespace scwc::serve

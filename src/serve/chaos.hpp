@@ -1,0 +1,129 @@
+// Seeded fault injection for the serving stack (chaos testing).
+//
+// FaultInjector (src/robust/fault.*) corrupts the *data* a model sees;
+// ChaosInjector breaks the *machinery* that serves it: the flusher thread
+// stalls, cut batches are delayed or dropped before dispatch, the predict
+// path gains latency spikes, bundle bytes are corrupted on their way into a
+// hot swap, and the worker pool is starved by useless blocking tasks. Each
+// family is driven by an explicit probability so bench/serve_chaos.cpp can
+// sweep one fault class at a time, and every draw comes from one seeded
+// scwc::Rng so a chaotic run replays bit-for-bit.
+//
+// The injector is armed explicitly (set_armed): a scenario warms the
+// service up with chaos disarmed, arms it for the fault window, then
+// disarms it and watches the breaker recover. All hooks are thread-safe —
+// they are called from the flusher thread, pool workers and the swap path
+// concurrently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace scwc::serve {
+
+/// Per-family injection knobs. All probabilities are per-event (per batch
+/// cut, per dispatch, per predict, per swap); 0 disables the family.
+/// `at_severity` gives a calibrated mix for a single scalar knob.
+struct ChaosProfile {
+  double flusher_stall_probability = 0.0;  ///< per batch cut
+  double flusher_stall_s = 0.05;           ///< stall length when it fires
+
+  double batch_delay_probability = 0.0;    ///< per dispatched batch
+  double batch_delay_s = 0.02;             ///< added latency when it fires
+
+  double batch_drop_probability = 0.0;     ///< per dispatched batch — the
+                                           ///< batch is lost before predict
+
+  double predict_spike_probability = 0.0;  ///< per executed batch
+  double predict_spike_s = 0.03;           ///< latency spike when it fires
+
+  double corrupt_swap_probability = 0.0;   ///< per bundle swap attempt
+
+  double starve_probability = 0.0;         ///< per starve() poll
+  double starve_task_s = 0.05;             ///< how long each hog task sleeps
+  std::size_t starve_tasks = 4;            ///< hog tasks injected per firing
+
+  /// Calibrated mix for severity in [0, 1]: 0 injects nothing, 1 stalls,
+  /// delays, drops, spikes, corrupts and starves aggressively.
+  static ChaosProfile at_severity(double severity);
+
+  /// True when every probability is zero (all hooks are then no-ops).
+  [[nodiscard]] bool empty() const noexcept;
+};
+
+/// What the injector actually did (cumulative since construction).
+struct ChaosCounts {
+  std::size_t flusher_stalls = 0;
+  std::size_t batch_delays = 0;
+  std::size_t batch_drops = 0;
+  std::size_t predict_spikes = 0;
+  std::size_t corrupted_swaps = 0;
+  std::size_t starvation_bursts = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return flusher_stalls + batch_delays + batch_drops + predict_spikes +
+           corrupted_swaps + starvation_bursts;
+  }
+};
+
+/// Human-readable one-line summary ("stalls=3 drops=1 ...").
+std::string to_string(const ChaosCounts& counts);
+
+/// What should happen to a batch at dispatch time.
+enum class BatchFate {
+  kProceed = 0,  ///< dispatch normally (a delay may already have been paid)
+  kDrop,         ///< lose the batch — the service sheds it with kInternal
+};
+
+/// Seeded machinery-fault injector; see the file header for the model.
+class ChaosInjector {
+ public:
+  ChaosInjector(ChaosProfile profile, std::uint64_t seed);
+
+  [[nodiscard]] const ChaosProfile& profile() const noexcept {
+    return profile_;
+  }
+
+  /// Arms/disarms injection. Disarmed, every hook is a guaranteed no-op
+  /// (the Rng is not advanced, so the armed phase replays identically
+  /// whatever happened around it).
+  void set_armed(bool armed) noexcept;
+  [[nodiscard]] bool armed() const noexcept;
+
+  /// Flusher hook: may sleep the flusher thread (stalled-flusher fault).
+  void on_flusher_cut();
+
+  /// Dispatch hook: may sleep (delayed batch) and/or condemn the batch.
+  [[nodiscard]] BatchFate on_batch_dispatch();
+
+  /// Predict hook: may sleep on the worker thread (latency spike).
+  void on_predict_start();
+
+  /// Swap hook: may corrupt `bytes` in place (one random byte flipped)
+  /// before they are parsed into a bundle. Returns true when it did.
+  bool on_swap_bytes(std::vector<char>& bytes);
+
+  /// Starvation hook: when it fires, floods `pool` with starve_tasks
+  /// blocking sleepers through try_submit. Call it from the load loop.
+  void starve(ThreadPool& pool);
+
+  [[nodiscard]] ChaosCounts counts() const;
+
+ private:
+  /// One armed Bernoulli draw under the mutex; false when disarmed.
+  bool fire(double probability);
+
+  ChaosProfile profile_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  bool armed_ = false;
+  ChaosCounts counts_;
+};
+
+}  // namespace scwc::serve

@@ -1,0 +1,286 @@
+#include "serve/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace scwc::serve {
+
+const char* breaker_state_name(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+    case BreakerState::kOpen:
+      return "open";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- monitor
+
+HealthMonitor::HealthMonitor(HealthConfig config) : config_(config) {
+  SCWC_REQUIRE(config_.window > 0, "HealthMonitor: window must be > 0");
+  SCWC_REQUIRE(config_.min_samples > 0,
+               "HealthMonitor: min_samples must be > 0");
+}
+
+void HealthMonitor::record_accepted(double latency_s, bool abstained,
+                                    bool model_error) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  outcomes_.push_back({latency_s, abstained, model_error});
+  while (outcomes_.size() > config_.window) outcomes_.pop_front();
+  admissions_.push_back(true);
+  while (admissions_.size() > config_.window) admissions_.pop_front();
+}
+
+void HealthMonitor::record_shed(RejectReason reason) {
+  // Shutdown sheds are the service turning off, not the service failing.
+  if (reason == RejectReason::kShutdown) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  admissions_.push_back(false);
+  while (admissions_.size() > config_.window) admissions_.pop_front();
+}
+
+HealthStats HealthMonitor::stats_locked() const {
+  HealthStats s;
+  s.samples = outcomes_.size();
+  for (const bool accepted : admissions_) s.sheds += accepted ? 0 : 1;
+
+  if (!outcomes_.empty()) {
+    std::vector<double> latencies;
+    latencies.reserve(outcomes_.size());
+    std::size_t abstained = 0;
+    for (const Outcome& o : outcomes_) {
+      latencies.push_back(o.latency_s);
+      abstained += o.abstained ? 1 : 0;
+      s.model_errors += o.model_error ? 1 : 0;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(0.99 * static_cast<double>(latencies.size())));
+    s.p99_s = latencies[rank == 0 ? 0 : rank - 1];
+    s.abstain_rate = static_cast<double>(abstained) /
+                     static_cast<double>(outcomes_.size());
+  }
+  if (!admissions_.empty()) {
+    s.shed_rate = static_cast<double>(s.sheds) /
+                  static_cast<double>(admissions_.size());
+  }
+  return s;
+}
+
+HealthStats HealthMonitor::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_locked();
+}
+
+bool HealthMonitor::unhealthy(std::string* why) const {
+  HealthStats s;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    s = stats_locked();
+  }
+  // model_errors is an absolute tripwire: even a handful means the bundle
+  // itself is broken, so it is checked before the min_samples gate would
+  // wait for a full window of broken answers.
+  if (s.model_errors > config_.max_model_errors) {
+    if (why != nullptr) {
+      std::ostringstream os;
+      os << "model_errors " << s.model_errors << " > "
+         << config_.max_model_errors;
+      *why = os.str();
+    }
+    return true;
+  }
+  if (s.samples + s.sheds < config_.min_samples) return false;
+  std::ostringstream os;
+  if (s.samples >= config_.min_samples && s.p99_s > config_.max_p99_s) {
+    os << "p99 " << s.p99_s << " s > " << config_.max_p99_s << " s";
+  } else if (s.samples >= config_.min_samples &&
+             s.abstain_rate > config_.max_abstain_rate) {
+    os << "abstain_rate " << s.abstain_rate << " > "
+       << config_.max_abstain_rate;
+  } else if (s.shed_rate > config_.max_shed_rate) {
+    os << "shed_rate " << s.shed_rate << " > " << config_.max_shed_rate;
+  } else {
+    return false;
+  }
+  if (why != nullptr) *why = os.str();
+  return true;
+}
+
+void HealthMonitor::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  outcomes_.clear();
+  admissions_.clear();
+}
+
+// ------------------------------------------------------------------ chain
+
+FallbackChain::FallbackChain(ModelRegistry& registry, HealthConfig config)
+    : registry_(registry), config_(config) {
+  auto& reg = obs::MetricsRegistry::global();
+  obs_state_ = reg.gauge("scwc_serve_breaker_state");
+  obs_depth_ = reg.gauge("scwc_serve_fallback_depth");
+  obs_trips_ = reg.counter("scwc_serve_breaker_trips_total");
+  obs_recoveries_ = reg.counter("scwc_serve_breaker_recoveries_total");
+  obs_state_.set(0.0);
+  obs_depth_.set(0.0);
+}
+
+std::shared_ptr<const ModelBundle> FallbackChain::bundle_for_level_locked(
+    int level) const {
+  if (level <= 0) return registry_.current();
+  if (level == 1 && !config_.fallback_version.empty()) {
+    return registry_.get(config_.fallback_version);
+  }
+  return nullptr;  // level 2: abstain-only
+}
+
+void FallbackChain::set_state_locked(BreakerState state) noexcept {
+  state_ = state;
+  obs_state_.set(static_cast<double>(state));
+}
+
+void FallbackChain::set_depth_locked(int depth) noexcept {
+  depth_ = depth;
+  obs_depth_.set(static_cast<double>(depth));
+}
+
+Route FallbackChain::route(std::chrono::steady_clock::time_point now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Route r;
+  if (state_ == BreakerState::kOpen) {
+    const auto cooldown = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(config_.open_cooldown_s));
+    if (now - opened_at_ >= cooldown) {
+      set_state_locked(BreakerState::kHalfOpen);
+      probe_outstanding_ = false;
+      healthy_probes_ = 0;
+    }
+  }
+  if (state_ == BreakerState::kHalfOpen && !probe_outstanding_ &&
+      depth_ > 0) {
+    // Probe one level up the ladder; its outcome decides the next step.
+    int probe_level = depth_ - 1;
+    r.bundle = bundle_for_level_locked(probe_level);
+    if (probe_level > 0 && r.bundle == nullptr) {
+      // Rung 1 has no bundle (no fallback_version) — probe the full path
+      // directly, mirroring the trip path that skipped the rung going down.
+      probe_level = 0;
+      r.bundle = bundle_for_level_locked(0);
+    }
+    if (probe_level == 0 || r.bundle != nullptr) {
+      r.level = probe_level;
+      r.probe = true;
+      probe_outstanding_ = true;
+      return r;
+    }
+  }
+  r.level = depth_;
+  r.bundle = bundle_for_level_locked(depth_);
+  if (depth_ == 1 && r.bundle == nullptr) {
+    // Fallback bundle vanished between trip and now — degrade further.
+    set_depth_locked(2);
+    r.level = 2;
+  }
+  return r;
+}
+
+void FallbackChain::on_unhealthy(std::chrono::steady_clock::time_point now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == BreakerState::kOpen) return;
+  if (!incident_) {
+    incident_ = true;
+    incident_start_ = now;
+  }
+  ++trips_;
+  obs_trips_.inc();
+  set_state_locked(BreakerState::kOpen);
+  opened_at_ = now;
+  probe_outstanding_ = false;
+  healthy_probes_ = 0;
+  if (depth_ < 2) {
+    int next = depth_ + 1;
+    if (next == 1 && bundle_for_level_locked(1) == nullptr) next = 2;
+    set_depth_locked(next);
+  }
+  SCWC_LOG_WARN("serve breaker OPEN, degraded to level " << depth_);
+}
+
+void FallbackChain::on_probe_outcome(
+    bool healthy, std::chrono::steady_clock::time_point now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  probe_outstanding_ = false;
+  if (state_ != BreakerState::kHalfOpen) return;
+  if (!healthy) {
+    set_state_locked(BreakerState::kOpen);
+    opened_at_ = now;
+    healthy_probes_ = 0;
+    return;
+  }
+  ++healthy_probes_;
+  if (healthy_probes_ < config_.half_open_probes) return;
+  healthy_probes_ = 0;
+  if (depth_ > 0) {
+    int next = depth_ - 1;
+    // Don't climb onto a rung with no bundle — route() would immediately
+    // demote again; land on the level the probes actually exercised.
+    if (next == 1 && bundle_for_level_locked(1) == nullptr) next = 0;
+    set_depth_locked(next);
+  }
+  if (depth_ == 0) {
+    set_state_locked(BreakerState::kClosed);
+    ++recoveries_;
+    obs_recoveries_.inc();
+    if (incident_) {
+      last_recovery_s_ =
+          std::chrono::duration<double>(now - incident_start_).count();
+      incident_ = false;
+    }
+    SCWC_LOG_INFO("serve breaker CLOSED, full path restored");
+  } else {
+    // One rung climbed; stay half-open and keep probing toward level 0.
+    SCWC_LOG_INFO("serve breaker half-open, climbed to level " << depth_);
+  }
+}
+
+BreakerState FallbackChain::state() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+int FallbackChain::depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return depth_;
+}
+
+std::size_t FallbackChain::trips() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return trips_;
+}
+
+std::size_t FallbackChain::recoveries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recoveries_;
+}
+
+double FallbackChain::last_recovery_s() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return last_recovery_s_;
+}
+
+bool FallbackChain::incident_active() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return incident_;
+}
+
+}  // namespace scwc::serve

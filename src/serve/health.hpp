@@ -1,0 +1,193 @@
+// Serving health: rolling SLO monitor, circuit breaker, fallback chain.
+//
+// The serving stack from PR 4 assumed a healthy world: if inference got
+// slow or a bundle went bad, requests simply queued, timed out, or came
+// back wrong. This layer closes the loop. A HealthMonitor keeps a rolling
+// window of per-request outcomes (latency, abstention, model error, shed)
+// and derives p99 latency, abstain rate, shed rate. When any threshold is
+// violated, the FallbackChain's circuit breaker trips open and serving
+// degrades stepwise:
+//
+//   level 0: full pipeline (the registry's current bundle)
+//   level 1: cheap fallback bundle (e.g. covariance-only, few trees)
+//   level 2: abstain-only — every request is answered immediately with a
+//            typed degraded abstention; nothing touches a model
+//
+// After `open_cooldown_s` the breaker moves to half-open and lets single
+// probe batches through at the next-better level; `half_open_probes`
+// consecutive healthy probes step the chain back up one level until it is
+// closed again at level 0. Bundle-level faults (model exceptions,
+// non-finite scores, failed loads) are handled separately by the service:
+// they drive ModelRegistry::rollback() instead of degradation, because the
+// previous version is the better answer when the *bundle* is broken and
+// the cluster is fine.
+//
+// Thread model: HealthMonitor and FallbackChain are internally locked;
+// record/route/transition calls arrive from pool workers and the flusher
+// concurrently. Time is passed in explicitly (steady_clock time_points) so
+// tests can drive transitions without sleeping.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/serve_types.hpp"
+
+namespace scwc::serve {
+
+/// Breaker states, ordered so the exported gauge reads naturally:
+/// 0 healthy, 1 probing, 2 tripped.
+enum class BreakerState { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
+
+/// Short stable name ("closed", "half_open", "open").
+[[nodiscard]] const char* breaker_state_name(BreakerState state) noexcept;
+
+/// SLO thresholds and breaker timing. Disabled by default — a service
+/// without a HealthConfig behaves exactly as before this layer existed.
+struct HealthConfig {
+  bool enabled = false;
+
+  std::size_t window = 256;      ///< rolling outcomes kept by the monitor
+  std::size_t min_samples = 32;  ///< below this, never declare unhealthy
+
+  double max_p99_s = 0.050;        ///< p99 latency SLO for full-path answers
+  double max_abstain_rate = 0.5;   ///< guard abstentions / accepted answers
+  double max_shed_rate = 0.25;     ///< sheds / (sheds + accepted answers)
+  std::size_t max_model_errors = 4;  ///< kModelError abstentions in window
+
+  double open_cooldown_s = 0.5;     ///< open → half-open delay
+  std::size_t half_open_probes = 3; ///< healthy probes per recovery step
+
+  /// Registered version served at level 1. Empty (or unknown at trip time)
+  /// skips straight to level 2 — abstain-only.
+  std::string fallback_version;
+};
+
+/// Point-in-time health statistics over the monitor's rolling window.
+struct HealthStats {
+  std::size_t samples = 0;   ///< accepted answers currently in the window
+  std::size_t sheds = 0;     ///< sheds currently in the window
+  double p99_s = 0.0;
+  double abstain_rate = 0.0;
+  double shed_rate = 0.0;
+  std::size_t model_errors = 0;
+};
+
+/// Rolling-window outcome recorder; the breaker's sensor.
+///
+/// Only FULL-PATH (level 0) accepted answers are recorded — degraded-mode
+/// answers abstain by design, and feeding them back would hold the abstain
+/// rate at 100 % and make recovery impossible. Sheds are always recorded.
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthConfig config);
+
+  void record_accepted(double latency_s, bool abstained, bool model_error);
+  void record_shed(RejectReason reason);
+
+  [[nodiscard]] HealthStats stats() const;
+
+  /// True when the window has min_samples and any threshold is violated;
+  /// `why` (optional) receives a one-line reason for the log.
+  [[nodiscard]] bool unhealthy(std::string* why = nullptr) const;
+
+  /// Forgets the window — called on trip/recovery so the next verdict is
+  /// based on post-transition behaviour only.
+  void reset();
+
+  [[nodiscard]] const HealthConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Outcome {
+    double latency_s = 0.0;
+    bool abstained = false;
+    bool model_error = false;
+  };
+
+  [[nodiscard]] HealthStats stats_locked() const;
+
+  HealthConfig config_;
+  mutable std::mutex mutex_;
+  std::deque<Outcome> outcomes_;   ///< accepted answers, oldest first
+  std::deque<bool> admissions_;    ///< true = accepted, false = shed
+};
+
+/// Where the FallbackChain routed one batch.
+struct Route {
+  std::shared_ptr<const ModelBundle> bundle;  ///< null at level 2 (or kNoModel)
+  int level = 0;      ///< 0 full, 1 fallback bundle, 2 abstain-only
+  bool probe = false; ///< half-open probe: outcome feeds on_probe_outcome()
+};
+
+/// The circuit breaker + stepwise degradation ladder (file header has the
+/// state machine). `registry` must outlive the chain.
+class FallbackChain {
+ public:
+  FallbackChain(ModelRegistry& registry, HealthConfig config);
+
+  /// Picks the bundle/level for the batch being cut right now. At most one
+  /// probe is outstanding at a time; a probe Route is only issued in
+  /// half-open state.
+  [[nodiscard]] Route route(std::chrono::steady_clock::time_point now);
+
+  /// Trips the breaker one level down (0→1→2, skipping 1 when no fallback
+  /// bundle resolves). Ignored while already open or at level 2 with the
+  /// breaker open. Starts the MTTR clock on the first trip of an incident.
+  void on_unhealthy(std::chrono::steady_clock::time_point now);
+
+  /// Feeds a probe's verdict back. `half_open_probes` consecutive healthy
+  /// probes step the chain up one level (reaching level 0 closes the
+  /// breaker and ends the incident); one unhealthy probe re-opens it.
+  void on_probe_outcome(bool healthy,
+                        std::chrono::steady_clock::time_point now);
+
+  [[nodiscard]] BreakerState state() const;
+  [[nodiscard]] int depth() const;  ///< current degradation level 0..2
+  [[nodiscard]] std::size_t trips() const;
+  [[nodiscard]] std::size_t recoveries() const;
+  /// Duration of the last completed incident (first trip → breaker closed),
+  /// 0 when none completed yet — the bench's MTTR numerator.
+  [[nodiscard]] double last_recovery_s() const;
+  /// True between the first trip of an incident and full recovery.
+  [[nodiscard]] bool incident_active() const;
+
+  [[nodiscard]] const HealthConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] std::shared_ptr<const ModelBundle> bundle_for_level_locked(
+      int level) const;
+  void set_state_locked(BreakerState state) noexcept;
+  void set_depth_locked(int depth) noexcept;
+
+  ModelRegistry& registry_;
+  HealthConfig config_;
+
+  mutable std::mutex mutex_;
+  BreakerState state_ = BreakerState::kClosed;
+  int depth_ = 0;
+  std::chrono::steady_clock::time_point opened_at_{};
+  std::chrono::steady_clock::time_point incident_start_{};
+  bool incident_ = false;
+  bool probe_outstanding_ = false;
+  std::size_t healthy_probes_ = 0;
+  std::size_t trips_ = 0;
+  std::size_t recoveries_ = 0;
+  double last_recovery_s_ = 0.0;
+
+  obs::GaugeHandle obs_state_;
+  obs::GaugeHandle obs_depth_;
+  obs::CounterHandle obs_trips_;
+  obs::CounterHandle obs_recoveries_;
+};
+
+}  // namespace scwc::serve

@@ -1,13 +1,18 @@
 #include "serve/micro_batcher.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.hpp"
+#include "serve/chaos.hpp"
 
 namespace scwc::serve {
 
-MicroBatcher::MicroBatcher(MicroBatcherConfig config, BatchRunner runner)
-    : config_(config), runner_(std::move(runner)) {
+MicroBatcher::MicroBatcher(MicroBatcherConfig config, BatchRunner runner,
+                           ExpiredHandler expired)
+    : config_(config),
+      runner_(std::move(runner)),
+      expired_handler_(std::move(expired)) {
   SCWC_REQUIRE(config_.max_batch > 0, "MicroBatcher: max_batch must be > 0");
   SCWC_REQUIRE(config_.max_delay_s >= 0.0,
                "MicroBatcher: max_delay_s must be >= 0");
@@ -42,17 +47,32 @@ std::size_t MicroBatcher::pending() const {
   return pending_.size();
 }
 
-std::vector<BatchRequest> MicroBatcher::cut_batch_locked() {
-  const std::size_t n = std::min(config_.max_batch, pending_.size());
+std::vector<BatchRequest> MicroBatcher::cut_batch_locked(
+    std::chrono::steady_clock::time_point now,
+    std::vector<BatchRequest>& expired) {
   std::vector<BatchRequest> batch;
-  batch.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    batch.push_back(std::move(pending_.front()));
+  batch.reserve(std::min(config_.max_batch, pending_.size()));
+  while (!pending_.empty() && batch.size() < config_.max_batch) {
+    BatchRequest request = std::move(pending_.front());
     pending_.pop_front();
+    if (expired_handler_ && request.deadline <= now) {
+      expired.push_back(std::move(request));
+    } else {
+      batch.push_back(std::move(request));
+    }
   }
   obs_queue_depth_.set(static_cast<double>(pending_.size()));
-  obs_batch_size_.observe(static_cast<double>(n));
+  obs_batch_size_.observe(static_cast<double>(batch.size()));
   return batch;
+}
+
+std::chrono::steady_clock::time_point MicroBatcher::min_deadline_locked()
+    const {
+  auto min = std::chrono::steady_clock::time_point::max();
+  for (const BatchRequest& request : pending_) {
+    min = std::min(min, request.deadline);
+  }
+  return min;
 }
 
 void MicroBatcher::flusher_loop() {
@@ -69,8 +89,11 @@ void MicroBatcher::flusher_loop() {
     // Wait out the remaining deadline of the OLDEST request unless the
     // batch fills (or stop) first. wait_until re-checks under the lock, so
     // a submit racing the deadline either makes this batch or the next.
-    const auto deadline = pending_.front().enqueued + max_delay;
-    const bool filled = cv_.wait_until(lock, deadline, [this] {
+    // The wait is also bounded by the earliest per-request deadline so an
+    // expired request is shed promptly instead of riding a late batch.
+    const auto flush_at = std::min(pending_.front().enqueued + max_delay,
+                                   min_deadline_locked());
+    const bool filled = cv_.wait_until(lock, flush_at, [this] {
       return stop_ || pending_.size() >= config_.max_batch;
     });
     if (filled && !stop_) {
@@ -78,9 +101,15 @@ void MicroBatcher::flusher_loop() {
     } else if (!stop_) {
       obs_flush_deadline_.inc();
     }
-    std::vector<BatchRequest> batch = cut_batch_locked();
+    std::vector<BatchRequest> expired;
+    std::vector<BatchRequest> batch =
+        cut_batch_locked(std::chrono::steady_clock::now(), expired);
     lock.unlock();
-    runner_(std::move(batch));
+    for (BatchRequest& request : expired) {
+      expired_handler_(std::move(request));
+    }
+    if (config_.chaos != nullptr) config_.chaos->on_flusher_cut();
+    if (!batch.empty()) runner_(std::move(batch));
     lock.lock();
     if (stop_ && pending_.empty()) return;
   }

@@ -27,10 +27,16 @@
 
 namespace scwc::serve {
 
+class ChaosInjector;  // serve/chaos.hpp — optional fault injection hook
+
 /// Flush policy. Defaults favour throughput at a 5 ms latency budget.
 struct MicroBatcherConfig {
   std::size_t max_batch = 64;   ///< flush immediately at this size
   double max_delay_s = 0.005;   ///< flush when the oldest request is this old
+  /// Optional seeded fault injector (chaos testing only). When set, the
+  /// flusher calls ChaosInjector::on_flusher_cut() after each batch cut,
+  /// which may stall the flusher thread. Must outlive the batcher.
+  ChaosInjector* chaos = nullptr;
 };
 
 /// One queued classification request.
@@ -39,6 +45,11 @@ struct BatchRequest {
   std::size_t steps = 0;
   std::size_t sensors = 0;
   std::chrono::steady_clock::time_point enqueued;
+  /// Absolute deadline; time_point::max() (the default) means "none".
+  /// Requests whose deadline passed while queued are cut out of the batch
+  /// and handed to the expired handler instead of the runner.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
   std::promise<ServeResult> promise;
 };
 
@@ -47,10 +58,17 @@ class MicroBatcher {
  public:
   /// Receives the cut batch and must fulfil every request's promise.
   using BatchRunner = std::function<void(std::vector<BatchRequest>&&)>;
+  /// Receives one request whose deadline expired while queued and must
+  /// fulfil its promise (typically with kDeadlineExceeded).
+  using ExpiredHandler = std::function<void(BatchRequest&&)>;
 
   /// Starts the flusher thread. `runner` is called on the flusher thread,
-  /// once per cut batch, never concurrently with itself.
-  MicroBatcher(MicroBatcherConfig config, BatchRunner runner);
+  /// once per cut batch, never concurrently with itself. `expired` (when
+  /// set) receives requests whose deadline passed while queued, also on the
+  /// flusher thread; without it expired requests stay in the batch and the
+  /// runner is expected to apply its own deadline policy.
+  MicroBatcher(MicroBatcherConfig config, BatchRunner runner,
+               ExpiredHandler expired = nullptr);
   ~MicroBatcher();
 
   MicroBatcher(const MicroBatcher&) = delete;
@@ -75,10 +93,18 @@ class MicroBatcher {
  private:
   void flusher_loop();
   /// Cuts up to max_batch requests off the queue front. Caller holds mutex_.
-  std::vector<BatchRequest> cut_batch_locked();
+  /// When an expired handler is installed, requests whose deadline ≤ now are
+  /// diverted into `expired` (they do not count against max_batch).
+  std::vector<BatchRequest> cut_batch_locked(
+      std::chrono::steady_clock::time_point now,
+      std::vector<BatchRequest>& expired);
+  /// Earliest pending deadline, or time_point::max(). Caller holds mutex_.
+  [[nodiscard]] std::chrono::steady_clock::time_point
+  min_deadline_locked() const;
 
   MicroBatcherConfig config_;
   BatchRunner runner_;
+  ExpiredHandler expired_handler_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

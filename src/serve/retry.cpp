@@ -1,0 +1,77 @@
+#include "serve/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace scwc::serve {
+
+std::optional<ServeResult> get_within(std::future<ServeResult>& future,
+                                      double timeout_s) {
+  const auto status =
+      future.wait_for(std::chrono::duration<double>(timeout_s));
+  if (status != std::future_status::ready) return std::nullopt;
+  // This IS the deadline wrapper the rule points everyone at; the wait_for
+  // above already bounded the get.
+  return future.get();  // scwc-lint: allow(no-unchecked-future-get)
+}
+
+ServeResult submit_with_retry(ClassificationService& service,
+                              const std::vector<double>& window,
+                              std::size_t steps, std::size_t sensors,
+                              const RetryPolicy& policy, Rng& rng) {
+  auto& reg = obs::MetricsRegistry::global();
+  obs::CounterHandle retries =
+      reg.counter("scwc_serve_client_retries_total");
+  obs::CounterHandle recovered =
+      reg.counter("scwc_serve_client_retry_recovered_total");
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto budget_left = [&]() {
+    return policy.budget_s -
+           std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+               .count();
+  };
+
+  ServeResult last;
+  last.accepted = false;
+  last.reject_reason = RejectReason::kDeadlineExceeded;
+  double backoff = policy.initial_backoff_s;
+  const std::size_t attempts = std::max<std::size_t>(1, policy.max_attempts);
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      const double lo = std::max(0.0, 1.0 - policy.jitter);
+      const double hi = 1.0 + policy.jitter;
+      const double sleep_s = backoff * rng.uniform(lo, hi);
+      if (sleep_s >= budget_left()) break;  // would blow the budget: give up
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+      backoff = std::min(backoff * policy.backoff_multiplier,
+                         policy.max_backoff_s);
+      retries.inc();
+    }
+    std::future<ServeResult> future =
+        service.submit(window, steps, sensors);
+    const double wait_s = budget_left();
+    if (wait_s <= 0.0) break;
+    std::optional<ServeResult> result = get_within(future, wait_s);
+    if (!result.has_value()) break;  // budget exhausted mid-flight
+    last = std::move(*result);
+    if (last.accepted || !retryable(last.reject_reason)) {
+      if (last.accepted && attempt > 0) recovered.inc();
+      return last;
+    }
+  }
+  if (last.accepted) return last;
+  // Out of attempts or budget: report the final shed as a deadline miss
+  // when the last observed reason was retryable (the caller could not wait
+  // any longer), else pass the terminal reason through.
+  if (retryable(last.reject_reason)) {
+    last.reject_reason = RejectReason::kDeadlineExceeded;
+  }
+  return last;
+}
+
+}  // namespace scwc::serve

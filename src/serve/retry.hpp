@@ -1,0 +1,55 @@
+// Client-side retry with jittered, budgeted exponential backoff.
+//
+// Admission control (serve/admission.hpp) sheds on purpose: a kQueueFull or
+// kExecutor verdict means "back off and come again", not "this window is
+// unclassifiable". This header gives the two in-repo clients (scwc_serve,
+// bench/serve_throughput) one shared policy for doing that correctly:
+// bounded attempts, exponential backoff with uniform jitter (so retries
+// from many clients decorrelate instead of re-stampeding the queue), and a
+// hard wall-clock budget after which the request is abandoned with a
+// kDeadlineExceeded verdict. Non-retryable sheds (shutdown, no model,
+// deadline) and accepted answers return immediately.
+//
+// Also home of get_within(), the deadline-aware future getter lib code must
+// use instead of a bare future::get() (lint rule no-unchecked-future-get).
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serve/service.hpp"
+
+namespace scwc::serve {
+
+/// Backoff policy. Defaults retry up to 3 times inside a 250 ms budget.
+struct RetryPolicy {
+  std::size_t max_attempts = 4;      ///< total tries (first + retries)
+  double initial_backoff_s = 0.0005; ///< nominal sleep before retry 1
+  double backoff_multiplier = 2.0;   ///< nominal sleep growth per retry
+  double max_backoff_s = 0.02;       ///< nominal sleep cap
+  double jitter = 0.5;               ///< sleep drawn from ±jitter around nominal
+  double budget_s = 0.25;            ///< wall-clock cap across all attempts
+};
+
+/// Waits up to `timeout_s` for the future, returning nullopt on timeout.
+/// The future stays valid on timeout — the caller may wait again later.
+[[nodiscard]] std::optional<ServeResult> get_within(
+    std::future<ServeResult>& future, double timeout_s);
+
+/// Submits `window`, retrying retryable sheds under `policy`. Blocks the
+/// calling thread across backoff sleeps and future waits — this is a
+/// CLIENT helper; never call it from the serve path itself. Returns the
+/// first non-retryable result, or a synthesized kDeadlineExceeded shed when
+/// attempts or budget run out. `rng` drives the jitter so closed-loop
+/// benches stay reproducible.
+[[nodiscard]] ServeResult submit_with_retry(ClassificationService& service,
+                                            const std::vector<double>& window,
+                                            std::size_t steps,
+                                            std::size_t sensors,
+                                            const RetryPolicy& policy,
+                                            Rng& rng);
+
+}  // namespace scwc::serve

@@ -19,16 +19,23 @@ namespace scwc::serve {
 /// scwc_serve_shed_<reason>_total counter so overload behaviour is visible
 /// per cause, not as one lump.
 enum class RejectReason {
-  kNone = 0,     ///< not rejected
-  kQueueFull,    ///< batcher queue at its bound — sustained overload
-  kExecutor,     ///< ThreadPool batch queue at its bound (try_submit false)
-  kShutdown,     ///< service stopping/stopped
-  kNoModel,      ///< registry has no active bundle
+  kNone = 0,          ///< not rejected
+  kQueueFull,         ///< batcher queue at its bound — sustained overload
+  kExecutor,          ///< ThreadPool batch queue at its bound (try_submit false)
+  kShutdown,          ///< service stopping/stopped
+  kNoModel,           ///< registry has no active bundle
+  kDeadlineExceeded,  ///< request deadline passed before a fresh answer
+  kInternal,          ///< batch executor failed/lost the request (or chaos)
 };
 
-/// Short stable name ("queue_full", "executor", "shutdown", "no_model";
-/// "none" when accepted).
+/// Short stable name ("queue_full", "executor", "shutdown", "no_model",
+/// "deadline", "internal"; "none" when accepted).
 [[nodiscard]] const char* reject_reason_name(RejectReason reason) noexcept;
+
+/// True for shed reasons a client may sensibly retry after backing off:
+/// transient overload (kQueueFull, kExecutor) and executor loss (kInternal).
+/// Shutdown, missing models and expired deadlines are not retryable.
+[[nodiscard]] bool retryable(RejectReason reason) noexcept;
 
 /// Final outcome of one serve request.
 struct ServeResult {
@@ -39,6 +46,9 @@ struct ServeResult {
   double queue_delay_s = 0.0;       ///< submit → batch cut from the queue
   double total_latency_s = 0.0;     ///< submit → result ready
   std::size_t batch_size = 0;       ///< windows in the serving batch
+  /// Which rung of the fallback chain answered: 0 = full pipeline,
+  /// 1 = degraded fallback bundle, 2 = abstain-only degraded mode.
+  int degrade_level = 0;
 };
 
 }  // namespace scwc::serve

@@ -1,10 +1,14 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <string>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "obs/trace.hpp"
+#include "serve/chaos.hpp"
 
 namespace scwc::serve {
 
@@ -14,6 +18,12 @@ double seconds_since(std::chrono::steady_clock::time_point start,
                      std::chrono::steady_clock::time_point now) {
   return std::chrono::duration<double>(now - start).count();
 }
+
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
+/// Version string reported by abstain-only degraded answers, which no real
+/// bundle served.
+const char* const kDegradedVersion = "(degraded)";
 
 }  // namespace
 
@@ -29,15 +39,30 @@ ClassificationService::ClassificationService(ModelRegistry& registry,
   obs_requests_ = reg.counter("scwc_serve_requests_total");
   obs_request_seconds_ = reg.histogram("scwc_serve_request_seconds");
   obs_batch_exec_seconds_ = reg.histogram("scwc_serve_batch_exec_seconds");
+  obs_deadline_missed_ = reg.counter("scwc_serve_deadline_missed_total");
+  obs_degraded_ = reg.counter("scwc_serve_degraded_total");
+  obs_auto_rollbacks_ = reg.counter("scwc_serve_auto_rollbacks_total");
+  if (config_.health.enabled) {
+    monitor_ = std::make_unique<HealthMonitor>(config_.health);
+    chain_ = std::make_unique<FallbackChain>(registry_, config_.health);
+  }
+  MicroBatcherConfig batcher_config = config_.batcher;
+  batcher_config.chaos = config_.chaos;
   batcher_ = std::make_unique<MicroBatcher>(
-      config_.batcher,
-      [this](std::vector<BatchRequest>&& batch) { run_batch(std::move(batch)); });
+      batcher_config,
+      [this](std::vector<BatchRequest>&& batch) { run_batch(std::move(batch)); },
+      [this](BatchRequest&& request) {
+        // Deadline passed while the request sat in the batcher queue.
+        shed(request, RejectReason::kDeadlineExceeded);
+      });
 }
 
 ClassificationService::~ClassificationService() { stop(); }
 
 void ClassificationService::shed(BatchRequest& request, RejectReason reason) {
   admission_.count_shed(reason);
+  if (reason == RejectReason::kDeadlineExceeded) obs_deadline_missed_.inc();
+  if (monitor_ != nullptr) monitor_->record_shed(reason);
   ServeResult result;
   result.accepted = false;
   result.reject_reason = reason;
@@ -48,16 +73,33 @@ void ClassificationService::shed(BatchRequest& request, RejectReason reason) {
 
 std::future<ServeResult> ClassificationService::submit(
     std::vector<double> window, std::size_t steps, std::size_t sensors) {
+  auto deadline = kNoDeadline;
+  if (config_.default_deadline_s > 0.0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(config_.default_deadline_s));
+  }
+  return submit(std::move(window), steps, sensors, deadline);
+}
+
+std::future<ServeResult> ClassificationService::submit(
+    std::vector<double> window, std::size_t steps, std::size_t sensors,
+    std::chrono::steady_clock::time_point deadline) {
   obs_requests_.inc();
   BatchRequest request;
   request.window = std::move(window);
   request.steps = steps;
   request.sensors = sensors;
   request.enqueued = std::chrono::steady_clock::now();
+  request.deadline = deadline;
   std::future<ServeResult> future = request.promise.get_future();
 
   RejectReason reason = RejectReason::kNone;
-  if (registry_.current() == nullptr) {
+  if (request.deadline <= request.enqueued) {
+    // Dead on arrival — don't waste queue space on it.
+    reason = RejectReason::kDeadlineExceeded;
+  } else if (registry_.current() == nullptr &&
+             (chain_ == nullptr || chain_->depth() == 0)) {
     reason = RejectReason::kNoModel;
   } else {
     reason = admission_.admit_request(batcher_->pending());
@@ -111,20 +153,103 @@ std::vector<PendingWindow> ClassificationService::finish_job(
   return out;
 }
 
+void ClassificationService::evaluate_health(
+    std::chrono::steady_clock::time_point now) {
+  if (monitor_ == nullptr) return;
+  const HealthStats stats = monitor_->stats();
+  if (stats.model_errors > config_.health.max_model_errors) {
+    // The BUNDLE is broken (model exceptions / malformed results), not the
+    // cluster: the previous version is the better answer than degradation.
+    const std::shared_ptr<const ModelBundle> restored = registry_.rollback();
+    monitor_->reset();
+    if (restored != nullptr) {
+      obs_auto_rollbacks_.inc();
+      SCWC_LOG_WARN("serve auto-rollback: " << stats.model_errors
+                                            << " model errors, restored "
+                                            << restored->version());
+    } else {
+      // Nothing to roll back to — treat it as a health incident instead.
+      chain_->on_unhealthy(now);
+    }
+    return;
+  }
+  std::string why;
+  if (chain_->state() != BreakerState::kOpen && monitor_->unhealthy(&why)) {
+    SCWC_LOG_WARN("serve unhealthy: " << why);
+    chain_->on_unhealthy(now);
+    // Start the next verdict from post-transition evidence only.
+    monitor_->reset();
+  }
+}
+
+void ClassificationService::answer_degraded(
+    std::vector<BatchRequest>& batch) {
+  const auto now = std::chrono::steady_clock::now();
+  for (BatchRequest& request : batch) {
+    obs_degraded_.inc();
+    ServeResult result;
+    result.accepted = true;
+    result.model_version = kDegradedVersion;
+    result.batch_size = batch.size();
+    result.degrade_level = 2;
+    result.prediction.label = robust::GuardedConfig::kNoLabel;
+    result.prediction.abstained = true;
+    result.prediction.reason = robust::AbstainReason::kDegraded;
+    result.queue_delay_s = seconds_since(request.enqueued, now);
+    result.total_latency_s =
+        seconds_since(request.enqueued, std::chrono::steady_clock::now());
+    request.promise.set_value(std::move(result));
+  }
+}
+
 void ClassificationService::run_batch(std::vector<BatchRequest>&& batch) {
   if (batch.empty()) return;
   const obs::TraceSpan span("serve.flush");
-  const std::shared_ptr<const ModelBundle> bundle = registry_.current();
-  if (bundle == nullptr) {
+  const auto now = std::chrono::steady_clock::now();
+
+  evaluate_health(now);
+
+  // Route the whole batch through the breaker (or straight to the current
+  // bundle when health is off). The bundle is captured ONCE here, keeping
+  // hot-swap atomic per batch.
+  Route route;
+  if (chain_ != nullptr) {
+    route = chain_->route(now);
+  } else {
+    route.bundle = registry_.current();
+  }
+
+  if (route.level >= 2) {
+    // Abstain-only degraded mode: answer inline, instantly — the whole
+    // point is to keep responding while the model path is unsafe.
+    answer_degraded(batch);
+    return;
+  }
+  if (route.bundle == nullptr) {
     for (BatchRequest& request : batch) shed(request, RejectReason::kNoModel);
+    if (route.probe) chain_->on_probe_outcome(false, now);
     return;
   }
 
   if (admission_.closed()) {
     // Draining after stop(): the pool may already be needed elsewhere and
     // new dispatches would be refused — answer the queued requests inline.
-    execute_batch(bundle, batch);
+    execute_batch(route, batch);
     return;
+  }
+
+  if (config_.chaos != nullptr) {
+    // Chaos dispatch hook: may delay (sleeps the flusher — exactly the
+    // stalled-dispatch failure mode) or drop the batch outright.
+    if (config_.chaos->on_batch_dispatch() == BatchFate::kDrop) {
+      for (BatchRequest& request : batch) {
+        shed(request, RejectReason::kInternal);
+      }
+      if (route.probe) {
+        chain_->on_probe_outcome(false, std::chrono::steady_clock::now());
+      }
+      return;
+    }
   }
 
   // BatchRequest is move-only (promise) but std::function requires a
@@ -139,8 +264,8 @@ void ClassificationService::run_batch(std::vector<BatchRequest>&& batch) {
   // the mutex before returning, so it cannot observe inflight == 0 and let
   // the destructor tear down inflight_cv_ while notify_all() is still
   // executing on this thread (cv-destruction race TSan catches otherwise).
-  const RejectReason reason = admission_.dispatch([this, bundle, shared] {
-    execute_batch(bundle, *shared);
+  const RejectReason reason = admission_.dispatch([this, route, shared] {
+    execute_batch(route, *shared);
     const std::lock_guard<std::mutex> lock(inflight_mutex_);
     --inflight_batches_;
     inflight_cv_.notify_all();
@@ -152,67 +277,118 @@ void ClassificationService::run_batch(std::vector<BatchRequest>&& batch) {
       inflight_cv_.notify_all();
     }
     for (BatchRequest& request : *shared) shed(request, reason);
+    if (route.probe) {
+      chain_->on_probe_outcome(false, std::chrono::steady_clock::now());
+    }
   }
 }
 
-void ClassificationService::execute_batch(
-    const std::shared_ptr<const ModelBundle>& bundle,
-    std::vector<BatchRequest>& batch) {
-  const obs::TraceSpan span("serve.predict_batch");
-  const auto exec_start = std::chrono::steady_clock::now();
-  const robust::GuardedConfig& guard = bundle->guard_config();
-  const std::size_t steps = guard.window_steps;
-  const std::size_t sensors = guard.sensors;
+void ClassificationService::execute_batch(const Route& route,
+                                          std::vector<BatchRequest>& batch) {
+  const std::shared_ptr<const ModelBundle>& bundle = route.bundle;
+  std::size_t model_errors = 0;
+  try {
+    const obs::TraceSpan span("serve.predict_batch");
+    if (config_.chaos != nullptr) config_.chaos->on_predict_start();
+    const auto exec_start = std::chrono::steady_clock::now();
+    const robust::GuardedConfig& guard = bundle->guard_config();
+    const std::size_t steps = guard.window_steps;
+    const std::size_t sensors = guard.sensors;
 
-  // Pack every well-shaped request into one tensor; odd-geometry requests
-  // take the single-window path (and abstain there with kShape).
-  std::vector<std::size_t> packed_index;
-  packed_index.reserve(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const BatchRequest& r = batch[i];
-    if (r.steps == steps && r.sensors == sensors &&
-        r.window.size() == steps * sensors) {
-      packed_index.push_back(i);
+    // Pack every well-shaped request into one tensor; odd-geometry requests
+    // take the single-window path (and abstain there with kShape).
+    std::vector<std::size_t> packed_index;
+    packed_index.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const BatchRequest& r = batch[i];
+      if (r.steps == steps && r.sensors == sensors &&
+          r.window.size() == steps * sensors) {
+        packed_index.push_back(i);
+      }
     }
-  }
-  std::vector<robust::GuardedPrediction> packed_out;
-  if (!packed_index.empty()) {
-    data::Tensor3 windows(packed_index.size(), steps, sensors);
-    for (std::size_t j = 0; j < packed_index.size(); ++j) {
-      const std::vector<double>& src = batch[packed_index[j]].window;
-      std::copy(src.begin(), src.end(), windows.trial(j).begin());
+    std::vector<robust::GuardedPrediction> packed_out;
+    if (!packed_index.empty()) {
+      data::Tensor3 windows(packed_index.size(), steps, sensors);
+      for (std::size_t j = 0; j < packed_index.size(); ++j) {
+        const std::vector<double>& src = batch[packed_index[j]].window;
+        std::copy(src.begin(), src.end(), windows.trial(j).begin());
+      }
+      packed_out = bundle->guard().classify_batch(windows);
     }
-    packed_out = bundle->guard().classify_batch(windows);
-  }
 
-  std::size_t next_packed = 0;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    BatchRequest& request = batch[i];
-    ServeResult result;
-    result.accepted = true;
-    result.model_version = bundle->version();
-    result.batch_size = batch.size();
-    result.queue_delay_s = seconds_since(request.enqueued, exec_start);
-    if (next_packed < packed_index.size() && packed_index[next_packed] == i) {
-      result.prediction = std::move(packed_out[next_packed]);
-      ++next_packed;
-    } else {
-      result.prediction = bundle->guard().classify(
-          request.window, request.steps, request.sensors);
+    std::size_t next_packed = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      BatchRequest& request = batch[i];
+      ServeResult result;
+      result.accepted = true;
+      result.model_version = bundle->version();
+      result.batch_size = batch.size();
+      result.degrade_level = route.level;
+      result.queue_delay_s = seconds_since(request.enqueued, exec_start);
+      if (next_packed < packed_index.size() &&
+          packed_index[next_packed] == i) {
+        result.prediction = std::move(packed_out[next_packed]);
+        ++next_packed;
+      } else {
+        result.prediction = bundle->guard().classify(
+            request.window, request.steps, request.sensors);
+      }
+      const auto done = std::chrono::steady_clock::now();
+      if (result.prediction.reason == robust::AbstainReason::kModelError) {
+        ++model_errors;
+      }
+      // Post-predict deadline checkpoint: a late answer is a stale answer —
+      // the caller promised its own consumer a bound, so report the miss
+      // instead of pretending the result arrived in time.
+      if (request.deadline <= done) {
+        shed(request, RejectReason::kDeadlineExceeded);
+        continue;
+      }
+      result.total_latency_s = seconds_since(request.enqueued, done);
+      obs_request_seconds_.observe(result.total_latency_s);
+      // Feed the SLO sensor from FULL-PATH traffic only (probes judge
+      // themselves; degraded answers would poison the abstain rate).
+      if (monitor_ != nullptr && route.level == 0 && !route.probe) {
+        monitor_->record_accepted(
+            result.total_latency_s, result.prediction.abstained,
+            result.prediction.reason == robust::AbstainReason::kModelError);
+      }
+      request.promise.set_value(std::move(result));
     }
-    result.total_latency_s =
-        seconds_since(request.enqueued, std::chrono::steady_clock::now());
-    obs_request_seconds_.observe(result.total_latency_s);
-    request.promise.set_value(std::move(result));
+    const auto exec_s = seconds_since(exec_start,
+                                      std::chrono::steady_clock::now());
+    obs_batch_exec_seconds_.observe(exec_s);
+    if (route.probe) {
+      // The probe is healthy when the model path worked and the batch
+      // cleared the latency SLO — the same evidence the monitor trips on.
+      const bool healthy =
+          model_errors == 0 && exec_s <= config_.health.max_p99_s;
+      chain_->on_probe_outcome(healthy, std::chrono::steady_clock::now());
+    }
+  } catch (...) {
+    // Defensive net: the guard never throws, but if anything here does
+    // (bad_alloc, a broken custom Classifier), no promise may be left
+    // unresolved — that future would hang a client forever.
+    for (BatchRequest& request : batch) {
+      try {
+        shed(request, RejectReason::kInternal);
+      } catch (const std::future_error&) {
+        // already resolved before the throw — exactly what we want
+      }
+    }
+    if (route.probe) {
+      chain_->on_probe_outcome(false, std::chrono::steady_clock::now());
+    }
+    SCWC_LOG_ERROR("serve batch execution failed; shed with kInternal");
   }
-  obs_batch_exec_seconds_.observe(
-      seconds_since(exec_start, std::chrono::steady_clock::now()));
 }
 
 void ClassificationService::stop() {
   admission_.close();
   // Flushes every queued batch through run_batch (inline-drain path above),
-  // then joins the flusher.
+  // then joins the flusher. Requests whose deadline expired in the queue
+  // are resolved by the batcher's expired handler during the drain; every
+  // other queued request is answered inline — nothing is left pending.
   batcher_->stop();
   // Wait out batches already handed to the pool.
   std::unique_lock<std::mutex> lock(inflight_mutex_);

@@ -26,6 +26,7 @@
 
 #include "common/thread_pool.hpp"
 #include "serve/admission.hpp"
+#include "serve/health.hpp"
 #include "serve/micro_batcher.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/serve_types.hpp"
@@ -33,12 +34,24 @@
 
 namespace scwc::serve {
 
+class ChaosInjector;  // serve/chaos.hpp
+
 /// Full serving configuration. The assembler geometry must match the
 /// bundles the registry serves (odd-geometry windows abstain with kShape).
 struct ServiceConfig {
   WindowAssemblerConfig assembler;
   MicroBatcherConfig batcher;
   AdmissionConfig admission;
+  /// Per-request latency budget; 0 disables deadlines. Requests past their
+  /// deadline are resolved with kDeadlineExceeded at whichever of the three
+  /// checkpoints (enqueue, batch capture, post-predict) first sees it.
+  double default_deadline_s = 0.0;
+  /// Breaker thresholds + fallback chain; health.enabled=false (default)
+  /// serves exactly as before this layer existed.
+  HealthConfig health;
+  /// Optional fault injector for chaos tests; must outlive the service.
+  /// Also forwarded to the batcher (flusher-stall hook).
+  ChaosInjector* chaos = nullptr;
 };
 
 /// One window emitted by the streaming API, with its pending result.
@@ -62,11 +75,17 @@ class ClassificationService {
 
   /// Submits one complete window for classification. The future always
   /// becomes ready: with a shed ServeResult (accepted == false) when
-  /// admission rejects or no model is active, else with the guarded
-  /// prediction once its batch executes.
+  /// admission rejects, no model is active, or the deadline expires, else
+  /// with the guarded prediction once its batch executes. The first
+  /// overload derives the deadline from config().default_deadline_s (none
+  /// when 0); the second takes an explicit absolute deadline
+  /// (time_point::max() = none).
   [[nodiscard]] std::future<ServeResult> submit(std::vector<double> window,
                                                 std::size_t steps,
                                                 std::size_t sensors);
+  [[nodiscard]] std::future<ServeResult> submit(
+      std::vector<double> window, std::size_t steps, std::size_t sensors,
+      std::chrono::steady_clock::time_point deadline);
 
   /// Streaming front door: feeds one sample row (or several with
   /// ingest_block) into the WindowAssembler and submits every window that
@@ -93,15 +112,29 @@ class ClassificationService {
   /// Requests queued in the batcher right now.
   [[nodiscard]] std::size_t pending() const { return batcher_->pending(); }
 
+  /// Health introspection; null unless config().health.enabled.
+  [[nodiscard]] const HealthMonitor* monitor() const noexcept {
+    return monitor_.get();
+  }
+  [[nodiscard]] const FallbackChain* chain() const noexcept {
+    return chain_.get();
+  }
+
  private:
-  /// Runs on the flusher thread: captures the current bundle and dispatches
-  /// the batch to the pool. During drain (after stop() closed admission)
-  /// the batch executes inline instead, so queued requests still get
-  /// answered rather than shed.
+  /// Runs on the flusher thread: evaluates health, routes the batch through
+  /// the fallback chain (or straight to the current bundle) and dispatches
+  /// it to the pool. During drain (after stop() closed admission) the batch
+  /// executes inline instead, so queued requests still get answered rather
+  /// than shed.
   void run_batch(std::vector<BatchRequest>&& batch);
-  /// Executes one batch against `bundle` and fulfils every promise.
-  void execute_batch(const std::shared_ptr<const ModelBundle>& bundle,
-                     std::vector<BatchRequest>& batch);
+  /// Reads the monitor and reacts: bundle faults trigger an automatic
+  /// registry rollback, cluster-level SLO violations trip the breaker.
+  void evaluate_health(std::chrono::steady_clock::time_point now);
+  /// Executes one batch against the routed bundle and fulfils every
+  /// promise. Never lets an exception escape with unresolved promises.
+  void execute_batch(const Route& route, std::vector<BatchRequest>& batch);
+  /// Resolves every request of an abstain-only (level 2) batch inline.
+  void answer_degraded(std::vector<BatchRequest>& batch);
   /// Fulfils a request's promise with a typed rejection (and counts it).
   void shed(BatchRequest& request, RejectReason reason);
 
@@ -110,6 +143,9 @@ class ClassificationService {
   ThreadPool& pool_;
   WindowAssembler assembler_;
   AdmissionController admission_;
+  // Null unless config_.health.enabled: the SLO sensor and the breaker.
+  std::unique_ptr<HealthMonitor> monitor_;
+  std::unique_ptr<FallbackChain> chain_;
   // unique_ptr: the batcher's runner captures `this`, so it is constructed
   // after the members it uses and destroyed (stopping the flusher) first.
   std::unique_ptr<MicroBatcher> batcher_;
@@ -122,6 +158,9 @@ class ClassificationService {
   obs::CounterHandle obs_requests_;
   obs::HistogramHandle obs_request_seconds_;
   obs::HistogramHandle obs_batch_exec_seconds_;
+  obs::CounterHandle obs_deadline_missed_;
+  obs::CounterHandle obs_degraded_;
+  obs::CounterHandle obs_auto_rollbacks_;
 };
 
 }  // namespace scwc::serve

@@ -202,12 +202,62 @@ TEST(LintRules, StripPreservesLineStructure) {
   EXPECT_NE(out.find("int b;"), std::string::npos);
 }
 
+// ----------------------------------------------- no-unchecked-future-get
+
+TEST(LintRules, UncheckedFutureGetFires) {
+  const auto f = lint("src/serve/foo.cpp",
+                      "ServeResult r = pending_future.get();\n");
+  ASSERT_TRUE(fired(f, "no-unchecked-future-get"));
+  EXPECT_EQ(f[0].line, 1u);
+}
+
+TEST(LintRules, FutureGetMemberAndCamelCaseFire) {
+  EXPECT_TRUE(fired(lint("src/serve/foo.cpp", "use(window.future.get());\n"),
+                    "no-unchecked-future-get"));
+  EXPECT_TRUE(fired(lint("src/serve/foo.cpp", "auto r = myFuture.get();\n"),
+                    "no-unchecked-future-get"));
+}
+
+TEST(LintRules, BoundedFutureGetIsClean) {
+  // A wait on the same line proves the get is deadline-bounded.
+  EXPECT_TRUE(lint("src/serve/foo.cpp",
+                   "if (future.wait_for(t) == ready) return future.get();\n")
+                  .empty());
+  EXPECT_TRUE(
+      lint("src/serve/foo.cpp", "auto r = get_within(future, 0.5);\n")
+          .empty());
+}
+
+TEST(LintRules, NonFutureGetReceiversAreClean) {
+  // shared_ptr/unique_ptr/istream get() must never fire.
+  EXPECT_TRUE(lint("src/serve/foo.cpp", "Classifier* c = model_.get();\n")
+                  .empty());
+  EXPECT_TRUE(lint("src/common/foo.cpp", "const int byte = is.get();\n")
+                  .empty());
+}
+
+TEST(LintRules, FutureGetOutsideLibIsClean) {
+  // Bench/test clients may block on a future; the contract is lib-only.
+  EXPECT_TRUE(
+      lint("bench/foo.cpp", "ServeResult r = outcome.future.get();\n")
+          .empty());
+  EXPECT_TRUE(
+      lint("tests/test_foo.cpp", "ServeResult r = future.get();\n").empty());
+}
+
+TEST(LintRules, UncheckedFutureGetSuppressible) {
+  EXPECT_TRUE(lint("src/serve/foo.cpp",
+                   "return future.get();  // scwc-lint: "
+                   "allow(no-unchecked-future-get)\n")
+                  .empty());
+}
+
 TEST(LintRules, RuleNamesAreStable) {
   const auto& names = rule_names();
-  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.size(), 7u);
   for (const std::string_view expected :
        {"no-raw-rand", "no-stdout-in-lib", "no-raw-getenv", "pragma-once",
-        "no-float-eq", "no-naked-new"}) {
+        "no-float-eq", "no-naked-new", "no-unchecked-future-get"}) {
     EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
                 names.end())
         << expected;

@@ -4,6 +4,7 @@
 // batched == single-request invariant of the ClassificationService.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <future>
@@ -342,6 +343,98 @@ TEST(BundleIo, RejectsGarbageAndTruncation) {
   EXPECT_THROW((void)serve::load_bundle(empty), Error);
 }
 
+/// A deliberately small serialised bundle (one shallow tree) so the fuzz
+/// loops below can afford a load attempt per byte offset.
+std::string tiny_serialized_bundle() {
+  static const std::string bytes = [] {
+    const TinyWorld& w = tiny_world();
+    serve::RfBundleSpec spec;
+    spec.version = "fuzz-v1";
+    spec.pipeline = {preprocess::Reduction::kCovariance, 0};
+    spec.forest.n_estimators = 1;
+    spec.forest.tree.max_depth = 3;
+    const auto bundle = serve::train_rf_bundle(spec, w.x, w.y);
+    std::stringstream stream;
+    serve::save_bundle(*bundle, stream);
+    return stream.str();
+  }();
+  return bytes;
+}
+
+TEST(BundleIo, FuzzByteFlipAtEveryOffsetFailsTypedOrLoadsClean) {
+  const std::string full = tiny_serialized_bundle();
+  ASSERT_FALSE(full.empty());
+  std::size_t rejected = 0;
+  for (std::size_t offset = 0; offset < full.size(); ++offset) {
+    std::string corrupted = full;
+    corrupted[offset] = static_cast<char>(
+        static_cast<unsigned char>(corrupted[offset]) ^ 0xA5U);
+    std::stringstream in(corrupted);
+    // The contract: every single-byte corruption either still parses into
+    // a working bundle (flip landed in a benign double) or throws a typed
+    // scwc::Error — never a crash, never an unbounded allocation, never
+    // any other exception type.
+    try {
+      const auto bundle = serve::load_bundle(in);
+      ASSERT_NE(bundle, nullptr) << "offset " << offset;
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  // The structural prefix (magic, lengths, enums, geometry) must actually
+  // reject; if nothing ever threw the checks are dead code.
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(BundleIo, FuzzTruncationAtEveryOffsetThrowsTyped) {
+  const std::string full = tiny_serialized_bundle();
+  for (std::size_t keep = 0; keep < full.size(); ++keep) {
+    std::stringstream in(full.substr(0, keep));
+    EXPECT_THROW((void)serve::load_bundle(in), Error) << "kept " << keep;
+  }
+}
+
+TEST(BundleIo, TrySwapNeverLeavesPartialRegistryState) {
+  const TinyWorld& w = tiny_world();
+  serve::ModelRegistry registry;
+  registry.register_bundle(w.bundle);
+  const std::string full = tiny_serialized_bundle();
+
+  // Corrupting any byte must refuse the swap and leave the registry
+  // exactly as it was — same current bundle, same version list.
+  for (std::size_t offset = 0; offset < full.size();
+       offset += 7) {  // stride: the per-offset contract is proven above
+    std::string corrupted = full;
+    corrupted[offset] = static_cast<char>(
+        static_cast<unsigned char>(corrupted[offset]) ^ 0xFFU);
+    std::stringstream in(corrupted);
+    const auto swapped = serve::try_swap_from_stream(registry, in);
+    if (swapped == nullptr) {
+      EXPECT_EQ(registry.current()->version(), "tiny-v1") << offset;
+      EXPECT_EQ(registry.versions().size(), 1u) << offset;
+    } else {
+      // Benign flip (e.g. inside the version string's own bytes): the load
+      // produced a usable bundle and the swap is COMPLETE — current is the
+      // loaded bundle, never a half-registered state. Undo and stop here.
+      EXPECT_EQ(registry.current()->version(), swapped->version());
+      EXPECT_EQ(registry.versions().size(), 2u);
+      EXPECT_NE(registry.rollback(), nullptr);
+      EXPECT_EQ(registry.current()->version(), "tiny-v1");
+      break;  // one successful swap is enough to prove the branch
+    }
+  }
+
+  // An uncorrupted stream swaps atomically.
+  serve::ModelRegistry fresh;
+  fresh.register_bundle(w.bundle);
+  std::stringstream in(full);
+  const auto swapped = serve::try_swap_from_stream(fresh, in);
+  ASSERT_NE(swapped, nullptr);
+  EXPECT_EQ(fresh.current()->version(), "fuzz-v1");
+  EXPECT_NE(fresh.rollback(), nullptr);
+  EXPECT_EQ(fresh.current()->version(), "tiny-v1");
+}
+
 // ------------------------------------------------------------------ admission
 
 TEST(AdmissionController, TypedRejectionsPerBound) {
@@ -379,6 +472,21 @@ TEST(ServeTypes, RejectReasonNamesAreStable) {
                "shutdown");
   EXPECT_STREQ(serve::reject_reason_name(serve::RejectReason::kNoModel),
                "no_model");
+  EXPECT_STREQ(
+      serve::reject_reason_name(serve::RejectReason::kDeadlineExceeded),
+      "deadline");
+  EXPECT_STREQ(serve::reject_reason_name(serve::RejectReason::kInternal),
+               "internal");
+}
+
+TEST(ServeTypes, RetryableCoversTransientReasonsOnly) {
+  EXPECT_TRUE(serve::retryable(serve::RejectReason::kQueueFull));
+  EXPECT_TRUE(serve::retryable(serve::RejectReason::kExecutor));
+  EXPECT_TRUE(serve::retryable(serve::RejectReason::kInternal));
+  EXPECT_FALSE(serve::retryable(serve::RejectReason::kNone));
+  EXPECT_FALSE(serve::retryable(serve::RejectReason::kShutdown));
+  EXPECT_FALSE(serve::retryable(serve::RejectReason::kNoModel));
+  EXPECT_FALSE(serve::retryable(serve::RejectReason::kDeadlineExceeded));
 }
 
 // -------------------------------------------------------------------- service
@@ -531,6 +639,106 @@ TEST(ClassificationService, AllNaNWindowAbstainsOnQualityNotCrash) {
   EXPECT_TRUE(result.prediction.abstained);
   EXPECT_EQ(result.prediction.reason, robust::AbstainReason::kQuality);
   service.stop();
+}
+
+// ------------------------------------------------------------------ deadlines
+
+TEST(ClassificationService, ExpiredDeadlineShedsAtEnqueue) {
+  serve::ModelRegistry registry;
+  registry.register_bundle(tiny_world().bundle);
+  serve::ClassificationService service(registry, tiny_service_config());
+  // A deadline already in the past must be rejected before it wastes queue
+  // space — checkpoint 1 of 3.
+  const auto past =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  const serve::ServeResult result =
+      service
+          .submit(std::vector<double>(kSteps * kSensors, 0.0), kSteps,
+                  kSensors, past)
+          .get();
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reject_reason, serve::RejectReason::kDeadlineExceeded);
+  service.stop();
+}
+
+TEST(ClassificationService, DeadlineExpiringInQueueShedsAtBatchCapture) {
+  serve::ModelRegistry registry;
+  registry.register_bundle(tiny_world().bundle);
+  serve::ServiceConfig config = tiny_service_config();
+  // Flush far later than the deadline: the request MUST expire while
+  // queued, and the deadline-aware flusher wait must still resolve it
+  // promptly (checkpoint 2 of 3) instead of after max_delay.
+  config.batcher.max_delay_s = 0.25;
+  config.batcher.max_batch = 64;
+  serve::ClassificationService service(registry, config);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  auto future = service.submit(std::vector<double>(kSteps * kSensors, 0.0),
+                               kSteps, kSensors, deadline);
+  // Well before max_delay_s the future must already be resolved.
+  ASSERT_EQ(future.wait_for(std::chrono::milliseconds(150)),
+            std::future_status::ready);
+  const serve::ServeResult result = future.get();
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reject_reason, serve::RejectReason::kDeadlineExceeded);
+  service.stop();
+}
+
+TEST(ClassificationService, GenerousDeadlineAnswersNormally) {
+  const TinyWorld& w = tiny_world();
+  serve::ModelRegistry registry;
+  registry.register_bundle(w.bundle);
+  serve::ServiceConfig config = tiny_service_config();
+  config.default_deadline_s = 5.0;  // never binds in a healthy run
+  serve::ClassificationService service(registry, config);
+  const auto src = w.x.trial(3);
+  const serve::ServeResult result =
+      service.submit({src.begin(), src.end()}, kSteps, kSensors).get();
+  ASSERT_TRUE(result.accepted);
+  EXPECT_EQ(result.degrade_level, 0);
+  EXPECT_EQ(result.prediction.label,
+            w.bundle->guard().classify(src, kSteps, kSensors).label);
+  service.stop();
+}
+
+TEST(ClassificationService, StopRacingDeadlineExpiryResolvesEveryFuture) {
+  // Regression for the stop-during-flush silent-failure edge: requests
+  // whose deadline expires exactly while stop() drains the batcher must
+  // still be resolved (with kDeadlineExceeded or kShutdown), never leaked.
+  for (int round = 0; round < 10; ++round) {
+    serve::ModelRegistry registry;
+    registry.register_bundle(tiny_world().bundle);
+    serve::ServiceConfig config = tiny_service_config();
+    config.batcher.max_delay_s = 0.002;
+    serve::ClassificationService service(registry, config);
+
+    std::vector<std::future<serve::ServeResult>> futures;
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < 32; ++i) {
+      // Deadlines straddle the stop(): some already expired, some expire
+      // mid-drain, some comfortably in the future.
+      const auto deadline =
+          now + std::chrono::microseconds(200 * static_cast<int>(i));
+      futures.push_back(
+          service.submit(std::vector<double>(kSteps * kSensors, 0.0),
+                         kSteps, kSensors, deadline));
+    }
+    service.stop();
+
+    for (auto& future : futures) {
+      // Every promise must be fulfilled by the time stop() returned.
+      ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+                std::future_status::ready);
+      const serve::ServeResult result = future.get();
+      if (!result.accepted) {
+        EXPECT_TRUE(result.reject_reason ==
+                        serve::RejectReason::kDeadlineExceeded ||
+                    result.reject_reason == serve::RejectReason::kShutdown ||
+                    result.reject_reason == serve::RejectReason::kQueueFull)
+            << serve::reject_reason_name(result.reject_reason);
+      }
+    }
+  }
 }
 
 TEST(GuardedClassifierBatch, MixedQualityBatchGatesPerWindow) {

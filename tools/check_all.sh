@@ -4,6 +4,7 @@
 # Runs, in order:
 #   release      configure + build + ctest for the release preset
 #   serve-smoke  self-checking serving load test  (SCWC_SMOKE=1 bench)
+#   chaos-smoke  fault-injection sweep of the self-healing serve stack
 #   asan         full suite under ASan+UBSan      (tests/run_sanitized.sh)
 #   tsan         full suite under ThreadSanitizer (tests/run_tsan.sh)
 #   tidy         curated clang-tidy set           (tools/run_clang_tidy.sh)
@@ -68,6 +69,23 @@ if [ -x build/bench/serve_throughput ]; then
 else
   echo "check_all.sh: build/bench/serve_throughput missing (release gate failed?)" >&2
   record serve-smoke 1
+fi
+
+# -- chaos-smoke -----------------------------------------------------------
+# Shortened chaos sweep: every ChaosInjector fault family once against a
+# health-enabled service; the bench exit code reflects crashes/hangs, and
+# the full (non-smoke) run additionally gates on availability + recovery.
+echo "==> gate: chaos-smoke"
+if [ -x build/bench/serve_chaos ]; then
+  if env SCWC_SMOKE=1 SCWC_SCALE=tiny build/bench/serve_chaos \
+       --out build/bench/BENCH_chaos_smoke.json; then
+    record chaos-smoke 0
+  else
+    record chaos-smoke 1
+  fi
+else
+  echo "check_all.sh: build/bench/serve_chaos missing (release gate failed?)" >&2
+  record chaos-smoke 1
 fi
 
 # -- asan ------------------------------------------------------------------

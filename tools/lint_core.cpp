@@ -276,6 +276,7 @@ const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
       "no-raw-rand",  "no-stdout-in-lib", "no-raw-getenv",
       "pragma-once",  "no-float-eq",      "no-naked-new",
+      "no-unchecked-future-get",
   };
   return kNames;
 }
@@ -349,6 +350,33 @@ std::vector<Finding> lint_source(std::string_view rel_path,
       report(i, "no-raw-getenv",
              "read environment variables through scwc::env_string/env_int "
              "(src/common/env.hpp)");
+    }
+
+    // no-unchecked-future-get: in lib code, a bare .get() on a future
+    // blocks forever if the promise side is lost — the serve layer must
+    // bound every wait (wait_for/wait_until, or serve::get_within which
+    // wraps them). Keyed on the receiver identifier containing "future" so
+    // shared_ptr::get()/istream::get() and friends never fire.
+    if (ctx.in_lib) {
+      std::size_t pos = 0;
+      while ((pos = line.find(".get()", pos)) != std::string_view::npos) {
+        std::size_t start = pos;
+        while (start > 0 && is_ident_char(line[start - 1])) --start;
+        std::string receiver(line.substr(start, pos - start));
+        std::transform(receiver.begin(), receiver.end(), receiver.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        const bool guarded = line.find("wait_for") != std::string_view::npos ||
+                             line.find("wait_until") !=
+                                 std::string_view::npos ||
+                             line.find("get_within") != std::string_view::npos;
+        if (!guarded && receiver.find("future") != std::string::npos) {
+          report(i, "no-unchecked-future-get",
+                 "unbounded future::get() in library code — wait with a "
+                 "deadline (wait_for/wait_until or serve::get_within) first");
+          break;
+        }
+        pos += 6;
+      }
     }
 
     // no-naked-new / naked delete

@@ -12,6 +12,10 @@
 //   no-float-eq       EXPECT_EQ/ASSERT_EQ on a bare float literal in
 //                     tests — use EXPECT_DOUBLE_EQ / EXPECT_NEAR
 //   no-naked-new      naked new/delete — use containers / smart pointers
+//   no-unchecked-future-get
+//                     bare future::get() in library code hangs forever if
+//                     the promise side is lost — bound the wait with
+//                     wait_for/wait_until or serve::get_within
 //
 // Scans are textual but comment/string-literal aware: the source is first
 // rewritten with comment and literal *contents* blanked (line structure

@@ -10,6 +10,7 @@
 // metrics so the shed/abstain accounting is visible.
 //
 //   ./scwc_serve [--scale tiny] [--jobs 4] [--bundle-cache PATH]
+#include <cstdint>
 #include <filesystem>
 #include <future>
 #include <iomanip>
@@ -19,12 +20,15 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "core/challenge.hpp"
 #include "core/report.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "serve/bundle_io.hpp"
+#include "serve/chaos.hpp"
+#include "serve/retry.hpp"
 #include "serve/service.hpp"
 #include "telemetry/architectures.hpp"
 #include "telemetry/corpus.hpp"
@@ -42,6 +46,10 @@ int main(int argc, char** argv) {
   cli.add_flag("bundle-cache", "",
                "path to save/load the serialised model bundle "
                "(trains once, reloads on later runs)");
+  cli.add_flag("chaos", "0",
+               "fault-injection severity in (0, 1]; > 0 arms a seeded "
+               "ChaosInjector and enables the health breaker");
+  cli.add_flag("chaos-seed", "1234", "chaos replay seed");
   cli.parse(argc, argv);
   if (cli.help_requested()) return 0;
 
@@ -54,8 +62,10 @@ int main(int argc, char** argv) {
 
   // 1) Obtain the serving bundle: load the cached serialisation when one
   // exists, else train and (optionally) cache it.
+  const double chaos_severity = cli.get_double("chaos");
   const std::string cache = cli.get_string("bundle-cache");
   std::shared_ptr<const serve::ModelBundle> bundle;
+  std::shared_ptr<const serve::ModelBundle> fallback;
   if (!cache.empty() && std::filesystem::exists(cache)) {
     bundle = serve::load_bundle_file(cache);
     std::cout << "loaded bundle " << bundle->version() << " from " << cache
@@ -73,6 +83,13 @@ int main(int argc, char** argv) {
     spec.pipeline = {preprocess::Reduction::kCovariance, 0};
     spec.forest.n_estimators = 100;
     bundle = serve::train_rf_bundle(spec, ds.x_train, ds.y_train);
+    if (chaos_severity > 0.0) {
+      // Cheap degraded-mode bundle for rung 1 of the fallback chain.
+      serve::RfBundleSpec lite = spec;
+      lite.version = "rf-lite";
+      lite.forest.n_estimators = 8;
+      fallback = serve::train_rf_bundle(lite, ds.x_train, ds.y_train);
+    }
     if (!cache.empty()) {
       serve::save_bundle_file(*bundle, cache);
       std::cout << "cached bundle to " << cache << '\n';
@@ -83,15 +100,39 @@ int main(int argc, char** argv) {
   const std::size_t steps = bundle->guard_config().window_steps;
   const std::size_t sensors = bundle->guard_config().sensors;
 
-  // 2) Stand up the registry + service.
+  // 2) Stand up the registry + service (health breaker and fault injection
+  // only when --chaos asks for them).
   serve::ModelRegistry registry;
   registry.register_bundle(bundle);
+  if (fallback != nullptr) {
+    registry.register_bundle(fallback, /*activate=*/false);
+  }
+  const double deadline_s = cli.get_double("deadline-ms") / 1000.0;
   serve::ServiceConfig service_config;
   service_config.assembler.window_steps = steps;
   service_config.assembler.sensors = sensors;
-  service_config.batcher.max_delay_s =
-      cli.get_double("deadline-ms") / 1000.0 / 4.0;
+  service_config.batcher.max_delay_s = deadline_s / 4.0;
+  service_config.default_deadline_s = deadline_s;
+  std::unique_ptr<serve::ChaosInjector> chaos;
+  if (chaos_severity > 0.0) {
+    chaos = std::make_unique<serve::ChaosInjector>(
+        serve::ChaosProfile::at_severity(chaos_severity),
+        static_cast<std::uint64_t>(cli.get_int("chaos-seed")));
+    service_config.chaos = chaos.get();
+    service_config.health.enabled = true;
+    if (fallback != nullptr) {
+      service_config.health.fallback_version = fallback->version();
+    } else {
+      std::cout << "note: cached bundle has no rf-lite companion — the "
+                   "fallback chain degrades straight to abstain-only\n";
+    }
+  }
   serve::ClassificationService service(registry, service_config);
+  if (chaos != nullptr) {
+    chaos->set_armed(true);
+    std::cout << "chaos armed: severity " << chaos_severity << ", seed "
+              << cli.get_int("chaos-seed") << "\n\n";
+  }
 
   // 3) Simulate unseen live jobs, one per architecture family slot, and
   // stream them through the service a second of samples at a time —
@@ -148,13 +189,38 @@ int main(int argc, char** argv) {
       outcomes.push_back({job.spec.class_id, std::move(window)});
     }
   }
+  // Faults stop at end-of-stream; retries below then hit a healing service.
+  if (chaos != nullptr) chaos->set_armed(false);
 
-  // 4) Print every window's guarded verdict as the batches resolve.
+  // 4) Print every window's guarded verdict as the batches resolve. A
+  // window shed for a retryable reason (queue/executor pressure, a chaos-
+  // dropped batch) is resubmitted once through the shared backoff helper —
+  // its payload is rebuilt from the job's stream, so only full windows are
+  // eligible (a truncated finish_job() tail stays shed).
+  serve::RetryPolicy retry_policy;
+  Rng retry_rng(0x5e12e0adULL);
+  std::size_t retried = 0;
+  std::size_t retry_recovered = 0;
   std::cout << "job      window@s  prediction        correct  latency\n";
   std::size_t correct = 0;
   std::size_t answered = 0;
   for (Outcome& outcome : outcomes) {
-    const serve::ServeResult result = outcome.pending.result.get();
+    serve::ServeResult result = outcome.pending.result.get();
+    if (!result.accepted && serve::retryable(result.reject_reason)) {
+      const auto j =
+          static_cast<std::size_t>(outcome.pending.job_id - 900000);
+      const auto flat = jobs[j].stream.values.flat();
+      const std::size_t begin = outcome.pending.start_step * sensors;
+      const std::size_t need = steps * sensors;
+      if (begin + need <= flat.size()) {
+        const std::vector<double> window(flat.begin() + begin,
+                                         flat.begin() + begin + need);
+        ++retried;
+        result = serve::submit_with_retry(service, window, steps, sensors,
+                                          retry_policy, retry_rng);
+        if (result.accepted) ++retry_recovered;
+      }
+    }
     std::cout << outcome.pending.job_id << "  " << std::setw(7) << std::fixed
               << std::setprecision(0)
               << static_cast<double>(outcome.pending.start_step) /
@@ -190,6 +256,27 @@ int main(int argc, char** argv) {
                                    static_cast<double>(answered)
                              : 0.0)
             << " %, wall " << wall.seconds() << " s\n";
+  if (retried > 0) {
+    std::cout << "retried " << retried << " retryable sheds, recovered "
+              << retry_recovered << '\n';
+  }
+
+  if (chaos != nullptr) {
+    std::cout << "\n--- chaos ---\n";
+    std::cout << "injected: " << serve::to_string(chaos->counts()) << '\n';
+    if (service.chain() != nullptr) {
+      std::cout << "breaker: "
+                << serve::breaker_state_name(service.chain()->state())
+                << ", fallback depth " << service.chain()->depth()
+                << ", trips " << service.chain()->trips() << ", recoveries "
+                << service.chain()->recoveries();
+      if (service.chain()->recoveries() > 0) {
+        std::cout << ", last incident " << std::setprecision(3)
+                  << service.chain()->last_recovery_s() << " s";
+      }
+      std::cout << '\n';
+    }
+  }
 
   // 5) The same snapshot a scrape endpoint would serve.
   if (obs::enabled()) {
