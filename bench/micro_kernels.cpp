@@ -5,6 +5,8 @@
 
 #include "common/rng.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
+#include "obs/rolling.hpp"
 #include "obs/trace.hpp"
 #include "linalg/eigen.hpp"
 #include "linalg/gemm.hpp"
@@ -261,5 +263,63 @@ void BM_ObsTraceSpanDisabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsTraceSpanDisabled);
+
+// Rolling-window observe: one mutex acquire, a slot-id check, a bucket
+// increment. This sits on the serve hot path (per answered request), so the
+// obs-overhead gate in tools/check_all.sh holds it to a documented bound.
+void BM_ObsRollingObserve(benchmark::State& state) {
+  const ObsToggle on(true);
+  obs::RollingHistogram h(obs::MetricsRegistry::default_seconds_buckets());
+  double v = 1e-6;
+  for (auto _ : state) {
+    h.observe(v);
+    v = v < 1.0 ? v * 1.5 : 1e-6;
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsRollingObserve);
+
+// Snapshot cost bounds the scrape-endpoint latency (it merges every live
+// slot under the lock); scraped at ~1 Hz, not per request.
+void BM_ObsRollingSnapshot(benchmark::State& state) {
+  const ObsToggle on(true);
+  obs::RollingHistogram h(obs::MetricsRegistry::default_seconds_buckets());
+  for (int i = 0; i < 4096; ++i) h.observe(1e-4 * (1 + i % 100));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.snapshot());
+  }
+}
+BENCHMARK(BM_ObsRollingSnapshot);
+
+// Trace-id issue + head-sampling verdict: the cost EVERY request pays
+// (one relaxed fetch_add + one SplitMix64 mix), sampled or not.
+void BM_ObsTracerBeginSampled(benchmark::State& state) {
+  obs::RequestTracerConfig config;
+  config.sample_rate = 0.01;
+  obs::RequestTracer tracer(config);
+  for (auto _ : state) {
+    const std::uint64_t id = tracer.begin_trace();
+    benchmark::DoNotOptimize(tracer.sampled(id));
+  }
+}
+BENCHMARK(BM_ObsTracerBeginSampled);
+
+// Record retention for a sampled request (ring push under the mutex) —
+// paid by the sampled fraction only.
+void BM_ObsTracerRecord(benchmark::State& state) {
+  obs::RequestTracerConfig config;
+  config.sample_rate = 1.0;
+  config.capacity = 1024;
+  obs::RequestTracer tracer(config);
+  for (auto _ : state) {
+    obs::RequestTraceRecord rec;
+    rec.trace_id = tracer.begin_trace();
+    rec.outcome = "answer";
+    rec.model_version = "rf-cov-v1";
+    tracer.record(std::move(rec));
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsTracerRecord);
 
 }  // namespace

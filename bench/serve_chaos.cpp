@@ -302,7 +302,8 @@ int main(int argc, char** argv) {
     config.admission.max_pending = 256;
     config.default_deadline_s = 0.1;
     config.health.enabled = true;
-    config.health.window = 128;
+    config.health.window_s = 5.0;
+    config.health.window_slots = 10;
     config.health.min_samples = 16;
     config.health.max_p99_s = 0.02;
     config.health.max_abstain_rate = 0.5;

@@ -33,6 +33,7 @@
 #include "common/stopwatch.hpp"
 #include "core/challenge.hpp"
 #include "core/report.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
@@ -67,6 +68,12 @@ int main(int argc, char** argv) {
   cli.add_flag("max-batch", "64", "micro-batch size bound");
   cli.add_flag("max-pending", "4096", "admission bound on queued requests");
   cli.add_flag("out", "BENCH_serve.json", "result artifact path");
+  cli.add_flag("trace-sample", "0.01",
+               "request head-sampling rate; the default 1% runs in every "
+               "bench so the reported throughput includes tracing cost");
+  cli.add_flag("trace-out", "",
+               "also write the sampled requests as a chrome://tracing "
+               "JSON document");
   cli.parse(argc, argv);
   if (cli.help_requested()) return 0;
 
@@ -160,6 +167,9 @@ int main(int argc, char** argv) {
     // Deadline enforcement: a request that cannot be answered inside the
     // budget is shed with kDeadlineExceeded instead of answered late.
     service_config.default_deadline_s = deadline_s;
+    // Request tracing runs AT the default 1% in the measured load so the
+    // reported throughput is the throughput an operator actually gets.
+    service_config.trace.sample_rate = cli.get_double("trace-sample");
     serve::ClassificationService service(registry, service_config);
 
     std::vector<std::vector<double>> payload;
@@ -317,6 +327,28 @@ int main(int argc, char** argv) {
     for (const auto& [reason, count] : shed) {
       shed_json[reason] = obs::Json(static_cast<double>(count));
     }
+    // Sampled request traces: drained after stop() so every verdict has
+    // been recorded; written before the artifact so a failed write fails
+    // the run visibly.
+    const std::vector<obs::RequestTraceRecord> trace_records =
+        service.tracer().drain();
+    const std::string trace_out = cli.get_string("trace-out");
+    if (!trace_out.empty()) {
+      if (!obs::write_chrome_trace_file(trace_out, trace_records,
+                                        obs::span_tree_snapshot())) {
+        std::cout << "cannot write chrome trace to " << trace_out << '\n';
+        return 1;
+      }
+      std::cout << "chrome trace: " << trace_out << " ("
+                << trace_records.size() << " sampled requests)\n";
+    }
+
+    results["tracing"] = obs::Json::Object{
+        {"sample_rate", obs::Json(service_config.trace.sample_rate)},
+        {"sampled_requests",
+         obs::Json(static_cast<double>(trace_records.size()))},
+        {"dropped_records",
+         obs::Json(static_cast<double>(service.tracer().dropped()))}};
     results["results"] = obs::Json::Object{
         {"submitted", obs::Json(static_cast<double>(submitted))},
         {"accepted", obs::Json(static_cast<double>(accepted))},

@@ -25,7 +25,20 @@ Json histogram_to_json(const HistogramSnapshot& h) {
   out.emplace("p50", Json(h.p50));
   out.emplace("p90", Json(h.p90));
   out.emplace("p99", Json(h.p99));
+  out.emplace("p999", Json(h.p999));
   out.emplace("buckets", Json(std::move(buckets)));
+  return Json(std::move(out));
+}
+
+Json rolling_to_json(const RollingHistogramSnapshot& r) {
+  Json::Object out;
+  out.emplace("window_s", Json(r.window_s));
+  out.emplace("count", Json(r.count));
+  out.emplace("sum", Json(r.sum));
+  out.emplace("p50", Json(r.p50));
+  out.emplace("p90", Json(r.p90));
+  out.emplace("p99", Json(r.p99));
+  out.emplace("p999", Json(r.p999));
   return Json(std::move(out));
 }
 
@@ -85,7 +98,42 @@ Json metrics_to_json(const MetricsSnapshot& snapshot) {
   out.emplace("counters", Json(std::move(counters)));
   out.emplace("gauges", Json(std::move(gauges)));
   out.emplace("histograms", Json(std::move(histograms)));
+  if (!snapshot.rolling.empty()) {  // omit key: keep legacy artifact shape
+    Json::Object rolling;
+    for (const RollingHistogramSnapshot& r : snapshot.rolling) {
+      rolling.emplace(r.name, rolling_to_json(r));
+    }
+    out.emplace("rolling", Json(std::move(rolling)));
+  }
   return Json(std::move(out));
+}
+
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(legal ? c : '_');
+  }
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string sanitize_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
 }
 
 Json span_tree_to_json(const SpanStats& root) {
@@ -98,24 +146,42 @@ Json span_tree_to_json(const SpanStats& root) {
 
 std::string to_prometheus(const MetricsSnapshot& snapshot) {
   std::ostringstream os;
-  for (const auto& [name, value] : snapshot.counters) {
+  for (const auto& [raw_name, value] : snapshot.counters) {
+    const std::string name = sanitize_metric_name(raw_name);
     os << "# TYPE " << name << " counter\n" << name << ' ' << value << '\n';
   }
-  for (const auto& [name, value] : snapshot.gauges) {
+  for (const auto& [raw_name, value] : snapshot.gauges) {
+    const std::string name = sanitize_metric_name(raw_name);
     os << "# TYPE " << name << " gauge\n"
        << name << ' ' << prom_double(value) << '\n';
   }
   for (const HistogramSnapshot& h : snapshot.histograms) {
-    os << "# TYPE " << h.name << " histogram\n";
+    const std::string name = sanitize_metric_name(h.name);
+    os << "# TYPE " << name << " histogram\n";
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
       cumulative += h.buckets[i];
-      const std::string le =
-          i < h.bounds.size() ? prom_double(h.bounds[i]) : "+Inf";
-      os << h.name << "_bucket{le=\"" << le << "\"} " << cumulative << '\n';
+      const std::string le = sanitize_label_value(
+          i < h.bounds.size() ? prom_double(h.bounds[i]) : "+Inf");
+      os << name << "_bucket{le=\"" << le << "\"} " << cumulative << '\n';
     }
-    os << h.name << "_sum " << prom_double(h.sum) << '\n';
-    os << h.name << "_count " << h.count << '\n';
+    os << name << "_sum " << prom_double(h.sum) << '\n';
+    os << name << "_count " << h.count << '\n';
+  }
+  // Rolling histograms surface as Prometheus summaries: last-window_s
+  // quantiles are exactly a summary's sliding-window semantics. The
+  // window itself rides along as a companion gauge.
+  for (const RollingHistogramSnapshot& r : snapshot.rolling) {
+    const std::string name = sanitize_metric_name(r.name);
+    os << "# TYPE " << name << " summary\n";
+    os << name << "{quantile=\"0.5\"} " << prom_double(r.p50) << '\n';
+    os << name << "{quantile=\"0.9\"} " << prom_double(r.p90) << '\n';
+    os << name << "{quantile=\"0.99\"} " << prom_double(r.p99) << '\n';
+    os << name << "{quantile=\"0.999\"} " << prom_double(r.p999) << '\n';
+    os << name << "_sum " << prom_double(r.sum) << '\n';
+    os << name << "_count " << r.count << '\n';
+    os << "# TYPE " << name << "_window_seconds gauge\n";
+    os << name << "_window_seconds " << prom_double(r.window_s) << '\n';
   }
   return os.str();
 }

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -45,6 +46,7 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 }
 
 void Histogram::observe(double v) noexcept {
+  if (std::isnan(v) || v < 0.0) return;  // silent drop, see header
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const auto idx = static_cast<std::size_t>(it - bounds_.begin());
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
@@ -61,27 +63,7 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
 }
 
 double Histogram::quantile(double q) const {
-  const std::vector<std::uint64_t> counts = bucket_counts();
-  std::uint64_t total = 0;
-  for (const std::uint64_t c : counts) total += c;
-  if (total == 0) return 0.0;
-
-  q = std::clamp(q, 0.0, 1.0);
-  const double target = q * static_cast<double>(total);
-  double cumulative = 0.0;
-  for (std::size_t i = 0; i < counts.size(); ++i) {
-    const double next = cumulative + static_cast<double>(counts[i]);
-    if (next >= target && counts[i] > 0) {
-      if (i >= bounds_.size()) return bounds_.back();  // overflow: clamp
-      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
-      const double hi = bounds_[i];
-      const double within =
-          (target - cumulative) / static_cast<double>(counts[i]);
-      return lo + std::clamp(within, 0.0, 1.0) * (hi - lo);
-    }
-    cumulative = next;
-  }
-  return bounds_.back();
+  return bucket_quantile(bounds_, bucket_counts(), q);
 }
 
 void Histogram::reset() noexcept {
@@ -141,6 +123,22 @@ HistogramHandle MetricsRegistry::histogram(std::string_view name,
   return HistogramHandle{it->second.get()};
 }
 
+RollingHistogramHandle MetricsRegistry::rolling_histogram(
+    std::string_view name, std::vector<double> upper_bounds,
+    RollingConfig config) {
+  if (!enabled()) return RollingHistogramHandle{};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rolling_.find(name);
+  if (it == rolling_.end()) {
+    it = rolling_
+             .emplace(std::string(name),
+                      std::make_unique<RollingHistogram>(
+                          std::move(upper_bounds), config))
+             .first;
+  }
+  return RollingHistogramHandle{it->second.get()};
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot out;
@@ -163,7 +161,14 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     hs.p50 = h->quantile(0.50);
     hs.p90 = h->quantile(0.90);
     hs.p99 = h->quantile(0.99);
+    hs.p999 = h->quantile(0.999);
     out.histograms.push_back(std::move(hs));
+  }
+  out.rolling.reserve(rolling_.size());
+  for (const auto& [name, r] : rolling_) {
+    RollingHistogramSnapshot rs = r->snapshot();
+    rs.name = name;
+    out.rolling.push_back(std::move(rs));
   }
   return out;
 }
@@ -173,6 +178,7 @@ void MetricsRegistry::reset() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, r] : rolling_) r->reset();
 }
 
 MetricsRegistry& MetricsRegistry::global() {

@@ -26,6 +26,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/rolling.hpp"
+
 namespace scwc::obs {
 
 /// Global observability switch. Initialised once from the SCWC_OBS
@@ -80,6 +82,9 @@ class Histogram {
   /// `upper_bounds` must be strictly increasing and non-empty.
   explicit Histogram(std::vector<double> upper_bounds);
 
+  /// Records one measurement. NaN and negative values are dropped (the
+  /// drop is silent by design: observe runs on hot paths where a bad
+  /// sample must not throw or log).
   void observe(double v) noexcept;
 
   [[nodiscard]] const std::vector<double>& bounds() const noexcept {
@@ -159,6 +164,7 @@ struct HistogramSnapshot {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
 };
 
 /// Point-in-time copy of every registered metric, sorted by name.
@@ -166,6 +172,7 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramSnapshot> histograms;
+  std::vector<RollingHistogramSnapshot> rolling;
 };
 
 /// Value of a named counter in a snapshot; 0 when absent.
@@ -188,6 +195,12 @@ class MetricsRegistry {
   HistogramHandle histogram(std::string_view name,
                             std::vector<double> upper_bounds =
                                 default_seconds_buckets());
+  /// Rolling (last-N-seconds) histogram; `upper_bounds` and `config`
+  /// apply on first registration only, like histogram().
+  RollingHistogramHandle rolling_histogram(std::string_view name,
+                                           std::vector<double> upper_bounds =
+                                               default_seconds_buckets(),
+                                           RollingConfig config = {});
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
@@ -208,6 +221,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<RollingHistogram>, std::less<>>
+      rolling_;
 };
 
 }  // namespace scwc::obs

@@ -1,0 +1,69 @@
+#include "obs/request_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scwc::obs {
+
+namespace {
+
+// SplitMix64 finaliser. Reimplemented here because obs sits below
+// scwc_common and cannot include common/rng.hpp; the constants are the
+// standard Stafford mix13 set, same as common's SplitMix64.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t sample_threshold(double rate) noexcept {
+  if (!(rate > 0.0)) return 0;  // also catches NaN
+  if (rate >= 1.0) return ~0ULL;
+  // rate · 2^64, computed in long double to keep 1e-4-ish rates exact
+  // enough; the verdict is mix(seed, id) < threshold.
+  const long double scaled =
+      static_cast<long double>(rate) * 18446744073709551616.0L;
+  return static_cast<std::uint64_t>(scaled);
+}
+
+}  // namespace
+
+RequestTracer::RequestTracer(RequestTracerConfig config)
+    : config_(config),
+      threshold_(sample_threshold(config.sample_rate)),
+      epoch_(Clock::now()) {
+  if (config_.capacity == 0) config_.capacity = 1;
+}
+
+bool RequestTracer::sampled(std::uint64_t trace_id) const noexcept {
+  if (threshold_ == 0) return false;
+  if (threshold_ == ~0ULL) return true;
+  return mix64(config_.seed ^ mix64(trace_id)) < threshold_;
+}
+
+void RequestTracer::record(RequestTraceRecord&& rec) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.size() >= config_.capacity) {
+    records_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  records_.push_back(std::move(rec));
+}
+
+std::vector<RequestTraceRecord> RequestTracer::drain() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RequestTraceRecord> out(
+      std::make_move_iterator(records_.begin()),
+      std::make_move_iterator(records_.end()));
+  records_.clear();
+  return out;
+}
+
+void RequestTracer::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace scwc::obs

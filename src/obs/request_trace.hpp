@@ -1,0 +1,132 @@
+// Request-scoped tracing for the serving stack (DESIGN.md §7).
+//
+// TraceSpan (trace.hpp) aggregates by call site — it answers "where does
+// the process spend time". RequestTracer answers the orthogonal question
+// "where did THIS request spend time": every submitted window gets a
+// monotonically-derived trace id, the serve layer stamps phase boundaries
+// (admission → queue → batch wait → transform → predict), and a seeded
+// head-sampler decides — deterministically, from (seed, trace id) alone —
+// which requests keep a full RequestTraceRecord. Determinism matters for
+// the same reason it does in chaos.hpp: a replay with the same seed and
+// submission order samples the same requests, so disarmed runs are
+// byte-comparable.
+//
+// Records live in a bounded ring (oldest dropped, drop count exposed) and
+// are drained once at end of run for Chrome-trace export; the tracer is
+// not a streaming sink.
+//
+// This header also owns `seconds_between`, the one blessed way for
+// src/serve/ to turn a steady_clock interval into seconds — the
+// `no-raw-chrono-timing` lint rule forbids inlining the chrono arithmetic
+// there so all request timing flows through the obs layer.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace scwc::obs {
+
+/// Interval between two steady-clock stamps, in seconds. Negative
+/// intervals (caller swapped the arguments, or cross-thread stamp skew)
+/// clamp to 0 so phase durations are always well-formed.
+[[nodiscard]] inline double seconds_between(
+    std::chrono::steady_clock::time_point from,
+    std::chrono::steady_clock::time_point to) noexcept {
+  const double s = std::chrono::duration<double>(to - from).count();
+  return s > 0.0 ? s : 0.0;
+}
+
+/// Unclamped variant for genuinely signed intervals (deadline slack:
+/// negative = past the deadline).
+[[nodiscard]] inline double signed_seconds_between(
+    std::chrono::steady_clock::time_point from,
+    std::chrono::steady_clock::time_point to) noexcept {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Per-request phase-timing breakdown, all in seconds.
+struct RequestPhases {
+  double admission_s = 0.0;   ///< submit entry → admission verdict/enqueue
+  double queue_s = 0.0;       ///< enqueue → batch cut
+  double batch_wait_s = 0.0;  ///< batch cut → executor pickup
+  double transform_s = 0.0;   ///< batch feature transform (batch-level time)
+  double predict_s = 0.0;     ///< batch model predict (batch-level time)
+  double total_s = 0.0;       ///< submit entry → promise fulfilled
+};
+
+/// One sampled request, as recorded at verdict time.
+struct RequestTraceRecord {
+  std::uint64_t trace_id = 0;
+  std::int64_t job_id = -1;        ///< -1 when the caller supplied none
+  double start_s = 0.0;            ///< submit time, seconds since tracer epoch
+  RequestPhases phases;
+  std::string outcome;             ///< "answer" | "abstain:…" | "shed:…"
+  std::string model_version;       ///< bundle that answered ("" for sheds)
+  std::size_t batch_size = 0;
+  int degrade_level = 0;
+};
+
+struct RequestTracerConfig {
+  /// Head-sampling rate in [0, 1]; 0 disables record keeping entirely
+  /// (ids are still assigned — they are cheap and serve results carry
+  /// them regardless).
+  double sample_rate = 0.0;
+  std::uint64_t seed = 0x5eed;
+  std::size_t capacity = 8192;  ///< record ring size; oldest dropped beyond
+};
+
+class RequestTracer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit RequestTracer(RequestTracerConfig config = {});
+
+  /// Next monotone trace id (never 0; 0 means "untraced").
+  [[nodiscard]] std::uint64_t begin_trace() noexcept {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Deterministic head-sampling verdict: depends only on (seed, id).
+  [[nodiscard]] bool sampled(std::uint64_t trace_id) const noexcept;
+
+  /// Keeps a finished record (caller checked sampled()); drops the oldest
+  /// when the ring is full.
+  void record(RequestTraceRecord&& rec);
+
+  /// Removes and returns all held records, oldest first.
+  [[nodiscard]] std::vector<RequestTraceRecord> drain();
+
+  /// Records evicted by the capacity bound since construction/reset.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] Clock::time_point epoch() const noexcept { return epoch_; }
+  /// Seconds from the tracer epoch to `t` (for RequestTraceRecord.start_s).
+  [[nodiscard]] double since_epoch(Clock::time_point t) const noexcept {
+    return seconds_between(epoch_, t);
+  }
+
+  [[nodiscard]] const RequestTracerConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Forgets records and the drop count; ids keep counting up.
+  void reset();
+
+ private:
+  RequestTracerConfig config_;
+  std::uint64_t threshold_;  ///< sample iff mix(seed, id) < threshold
+  Clock::time_point epoch_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mutex_;
+  std::deque<RequestTraceRecord> records_;
+};
+
+}  // namespace scwc::obs

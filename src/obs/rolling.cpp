@@ -1,0 +1,187 @@
+#include "obs/rolling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace scwc::obs {
+
+namespace {
+
+/// Absolute slot index owning `now` (0 at the epoch, monotone after).
+std::int64_t slot_index(std::chrono::steady_clock::time_point epoch,
+                        std::chrono::steady_clock::time_point now,
+                        double slot_width_s) {
+  const double elapsed_s =
+      std::chrono::duration<double>(now - epoch).count();
+  if (elapsed_s <= 0.0) return 0;
+  return static_cast<std::int64_t>(elapsed_s / slot_width_s);
+}
+
+void validate_config(const RollingConfig& config) {
+  if (!(config.window_s > 0.0)) {
+    throw std::invalid_argument("Rolling: window_s must be positive");
+  }
+  if (config.slots == 0) {
+    throw std::invalid_argument("Rolling: need at least one slot");
+  }
+}
+
+}  // namespace
+
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& counts, double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0 || bounds.empty()) return 0.0;
+
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= target && counts[i] > 0) {
+      if (i >= bounds.size()) return bounds.back();  // overflow: clamp
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double within =
+          (target - cumulative) / static_cast<double>(counts[i]);
+      return lo + std::clamp(within, 0.0, 1.0) * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return bounds.back();
+}
+
+// ---------------------------------------------------------------------------
+// RollingCounter
+
+RollingCounter::RollingCounter(RollingConfig config)
+    : config_(config),
+      slot_width_s_(config.window_s / static_cast<double>(config.slots)),
+      epoch_(Clock::now()),
+      // slots + 1 ring entries: the partial current slot plus `slots`
+      // full ones, so a merge always covers at least window_s.
+      slots_(config.slots + 1, 0),
+      slot_ids_(config.slots + 1, -1) {
+  validate_config(config);
+}
+
+void RollingCounter::inc(std::uint64_t n) { inc(n, Clock::now()); }
+
+void RollingCounter::inc(std::uint64_t n, Clock::time_point now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::int64_t id = slot_index(epoch_, now, slot_width_s_);
+  const auto pos = static_cast<std::size_t>(
+      id % static_cast<std::int64_t>(slots_.size()));
+  if (slot_ids_[pos] != id) {  // stale ring entry: recycle
+    slots_[pos] = 0;
+    slot_ids_[pos] = id;
+  }
+  slots_[pos] += n;
+}
+
+std::uint64_t RollingCounter::value() const { return value(Clock::now()); }
+
+std::uint64_t RollingCounter::value(Clock::time_point now) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::int64_t id = slot_index(epoch_, now, slot_width_s_);
+  const std::int64_t oldest = id - static_cast<std::int64_t>(config_.slots);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slot_ids_[i] >= oldest && slot_ids_[i] <= id) total += slots_[i];
+  }
+  return total;
+}
+
+void RollingCounter::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(slots_.begin(), slots_.end(), 0);
+  std::fill(slot_ids_.begin(), slot_ids_.end(), -1);
+}
+
+// ---------------------------------------------------------------------------
+// RollingHistogram
+
+RollingHistogram::RollingHistogram(std::vector<double> upper_bounds,
+                                   RollingConfig config)
+    : config_(config),
+      slot_width_s_(config.window_s / static_cast<double>(config.slots)),
+      bounds_(std::move(upper_bounds)),
+      epoch_(Clock::now()),
+      slots_(config.slots + 1) {
+  validate_config(config);
+  if (bounds_.empty()) {
+    throw std::invalid_argument(
+        "RollingHistogram: need at least one bucket bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "RollingHistogram: bounds must be strictly increasing");
+  }
+  for (Slot& slot : slots_) slot.buckets.assign(bounds_.size() + 1, 0);
+}
+
+void RollingHistogram::observe(double v) { observe(v, Clock::now()); }
+
+void RollingHistogram::observe(double v, Clock::time_point now) {
+  if (std::isnan(v) || v < 0.0) return;  // same contract as Histogram
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::int64_t id = slot_index(epoch_, now, slot_width_s_);
+  const auto pos = static_cast<std::size_t>(
+      id % static_cast<std::int64_t>(slots_.size()));
+  Slot& slot = slots_[pos];
+  if (slot.id != id) {  // stale ring entry: recycle
+    std::fill(slot.buckets.begin(), slot.buckets.end(), 0);
+    slot.count = 0;
+    slot.sum = 0.0;
+    slot.id = id;
+  }
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  slot.buckets[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+  slot.count += 1;
+  slot.sum += v;
+}
+
+RollingHistogramSnapshot RollingHistogram::snapshot() const {
+  return snapshot(Clock::now());
+}
+
+RollingHistogramSnapshot RollingHistogram::snapshot(
+    Clock::time_point now) const {
+  RollingHistogramSnapshot out;
+  out.window_s = config_.window_s;
+  out.bounds = bounds_;
+  out.buckets.assign(bounds_.size() + 1, 0);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::int64_t id = slot_index(epoch_, now, slot_width_s_);
+    const std::int64_t oldest = id - static_cast<std::int64_t>(config_.slots);
+    for (const Slot& slot : slots_) {
+      if (slot.id < oldest || slot.id > id) continue;  // expired or empty
+      for (std::size_t b = 0; b < out.buckets.size(); ++b) {
+        out.buckets[b] += slot.buckets[b];
+      }
+      out.count += slot.count;
+      out.sum += slot.sum;
+    }
+  }
+  out.p50 = bucket_quantile(out.bounds, out.buckets, 0.50);
+  out.p90 = bucket_quantile(out.bounds, out.buckets, 0.90);
+  out.p99 = bucket_quantile(out.bounds, out.buckets, 0.99);
+  out.p999 = bucket_quantile(out.bounds, out.buckets, 0.999);
+  return out;
+}
+
+void RollingHistogram::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (Slot& slot : slots_) {
+    std::fill(slot.buckets.begin(), slot.buckets.end(), 0);
+    slot.count = 0;
+    slot.sum = 0.0;
+    slot.id = -1;
+  }
+}
+
+}  // namespace scwc::obs

@@ -1,0 +1,143 @@
+// Rolling-window metric primitives (DESIGN.md §7).
+//
+// The fixed-bucket Histogram in metrics.hpp accumulates since process
+// start, which is the right shape for run reports but useless for live
+// monitoring: a latency spike ten minutes ago pins the cumulative p99
+// forever. RollingHistogram layers a time-bucketed slot ring on top of
+// the same cumulative-upper-bound bucket grid so snapshots report the
+// last `window_s` seconds only. RollingCounter is the scalar analogue
+// (events per window).
+//
+// Mechanics: the window is divided into `slots` sub-windows of width
+// window_s / slots. Each observation lands in the slot owning the
+// current time; slots older than the window are lazily zeroed on the
+// next touch. A snapshot merges the live slots, so it covers between
+// window_s and window_s + one slot width of history — coarse by design;
+// this is a monitoring primitive, not an accounting one.
+//
+// Every operation takes the object's mutex (observations are ~100 ns —
+// see BM_ObsRollingHistogramObserve); these are not meant for per-sample
+// use inside compute kernels, only at request granularity.
+//
+// All time-touching calls have an explicit `now` overload so tests and
+// HealthMonitor replay drive the ring without sleeping.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace scwc::obs {
+
+/// Shared bucket-quantile estimate: linear interpolation inside the
+/// owning bucket (first bucket from 0, overflow clamps to the largest
+/// finite bound). `counts` has bounds.size() + 1 entries. Returns 0
+/// when the histogram is empty. Used by both Histogram and
+/// RollingHistogram snapshots.
+[[nodiscard]] double bucket_quantile(const std::vector<double>& bounds,
+                                     const std::vector<std::uint64_t>& counts,
+                                     double q);
+
+struct RollingConfig {
+  double window_s = 30.0;  ///< span a snapshot reports over
+  std::size_t slots = 10;  ///< ring granularity (window_s / slots per slot)
+};
+
+/// Point-in-time merge of a RollingHistogram's live slots.
+struct RollingHistogramSnapshot {
+  std::string name;
+  double window_s = 0.0;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1, last = +Inf
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
+/// Count of events inside the trailing window.
+class RollingCounter {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit RollingCounter(RollingConfig config = {});
+
+  void inc(std::uint64_t n = 1);
+  void inc(std::uint64_t n, Clock::time_point now);
+
+  [[nodiscard]] std::uint64_t value() const;
+  [[nodiscard]] std::uint64_t value(Clock::time_point now) const;
+
+  void reset();
+  [[nodiscard]] const RollingConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  RollingConfig config_;
+  double slot_width_s_;
+  Clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  mutable std::vector<std::uint64_t> slots_;    // ring payload
+  mutable std::vector<std::int64_t> slot_ids_;  // absolute index, -1 = empty
+};
+
+/// Fixed-bucket histogram restricted to the trailing window. Bucket
+/// semantics (cumulative upper bounds, implicit +Inf overflow, NaN and
+/// negative observations dropped) match metrics.hpp's Histogram.
+class RollingHistogram {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `upper_bounds` must be strictly increasing and non-empty;
+  /// `config.window_s` and `config.slots` must be positive.
+  RollingHistogram(std::vector<double> upper_bounds, RollingConfig config = {});
+
+  void observe(double v);
+  void observe(double v, Clock::time_point now);
+
+  [[nodiscard]] RollingHistogramSnapshot snapshot() const;
+  [[nodiscard]] RollingHistogramSnapshot snapshot(Clock::time_point now) const;
+
+  void reset();
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] const RollingConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Slot {
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    std::int64_t id = -1;  // absolute slot index; -1 = empty
+  };
+
+  RollingConfig config_;
+  double slot_width_s_;
+  std::vector<double> bounds_;
+  Clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  mutable std::vector<Slot> slots_;
+};
+
+/// Null-safe wrapper handed out by MetricsRegistry::rolling_histogram.
+class RollingHistogramHandle {
+ public:
+  RollingHistogramHandle() = default;
+  explicit RollingHistogramHandle(RollingHistogram* h) noexcept : h_(h) {}
+  void observe(double v) const {
+    if (h_ != nullptr) h_->observe(v);
+  }
+
+ private:
+  RollingHistogram* h_ = nullptr;
+};
+
+}  // namespace scwc::obs

@@ -1,0 +1,190 @@
+#include "obs/scrape.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace scwc::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+std::string status_line(int code) {
+  switch (code) {
+    case 200: return "HTTP/1.1 200 OK";
+    case 404: return "HTTP/1.1 404 Not Found";
+    case 405: return "HTTP/1.1 405 Method Not Allowed";
+    case 500: return "HTTP/1.1 500 Internal Server Error";
+    default: return "HTTP/1.1 400 Bad Request";
+  }
+}
+
+std::string build_response(int code, const std::string& content_type,
+                           const std::string& body) {
+  std::string out = status_line(code);
+  out += "\r\nContent-Type: " + content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone or timeout: nothing useful to do
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void set_io_timeout(int fd, double seconds) {
+  if (!(seconds > 0.0)) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - std::floor(seconds)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+ScrapeServer::ScrapeServer(ScrapeConfig config) : config_(config) {}
+
+ScrapeServer::~ScrapeServer() { stop(); }
+
+void ScrapeServer::add_route(std::string path, std::string content_type,
+                             Handler handler) {
+  if (running()) {
+    throw std::logic_error("ScrapeServer: add_route after start");
+  }
+  routes_[std::move(path)] =
+      Route{std::move(content_type), std::move(handler)};
+}
+
+void ScrapeServer::start() {
+  if (running()) return;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("ScrapeServer: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  addr.sin_addr.s_addr =
+      config_.loopback_only ? htonl(INADDR_LOOPBACK) : htonl(INADDR_ANY);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, config_.backlog) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("ScrapeServer: bind/listen: ") +
+                             std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { accept_loop(); });
+}
+
+void ScrapeServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // shutdown() unblocks the accept() call (EINVAL on Linux) without
+  // releasing the fd number; close only after the join so the accept
+  // thread can never race a recycled descriptor.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ScrapeServer::accept_loop() {
+  const int listen_fd = listen_fd_;  // stable copy; stop() joins before close
+  while (running()) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running()) break;
+      if (errno == EINTR) continue;
+      break;  // listening socket is gone; nothing to recover
+    }
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void ScrapeServer::serve_connection(int fd) {
+  set_io_timeout(fd, config_.io_timeout_s);
+
+  std::string request;
+  char buf[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // timeout, error or clean close
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) return;  // no complete request line
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Request line: METHOD SP PATH SP VERSION
+  const std::string line = request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    send_all(fd, build_response(400, "text/plain", "bad request line\n"));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (const std::size_t q = path.find('?'); q != std::string::npos) {
+    path.resize(q);  // query strings are accepted and ignored
+  }
+
+  if (method != "GET") {
+    send_all(fd,
+             build_response(405, "text/plain", "GET only on this port\n"));
+    return;
+  }
+  const auto it = routes_.find(path);
+  if (it == routes_.end()) {
+    std::string body = "no route " + path + "; try:\n";
+    for (const auto& [p, route] : routes_) body += "  " + p + "\n";
+    send_all(fd, build_response(404, "text/plain", body));
+    return;
+  }
+  try {
+    const std::string body = it->second.handler();
+    send_all(fd, build_response(200, it->second.content_type, body));
+  } catch (const std::exception& e) {
+    send_all(fd, build_response(500, "text/plain",
+                                std::string("handler failed: ") + e.what() +
+                                    "\n"));
+  }
+}
+
+}  // namespace scwc::obs

@@ -1,0 +1,81 @@
+// Minimal HTTP/1.1 scrape endpoint (GET-only, std + POSIX sockets).
+//
+// Just enough HTTP to let `curl` and a Prometheus scraper pull /metrics,
+// /healthz and /vars from a live serving process — deliberately NOT a web
+// framework: one blocking accept loop on its own thread, one connection
+// served at a time, GET only, no keep-alive, no TLS. Handlers are
+// registered before start() and produce the whole body per request; a
+// throwing handler maps to a 500.
+//
+// Security posture (DESIGN.md §7): binds 127.0.0.1 by default — the
+// endpoint exposes operational detail and has no auth, so non-loopback
+// binds are an explicit opt-in. Port 0 requests an ephemeral port; port()
+// reports the bound one (tests rely on this to avoid collisions).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace scwc::obs {
+
+struct ScrapeConfig {
+  std::uint16_t port = 0;     ///< 0 → kernel-assigned ephemeral port
+  bool loopback_only = true;  ///< bind 127.0.0.1 (default) vs 0.0.0.0
+  int backlog = 16;
+  double io_timeout_s = 2.0;  ///< per-connection read/write timeout
+};
+
+class ScrapeServer {
+ public:
+  /// Returns the response body; content type comes from registration.
+  using Handler = std::function<std::string()>;
+
+  explicit ScrapeServer(ScrapeConfig config = {});
+  ~ScrapeServer();  // stops and joins
+
+  ScrapeServer(const ScrapeServer&) = delete;
+  ScrapeServer& operator=(const ScrapeServer&) = delete;
+
+  /// Registers `path` (exact match, query string ignored). Must be called
+  /// before start(); throws std::logic_error afterwards.
+  void add_route(std::string path, std::string content_type, Handler handler);
+
+  /// Binds, listens and launches the accept thread. Throws
+  /// std::runtime_error when the socket cannot be set up.
+  void start();
+
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// Actual bound port (resolves port-0 requests); 0 before start().
+  [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Route {
+    std::string content_type;
+    Handler handler;
+  };
+
+  void accept_loop();
+  void serve_connection(int fd);
+
+  ScrapeConfig config_;
+  std::map<std::string, Route> routes_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace scwc::obs

@@ -1,10 +1,12 @@
 #include "robust/guarded_classifier.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
 
 #include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
 
 namespace scwc::robust {
 
@@ -170,7 +172,8 @@ GuardedPrediction GuardedClassifier::classify(
 }
 
 std::vector<GuardedPrediction> GuardedClassifier::classify_batch(
-    const data::Tensor3& windows) const {
+    const data::Tensor3& windows, BatchPhaseTimings* timings) const {
+  if (timings != nullptr) *timings = BatchPhaseTimings{};
   const std::size_t count = windows.trials();
   std::vector<GuardedPrediction> out(count);
   if (count == 0) return out;
@@ -222,8 +225,15 @@ std::vector<GuardedPrediction> GuardedClassifier::classify_batch(
       const std::span<const double> src = repaired.trial(survivors[j]);
       std::copy(src.begin(), src.end(), packed.trial(j).begin());
     }
+    const auto t0 = std::chrono::steady_clock::now();
     const linalg::Matrix features = pipeline_.transform(packed);
+    const auto t1 = std::chrono::steady_clock::now();
     const std::vector<int> predicted = model_.predict(features);
+    if (timings != nullptr) {
+      timings->transform_s = obs::seconds_between(t0, t1);
+      timings->predict_s =
+          obs::seconds_between(t1, std::chrono::steady_clock::now());
+    }
     if (predicted.size() != survivors.size()) {
       for (const std::size_t i : survivors) {
         out[i] = abstain(AbstainReason::kModelError, out[i].report);

@@ -65,6 +65,14 @@ struct GuardedPrediction {
 /// GuardedConfig::kNoLabel on empty input.
 int majority_label(std::span<const int> labels);
 
+/// Where a batched classify spent its model-facing time. Both are
+/// batch-level wall times (the serve layer attributes them to every
+/// request in the batch when building per-request phase breakdowns).
+struct BatchPhaseTimings {
+  double transform_s = 0.0;  ///< FeaturePipeline::transform on survivors
+  double predict_s = 0.0;    ///< Classifier::predict on survivors
+};
+
 /// Wraps a fitted FeaturePipeline + Classifier behind shape/finiteness
 /// validation, imputation and a quality gate. Holds references only — both
 /// must outlive the wrapper.
@@ -96,9 +104,11 @@ class GuardedClassifier {
   /// per-row results are the same as a batch-of-one (both paths featurise
   /// each window independently), so batched labels match single-request
   /// labels. Never throws; a pipeline/model failure abstains every window
-  /// that reached the model with kModelError.
+  /// that reached the model with kModelError. When `timings` is non-null
+  /// it receives the transform/predict wall times of this call (zeros when
+  /// no window survived the quality gate).
   [[nodiscard]] std::vector<GuardedPrediction> classify_batch(
-      const data::Tensor3& windows) const;
+      const data::Tensor3& windows, BatchPhaseTimings* timings = nullptr) const;
 
  private:
   GuardedPrediction abstain(AbstainReason reason, QualityReport report) const;

@@ -1,0 +1,168 @@
+#include "serve/audit.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace scwc::serve {
+
+using obs::Json;
+
+Json audit_record_to_json(const AuditRecord& record) {
+  Json::Object phases;
+  phases.emplace("admission_s", Json(record.phases.admission_s));
+  phases.emplace("queue_s", Json(record.phases.queue_s));
+  phases.emplace("batch_wait_s", Json(record.phases.batch_wait_s));
+  phases.emplace("transform_s", Json(record.phases.transform_s));
+  phases.emplace("predict_s", Json(record.phases.predict_s));
+  phases.emplace("total_s", Json(record.phases.total_s));
+
+  Json::Object out;
+  out.emplace("schema", Json(kAuditSchema));
+  out.emplace("trace_id", Json(static_cast<double>(record.trace_id)));
+  out.emplace("job_id", Json(static_cast<double>(record.job_id)));
+  out.emplace("event", Json(record.event));
+  out.emplace("model_version", Json(record.model_version));
+  out.emplace("label", Json(record.label));
+  out.emplace("degrade_level", Json(record.degrade_level));
+  out.emplace("batch_size", Json(record.batch_size));
+  out.emplace("phases", Json(std::move(phases)));
+  if (record.event == "abstain") {
+    out.emplace("abstain_reason", Json(record.abstain_reason));
+  }
+  if (record.event == "shed") {
+    out.emplace("reject_reason", Json(record.reject_reason));
+  }
+  if (record.event != "shed") {
+    out.emplace("quality", Json(record.quality));
+    out.emplace("missing_values", Json(record.missing_values));
+    out.emplace("repaired_values", Json(record.repaired_values));
+  }
+  if (record.deadline_slack_s.has_value()) {
+    out.emplace("deadline_slack_s", Json(*record.deadline_slack_s));
+  }
+  return Json(std::move(out));
+}
+
+namespace {
+
+const char* kPhaseKeys[] = {"admission_s", "queue_s",   "batch_wait_s",
+                            "transform_s", "predict_s", "total_s"};
+
+}  // namespace
+
+std::string validate_audit_record_json(const Json& record) {
+  if (!record.is_object()) return "record is not an object";
+  if (!record.contains("schema") || !record.at("schema").is_string() ||
+      record.at("schema").as_string() != kAuditSchema) {
+    return std::string("schema must be \"") + kAuditSchema + "\"";
+  }
+  for (const char* key : {"event", "model_version"}) {
+    if (!record.contains(key) || !record.at(key).is_string()) {
+      return std::string("missing string field: ") + key;
+    }
+  }
+  for (const char* key :
+       {"trace_id", "job_id", "label", "degrade_level", "batch_size"}) {
+    if (!record.contains(key) || !record.at(key).is_number()) {
+      return std::string("missing numeric field: ") + key;
+    }
+  }
+  if (record.at("trace_id").as_number() < 1.0) return "trace_id must be >= 1";
+  const double degrade = record.at("degrade_level").as_number();
+  if (degrade < 0.0 || degrade > 2.0) {
+    return "degrade_level out of range [0, 2]";
+  }
+  if (record.at("batch_size").as_number() < 0.0) {
+    return "batch_size must be >= 0";
+  }
+
+  if (!record.contains("phases") || !record.at("phases").is_object()) {
+    return "missing phases object";
+  }
+  const Json& phases = record.at("phases");
+  for (const char* key : kPhaseKeys) {
+    if (!phases.contains(key) || !phases.at(key).is_number()) {
+      return std::string("phases lacks numeric ") + key;
+    }
+    if (phases.at(key).as_number() < 0.0) {
+      return std::string("phases.") + key + " is negative";
+    }
+  }
+
+  const std::string& event = record.at("event").as_string();
+  if (event == "answer") {
+    if (record.contains("abstain_reason") ||
+        record.contains("reject_reason")) {
+      return "answer records must not carry a reason field";
+    }
+  } else if (event == "abstain") {
+    if (!record.contains("abstain_reason") ||
+        !record.at("abstain_reason").is_string() ||
+        record.at("abstain_reason").as_string().empty()) {
+      return "abstain records need a non-empty abstain_reason";
+    }
+  } else if (event == "shed") {
+    if (!record.contains("reject_reason") ||
+        !record.at("reject_reason").is_string() ||
+        record.at("reject_reason").as_string().empty()) {
+      return "shed records need a non-empty reject_reason";
+    }
+    if (!record.at("model_version").as_string().empty()) {
+      return "shed records must not name a model_version";
+    }
+  } else {
+    return "event must be answer|abstain|shed, got \"" + event + "\"";
+  }
+
+  if (event != "shed") {
+    for (const char* key : {"quality", "missing_values", "repaired_values"}) {
+      if (!record.contains(key) || !record.at(key).is_number()) {
+        return std::string("accepted records need numeric ") + key;
+      }
+    }
+    const double quality = record.at("quality").as_number();
+    if (quality < 0.0 || quality > 1.0) return "quality out of range [0, 1]";
+  }
+
+  if (record.contains("deadline_slack_s") &&
+      !record.at("deadline_slack_s").is_number()) {
+    return "deadline_slack_s must be a number";
+  }
+  return "";
+}
+
+AuditLogger::AuditLogger(const std::string& path)
+    : out_(path, std::ios::app) {
+  if (!out_) {
+    throw std::runtime_error("AuditLogger: cannot open " + path);
+  }
+}
+
+void AuditLogger::log(const AuditRecord& record) {
+  const std::string line = audit_record_to_json(record).dump();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!ok_) return;
+  out_ << line << '\n';
+  if (!out_) {
+    ok_ = false;
+    return;
+  }
+  ++written_;
+}
+
+void AuditLogger::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out_.flush();
+}
+
+std::uint64_t AuditLogger::records_written() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return written_;
+}
+
+bool AuditLogger::ok() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ok_;
+}
+
+}  // namespace scwc::serve

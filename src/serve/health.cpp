@@ -1,13 +1,11 @@
 #include "serve/health.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <sstream>
-#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/request_trace.hpp"
 
 namespace scwc::serve {
 
@@ -25,68 +23,94 @@ const char* breaker_state_name(BreakerState state) noexcept {
 
 // ---------------------------------------------------------------- monitor
 
-HealthMonitor::HealthMonitor(HealthConfig config) : config_(config) {
-  SCWC_REQUIRE(config_.window > 0, "HealthMonitor: window must be > 0");
+namespace {
+
+obs::RollingConfig monitor_rolling_config(const HealthConfig& config) {
+  obs::RollingConfig rc;
+  rc.window_s = config.window_s;
+  rc.slots = config.window_slots;
+  return rc;
+}
+
+}  // namespace
+
+std::vector<double> HealthMonitor::latency_bounds(double max_p99_s) {
+  std::vector<double> bounds;
+  for (double m = 1.0 / 64.0; m <= 64.0; m *= 2.0) {
+    bounds.push_back(max_p99_s * m);
+  }
+  return bounds;  // t/64 … 64t with an edge exactly at t
+}
+
+HealthMonitor::HealthMonitor(HealthConfig config)
+    : config_(config),
+      latency_(latency_bounds(config.max_p99_s),
+               monitor_rolling_config(config)),
+      abstained_(monitor_rolling_config(config)),
+      model_errors_(monitor_rolling_config(config)),
+      sheds_(monitor_rolling_config(config)) {
+  SCWC_REQUIRE(config_.window_s > 0.0,
+               "HealthMonitor: window_s must be > 0");
+  SCWC_REQUIRE(config_.window_slots > 0,
+               "HealthMonitor: window_slots must be > 0");
   SCWC_REQUIRE(config_.min_samples > 0,
                "HealthMonitor: min_samples must be > 0");
+  SCWC_REQUIRE(config_.max_p99_s > 0.0,
+               "HealthMonitor: max_p99_s must be > 0");
 }
 
 void HealthMonitor::record_accepted(double latency_s, bool abstained,
                                     bool model_error) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  outcomes_.push_back({latency_s, abstained, model_error});
-  while (outcomes_.size() > config_.window) outcomes_.pop_front();
-  admissions_.push_back(true);
-  while (admissions_.size() > config_.window) admissions_.pop_front();
+  record_accepted(latency_s, abstained, model_error, Clock::now());
+}
+
+void HealthMonitor::record_accepted(double latency_s, bool abstained,
+                                    bool model_error, Clock::time_point now) {
+  latency_.observe(latency_s, now);
+  if (abstained) abstained_.inc(1, now);
+  if (model_error) model_errors_.inc(1, now);
 }
 
 void HealthMonitor::record_shed(RejectReason reason) {
-  // Shutdown sheds are the service turning off, not the service failing.
-  if (reason == RejectReason::kShutdown) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
-  admissions_.push_back(false);
-  while (admissions_.size() > config_.window) admissions_.pop_front();
+  record_shed(reason, Clock::now());
 }
 
-HealthStats HealthMonitor::stats_locked() const {
-  HealthStats s;
-  s.samples = outcomes_.size();
-  for (const bool accepted : admissions_) s.sheds += accepted ? 0 : 1;
+void HealthMonitor::record_shed(RejectReason reason, Clock::time_point now) {
+  // Shutdown sheds are the service turning off, not the service failing.
+  if (reason == RejectReason::kShutdown) return;
+  sheds_.inc(1, now);
+}
 
-  if (!outcomes_.empty()) {
-    std::vector<double> latencies;
-    latencies.reserve(outcomes_.size());
-    std::size_t abstained = 0;
-    for (const Outcome& o : outcomes_) {
-      latencies.push_back(o.latency_s);
-      abstained += o.abstained ? 1 : 0;
-      s.model_errors += o.model_error ? 1 : 0;
-    }
-    std::sort(latencies.begin(), latencies.end());
-    const auto rank = static_cast<std::size_t>(
-        std::ceil(0.99 * static_cast<double>(latencies.size())));
-    s.p99_s = latencies[rank == 0 ? 0 : rank - 1];
-    s.abstain_rate = static_cast<double>(abstained) /
-                     static_cast<double>(outcomes_.size());
+HealthStats HealthMonitor::stats() const { return stats(Clock::now()); }
+
+HealthStats HealthMonitor::stats(Clock::time_point now) const {
+  // Each primitive is internally locked; reading them in sequence can
+  // split one logical record across the boundary. The breaker tolerates
+  // off-by-one stats — it reacts to sustained violations, not single
+  // samples.
+  const obs::RollingHistogramSnapshot lat = latency_.snapshot(now);
+  HealthStats s;
+  s.samples = lat.count;
+  s.p99_s = lat.p99;
+  s.sheds = sheds_.value(now);
+  s.model_errors = model_errors_.value(now);
+  if (lat.count > 0) {
+    s.abstain_rate = static_cast<double>(abstained_.value(now)) /
+                     static_cast<double>(lat.count);
   }
-  if (!admissions_.empty()) {
+  if (s.samples + s.sheds > 0) {
     s.shed_rate = static_cast<double>(s.sheds) /
-                  static_cast<double>(admissions_.size());
+                  static_cast<double>(s.samples + s.sheds);
   }
   return s;
 }
 
-HealthStats HealthMonitor::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_locked();
+bool HealthMonitor::unhealthy(std::string* why) const {
+  return unhealthy(why, Clock::now());
 }
 
-bool HealthMonitor::unhealthy(std::string* why) const {
-  HealthStats s;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    s = stats_locked();
-  }
+bool HealthMonitor::unhealthy(std::string* why, Clock::time_point now) const {
+  const HealthStats s = stats(now);
   // model_errors is an absolute tripwire: even a handful means the bundle
   // itself is broken, so it is checked before the min_samples gate would
   // wait for a full window of broken answers.
@@ -117,9 +141,10 @@ bool HealthMonitor::unhealthy(std::string* why) const {
 }
 
 void HealthMonitor::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  outcomes_.clear();
-  admissions_.clear();
+  latency_.reset();
+  abstained_.reset();
+  model_errors_.reset();
+  sheds_.reset();
 }
 
 // ------------------------------------------------------------------ chain
@@ -242,8 +267,7 @@ void FallbackChain::on_probe_outcome(
     ++recoveries_;
     obs_recoveries_.inc();
     if (incident_) {
-      last_recovery_s_ =
-          std::chrono::duration<double>(now - incident_start_).count();
+      last_recovery_s_ = obs::seconds_between(incident_start_, now);
       incident_ = false;
     }
     SCWC_LOG_INFO("serve breaker CLOSED, full path restored");

@@ -30,12 +30,12 @@
 
 #include <chrono>
 #include <cstddef>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/rolling.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/serve_types.hpp"
 
@@ -53,7 +53,11 @@ enum class BreakerState { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
 struct HealthConfig {
   bool enabled = false;
 
-  std::size_t window = 256;      ///< rolling outcomes kept by the monitor
+  /// Rolling SLO window, in seconds (time-bucketed over `window_slots`
+  /// ring slots — obs::RollingHistogram). Outcomes older than this stop
+  /// influencing the breaker.
+  double window_s = 5.0;
+  std::size_t window_slots = 10;
   std::size_t min_samples = 32;  ///< below this, never declare unhealthy
 
   double max_p99_s = 0.050;        ///< p99 latency SLO for full-path answers
@@ -79,23 +83,38 @@ struct HealthStats {
   std::size_t model_errors = 0;
 };
 
-/// Rolling-window outcome recorder; the breaker's sensor.
+/// Rolling-window outcome recorder; the breaker's sensor. Built on the
+/// obs rolling primitives (one RollingHistogram for latency, RollingCounters
+/// for outcome classes) so the monitor's view and the exported
+/// last-N-seconds telemetry share one mechanism. p99 is therefore a
+/// bucket-interpolated estimate on a grid anchored at max_p99_s — exact
+/// enough for a threshold comparison against max_p99_s itself.
 ///
 /// Only FULL-PATH (level 0) accepted answers are recorded — degraded-mode
 /// answers abstain by design, and feeding them back would hold the abstain
 /// rate at 100 % and make recovery impossible. Sheds are always recorded.
+///
+/// Every call has an explicit-time overload so tests replay scenarios
+/// without sleeping; the no-argument forms stamp steady_clock::now().
 class HealthMonitor {
  public:
+  using Clock = std::chrono::steady_clock;
+
   explicit HealthMonitor(HealthConfig config);
 
   void record_accepted(double latency_s, bool abstained, bool model_error);
+  void record_accepted(double latency_s, bool abstained, bool model_error,
+                       Clock::time_point now);
   void record_shed(RejectReason reason);
+  void record_shed(RejectReason reason, Clock::time_point now);
 
   [[nodiscard]] HealthStats stats() const;
+  [[nodiscard]] HealthStats stats(Clock::time_point now) const;
 
   /// True when the window has min_samples and any threshold is violated;
   /// `why` (optional) receives a one-line reason for the log.
   [[nodiscard]] bool unhealthy(std::string* why = nullptr) const;
+  [[nodiscard]] bool unhealthy(std::string* why, Clock::time_point now) const;
 
   /// Forgets the window — called on trip/recovery so the next verdict is
   /// based on post-transition behaviour only.
@@ -105,19 +124,17 @@ class HealthMonitor {
     return config_;
   }
 
+  /// Latency bucket grid used by the monitor: a geometric ladder anchored
+  /// at max_p99_s (t/64 … 64t) so the p99-vs-threshold comparison has a
+  /// bucket edge exactly at the SLO bound.
+  [[nodiscard]] static std::vector<double> latency_bounds(double max_p99_s);
+
  private:
-  struct Outcome {
-    double latency_s = 0.0;
-    bool abstained = false;
-    bool model_error = false;
-  };
-
-  [[nodiscard]] HealthStats stats_locked() const;
-
   HealthConfig config_;
-  mutable std::mutex mutex_;
-  std::deque<Outcome> outcomes_;   ///< accepted answers, oldest first
-  std::deque<bool> admissions_;    ///< true = accepted, false = shed
+  obs::RollingHistogram latency_;       ///< accepted full-path answers
+  obs::RollingCounter abstained_;
+  obs::RollingCounter model_errors_;
+  obs::RollingCounter sheds_;
 };
 
 /// Where the FallbackChain routed one batch.

@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -44,6 +45,13 @@ struct BatchRequest {
   std::vector<double> window;  ///< row-major steps × sensors
   std::size_t steps = 0;
   std::size_t sensors = 0;
+  /// Request-trace identity (service-stamped; see obs/request_trace.hpp).
+  std::uint64_t trace_id = 0;
+  std::int64_t job_id = -1;    ///< source job, -1 when unattributed
+  bool trace_sampled = false;  ///< head-sampling verdict, fixed at submit
+  /// Service submit entry (before admission); `enqueued` minus this is
+  /// the admission phase.
+  std::chrono::steady_clock::time_point submitted;
   std::chrono::steady_clock::time_point enqueued;
   /// Absolute deadline; time_point::max() (the default) means "none".
   /// Requests whose deadline passed while queued are cut out of the batch

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
 
 namespace scwc::serve {
 
@@ -31,9 +32,7 @@ ServeResult submit_with_retry(ClassificationService& service,
   const auto start = std::chrono::steady_clock::now();
   const auto budget_left = [&]() {
     return policy.budget_s -
-           std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-               .count();
+           obs::seconds_between(start, std::chrono::steady_clock::now());
   };
 
   ServeResult last;

@@ -9,8 +9,10 @@
 // to correlate with a second channel.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
+#include "obs/request_trace.hpp"
 #include "robust/guarded_classifier.hpp"
 
 namespace scwc::serve {
@@ -49,6 +51,11 @@ struct ServeResult {
   /// Which rung of the fallback chain answered: 0 = full pipeline,
   /// 1 = degraded fallback bundle, 2 = abstain-only degraded mode.
   int degrade_level = 0;
+  /// Request-scoped trace id (never 0 once the service stamped it) and
+  /// the per-phase latency breakdown — DESIGN.md §7. Always filled, not
+  /// just for sampled requests; sampling only gates record retention.
+  std::uint64_t trace_id = 0;
+  obs::RequestPhases phases;
 };
 
 }  // namespace scwc::serve

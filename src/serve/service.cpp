@@ -7,19 +7,26 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/request_trace.hpp"
 #include "obs/trace.hpp"
+#include "serve/audit.hpp"
 #include "serve/chaos.hpp"
 
 namespace scwc::serve {
 
+using obs::seconds_between;
+
 namespace {
 
-double seconds_since(std::chrono::steady_clock::time_point start,
-                     std::chrono::steady_clock::time_point now) {
-  return std::chrono::duration<double>(now - start).count();
-}
-
 constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
+/// Absolute deadline for a request arriving now under `budget_s` (0 = none).
+std::chrono::steady_clock::time_point deadline_from(double budget_s) {
+  if (budget_s <= 0.0) return kNoDeadline;
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(budget_s));
+}
 
 /// Version string reported by abstain-only degraded answers, which no real
 /// bundle served.
@@ -34,10 +41,13 @@ ClassificationService::ClassificationService(ModelRegistry& registry,
       config_(config),
       pool_(pool != nullptr ? *pool : ThreadPool::global()),
       assembler_(config.assembler),
-      admission_(pool_, config.admission) {
+      admission_(pool_, config.admission),
+      tracer_(config.trace) {
   auto& reg = obs::MetricsRegistry::global();
   obs_requests_ = reg.counter("scwc_serve_requests_total");
   obs_request_seconds_ = reg.histogram("scwc_serve_request_seconds");
+  obs_request_seconds_rolling_ =
+      reg.rolling_histogram("scwc_serve_request_seconds_rolling");
   obs_batch_exec_seconds_ = reg.histogram("scwc_serve_batch_exec_seconds");
   obs_deadline_missed_ = reg.counter("scwc_serve_deadline_missed_total");
   obs_degraded_ = reg.counter("scwc_serve_degraded_total");
@@ -59,38 +69,113 @@ ClassificationService::ClassificationService(ModelRegistry& registry,
 
 ClassificationService::~ClassificationService() { stop(); }
 
+void ClassificationService::note_verdict(
+    const BatchRequest& request, const ServeResult& result,
+    std::chrono::steady_clock::time_point done) {
+  const bool want_trace = request.trace_sampled;
+  const bool want_audit = config_.audit != nullptr;
+  if (!want_trace && !want_audit) return;
+
+  std::string event;
+  if (!result.accepted) {
+    event = "shed";
+  } else if (result.prediction.abstained) {
+    event = "abstain";
+  } else {
+    event = "answer";
+  }
+
+  if (want_trace) {
+    obs::RequestTraceRecord rec;
+    rec.trace_id = request.trace_id;
+    rec.job_id = request.job_id;
+    rec.start_s = tracer_.since_epoch(request.submitted);
+    rec.phases = result.phases;
+    rec.outcome = event;
+    if (event == "shed") {
+      rec.outcome += std::string(":") + reject_reason_name(result.reject_reason);
+    } else if (event == "abstain") {
+      rec.outcome +=
+          std::string(":") + robust::abstain_reason_name(result.prediction.reason);
+    }
+    rec.model_version = result.model_version;
+    rec.batch_size = result.batch_size;
+    rec.degrade_level = result.degrade_level;
+    tracer_.record(std::move(rec));
+  }
+
+  if (want_audit) {
+    AuditRecord rec;
+    rec.trace_id = request.trace_id;
+    rec.job_id = request.job_id;
+    rec.event = event;
+    rec.model_version = result.model_version;
+    rec.label = result.prediction.label;
+    rec.degrade_level = result.degrade_level;
+    rec.batch_size = result.batch_size;
+    if (event == "abstain") {
+      rec.abstain_reason = robust::abstain_reason_name(result.prediction.reason);
+    }
+    if (event == "shed") {
+      rec.reject_reason = reject_reason_name(result.reject_reason);
+    } else {
+      rec.quality = result.prediction.report.quality();
+      rec.missing_values = result.prediction.report.missing_values;
+      rec.repaired_values = result.prediction.report.repaired_values;
+    }
+    rec.phases = result.phases;
+    if (request.deadline != kNoDeadline) {
+      rec.deadline_slack_s =
+          obs::signed_seconds_between(done, request.deadline);
+    }
+    config_.audit->log(rec);
+  }
+}
+
 void ClassificationService::shed(BatchRequest& request, RejectReason reason) {
   admission_.count_shed(reason);
   if (reason == RejectReason::kDeadlineExceeded) obs_deadline_missed_.inc();
   if (monitor_ != nullptr) monitor_->record_shed(reason);
+  const auto now = std::chrono::steady_clock::now();
   ServeResult result;
   result.accepted = false;
   result.reject_reason = reason;
-  result.total_latency_s =
-      seconds_since(request.enqueued, std::chrono::steady_clock::now());
+  result.total_latency_s = seconds_between(request.enqueued, now);
+  result.trace_id = request.trace_id;
+  result.phases.admission_s = seconds_between(request.submitted, request.enqueued);
+  result.phases.queue_s = seconds_between(request.enqueued, now);
+  result.phases.total_s = seconds_between(request.submitted, now);
+  note_verdict(request, result, now);
   request.promise.set_value(std::move(result));
 }
 
 std::future<ServeResult> ClassificationService::submit(
     std::vector<double> window, std::size_t steps, std::size_t sensors) {
-  auto deadline = kNoDeadline;
-  if (config_.default_deadline_s > 0.0) {
-    deadline = std::chrono::steady_clock::now() +
-               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                   std::chrono::duration<double>(config_.default_deadline_s));
-  }
-  return submit(std::move(window), steps, sensors, deadline);
+  return submit_traced(std::move(window), steps, sensors,
+                       deadline_from(config_.default_deadline_s), -1);
 }
 
 std::future<ServeResult> ClassificationService::submit(
     std::vector<double> window, std::size_t steps, std::size_t sensors,
     std::chrono::steady_clock::time_point deadline) {
+  return submit_traced(std::move(window), steps, sensors, deadline, -1);
+}
+
+std::future<ServeResult> ClassificationService::submit_traced(
+    std::vector<double> window, std::size_t steps, std::size_t sensors,
+    std::chrono::steady_clock::time_point deadline, std::int64_t job_id) {
   obs_requests_.inc();
   BatchRequest request;
   request.window = std::move(window);
   request.steps = steps;
   request.sensors = sensors;
-  request.enqueued = std::chrono::steady_clock::now();
+  request.trace_id = tracer_.begin_trace();
+  request.trace_sampled = tracer_.sampled(request.trace_id);
+  request.job_id = job_id;
+  request.submitted = std::chrono::steady_clock::now();
+  // The batcher re-stamps `enqueued` on acceptance; until then both stamps
+  // coincide so entry-time sheds report zero-width phases.
+  request.enqueued = request.submitted;
   request.deadline = deadline;
   std::future<ServeResult> future = request.promise.get_future();
 
@@ -128,9 +213,10 @@ std::vector<PendingWindow> ClassificationService::ingest_block(
     PendingWindow pending;
     pending.job_id = window.job_id;
     pending.start_step = window.start_step;
-    pending.result =
-        submit(std::move(window.values), config_.assembler.window_steps,
-               config_.assembler.sensors);
+    pending.result = submit_traced(
+        std::move(window.values), config_.assembler.window_steps,
+        config_.assembler.sensors,
+        deadline_from(config_.default_deadline_s), window.job_id);
     out.push_back(std::move(pending));
   }
   return out;
@@ -145,9 +231,10 @@ std::vector<PendingWindow> ClassificationService::finish_job(
     PendingWindow pending;
     pending.job_id = window.job_id;
     pending.start_step = window.start_step;
-    pending.result =
-        submit(std::move(window.values), config_.assembler.window_steps,
-               config_.assembler.sensors);
+    pending.result = submit_traced(
+        std::move(window.values), config_.assembler.window_steps,
+        config_.assembler.sensors,
+        deadline_from(config_.default_deadline_s), window.job_id);
     out.push_back(std::move(pending));
   }
   return out;
@@ -195,9 +282,15 @@ void ClassificationService::answer_degraded(
     result.prediction.label = robust::GuardedConfig::kNoLabel;
     result.prediction.abstained = true;
     result.prediction.reason = robust::AbstainReason::kDegraded;
-    result.queue_delay_s = seconds_since(request.enqueued, now);
+    result.queue_delay_s = seconds_between(request.enqueued, now);
     result.total_latency_s =
-        seconds_since(request.enqueued, std::chrono::steady_clock::now());
+        seconds_between(request.enqueued, std::chrono::steady_clock::now());
+    result.trace_id = request.trace_id;
+    result.phases.admission_s =
+        seconds_between(request.submitted, request.enqueued);
+    result.phases.queue_s = seconds_between(request.enqueued, now);
+    result.phases.total_s = seconds_between(request.submitted, now);
+    note_verdict(request, result, now);
     request.promise.set_value(std::move(result));
   }
 }
@@ -234,7 +327,7 @@ void ClassificationService::run_batch(std::vector<BatchRequest>&& batch) {
   if (admission_.closed()) {
     // Draining after stop(): the pool may already be needed elsewhere and
     // new dispatches would be refused — answer the queued requests inline.
-    execute_batch(route, batch);
+    execute_batch(route, batch, now);
     return;
   }
 
@@ -264,8 +357,8 @@ void ClassificationService::run_batch(std::vector<BatchRequest>&& batch) {
   // the mutex before returning, so it cannot observe inflight == 0 and let
   // the destructor tear down inflight_cv_ while notify_all() is still
   // executing on this thread (cv-destruction race TSan catches otherwise).
-  const RejectReason reason = admission_.dispatch([this, route, shared] {
-    execute_batch(route, *shared);
+  const RejectReason reason = admission_.dispatch([this, route, shared, now] {
+    execute_batch(route, *shared, now);
     const std::lock_guard<std::mutex> lock(inflight_mutex_);
     --inflight_batches_;
     inflight_cv_.notify_all();
@@ -283,8 +376,9 @@ void ClassificationService::run_batch(std::vector<BatchRequest>&& batch) {
   }
 }
 
-void ClassificationService::execute_batch(const Route& route,
-                                          std::vector<BatchRequest>& batch) {
+void ClassificationService::execute_batch(
+    const Route& route, std::vector<BatchRequest>& batch,
+    std::chrono::steady_clock::time_point cut) {
   const std::shared_ptr<const ModelBundle>& bundle = route.bundle;
   std::size_t model_errors = 0;
   try {
@@ -307,13 +401,14 @@ void ClassificationService::execute_batch(const Route& route,
       }
     }
     std::vector<robust::GuardedPrediction> packed_out;
+    robust::BatchPhaseTimings batch_timings;
     if (!packed_index.empty()) {
       data::Tensor3 windows(packed_index.size(), steps, sensors);
       for (std::size_t j = 0; j < packed_index.size(); ++j) {
         const std::vector<double>& src = batch[packed_index[j]].window;
         std::copy(src.begin(), src.end(), windows.trial(j).begin());
       }
-      packed_out = bundle->guard().classify_batch(windows);
+      packed_out = bundle->guard().classify_batch(windows, &batch_timings);
     }
 
     std::size_t next_packed = 0;
@@ -324,7 +419,16 @@ void ClassificationService::execute_batch(const Route& route,
       result.model_version = bundle->version();
       result.batch_size = batch.size();
       result.degrade_level = route.level;
-      result.queue_delay_s = seconds_since(request.enqueued, exec_start);
+      result.queue_delay_s = seconds_between(request.enqueued, exec_start);
+      result.trace_id = request.trace_id;
+      result.phases.admission_s =
+          seconds_between(request.submitted, request.enqueued);
+      result.phases.queue_s = seconds_between(request.enqueued, cut);
+      result.phases.batch_wait_s = seconds_between(cut, exec_start);
+      // Transform/predict are batch-level stages — every request of the
+      // batch spent that wall time in them, so each carries the full value.
+      result.phases.transform_s = batch_timings.transform_s;
+      result.phases.predict_s = batch_timings.predict_s;
       if (next_packed < packed_index.size() &&
           packed_index[next_packed] == i) {
         result.prediction = std::move(packed_out[next_packed]);
@@ -344,8 +448,10 @@ void ClassificationService::execute_batch(const Route& route,
         shed(request, RejectReason::kDeadlineExceeded);
         continue;
       }
-      result.total_latency_s = seconds_since(request.enqueued, done);
+      result.total_latency_s = seconds_between(request.enqueued, done);
+      result.phases.total_s = seconds_between(request.submitted, done);
       obs_request_seconds_.observe(result.total_latency_s);
+      obs_request_seconds_rolling_.observe(result.total_latency_s);
       // Feed the SLO sensor from FULL-PATH traffic only (probes judge
       // themselves; degraded answers would poison the abstain rate).
       if (monitor_ != nullptr && route.level == 0 && !route.probe) {
@@ -353,10 +459,11 @@ void ClassificationService::execute_batch(const Route& route,
             result.total_latency_s, result.prediction.abstained,
             result.prediction.reason == robust::AbstainReason::kModelError);
       }
+      note_verdict(request, result, done);
       request.promise.set_value(std::move(result));
     }
-    const auto exec_s = seconds_since(exec_start,
-                                      std::chrono::steady_clock::now());
+    const auto exec_s = seconds_between(exec_start,
+                                        std::chrono::steady_clock::now());
     obs_batch_exec_seconds_.observe(exec_s);
     if (route.probe) {
       // The probe is healthy when the model path worked and the batch

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "obs/request_trace.hpp"
 #include "serve/admission.hpp"
 #include "serve/health.hpp"
 #include "serve/micro_batcher.hpp"
@@ -35,6 +36,7 @@
 namespace scwc::serve {
 
 class ChaosInjector;  // serve/chaos.hpp
+class AuditLogger;    // serve/audit.hpp
 
 /// Full serving configuration. The assembler geometry must match the
 /// bundles the registry serves (odd-geometry windows abstain with kShape).
@@ -52,6 +54,13 @@ struct ServiceConfig {
   /// Optional fault injector for chaos tests; must outlive the service.
   /// Also forwarded to the batcher (flusher-stall hook).
   ChaosInjector* chaos = nullptr;
+  /// Request tracing: every submission gets a trace id regardless; the
+  /// sample_rate decides which requests keep a full phase-timing record
+  /// (deterministic in (seed, trace id) — replays sample identically).
+  obs::RequestTracerConfig trace;
+  /// Optional verdict audit log (one scwc.audit/v1 JSONL record per
+  /// verdict). Must outlive the service.
+  AuditLogger* audit = nullptr;
 };
 
 /// One window emitted by the streaming API, with its pending result.
@@ -119,8 +128,20 @@ class ClassificationService {
   [[nodiscard]] const FallbackChain* chain() const noexcept {
     return chain_.get();
   }
+  /// Request tracer (ids, sampling verdicts, retained records). Mutable
+  /// so callers can drain() sampled records for export after stop().
+  [[nodiscard]] obs::RequestTracer& tracer() noexcept { return tracer_; }
 
  private:
+  /// The real submit: stamps trace identity (and the source job) before
+  /// admission. job_id -1 = unattributed (direct submit() calls).
+  [[nodiscard]] std::future<ServeResult> submit_traced(
+      std::vector<double> window, std::size_t steps, std::size_t sensors,
+      std::chrono::steady_clock::time_point deadline, std::int64_t job_id);
+  /// Tracing/audit tap, called once per verdict just before the promise
+  /// is fulfilled. `done` is the verdict timestamp.
+  void note_verdict(const BatchRequest& request, const ServeResult& result,
+                    std::chrono::steady_clock::time_point done);
   /// Runs on the flusher thread: evaluates health, routes the batch through
   /// the fallback chain (or straight to the current bundle) and dispatches
   /// it to the pool. During drain (after stop() closed admission) the batch
@@ -132,7 +153,10 @@ class ClassificationService {
   void evaluate_health(std::chrono::steady_clock::time_point now);
   /// Executes one batch against the routed bundle and fulfils every
   /// promise. Never lets an exception escape with unresolved promises.
-  void execute_batch(const Route& route, std::vector<BatchRequest>& batch);
+  /// `cut` is the batch-cut timestamp (ends the queue phase; executor
+  /// pickup ends the batch-wait phase).
+  void execute_batch(const Route& route, std::vector<BatchRequest>& batch,
+                     std::chrono::steady_clock::time_point cut);
   /// Resolves every request of an abstain-only (level 2) batch inline.
   void answer_degraded(std::vector<BatchRequest>& batch);
   /// Fulfils a request's promise with a typed rejection (and counts it).
@@ -143,6 +167,7 @@ class ClassificationService {
   ThreadPool& pool_;
   WindowAssembler assembler_;
   AdmissionController admission_;
+  obs::RequestTracer tracer_;
   // Null unless config_.health.enabled: the SLO sensor and the breaker.
   std::unique_ptr<HealthMonitor> monitor_;
   std::unique_ptr<FallbackChain> chain_;
@@ -157,6 +182,7 @@ class ClassificationService {
 
   obs::CounterHandle obs_requests_;
   obs::HistogramHandle obs_request_seconds_;
+  obs::RollingHistogramHandle obs_request_seconds_rolling_;
   obs::HistogramHandle obs_batch_exec_seconds_;
   obs::CounterHandle obs_deadline_missed_;
   obs::CounterHandle obs_degraded_;

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# telemetry-smoke — proves the live-telemetry artifacts end to end, cheaply.
+#
+# Runs scwc_serve at tiny scale with full request sampling so every verdict
+# leaves both a chrome-trace record and an audit line, then validates the
+# artifacts with audit_validate: the trace document must be structurally
+# valid chrome://tracing JSON, and the audit JSONL must hold exactly as
+# many scwc.audit/v1 records as the run reported writing.
+#
+# Usage: telemetry_smoke.sh SERVE_BINARY VALIDATOR_BINARY SCRATCH_DIR
+set -eu
+
+serve_bin=$1
+validator=$2
+out_dir=$3
+
+rm -rf "$out_dir"
+mkdir -p "$out_dir"
+log="$out_dir/serve.log"
+
+SCWC_OBS=on "$serve_bin" --scale tiny --jobs 2 --duration-s 120 \
+  --trace-out "$out_dir/trace.json" --trace-sample 1.0 \
+  --audit-out "$out_dir/audit.jsonl" > "$log" 2>&1 || {
+  cat "$log"
+  exit 1
+}
+
+# The run reports how many audit records it wrote; hold the validator to
+# that exact count (one record per verdict).
+records=$(sed -n 's/^audit log: .* (\([0-9][0-9]*\) records.*/\1/p' "$log")
+if [ -z "$records" ] || [ "$records" -eq 0 ]; then
+  echo "telemetry_smoke: no audit records reported" >&2
+  cat "$log"
+  exit 1
+fi
+"$validator" "$out_dir/audit.jsonl" --expect-records "$records"
+"$validator" --chrome-trace "$out_dir/trace.json"

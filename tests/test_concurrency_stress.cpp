@@ -535,7 +535,8 @@ TEST_F(ConcurrencyStressTest, ServeChaosStressEveryFutureResolves) {
   config.admission.max_pending = 64;
   config.default_deadline_s = 0.05;
   config.health.enabled = true;
-  config.health.window = 64;
+  config.health.window_s = 5.0;
+  config.health.window_slots = 10;
   config.health.min_samples = 8;
   config.health.max_p99_s = 0.02;
   config.health.max_shed_rate = 0.5;

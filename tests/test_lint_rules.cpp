@@ -252,12 +252,66 @@ TEST(LintRules, UncheckedFutureGetSuppressible) {
                   .empty());
 }
 
+// ------------------------------------------------- no-raw-chrono-timing
+
+TEST(LintRules, RawChronoDeltaInServeFires) {
+  const auto f = lint(
+      "src/serve/foo.cpp",
+      "const double s = std::chrono::duration<double>(now - start).count();\n");
+  ASSERT_TRUE(fired(f, "no-raw-chrono-timing"));
+  EXPECT_EQ(f[0].line, 1u);
+}
+
+TEST(LintRules, DurationCastDeltaFires) {
+  EXPECT_TRUE(fired(
+      lint("src/serve/foo.cpp",
+           "auto us = std::chrono::duration_cast<std::chrono::microseconds>("
+           "deadline - std::chrono::steady_clock::now());\n"),
+      "no-raw-chrono-timing"));
+}
+
+TEST(LintRules, NonDeltaDurationConstructionIsClean) {
+  // Building a duration from a scalar (no clock subtraction) is fine —
+  // that is configuration, not timing measurement.
+  EXPECT_FALSE(fired(lint("src/serve/foo.cpp",
+                          "auto d = std::chrono::duration<double>(timeout_s);\n"),
+                     "no-raw-chrono-timing"));
+  // Negative literals and exponents are not binary minus.
+  EXPECT_FALSE(fired(lint("src/serve/foo.cpp",
+                          "auto d = std::chrono::duration<double>(-1e-3);\n"),
+                     "no-raw-chrono-timing"));
+  // Arrow dereference is not subtraction either.
+  EXPECT_FALSE(fired(lint("src/serve/foo.cpp",
+                          "auto d = std::chrono::duration<double>(p->delay);\n"),
+                     "no-raw-chrono-timing"));
+}
+
+TEST(LintRules, RawChronoDeltaOutsideServeIsClean) {
+  // The contract is serve-layer only: obs implements the helpers, and
+  // tests/benches may measure however they like.
+  const std::string delta =
+      "double s = std::chrono::duration<double>(now - start).count();\n";
+  EXPECT_FALSE(fired(lint("src/obs/request_trace.cpp", delta),
+                     "no-raw-chrono-timing"));
+  EXPECT_FALSE(fired(lint("tests/test_foo.cpp", delta),
+                     "no-raw-chrono-timing"));
+  EXPECT_FALSE(fired(lint("bench/foo.cpp", delta), "no-raw-chrono-timing"));
+}
+
+TEST(LintRules, RawChronoTimingSuppressible) {
+  EXPECT_FALSE(fired(lint("src/serve/foo.cpp",
+                          "auto d = std::chrono::duration<double>(a - b);"
+                          "  // scwc-lint: allow(no-raw-chrono-timing)\n"),
+                     "no-raw-chrono-timing"));
+}
+
 TEST(LintRules, RuleNamesAreStable) {
   const auto& names = rule_names();
-  EXPECT_EQ(names.size(), 7u);
+  EXPECT_EQ(names.size(), 8u);
   for (const std::string_view expected :
        {"no-raw-rand", "no-stdout-in-lib", "no-raw-getenv", "pragma-once",
-        "no-float-eq", "no-naked-new", "no-unchecked-future-get"}) {
+        "no-float-eq", "no-naked-new", "no-unchecked-future-get",
+        "no-raw-chrono-timing"}) {
     EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
                 names.end())
         << expected;

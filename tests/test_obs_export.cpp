@@ -28,6 +28,7 @@ MetricsSnapshot sample_snapshot() {
   h.p50 = 1.5;
   h.p90 = 2.0;
   h.p99 = 2.0;
+  h.p999 = 2.0;
   snap.histograms = {h};
   return snap;
 }
@@ -57,7 +58,8 @@ TEST(ObsExport, MetricsJsonGolden) {
       "\"histograms\":{\"scwc_test_seconds\":{"
       "\"buckets\":[{\"count\":1,\"le\":1},{\"count\":2,\"le\":2},"
       "{\"count\":1,\"le\":\"+Inf\"}],"
-      "\"count\":4,\"p50\":1.5,\"p90\":2,\"p99\":2,\"sum\":6.5}}}");
+      "\"count\":4,\"p50\":1.5,\"p90\":2,\"p99\":2,\"p999\":2,"
+      "\"sum\":6.5}}}");
 }
 
 TEST(ObsExport, PrometheusGolden) {
@@ -120,6 +122,96 @@ TEST(ObsExport, RunReportJsonValidates) {
   EXPECT_EQ(validate_run_report_json(doc), "");
   // Round-trips through text without losing validity.
   EXPECT_EQ(validate_run_report_json(Json::parse(doc.dump())), "");
+}
+
+// --- Prometheus hardening / edge cases (ISSUE 7 satellites) ---------------
+
+TEST(ObsExport, EmptySnapshotIsByteIdenticalGolden) {
+  // An empty registry must scrape as EXACTLY the empty string, every time —
+  // monitoring pipelines diff scrape output, so even a stray newline is a
+  // regression. Byte-for-byte golden, asserted twice for determinism.
+  const MetricsSnapshot empty;
+  EXPECT_EQ(to_prometheus(empty), "");
+  EXPECT_EQ(to_prometheus(empty), "");
+  EXPECT_EQ(metrics_to_json(empty).dump(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(ObsExport, SanitizeMetricName) {
+  EXPECT_EQ(sanitize_metric_name("scwc_ok_total"), "scwc_ok_total");
+  EXPECT_EQ(sanitize_metric_name("bad-name.with spaces"),
+            "bad_name_with_spaces");
+  EXPECT_EQ(sanitize_metric_name("9starts_with_digit"),
+            "_9starts_with_digit");
+  EXPECT_EQ(sanitize_metric_name(""), "_");
+  EXPECT_EQ(sanitize_metric_name("name:with:colons"), "name:with:colons");
+}
+
+TEST(ObsExport, SanitizeLabelValue) {
+  EXPECT_EQ(sanitize_label_value("plain"), "plain");
+  EXPECT_EQ(sanitize_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(sanitize_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(sanitize_label_value("a\nb"), "a\\nb");
+}
+
+TEST(ObsExport, PrometheusSanitizesHostileNames) {
+  MetricsSnapshot snap;
+  snap.counters = {{"evil name{inject=\"x\"}", 1}};
+  const std::string text = to_prometheus(snap);
+  EXPECT_EQ(text,
+            "# TYPE evil_name_inject__x__ counter\n"
+            "evil_name_inject__x__ 1\n");
+}
+
+TEST(ObsExport, OverflowBucketOnlyHistogram) {
+  // Every observation above the last bound: +Inf carries the whole count,
+  // finite buckets stay zero, and the exporter still emits a full series.
+  MetricsSnapshot snap;
+  HistogramSnapshot h;
+  h.name = "scwc_test_over_seconds";
+  h.bounds = {0.1, 0.2};
+  h.buckets = {0, 0, 5};
+  h.count = 5;
+  h.sum = 50.0;
+  h.p50 = 0.2;
+  h.p90 = 0.2;
+  h.p99 = 0.2;
+  h.p999 = 0.2;
+  snap.histograms = {h};
+  EXPECT_EQ(to_prometheus(snap),
+            "# TYPE scwc_test_over_seconds histogram\n"
+            "scwc_test_over_seconds_bucket{le=\"0.1\"} 0\n"
+            "scwc_test_over_seconds_bucket{le=\"0.2\"} 0\n"
+            "scwc_test_over_seconds_bucket{le=\"+Inf\"} 5\n"
+            "scwc_test_over_seconds_sum 50\n"
+            "scwc_test_over_seconds_count 5\n");
+}
+
+TEST(ObsExport, RollingHistogramExportsAsSummary) {
+  MetricsSnapshot snap;
+  RollingHistogramSnapshot r;
+  r.name = "scwc_test_rolling_seconds";
+  r.window_s = 30.0;
+  r.count = 10;
+  r.sum = 1.0;
+  r.p50 = 0.05;
+  r.p90 = 0.09;
+  r.p99 = 0.099;
+  r.p999 = 0.0999;
+  snap.rolling = {r};
+  EXPECT_EQ(to_prometheus(snap),
+            "# TYPE scwc_test_rolling_seconds summary\n"
+            "scwc_test_rolling_seconds{quantile=\"0.5\"} 0.05\n"
+            "scwc_test_rolling_seconds{quantile=\"0.9\"} 0.09\n"
+            "scwc_test_rolling_seconds{quantile=\"0.99\"} 0.099\n"
+            "scwc_test_rolling_seconds{quantile=\"0.999\"} 0.0999\n"
+            "scwc_test_rolling_seconds_sum 1\n"
+            "scwc_test_rolling_seconds_count 10\n"
+            "# TYPE scwc_test_rolling_seconds_window_seconds gauge\n"
+            "scwc_test_rolling_seconds_window_seconds 30\n");
+  // The "rolling" JSON key appears exactly when rolling data exists.
+  EXPECT_TRUE(metrics_to_json(snap).contains("rolling"));
+  EXPECT_FALSE(metrics_to_json(MetricsSnapshot{}).contains("rolling"));
 }
 
 TEST(ObsExport, RunReportValidatorRejectsViolations) {

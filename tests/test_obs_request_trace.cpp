@@ -1,0 +1,241 @@
+// Request tracer (src/obs/request_trace.*) and the chrome trace-event
+// exporter (src/obs/chrome_trace.*): id monotonicity, deterministic
+// head-sampling, ring eviction, and structural validity of the emitted
+// trace document.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/request_trace.hpp"
+#include "obs/trace.hpp"
+
+namespace scwc::obs {
+namespace {
+
+RequestTraceRecord make_record(std::uint64_t id, const char* outcome) {
+  RequestTraceRecord rec;
+  rec.trace_id = id;
+  rec.job_id = 42;
+  rec.start_s = 0.001 * static_cast<double>(id);
+  rec.phases.admission_s = 1e-6;
+  rec.phases.queue_s = 2e-4;
+  rec.phases.batch_wait_s = 1e-5;
+  rec.phases.transform_s = 3e-4;
+  rec.phases.predict_s = 8e-4;
+  rec.phases.total_s = 1.4e-3;
+  rec.outcome = outcome;
+  rec.model_version = "rf-cov-v1";
+  rec.batch_size = 16;
+  return rec;
+}
+
+// ------------------------------------------------------------- seconds_between
+
+TEST(SecondsBetween, ClampsNegativeIntervals) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = t0 + std::chrono::milliseconds(5);
+  EXPECT_NEAR(seconds_between(t0, t1), 0.005, 1e-9);
+  EXPECT_DOUBLE_EQ(seconds_between(t1, t0), 0.0);  // swapped → clamped
+  EXPECT_NEAR(signed_seconds_between(t1, t0), -0.005, 1e-9);
+}
+
+// ------------------------------------------------------------- RequestTracer
+
+TEST(RequestTracer, IdsAreMonotoneAndNeverZero) {
+  RequestTracer tracer;
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t id = tracer.begin_trace();
+    EXPECT_GT(id, prev);
+    prev = id;
+  }
+}
+
+TEST(RequestTracer, IdsAreUniqueAcrossThreads) {
+  RequestTracer tracer;
+  std::vector<std::vector<std::uint64_t>> per_thread(4);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < per_thread.size(); ++t) {
+    threads.emplace_back([&tracer, &per_thread, t] {
+      for (int i = 0; i < 1000; ++i) {
+        per_thread[t].push_back(tracer.begin_trace());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::set<std::uint64_t> all;
+  for (const auto& ids : per_thread) all.insert(ids.begin(), ids.end());
+  EXPECT_EQ(all.size(), 4000u);
+}
+
+TEST(RequestTracer, SamplingIsDeterministicInSeedAndId) {
+  RequestTracerConfig config;
+  config.sample_rate = 0.25;
+  config.seed = 0xabcdef;
+  const RequestTracer a(config);
+  const RequestTracer b(config);
+  for (std::uint64_t id = 1; id <= 500; ++id) {
+    EXPECT_EQ(a.sampled(id), b.sampled(id)) << "id " << id;
+  }
+  RequestTracerConfig other = config;
+  other.seed = 0x123456;
+  const RequestTracer c(other);
+  bool any_differs = false;
+  for (std::uint64_t id = 1; id <= 500; ++id) {
+    if (a.sampled(id) != c.sampled(id)) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);  // a different seed samples a different subset
+}
+
+TEST(RequestTracer, SampleRateZeroAndOneAreExact) {
+  RequestTracerConfig off;
+  off.sample_rate = 0.0;
+  const RequestTracer never(off);
+  RequestTracerConfig all;
+  all.sample_rate = 1.0;
+  const RequestTracer always(all);
+  for (std::uint64_t id = 1; id <= 200; ++id) {
+    EXPECT_FALSE(never.sampled(id));
+    EXPECT_TRUE(always.sampled(id));
+  }
+}
+
+TEST(RequestTracer, SampleRateRoughlyMatchesFraction) {
+  RequestTracerConfig config;
+  config.sample_rate = 0.1;
+  const RequestTracer tracer(config);
+  int hits = 0;
+  const int n = 20000;
+  for (std::uint64_t id = 1; id <= n; ++id) {
+    if (tracer.sampled(id)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.1, 0.02);
+}
+
+TEST(RequestTracer, RingEvictsOldestAndCountsDrops) {
+  RequestTracerConfig config;
+  config.sample_rate = 1.0;
+  config.capacity = 4;
+  RequestTracer tracer(config);
+  for (std::uint64_t id = 1; id <= 10; ++id) {
+    tracer.record(make_record(id, "answer"));
+  }
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const std::vector<RequestTraceRecord> records = tracer.drain();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().trace_id, 7u);  // oldest surviving
+  EXPECT_EQ(records.back().trace_id, 10u);
+  EXPECT_TRUE(tracer.drain().empty());  // drain empties the ring
+}
+
+TEST(RequestTracer, ResetForgetsRecordsButNotIds) {
+  RequestTracerConfig config;
+  config.sample_rate = 1.0;
+  RequestTracer tracer(config);
+  const std::uint64_t before = tracer.begin_trace();
+  tracer.record(make_record(before, "answer"));
+  tracer.reset();
+  EXPECT_TRUE(tracer.drain().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_GT(tracer.begin_trace(), before);  // ids keep counting
+}
+
+// ------------------------------------------------------------- chrome trace
+
+TEST(ChromeTrace, DocumentPassesItsOwnValidator) {
+  std::vector<RequestTraceRecord> records = {make_record(1, "answer"),
+                                             make_record(2, "abstain:guard"),
+                                             make_record(3, "shed:queue_full")};
+  const SpanStats empty_root;
+  const Json doc = chrome_trace_json(records, empty_root);
+  EXPECT_EQ(validate_chrome_trace_json(doc), "");
+  // Round-trips through text.
+  EXPECT_EQ(validate_chrome_trace_json(Json::parse(doc.dump())), "");
+}
+
+TEST(ChromeTrace, RequestLanesCarryPhasesAndArgs) {
+  const std::vector<RequestTraceRecord> records = {make_record(7, "answer")};
+  const Json doc = chrome_trace_json(records, SpanStats{});
+  const Json::Array& events = doc.at("traceEvents").as_array();
+  int request_slices = 0;
+  int phase_slices = 0;
+  for (const Json& e : events) {
+    if (e.at("ph").as_string() != "X") continue;
+    const std::string name = e.at("name").as_string();
+    if (name == "request") {
+      ++request_slices;
+      EXPECT_DOUBLE_EQ(e.at("tid").as_number(), 7.0);  // tid = trace id
+      EXPECT_EQ(e.at("args").at("outcome").as_string(), "answer");
+      EXPECT_EQ(e.at("args").at("model_version").as_string(), "rf-cov-v1");
+    } else if (e.at("pid").as_number() == 1.0) {
+      ++phase_slices;
+    }
+  }
+  EXPECT_EQ(request_slices, 1);
+  EXPECT_EQ(phase_slices, 5);  // admission, queue, batch wait, transform, predict
+}
+
+TEST(ChromeTrace, SpanTreeRendersOnSecondProcess) {
+  SpanStats root;
+  SpanStats parent;
+  parent.name = "serve.predict_batch";
+  parent.calls = 3;
+  parent.total_s = 0.9;
+  parent.self_s = 0.3;
+  SpanStats child;
+  child.name = "transform";
+  child.calls = 3;
+  child.total_s = 0.6;
+  child.self_s = 0.6;
+  parent.children.push_back(child);
+  root.children.push_back(parent);
+  const Json doc = chrome_trace_json({}, root);
+  EXPECT_EQ(validate_chrome_trace_json(doc), "");
+  int span_events = 0;
+  for (const Json& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() == "X" && e.at("pid").as_number() == 2.0) {
+      ++span_events;
+    }
+  }
+  EXPECT_EQ(span_events, 2);
+}
+
+TEST(ChromeTrace, ValidatorRejectsMalformedDocuments) {
+  EXPECT_NE(validate_chrome_trace_json(Json(1.0)), "");
+  Json no_events = Json(Json::Object{});
+  EXPECT_NE(validate_chrome_trace_json(no_events), "");
+  Json bad_event = Json(Json::Object{
+      {"traceEvents",
+       Json(Json::Array{Json(Json::Object{{"ph", Json("X")}})})}});
+  EXPECT_NE(validate_chrome_trace_json(bad_event), "");
+}
+
+TEST(ChromeTrace, WriteFileEmitsParseableDocument) {
+  const std::string path = "chrome_trace_test_out.json";
+  const std::vector<RequestTraceRecord> records = {make_record(1, "answer")};
+  ASSERT_TRUE(write_chrome_trace_file(path, records, SpanStats{}));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  in.close();
+  EXPECT_EQ(validate_chrome_trace_json(Json::parse(buf.str())), "");
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, WriteFileFailsOnUnwritablePath) {
+  EXPECT_FALSE(
+      write_chrome_trace_file("/nonexistent-dir/trace.json", {}, SpanStats{}));
+}
+
+}  // namespace
+}  // namespace scwc::obs

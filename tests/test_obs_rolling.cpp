@@ -1,0 +1,233 @@
+// Rolling-window primitives (src/obs/rolling.*): slot-ring expiry,
+// bucket-quantile interpolation, counter semantics, registry wiring and
+// the snapshot-during-update concurrency contract (the TSan preset runs
+// this suite too — see tools/check_all.sh).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/rolling.hpp"
+
+namespace scwc::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// The rolling primitives anchor their slot epoch at CONSTRUCTION time, so
+// tests capture a base immediately before constructing and express every
+// timestamp as an offset from it (the sub-microsecond gap between the base
+// and the primitive's epoch is far below the slot widths used here).
+Clock::time_point offset(Clock::time_point t0, double seconds) {
+  return t0 + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(seconds));
+}
+
+// ------------------------------------------------------------ bucket_quantile
+
+TEST(BucketQuantile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(bucket_quantile({1.0, 2.0}, {0, 0, 0}, 0.5), 0.0);
+}
+
+TEST(BucketQuantile, InterpolatesInsideOwningBucket) {
+  // 10 observations in (1, 2]: p50 sits midway through the bucket.
+  const std::vector<double> bounds = {1.0, 2.0};
+  const std::vector<std::uint64_t> counts = {0, 10, 0};
+  EXPECT_NEAR(bucket_quantile(bounds, counts, 0.5), 1.5, 0.11);
+  EXPECT_GT(bucket_quantile(bounds, counts, 0.9),
+            bucket_quantile(bounds, counts, 0.1));
+}
+
+TEST(BucketQuantile, FirstBucketInterpolatesFromZero) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  const std::vector<std::uint64_t> counts = {10, 0, 0};
+  const double p50 = bucket_quantile(bounds, counts, 0.5);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 1.0);
+}
+
+TEST(BucketQuantile, OverflowClampsToLargestBound) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  const std::vector<std::uint64_t> counts = {0, 0, 7};
+  EXPECT_DOUBLE_EQ(bucket_quantile(bounds, counts, 0.99), 2.0);
+}
+
+// ------------------------------------------------------------ RollingCounter
+
+TEST(RollingCounter, CountsInsideTheWindow) {
+  const Clock::time_point t0 = Clock::now();
+  RollingCounter c({/*window_s=*/10.0, /*slots=*/5});
+  c.inc(3, offset(t0, 1.0));
+  c.inc(2, offset(t0, 4.0));
+  EXPECT_EQ(c.value(offset(t0, 5.0)), 5u);
+}
+
+TEST(RollingCounter, ForgetsEventsOlderThanTheWindow) {
+  const Clock::time_point t0 = Clock::now();
+  RollingCounter c({/*window_s=*/10.0, /*slots=*/5});
+  c.inc(100, offset(t0, 1.0));
+  EXPECT_EQ(c.value(offset(t0, 5.0)), 100u);
+  // Slot width is 2 s; by t=14 the t=1 slot is outside [t-10-2, t].
+  EXPECT_EQ(c.value(offset(t0, 14.0)), 0u);
+}
+
+TEST(RollingCounter, ResetZeroes) {
+  const Clock::time_point t0 = Clock::now();
+  RollingCounter c({10.0, 5});
+  c.inc(5, offset(t0, 1.0));
+  c.reset();
+  EXPECT_EQ(c.value(offset(t0, 1.0)), 0u);
+}
+
+TEST(RollingCounter, NowOverloadsMatchExplicitTime) {
+  RollingCounter c;
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+// ---------------------------------------------------------- RollingHistogram
+
+TEST(RollingHistogram, SnapshotReportsRecentObservations) {
+  const Clock::time_point t0 = Clock::now();
+  RollingHistogram h({0.01, 0.1, 1.0}, {/*window_s=*/10.0, /*slots=*/5});
+  h.observe(0.05, offset(t0, 1.0));
+  h.observe(0.05, offset(t0, 2.0));
+  h.observe(0.5, offset(t0, 3.0));
+  const RollingHistogramSnapshot s = h.snapshot(offset(t0, 4.0));
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.sum, 0.6, 1e-12);
+  EXPECT_EQ(s.buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(s.buckets[1], 2u);      // (0.01, 0.1]
+  EXPECT_EQ(s.buckets[2], 1u);      // (0.1, 1]
+  EXPECT_GT(s.p50, 0.01);
+  EXPECT_LE(s.p50, 0.1);
+  EXPECT_GT(s.p99, 0.1);
+  EXPECT_GE(s.p999, s.p99);
+  EXPECT_DOUBLE_EQ(s.window_s, 10.0);
+}
+
+TEST(RollingHistogram, OldObservationsExpire) {
+  const Clock::time_point t0 = Clock::now();
+  RollingHistogram h({0.01, 0.1, 1.0}, {10.0, 5});
+  h.observe(0.05, offset(t0, 1.0));
+  EXPECT_EQ(h.snapshot(offset(t0, 5.0)).count, 1u);
+  EXPECT_EQ(h.snapshot(offset(t0, 20.0)).count, 0u);
+  EXPECT_DOUBLE_EQ(h.snapshot(offset(t0, 20.0)).p99, 0.0);
+}
+
+TEST(RollingHistogram, SlotRecyclingKeepsTheRingBounded) {
+  // Drive far more slot transitions than there are ring entries; every
+  // write lands in the current slot and the total never exceeds the
+  // window's worth of observations.
+  const Clock::time_point t0 = Clock::now();
+  RollingHistogram h({1.0}, {/*window_s=*/5.0, /*slots=*/5});
+  for (int t = 0; t < 100; ++t) {
+    h.observe(0.5, offset(t0, static_cast<double>(t)));
+  }
+  const RollingHistogramSnapshot s = h.snapshot(offset(t0, 99.0));
+  // Window covers window_s .. window_s + slot_width → 5..6 observations
+  // at one per second.
+  EXPECT_GE(s.count, 5u);
+  EXPECT_LE(s.count, 7u);
+}
+
+TEST(RollingHistogram, NanAndNegativeObservationsAreDropped) {
+  const Clock::time_point t0 = Clock::now();
+  RollingHistogram h({1.0}, {10.0, 5});
+  h.observe(std::nan(""), offset(t0, 1.0));
+  h.observe(-0.5, offset(t0, 1.0));
+  h.observe(0.5, offset(t0, 1.0));
+  EXPECT_EQ(h.snapshot(offset(t0, 1.0)).count, 1u);
+}
+
+TEST(RollingHistogram, OutOfOrderTimeDoesNotUnderflow) {
+  const Clock::time_point t0 = Clock::now();
+  RollingHistogram h({1.0}, {10.0, 5});
+  h.observe(0.5, offset(t0, 50.0));
+  // A stale timestamp (cross-thread skew) must not crash or corrupt; it
+  // lands in whatever slot owns that instant.
+  h.observe(0.5, offset(t0, 49.0));
+  EXPECT_GE(h.snapshot(offset(t0, 50.0)).count, 1u);
+}
+
+TEST(RollingHistogram, ResetForgetsEverything) {
+  const Clock::time_point t0 = Clock::now();
+  RollingHistogram h({1.0}, {10.0, 5});
+  h.observe(0.5, offset(t0, 1.0));
+  h.reset();
+  EXPECT_EQ(h.snapshot(offset(t0, 1.0)).count, 0u);
+}
+
+// Concurrency contract: snapshots during concurrent observes are torn-free
+// (each primitive is internally locked). Run under TSan by the tsan gate.
+TEST(RollingHistogram, SnapshotDuringConcurrentObserveIsSafe) {
+  RollingHistogram h(MetricsRegistry::default_seconds_buckets(),
+                     {30.0, 10});
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&h, w] {
+      for (int i = 0; i < 2000; ++i) {
+        h.observe(1e-4 * ((w * 2000 + i) % 100 + 1));
+      }
+    });
+  }
+  std::uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const RollingHistogramSnapshot s = h.snapshot();
+    std::uint64_t bucket_total = 0;
+    for (const std::uint64_t b : s.buckets) bucket_total += b;
+    EXPECT_EQ(bucket_total, s.count);  // never torn
+    EXPECT_GE(s.count, last);          // monotone while nothing expires
+    last = s.count;
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(h.snapshot().count, 8000u);
+}
+
+// ------------------------------------------------------------- registry wiring
+
+class RollingRegistry : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = enabled();
+    set_enabled(true);
+  }
+  void TearDown() override { set_enabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(RollingRegistry, RegistryHandsOutWorkingHandles) {
+  MetricsRegistry reg;
+  RollingHistogramHandle handle =
+      reg.rolling_histogram("scwc_test_reg_rolling_seconds");
+  handle.observe(0.01);
+  handle.observe(0.02);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.rolling.size(), 1u);
+  EXPECT_EQ(snap.rolling[0].name, "scwc_test_reg_rolling_seconds");
+  EXPECT_EQ(snap.rolling[0].count, 2u);
+}
+
+TEST_F(RollingRegistry, DisabledRegistryHandsOutInertHandles) {
+  set_enabled(false);
+  MetricsRegistry reg;
+  RollingHistogramHandle handle =
+      reg.rolling_histogram("scwc_test_reg_off_seconds");
+  handle.observe(0.01);  // must be a no-op, not a crash
+  set_enabled(true);
+  EXPECT_TRUE(reg.snapshot().rolling.empty());
+}
+
+TEST(RollingRegistryHandle, NullHandleIsSafe) {
+  const RollingHistogramHandle null_handle;
+  null_handle.observe(1.0);  // must not crash
+}
+
+}  // namespace
+}  // namespace scwc::obs

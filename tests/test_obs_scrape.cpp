@@ -1,0 +1,156 @@
+// ScrapeServer (src/obs/scrape.*): a real TCP client connects to the
+// loopback listener and issues HTTP/1.0 GETs — route dispatch, content
+// types, 404/405 handling, handler exceptions and idempotent shutdown.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/scrape.hpp"
+
+namespace scwc::obs {
+namespace {
+
+/// Minimal blocking HTTP client: sends `request` to 127.0.0.1:`port`,
+/// returns everything the server wrote before closing ("" on failure).
+std::string http_exchange(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string get(std::uint16_t port, const std::string& path) {
+  return http_exchange(port,
+                       "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n");
+}
+
+class ScrapeServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_.add_route("/metrics", "text/plain; version=0.0.4",
+                      [] { return std::string("metric_a 1\n"); });
+    server_.add_route("/healthz", "application/json",
+                      [] { return std::string("{\"status\":\"ok\"}\n"); });
+    server_.add_route("/boom", "text/plain",
+                      []() -> std::string { throw std::runtime_error("x"); });
+    server_.start();
+  }
+  void TearDown() override { server_.stop(); }
+
+  ScrapeServer server_{ScrapeConfig{}};  // port 0 → ephemeral
+};
+
+TEST_F(ScrapeServerTest, ServesRegisteredRoute) {
+  const std::string response = get(server_.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(response.find("metric_a 1\n"), std::string::npos);
+  EXPECT_GE(server_.requests_served(), 1u);
+}
+
+TEST_F(ScrapeServerTest, ServesJsonRoute) {
+  const std::string response = get(server_.port(), "/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST_F(ScrapeServerTest, QueryStringIsIgnoredForRouting) {
+  const std::string response = get(server_.port(), "/metrics?format=text");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+}
+
+TEST_F(ScrapeServerTest, UnknownPathIs404WithRouteList) {
+  const std::string response = get(server_.port(), "/nope");
+  EXPECT_NE(response.find("404"), std::string::npos);
+  EXPECT_NE(response.find("/metrics"), std::string::npos);  // route list
+}
+
+TEST_F(ScrapeServerTest, NonGetIs405) {
+  const std::string response = http_exchange(
+      server_.port(), "POST /metrics HTTP/1.0\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("405"), std::string::npos);
+}
+
+TEST_F(ScrapeServerTest, ThrowingHandlerIs500NotACrash) {
+  const std::string response = get(server_.port(), "/boom");
+  EXPECT_NE(response.find("500"), std::string::npos);
+  // And the server keeps serving afterwards.
+  EXPECT_NE(get(server_.port(), "/metrics").find("200 OK"),
+            std::string::npos);
+}
+
+TEST_F(ScrapeServerTest, SequentialRequestsAllSucceed) {
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_NE(get(server_.port(), "/metrics").find("200 OK"),
+              std::string::npos);
+  }
+  EXPECT_GE(server_.requests_served(), 16u);
+}
+
+TEST(ScrapeServer, StopIsIdempotentAndRestartableInstancesCoexist) {
+  ScrapeServer a{ScrapeConfig{}};
+  a.add_route("/a", "text/plain", [] { return std::string("a"); });
+  a.start();
+  ScrapeServer b{ScrapeConfig{}};
+  b.add_route("/b", "text/plain", [] { return std::string("b"); });
+  b.start();
+  EXPECT_NE(a.port(), b.port());
+  EXPECT_NE(get(a.port(), "/a").find("200 OK"), std::string::npos);
+  EXPECT_NE(get(b.port(), "/b").find("200 OK"), std::string::npos);
+  a.stop();
+  a.stop();  // idempotent
+  // b is unaffected by a's shutdown.
+  EXPECT_NE(get(b.port(), "/b").find("200 OK"), std::string::npos);
+  b.stop();
+  EXPECT_FALSE(a.running());
+  EXPECT_FALSE(b.running());
+}
+
+TEST(ScrapeServer, StartIsIdempotentAndRoutesLockAfterStart) {
+  ScrapeServer s{ScrapeConfig{}};
+  s.add_route("/x", "text/plain", [] { return std::string("x"); });
+  s.start();
+  const std::uint16_t port = s.port();
+  s.start();  // no-op, keeps the same listener
+  EXPECT_EQ(s.port(), port);
+  EXPECT_THROW(
+      s.add_route("/late", "text/plain", [] { return std::string(); }),
+      std::logic_error);
+  s.stop();
+}
+
+}  // namespace
+}  // namespace scwc::obs

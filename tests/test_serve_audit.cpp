@@ -1,0 +1,299 @@
+// Verdict audit log (src/serve/audit.*): record serialisation ↔ validator
+// roundtrips, validator rejection of malformed records, AuditLogger JSONL
+// semantics, and the end-to-end guarantee that a traced service writes
+// exactly one scwc.audit/v1 record per verdict.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/window.hpp"
+#include "obs/json.hpp"
+#include "serve/audit.hpp"
+#include "serve/bundle_io.hpp"
+#include "serve/service.hpp"
+
+namespace scwc {
+namespace {
+
+using obs::Json;
+
+constexpr std::size_t kSteps = 12;
+constexpr std::size_t kSensors = 3;
+
+serve::AuditRecord base_record(const char* event) {
+  serve::AuditRecord rec;
+  rec.trace_id = 7;
+  rec.job_id = 42;
+  rec.event = event;
+  rec.model_version = "rf-cov-v1";
+  rec.label = 2;
+  rec.degrade_level = 0;
+  rec.batch_size = 16;
+  rec.quality = 0.93;
+  rec.missing_values = 1;
+  rec.repaired_values = 1;
+  rec.phases.admission_s = 1e-6;
+  rec.phases.queue_s = 2e-4;
+  rec.phases.batch_wait_s = 1e-5;
+  rec.phases.transform_s = 3e-4;
+  rec.phases.predict_s = 8e-4;
+  rec.phases.total_s = 1.4e-3;
+  return rec;
+}
+
+// ---------------------------------------------------------------- roundtrips
+
+TEST(AuditRecord, AnswerRoundTripsThroughValidator) {
+  const Json doc = serve::audit_record_to_json(base_record("answer"));
+  EXPECT_EQ(serve::validate_audit_record_json(doc), "");
+  EXPECT_EQ(serve::validate_audit_record_json(Json::parse(doc.dump())), "");
+  EXPECT_EQ(doc.at("schema").as_string(), "scwc.audit/v1");
+  EXPECT_FALSE(doc.contains("abstain_reason"));
+  EXPECT_FALSE(doc.contains("reject_reason"));
+  EXPECT_TRUE(doc.contains("quality"));
+}
+
+TEST(AuditRecord, AbstainRoundTripsWithReasonAndQuality) {
+  serve::AuditRecord rec = base_record("abstain");
+  rec.label = -1;
+  rec.abstain_reason = "guard:nan_fraction";
+  const Json doc = serve::audit_record_to_json(rec);
+  EXPECT_EQ(serve::validate_audit_record_json(doc), "");
+  EXPECT_EQ(doc.at("abstain_reason").as_string(), "guard:nan_fraction");
+  // Abstains are accepted verdicts: quality evidence is still present.
+  EXPECT_TRUE(doc.contains("quality"));
+}
+
+TEST(AuditRecord, ShedRoundTripsWithoutModelOrQuality) {
+  serve::AuditRecord rec = base_record("shed");
+  rec.model_version = "";  // no bundle consulted
+  rec.label = -1;
+  rec.batch_size = 0;
+  rec.reject_reason = "queue_full";
+  const Json doc = serve::audit_record_to_json(rec);
+  EXPECT_EQ(serve::validate_audit_record_json(doc), "");
+  EXPECT_EQ(doc.at("reject_reason").as_string(), "queue_full");
+  EXPECT_FALSE(doc.contains("quality"));
+  EXPECT_FALSE(doc.contains("missing_values"));
+}
+
+TEST(AuditRecord, DeadlineSlackAppearsExactlyWhenSet) {
+  serve::AuditRecord rec = base_record("answer");
+  EXPECT_FALSE(serve::audit_record_to_json(rec).contains("deadline_slack_s"));
+  rec.deadline_slack_s = 0.004;
+  const Json doc = serve::audit_record_to_json(rec);
+  EXPECT_EQ(serve::validate_audit_record_json(doc), "");
+  EXPECT_DOUBLE_EQ(doc.at("deadline_slack_s").as_number(), 0.004);
+}
+
+// ---------------------------------------------------------------- validator
+
+TEST(AuditValidator, RejectsMalformedRecords) {
+  EXPECT_NE(serve::validate_audit_record_json(Json(1.0)), "");
+
+  Json wrong_schema = serve::audit_record_to_json(base_record("answer"));
+  wrong_schema["schema"] = "scwc.audit/v999";
+  EXPECT_NE(serve::validate_audit_record_json(wrong_schema), "");
+
+  serve::AuditRecord no_trace = base_record("answer");
+  no_trace.trace_id = 0;
+  EXPECT_NE(
+      serve::validate_audit_record_json(serve::audit_record_to_json(no_trace)),
+      "");
+
+  Json answer_with_reason = serve::audit_record_to_json(base_record("answer"));
+  answer_with_reason["abstain_reason"] = "spurious";
+  EXPECT_NE(serve::validate_audit_record_json(answer_with_reason), "");
+
+  serve::AuditRecord shed_with_model = base_record("shed");
+  shed_with_model.reject_reason = "executor";
+  // model_version left non-empty → violation.
+  EXPECT_NE(serve::validate_audit_record_json(
+                serve::audit_record_to_json(shed_with_model)),
+            "");
+
+  serve::AuditRecord bad_quality = base_record("answer");
+  bad_quality.quality = 1.5;
+  EXPECT_NE(serve::validate_audit_record_json(
+                serve::audit_record_to_json(bad_quality)),
+            "");
+
+  serve::AuditRecord silent_abstain = base_record("abstain");
+  silent_abstain.abstain_reason.clear();
+  EXPECT_NE(serve::validate_audit_record_json(
+                serve::audit_record_to_json(silent_abstain)),
+            "");
+
+  Json bad_event = serve::audit_record_to_json(base_record("answer"));
+  bad_event["event"] = "exploded";
+  EXPECT_NE(serve::validate_audit_record_json(bad_event), "");
+
+  Json no_phase = serve::audit_record_to_json(base_record("answer"));
+  Json::Object phases = no_phase.at("phases").as_object();
+  phases.erase("predict_s");
+  no_phase["phases"] = Json(std::move(phases));
+  EXPECT_NE(serve::validate_audit_record_json(no_phase), "");
+
+  Json negative_phase = serve::audit_record_to_json(base_record("answer"));
+  Json::Object phases2 = negative_phase.at("phases").as_object();
+  phases2.at("queue_s") = Json(-1e-3);
+  negative_phase["phases"] = Json(std::move(phases2));
+  EXPECT_NE(serve::validate_audit_record_json(negative_phase), "");
+}
+
+// --------------------------------------------------------------- AuditLogger
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(AuditLogger, WritesOneValidatedLinePerRecord) {
+  const std::string path = "audit_logger_test.jsonl";
+  std::remove(path.c_str());  // logger opens in append mode
+  {
+    serve::AuditLogger logger(path);
+    logger.log(base_record("answer"));
+    serve::AuditRecord abstain = base_record("abstain");
+    abstain.abstain_reason = "guard:shape";
+    logger.log(abstain);
+    serve::AuditRecord shed = base_record("shed");
+    shed.model_version.clear();
+    shed.reject_reason = "shutdown";
+    logger.log(shed);
+    logger.flush();
+    EXPECT_EQ(logger.records_written(), 3u);
+    EXPECT_TRUE(logger.ok());
+  }
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(serve::validate_audit_record_json(Json::parse(line)), "")
+        << line;
+  }
+  EXPECT_EQ(Json::parse(lines[0]).at("event").as_string(), "answer");
+  EXPECT_EQ(Json::parse(lines[1]).at("event").as_string(), "abstain");
+  EXPECT_EQ(Json::parse(lines[2]).at("event").as_string(), "shed");
+  std::remove(path.c_str());
+}
+
+TEST(AuditLogger, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(serve::AuditLogger("/nonexistent-dir/audit.jsonl"),
+               std::runtime_error);
+}
+
+// ------------------------------------------------- end-to-end service wiring
+
+serve::ServiceConfig traced_service_config() {
+  serve::ServiceConfig config;
+  config.assembler.window_steps = kSteps;
+  config.assembler.sensors = kSensors;
+  config.batcher.max_batch = 16;
+  config.batcher.max_delay_s = 0.002;
+  config.trace.sample_rate = 1.0;  // retain every request's trace record
+  return config;
+}
+
+TEST(ServiceAudit, OneAuditRecordPerVerdictEndToEnd) {
+  // Train a tiny bundle so the service actually answers.
+  data::Tensor3 x{30, kSteps, kSensors};
+  std::vector<int> y;
+  Rng rng(1234);
+  for (std::size_t i = 0; i < x.trials(); ++i) {
+    const int label = static_cast<int>(i % 3);
+    y.push_back(label);
+    for (double& v : x.trial(i)) {
+      v = rng.normal(static_cast<double>(label) * 2.0, 0.5);
+    }
+  }
+  serve::RfBundleSpec spec;
+  spec.version = "audit-v1";
+  spec.pipeline = {preprocess::Reduction::kCovariance, 0};
+  spec.forest.n_estimators = 4;
+  serve::ModelRegistry registry;
+  registry.register_bundle(serve::train_rf_bundle(spec, x, y));
+
+  const std::string path = "audit_service_test.jsonl";
+  std::remove(path.c_str());
+  serve::AuditLogger logger(path);
+  serve::ServiceConfig config = traced_service_config();
+  config.audit = &logger;
+  serve::ClassificationService service(registry, config);
+
+  const std::size_t n = 24;
+  std::vector<std::future<serve::ServeResult>> futures;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = x.trial(i % x.trials());
+    futures.push_back(
+        service.submit({src.begin(), src.end()}, kSteps, kSensors));
+  }
+  std::uint64_t max_trace_id = 0;
+  for (auto& f : futures) {
+    const serve::ServeResult result = f.get();
+    ASSERT_TRUE(result.accepted);
+    EXPECT_GE(result.trace_id, 1u);  // every request is stamped
+    max_trace_id = std::max(max_trace_id, result.trace_id);
+    EXPECT_GT(result.phases.total_s, 0.0);
+    EXPECT_GE(result.phases.queue_s, 0.0);
+    EXPECT_GT(result.phases.predict_s, 0.0);
+  }
+  EXPECT_GE(max_trace_id, n);  // ids are unique → the max spans the burst
+  service.stop();
+  logger.flush();
+
+  EXPECT_EQ(logger.records_written(), n);
+  EXPECT_TRUE(logger.ok());
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), n);
+  for (const std::string& line : lines) {
+    const Json doc = Json::parse(line);
+    EXPECT_EQ(serve::validate_audit_record_json(doc), "") << line;
+    EXPECT_EQ(doc.at("model_version").as_string(), "audit-v1");
+  }
+
+  // sample_rate 1.0 → the tracer kept a full record for every verdict.
+  const std::vector<obs::RequestTraceRecord> records =
+      service.tracer().drain();
+  EXPECT_EQ(records.size(), n);
+  std::remove(path.c_str());
+}
+
+TEST(ServiceAudit, ShedVerdictsAreAuditedWithoutModelVersion) {
+  serve::ModelRegistry registry;  // empty → every submit sheds kNoModel
+  const std::string path = "audit_shed_test.jsonl";
+  std::remove(path.c_str());
+  serve::AuditLogger logger(path);
+  serve::ServiceConfig config = traced_service_config();
+  config.audit = &logger;
+  serve::ClassificationService service(registry, config);
+
+  const serve::ServeResult result =
+      service.submit(std::vector<double>(kSteps * kSensors, 0.0), kSteps,
+                     kSensors)
+          .get();
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reject_reason, serve::RejectReason::kNoModel);
+  service.stop();
+  logger.flush();
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  const Json doc = Json::parse(lines[0]);
+  EXPECT_EQ(serve::validate_audit_record_json(doc), "") << lines[0];
+  EXPECT_EQ(doc.at("event").as_string(), "shed");
+  EXPECT_EQ(doc.at("reject_reason").as_string(), "no_model");
+  EXPECT_EQ(doc.at("model_version").as_string(), "");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace scwc

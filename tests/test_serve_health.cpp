@@ -120,7 +120,8 @@ serve::ServiceConfig tiny_service_config() {
 serve::HealthConfig tiny_health_config() {
   serve::HealthConfig h;
   h.enabled = true;
-  h.window = 64;
+  h.window_s = 5.0;
+  h.window_slots = 10;
   h.min_samples = 8;
   h.max_p99_s = 0.05;
   h.max_abstain_rate = 0.5;
@@ -141,7 +142,10 @@ TEST(HealthMonitor, HealthyTrafficStaysHealthy) {
   const serve::HealthStats s = monitor.stats();
   EXPECT_EQ(s.samples, 32u);
   EXPECT_EQ(s.sheds, 0u);
-  EXPECT_NEAR(s.p99_s, 0.001, 1e-9);
+  // p99 is a bucket-interpolated estimate on the monitor's geometric grid;
+  // what matters for the breaker is that it stays well under the SLO bound.
+  EXPECT_GT(s.p99_s, 0.0);
+  EXPECT_LT(s.p99_s, tiny_health_config().max_p99_s);
   EXPECT_NEAR(s.abstain_rate, 0.0, 1e-12);
   EXPECT_NEAR(s.shed_rate, 0.0, 1e-12);
   EXPECT_FALSE(monitor.unhealthy());

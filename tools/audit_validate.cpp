@@ -1,0 +1,115 @@
+// Telemetry-artifact validator — the teeth of the telemetry-smoke CTest.
+//
+// Two modes, both exit 0 on success and 1 with a one-line diagnostic:
+//
+//   audit_validate AUDIT.jsonl [--expect-records N]
+//     Every line must parse as JSON and conform to scwc.audit/v1
+//     (serve/audit.hpp documents the schema). --expect-records asserts
+//     the line count — the serve tests use it to prove "one record per
+//     verdict".
+//
+//   audit_validate --chrome-trace TRACE.json
+//     The file must be a structurally valid Chrome trace-event document
+//     (obs/chrome_trace.hpp's validator) — loadable by chrome://tracing
+//     without a browser in the loop.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "serve/audit.hpp"
+
+namespace {
+
+int fail(const std::string& message) {
+  std::cerr << "audit_validate: " << message << '\n';
+  return 1;
+}
+
+int validate_chrome_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return fail("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  scwc::obs::Json doc;
+  try {
+    doc = scwc::obs::Json::parse(buffer.str());
+  } catch (const scwc::obs::JsonError& e) {
+    return fail(path + ": " + e.what());
+  }
+  const std::string violation = scwc::obs::validate_chrome_trace_json(doc);
+  if (!violation.empty()) return fail(path + ": " + violation);
+  std::cout << path << ": valid chrome trace-event document ("
+            << doc.at("traceEvents").as_array().size() << " events)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string chrome_trace_path;
+  long expect_records = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--chrome-trace") {
+      if (i + 1 >= argc) return fail("--chrome-trace needs a path");
+      chrome_trace_path = argv[++i];
+    } else if (arg == "--expect-records") {
+      if (i + 1 >= argc) return fail("--expect-records needs a count");
+      expect_records = std::atol(argv[++i]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return fail("unexpected argument '" + arg + "'");
+    }
+  }
+  if (!chrome_trace_path.empty()) {
+    if (!path.empty() || expect_records >= 0) {
+      return fail("--chrome-trace takes no other arguments");
+    }
+    return validate_chrome_trace(chrome_trace_path);
+  }
+  if (path.empty()) {
+    return fail(
+        "usage: audit_validate AUDIT.jsonl [--expect-records N]\n"
+        "       audit_validate --chrome-trace TRACE.json");
+  }
+
+  std::ifstream in(path);
+  if (!in) return fail("cannot open '" + path + "'");
+  std::string line;
+  long line_no = 0;
+  long records = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;  // tolerate a trailing blank line
+    scwc::obs::Json record;
+    try {
+      record = scwc::obs::Json::parse(line);
+    } catch (const scwc::obs::JsonError& e) {
+      std::ostringstream msg;
+      msg << path << ":" << line_no << ": " << e.what();
+      return fail(msg.str());
+    }
+    const std::string violation =
+        scwc::serve::validate_audit_record_json(record);
+    if (!violation.empty()) {
+      std::ostringstream msg;
+      msg << path << ":" << line_no << ": " << violation;
+      return fail(msg.str());
+    }
+    ++records;
+  }
+  if (expect_records >= 0 && records != expect_records) {
+    std::ostringstream msg;
+    msg << path << ": " << records << " records, expected "
+        << expect_records;
+    return fail(msg.str());
+  }
+  std::cout << path << ": " << records << " valid scwc.audit/v1 records\n";
+  return 0;
+}

@@ -5,6 +5,7 @@
 #   release      configure + build + ctest for the release preset
 #   serve-smoke  self-checking serving load test  (SCWC_SMOKE=1 bench)
 #   chaos-smoke  fault-injection sweep of the self-healing serve stack
+#   obs-overhead instrumentation cost bounds      (micro_kernels obs benches)
 #   asan         full suite under ASan+UBSan      (tests/run_sanitized.sh)
 #   tsan         full suite under ThreadSanitizer (tests/run_tsan.sh)
 #   tidy         curated clang-tidy set           (tools/run_clang_tidy.sh)
@@ -86,6 +87,48 @@ if [ -x build/bench/serve_chaos ]; then
 else
   echo "check_all.sh: build/bench/serve_chaos missing (release gate failed?)" >&2
   record chaos-smoke 1
+fi
+
+# -- obs-overhead ----------------------------------------------------------
+# Holds the serve-hot-path instrumentation to documented per-call bounds
+# (release build; generous ~20x headroom over measured so only a real
+# regression — a lock added to the fast path, an accidental allocation —
+# trips it, not scheduler noise):
+#   BM_ObsCounterInc          ≤   200 ns   (per answered request, several)
+#   BM_ObsRollingObserve      ≤  2000 ns   (per answered request)
+#   BM_ObsTracerBeginSampled  ≤   500 ns   (per submitted request)
+#   BM_ObsRollingSnapshot     ≤ 50000 ns   (per scrape, ~1 Hz)
+echo "==> gate: obs-overhead"
+if [ -x build/bench/micro_kernels ]; then
+  obs_csv=build/bench/obs_overhead.csv
+  if build/bench/micro_kernels \
+       --benchmark_filter='BM_ObsCounterInc$|BM_ObsRollingObserve|BM_ObsTracerBeginSampled|BM_ObsRollingSnapshot' \
+       --benchmark_format=csv >"$obs_csv" 2>/dev/null &&
+     awk -F, '
+       /^"?BM_/ {
+         gsub(/"/, "", $1); ns = $3 + 0
+         bound = 0
+         if ($1 == "BM_ObsCounterInc")         bound = 200
+         if ($1 == "BM_ObsRollingObserve")     bound = 2000
+         if ($1 == "BM_ObsTracerBeginSampled") bound = 500
+         if ($1 == "BM_ObsRollingSnapshot")    bound = 50000
+         if (bound > 0) {
+           seen++
+           status = (ns <= bound) ? "ok" : "OVER"
+           printf "  %-26s %10.1f ns  (bound %d ns) %s\n", $1, ns, bound, status
+           if (ns > bound) bad++
+         }
+       }
+       END { if (seen < 4) { print "  expected 4 obs benches, saw " seen+0; exit 1 }
+             exit (bad > 0) ? 1 : 0 }
+     ' "$obs_csv"; then
+    record obs-overhead 0
+  else
+    record obs-overhead 1
+  fi
+else
+  echo "check_all.sh: build/bench/micro_kernels missing (release gate failed?)" >&2
+  record obs-overhead 1
 fi
 
 # -- asan ------------------------------------------------------------------

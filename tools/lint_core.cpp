@@ -123,6 +123,37 @@ bool split_macro_args(std::string_view text, std::vector<std::string_view>* out,
   return false;
 }
 
+/// True when `text` contains a binary minus — a subtraction like
+/// `now - start` — as opposed to a unary minus (`-1.0`), a float exponent
+/// (`1e-3`) or an arrow (`p->x`).
+bool has_binary_minus(std::string_view text) {
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '-') continue;
+    if (i + 1 < text.size() && (text[i + 1] == '>' || text[i + 1] == '-')) {
+      ++i;  // arrow / decrement
+      continue;
+    }
+    // Previous non-space character decides unary vs binary.
+    std::size_t p = i;
+    while (p > 0 && std::isspace(static_cast<unsigned char>(text[p - 1]))) {
+      --p;
+    }
+    if (p == 0) continue;
+    const char prev = text[p - 1];
+    if (!(is_ident_char(prev) || prev == ')' || prev == ']')) continue;
+    // Float exponent: digit/dot then e/E then '-'.
+    if ((prev == 'e' || prev == 'E') && p >= 2) {
+      const char before = text[p - 2];
+      if (std::isdigit(static_cast<unsigned char>(before)) != 0 ||
+          before == '.') {
+        continue;
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
 /// Per-line and per-file suppressions parsed from the raw text.
 struct Suppressions {
   std::vector<std::vector<std::string>> by_line;  // [line-1] → rules
@@ -184,6 +215,7 @@ FileContext classify_path(std::string_view rel_path) {
   ctx.in_tests = rel_path.starts_with("tests/");
   ctx.is_rng_impl = rel_path.starts_with("src/common/rng.");
   ctx.is_env_impl = rel_path.starts_with("src/common/env.");
+  ctx.in_serve = rel_path.starts_with("src/serve/");
   return ctx;
 }
 
@@ -276,7 +308,7 @@ const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
       "no-raw-rand",  "no-stdout-in-lib", "no-raw-getenv",
       "pragma-once",  "no-float-eq",      "no-naked-new",
-      "no-unchecked-future-get",
+      "no-unchecked-future-get", "no-raw-chrono-timing",
   };
   return kNames;
 }
@@ -405,6 +437,51 @@ std::vector<Finding> lint_source(std::string_view rel_path,
           break;
         }
         pos = find_token(line, "delete", pos + 6);
+      }
+    }
+  }
+
+  // no-raw-chrono-timing: whole-text scan (the delta often spans lines).
+  // In src/serve/, `duration<double>(a - b)` / `duration_cast<...>(a - b)`
+  // is an inline clock delta — request timing must flow through
+  // obs::seconds_between / signed_seconds_between instead, so every phase
+  // measurement shares one clamped, lint-visible helper.
+  if (ctx.in_serve) {
+    const std::string_view text = stripped;
+    for (const std::string_view token : {"duration", "duration_cast"}) {
+      std::size_t pos = 0;
+      while ((pos = find_token(text, token, pos)) != std::string_view::npos) {
+        std::size_t after = pos + token.size();
+        // Skip one balanced template argument list, if present.
+        if (after < text.size() && text[after] == '<') {
+          int depth = 0;
+          while (after < text.size()) {
+            if (text[after] == '<') ++depth;
+            if (text[after] == '>' && --depth == 0) {
+              ++after;
+              break;
+            }
+            ++after;
+          }
+        }
+        if (after >= text.size() || text[after] != '(') {
+          pos += token.size();
+          continue;
+        }
+        std::vector<std::string_view> parts;
+        std::size_t consumed = 0;
+        if (split_macro_args(text.substr(after + 1), &parts, &consumed) &&
+            std::any_of(parts.begin(), parts.end(), has_binary_minus)) {
+          const std::size_t line_index = static_cast<std::size_t>(
+              std::count(text.begin(),
+                         text.begin() + static_cast<std::ptrdiff_t>(pos),
+                         '\n'));
+          report(line_index, "no-raw-chrono-timing",
+                 "inline clock delta in src/serve/ — measure with "
+                 "obs::seconds_between / signed_seconds_between "
+                 "(src/obs/request_trace.hpp)");
+        }
+        pos = after + 1 + consumed;
       }
     }
   }

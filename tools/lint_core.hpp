@@ -16,6 +16,12 @@
 //                     bare future::get() in library code hangs forever if
 //                     the promise side is lost — bound the wait with
 //                     wait_for/wait_until or serve::get_within
+//   no-raw-chrono-timing
+//                     inline steady_clock deltas (duration<double>(a - b),
+//                     duration_cast of a subtraction) in src/serve/ —
+//                     request timing must flow through
+//                     obs::seconds_between / signed_seconds_between so
+//                     every phase measurement shares one clamped helper
 //
 // Scans are textual but comment/string-literal aware: the source is first
 // rewritten with comment and literal *contents* blanked (line structure
@@ -53,6 +59,7 @@ struct FileContext {
   bool in_tests = false;     ///< under tests/ → no-float-eq applies
   bool is_rng_impl = false;  ///< src/common/rng.* → no-raw-rand exempt
   bool is_env_impl = false;  ///< src/common/env.* → no-raw-getenv exempt
+  bool in_serve = false;     ///< src/serve/ → no-raw-chrono-timing applies
 };
 
 /// Derives the context from a repo-relative path like "src/common/rng.cpp".

@@ -9,7 +9,16 @@
 // guarded prediction is printed as it resolves. Ends with the serve-layer
 // metrics so the shed/abstain accounting is visible.
 //
+// Live telemetry (ISSUE 7): --listen PORT embeds the obs scrape server
+// (GET /metrics, /healthz, /vars) for the run's duration; --trace-out
+// writes sampled request traces as a chrome://tracing document;
+// --audit-out appends one scwc.audit/v1 JSONL record per verdict.
+//
 //   ./scwc_serve [--scale tiny] [--jobs 4] [--bundle-cache PATH]
+//                [--listen PORT [--listen-s SECONDS]]
+//                [--trace-out trace.json [--trace-sample 0.05]]
+//                [--audit-out audit.jsonl]
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <future>
@@ -17,6 +26,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -24,8 +34,12 @@
 #include "common/stopwatch.hpp"
 #include "core/challenge.hpp"
 #include "core/report.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/scrape.hpp"
+#include "obs/trace.hpp"
+#include "serve/audit.hpp"
 #include "serve/bundle_io.hpp"
 #include "serve/chaos.hpp"
 #include "serve/retry.hpp"
@@ -50,6 +64,20 @@ int main(int argc, char** argv) {
                "fault-injection severity in (0, 1]; > 0 arms a seeded "
                "ChaosInjector and enables the health breaker");
   cli.add_flag("chaos-seed", "1234", "chaos replay seed");
+  cli.add_flag("listen", "-1",
+               "serve GET /metrics, /healthz, /vars on this loopback port "
+               "for the run's duration (0 = ephemeral; -1 disables)");
+  cli.add_flag("listen-s", "0",
+               "keep the scrape endpoint up this many extra seconds after "
+               "the stream drains (for interactive curls)");
+  cli.add_flag("trace-out", "",
+               "write sampled request traces + span tree as a "
+               "chrome://tracing JSON document");
+  cli.add_flag("trace-sample", "0.05",
+               "request head-sampling rate in [0,1] (used when --trace-out "
+               "is set)");
+  cli.add_flag("audit-out", "",
+               "append one scwc.audit/v1 JSONL record per verdict");
   cli.parse(argc, argv);
   if (cli.help_requested()) return 0;
 
@@ -127,11 +155,54 @@ int main(int argc, char** argv) {
                    "fallback chain degrades straight to abstain-only\n";
     }
   }
+  const std::string trace_out = cli.get_string("trace-out");
+  if (!trace_out.empty()) {
+    service_config.trace.sample_rate = cli.get_double("trace-sample");
+  }
+  const std::string audit_out = cli.get_string("audit-out");
+  std::unique_ptr<serve::AuditLogger> audit;
+  if (!audit_out.empty()) {
+    audit = std::make_unique<serve::AuditLogger>(audit_out);
+    service_config.audit = audit.get();
+  }
   serve::ClassificationService service(registry, service_config);
   if (chaos != nullptr) {
     chaos->set_armed(true);
     std::cout << "chaos armed: severity " << chaos_severity << ", seed "
               << cli.get_int("chaos-seed") << "\n\n";
+  }
+
+  // Live scrape endpoint: /metrics (Prometheus), /healthz (breaker +
+  // fallback depth), /vars (full metrics snapshot as JSON). Loopback only.
+  std::unique_ptr<obs::ScrapeServer> scrape;
+  const int listen_port = cli.get_int("listen");
+  if (listen_port >= 0) {
+    obs::ScrapeConfig scrape_config;
+    scrape_config.port = static_cast<std::uint16_t>(listen_port);
+    scrape = std::make_unique<obs::ScrapeServer>(scrape_config);
+    scrape->add_route("/metrics", "text/plain; version=0.0.4", [] {
+      return obs::to_prometheus(obs::MetricsRegistry::global().snapshot());
+    });
+    scrape->add_route("/healthz", "application/json", [&service] {
+      obs::Json::Object health;
+      const serve::FallbackChain* chain = service.chain();
+      health["status"] = obs::Json("ok");
+      health["breaker"] = obs::Json(
+          chain != nullptr ? serve::breaker_state_name(chain->state())
+                           : "disabled");
+      health["fallback_depth"] = obs::Json(
+          static_cast<double>(chain != nullptr ? chain->depth() : 0));
+      health["pending"] = obs::Json(static_cast<double>(service.pending()));
+      return obs::Json(std::move(health)).dump() + "\n";
+    });
+    scrape->add_route("/vars", "application/json", [] {
+      return obs::metrics_to_json(obs::MetricsRegistry::global().snapshot())
+                 .dump(2) +
+             "\n";
+    });
+    scrape->start();
+    std::cout << "scrape endpoint: http://127.0.0.1:" << scrape->port()
+              << "  (/metrics /healthz /vars)\n\n";
   }
 
   // 3) Simulate unseen live jobs, one per architecture family slot, and
@@ -289,6 +360,45 @@ int main(int argc, char** argv) {
         std::cout << name << " " << value << '\n';
       }
     }
+  }
+
+  // 6) Telemetry artifacts: chrome trace from the sampled requests, audit
+  // log flush, optional scrape linger for interactive inspection.
+  if (!trace_out.empty()) {
+    const std::vector<obs::RequestTraceRecord> records =
+        service.tracer().drain();
+    const obs::SpanStats span_root = obs::span_tree_snapshot();
+    if (obs::write_chrome_trace_file(trace_out, records, span_root)) {
+      std::cout << "\nchrome trace: " << trace_out << " (" << records.size()
+                << " sampled requests";
+      if (service.tracer().dropped() > 0) {
+        std::cout << ", " << service.tracer().dropped()
+                  << " dropped by the record ring";
+      }
+      std::cout << ")\n";
+    } else {
+      std::cout << "\ncannot write chrome trace to " << trace_out << '\n';
+      return 1;
+    }
+  }
+  if (audit != nullptr) {
+    audit->flush();
+    std::cout << "audit log: " << audit_out << " ("
+              << audit->records_written() << " records"
+              << (audit->ok() ? "" : ", WRITE ERRORS") << ")\n";
+    if (!audit->ok()) return 1;
+  }
+  const double listen_s = cli.get_double("listen-s");
+  if (scrape != nullptr && listen_s > 0.0) {
+    std::cout << "scrape endpoint stays up " << listen_s
+              << " s — curl http://127.0.0.1:" << scrape->port()
+              << "/metrics\n";
+    std::this_thread::sleep_for(std::chrono::duration<double>(listen_s));
+  }
+  if (scrape != nullptr) {
+    std::cout << "scrape requests served: " << scrape->requests_served()
+              << '\n';
+    scrape->stop();
   }
   return 0;
 }
