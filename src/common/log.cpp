@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "common/env.hpp"
+#include "common/mutex.hpp"
 
 namespace scwc {
 
@@ -30,8 +31,10 @@ std::atomic<int>& threshold_storage() noexcept {
   return level;
 }
 
-std::mutex& log_mutex() noexcept {
-  static std::mutex m;
+// Leaf of the lock hierarchy: guards std::cerr line interleaving only, and
+// no other lock is ever acquired while it is held.
+Mutex& log_mutex() noexcept {
+  static Mutex m{"log.stream"};
   return m;
 }
 
@@ -92,7 +95,7 @@ void log_line(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
   const std::string stamp = iso8601_now();
   const unsigned tid = thread_tag();
-  const std::lock_guard<std::mutex> lock(log_mutex());
+  const LockGuard lock(log_mutex());
   std::cerr << "[scwc:" << level_tag(level) << ' ' << stamp << " t"
             << tid << "] " << message << '\n';
 }

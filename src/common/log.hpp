@@ -6,7 +6,6 @@
 // sections interleave at line granularity.
 #pragma once
 
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>

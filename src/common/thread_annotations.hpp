@@ -1,0 +1,69 @@
+// Portable wrappers over Clang's thread-safety-analysis attributes.
+//
+// Under clang (the `tsa` CMake preset builds with -Wthread-safety -Werror)
+// these expand to the capability attributes the analysis consumes; under
+// GCC and every other compiler they expand to nothing, so annotated code
+// compiles identically everywhere. The macros follow the abseil naming
+// scheme with an SCWC_ prefix so they cannot collide with downstream
+// headers.
+//
+// Usage conventions in this tree:
+//   - every lockable type is scwc::Mutex (common/mutex.hpp), which carries
+//     SCWC_CAPABILITY("mutex");
+//   - every mutable field shared across threads carries
+//     SCWC_GUARDED_BY(mutex_) on its declaration;
+//   - every helper that assumes the caller already holds a lock carries
+//     SCWC_REQUIRES(mutex_) instead of a "caller holds mutex_" comment;
+//   - SCWC_NO_THREAD_SAFETY_ANALYSIS is a last resort and must carry an
+//     inline justification.
+#pragma once
+
+#if defined(__clang__)
+#define SCWC_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define SCWC_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a lockable capability; `x` names it in diagnostics.
+#define SCWC_CAPABILITY(x) SCWC_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define SCWC_SCOPED_CAPABILITY SCWC_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// Field may only be read/written while holding `x`.
+#define SCWC_GUARDED_BY(x) SCWC_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// Pointee (not the pointer itself) is guarded by `x`.
+#define SCWC_PT_GUARDED_BY(x) SCWC_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Caller must hold the listed capabilities on entry (and still on exit).
+#define SCWC_REQUIRES(...) \
+  SCWC_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on exit, not on entry).
+#define SCWC_ACQUIRE(...) \
+  SCWC_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry, not on exit).
+#define SCWC_RELEASE(...) \
+  SCWC_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capabilities only when it returns `result`.
+#define SCWC_TRY_ACQUIRE(result, ...) \
+  SCWC_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(result, __VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock prevention).
+#define SCWC_EXCLUDES(...) \
+  SCWC_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (no acquire/release).
+#define SCWC_ASSERT_CAPABILITY(x) \
+  SCWC_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+/// Function returns a reference to the capability `x`.
+#define SCWC_RETURN_CAPABILITY(x) \
+  SCWC_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Opts a function out of the analysis entirely. Must be justified inline.
+#define SCWC_NO_THREAD_SAFETY_ANALYSIS \
+  SCWC_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)

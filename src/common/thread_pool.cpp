@@ -6,13 +6,17 @@
 
 namespace scwc {
 
-ThreadPool::ThreadPool(std::size_t threads) {
-  std::size_t n = threads;
-  if (n == 0) {
-    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  n_workers_ = n;
-  obs_epoch_ = std::chrono::steady_clock::now();
+namespace {
+std::size_t resolve_worker_count(std::size_t threads) {
+  if (threads != 0) return threads;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : n_workers_(resolve_worker_count(threads)),
+      obs_epoch_(std::chrono::steady_clock::now()) {
+  const std::size_t n = n_workers_;
   auto& reg = obs::MetricsRegistry::global();
   obs_submitted_ = reg.counter("scwc_common_pool_tasks_submitted_total");
   obs_completed_ = reg.counter("scwc_common_pool_tasks_completed_total");
@@ -30,7 +34,7 @@ ThreadPool::~ThreadPool() { stop(); }
 
 void ThreadPool::stop() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -40,14 +44,14 @@ void ThreadPool::stop() {
   // destroy the pool under live workers). join_mutex_ serialises the
   // std::thread::join calls themselves, which are not concurrency-safe on
   // the same thread object; joinable() makes the second pass a no-op.
-  const std::lock_guard<std::mutex> join_lock(join_mutex_);
+  const LockGuard join_lock(join_mutex_);
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
 }
 
 bool ThreadPool::stopped() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   return stop_;
 }
 
@@ -55,7 +59,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> pt(std::move(task));
   std::future<void> fut = pt.get_future();
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     // Rejecting here (instead of silently enqueueing) is what keeps a
     // caller from blocking forever on a future no worker will ever run.
     SCWC_REQUIRE(!stop_,
@@ -78,7 +82,7 @@ bool ThreadPool::try_submit(std::function<void()> task,
                             std::size_t max_queue) {
   std::packaged_task<void()> pt(std::move(task));
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     if (stop_ || queue_.size() >= max_queue) return false;
     queue_.push_back(std::move(pt));
     obs_submitted_.inc();
@@ -89,7 +93,7 @@ bool ThreadPool::try_submit(std::function<void()> task,
 }
 
 std::size_t ThreadPool::queue_depth() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   return queue_.size();
 }
 
@@ -106,8 +110,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      const LockGuard lock(mutex_);
+      // Explicit wait loop (not the predicate overload): clang's analysis
+      // does not look inside predicate lambdas, this form it checks.
+      while (!stop_ && queue_.empty()) cv_.wait(mutex_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();

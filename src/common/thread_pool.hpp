@@ -11,16 +11,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/metrics.hpp"
 
 namespace scwc {
@@ -35,8 +35,9 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Number of worker threads.
-  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+  /// Number of worker threads. Reads the immutable count, not workers_
+  /// (which is guarded by join_mutex_ for the join phase).
+  [[nodiscard]] std::size_t size() const noexcept { return n_workers_; }
 
   /// Enqueues a task; the returned future rethrows any exception.
   /// Throws scwc::Error once the pool has been stopped — a submit that used
@@ -91,20 +92,20 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  mutable Mutex mutex_{"pool.queue"};
   // Serialises the join phase of stop(). Distinct from mutex_: workers take
   // mutex_ while draining, so joining under it would deadlock.
-  std::mutex join_mutex_;
+  Mutex join_mutex_{"pool.join"};
+  std::vector<std::thread> workers_ SCWC_GUARDED_BY(join_mutex_);
+  std::deque<std::packaged_task<void()>> queue_ SCWC_GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stop_ SCWC_GUARDED_BY(mutex_) = false;
 
   // Observability (scwc_common_pool_*). Handles are acquired per pool at
   // construction so a pool created after obs::set_enabled(true) reports;
   // all pools share the global registry's series. Inert under SCWC_OBS=off.
-  std::size_t n_workers_ = 0;
-  std::chrono::steady_clock::time_point obs_epoch_;
+  const std::size_t n_workers_;
+  const std::chrono::steady_clock::time_point obs_epoch_;
   std::atomic<double> busy_seconds_{0.0};
   obs::CounterHandle obs_submitted_;
   obs::CounterHandle obs_completed_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -63,7 +64,7 @@ linalg::Matrix RandomForest::predict_proba(const linalg::Matrix& x) const {
   SCWC_REQUIRE(!trees_.empty(), "RandomForest::predict before fit");
   linalg::Matrix proba(x.rows(), num_classes_);
   // Soft voting: average leaf class distributions across trees.
-  std::mutex merge_mutex;
+  Mutex merge_mutex{"rf.merge"};
   parallel_for_blocked(
       0, trees_.size(),
       [&](std::size_t lo, std::size_t hi) {
@@ -71,7 +72,7 @@ linalg::Matrix RandomForest::predict_proba(const linalg::Matrix& x) const {
         for (std::size_t t = lo; t < hi; ++t) {
           local += trees_[t].predict_proba(x);
         }
-        const std::lock_guard<std::mutex> lock(merge_mutex);
+        const LockGuard lock(merge_mutex);
         proba += local;
       },
       1);

@@ -90,7 +90,7 @@ double gauge_value(const MetricsSnapshot& snapshot,
 
 CounterHandle MetricsRegistry::counter(std::string_view name) {
   if (!enabled()) return CounterHandle{};
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -101,7 +101,7 @@ CounterHandle MetricsRegistry::counter(std::string_view name) {
 
 GaugeHandle MetricsRegistry::gauge(std::string_view name) {
   if (!enabled()) return GaugeHandle{};
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -112,7 +112,7 @@ GaugeHandle MetricsRegistry::gauge(std::string_view name) {
 HistogramHandle MetricsRegistry::histogram(std::string_view name,
                                            std::vector<double> upper_bounds) {
   if (!enabled()) return HistogramHandle{};
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -127,7 +127,7 @@ RollingHistogramHandle MetricsRegistry::rolling_histogram(
     std::string_view name, std::vector<double> upper_bounds,
     RollingConfig config) {
   if (!enabled()) return RollingHistogramHandle{};
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   auto it = rolling_.find(name);
   if (it == rolling_.end()) {
     it = rolling_
@@ -140,7 +140,7 @@ RollingHistogramHandle MetricsRegistry::rolling_histogram(
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   MetricsSnapshot out;
   out.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -174,7 +174,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

@@ -12,20 +12,22 @@
 //  * handles stay valid for the registry's lifetime (metrics are
 //    node-allocated and never move).
 //
-// This library is deliberately standalone (std + threads only) so that
+// This library is deliberately standalone (std + threads, plus the
+// header-only annotated sync primitives in common/mutex.hpp) so that
 // scwc_common itself — ThreadPool, logging — can be instrumented without a
-// dependency cycle.
+// link-dependency cycle.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/rolling.hpp"
 
 namespace scwc::obs {
@@ -217,12 +219,15 @@ class MetricsRegistry {
   static std::vector<double> default_bytes_buckets();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mutex_{"obs.registry"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      SCWC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      SCWC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      SCWC_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<RollingHistogram>, std::less<>>
-      rolling_;
+      rolling_ SCWC_GUARDED_BY(mutex_);
 };
 
 }  // namespace scwc::obs

@@ -27,14 +27,17 @@ std::uint64_t sample_threshold(double rate) noexcept {
   return static_cast<std::uint64_t>(scaled);
 }
 
+RequestTracerConfig normalize(RequestTracerConfig config) noexcept {
+  if (config.capacity == 0) config.capacity = 1;
+  return config;
+}
+
 }  // namespace
 
 RequestTracer::RequestTracer(RequestTracerConfig config)
-    : config_(config),
+    : config_(normalize(config)),
       threshold_(sample_threshold(config.sample_rate)),
-      epoch_(Clock::now()) {
-  if (config_.capacity == 0) config_.capacity = 1;
-}
+      epoch_(Clock::now()) {}
 
 bool RequestTracer::sampled(std::uint64_t trace_id) const noexcept {
   if (threshold_ == 0) return false;
@@ -43,7 +46,7 @@ bool RequestTracer::sampled(std::uint64_t trace_id) const noexcept {
 }
 
 void RequestTracer::record(RequestTraceRecord&& rec) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   if (records_.size() >= config_.capacity) {
     records_.pop_front();
     dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -52,7 +55,7 @@ void RequestTracer::record(RequestTraceRecord&& rec) {
 }
 
 std::vector<RequestTraceRecord> RequestTracer::drain() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   std::vector<RequestTraceRecord> out(
       std::make_move_iterator(records_.begin()),
       std::make_move_iterator(records_.end()));
@@ -61,7 +64,7 @@ std::vector<RequestTraceRecord> RequestTracer::drain() {
 }
 
 void RequestTracer::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   records_.clear();
   dropped_.store(0, std::memory_order_relaxed);
 }

@@ -25,9 +25,11 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace scwc::obs {
 
@@ -120,13 +122,13 @@ class RequestTracer {
   void reset();
 
  private:
-  RequestTracerConfig config_;
-  std::uint64_t threshold_;  ///< sample iff mix(seed, id) < threshold
-  Clock::time_point epoch_;
+  const RequestTracerConfig config_;  ///< normalized: capacity >= 1
+  const std::uint64_t threshold_;  ///< sample iff mix(seed, id) < threshold
+  const Clock::time_point epoch_;
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<std::uint64_t> dropped_{0};
-  mutable std::mutex mutex_;
-  std::deque<RequestTraceRecord> records_;
+  mutable scwc::Mutex mutex_{"obs.request_trace"};
+  std::deque<RequestTraceRecord> records_ SCWC_GUARDED_BY(mutex_);
 };
 
 }  // namespace scwc::obs

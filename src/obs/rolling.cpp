@@ -70,7 +70,7 @@ RollingCounter::RollingCounter(RollingConfig config)
 void RollingCounter::inc(std::uint64_t n) { inc(n, Clock::now()); }
 
 void RollingCounter::inc(std::uint64_t n, Clock::time_point now) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   const std::int64_t id = slot_index(epoch_, now, slot_width_s_);
   const auto pos = static_cast<std::size_t>(
       id % static_cast<std::int64_t>(slots_.size()));
@@ -84,7 +84,7 @@ void RollingCounter::inc(std::uint64_t n, Clock::time_point now) {
 std::uint64_t RollingCounter::value() const { return value(Clock::now()); }
 
 std::uint64_t RollingCounter::value(Clock::time_point now) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   const std::int64_t id = slot_index(epoch_, now, slot_width_s_);
   const std::int64_t oldest = id - static_cast<std::int64_t>(config_.slots);
   std::uint64_t total = 0;
@@ -95,7 +95,7 @@ std::uint64_t RollingCounter::value(Clock::time_point now) const {
 }
 
 void RollingCounter::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   std::fill(slots_.begin(), slots_.end(), 0);
   std::fill(slot_ids_.begin(), slot_ids_.end(), -1);
 }
@@ -127,7 +127,7 @@ void RollingHistogram::observe(double v) { observe(v, Clock::now()); }
 
 void RollingHistogram::observe(double v, Clock::time_point now) {
   if (std::isnan(v) || v < 0.0) return;  // same contract as Histogram
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   const std::int64_t id = slot_index(epoch_, now, slot_width_s_);
   const auto pos = static_cast<std::size_t>(
       id % static_cast<std::int64_t>(slots_.size()));
@@ -155,7 +155,7 @@ RollingHistogramSnapshot RollingHistogram::snapshot(
   out.bounds = bounds_;
   out.buckets.assign(bounds_.size() + 1, 0);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const scwc::LockGuard lock(mutex_);
     const std::int64_t id = slot_index(epoch_, now, slot_width_s_);
     const std::int64_t oldest = id - static_cast<std::int64_t>(config_.slots);
     for (const Slot& slot : slots_) {
@@ -175,7 +175,7 @@ RollingHistogramSnapshot RollingHistogram::snapshot(
 }
 
 void RollingHistogram::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   for (Slot& slot : slots_) {
     std::fill(slot.buckets.begin(), slot.buckets.end(), 0);
     slot.count = 0;

@@ -25,9 +25,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace scwc::obs {
 
@@ -78,12 +80,14 @@ class RollingCounter {
   }
 
  private:
-  RollingConfig config_;
-  double slot_width_s_;
-  Clock::time_point epoch_;
-  mutable std::mutex mutex_;
-  mutable std::vector<std::uint64_t> slots_;    // ring payload
-  mutable std::vector<std::int64_t> slot_ids_;  // absolute index, -1 = empty
+  const RollingConfig config_;
+  const double slot_width_s_;
+  const Clock::time_point epoch_;
+  mutable scwc::Mutex mutex_{"obs.rolling"};
+  mutable std::vector<std::uint64_t> slots_
+      SCWC_GUARDED_BY(mutex_);  // ring payload
+  mutable std::vector<std::int64_t> slot_ids_
+      SCWC_GUARDED_BY(mutex_);  // absolute index, -1 = empty
 };
 
 /// Fixed-bucket histogram restricted to the trailing window. Bucket
@@ -119,12 +123,12 @@ class RollingHistogram {
     std::int64_t id = -1;  // absolute slot index; -1 = empty
   };
 
-  RollingConfig config_;
-  double slot_width_s_;
-  std::vector<double> bounds_;
-  Clock::time_point epoch_;
-  mutable std::mutex mutex_;
-  mutable std::vector<Slot> slots_;
+  const RollingConfig config_;
+  const double slot_width_s_;
+  const std::vector<double> bounds_;
+  const Clock::time_point epoch_;
+  mutable scwc::Mutex mutex_{"obs.rolling"};
+  mutable std::vector<Slot> slots_ SCWC_GUARDED_BY(mutex_);
 };
 
 /// Null-safe wrapper handed out by MetricsRegistry::rolling_histogram.

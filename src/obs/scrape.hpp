@@ -69,6 +69,11 @@ class ScrapeServer {
   void accept_loop();
   void serve_connection(int fd);
 
+  // Lock-free by construction, not by accident: config_/routes_/listen_fd_/
+  // bound_port_ are written only before start() spawns the accept thread
+  // and are read-only afterwards (route() refuses registration once
+  // running). Cross-thread state is limited to the two atomics. If routes
+  // ever become mutable at runtime, add a scwc::Mutex and GUARDED_BY here.
   ScrapeConfig config_;
   std::map<std::string, Route> routes_;
   std::atomic<bool> running_{false};

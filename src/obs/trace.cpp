@@ -2,8 +2,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/metrics.hpp"
 
 namespace scwc::obs {
@@ -11,8 +12,10 @@ namespace scwc::obs {
 namespace {
 
 /// One node of the global aggregation tree. Structure and statistics are
-/// both guarded by tree_mutex(); nodes are node-allocated and never move,
+/// both guarded by SpanTree::mu; nodes are node-allocated and never move,
 /// so open spans can hold raw pointers across the unlocked timed region.
+/// (Interior nodes are reached through those raw pointers, which the
+/// static analysis cannot tie to the mutex — only the root is annotated.)
 struct SpanNode {
   std::string name;
   SpanNode* parent = nullptr;
@@ -21,14 +24,16 @@ struct SpanNode {
   std::map<std::string, std::unique_ptr<SpanNode>, std::less<>> children;
 };
 
-std::mutex& tree_mutex() noexcept {
-  static std::mutex m;
-  return m;
-}
+/// The global tree and its lock live in one struct so the GUARDED_BY
+/// relation is visible to the analysis.
+struct SpanTree {
+  scwc::Mutex mu{"obs.span_tree"};
+  SpanNode root SCWC_GUARDED_BY(mu);
+};
 
-SpanNode& tree_root() noexcept {
-  static SpanNode root;
-  return root;
+SpanTree& tree() noexcept {
+  static SpanTree t;
+  return t;
 }
 
 /// The innermost open span of this thread (nullptr → at the root).
@@ -54,8 +59,9 @@ void copy_subtree(const SpanNode& node, SpanStats& out) {
 TraceSpan::TraceSpan(std::string_view name) {
   if (!enabled()) return;
   {
-    const std::lock_guard<std::mutex> lock(tree_mutex());
-    SpanNode* parent = t_current != nullptr ? t_current : &tree_root();
+    SpanTree& t = tree();
+    const scwc::LockGuard lock(t.mu);
+    SpanNode* parent = t_current != nullptr ? t_current : &t.root;
     auto it = parent->children.find(name);
     if (it == parent->children.end()) {
       auto node = std::make_unique<SpanNode>();
@@ -76,16 +82,17 @@ TraceSpan::~TraceSpan() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
   t_current = static_cast<SpanNode*>(parent_);
-  const std::lock_guard<std::mutex> lock(tree_mutex());
+  const scwc::LockGuard lock(tree().mu);
   auto* node = static_cast<SpanNode*>(node_);
   node->calls += 1;
   node->total_s += elapsed;
 }
 
 SpanStats span_tree_snapshot() {
-  const std::lock_guard<std::mutex> lock(tree_mutex());
+  SpanTree& t = tree();
+  const scwc::LockGuard lock(t.mu);
   SpanStats out;
-  copy_subtree(tree_root(), out);
+  copy_subtree(t.root, out);
   out.self_s = 0.0;  // the synthetic root carries no time of its own
   return out;
 }
@@ -97,11 +104,12 @@ double total_traced_seconds(const SpanStats& root) noexcept {
 }
 
 void reset_span_tree() {
-  const std::lock_guard<std::mutex> lock(tree_mutex());
+  SpanTree& t = tree();
+  const scwc::LockGuard lock(t.mu);
   // Open spans keep raw pointers into the tree, so resetting while spans
   // are live would dangle them. The harness resets between phases, with no
   // spans open; clearing children of a quiescent tree is then safe.
-  tree_root().children.clear();
+  t.root.children.clear();
 }
 
 }  // namespace scwc::obs

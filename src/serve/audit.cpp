@@ -140,7 +140,7 @@ AuditLogger::AuditLogger(const std::string& path)
 
 void AuditLogger::log(const AuditRecord& record) {
   const std::string line = audit_record_to_json(record).dump();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   if (!ok_) return;
   out_ << line << '\n';
   if (!out_) {
@@ -151,17 +151,17 @@ void AuditLogger::log(const AuditRecord& record) {
 }
 
 void AuditLogger::flush() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   out_.flush();
 }
 
 std::uint64_t AuditLogger::records_written() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   return written_;
 }
 
 bool AuditLogger::ok() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   return ok_;
 }
 

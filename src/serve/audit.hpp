@@ -34,9 +34,11 @@
 
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <optional>
 #include <string>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 #include "obs/json.hpp"
 #include "obs/request_trace.hpp"
@@ -85,10 +87,10 @@ class AuditLogger {
   [[nodiscard]] bool ok() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::ofstream out_;
-  std::uint64_t written_ = 0;
-  bool ok_ = true;
+  mutable Mutex mutex_{"serve.audit"};
+  std::ofstream out_ SCWC_GUARDED_BY(mutex_);
+  std::uint64_t written_ SCWC_GUARDED_BY(mutex_) = 0;
+  bool ok_ SCWC_GUARDED_BY(mutex_) = true;
 };
 
 }  // namespace scwc::serve

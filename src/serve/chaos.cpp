@@ -57,18 +57,18 @@ ChaosInjector::ChaosInjector(ChaosProfile profile, std::uint64_t seed)
     : profile_(profile), rng_(seed) {}
 
 void ChaosInjector::set_armed(bool armed) noexcept {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   armed_ = armed;
 }
 
 bool ChaosInjector::armed() const noexcept {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   return armed_;
 }
 
 bool ChaosInjector::fire(double probability) {
   if (probability <= 0.0) return false;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   if (!armed_) return false;
   return rng_.bernoulli(probability);
 }
@@ -76,7 +76,7 @@ bool ChaosInjector::fire(double probability) {
 void ChaosInjector::on_flusher_cut() {
   if (!fire(profile_.flusher_stall_probability)) return;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const scwc::LockGuard lock(mutex_);
     ++counts_.flusher_stalls;
   }
   SCWC_LOG_DEBUG("chaos: stalling flusher for " << profile_.flusher_stall_s
@@ -87,13 +87,13 @@ void ChaosInjector::on_flusher_cut() {
 BatchFate ChaosInjector::on_batch_dispatch() {
   if (fire(profile_.batch_delay_probability)) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const scwc::LockGuard lock(mutex_);
       ++counts_.batch_delays;
     }
     sleep_seconds(profile_.batch_delay_s);
   }
   if (fire(profile_.batch_drop_probability)) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const scwc::LockGuard lock(mutex_);
     ++counts_.batch_drops;
     return BatchFate::kDrop;
   }
@@ -103,7 +103,7 @@ BatchFate ChaosInjector::on_batch_dispatch() {
 void ChaosInjector::on_predict_start() {
   if (!fire(profile_.predict_spike_probability)) return;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const scwc::LockGuard lock(mutex_);
     ++counts_.predict_spikes;
   }
   sleep_seconds(profile_.predict_spike_s);
@@ -111,7 +111,7 @@ void ChaosInjector::on_predict_start() {
 
 bool ChaosInjector::on_swap_bytes(std::vector<char>& bytes) {
   if (bytes.empty() || !fire(profile_.corrupt_swap_probability)) return false;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   const auto index =
       static_cast<std::size_t>(rng_.uniform_index(bytes.size()));
   // Flip a bit somewhere past the magic so the failure mode varies between
@@ -127,7 +127,7 @@ bool ChaosInjector::on_swap_bytes(std::vector<char>& bytes) {
 void ChaosInjector::starve(ThreadPool& pool) {
   if (!fire(profile_.starve_probability)) return;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const scwc::LockGuard lock(mutex_);
     ++counts_.starvation_bursts;
   }
   const double nap = profile_.starve_task_s;
@@ -139,7 +139,7 @@ void ChaosInjector::starve(ThreadPool& pool) {
 }
 
 ChaosCounts ChaosInjector::counts() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   return counts_;
 }
 

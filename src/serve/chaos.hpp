@@ -18,9 +18,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -119,11 +121,11 @@ class ChaosInjector {
   /// One armed Bernoulli draw under the mutex; false when disarmed.
   bool fire(double probability);
 
-  ChaosProfile profile_;
-  mutable std::mutex mutex_;
-  Rng rng_;
-  bool armed_ = false;
-  ChaosCounts counts_;
+  const ChaosProfile profile_;
+  mutable Mutex mutex_{"serve.chaos"};
+  Rng rng_ SCWC_GUARDED_BY(mutex_);
+  bool armed_ SCWC_GUARDED_BY(mutex_) = false;
+  ChaosCounts counts_ SCWC_GUARDED_BY(mutex_);
 };
 
 }  // namespace scwc::serve

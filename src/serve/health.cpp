@@ -180,7 +180,7 @@ void FallbackChain::set_depth_locked(int depth) noexcept {
 }
 
 Route FallbackChain::route(std::chrono::steady_clock::time_point now) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   Route r;
   if (state_ == BreakerState::kOpen) {
     const auto cooldown = std::chrono::duration_cast<
@@ -221,7 +221,7 @@ Route FallbackChain::route(std::chrono::steady_clock::time_point now) {
 }
 
 void FallbackChain::on_unhealthy(std::chrono::steady_clock::time_point now) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   if (state_ == BreakerState::kOpen) return;
   if (!incident_) {
     incident_ = true;
@@ -243,7 +243,7 @@ void FallbackChain::on_unhealthy(std::chrono::steady_clock::time_point now) {
 
 void FallbackChain::on_probe_outcome(
     bool healthy, std::chrono::steady_clock::time_point now) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   probe_outstanding_ = false;
   if (state_ != BreakerState::kHalfOpen) return;
   if (!healthy) {
@@ -278,32 +278,32 @@ void FallbackChain::on_probe_outcome(
 }
 
 BreakerState FallbackChain::state() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   return state_;
 }
 
 int FallbackChain::depth() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   return depth_;
 }
 
 std::size_t FallbackChain::trips() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   return trips_;
 }
 
 std::size_t FallbackChain::recoveries() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   return recoveries_;
 }
 
 double FallbackChain::last_recovery_s() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   return last_recovery_s_;
 }
 
 bool FallbackChain::incident_active() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   return incident_;
 }
 

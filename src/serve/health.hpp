@@ -31,9 +31,10 @@
 #include <chrono>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/metrics.hpp"
 #include "obs/rolling.hpp"
 #include "serve/model_registry.hpp"
@@ -130,7 +131,9 @@ class HealthMonitor {
   [[nodiscard]] static std::vector<double> latency_bounds(double max_p99_s);
 
  private:
-  HealthConfig config_;
+  // No mutex of its own: the rolling primitives are internally locked and
+  // each call touches exactly one of them; config_ is immutable.
+  const HealthConfig config_;
   obs::RollingHistogram latency_;       ///< accepted full-path answers
   obs::RollingCounter abstained_;
   obs::RollingCounter model_errors_;
@@ -182,24 +185,28 @@ class FallbackChain {
 
  private:
   [[nodiscard]] std::shared_ptr<const ModelBundle> bundle_for_level_locked(
-      int level) const;
-  void set_state_locked(BreakerState state) noexcept;
-  void set_depth_locked(int depth) noexcept;
+      int level) const SCWC_REQUIRES(mutex_);
+  void set_state_locked(BreakerState state) noexcept SCWC_REQUIRES(mutex_);
+  void set_depth_locked(int depth) noexcept SCWC_REQUIRES(mutex_);
 
   ModelRegistry& registry_;
-  HealthConfig config_;
+  const HealthConfig config_;
 
-  mutable std::mutex mutex_;
-  BreakerState state_ = BreakerState::kClosed;
-  int depth_ = 0;
-  std::chrono::steady_clock::time_point opened_at_{};
-  std::chrono::steady_clock::time_point incident_start_{};
-  bool incident_ = false;
-  bool probe_outstanding_ = false;
-  std::size_t healthy_probes_ = 0;
-  std::size_t trips_ = 0;
-  std::size_t recoveries_ = 0;
-  double last_recovery_s_ = 0.0;
+  // Hierarchy note: route()/bundle_for_level_locked call into the registry
+  // while holding mutex_, so "serve.chain" precedes "serve.registry" in the
+  // lock order (DESIGN.md §8 table).
+  mutable Mutex mutex_{"serve.chain"};
+  BreakerState state_ SCWC_GUARDED_BY(mutex_) = BreakerState::kClosed;
+  int depth_ SCWC_GUARDED_BY(mutex_) = 0;
+  std::chrono::steady_clock::time_point opened_at_ SCWC_GUARDED_BY(mutex_){};
+  std::chrono::steady_clock::time_point incident_start_
+      SCWC_GUARDED_BY(mutex_){};
+  bool incident_ SCWC_GUARDED_BY(mutex_) = false;
+  bool probe_outstanding_ SCWC_GUARDED_BY(mutex_) = false;
+  std::size_t healthy_probes_ SCWC_GUARDED_BY(mutex_) = 0;
+  std::size_t trips_ SCWC_GUARDED_BY(mutex_) = 0;
+  std::size_t recoveries_ SCWC_GUARDED_BY(mutex_) = 0;
+  double last_recovery_s_ SCWC_GUARDED_BY(mutex_) = 0.0;
 
   obs::GaugeHandle obs_state_;
   obs::GaugeHandle obs_depth_;

@@ -33,7 +33,7 @@ MicroBatcher::~MicroBatcher() { stop(); }
 bool MicroBatcher::submit(BatchRequest&& request) {
   request.enqueued = std::chrono::steady_clock::now();
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const scwc::LockGuard lock(mutex_);
     if (stop_) return false;
     pending_.push_back(std::move(request));
     obs_queue_depth_.set(static_cast<double>(pending_.size()));
@@ -43,7 +43,7 @@ bool MicroBatcher::submit(BatchRequest&& request) {
 }
 
 std::size_t MicroBatcher::pending() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   return pending_.size();
 }
 
@@ -79,9 +79,11 @@ void MicroBatcher::flusher_loop() {
   const auto max_delay = std::chrono::duration_cast<
       std::chrono::steady_clock::duration>(
       std::chrono::duration<double>(config_.max_delay_s));
-  std::unique_lock<std::mutex> lock(mutex_);
+  scwc::LockGuard lock(mutex_);
   for (;;) {
-    cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    // Explicit wait loops (not the predicate overloads): clang's analysis
+    // does not look inside predicate lambdas, this form it checks.
+    while (!stop_ && pending_.empty()) cv_.wait(mutex_);
     if (pending_.empty()) {
       if (stop_) return;
       continue;
@@ -93,9 +95,13 @@ void MicroBatcher::flusher_loop() {
     // expired request is shed promptly instead of riding a late batch.
     const auto flush_at = std::min(pending_.front().enqueued + max_delay,
                                    min_deadline_locked());
-    const bool filled = cv_.wait_until(lock, flush_at, [this] {
-      return stop_ || pending_.size() >= config_.max_batch;
-    });
+    bool filled = stop_ || pending_.size() >= config_.max_batch;
+    while (!filled) {
+      const bool timed_out =
+          cv_.wait_until(mutex_, flush_at) == std::cv_status::timeout;
+      filled = stop_ || pending_.size() >= config_.max_batch;
+      if (timed_out) break;
+    }
     if (filled && !stop_) {
       obs_flush_size_.inc();
     } else if (!stop_) {
@@ -117,13 +123,13 @@ void MicroBatcher::flusher_loop() {
 
 void MicroBatcher::stop() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const scwc::LockGuard lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
   // Serialise the join so concurrent stop() calls (destructor racing an
   // explicit stop) both return only after the flusher exited.
-  const std::lock_guard<std::mutex> join_lock(join_mutex_);
+  const scwc::LockGuard join_lock(join_mutex_);
   if (flusher_.joinable()) flusher_.join();
 }
 

@@ -14,15 +14,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/metrics.hpp"
 #include "serve/serve_types.hpp"
 
@@ -100,28 +100,28 @@ class MicroBatcher {
 
  private:
   void flusher_loop();
-  /// Cuts up to max_batch requests off the queue front. Caller holds mutex_.
+  /// Cuts up to max_batch requests off the queue front.
   /// When an expired handler is installed, requests whose deadline ≤ now are
   /// diverted into `expired` (they do not count against max_batch).
   std::vector<BatchRequest> cut_batch_locked(
       std::chrono::steady_clock::time_point now,
-      std::vector<BatchRequest>& expired);
-  /// Earliest pending deadline, or time_point::max(). Caller holds mutex_.
-  [[nodiscard]] std::chrono::steady_clock::time_point
-  min_deadline_locked() const;
+      std::vector<BatchRequest>& expired) SCWC_REQUIRES(mutex_);
+  /// Earliest pending deadline, or time_point::max().
+  [[nodiscard]] std::chrono::steady_clock::time_point min_deadline_locked()
+      const SCWC_REQUIRES(mutex_);
 
-  MicroBatcherConfig config_;
-  BatchRunner runner_;
-  ExpiredHandler expired_handler_;
+  const MicroBatcherConfig config_;
+  const BatchRunner runner_;
+  const ExpiredHandler expired_handler_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<BatchRequest> pending_;
-  bool stop_ = false;
-  std::thread flusher_;
+  mutable Mutex mutex_{"serve.batcher.queue"};
+  CondVar cv_;
+  std::deque<BatchRequest> pending_ SCWC_GUARDED_BY(mutex_);
+  bool stop_ SCWC_GUARDED_BY(mutex_) = false;
   // Serialises the join phase of stop(); distinct from mutex_ because the
   // flusher takes mutex_ while draining.
-  std::mutex join_mutex_;
+  Mutex join_mutex_{"serve.batcher.join"};
+  std::thread flusher_ SCWC_GUARDED_BY(join_mutex_);
 
   obs::CounterHandle obs_flush_size_;      ///< flushes triggered by max_batch
   obs::CounterHandle obs_flush_deadline_;  ///< flushes triggered by max_delay

@@ -51,7 +51,7 @@ ModelRegistry::ModelRegistry() {
 void ModelRegistry::register_bundle(std::shared_ptr<const ModelBundle> bundle,
                                     bool activate) {
   SCWC_REQUIRE(bundle != nullptr, "register_bundle: null bundle");
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   const auto [it, inserted] = bundles_.emplace(bundle->version(), bundle);
   SCWC_REQUIRE(inserted, "register_bundle: version already registered: " +
                              bundle->version());
@@ -66,19 +66,19 @@ void ModelRegistry::register_bundle(std::shared_ptr<const ModelBundle> bundle,
 }
 
 std::shared_ptr<const ModelBundle> ModelRegistry::current() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   return current_;
 }
 
 std::shared_ptr<const ModelBundle> ModelRegistry::get(
     const std::string& version) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   const auto it = bundles_.find(version);
   return it == bundles_.end() ? nullptr : it->second;
 }
 
 void ModelRegistry::activate(const std::string& version) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   const auto it = bundles_.find(version);
   SCWC_REQUIRE(it != bundles_.end(), "activate: unknown version: " + version);
   if (current_ == it->second) return;
@@ -90,7 +90,7 @@ void ModelRegistry::activate(const std::string& version) {
 }
 
 std::shared_ptr<const ModelBundle> ModelRegistry::rollback() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   if (activation_history_.empty()) return nullptr;
   const std::string version = activation_history_.back();
   activation_history_.pop_back();
@@ -103,7 +103,7 @@ std::shared_ptr<const ModelBundle> ModelRegistry::rollback() {
 }
 
 std::vector<std::string> ModelRegistry::versions() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   std::vector<std::string> out;
   out.reserve(bundles_.size());
   for (const auto& [version, bundle] : bundles_) out.push_back(version);

@@ -11,11 +11,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "data/tensor3.hpp"
 #include "ml/classifier.hpp"
 #include "ml/random_forest.hpp"
@@ -110,11 +111,12 @@ class ModelRegistry {
   [[nodiscard]] std::vector<std::string> versions() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<const ModelBundle>> bundles_;
-  std::shared_ptr<const ModelBundle> current_;
+  mutable Mutex mutex_{"serve.registry"};
+  std::map<std::string, std::shared_ptr<const ModelBundle>> bundles_
+      SCWC_GUARDED_BY(mutex_);
+  std::shared_ptr<const ModelBundle> current_ SCWC_GUARDED_BY(mutex_);
   /// Versions that were current before each activate(), oldest first.
-  std::vector<std::string> activation_history_;
+  std::vector<std::string> activation_history_ SCWC_GUARDED_BY(mutex_);
 
   obs::CounterHandle obs_swaps_;
   obs::CounterHandle obs_rollbacks_;

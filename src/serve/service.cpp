@@ -350,7 +350,7 @@ void ClassificationService::run_batch(std::vector<BatchRequest>&& batch) {
   auto shared =
       std::make_shared<std::vector<BatchRequest>>(std::move(batch));
   {
-    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    const scwc::LockGuard lock(inflight_mutex_);
     ++inflight_batches_;
   }
   // The notify happens UNDER inflight_mutex_: stop()'s waiter re-acquires
@@ -359,13 +359,13 @@ void ClassificationService::run_batch(std::vector<BatchRequest>&& batch) {
   // executing on this thread (cv-destruction race TSan catches otherwise).
   const RejectReason reason = admission_.dispatch([this, route, shared, now] {
     execute_batch(route, *shared, now);
-    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    const scwc::LockGuard lock(inflight_mutex_);
     --inflight_batches_;
     inflight_cv_.notify_all();
   });
   if (reason != RejectReason::kNone) {
     {
-      const std::lock_guard<std::mutex> lock(inflight_mutex_);
+      const scwc::LockGuard lock(inflight_mutex_);
       --inflight_batches_;
       inflight_cv_.notify_all();
     }
@@ -497,9 +497,10 @@ void ClassificationService::stop() {
   // are resolved by the batcher's expired handler during the drain; every
   // other queued request is answered inline — nothing is left pending.
   batcher_->stop();
-  // Wait out batches already handed to the pool.
-  std::unique_lock<std::mutex> lock(inflight_mutex_);
-  inflight_cv_.wait(lock, [this] { return inflight_batches_ == 0; });
+  // Wait out batches already handed to the pool. Explicit wait loop: the
+  // analysis checks this form (it cannot see into predicate lambdas).
+  const scwc::LockGuard lock(inflight_mutex_);
+  while (inflight_batches_ != 0) inflight_cv_.wait(inflight_mutex_);
 }
 
 }  // namespace scwc::serve

@@ -16,14 +16,14 @@
 // model version, and versions change only between batches.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/request_trace.hpp"
 #include "serve/admission.hpp"
@@ -163,22 +163,27 @@ class ClassificationService {
   void shed(BatchRequest& request, RejectReason reason);
 
   ModelRegistry& registry_;
-  ServiceConfig config_;
+  const ServiceConfig config_;
   ThreadPool& pool_;
-  WindowAssembler assembler_;
-  AdmissionController admission_;
-  obs::RequestTracer tracer_;
+  // Internally synchronized (each owns its mutex); no service-level lock
+  // guards them, so guarded-field-coverage is waived field by field.
+  WindowAssembler assembler_;    // scwc-lint: allow(guarded-field-coverage)
+  AdmissionController admission_;  // scwc-lint: allow(guarded-field-coverage)
+  obs::RequestTracer tracer_;    // scwc-lint: allow(guarded-field-coverage)
   // Null unless config_.health.enabled: the SLO sensor and the breaker.
-  std::unique_ptr<HealthMonitor> monitor_;
-  std::unique_ptr<FallbackChain> chain_;
+  // The pointers are set once in the constructor and never reseated; the
+  // pointees synchronize themselves.
+  std::unique_ptr<HealthMonitor> monitor_;  // scwc-lint: allow(guarded-field-coverage)
+  std::unique_ptr<FallbackChain> chain_;  // scwc-lint: allow(guarded-field-coverage)
   // unique_ptr: the batcher's runner captures `this`, so it is constructed
   // after the members it uses and destroyed (stopping the flusher) first.
-  std::unique_ptr<MicroBatcher> batcher_;
+  // Set once in the constructor; the batcher locks internally.
+  std::unique_ptr<MicroBatcher> batcher_;  // scwc-lint: allow(guarded-field-coverage)
 
   // Batches handed to the pool but not finished; stop() waits for zero.
-  std::mutex inflight_mutex_;
-  std::condition_variable inflight_cv_;
-  std::size_t inflight_batches_ = 0;
+  Mutex inflight_mutex_{"serve.inflight"};
+  CondVar inflight_cv_;
+  std::size_t inflight_batches_ SCWC_GUARDED_BY(inflight_mutex_) = 0;
 
   obs::CounterHandle obs_requests_;
   obs::HistogramHandle obs_request_seconds_;

@@ -79,7 +79,7 @@ std::vector<AssembledWindow> WindowAssembler::push_block(
   const std::size_t rows = block.size() / config_.sensors;
   std::vector<AssembledWindow> out;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const scwc::LockGuard lock(mutex_);
     JobStream& stream = streams_[job_id];
     stream.rows.insert(stream.rows.end(), block.begin(), block.end());
     stream.total_steps += rows;
@@ -92,7 +92,7 @@ std::vector<AssembledWindow> WindowAssembler::push_block(
 
 std::vector<AssembledWindow> WindowAssembler::finish(std::int64_t job_id) {
   std::vector<AssembledWindow> out;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   const auto it = streams_.find(job_id);
   if (it == streams_.end()) return out;
   JobStream& stream = it->second;
@@ -111,12 +111,12 @@ std::vector<AssembledWindow> WindowAssembler::finish(std::int64_t job_id) {
 }
 
 std::size_t WindowAssembler::active_jobs() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   return streams_.size();
 }
 
 std::size_t WindowAssembler::stream_steps(std::int64_t job_id) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const scwc::LockGuard lock(mutex_);
   const auto it = streams_.find(job_id);
   return it == streams_.end() ? 0 : it->second.total_steps;
 }

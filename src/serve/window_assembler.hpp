@@ -16,9 +16,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <span>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 #include "obs/metrics.hpp"
 #include "robust/quality.hpp"
@@ -94,16 +96,16 @@ class WindowAssembler {
   };
 
   /// Emits every window that is closed given the current buffer, then
-  /// trims consumed history. Caller holds mutex_.
+  /// trims consumed history.
   void drain_closed(std::int64_t job_id, JobStream& stream,
-                    std::vector<AssembledWindow>& out);
+                    std::vector<AssembledWindow>& out) SCWC_REQUIRES(mutex_);
   AssembledWindow cut_window(std::int64_t job_id, const JobStream& stream,
                              std::size_t start,
                              std::size_t available_steps) const;
 
-  WindowAssemblerConfig config_;
-  mutable std::mutex mutex_;
-  std::map<std::int64_t, JobStream> streams_;
+  const WindowAssemblerConfig config_;
+  mutable Mutex mutex_{"serve.assembler"};
+  std::map<std::int64_t, JobStream> streams_ SCWC_GUARDED_BY(mutex_);
 
   obs::CounterHandle obs_samples_;
   obs::CounterHandle obs_windows_;

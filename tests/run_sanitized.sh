@@ -12,19 +12,30 @@
 #   tests/run_sanitized.sh                # full suite
 #   tests/run_sanitized.sh Robust        # bare first arg is -R shorthand
 #   tests/run_sanitized.sh -R Obs -j 1   # any ctest args forward verbatim
+#   tests/run_sanitized.sh --fresh [...] # wipe the cached configure first
 #
 # Uses the "asan" preset from CMakePresets.json (build dir: build-asan).
+# The preset also sets SCWC_LOCK_ORDER=ON, so the lock-hierarchy tracker
+# (common/lock_order.hpp) is live for every test here.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$repo_root"
 
+# `--fresh` reconfigures from scratch (cmake wipes build-asan's cache) —
+# the escape hatch for a stale cache left by an older checkout.
+fresh=""
+if [ "${1:-}" = "--fresh" ]; then
+  fresh="--fresh"
+  shift
+fi
+
 # Fail fast with a real diagnostic instead of ctest's opaque "no test
 # configuration" error when configuration never happened or went wrong.
-if ! cmake --preset asan; then
+if ! cmake --preset asan $fresh; then
   echo "run_sanitized.sh: 'cmake --preset asan' failed — the asan preset" >&2
-  echo "could not be configured (see CMakePresets.json; build dir" >&2
-  echo "build-asan/ may hold a stale cache worth deleting)." >&2
+  echo "could not be configured (see CMakePresets.json). If build-asan/" >&2
+  echo "holds a stale cache, rerun as: tests/run_sanitized.sh --fresh" >&2
   exit 1
 fi
 if [ ! -f build-asan/CMakeCache.txt ]; then

@@ -10,16 +10,41 @@
 #   tests/run_tsan.sh                 # full suite
 #   tests/run_tsan.sh -R Concurrency  # forward any ctest args, e.g. a regex
 #   tests/run_tsan.sh Concurrency     # bare first arg is shorthand for -R
+#   tests/run_tsan.sh --fresh [...]   # wipe the cached configure first
 #
 # Uses the "tsan" preset from CMakePresets.json (build dir: build-tsan).
-# Benches and examples are disabled in that preset: TSan's 5-15x slowdown
-# makes them pointless, and the gate is the tests.
+# The preset also sets SCWC_LOCK_ORDER=ON, so the lock-hierarchy tracker
+# (common/lock_order.hpp) is live for every test here. Benches and
+# examples are disabled in the preset: TSan's 5-15x slowdown makes them
+# pointless, and the gate is the tests.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$repo_root"
 
-cmake --preset tsan
+# `--fresh` reconfigures from scratch (cmake wipes build-tsan's cache) —
+# the escape hatch for a stale cache left by an older checkout: a changed
+# compiler or deleted toolchain makes configure fail, or quietly keeps
+# options the presets no longer set.
+fresh=""
+if [ "${1:-}" = "--fresh" ]; then
+  fresh="--fresh"
+  shift
+fi
+
+# Fail fast with a real diagnostic instead of ctest's opaque "no test
+# configuration" error when configuration never happened or went wrong.
+if ! cmake --preset tsan $fresh; then
+  echo "run_tsan.sh: 'cmake --preset tsan' failed — the tsan preset could" >&2
+  echo "not be configured (see CMakePresets.json). If build-tsan/ holds a" >&2
+  echo "stale cache, rerun as: tests/run_tsan.sh --fresh" >&2
+  exit 1
+fi
+if [ ! -f build-tsan/CMakeCache.txt ]; then
+  echo "run_tsan.sh: build-tsan/CMakeCache.txt missing after configure —" >&2
+  echo "refusing to run ctest against a non-existent tree." >&2
+  exit 1
+fi
 cmake --build --preset tsan -j "$(nproc 2>/dev/null || echo 4)"
 
 # halt_on_error keeps a race from scrolling past; second_deadlock_stack

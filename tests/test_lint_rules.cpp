@@ -305,13 +305,245 @@ TEST(LintRules, RawChronoTimingSuppressible) {
                      "no-raw-chrono-timing"));
 }
 
+// ------------------------------------------------------ no-raw-std-mutex
+
+TEST(LintRules, RawStdMutexInLibraryFires) {
+  const auto f = lint("src/ml/foo.cpp", "std::mutex m;\n");
+  ASSERT_TRUE(fired(f, "no-raw-std-mutex"));
+  EXPECT_EQ(f[0].line, 1u);
+  EXPECT_TRUE(fired(lint("src/serve/foo.cpp",
+                         "std::lock_guard<std::mutex> lock(m_);\n"),
+                    "no-raw-std-mutex"));
+  EXPECT_TRUE(
+      fired(lint("src/obs/foo.cpp", "std::condition_variable cv;\n"),
+            "no-raw-std-mutex"));
+}
+
+TEST(LintRules, SyncImplToolsAndTestsMayUseStdMutex) {
+  // The wrappers themselves are the one home of the raw primitives, and
+  // the rule binds to library code only.
+  EXPECT_FALSE(fired(lint("src/common/mutex.hpp", "std::mutex m_;\n"),
+                     "no-raw-std-mutex"));
+  EXPECT_FALSE(fired(lint("src/common/lock_order.hpp", "std::mutex mu;\n"),
+                     "no-raw-std-mutex"));
+  EXPECT_FALSE(fired(lint("tests/test_foo.cpp", "std::mutex m;\n"),
+                     "no-raw-std-mutex"));
+  EXPECT_FALSE(fired(lint("tools/foo.cpp", "std::mutex m;\n"),
+                     "no-raw-std-mutex"));
+}
+
+TEST(LintRules, ScwcMutexAndUnrelatedIdentifiersAreClean) {
+  EXPECT_FALSE(fired(lint("src/serve/foo.cpp",
+                          "scwc::Mutex m{\"serve.foo\"};\n"),
+                     "no-raw-std-mutex"));
+  // Only the std:: qualification fires — a project type named
+  // my::lock_guard or a comment mention never does.
+  EXPECT_FALSE(fired(lint("src/serve/foo.cpp", "my::lock_guard g(m);\n"),
+                     "no-raw-std-mutex"));
+  EXPECT_FALSE(fired(lint("src/serve/foo.cpp",
+                          "// std::mutex is banned here\n"),
+                     "no-raw-std-mutex"));
+}
+
+// ------------------------------------------------ guarded-field-coverage
+
+TEST(LintRules, UnguardedFieldInMutexOwningClassFires) {
+  const auto f = lint("src/serve/foo.hpp",
+                      "#pragma once\n"
+                      "class Foo {\n"
+                      "  mutable Mutex mutex_{\"serve.foo\"};\n"
+                      "  int count_ = 0;\n"
+                      "};\n");
+  ASSERT_TRUE(fired(f, "guarded-field-coverage"));
+  EXPECT_EQ(f[0].line, 4u);
+  EXPECT_NE(f[0].message.find("count_"), std::string::npos);
+  EXPECT_NE(f[0].message.find("Foo"), std::string::npos);
+}
+
+TEST(LintRules, GuardedAndExemptFieldsAreClean) {
+  EXPECT_TRUE(lint("src/serve/foo.hpp",
+                   "#pragma once\n"
+                   "class Foo {\n"
+                   "  mutable Mutex mutex_{\"serve.foo\"};\n"
+                   "  CondVar cv_;\n"
+                   "  std::vector<int> items_ SCWC_GUARDED_BY(mutex_);\n"
+                   "  bool stop_ SCWC_GUARDED_BY(mutex_) = false;\n"
+                   "  const std::size_t capacity_;\n"
+                   "  std::atomic<int> hits_{0};\n"
+                   "  obs::CounterHandle obs_total_;\n"
+                   "  ModelRegistry& registry_;\n"
+                   "};\n")
+                  .empty());
+}
+
+TEST(LintRules, ClassWithoutMutexNeedsNoAnnotations) {
+  EXPECT_TRUE(lint("src/serve/foo.hpp",
+                   "#pragma once\n"
+                   "struct Config {\n"
+                   "  int threads = 0;\n"
+                   "  double budget_s = 0.0;\n"
+                   "};\n")
+                  .empty());
+}
+
+TEST(LintRules, MethodsAliasesAndNestedTypesAreNotFields) {
+  EXPECT_TRUE(lint("src/serve/foo.hpp",
+                   "#pragma once\n"
+                   "class Foo {\n"
+                   " public:\n"
+                   "  using Clock = std::chrono::steady_clock;\n"
+                   "  void start();\n"
+                   "  std::size_t size() const { return items_.size(); }\n"
+                   " private:\n"
+                   "  struct Slot {\n"
+                   "    int id = 0;\n"
+                   "  };\n"
+                   "  static constexpr int kMax = 4;\n"
+                   "  mutable Mutex mutex_{\"serve.foo\"};\n"
+                   "  std::vector<int> items_ SCWC_GUARDED_BY(mutex_);\n"
+                   "};\n")
+                  .empty());
+}
+
+TEST(LintRules, GuardedFieldCoverageSuppressible) {
+  EXPECT_TRUE(lint("src/serve/foo.hpp",
+                   "#pragma once\n"
+                   "class Foo {\n"
+                   "  mutable Mutex mutex_{\"serve.foo\"};\n"
+                   "  // Internally synchronized component.\n"
+                   "  Inner inner_;  // scwc-lint: allow(guarded-field-coverage)\n"
+                   "};\n")
+                  .empty());
+}
+
+// ------------------------------------------ no-lock-across-blocking-call
+
+TEST(LintRules, FutureGetUnderGuardFires) {
+  const auto f = lint("src/serve/foo.cpp",
+                      "void f() {\n"
+                      "  const LockGuard lock(mutex_);\n"
+                      "  auto r = result_future.get();"
+                      "  // scwc-lint: allow(no-unchecked-future-get)\n"
+                      "}\n");
+  ASSERT_TRUE(fired(f, "no-lock-across-blocking-call"));
+  EXPECT_EQ(f[0].line, 3u);
+  EXPECT_NE(f[0].message.find("lock"), std::string::npos);
+  EXPECT_NE(f[0].message.find("mutex_"), std::string::npos);
+}
+
+TEST(LintRules, GetAfterScopeCloseOrUnlockIsClean) {
+  // Guard scope ends with its block.
+  EXPECT_FALSE(fired(lint("src/serve/foo.cpp",
+                          "void f() {\n"
+                          "  {\n"
+                          "    const LockGuard lock(mutex_);\n"
+                          "    count_ = 1;\n"
+                          "  }\n"
+                          "  auto r = f_future.get();"
+                          "  // scwc-lint: allow(no-unchecked-future-get)\n"
+                          "}\n"),
+                     "no-lock-across-blocking-call"));
+  // An explicit unlock() also releases; a later lock() re-arms.
+  const auto f = lint("src/serve/foo.cpp",
+                      "void f() {\n"
+                      "  LockGuard lock(mutex_);\n"
+                      "  lock.unlock();\n"
+                      "  auto a = a_future.get();"
+                      "  // scwc-lint: allow(no-unchecked-future-get)\n"
+                      "  lock.lock();\n"
+                      "  auto b = b_future.get();"
+                      "  // scwc-lint: allow(no-unchecked-future-get)\n"
+                      "}\n");
+  ASSERT_TRUE(fired(f, "no-lock-across-blocking-call"));
+  EXPECT_EQ(f[0].line, 6u);  // only the re-locked get fires
+}
+
+TEST(LintRules, CvWaitOnGuardedMutexIsClean) {
+  EXPECT_FALSE(fired(lint("src/common/foo.cpp",
+                          "void f() {\n"
+                          "  const LockGuard lock(mutex_);\n"
+                          "  while (!ready_) cv_.wait(mutex_);\n"
+                          "}\n"),
+                     "no-lock-across-blocking-call"));
+  // std-style: the wait names the guard variable itself.
+  EXPECT_FALSE(fired(lint("tests/helper.hpp",
+                          "void f() {\n"
+                          "  std::unique_lock<std::mutex> lk(m_);\n"
+                          "  cv_.wait(lk, [&] { return ready_; });\n"
+                          "}\n"),
+                     "no-lock-across-blocking-call"));
+}
+
+TEST(LintRules, WaitOnForeignHandleUnderGuardFires) {
+  const auto f = lint("src/serve/foo.cpp",
+                      "void f() {\n"
+                      "  const LockGuard lock(a_mutex_);\n"
+                      "  other_cv_.wait(b_mutex_);\n"
+                      "}\n");
+  ASSERT_TRUE(fired(f, "no-lock-across-blocking-call"));
+  EXPECT_NE(f[0].message.find("other_cv_"), std::string::npos);
+  EXPECT_TRUE(fired(lint("src/serve/foo.cpp",
+                         "void f() {\n"
+                         "  const LockGuard lock(mutex_);\n"
+                         "  done_future.wait_for(std::chrono::seconds(1));\n"
+                         "}\n"),
+                    "no-lock-across-blocking-call"));
+}
+
+TEST(LintRules, GetWithinUnderGuardFires) {
+  EXPECT_TRUE(fired(lint("src/serve/foo.cpp",
+                         "void f() {\n"
+                         "  const LockGuard lock(mutex_);\n"
+                         "  auto r = get_within(fut, 1.0);\n"
+                         "}\n"),
+                    "no-lock-across-blocking-call"));
+  // Outside the guard scope it is the sanctioned bounded wait.
+  EXPECT_FALSE(fired(lint("src/serve/foo.cpp",
+                          "void f() {\n"
+                          "  auto r = get_within(fut, 1.0);\n"
+                          "}\n"),
+                     "no-lock-across-blocking-call"));
+}
+
+TEST(LintRules, LockAcrossBlockingCallSuppressible) {
+  EXPECT_FALSE(fired(lint("src/serve/foo.cpp",
+                          "void f() {\n"
+                          "  const LockGuard lock(mutex_);\n"
+                          "  auto r = get_within(fut, 1.0);"
+                          "  // scwc-lint: allow(no-lock-across-blocking-call)\n"
+                          "}\n"),
+                     "no-lock-across-blocking-call"));
+}
+
+// ------------------------------------------------------------ JSON output
+
+TEST(LintJson, EmptyFindingsSerialise) {
+  EXPECT_EQ(findings_to_json({}),
+            "{\"schema\":\"scwc.lint/v1\",\"count\":0,\"findings\":[]}");
+}
+
+TEST(LintJson, FindingsSerialiseWithEscapes) {
+  const std::vector<Finding> findings = {
+      {"src/a.cpp", 7, "no-raw-rand", "say \"no\" to rand\n"},
+      {"src/b.cpp", 9, "pragma-once", "missing guard"},
+  };
+  const std::string json = findings_to_json(findings);
+  EXPECT_NE(json.find("\"schema\":\"scwc.lint/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"file\":\"src/a.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":7"), std::string::npos);
+  EXPECT_NE(json.find("say \\\"no\\\" to rand\\n"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"pragma-once\""), std::string::npos);
+}
+
 TEST(LintRules, RuleNamesAreStable) {
   const auto& names = rule_names();
-  EXPECT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.size(), 11u);
   for (const std::string_view expected :
        {"no-raw-rand", "no-stdout-in-lib", "no-raw-getenv", "pragma-once",
         "no-float-eq", "no-naked-new", "no-unchecked-future-get",
-        "no-raw-chrono-timing"}) {
+        "no-raw-chrono-timing", "no-raw-std-mutex", "guarded-field-coverage",
+        "no-lock-across-blocking-call"}) {
     EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
                 names.end())
         << expected;

@@ -8,12 +8,16 @@
 #   obs-overhead instrumentation cost bounds      (micro_kernels obs benches)
 #   asan         full suite under ASan+UBSan      (tests/run_sanitized.sh)
 #   tsan         full suite under ThreadSanitizer (tests/run_tsan.sh)
+#   tsa          Clang thread-safety analysis     (cmake --preset tsa)
 #   tidy         curated clang-tidy set           (tools/run_clang_tidy.sh)
 #   lint         scwc_lint project invariants     (tools/scwc_lint)
 #
 # and prints one PASS/FAIL/SKIP line per gate plus a final verdict. A gate
 # failure does not stop later gates — CI wants the full picture in one run.
 # Exit status: 0 when no gate FAILed (SKIPs allowed), 1 otherwise.
+#
+# Artifacts: the lint gate also writes build/scwc_lint.json (scwc.lint/v1)
+# so CI can archive machine-readable findings next to the bench JSON.
 #
 # Environment: SCWC_CHECK_JOBS caps build/test parallelism (default nproc).
 set -u
@@ -137,6 +141,24 @@ run_gate asan tests/run_sanitized.sh
 # -- tsan ------------------------------------------------------------------
 run_gate tsan tests/run_tsan.sh
 
+# -- thread-safety analysis ------------------------------------------------
+# Compiles the whole tree with Clang's -Wthread-safety (as
+# -Werror=thread-safety, so only TSA findings can fail the gate) against
+# the SCWC_GUARDED_BY/SCWC_REQUIRES annotations. GCC compiles the
+# annotation macros to nothing, so this gate is the only place they are
+# actually checked — SKIP loudly when clang++ is unavailable.
+echo "==> gate: tsa"
+if ! command -v clang++ >/dev/null 2>&1; then
+  echo "check_all.sh: SKIP tsa — clang++ not found; the thread-safety" >&2
+  echo "annotations (src/common/thread_annotations.hpp) compile as no-ops" >&2
+  echo "under GCC and were NOT verified. Install clang to close this gap." >&2
+  record tsa 2
+elif cmake --preset tsa && cmake --build --preset tsa -j "$jobs"; then
+  record tsa 0
+else
+  record tsa 1
+fi
+
 # -- clang-tidy ------------------------------------------------------------
 echo "==> gate: tidy"
 if ! command -v clang-tidy >/dev/null 2>&1; then
@@ -151,6 +173,12 @@ fi
 # -- scwc_lint -------------------------------------------------------------
 echo "==> gate: lint"
 if [ -x build/tools/scwc_lint ]; then
+  # Human-readable findings gate the run; the JSON artifact is written
+  # either way so CI archives the machine-readable record (same exit
+  # status contract, so the artifact never masks a failure).
+  build/tools/scwc_lint --format=json "$repo_root" \
+    >build/scwc_lint.json 2>/dev/null
+  echo "check_all.sh: lint artifact written to build/scwc_lint.json"
   if build/tools/scwc_lint "$repo_root"; then record lint 0; else record lint 1; fi
 else
   echo "check_all.sh: build/tools/scwc_lint missing (release gate failed?)" >&2

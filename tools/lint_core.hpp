@@ -22,6 +22,26 @@
 //                     request timing must flow through
 //                     obs::seconds_between / signed_seconds_between so
 //                     every phase measurement shares one clamped helper
+//   no-raw-std-mutex  std::mutex / condition_variable / lock_guard /
+//                     unique_lock / … in library code bypass the annotated
+//                     scwc::Mutex / CondVar / LockGuard wrappers
+//                     (src/common/mutex.hpp), so neither Clang thread-safety
+//                     analysis nor the lock-order tracker can see the lock
+//   guarded-field-coverage
+//                     a class owning a scwc::Mutex must annotate every
+//                     mutable field with SCWC_GUARDED_BY (const / atomic /
+//                     reference / obs *Handle fields are exempt) — an
+//                     unannotated field is a data race the compiler cannot
+//                     check
+//   no-lock-across-blocking-call
+//                     future::get(), serve::get_within() or a condition-wait
+//                     on a *different* handle while a lock guard is live —
+//                     blocking under a held mutex stalls every other thread
+//                     on that lock and invites deadlock
+//
+// The first six scan line-by-line; the last three (and the chrono rule)
+// are declaration-aware: they parse class bodies, guard-variable scopes
+// and balanced macro argument lists out of the stripped text.
 //
 // Scans are textual but comment/string-literal aware: the source is first
 // rewritten with comment and literal *contents* blanked (line structure
@@ -60,6 +80,10 @@ struct FileContext {
   bool is_rng_impl = false;  ///< src/common/rng.* → no-raw-rand exempt
   bool is_env_impl = false;  ///< src/common/env.* → no-raw-getenv exempt
   bool in_serve = false;     ///< src/serve/ → no-raw-chrono-timing applies
+  /// src/common/{mutex,lock_order,thread_annotations}.* — the sync layer
+  /// itself wraps the raw std primitives, so no-raw-std-mutex,
+  /// guarded-field-coverage and no-lock-across-blocking-call are exempt.
+  bool is_sync_impl = false;
 };
 
 /// Derives the context from a repo-relative path like "src/common/rng.cpp".
@@ -81,5 +105,11 @@ struct FileContext {
 
 /// Names of all implemented rules (stable, kebab-case).
 [[nodiscard]] const std::vector<std::string>& rule_names();
+
+/// Serialises findings as one scwc.lint/v1 JSON document:
+///   {"schema":"scwc.lint/v1","count":N,
+///    "findings":[{"file":...,"line":N,"rule":...,"message":...},...]}
+/// Deterministic (findings keep their order) so CI artifacts diff cleanly.
+[[nodiscard]] std::string findings_to_json(const std::vector<Finding>& findings);
 
 }  // namespace scwc::lint

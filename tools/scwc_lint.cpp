@@ -2,12 +2,15 @@
 // rule table and DESIGN.md §8 for the rationale).
 //
 // Usage:
-//   scwc_lint [repo_root]     # default root: current directory
+//   scwc_lint [repo_root]            # default root: current directory
+//   scwc_lint --format=json [root]   # one scwc.lint/v1 JSON document
 //   scwc_lint --list-rules
 //
 // Exit status: 0 when the tree is clean, 1 when any rule fired, 2 on
-// usage/IO errors. Registered as a ctest (`scwc_lint`) so every preset
-// runs it; CI calls it through tools/check_all.sh.
+// usage/IO errors (the exit code is format-independent, so CI can archive
+// the JSON artifact and still gate on the status). Registered as a ctest
+// (`scwc_lint`) so every preset runs it; CI calls it through
+// tools/check_all.sh, which saves the JSON form as a build artifact.
 //
 // This is a standalone tool, not library code, so it prints to stdout on
 // purpose (it is also outside src/, where the no-stdout-in-lib rule binds).
@@ -23,6 +26,7 @@ int main(int argc, char** argv) {
   using scwc::lint::Finding;
 
   fs::path root = fs::current_path();
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--list-rules") {
@@ -31,8 +35,17 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (arg == "--format=json") {
+      json = true;
+      continue;
+    }
+    if (arg == "--format=text") {
+      json = false;
+      continue;
+    }
     if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: scwc_lint [repo_root] [--list-rules]\n";
+      std::cout << "usage: scwc_lint [repo_root] [--format=text|json] "
+                   "[--list-rules]\n";
       return 0;
     }
     if (arg.front() == '-') {
@@ -49,6 +62,10 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<Finding> findings = scwc::lint::lint_tree(root);
+  if (json) {
+    std::cout << scwc::lint::findings_to_json(findings) << '\n';
+    return findings.empty() ? 0 : 1;
+  }
   for (const Finding& f : findings) {
     std::cout << f.file << ':' << f.line << ": [" << f.rule << "] "
               << f.message << '\n';
