@@ -1,0 +1,58 @@
+#include "cluster/hash_ring.hpp"
+
+#include "common/error.hpp"
+
+namespace scwc::cluster {
+
+namespace {
+
+/// Ring point of one (shard, vnode) pair. The two halves are mixed
+/// separately so consecutive shard ids / vnode indices land far apart.
+std::uint64_t ring_point(std::uint32_t shard_id, std::size_t vnode) noexcept {
+  return mix64(mix64(static_cast<std::uint64_t>(shard_id) << 32) ^
+               mix64(static_cast<std::uint64_t>(vnode) + 1));
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t vnodes) : vnodes_(vnodes) {
+  SCWC_REQUIRE(vnodes_ > 0, "HashRing: vnodes must be positive");
+}
+
+void HashRing::add_shard(std::uint32_t shard_id) {
+  if (!shards_.insert(shard_id).second) return;
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    // Collisions between shards are possible in principle; first writer
+    // keeps the point, which only nudges the balance by one vnode.
+    ring_.emplace(ring_point(shard_id, v), shard_id);
+  }
+}
+
+void HashRing::remove_shard(std::uint32_t shard_id) {
+  if (shards_.erase(shard_id) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == shard_id) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool HashRing::contains(std::uint32_t shard_id) const {
+  return shards_.count(shard_id) > 0;
+}
+
+std::optional<std::uint32_t> HashRing::owner(std::int64_t job_id) const {
+  if (ring_.empty()) return std::nullopt;
+  const std::uint64_t h = mix64(static_cast<std::uint64_t>(job_id));
+  auto it = ring_.lower_bound(h);
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->second;
+}
+
+std::vector<std::uint32_t> HashRing::shards() const {
+  return {shards_.begin(), shards_.end()};
+}
+
+}  // namespace scwc::cluster

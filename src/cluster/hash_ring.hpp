@@ -1,0 +1,61 @@
+// Consistent-hash ring mapping job ids onto shards.
+//
+// Each shard contributes `vnodes` points on a 64-bit ring; a job id is
+// hashed to one point and owned by the first shard point at or after it
+// (wrapping). Removing a shard moves ONLY the jobs it owned — the classic
+// consistent-hashing property the cluster's rebalance-on-shard-kill
+// behaviour rests on: survivors keep their assignments, so a kill reshuffles
+// 1/N of the key space instead of all of it.
+//
+// Pure data structure, deliberately not synchronized: the ShardRouter
+// guards its ring with the router-level mutex, and tests drive it
+// single-threaded. Deterministic for a given (vnodes, shard-id set), so
+// placement is reproducible across runs and processes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace scwc::cluster {
+
+/// splitmix64 finalizer — the ring's point hash and key hash. Statistically
+/// strong enough for placement and fully deterministic (no seeding).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+class HashRing {
+ public:
+  /// `vnodes` points per shard. More vnodes → better balance at the cost
+  /// of a larger map; 64 keeps worst-case imbalance under ~30% for small
+  /// fleets (test_cluster checks this).
+  explicit HashRing(std::size_t vnodes = 64);
+
+  /// Adds a shard's vnodes. Adding an existing shard is a no-op.
+  void add_shard(std::uint32_t shard_id);
+
+  /// Removes a shard's vnodes. Unknown shards are a no-op.
+  void remove_shard(std::uint32_t shard_id);
+
+  [[nodiscard]] bool contains(std::uint32_t shard_id) const;
+
+  /// The shard owning `job_id`, or nullopt when the ring is empty.
+  [[nodiscard]] std::optional<std::uint32_t> owner(std::int64_t job_id) const;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] bool empty() const { return shards_.empty(); }
+  [[nodiscard]] std::vector<std::uint32_t> shards() const;
+
+ private:
+  std::size_t vnodes_;
+  std::map<std::uint64_t, std::uint32_t> ring_;  ///< point → shard id
+  std::set<std::uint32_t> shards_;
+};
+
+}  // namespace scwc::cluster

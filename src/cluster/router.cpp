@@ -1,0 +1,521 @@
+#include "cluster/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "net/wire.hpp"
+#include "obs/request_trace.hpp"
+
+namespace scwc::cluster {
+
+namespace {
+
+/// Chunk size for bundle streaming: large enough to amortise framing,
+/// comfortably under the wire cap.
+constexpr std::size_t kPushChunkBytes = 1ULL << 18;  // 256 KiB
+
+std::chrono::steady_clock::time_point deadline_after(double seconds) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(RouterConfig config)
+    : config_(config), ring_(config.vnodes) {
+  auto& reg = obs::MetricsRegistry::global();
+  obs_submitted_ = reg.counter("scwc_cluster_submitted_total");
+  obs_verdicts_ = reg.counter("scwc_cluster_verdicts_total");
+  obs_shed_queue_full_ = reg.counter("scwc_cluster_shed_queue_full_total");
+  obs_shed_shard_down_ = reg.counter("scwc_cluster_shed_shard_down_total");
+  obs_shed_shutdown_ = reg.counter("scwc_cluster_shed_shutdown_total");
+  obs_shard_deaths_ = reg.counter("scwc_cluster_shard_deaths_total");
+  obs_swap_pushes_ = reg.counter("scwc_cluster_swap_pushes_total");
+  obs_swap_rollbacks_ = reg.counter("scwc_cluster_swap_rollbacks_total");
+}
+
+ShardRouter::~ShardRouter() { stop(); }
+
+std::uint32_t ShardRouter::add_shard(std::uint16_t port) {
+  net::Socket sock = net::connect_loopback(port, config_.connect_deadline_s);
+  SCWC_REQUIRE(sock.valid(), "router: cannot connect to worker on port " +
+                                 std::to_string(port));
+  // Bound the handshake, then hand the reader a fully blocking socket —
+  // a reader-side receive timeout would be indistinguishable from EOF.
+  sock.set_io_timeout(config_.hello_timeout_s);
+  std::optional<net::Frame> frame = net::read_frame(sock);
+  SCWC_REQUIRE(frame.has_value() && frame->type == net::FrameType::kHello,
+               "router: worker on port " + std::to_string(port) +
+                   " did not complete the hello handshake");
+  sock.set_io_timeout(0);
+  const net::HelloFrame hello = net::decode_hello(frame->payload);
+
+  auto conn = std::make_shared<ShardConn>(hello.shard_id, port,
+                                          std::move(sock));
+  conn->hello = hello;
+  {
+    LockGuard lock(ring_mutex_);
+    SCWC_REQUIRE(!stopped_, "router: already stopped");
+    SCWC_REQUIRE(conns_.find(hello.shard_id) == conns_.end(),
+                 "router: shard " + std::to_string(hello.shard_id) +
+                     " is already connected");
+    ring_.add_shard(hello.shard_id);
+    conns_.emplace(hello.shard_id, conn);
+  }
+  conn->reader = std::thread([this, conn] { reader_loop(conn); });
+  SCWC_LOG_INFO("cluster router: shard "
+                << hello.shard_id << " joined from port " << port
+                << " (model '" << hello.model_version << "', "
+                << hello.window_steps << "×" << hello.sensors << ")");
+  return hello.shard_id;
+}
+
+std::future<serve::ServeResult> ShardRouter::submit(std::int64_t job_id,
+                                                    std::vector<double> window,
+                                                    std::size_t steps,
+                                                    std::size_t sensors) {
+  submitted_.fetch_add(1);
+  obs_submitted_.inc();
+
+  std::shared_ptr<ShardConn> conn;
+  bool stopped = false;
+  {
+    LockGuard lock(ring_mutex_);
+    stopped = stopped_;
+    if (!stopped) {
+      if (const auto owner_id = ring_.owner(job_id)) {
+        const auto it = conns_.find(*owner_id);
+        if (it != conns_.end()) conn = it->second;
+      }
+    }
+  }
+  if (stopped) return shed(serve::RejectReason::kShutdown);
+  if (conn == nullptr || !conn->up.load()) {
+    return shed(serve::RejectReason::kShardDown);
+  }
+
+  // Bounded in-flight per shard: router-level admission control.
+  if (conn->inflight.fetch_add(1) >= config_.max_inflight_per_shard) {
+    conn->inflight.fetch_sub(1);
+    return shed(serve::RejectReason::kQueueFull);
+  }
+
+  const std::uint64_t request_id = next_request_id_.fetch_add(1);
+  std::future<serve::ServeResult> future;
+  {
+    LockGuard lock(conn->pending_mutex);
+    PendingRequest& req = conn->pending[request_id];
+    req.submitted_at = std::chrono::steady_clock::now();
+    future = req.promise.get_future();
+  }
+
+  net::SubmitWindowFrame frame;
+  frame.request_id = request_id;
+  frame.job_id = job_id;
+  frame.deadline_ns =
+      config_.default_deadline_s > 0.0
+          ? static_cast<std::uint64_t>(config_.default_deadline_s * 1e9)
+          : 0;
+  frame.steps = static_cast<std::uint32_t>(steps);
+  frame.sensors = static_cast<std::uint32_t>(sensors);
+  frame.values = std::move(window);
+
+  if (!send(*conn, net::FrameType::kSubmitWindow,
+            net::encode_submit_window(frame))) {
+    {
+      LockGuard lock(conn->pending_mutex);
+      conn->pending.erase(request_id);
+    }
+    conn->inflight.fetch_sub(1);
+    mark_down(*conn, serve::RejectReason::kShardDown);
+    return shed(serve::RejectReason::kShardDown);
+  }
+  return future;
+}
+
+serve::ServeResult ShardRouter::submit_and_wait(
+    std::int64_t job_id, const std::vector<double>& window, std::size_t steps,
+    std::size_t sensors, const serve::RetryPolicy& policy, Rng& rng) {
+  return serve::retry_with_backoff(
+      policy, rng,
+      [&](double wait_s) -> std::optional<serve::ServeResult> {
+        std::future<serve::ServeResult> future =
+            submit(job_id, window, steps, sensors);
+        return serve::get_within(future, wait_s);
+      });
+}
+
+SwapReport ShardRouter::push_bundle(const std::string& bundle_bytes,
+                                    const std::string& version) {
+  obs_swap_pushes_.inc();
+  std::vector<std::shared_ptr<ShardConn>> targets;
+  {
+    LockGuard lock(ring_mutex_);
+    for (const auto& [id, conn] : conns_) {
+      if (conn->up.load()) targets.push_back(conn);
+    }
+  }
+  SwapReport report;
+  report.ok = !targets.empty();
+  for (const auto& conn : targets) {
+    SwapOutcome outcome = push_to_shard(*conn, bundle_bytes, version);
+    report.ok = report.ok && outcome.ok;
+    report.shards.push_back(std::move(outcome));
+  }
+  if (!report.ok && !report.shards.empty()) {
+    // Two-phase outcome: some shard refused (corrupt bytes, loader nack,
+    // death mid-push). Roll every shard that DID commit back one
+    // activation so the fleet stays version-consistent.
+    for (std::size_t i = 0; i < report.shards.size(); ++i) {
+      if (!report.shards[i].ok) continue;
+      abort_on_shard(*targets[i], report.shards[i],
+                     "sibling shard rejected bundle '" + version + "'");
+    }
+    obs_swap_rollbacks_.inc();
+    SCWC_LOG_WARN("cluster router: bundle '"
+                  << version << "' rejected; rolled back "
+                  << std::count_if(report.shards.begin(), report.shards.end(),
+                                   [](const SwapOutcome& o) {
+                                     return o.rolled_back;
+                                   })
+                  << " shard(s)");
+  }
+  return report;
+}
+
+std::optional<net::StatsReplyFrame> ShardRouter::fetch_stats(
+    std::uint32_t shard_id, double timeout_s) {
+  std::shared_ptr<ShardConn> conn;
+  {
+    LockGuard lock(ring_mutex_);
+    const auto it = conns_.find(shard_id);
+    if (it != conns_.end()) conn = it->second;
+  }
+  if (conn == nullptr || !conn->up.load()) return std::nullopt;
+  {
+    LockGuard lock(conn->control_mutex);
+    conn->stats_reply.reset();
+  }
+  if (!send(*conn, net::FrameType::kStats, "")) return std::nullopt;
+  const auto deadline = deadline_after(timeout_s);
+  LockGuard lock(conn->control_mutex);
+  while (!conn->stats_reply.has_value()) {
+    if (conn->control_cv.wait_until(conn->control_mutex, deadline) ==
+            std::cv_status::timeout &&
+        !conn->stats_reply.has_value()) {
+      return std::nullopt;
+    }
+  }
+  std::optional<net::StatsReplyFrame> reply = std::move(conn->stats_reply);
+  conn->stats_reply.reset();
+  return reply;
+}
+
+std::optional<std::uint32_t> ShardRouter::owner(std::int64_t job_id) const {
+  LockGuard lock(ring_mutex_);
+  return ring_.owner(job_id);
+}
+
+std::size_t ShardRouter::live_shards() const {
+  LockGuard lock(ring_mutex_);
+  return ring_.shard_count();
+}
+
+std::vector<ShardStatus> ShardRouter::shards() const {
+  std::vector<ShardStatus> out;
+  LockGuard lock(ring_mutex_);
+  out.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) {
+    ShardStatus status;
+    status.shard_id = id;
+    status.port = conn->port;
+    status.up = conn->up.load();
+    status.inflight = conn->inflight.load();
+    status.window_steps = conn->hello.window_steps;
+    status.sensors = conn->hello.sensors;
+    status.model_version = conn->hello.model_version;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+void ShardRouter::shutdown_workers() {
+  std::vector<std::shared_ptr<ShardConn>> targets;
+  {
+    LockGuard lock(ring_mutex_);
+    for (const auto& [id, conn] : conns_) {
+      if (conn->up.load()) targets.push_back(conn);
+    }
+  }
+  for (const auto& conn : targets) {
+    (void)send(*conn, net::FrameType::kShutdown, "");
+  }
+}
+
+void ShardRouter::stop() {
+  std::map<std::uint32_t, std::shared_ptr<ShardConn>> conns;
+  {
+    LockGuard lock(ring_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    conns = conns_;
+  }
+  for (const auto& [id, conn] : conns) {
+    mark_down(*conn, serve::RejectReason::kShutdown);
+  }
+  for (const auto& [id, conn] : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+    conn->sock.close();
+  }
+}
+
+void ShardRouter::reader_loop(const std::shared_ptr<ShardConn>& conn) {
+  try {
+    while (std::optional<net::Frame> frame = net::read_frame(conn->sock)) {
+      switch (frame->type) {
+        case net::FrameType::kVerdict: {
+          const net::VerdictFrame v = net::decode_verdict(frame->payload);
+          PendingRequest req;
+          bool found = false;
+          {
+            LockGuard lock(conn->pending_mutex);
+            const auto it = conn->pending.find(v.request_id);
+            if (it != conn->pending.end()) {
+              req = std::move(it->second);
+              conn->pending.erase(it);
+              found = true;
+            }
+          }
+          if (!found) {
+            // Stream-driven verdicts (high id bit) and verdicts for
+            // requests we already failed land here.
+            orphan_verdicts_.fetch_add(1);
+            break;
+          }
+          conn->inflight.fetch_sub(1);
+          verdicts_.fetch_add(1);
+          obs_verdicts_.inc();
+
+          serve::ServeResult result;
+          result.accepted = v.accepted;
+          result.reject_reason =
+              static_cast<serve::RejectReason>(v.reject_reason);
+          result.prediction.label = v.label;
+          result.prediction.abstained = v.abstained;
+          result.prediction.reason =
+              static_cast<robust::AbstainReason>(v.abstain_reason);
+          result.prediction.report.steps = conn->hello.window_steps;
+          result.prediction.report.sensors = conn->hello.sensors;
+          result.prediction.report.missing_values = v.missing_values;
+          result.prediction.report.repaired_values = v.repaired_values;
+          result.model_version = v.model_version;
+          result.batch_size = v.batch_size;
+          result.degrade_level = v.degrade_level;
+          result.trace_id = v.trace_id;
+          result.total_latency_s = obs::seconds_between(
+              req.submitted_at, std::chrono::steady_clock::now());
+          // Repurposed at the router tier: time NOT spent inside the
+          // worker, i.e. wire + router overhead.
+          result.queue_delay_s =
+              std::max(0.0, result.total_latency_s - v.worker_latency_s);
+          req.promise.set_value(std::move(result));
+          break;
+        }
+        case net::FrameType::kSwapAck: {
+          {
+            LockGuard lock(conn->control_mutex);
+            conn->swap_ack = net::decode_swap_ack(frame->payload);
+          }
+          conn->control_cv.notify_all();
+          break;
+        }
+        case net::FrameType::kStatsReply: {
+          {
+            LockGuard lock(conn->control_mutex);
+            conn->stats_reply = net::decode_stats_reply(frame->payload);
+          }
+          conn->control_cv.notify_all();
+          break;
+        }
+        case net::FrameType::kError: {
+          const net::ErrorFrame err = net::decode_error(frame->payload);
+          SCWC_LOG_WARN("cluster router: shard "
+                        << conn->shard_id << " reported: " << err.message);
+          break;
+        }
+        default:
+          break;  // kPong and anything else valid-but-unexpected
+      }
+    }
+  } catch (const scwc::Error& e) {
+    SCWC_LOG_WARN("cluster router: protocol error from shard "
+                  << conn->shard_id << ": " << e.what());
+  }
+  mark_down(*conn, serve::RejectReason::kShardDown);
+}
+
+void ShardRouter::mark_down(ShardConn& conn, serve::RejectReason reason) {
+  const bool first = conn.up.exchange(false);
+  if (first) {
+    {
+      LockGuard lock(ring_mutex_);
+      ring_.remove_shard(conn.shard_id);
+    }
+    if (reason == serve::RejectReason::kShardDown) {
+      obs_shard_deaths_.inc();
+      SCWC_LOG_WARN("cluster router: shard "
+                    << conn.shard_id
+                    << " down — ring rehashed onto survivors");
+    }
+  }
+  conn.sock.shutdown_now();
+  // Fail everything in flight with the typed reason; late registrations
+  // from racing submitters fail at their send() and clean up themselves.
+  std::unordered_map<std::uint64_t, PendingRequest> orphaned;
+  {
+    LockGuard lock(conn.pending_mutex);
+    orphaned.swap(conn.pending);
+  }
+  for (auto& [id, req] : orphaned) {
+    conn.inflight.fetch_sub(1);
+    serve::ServeResult result;
+    result.accepted = false;
+    result.reject_reason = reason;
+    if (reason == serve::RejectReason::kShardDown) {
+      obs_shed_shard_down_.inc();
+    } else {
+      obs_shed_shutdown_.inc();
+    }
+    req.promise.set_value(std::move(result));
+  }
+  {
+    LockGuard lock(conn.control_mutex);
+    if (!conn.swap_ack.has_value()) {
+      net::SwapAckFrame ack;
+      ack.ok = false;
+      ack.message = "shard down";
+      conn.swap_ack = ack;
+    }
+  }
+  conn.control_cv.notify_all();
+}
+
+std::future<serve::ServeResult> ShardRouter::shed(
+    serve::RejectReason reason) {
+  switch (reason) {
+    case serve::RejectReason::kQueueFull:
+      obs_shed_queue_full_.inc();
+      break;
+    case serve::RejectReason::kShardDown:
+      obs_shed_shard_down_.inc();
+      break;
+    case serve::RejectReason::kShutdown:
+      obs_shed_shutdown_.inc();
+      break;
+    default:
+      break;
+  }
+  std::promise<serve::ServeResult> promise;
+  serve::ServeResult result;
+  result.accepted = false;
+  result.reject_reason = reason;
+  promise.set_value(std::move(result));
+  return promise.get_future();
+}
+
+SwapOutcome ShardRouter::push_to_shard(ShardConn& conn,
+                                       const std::string& bundle_bytes,
+                                       const std::string& version) {
+  SwapOutcome outcome;
+  outcome.shard_id = conn.shard_id;
+  {
+    LockGuard lock(conn.control_mutex);
+    conn.swap_ack.reset();
+  }
+  net::SwapBeginFrame begin;
+  begin.version = version;
+  begin.total_bytes = bundle_bytes.size();
+  if (!send(conn, net::FrameType::kSwapBegin,
+            net::encode_swap_begin(begin))) {
+    outcome.message = "send failed (shard gone?)";
+    return outcome;
+  }
+  for (std::size_t offset = 0; offset < bundle_bytes.size();
+       offset += kPushChunkBytes) {
+    net::SwapChunkFrame chunk;
+    chunk.offset = offset;
+    chunk.bytes = bundle_bytes.substr(
+        offset, std::min(kPushChunkBytes, bundle_bytes.size() - offset));
+    if (!send(conn, net::FrameType::kSwapChunk,
+              net::encode_swap_chunk(chunk))) {
+      outcome.message = "send failed mid-stream";
+      return outcome;
+    }
+  }
+  net::SwapCommitFrame commit;
+  commit.crc32 = net::crc32(bundle_bytes);
+  if (!send(conn, net::FrameType::kSwapCommit,
+            net::encode_swap_commit(commit))) {
+    outcome.message = "commit send failed";
+    return outcome;
+  }
+  const std::optional<net::SwapAckFrame> ack =
+      wait_swap_ack(conn, config_.swap_ack_timeout_s);
+  if (!ack.has_value()) {
+    outcome.message = "swap ack timeout";
+    return outcome;
+  }
+  outcome.ok = ack->ok;
+  outcome.active_version = ack->active_version;
+  outcome.message = ack->message;
+  return outcome;
+}
+
+void ShardRouter::abort_on_shard(ShardConn& conn, SwapOutcome& outcome,
+                                 const std::string& reason) {
+  {
+    LockGuard lock(conn.control_mutex);
+    conn.swap_ack.reset();
+  }
+  net::SwapAbortFrame abort_frame;
+  abort_frame.reason = reason;
+  if (!send(conn, net::FrameType::kSwapAbort,
+            net::encode_swap_abort(abort_frame))) {
+    outcome.message = "rollback send failed";
+    outcome.ok = false;
+    return;
+  }
+  const std::optional<net::SwapAckFrame> ack =
+      wait_swap_ack(conn, config_.swap_ack_timeout_s);
+  outcome.rolled_back = ack.has_value() && ack->ok;
+  outcome.ok = false;  // the push as a whole did not take on this shard
+  if (ack.has_value()) outcome.active_version = ack->active_version;
+}
+
+std::optional<net::SwapAckFrame> ShardRouter::wait_swap_ack(
+    ShardConn& conn, double timeout_s) {
+  const auto deadline = deadline_after(timeout_s);
+  LockGuard lock(conn.control_mutex);
+  while (!conn.swap_ack.has_value()) {
+    if (conn.control_cv.wait_until(conn.control_mutex, deadline) ==
+            std::cv_status::timeout &&
+        !conn.swap_ack.has_value()) {
+      return std::nullopt;
+    }
+  }
+  std::optional<net::SwapAckFrame> ack = std::move(conn.swap_ack);
+  conn.swap_ack.reset();
+  return ack;
+}
+
+bool ShardRouter::send(ShardConn& conn, net::FrameType type,
+                       std::string_view payload) {
+  LockGuard lock(conn.write_mutex);
+  return net::write_frame(conn.sock, type, payload);
+}
+
+}  // namespace scwc::cluster

@@ -20,6 +20,8 @@ const char* reject_reason_name(RejectReason reason) noexcept {
       return "deadline";
     case RejectReason::kInternal:
       return "internal";
+    case RejectReason::kShardDown:
+      return "shard_down";
   }
   return "?";
 }
@@ -27,7 +29,8 @@ const char* reject_reason_name(RejectReason reason) noexcept {
 bool retryable(RejectReason reason) noexcept {
   return reason == RejectReason::kQueueFull ||
          reason == RejectReason::kExecutor ||
-         reason == RejectReason::kInternal;
+         reason == RejectReason::kInternal ||
+         reason == RejectReason::kShardDown;
 }
 
 AdmissionController::AdmissionController(ThreadPool& pool,
@@ -62,6 +65,8 @@ void AdmissionController::count_shed(RejectReason reason) noexcept {
     case RejectReason::kInternal:
       obs_shed_internal_.inc();
       break;
+    case RejectReason::kShardDown:  // router-level shed; the ShardRouter
+      break;                        // keeps its own per-reason counters
     case RejectReason::kNone:
       break;
   }

@@ -19,10 +19,9 @@ std::optional<ServeResult> get_within(std::future<ServeResult>& future,
   return future.get();  // scwc-lint: allow(no-unchecked-future-get)
 }
 
-ServeResult submit_with_retry(ClassificationService& service,
-                              const std::vector<double>& window,
-                              std::size_t steps, std::size_t sensors,
-                              const RetryPolicy& policy, Rng& rng) {
+ServeResult retry_with_backoff(
+    const RetryPolicy& policy, Rng& rng,
+    const std::function<std::optional<ServeResult>(double)>& attempt) {
   auto& reg = obs::MetricsRegistry::global();
   obs::CounterHandle retries =
       reg.counter("scwc_serve_client_retries_total");
@@ -40,8 +39,8 @@ ServeResult submit_with_retry(ClassificationService& service,
   last.reject_reason = RejectReason::kDeadlineExceeded;
   double backoff = policy.initial_backoff_s;
   const std::size_t attempts = std::max<std::size_t>(1, policy.max_attempts);
-  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
-    if (attempt > 0) {
+  for (std::size_t try_index = 0; try_index < attempts; ++try_index) {
+    if (try_index > 0) {
       const double lo = std::max(0.0, 1.0 - policy.jitter);
       const double hi = 1.0 + policy.jitter;
       const double sleep_s = backoff * rng.uniform(lo, hi);
@@ -51,15 +50,13 @@ ServeResult submit_with_retry(ClassificationService& service,
                          policy.max_backoff_s);
       retries.inc();
     }
-    std::future<ServeResult> future =
-        service.submit(window, steps, sensors);
     const double wait_s = budget_left();
     if (wait_s <= 0.0) break;
-    std::optional<ServeResult> result = get_within(future, wait_s);
+    std::optional<ServeResult> result = attempt(wait_s);
     if (!result.has_value()) break;  // budget exhausted mid-flight
     last = std::move(*result);
     if (last.accepted || !retryable(last.reject_reason)) {
-      if (last.accepted && attempt > 0) recovered.inc();
+      if (last.accepted && try_index > 0) recovered.inc();
       return last;
     }
   }
@@ -71,6 +68,18 @@ ServeResult submit_with_retry(ClassificationService& service,
     last.reject_reason = RejectReason::kDeadlineExceeded;
   }
   return last;
+}
+
+ServeResult submit_with_retry(ClassificationService& service,
+                              const std::vector<double>& window,
+                              std::size_t steps, std::size_t sensors,
+                              const RetryPolicy& policy, Rng& rng) {
+  return retry_with_backoff(
+      policy, rng, [&](double wait_s) -> std::optional<ServeResult> {
+        std::future<ServeResult> future = service.submit(window, steps,
+                                                         sensors);
+        return get_within(future, wait_s);
+      });
 }
 
 }  // namespace scwc::serve

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <optional>
 #include <vector>
@@ -38,6 +39,19 @@ struct RetryPolicy {
 /// The future stays valid on timeout — the caller may wait again later.
 [[nodiscard]] std::optional<ServeResult> get_within(
     std::future<ServeResult>& future, double timeout_s);
+
+/// The generic retry core behind submit_with_retry (and the cluster
+/// router's submit_and_wait): runs `attempt(budget_left_s)` up to
+/// policy.max_attempts times with jittered exponential backoff between
+/// tries. `attempt` performs one bounded submission — it gets the
+/// remaining wall-clock budget and returns the result, or nullopt when its
+/// own wait timed out (which ends the loop: the budget is spent). Returns
+/// the first accepted or non-retryable result; when attempts or budget run
+/// out on a retryable shed, the reason is rewritten to kDeadlineExceeded
+/// (the caller could not wait any longer).
+[[nodiscard]] ServeResult retry_with_backoff(
+    const RetryPolicy& policy, Rng& rng,
+    const std::function<std::optional<ServeResult>(double)>& attempt);
 
 /// Submits `window`, retrying retryable sheds under `policy`. Blocks the
 /// calling thread across backoff sleeps and future waits — this is a

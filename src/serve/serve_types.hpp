@@ -28,14 +28,18 @@ enum class RejectReason {
   kNoModel,           ///< registry has no active bundle
   kDeadlineExceeded,  ///< request deadline passed before a fresh answer
   kInternal,          ///< batch executor failed/lost the request (or chaos)
+  kShardDown,         ///< cluster router: the shard owning this job died
+                      ///< mid-flight or the ring has no live shard left
 };
 
 /// Short stable name ("queue_full", "executor", "shutdown", "no_model",
-/// "deadline", "internal"; "none" when accepted).
+/// "deadline", "internal", "shard_down"; "none" when accepted).
 [[nodiscard]] const char* reject_reason_name(RejectReason reason) noexcept;
 
 /// True for shed reasons a client may sensibly retry after backing off:
-/// transient overload (kQueueFull, kExecutor) and executor loss (kInternal).
+/// transient overload (kQueueFull, kExecutor), executor loss (kInternal)
+/// and a dead shard (kShardDown — the router rehashes the job onto the
+/// survivors, so a resubmit lands somewhere alive).
 /// Shutdown, missing models and expired deadlines are not retryable.
 [[nodiscard]] bool retryable(RejectReason reason) noexcept;
 

@@ -536,14 +536,81 @@ TEST(LintJson, FindingsSerialiseWithEscapes) {
   EXPECT_NE(json.find("\"rule\":\"pragma-once\""), std::string::npos);
 }
 
+// ---------------------------------------------------- no-raw-socket-calls
+
+TEST(LintRules, RawSocketCallFiresEverywhereButTheNetLayer) {
+  const std::string call = "int fd = ::socket(AF_INET, SOCK_STREAM, 0);\n";
+  EXPECT_TRUE(fired(lint("src/foo/bar.cpp", call), "no-raw-socket-calls"));
+  EXPECT_TRUE(fired(lint("tests/test_foo.cpp", call),
+                    "no-raw-socket-calls"));
+  EXPECT_TRUE(fired(lint("bench/foo.cpp", call), "no-raw-socket-calls"));
+  EXPECT_TRUE(fired(lint("src/cluster/router.cpp",
+                         "::connect(fd, addr, len);\n"),
+                    "no-raw-socket-calls"));
+  EXPECT_TRUE(
+      fired(lint("src/foo.cpp", "::send(fd, p, n, 0);\n"),
+            "no-raw-socket-calls"));
+}
+
+TEST(LintRules, NetLayerAndScrapeImplAreExempt) {
+  const std::string call = "int fd = ::socket(AF_INET, SOCK_STREAM, 0);\n";
+  EXPECT_FALSE(fired(lint("src/net/socket.cpp", call),
+                     "no-raw-socket-calls"));
+  EXPECT_FALSE(fired(lint("src/net/socket.hpp", call),
+                     "no-raw-socket-calls"));
+  EXPECT_FALSE(fired(lint("src/obs/scrape.cpp", call),
+                     "no-raw-socket-calls"));
+}
+
+TEST(LintRules, QualifiedNamesAndWrappersAreClean) {
+  // Only the GLOBAL-scope syscall spelling fires: qualified names
+  // (std::bind, Socket::connect), wrapper methods and enumerators that
+  // merely contain a syscall name must all stay clean.
+  EXPECT_FALSE(fired(lint("src/foo.cpp", "auto f = std::bind(g, 1);\n"),
+                     "no-raw-socket-calls"));
+  EXPECT_FALSE(fired(lint("src/foo.cpp", "sock.send_all(data);\n"),
+                     "no-raw-socket-calls"));
+  EXPECT_FALSE(fired(lint("src/foo.cpp",
+                          "net::Socket s = net::connect_loopback(p, 1.0);\n"),
+                     "no-raw-socket-calls"));
+  EXPECT_FALSE(fired(lint("src/foo.cpp",
+                          "case net::FrameType::kShutdown: break;\n"),
+                     "no-raw-socket-calls"));
+  EXPECT_FALSE(fired(lint("src/foo.cpp", "listener_.accept();\n"),
+                     "no-raw-socket-calls"));
+  // Comments and strings never fire.
+  EXPECT_FALSE(fired(lint("src/foo.cpp",
+                          "// call ::socket() somewhere else\n"
+                          "log(\"::recv( failed\");\n"),
+                     "no-raw-socket-calls"));
+}
+
+TEST(LintRules, RawSocketCallSuppressible) {
+  EXPECT_FALSE(fired(lint("src/foo.cpp",
+                          "::shutdown(fd, SHUT_RDWR);"
+                          "  // scwc-lint: allow(no-raw-socket-calls)\n"),
+                     "no-raw-socket-calls"));
+}
+
+TEST(LintRules, RawChronoDeltaInClusterFires) {
+  // The cluster layer is request-path code like serve: inline clock
+  // deltas must use the shared obs helpers there too.
+  const std::string delta =
+      "double s = std::chrono::duration<double>(now - start).count();\n";
+  EXPECT_TRUE(fired(lint("src/cluster/router.cpp", delta),
+                    "no-raw-chrono-timing"));
+  EXPECT_FALSE(fired(lint("src/net/socket.cpp", delta),
+                     "no-raw-chrono-timing"));
+}
+
 TEST(LintRules, RuleNamesAreStable) {
   const auto& names = rule_names();
-  EXPECT_EQ(names.size(), 11u);
+  EXPECT_EQ(names.size(), 12u);
   for (const std::string_view expected :
        {"no-raw-rand", "no-stdout-in-lib", "no-raw-getenv", "pragma-once",
         "no-float-eq", "no-naked-new", "no-unchecked-future-get",
         "no-raw-chrono-timing", "no-raw-std-mutex", "guarded-field-coverage",
-        "no-lock-across-blocking-call"}) {
+        "no-lock-across-blocking-call", "no-raw-socket-calls"}) {
     EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
                 names.end())
         << expected;

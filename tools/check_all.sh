@@ -5,6 +5,8 @@
 #   release      configure + build + ctest for the release preset
 #   serve-smoke  self-checking serving load test  (SCWC_SMOKE=1 bench)
 #   chaos-smoke  fault-injection sweep of the self-healing serve stack
+#   cluster-smoke sharded-serving bench: real worker fleet over loopback
+#                TCP, shard-kill availability + fleet-wide hot-swap gates
 #   obs-overhead instrumentation cost bounds      (micro_kernels obs benches)
 #   asan         full suite under ASan+UBSan      (tests/run_sanitized.sh)
 #   tsan         full suite under ThreadSanitizer (tests/run_tsan.sh)
@@ -91,6 +93,27 @@ if [ -x build/bench/serve_chaos ]; then
 else
   echo "check_all.sh: build/bench/serve_chaos missing (release gate failed?)" >&2
   record chaos-smoke 1
+fi
+
+# -- cluster-smoke ---------------------------------------------------------
+# Shortened run of the sharded-serving bench: forks a real 2-worker fleet,
+# drives it over loopback TCP, SIGKILLs one shard mid-load (availability
+# gate ≥0.95 stays enforced even in smoke mode) and pushes a good + a
+# corrupt bundle fleet-wide (commit-everywhere / rollback-everywhere gates
+# also enforced). The full run writes the tracked BENCH_cluster.json.
+echo "==> gate: cluster-smoke"
+if [ -x build/bench/cluster_throughput ] && [ -x build/tools/scwc_worker ]; then
+  if env SCWC_SMOKE=1 SCWC_SCALE=tiny build/bench/cluster_throughput \
+       --worker build/tools/scwc_worker \
+       --tmp-dir build/bench \
+       --out build/bench/BENCH_cluster_smoke.json; then
+    record cluster-smoke 0
+  else
+    record cluster-smoke 1
+  fi
+else
+  echo "check_all.sh: build/bench/cluster_throughput or build/tools/scwc_worker missing (release gate failed?)" >&2
+  record cluster-smoke 1
 fi
 
 # -- obs-overhead ----------------------------------------------------------

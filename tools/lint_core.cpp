@@ -693,9 +693,12 @@ FileContext classify_path(std::string_view rel_path) {
   ctx.is_rng_impl = rel_path.starts_with("src/common/rng.");
   ctx.is_env_impl = rel_path.starts_with("src/common/env.");
   ctx.in_serve = rel_path.starts_with("src/serve/");
+  ctx.in_cluster = rel_path.starts_with("src/cluster/");
   ctx.is_sync_impl = rel_path.starts_with("src/common/mutex.") ||
                      rel_path.starts_with("src/common/lock_order.") ||
                      rel_path.starts_with("src/common/thread_annotations.");
+  ctx.is_net_impl = rel_path.starts_with("src/net/") ||
+                    rel_path.starts_with("src/obs/scrape.");
   return ctx;
 }
 
@@ -790,7 +793,7 @@ const std::vector<std::string>& rule_names() {
       "pragma-once",  "no-float-eq",      "no-naked-new",
       "no-unchecked-future-get", "no-raw-chrono-timing",
       "no-raw-std-mutex", "guarded-field-coverage",
-      "no-lock-across-blocking-call",
+      "no-lock-across-blocking-call", "no-raw-socket-calls",
   };
   return kNames;
 }
@@ -902,6 +905,41 @@ std::vector<Finding> lint_source(std::string_view rel_path,
              "(src/common/env.hpp)");
     }
 
+    // no-raw-socket-calls: a global-scope socket syscall (`::bind(` with
+    // nothing qualifying the `::`) outside the sanctioned net layer. Keyed
+    // on the explicit `::` so `std::bind(`, `sock.connect(...)` wrappers
+    // and FrameType::kShutdown never fire — the project style always
+    // spells raw syscalls with the global qualifier, and the two files
+    // allowed to do so are exempt by path.
+    if (!ctx.is_net_impl) {
+      for (const std::string_view syscall :
+           {"socket", "bind", "connect", "listen", "accept", "send", "recv",
+            "sendto", "recvfrom", "shutdown", "setsockopt", "getsockopt",
+            "getsockname"}) {
+        const std::string pattern = "::" + std::string(syscall) + "(";
+        std::size_t pos = line.find(pattern);
+        bool fired = false;
+        while (pos != std::string_view::npos) {
+          // Global scope only: `x::bind(`/`>::send(` are qualified names.
+          const bool global =
+              pos == 0 ||
+              (!is_ident_char(line[pos - 1]) && line[pos - 1] != ':' &&
+               line[pos - 1] != '>');
+          if (global) {
+            report(i, "no-raw-socket-calls",
+                   "raw '::" + std::string(syscall) +
+                       "()' outside src/net//src/obs/scrape.* — speak "
+                       "frames through net::Socket / read_frame / "
+                       "write_frame (src/net/socket.hpp)");
+            fired = true;
+            break;
+          }
+          pos = line.find(pattern, pos + 1);
+        }
+        if (fired) break;  // one report per line is enough
+      }
+    }
+
     // no-unchecked-future-get: in lib code, a bare .get() on a future
     // blocks forever if the promise side is lost — the serve layer must
     // bound every wait (wait_for/wait_until, or serve::get_within which
@@ -960,11 +998,12 @@ std::vector<Finding> lint_source(std::string_view rel_path,
   }
 
   // no-raw-chrono-timing: whole-text scan (the delta often spans lines).
-  // In src/serve/, `duration<double>(a - b)` / `duration_cast<...>(a - b)`
-  // is an inline clock delta — request timing must flow through
-  // obs::seconds_between / signed_seconds_between instead, so every phase
-  // measurement shares one clamped, lint-visible helper.
-  if (ctx.in_serve) {
+  // In src/serve/ and src/cluster/, `duration<double>(a - b)` /
+  // `duration_cast<...>(a - b)` is an inline clock delta — request timing
+  // must flow through obs::seconds_between / signed_seconds_between
+  // instead, so every phase measurement shares one clamped, lint-visible
+  // helper.
+  if (ctx.in_serve || ctx.in_cluster) {
     const std::string_view text = stripped;
     for (const std::string_view token : {"duration", "duration_cast"}) {
       std::size_t pos = 0;
@@ -995,7 +1034,7 @@ std::vector<Finding> lint_source(std::string_view rel_path,
                          text.begin() + static_cast<std::ptrdiff_t>(pos),
                          '\n'));
           report(line_index, "no-raw-chrono-timing",
-                 "inline clock delta in src/serve/ — measure with "
+                 "inline clock delta in request-path code — measure with "
                  "obs::seconds_between / signed_seconds_between "
                  "(src/obs/request_trace.hpp)");
         }

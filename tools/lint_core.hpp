@@ -18,10 +18,16 @@
 //                     wait_for/wait_until or serve::get_within
 //   no-raw-chrono-timing
 //                     inline steady_clock deltas (duration<double>(a - b),
-//                     duration_cast of a subtraction) in src/serve/ —
-//                     request timing must flow through
+//                     duration_cast of a subtraction) in src/serve/ or
+//                     src/cluster/ — request timing must flow through
 //                     obs::seconds_between / signed_seconds_between so
 //                     every phase measurement shares one clamped helper
+//   no-raw-socket-calls
+//                     global-scope socket syscalls (::socket, ::bind,
+//                     ::connect, ::send, ::recv, …) outside src/net/ and
+//                     src/obs/scrape.* — everything else must speak frames
+//                     through net::Socket / read_frame / write_frame so fd
+//                     lifecycle and timeout handling live in one place
 //   no-raw-std-mutex  std::mutex / condition_variable / lock_guard /
 //                     unique_lock / … in library code bypass the annotated
 //                     scwc::Mutex / CondVar / LockGuard wrappers
@@ -80,10 +86,14 @@ struct FileContext {
   bool is_rng_impl = false;  ///< src/common/rng.* → no-raw-rand exempt
   bool is_env_impl = false;  ///< src/common/env.* → no-raw-getenv exempt
   bool in_serve = false;     ///< src/serve/ → no-raw-chrono-timing applies
+  bool in_cluster = false;   ///< src/cluster/ → no-raw-chrono-timing applies
   /// src/common/{mutex,lock_order,thread_annotations}.* — the sync layer
   /// itself wraps the raw std primitives, so no-raw-std-mutex,
   /// guarded-field-coverage and no-lock-across-blocking-call are exempt.
   bool is_sync_impl = false;
+  /// src/net/* and src/obs/scrape.* — the two sanctioned homes of raw
+  /// socket syscalls; everywhere else no-raw-socket-calls applies.
+  bool is_net_impl = false;
 };
 
 /// Derives the context from a repo-relative path like "src/common/rng.cpp".

@@ -1,0 +1,95 @@
+// scwc_worker — one shard process of the sharded serving cluster.
+//
+// Loads a serialized model bundle (optional — without one the shard serves
+// kNoModel sheds until the router pushes a bundle), stands a ClusterWorker
+// up on a loopback port and parks until the router sends kShutdown. With
+// --port 0 the kernel picks an ephemeral port; --port-file publishes the
+// bound port for the parent process (bench/cluster_throughput and the
+// cluster-smoke gate use exactly that rendezvous).
+//
+// Usage:
+//   scwc_worker --shard-id 0 --bundle model.scwcbndl --port 0
+//               --port-file /tmp/shard0.port
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cluster/worker.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "serve/bundle_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scwc;
+  CliParser cli("One shard of the sharded serving cluster.");
+  cli.add_flag("shard-id", "0", "numeric shard identity (unique per fleet)");
+  cli.add_flag("port", "0", "listen port; 0 picks an ephemeral port");
+  cli.add_flag("port-file", "",
+               "write the bound port here once listening (parent rendezvous)");
+  cli.add_flag("bundle", "", "serialized bundle to load + activate at boot");
+  cli.add_flag("steps", "12", "window steps when no bundle sets geometry");
+  cli.add_flag("sensors", "3", "window sensors when no bundle sets geometry");
+  cli.add_flag("max-batch", "64", "micro-batch size bound");
+  cli.add_flag("max-pending", "4096", "admission bound on queued requests");
+  cli.add_flag("batch-delay-ms", "2", "micro-batch max delay");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) return 0;
+
+  try {
+    serve::ModelRegistry registry;
+    std::size_t steps = static_cast<std::size_t>(cli.get_int("steps"));
+    std::size_t sensors = static_cast<std::size_t>(cli.get_int("sensors"));
+    const std::string bundle_path = cli.get_string("bundle");
+    if (!bundle_path.empty()) {
+      const auto bundle = serve::load_bundle_file(bundle_path);
+      steps = bundle->guard_config().window_steps;
+      sensors = bundle->guard_config().sensors;
+      registry.register_bundle(bundle);
+      std::cout << "loaded bundle '" << bundle->version() << "' (" << steps
+                << "×" << sensors << ")\n";
+    }
+
+    cluster::WorkerConfig config;
+    config.shard_id = static_cast<std::uint32_t>(cli.get_int("shard-id"));
+    config.port = static_cast<std::uint16_t>(cli.get_int("port"));
+    config.service.assembler.window_steps = steps;
+    config.service.assembler.sensors = sensors;
+    config.service.batcher.max_batch =
+        static_cast<std::size_t>(cli.get_int("max-batch"));
+    config.service.batcher.max_delay_s =
+        cli.get_double("batch-delay-ms") / 1000.0;
+    config.service.admission.max_pending =
+        static_cast<std::size_t>(cli.get_int("max-pending"));
+
+    cluster::ClusterWorker worker(registry, config);
+    worker.start();
+    std::cout << "shard " << config.shard_id << " serving on 127.0.0.1:"
+              << worker.port() << '\n';
+
+    const std::string port_file = cli.get_string("port-file");
+    if (!port_file.empty()) {
+      // Write-then-rename so the parent never reads a torn port number.
+      const std::string tmp = port_file + ".tmp";
+      {
+        std::ofstream os(tmp);
+        if (!os.is_open()) {
+          std::cerr << "cannot write port file " << tmp << '\n';
+          return 1;
+        }
+        os << worker.port() << '\n';
+      }
+      std::rename(tmp.c_str(), port_file.c_str());
+    }
+
+    worker.wait_shutdown();
+    worker.stop();
+    const cluster::WorkerCounters c = worker.counters();
+    std::cout << "shard " << config.shard_id << " exiting: " << c.submitted
+              << " submitted, " << c.answered << " answered, " << c.shed
+              << " shed, " << c.swaps << " swaps\n";
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "scwc_worker: " << e.what() << '\n';
+    return 1;
+  }
+}
