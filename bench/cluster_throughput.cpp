@@ -152,6 +152,13 @@ void reap_worker(WorkerProc& proc, double grace_s) {
   proc.pid = -1;
 }
 
+/// Per-shard latency samples for one request phase (seconds).
+struct PhaseSamples {
+  std::vector<double> wire;     // wire_send + wire_recv
+  std::vector<double> queue;    // worker-side admission queue
+  std::vector<double> predict;  // worker-side model inference
+};
+
 /// Outcome of one open-loop load phase.
 struct PhaseStats {
   std::size_t submitted = 0;
@@ -160,6 +167,7 @@ struct PhaseStats {
   double elapsed_s = 0.0;
   std::map<std::string, std::size_t> shed;
   std::map<std::uint32_t, std::vector<double>> latencies_by_shard;
+  std::map<std::uint32_t, PhaseSamples> phases_by_shard;
   /// (job_id, payload index) of every retryable shed, submission order.
   std::vector<std::pair<std::int64_t, std::size_t>> retryable;
 };
@@ -223,8 +231,22 @@ PhaseStats run_load(cluster::ShardRouter& router,
     ++stats.accepted;
     if (r.prediction.abstained) ++stats.abstained;
     stats.latencies_by_shard[owners[i]].push_back(r.total_latency_s);
+    // Phase attribution rides the verdict frame back (wire v2): where did
+    // each window's budget actually go — the wire, the queue, or the model?
+    PhaseSamples& ph = stats.phases_by_shard[owners[i]];
+    ph.wire.push_back(r.phases.wire_send_s + r.phases.wire_recv_s);
+    ph.queue.push_back(r.phases.queue_s);
+    ph.predict.push_back(r.phases.predict_s);
   }
   return stats;
+}
+
+/// {p50_ms, p99_ms} summary of one phase's samples (sorts in place).
+obs::Json phase_summary(std::vector<double>& samples) {
+  std::sort(samples.begin(), samples.end());
+  return obs::Json::Object{
+      {"p50_ms", obs::Json(quantile_sorted(samples, 0.50) * 1000.0)},
+      {"p99_ms", obs::Json(quantile_sorted(samples, 0.99) * 1000.0)}};
 }
 
 }  // namespace
@@ -392,6 +414,24 @@ int main(int argc, char** argv) {
            obs::Json(quantile_sorted(lats, 0.50) * 1000.0)},
           {"latency_p99_ms", obs::Json(p99 * 1000.0)}};
     }
+    // Where the steady-state budget went, per shard: verdict frames carry
+    // the worker-side queue/predict split and the router derives the wire
+    // share, so the artifact can answer "is shard K slow or far?".
+    obs::Json::Object phases_json;
+    for (auto& [shard, ph] : a.phases_by_shard) {
+      const obs::Json wire = phase_summary(ph.wire);
+      const obs::Json queue = phase_summary(ph.queue);
+      const obs::Json predict = phase_summary(ph.predict);
+      std::cout << "shard " << shard << " phases (p50/p99 ms): wire "
+                << wire.at("p50_ms").as_number() << "/"
+                << wire.at("p99_ms").as_number() << ", queue "
+                << queue.at("p50_ms").as_number() << "/"
+                << queue.at("p99_ms").as_number() << ", predict "
+                << predict.at("p50_ms").as_number() << "/"
+                << predict.at("p99_ms").as_number() << '\n';
+      phases_json[std::to_string(shard)] = obs::Json::Object{
+          {"wire", wire}, {"queue", queue}, {"predict", predict}};
+    }
     for (const auto& [reason, count] : a.shed) {
       std::cout << "shed[" << reason << "]: " << count << '\n';
     }
@@ -538,6 +578,7 @@ int main(int argc, char** argv) {
         {"accepted", obs::Json(static_cast<double>(a.accepted))},
         {"throughput_windows_per_s", obs::Json(throughput)},
         {"per_shard", obs::Json(std::move(per_shard_json))},
+        {"phases", obs::Json(std::move(phases_json))},
         {"shed", obs::Json(std::move(shed_a))}};
     results["shard_kill"] = obs::Json::Object{
         {"submitted", obs::Json(static_cast<double>(b.submitted))},

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <sstream>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "net/wire.hpp"
+#include "obs/export.hpp"
 #include "obs/request_trace.hpp"
+#include "serve/audit.hpp"
 
 namespace scwc::cluster {
 
@@ -23,10 +27,21 @@ std::chrono::steady_clock::time_point deadline_after(double seconds) {
              std::chrono::duration<double>(seconds));
 }
 
+/// Prometheus sample-value formatting for re-exported worker series.
+/// Json::write_number turns non-finite into "null", which Prometheus
+/// rejects — spell those the exposition-format way instead.
+std::string prom_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  obs::Json(v).write(os);
+  return os.str();
+}
+
 }  // namespace
 
 ShardRouter::ShardRouter(RouterConfig config)
-    : config_(config), ring_(config.vnodes) {
+    : config_(config), ring_(config.vnodes), tracer_(config.trace) {
   auto& reg = obs::MetricsRegistry::global();
   obs_submitted_ = reg.counter("scwc_cluster_submitted_total");
   obs_verdicts_ = reg.counter("scwc_cluster_verdicts_total");
@@ -36,6 +51,15 @@ ShardRouter::ShardRouter(RouterConfig config)
   obs_shard_deaths_ = reg.counter("scwc_cluster_shard_deaths_total");
   obs_swap_pushes_ = reg.counter("scwc_cluster_swap_pushes_total");
   obs_swap_rollbacks_ = reg.counter("scwc_cluster_swap_rollbacks_total");
+  obs_wire_tx_frames_ = reg.counter("scwc_cluster_wire_tx_frames_total");
+  obs_wire_tx_bytes_ = reg.counter("scwc_cluster_wire_tx_bytes_total");
+  obs_wire_rx_frames_ = reg.counter("scwc_cluster_wire_rx_frames_total");
+  obs_wire_rx_bytes_ = reg.counter("scwc_cluster_wire_rx_bytes_total");
+  obs_untraced_submits_ = reg.counter("scwc_cluster_untraced_submits_total");
+  obs_unphased_verdicts_ =
+      reg.counter("scwc_cluster_unphased_verdicts_total");
+  obs_ring_size_ = reg.gauge("scwc_cluster_ring_size");
+  obs_swap_phase_ = reg.gauge("scwc_cluster_swap_phase");
 }
 
 ShardRouter::~ShardRouter() { stop(); }
@@ -51,12 +75,26 @@ std::uint32_t ShardRouter::add_shard(std::uint16_t port) {
   SCWC_REQUIRE(frame.has_value() && frame->type == net::FrameType::kHello,
                "router: worker on port " + std::to_string(port) +
                    " did not complete the hello handshake");
-  sock.set_io_timeout(0);
   const net::HelloFrame hello = net::decode_hello(frame->payload);
 
   auto conn = std::make_shared<ShardConn>(hello.shard_id, port,
                                           std::move(sock));
   conn->hello = hello;
+  // Version negotiation: the hello frame's header announces the highest
+  // protocol the worker speaks; everything after this flows at the lower
+  // of the two. A v1 peer therefore degrades to untraced operation (the
+  // typed counters record it) — never to a decode error.
+  conn->wire_version =
+      std::min<std::uint16_t>(frame->version, net::kWireVersion);
+  if (conn->wire_version >= 2 && config_.clock_sync_pings > 0) {
+    // Clock handshake while the socket is still exclusively ours and the
+    // hello io timeout still bounds each round trip.
+    sync_clock(*conn);
+  }
+  conn->sock.set_io_timeout(0);
+  conn->rolling_latency = obs::MetricsRegistry::global().rolling_histogram(
+      "scwc_cluster_shard" + std::to_string(hello.shard_id) +
+      "_request_seconds");
   {
     LockGuard lock(ring_mutex_);
     SCWC_REQUIRE(!stopped_, "router: already stopped");
@@ -65,13 +103,47 @@ std::uint32_t ShardRouter::add_shard(std::uint16_t port) {
                      " is already connected");
     ring_.add_shard(hello.shard_id);
     conns_.emplace(hello.shard_id, conn);
+    obs_ring_size_.set(static_cast<double>(ring_.shard_count()));
   }
   conn->reader = std::thread([this, conn] { reader_loop(conn); });
   SCWC_LOG_INFO("cluster router: shard "
                 << hello.shard_id << " joined from port " << port
                 << " (model '" << hello.model_version << "', "
-                << hello.window_steps << "×" << hello.sensors << ")");
+                << hello.window_steps << "×" << hello.sensors << ", wire v"
+                << conn->wire_version << ", clock offset "
+                << conn->clock_offset_ns << "ns)");
   return hello.shard_id;
+}
+
+void ShardRouter::sync_clock(ShardConn& conn) {
+  // NTP-style minimum-RTT filter: of N ping/pong rounds, trust the one
+  // with the smallest round trip — queueing delay only ever inflates the
+  // estimate. offset = worker_clock − midpoint(send, recv), so adding the
+  // offset to a router stamp lands it on the worker's steady clock.
+  bool have = false;
+  for (std::size_t round = 0; round < config_.clock_sync_pings; ++round) {
+    net::PingFrame ping;
+    ping.nonce = round + 1;
+    const std::uint64_t t0 = obs::steady_ns();
+    if (!net::write_frame(conn.sock, net::FrameType::kPing,
+                          net::encode_ping(ping), conn.wire_version)) {
+      break;
+    }
+    std::optional<net::Frame> reply = net::read_frame(conn.sock);
+    const std::uint64_t t1 = obs::steady_ns();
+    if (!reply.has_value() || reply->type != net::FrameType::kPong) break;
+    const net::PongFrame pong =
+        net::decode_pong(reply->payload, reply->version);
+    if (pong.nonce != ping.nonce || pong.t_mono_ns == 0) break;
+    const std::uint64_t rtt = t1 > t0 ? t1 - t0 : 0;
+    if (!have || rtt < conn.clock_rtt_ns) {
+      const std::uint64_t mid = t0 + (t1 - t0) / 2;
+      conn.clock_offset_ns = static_cast<std::int64_t>(pong.t_mono_ns) -
+                             static_cast<std::int64_t>(mid);
+      conn.clock_rtt_ns = rtt;
+      have = true;
+    }
+  }
 }
 
 std::future<serve::ServeResult> ShardRouter::submit(std::int64_t job_id,
@@ -80,6 +152,12 @@ std::future<serve::ServeResult> ShardRouter::submit(std::int64_t job_id,
                                                     std::size_t sensors) {
   submitted_.fetch_add(1);
   obs_submitted_.inc();
+  const auto t_entry = std::chrono::steady_clock::now();
+  // Stamp the trace identity before routing so even sheds carry an id;
+  // the same id travels in the submit frame and comes back in the audit
+  // log, which is what lets scwc_tracemerge join the two processes.
+  const std::uint64_t trace_id = tracer_.begin_trace();
+  const bool sampled = tracer_.sampled(trace_id);
 
   std::shared_ptr<ShardConn> conn;
   bool stopped = false;
@@ -93,15 +171,30 @@ std::future<serve::ServeResult> ShardRouter::submit(std::int64_t job_id,
       }
     }
   }
-  if (stopped) return shed(serve::RejectReason::kShutdown);
+  const auto t_routed = std::chrono::steady_clock::now();
+  obs::RequestPhases phases;
+  phases.route_s = obs::seconds_between(t_entry, t_routed);
+  phases.total_s = phases.route_s;
+  if (stopped) {
+    return shed(serve::RejectReason::kShutdown, trace_id, sampled, job_id,
+                std::nullopt, t_entry, phases);
+  }
   if (conn == nullptr || !conn->up.load()) {
-    return shed(serve::RejectReason::kShardDown);
+    return shed(serve::RejectReason::kShardDown, trace_id, sampled, job_id,
+                conn != nullptr
+                    ? std::optional<std::uint32_t>(conn->shard_id)
+                    : std::nullopt,
+                t_entry, phases);
   }
 
   // Bounded in-flight per shard: router-level admission control.
   if (conn->inflight.fetch_add(1) >= config_.max_inflight_per_shard) {
     conn->inflight.fetch_sub(1);
-    return shed(serve::RejectReason::kQueueFull);
+    const auto now = std::chrono::steady_clock::now();
+    phases.admission_s = obs::seconds_between(t_routed, now);
+    phases.total_s = obs::seconds_between(t_entry, now);
+    return shed(serve::RejectReason::kQueueFull, trace_id, sampled, job_id,
+                conn->shard_id, t_entry, phases);
   }
 
   const std::uint64_t request_id = next_request_id_.fetch_add(1);
@@ -109,7 +202,13 @@ std::future<serve::ServeResult> ShardRouter::submit(std::int64_t job_id,
   {
     LockGuard lock(conn->pending_mutex);
     PendingRequest& req = conn->pending[request_id];
-    req.submitted_at = std::chrono::steady_clock::now();
+    req.submitted_at = t_entry;
+    req.trace_id = trace_id;
+    req.trace_sampled = sampled;
+    req.job_id = job_id;
+    req.route_s = phases.route_s;
+    req.admission_s =
+        obs::seconds_between(t_routed, std::chrono::steady_clock::now());
     future = req.promise.get_future();
   }
 
@@ -123,16 +222,39 @@ std::future<serve::ServeResult> ShardRouter::submit(std::int64_t job_id,
   frame.steps = static_cast<std::uint32_t>(steps);
   frame.sensors = static_cast<std::uint32_t>(sensors);
   frame.values = std::move(window);
+  if (conn->wire_version >= 2) {
+    frame.trace_id = trace_id;
+    frame.trace_sampled = sampled;
+  } else {
+    // v1 shard: the submit crosses the wire without its trace context.
+    obs_untraced_submits_.inc();
+  }
 
+  const auto t_send = std::chrono::steady_clock::now();
   if (!send(*conn, net::FrameType::kSubmitWindow,
-            net::encode_submit_window(frame))) {
+            net::encode_submit_window(frame, conn->wire_version))) {
     {
       LockGuard lock(conn->pending_mutex);
       conn->pending.erase(request_id);
     }
     conn->inflight.fetch_sub(1);
     mark_down(*conn, serve::RejectReason::kShardDown);
-    return shed(serve::RejectReason::kShardDown);
+    const auto now = std::chrono::steady_clock::now();
+    phases.admission_s = obs::seconds_between(t_routed, t_send);
+    phases.wire_send_s = obs::seconds_between(t_send, now);
+    phases.total_s = obs::seconds_between(t_entry, now);
+    return shed(serve::RejectReason::kShardDown, trace_id, sampled, job_id,
+                conn->shard_id, t_entry, phases);
+  }
+  // Patch the measured send time into the pending entry. If the verdict
+  // already raced past us the entry is gone and the send time simply folds
+  // into the wire_recv residual — benign either way.
+  const double wire_send_s =
+      obs::seconds_between(t_send, std::chrono::steady_clock::now());
+  {
+    LockGuard lock(conn->pending_mutex);
+    const auto it = conn->pending.find(request_id);
+    if (it != conn->pending.end()) it->second.wire_send_s = wire_send_s;
   }
   return future;
 }
@@ -152,6 +274,7 @@ serve::ServeResult ShardRouter::submit_and_wait(
 SwapReport ShardRouter::push_bundle(const std::string& bundle_bytes,
                                     const std::string& version) {
   obs_swap_pushes_.inc();
+  obs_swap_phase_.set(1.0);  // 1 = pushing
   std::vector<std::shared_ptr<ShardConn>> targets;
   {
     LockGuard lock(ring_mutex_);
@@ -170,6 +293,7 @@ SwapReport ShardRouter::push_bundle(const std::string& bundle_bytes,
     // Two-phase outcome: some shard refused (corrupt bytes, loader nack,
     // death mid-push). Roll every shard that DID commit back one
     // activation so the fleet stays version-consistent.
+    obs_swap_phase_.set(2.0);  // 2 = rolling back
     for (std::size_t i = 0; i < report.shards.size(); ++i) {
       if (!report.shards[i].ok) continue;
       abort_on_shard(*targets[i], report.shards[i],
@@ -184,6 +308,7 @@ SwapReport ShardRouter::push_bundle(const std::string& bundle_bytes,
                                    })
                   << " shard(s)");
   }
+  obs_swap_phase_.set(0.0);  // 0 = idle
   return report;
 }
 
@@ -215,6 +340,153 @@ std::optional<net::StatsReplyFrame> ShardRouter::fetch_stats(
   return reply;
 }
 
+std::optional<net::MetricsReplyFrame> ShardRouter::fetch_metrics(
+    std::uint32_t shard_id, double timeout_s) {
+  std::shared_ptr<ShardConn> conn;
+  {
+    LockGuard lock(ring_mutex_);
+    const auto it = conns_.find(shard_id);
+    if (it != conns_.end()) conn = it->second;
+  }
+  if (conn == nullptr || !conn->up.load()) return std::nullopt;
+  // Never send a v2-only frame to a v1 peer: it would answer kError and
+  // keep serving, but "degrade, don't surprise" applies to us too.
+  if (conn->wire_version < 2) return std::nullopt;
+  {
+    LockGuard lock(conn->control_mutex);
+    conn->metrics_reply.reset();
+  }
+  if (!send(*conn, net::FrameType::kMetricsScrape, "")) return std::nullopt;
+  const auto deadline = deadline_after(timeout_s);
+  LockGuard lock(conn->control_mutex);
+  while (!conn->metrics_reply.has_value()) {
+    if (!conn->up.load()) return std::nullopt;  // died while we waited
+    if (conn->control_cv.wait_until(conn->control_mutex, deadline) ==
+            std::cv_status::timeout &&
+        !conn->metrics_reply.has_value()) {
+      return std::nullopt;
+    }
+  }
+  std::optional<net::MetricsReplyFrame> reply =
+      std::move(conn->metrics_reply);
+  conn->metrics_reply.reset();
+  return reply;
+}
+
+void ShardRouter::start_metrics_poll(double period_s) {
+  LockGuard lock(metrics_mutex_);
+  if (poll_thread_.joinable() || poll_stop_) return;
+  poll_thread_ =
+      std::thread([this, period_s] { metrics_poll_loop(period_s); });
+}
+
+void ShardRouter::metrics_poll_loop(double period_s) {
+  for (;;) {
+    std::vector<std::uint32_t> ids;
+    {
+      LockGuard lock(ring_mutex_);
+      if (stopped_) return;
+      for (const auto& [id, conn] : conns_) {
+        if (conn->up.load() && conn->wire_version >= 2) ids.push_back(id);
+      }
+    }
+    for (const std::uint32_t id : ids) {
+      std::optional<net::MetricsReplyFrame> reply =
+          fetch_metrics(id, period_s);
+      if (!reply.has_value()) continue;
+      LockGuard lock(metrics_mutex_);
+      // Kept across shard death on purpose: the last scrape of a dead
+      // shard stays visible in fleet_metrics_text until restart.
+      polled_metrics_[id] = std::move(*reply);
+    }
+    const auto deadline = deadline_after(period_s);
+    LockGuard lock(metrics_mutex_);
+    while (!poll_stop_) {
+      if (poll_cv_.wait_until(metrics_mutex_, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
+    if (poll_stop_) return;
+  }
+}
+
+std::string ShardRouter::fleet_metrics_text() const {
+  // The router's own registry first (includes the per-shard rolling
+  // latency histograms registered in add_shard)…
+  std::string out =
+      obs::to_prometheus(obs::MetricsRegistry::global().snapshot());
+  std::ostringstream os;
+  // …then the live per-shard view the router alone can render…
+  {
+    LockGuard lock(ring_mutex_);
+    for (const auto& [id, conn] : conns_) {
+      const std::string label =
+          "{shard=\"" + obs::sanitize_label_value(std::to_string(id)) +
+          "\"}";
+      os << "scwc_cluster_shard_up" << label << ' '
+         << (conn->up.load() ? 1 : 0) << '\n';
+      os << "scwc_cluster_shard_inflight" << label << ' '
+         << conn->inflight.load() << '\n';
+      os << "scwc_cluster_shard_wire_version" << label << ' '
+         << conn->wire_version << '\n';
+      os << "scwc_cluster_shard_clock_offset_ns" << label << ' '
+         << conn->clock_offset_ns << '\n';
+    }
+  }
+  // …then every worker series from the latest wire scrape, re-exported
+  // under its shard label. Both maps are ordered, so the exposition is
+  // deterministic for a fixed set of polled snapshots.
+  {
+    LockGuard lock(metrics_mutex_);
+    for (const auto& [id, reply] : polled_metrics_) {
+      const std::string shard = obs::sanitize_label_value(std::to_string(id));
+      const std::string label = "{shard=\"" + shard + "\"}";
+      for (const auto& [name, value] : reply.counters) {
+        os << obs::sanitize_metric_name(name) << label << ' ' << value
+           << '\n';
+      }
+      for (const auto& [name, value] : reply.gauges) {
+        os << obs::sanitize_metric_name(name) << label << ' '
+           << prom_value(value) << '\n';
+      }
+      for (const net::MetricsRollingEntry& e : reply.rolling) {
+        const std::string name = obs::sanitize_metric_name(e.name);
+        os << name << "_count" << label << ' ' << e.count << '\n';
+        os << name << "{shard=\"" << shard << "\",quantile=\"0.5\"} "
+           << prom_value(e.p50) << '\n';
+        os << name << "{shard=\"" << shard << "\",quantile=\"0.9\"} "
+           << prom_value(e.p90) << '\n';
+        os << name << "{shard=\"" << shard << "\",quantile=\"0.99\"} "
+           << prom_value(e.p99) << '\n';
+      }
+    }
+  }
+  out += os.str();
+  return out;
+}
+
+obs::Json ShardRouter::shards_health_json() const {
+  obs::Json::Array arr;
+  for (const ShardStatus& s : shards()) {
+    obs::Json::Object o;
+    o.emplace("shard_id", obs::Json(static_cast<double>(s.shard_id)));
+    o.emplace("port", obs::Json(static_cast<double>(s.port)));
+    o.emplace("up", obs::Json(s.up));
+    o.emplace("inflight", obs::Json(static_cast<double>(s.inflight)));
+    o.emplace("model_version", obs::Json(s.model_version));
+    o.emplace("wire_version", obs::Json(static_cast<double>(s.wire_version)));
+    o.emplace("clock_offset_ns",
+              obs::Json(static_cast<double>(s.clock_offset_ns)));
+    o.emplace("clock_rtt_ns",
+              obs::Json(static_cast<double>(s.clock_rtt_ns)));
+    arr.push_back(obs::Json(std::move(o)));
+  }
+  obs::Json::Object root;
+  root.emplace("shards", obs::Json(std::move(arr)));
+  return obs::Json(std::move(root));
+}
+
 std::optional<std::uint32_t> ShardRouter::owner(std::int64_t job_id) const {
   LockGuard lock(ring_mutex_);
   return ring_.owner(job_id);
@@ -238,6 +510,9 @@ std::vector<ShardStatus> ShardRouter::shards() const {
     status.window_steps = conn->hello.window_steps;
     status.sensors = conn->hello.sensors;
     status.model_version = conn->hello.model_version;
+    status.wire_version = conn->wire_version;
+    status.clock_offset_ns = conn->clock_offset_ns;
+    status.clock_rtt_ns = conn->clock_rtt_ns;
     out.push_back(std::move(status));
   }
   return out;
@@ -267,6 +542,14 @@ void ShardRouter::stop() {
   for (const auto& [id, conn] : conns) {
     mark_down(*conn, serve::RejectReason::kShutdown);
   }
+  // The poller is stopped after mark_down so an in-flight scrape wakes
+  // from its control_cv wait instead of running out its timeout.
+  {
+    LockGuard lock(metrics_mutex_);
+    poll_stop_ = true;
+  }
+  poll_cv_.notify_all();
+  if (poll_thread_.joinable()) poll_thread_.join();
   for (const auto& [id, conn] : conns) {
     if (conn->reader.joinable()) conn->reader.join();
     conn->sock.close();
@@ -276,9 +559,13 @@ void ShardRouter::stop() {
 void ShardRouter::reader_loop(const std::shared_ptr<ShardConn>& conn) {
   try {
     while (std::optional<net::Frame> frame = net::read_frame(conn->sock)) {
+      obs_wire_rx_frames_.inc();
+      obs_wire_rx_bytes_.inc(frame->payload.size() + net::kHeaderBytes);
       switch (frame->type) {
         case net::FrameType::kVerdict: {
-          const net::VerdictFrame v = net::decode_verdict(frame->payload);
+          const net::VerdictFrame v =
+              net::decode_verdict(frame->payload, frame->version);
+          if (frame->version < 2) obs_unphased_verdicts_.inc();
           PendingRequest req;
           bool found = false;
           {
@@ -315,13 +602,33 @@ void ShardRouter::reader_loop(const std::shared_ptr<ShardConn>& conn) {
           result.model_version = v.model_version;
           result.batch_size = v.batch_size;
           result.degrade_level = v.degrade_level;
-          result.trace_id = v.trace_id;
+          // The router's identity wins: with a v2 worker the ids are the
+          // same anyway; a v1 worker stamped its own, which would collide
+          // with router-issued ids across shards.
+          result.trace_id = req.trace_id;
           result.total_latency_s = obs::seconds_between(
               req.submitted_at, std::chrono::steady_clock::now());
           // Repurposed at the router tier: time NOT spent inside the
           // worker, i.e. wire + router overhead.
           result.queue_delay_s =
               std::max(0.0, result.total_latency_s - v.worker_latency_s);
+
+          // Full cross-process phase breakdown: router-side stamps, the
+          // worker's own split (v2), and the wire residual.
+          result.phases.admission_s = req.admission_s;
+          result.phases.route_s = req.route_s;
+          result.phases.wire_send_s = req.wire_send_s;
+          result.phases.queue_s = v.worker_queue_s;
+          result.phases.transform_s = v.worker_transform_s;
+          result.phases.predict_s = v.worker_predict_s;
+          result.phases.total_s = result.total_latency_s;
+          result.phases.wire_recv_s = std::max(
+              0.0, result.total_latency_s - req.admission_s - req.route_s -
+                       req.wire_send_s - v.worker_latency_s);
+
+          conn->rolling_latency.observe(result.total_latency_s);
+          record_request(req.trace_id, req.trace_sampled, req.job_id,
+                         conn->shard_id, req.submitted_at, result);
           req.promise.set_value(std::move(result));
           break;
         }
@@ -337,6 +644,14 @@ void ShardRouter::reader_loop(const std::shared_ptr<ShardConn>& conn) {
           {
             LockGuard lock(conn->control_mutex);
             conn->stats_reply = net::decode_stats_reply(frame->payload);
+          }
+          conn->control_cv.notify_all();
+          break;
+        }
+        case net::FrameType::kMetricsReply: {
+          {
+            LockGuard lock(conn->control_mutex);
+            conn->metrics_reply = net::decode_metrics_reply(frame->payload);
           }
           conn->control_cv.notify_all();
           break;
@@ -364,6 +679,7 @@ void ShardRouter::mark_down(ShardConn& conn, serve::RejectReason reason) {
     {
       LockGuard lock(ring_mutex_);
       ring_.remove_shard(conn.shard_id);
+      obs_ring_size_.set(static_cast<double>(ring_.shard_count()));
     }
     if (reason == serve::RejectReason::kShardDown) {
       obs_shard_deaths_.inc();
@@ -385,11 +701,20 @@ void ShardRouter::mark_down(ShardConn& conn, serve::RejectReason reason) {
     serve::ServeResult result;
     result.accepted = false;
     result.reject_reason = reason;
+    result.trace_id = req.trace_id;
+    const auto now = std::chrono::steady_clock::now();
+    result.total_latency_s = obs::seconds_between(req.submitted_at, now);
+    result.phases.admission_s = req.admission_s;
+    result.phases.route_s = req.route_s;
+    result.phases.wire_send_s = req.wire_send_s;
+    result.phases.total_s = result.total_latency_s;
     if (reason == serve::RejectReason::kShardDown) {
       obs_shed_shard_down_.inc();
     } else {
       obs_shed_shutdown_.inc();
     }
+    record_request(req.trace_id, req.trace_sampled, req.job_id,
+                   conn.shard_id, req.submitted_at, result);
     req.promise.set_value(std::move(result));
   }
   {
@@ -405,7 +730,10 @@ void ShardRouter::mark_down(ShardConn& conn, serve::RejectReason reason) {
 }
 
 std::future<serve::ServeResult> ShardRouter::shed(
-    serve::RejectReason reason) {
+    serve::RejectReason reason, std::uint64_t trace_id, bool sampled,
+    std::int64_t job_id, std::optional<std::uint32_t> shard_id,
+    std::chrono::steady_clock::time_point started,
+    const obs::RequestPhases& phases) {
   switch (reason) {
     case serve::RejectReason::kQueueFull:
       obs_shed_queue_full_.inc();
@@ -423,8 +751,78 @@ std::future<serve::ServeResult> ShardRouter::shed(
   serve::ServeResult result;
   result.accepted = false;
   result.reject_reason = reason;
+  result.trace_id = trace_id;
+  result.phases = phases;
+  result.total_latency_s = phases.total_s;
+  record_request(trace_id, sampled, job_id, shard_id, started, result);
   promise.set_value(std::move(result));
   return promise.get_future();
+}
+
+void ShardRouter::record_request(std::uint64_t trace_id, bool sampled,
+                                 std::int64_t job_id,
+                                 std::optional<std::uint32_t> shard_id,
+                                 std::chrono::steady_clock::time_point started,
+                                 const serve::ServeResult& result) {
+  const bool want_trace = sampled;
+  const bool want_audit = config_.audit != nullptr;
+  if (!want_trace && !want_audit) return;
+
+  // Mirrors ClassificationService::note_verdict so router-side records
+  // are shaped exactly like in-process ones (plus wire phases/shard_id).
+  std::string event;
+  if (!result.accepted) {
+    event = "shed";
+  } else if (result.prediction.abstained) {
+    event = "abstain";
+  } else {
+    event = "answer";
+  }
+
+  if (want_trace) {
+    obs::RequestTraceRecord rec;
+    rec.trace_id = trace_id;
+    rec.job_id = job_id;
+    rec.start_s = tracer_.since_epoch(started);
+    rec.phases = result.phases;
+    rec.outcome = event;
+    if (event == "shed") {
+      rec.outcome +=
+          std::string(":") + serve::reject_reason_name(result.reject_reason);
+    } else if (event == "abstain") {
+      rec.outcome += std::string(":") +
+                     robust::abstain_reason_name(result.prediction.reason);
+    }
+    rec.model_version = result.model_version;
+    rec.batch_size = result.batch_size;
+    rec.degrade_level = result.degrade_level;
+    tracer_.record(std::move(rec));
+  }
+
+  if (want_audit) {
+    serve::AuditRecord rec;
+    rec.trace_id = trace_id;
+    rec.job_id = job_id;
+    rec.event = event;
+    rec.model_version = result.model_version;
+    rec.label = result.prediction.label;
+    rec.degrade_level = result.degrade_level;
+    rec.batch_size = result.batch_size;
+    if (event == "abstain") {
+      rec.abstain_reason =
+          robust::abstain_reason_name(result.prediction.reason);
+    }
+    if (event == "shed") {
+      rec.reject_reason = serve::reject_reason_name(result.reject_reason);
+    } else {
+      rec.quality = result.prediction.report.quality();
+      rec.missing_values = result.prediction.report.missing_values;
+      rec.repaired_values = result.prediction.report.repaired_values;
+    }
+    rec.phases = result.phases;
+    rec.shard_id = shard_id;
+    config_.audit->log(rec);
+  }
 }
 
 SwapOutcome ShardRouter::push_to_shard(ShardConn& conn,
@@ -515,7 +913,12 @@ std::optional<net::SwapAckFrame> ShardRouter::wait_swap_ack(
 bool ShardRouter::send(ShardConn& conn, net::FrameType type,
                        std::string_view payload) {
   LockGuard lock(conn.write_mutex);
-  return net::write_frame(conn.sock, type, payload);
+  if (!net::write_frame(conn.sock, type, payload, conn.wire_version)) {
+    return false;
+  }
+  obs_wire_tx_frames_.inc();
+  obs_wire_tx_bytes_.inc(payload.size() + net::kHeaderBytes);
+  return true;
 }
 
 }  // namespace scwc::cluster

@@ -42,9 +42,15 @@
 #include "common/rng.hpp"
 #include "common/thread_annotations.hpp"
 #include "net/socket.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
 #include "serve/retry.hpp"
 #include "serve/serve_types.hpp"
+
+namespace scwc::serve {
+class AuditLogger;  // serve/audit.hpp
+}
 
 namespace scwc::cluster {
 
@@ -56,6 +62,16 @@ struct RouterConfig {
   double swap_ack_timeout_s = 30.0;
   /// Forwarded per submit as the worker-side latency budget; 0 = none.
   double default_deadline_s = 0.0;
+  /// Clock-offset handshake rounds per v2 shard (NTP-style: the offset of
+  /// the minimum-RTT round wins). 0 disables the handshake.
+  std::size_t clock_sync_pings = 5;
+  /// Router-side request tracing: every routed window keeps the router's
+  /// trace id, and sampled requests keep the full 7-phase record
+  /// (admission/route/wire_send/worker queue/transform/predict/wire_recv).
+  obs::RequestTracerConfig trace;
+  /// Optional router-side audit log; records carry shard_id. Must outlive
+  /// the router.
+  serve::AuditLogger* audit = nullptr;
 };
 
 /// Outcome of one shard's part of a bundle push.
@@ -81,6 +97,11 @@ struct ShardStatus {
   std::size_t window_steps = 0;  ///< geometry from the hello handshake
   std::size_t sensors = 0;
   std::string model_version;  ///< from the hello / last swap ack
+  std::uint16_t wire_version = 0;  ///< negotiated protocol version
+  /// Estimated worker-minus-router monotonic clock offset (ns) from the
+  /// min-RTT ping handshake; 0 for v1 shards (no handshake).
+  std::int64_t clock_offset_ns = 0;
+  std::uint64_t clock_rtt_ns = 0;  ///< RTT of the winning handshake round
 };
 
 class ShardRouter {
@@ -124,10 +145,34 @@ class ShardRouter {
   [[nodiscard]] std::optional<net::StatsReplyFrame> fetch_stats(
       std::uint32_t shard_id, double timeout_s = 5.0);
 
+  /// Pulls one shard's full metrics snapshot over the wire (kMetricsScrape
+  /// round-trip; v2 shards only — nullopt for v1 peers and dead shards).
+  [[nodiscard]] std::optional<net::MetricsReplyFrame> fetch_metrics(
+      std::uint32_t shard_id, double timeout_s = 5.0);
+
+  /// Starts the background aggregation poller: every `period_s` it pulls
+  /// each live v2 shard's metrics and retains the latest reply for
+  /// fleet_metrics_text(). Idempotent; stop() joins the thread.
+  void start_metrics_poll(double period_s);
+
+  /// Prometheus text exposition of the whole fleet: this process's own
+  /// registry first (router gauges/counters, per-shard rolling latency),
+  /// then every polled worker series re-exported with a shard="N" label,
+  /// plus the router's live per-shard inflight/up gauges. Deterministic
+  /// for a fixed set of polled snapshots.
+  [[nodiscard]] std::string fleet_metrics_text() const;
+
+  /// JSON health view for the /shards endpoint: one object per shard with
+  /// id, port, up, inflight, wire version, clock offset and model version.
+  [[nodiscard]] obs::Json shards_health_json() const;
+
   /// The shard `job_id` would be routed to right now.
   [[nodiscard]] std::optional<std::uint32_t> owner(std::int64_t job_id) const;
   [[nodiscard]] std::size_t live_shards() const;
   [[nodiscard]] std::vector<ShardStatus> shards() const;
+
+  /// Router-side request tracer (drain() records after stop() for export).
+  [[nodiscard]] obs::RequestTracer& tracer() noexcept { return tracer_; }
 
   /// Asks every live worker process to exit (kShutdown frame). The workers
   /// acknowledge by closing; the router marks them down as they go.
@@ -142,6 +187,16 @@ class ShardRouter {
   struct PendingRequest {
     std::promise<serve::ServeResult> promise;
     std::chrono::steady_clock::time_point submitted_at;
+    std::uint64_t trace_id = 0;  ///< router-issued, propagated on v2 wires
+    bool trace_sampled = false;
+    std::int64_t job_id = -1;
+    // Router-side phase stamps, merged with the worker's phase breakdown
+    // when the verdict lands. wire_send_s is patched in after the write
+    // completes; if the verdict wins that race the send time simply folds
+    // into the wire_recv residual.
+    double admission_s = 0.0;
+    double route_s = 0.0;
+    double wire_send_s = 0.0;
   };
 
   /// Per-shard connection state. The reader thread is the only frame
@@ -167,11 +222,22 @@ class ShardRouter {
         SCWC_GUARDED_BY(control_mutex);
     std::optional<net::StatsReplyFrame> stats_reply
         SCWC_GUARDED_BY(control_mutex);
+    std::optional<net::MetricsReplyFrame> metrics_reply
+        SCWC_GUARDED_BY(control_mutex);
     std::atomic<std::size_t> inflight{0};
     std::atomic<bool> up{true};
     // Hello metadata: written once during add_shard, before the reader
     // spawns or the shard is published — immutable afterwards.
     net::HelloFrame hello;  // scwc-lint: allow(guarded-field-coverage)
+    // Negotiated in add_shard (min of peer hello version and ours) before
+    // publication — immutable afterwards, like hello.
+    std::uint16_t wire_version = net::kWireVersionMin;  // scwc-lint: allow(guarded-field-coverage)
+    // Min-RTT clock handshake result; written once in add_shard.
+    std::int64_t clock_offset_ns = 0;  // scwc-lint: allow(guarded-field-coverage)
+    std::uint64_t clock_rtt_ns = 0;  // scwc-lint: allow(guarded-field-coverage)
+    // Per-shard rolling request latency, registered in add_shard; the
+    // handle is internally synchronized.
+    obs::RollingHistogramHandle rolling_latency;  // scwc-lint: allow(guarded-field-coverage)
     // Set once at spawn; joined by stop().
     std::thread reader;  // scwc-lint: allow(guarded-field-coverage)
   };
@@ -182,9 +248,13 @@ class ShardRouter {
   /// Marks a shard dead: out of the ring, pending requests failed with
   /// `reason`, control waiters woken. Safe to call repeatedly.
   void mark_down(ShardConn& conn, serve::RejectReason reason);
-  /// A ready future carrying a typed shed (also counts it).
+  /// A ready future carrying a typed shed (also counts it and writes the
+  /// tracer/audit record; `shard_id` names the owner if one was chosen).
   [[nodiscard]] std::future<serve::ServeResult> shed(
-      serve::RejectReason reason);
+      serve::RejectReason reason, std::uint64_t trace_id, bool sampled,
+      std::int64_t job_id, std::optional<std::uint32_t> shard_id,
+      std::chrono::steady_clock::time_point started,
+      const obs::RequestPhases& phases);
   /// Streams one bundle push to one shard and waits for its ack.
   [[nodiscard]] SwapOutcome push_to_shard(ShardConn& conn,
                                           const std::string& bundle_bytes,
@@ -195,6 +265,17 @@ class ShardRouter {
   [[nodiscard]] std::optional<net::SwapAckFrame> wait_swap_ack(
       ShardConn& conn, double timeout_s);
   bool send(ShardConn& conn, net::FrameType type, std::string_view payload);
+  /// Min-RTT ping/pong clock handshake on a not-yet-published connection
+  /// (the socket is exclusively owned and its io timeout still active).
+  void sync_clock(ShardConn& conn);
+  void metrics_poll_loop(double period_s);
+  /// Records one finished routed request into the tracer and audit log,
+  /// mirroring ClassificationService::note_verdict's record shape.
+  void record_request(std::uint64_t trace_id, bool sampled,
+                      std::int64_t job_id,
+                      std::optional<std::uint32_t> shard_id,
+                      std::chrono::steady_clock::time_point started,
+                      const serve::ServeResult& result);
 
   const RouterConfig config_;
 
@@ -209,6 +290,18 @@ class ShardRouter {
   std::atomic<std::uint64_t> verdicts_{0};
   std::atomic<std::uint64_t> orphan_verdicts_{0};
 
+  // Internally synchronized (own mutex + atomics).
+  obs::RequestTracer tracer_;  // scwc-lint: allow(guarded-field-coverage)
+
+  // Latest polled per-shard metrics snapshot, shard id → reply. Kept
+  // across shard death so a final scrape survives into fleet_metrics_text.
+  mutable Mutex metrics_mutex_{"cluster.router.metrics"};
+  std::map<std::uint32_t, net::MetricsReplyFrame> polled_metrics_
+      SCWC_GUARDED_BY(metrics_mutex_);
+  bool poll_stop_ SCWC_GUARDED_BY(metrics_mutex_) = false;
+  CondVar poll_cv_;
+  std::thread poll_thread_;  // scwc-lint: allow(guarded-field-coverage)
+
   obs::CounterHandle obs_submitted_;
   obs::CounterHandle obs_verdicts_;
   obs::CounterHandle obs_shed_queue_full_;
@@ -217,6 +310,17 @@ class ShardRouter {
   obs::CounterHandle obs_shard_deaths_;
   obs::CounterHandle obs_swap_pushes_;
   obs::CounterHandle obs_swap_rollbacks_;
+  obs::CounterHandle obs_wire_tx_frames_;
+  obs::CounterHandle obs_wire_tx_bytes_;
+  obs::CounterHandle obs_wire_rx_frames_;
+  obs::CounterHandle obs_wire_rx_bytes_;
+  /// Submits sent to v1 shards without a trace context — the router-side
+  /// "degraded to untraced operation" signal the compat tests assert on.
+  obs::CounterHandle obs_untraced_submits_;
+  /// v1 verdicts carrying no worker phase breakdown.
+  obs::CounterHandle obs_unphased_verdicts_;
+  obs::GaugeHandle obs_ring_size_;
+  obs::GaugeHandle obs_swap_phase_;
 };
 
 }  // namespace scwc::cluster

@@ -18,6 +18,8 @@ ClusterWorker::ClusterWorker(serve::ModelRegistry& registry,
     : registry_(registry), config_(std::move(config)) {
   service_ = std::make_unique<serve::ClassificationService>(
       registry_, config_.service);
+  obs_untraced_submits_ = obs::MetricsRegistry::global().counter(
+      "scwc_cluster_worker_untraced_submits_total");
 }
 
 ClusterWorker::~ClusterWorker() { stop(); }
@@ -110,13 +112,16 @@ void ClusterWorker::reader_loop(Connection& conn) {
     while (std::optional<net::Frame> frame = net::read_frame(conn.sock)) {
       switch (frame->type) {
         case net::FrameType::kSubmitWindow:
-          handle_submit(conn, frame->payload);
+          handle_submit(conn, *frame);
           break;
         case net::FrameType::kTelemetryRow:
           handle_telemetry(conn, frame->payload);
           break;
         case net::FrameType::kPing:
-          send(conn, net::FrameType::kPong, frame->payload);
+          handle_ping(conn, *frame);
+          break;
+        case net::FrameType::kMetricsScrape:
+          send_metrics(conn);
           break;
         case net::FrameType::kSwapBegin:
           handle_swap_begin(conn, frame->payload);
@@ -200,7 +205,8 @@ void ClusterWorker::responder_loop(Connection& conn) {
     }
     const net::VerdictFrame verdict = make_verdict(pending, result);
     if (!send(conn, net::FrameType::kVerdict,
-              net::encode_verdict(verdict))) {
+              net::encode_verdict(verdict, pending.wire_version),
+              pending.wire_version)) {
       // Peer gone: keep draining so queued futures are still consumed.
       continue;
     }
@@ -208,9 +214,9 @@ void ClusterWorker::responder_loop(Connection& conn) {
 }
 
 bool ClusterWorker::send(Connection& conn, net::FrameType type,
-                         std::string_view payload) {
+                         std::string_view payload, std::uint16_t version) {
   LockGuard lock(conn.write_mutex);
-  return net::write_frame(conn.sock, type, payload);
+  return net::write_frame(conn.sock, type, payload, version);
 }
 
 void ClusterWorker::enqueue(Connection& conn, PendingVerdict pending) {
@@ -223,21 +229,33 @@ void ClusterWorker::enqueue(Connection& conn, PendingVerdict pending) {
 }
 
 void ClusterWorker::handle_submit(Connection& conn,
-                                  std::string_view payload) {
-  net::SubmitWindowFrame frame = net::decode_submit_window(payload);
+                                  const net::Frame& wire_frame) {
+  net::SubmitWindowFrame frame =
+      net::decode_submit_window(wire_frame.payload, wire_frame.version);
   submitted_.fetch_add(1);
+  if (frame.trace_id == 0) {
+    // v1 router (or an untraced v2 submit): serve normally under a local
+    // trace id — degraded to untraced operation, counted, never an error.
+    obs_untraced_submits_.inc();
+  }
   PendingVerdict pending;
   pending.request_id = frame.request_id;
   pending.job_id = frame.job_id;
+  pending.wire_version = wire_frame.version;
   pending.submitted_at = std::chrono::steady_clock::now();
+  auto deadline = std::chrono::steady_clock::time_point::max();
   if (frame.deadline_ns > 0) {
-    pending.result = service_->submit(
-        std::move(frame.values), frame.steps, frame.sensors,
-        pending.submitted_at + std::chrono::nanoseconds(frame.deadline_ns));
-  } else {
-    pending.result = service_->submit(std::move(frame.values), frame.steps,
-                                      frame.sensors);
+    deadline =
+        pending.submitted_at + std::chrono::nanoseconds(frame.deadline_ns);
+  } else if (service_->config().default_deadline_s > 0.0) {
+    deadline = pending.submitted_at +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(
+                       service_->config().default_deadline_s));
   }
+  pending.result = service_->submit_with_trace(
+      std::move(frame.values), frame.steps, frame.sensors, deadline,
+      frame.trace_id, frame.trace_sampled);
   enqueue(conn, std::move(pending));
 }
 
@@ -257,6 +275,23 @@ void ClusterWorker::handle_telemetry(Connection& conn,
     pending.result = std::move(w.result);
     enqueue(conn, std::move(pending));
   }
+}
+
+void ClusterWorker::handle_ping(Connection& conn,
+                                const net::Frame& wire_frame) {
+  if (wire_frame.version < 2) {
+    // v1 contract: the pong payload is the ping payload, verbatim.
+    send(conn, net::FrameType::kPong, wire_frame.payload, wire_frame.version);
+    return;
+  }
+  const net::PingFrame ping = net::decode_ping(wire_frame.payload);
+  net::PongFrame pong;
+  pong.nonce = ping.nonce;
+  // Our monotonic clock, stamped as late as possible so the router's
+  // NTP-style offset estimate sees minimal serialization delay.
+  pong.t_mono_ns = obs::steady_ns();
+  send(conn, net::FrameType::kPong,
+       net::encode_pong(pong, wire_frame.version), wire_frame.version);
 }
 
 void ClusterWorker::handle_swap_begin(Connection& conn,
@@ -350,6 +385,35 @@ void ClusterWorker::send_stats(Connection& conn) {
   send(conn, net::FrameType::kStatsReply, net::encode_stats_reply(stats));
 }
 
+void ClusterWorker::send_metrics(Connection& conn) {
+  // Condense the process-wide registry snapshot: counters and gauges
+  // verbatim, rolling histograms as quantile summaries (the router
+  // re-exports quantiles as labeled gauges; full buckets stay local).
+  // Entry caps match the wire caps, truncating deterministically (the
+  // registry orders snapshots by name).
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  net::MetricsReplyFrame reply;
+  for (const auto& [name, value] : snap.counters) {
+    if (reply.counters.size() >= net::kMaxMetricsEntries) break;
+    reply.counters.emplace_back(name, value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (reply.gauges.size() >= net::kMaxMetricsEntries) break;
+    reply.gauges.emplace_back(name, value);
+  }
+  for (const auto& roll : snap.rolling) {
+    if (reply.rolling.size() >= net::kMaxMetricsEntries) break;
+    net::MetricsRollingEntry e;
+    e.name = roll.name;
+    e.count = roll.count;
+    e.p50 = roll.p50;
+    e.p90 = roll.p90;
+    e.p99 = roll.p99;
+    reply.rolling.push_back(std::move(e));
+  }
+  send(conn, net::FrameType::kMetricsReply, net::encode_metrics_reply(reply));
+}
+
 net::VerdictFrame ClusterWorker::make_verdict(
     const PendingVerdict& pending, const serve::ServeResult& result) const {
   net::VerdictFrame v;
@@ -371,6 +435,12 @@ net::VerdictFrame ClusterWorker::make_verdict(
   v.repaired_values =
       static_cast<std::uint32_t>(result.prediction.report.repaired_values);
   v.model_version = result.model_version;
+  // v2 phase breakdown for the router's cross-process trace: everything
+  // spent waiting inside this worker folds into worker_queue.
+  v.worker_queue_s = result.phases.admission_s + result.phases.queue_s +
+                     result.phases.batch_wait_s;
+  v.worker_transform_s = result.phases.transform_s;
+  v.worker_predict_s = result.phases.predict_s;
   return v;
 }
 

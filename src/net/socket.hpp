@@ -88,9 +88,11 @@ class TcpListener {
 /// invalid Socket on timeout.
 [[nodiscard]] Socket connect_loopback(std::uint16_t port, double deadline_s);
 
-/// Sends one SCWCWIRE frame. False when the peer is gone.
+/// Sends one SCWCWIRE frame at `version` (the peer's negotiated protocol
+/// version; defaults to ours). False when the peer is gone.
 [[nodiscard]] bool write_frame(Socket& sock, FrameType type,
-                               std::string_view payload);
+                               std::string_view payload,
+                               std::uint16_t version = kWireVersion);
 
 /// Reads one frame. nullopt on clean EOF / peer gone / shutdown; throws
 /// scwc::Error on protocol violations (bad magic, CRC mismatch, oversized

@@ -130,7 +130,11 @@ std::array<std::uint32_t, 256> make_crc_table() {
 
 bool known_frame_type(std::uint16_t t) noexcept {
   return t >= static_cast<std::uint16_t>(FrameType::kHello) &&
-         t <= static_cast<std::uint16_t>(FrameType::kError);
+         t <= static_cast<std::uint16_t>(FrameType::kMetricsReply);
+}
+
+bool supported_version(std::uint16_t v) noexcept {
+  return v >= kWireVersionMin && v <= kWireVersion;
 }
 
 }  // namespace
@@ -152,6 +156,8 @@ const char* frame_type_name(FrameType type) noexcept {
     case FrameType::kStats: return "stats";
     case FrameType::kStatsReply: return "stats_reply";
     case FrameType::kError: return "error";
+    case FrameType::kMetricsScrape: return "metrics_scrape";
+    case FrameType::kMetricsReply: return "metrics_reply";
   }
   return "?";
 }
@@ -165,12 +171,15 @@ std::uint32_t crc32(std::string_view data) noexcept {
   return c ^ 0xFFFFFFFFU;
 }
 
-std::string encode_frame(FrameType type, std::string_view payload) {
+std::string encode_frame(FrameType type, std::string_view payload,
+                         std::uint16_t version) {
   SCWC_REQUIRE(payload.size() <= kMaxPayloadBytes,
                "wire encode: payload exceeds kMaxPayloadBytes");
+  SCWC_REQUIRE(supported_version(version),
+               "wire encode: unsupported protocol version");
   Writer w;
   w.u64(kWireMagic);
-  w.u16(kWireVersion);
+  w.u16(version);
   w.u16(static_cast<std::uint16_t>(type));
   w.u32(static_cast<std::uint32_t>(payload.size()));
   w.u32(crc32(payload));
@@ -184,12 +193,14 @@ FrameHeader decode_header(std::string_view header) {
                "wire decode: header must be exactly 24 bytes");
   Reader r(header);
   SCWC_REQUIRE(r.u64() == kWireMagic, "wire decode: bad magic");
-  SCWC_REQUIRE(r.u16() == kWireVersion,
+  const std::uint16_t version = r.u16();
+  SCWC_REQUIRE(supported_version(version),
                "wire decode: unsupported protocol version");
   const std::uint16_t type = r.u16();
   SCWC_REQUIRE(known_frame_type(type), "wire decode: unknown frame type");
   FrameHeader h;
   h.type = static_cast<FrameType>(type);
+  h.version = version;
   h.payload_len = r.u32();
   SCWC_REQUIRE(h.payload_len <= kMaxPayloadBytes,
                "wire decode: payload length exceeds cap");
@@ -203,7 +214,7 @@ Frame assemble_frame(const FrameHeader& header, std::string payload) {
                "wire decode: payload length mismatch");
   SCWC_REQUIRE(crc32(payload) == header.payload_crc,
                "wire decode: payload CRC mismatch");
-  return Frame{header.type, std::move(payload)};
+  return Frame{header.type, header.version, std::move(payload)};
 }
 
 Frame decode_frame(std::string_view bytes) {
@@ -238,7 +249,10 @@ HelloFrame decode_hello(std::string_view payload) {
   return f;
 }
 
-std::string encode_submit_window(const SubmitWindowFrame& f) {
+std::string encode_submit_window(const SubmitWindowFrame& f,
+                                 std::uint16_t version) {
+  SCWC_REQUIRE(supported_version(version),
+               "wire encode: unsupported protocol version");
   SCWC_REQUIRE(f.values.size() <= kMaxWindowValues,
                "wire encode: window exceeds kMaxWindowValues");
   Writer w;
@@ -248,10 +262,17 @@ std::string encode_submit_window(const SubmitWindowFrame& f) {
   w.u32(f.steps);
   w.u32(f.sensors);
   w.f64_span(f.values);
+  if (version >= 2) {
+    w.u64(f.trace_id);
+    w.u8(f.trace_sampled ? 1 : 0);
+  }
   return w.take();
 }
 
-SubmitWindowFrame decode_submit_window(std::string_view payload) {
+SubmitWindowFrame decode_submit_window(std::string_view payload,
+                                       std::uint16_t version) {
+  SCWC_REQUIRE(supported_version(version),
+               "wire decode: unsupported protocol version");
   Reader r(payload);
   SubmitWindowFrame f;
   f.request_id = r.u64();
@@ -268,6 +289,12 @@ SubmitWindowFrame decode_submit_window(std::string_view payload) {
   SCWC_REQUIRE(f.values.size() ==
                    static_cast<std::size_t>(f.steps) * f.sensors,
                "wire decode: window value count != steps*sensors");
+  if (version >= 2) {
+    f.trace_id = r.u64();
+    const std::uint8_t sampled = r.u8();
+    SCWC_REQUIRE(sampled <= 1, "wire decode: trace sampled not boolean");
+    f.trace_sampled = sampled != 0;
+  }
   r.expect_end();
   return f;
 }
@@ -292,7 +319,9 @@ TelemetryRowFrame decode_telemetry_row(std::string_view payload) {
   return f;
 }
 
-std::string encode_verdict(const VerdictFrame& f) {
+std::string encode_verdict(const VerdictFrame& f, std::uint16_t version) {
+  SCWC_REQUIRE(supported_version(version),
+               "wire encode: unsupported protocol version");
   Writer w;
   w.u64(f.request_id);
   w.u64(f.trace_id);
@@ -309,10 +338,17 @@ std::string encode_verdict(const VerdictFrame& f) {
   w.u32(f.missing_values);
   w.u32(f.repaired_values);
   w.string(f.model_version);
+  if (version >= 2) {
+    w.f64(f.worker_queue_s);
+    w.f64(f.worker_transform_s);
+    w.f64(f.worker_predict_s);
+  }
   return w.take();
 }
 
-VerdictFrame decode_verdict(std::string_view payload) {
+VerdictFrame decode_verdict(std::string_view payload, std::uint16_t version) {
+  SCWC_REQUIRE(supported_version(version),
+               "wire decode: unsupported protocol version");
   Reader r(payload);
   VerdictFrame f;
   f.request_id = r.u64();
@@ -342,6 +378,17 @@ VerdictFrame decode_verdict(std::string_view payload) {
   f.missing_values = r.u32();
   f.repaired_values = r.u32();
   f.model_version = r.string();
+  if (version >= 2) {
+    f.worker_queue_s = r.f64();
+    f.worker_transform_s = r.f64();
+    f.worker_predict_s = r.f64();
+    SCWC_REQUIRE(std::isfinite(f.worker_queue_s) && f.worker_queue_s >= 0.0 &&
+                     std::isfinite(f.worker_transform_s) &&
+                     f.worker_transform_s >= 0.0 &&
+                     std::isfinite(f.worker_predict_s) &&
+                     f.worker_predict_s >= 0.0,
+                 "wire decode: negative/non-finite worker phase");
+  }
   r.expect_end();
   return f;
 }
@@ -356,6 +403,26 @@ PingFrame decode_ping(std::string_view payload) {
   Reader r(payload);
   PingFrame f;
   f.nonce = r.u64();
+  r.expect_end();
+  return f;
+}
+
+std::string encode_pong(const PongFrame& f, std::uint16_t version) {
+  SCWC_REQUIRE(supported_version(version),
+               "wire encode: unsupported protocol version");
+  Writer w;
+  w.u64(f.nonce);
+  if (version >= 2) w.u64(f.t_mono_ns);
+  return w.take();
+}
+
+PongFrame decode_pong(std::string_view payload, std::uint16_t version) {
+  SCWC_REQUIRE(supported_version(version),
+               "wire decode: unsupported protocol version");
+  Reader r(payload);
+  PongFrame f;
+  f.nonce = r.u64();
+  if (version >= 2) f.t_mono_ns = r.u64();
   r.expect_end();
   return f;
 }
@@ -487,6 +554,75 @@ ErrorFrame decode_error(std::string_view payload) {
   ErrorFrame f;
   f.code = r.u16();
   f.message = r.string();
+  r.expect_end();
+  return f;
+}
+
+std::string encode_metrics_reply(const MetricsReplyFrame& f) {
+  SCWC_REQUIRE(f.counters.size() <= kMaxMetricsEntries &&
+                   f.gauges.size() <= kMaxMetricsEntries &&
+                   f.rolling.size() <= kMaxMetricsEntries,
+               "wire encode: metrics reply exceeds kMaxMetricsEntries");
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(f.counters.size()));
+  for (const auto& [name, value] : f.counters) {
+    w.string(name);
+    w.u64(value);
+  }
+  w.u32(static_cast<std::uint32_t>(f.gauges.size()));
+  for (const auto& [name, value] : f.gauges) {
+    w.string(name);
+    w.f64(value);
+  }
+  w.u32(static_cast<std::uint32_t>(f.rolling.size()));
+  for (const MetricsRollingEntry& e : f.rolling) {
+    w.string(e.name);
+    w.u64(e.count);
+    w.f64(e.p50);
+    w.f64(e.p90);
+    w.f64(e.p99);
+  }
+  return w.take();
+}
+
+MetricsReplyFrame decode_metrics_reply(std::string_view payload) {
+  Reader r(payload);
+  MetricsReplyFrame f;
+  const std::uint32_t n_counters = r.u32();
+  SCWC_REQUIRE(n_counters <= kMaxMetricsEntries,
+               "wire decode: metrics counters exceed cap");
+  f.counters.reserve(n_counters);
+  for (std::uint32_t i = 0; i < n_counters; ++i) {
+    std::string name = r.string();
+    const std::uint64_t value = r.u64();
+    f.counters.emplace_back(std::move(name), value);
+  }
+  const std::uint32_t n_gauges = r.u32();
+  SCWC_REQUIRE(n_gauges <= kMaxMetricsEntries,
+               "wire decode: metrics gauges exceed cap");
+  f.gauges.reserve(n_gauges);
+  for (std::uint32_t i = 0; i < n_gauges; ++i) {
+    std::string name = r.string();
+    const double value = r.f64();  // NaN travels intact, like windows
+    f.gauges.emplace_back(std::move(name), value);
+  }
+  const std::uint32_t n_rolling = r.u32();
+  SCWC_REQUIRE(n_rolling <= kMaxMetricsEntries,
+               "wire decode: metrics rolling entries exceed cap");
+  f.rolling.reserve(n_rolling);
+  for (std::uint32_t i = 0; i < n_rolling; ++i) {
+    MetricsRollingEntry e;
+    e.name = r.string();
+    e.count = r.u64();
+    e.p50 = r.f64();
+    e.p90 = r.f64();
+    e.p99 = r.f64();
+    SCWC_REQUIRE(std::isfinite(e.p50) && e.p50 >= 0.0 &&
+                     std::isfinite(e.p90) && e.p90 >= 0.0 &&
+                     std::isfinite(e.p99) && e.p99 >= 0.0,
+                 "wire decode: negative/non-finite rolling quantile");
+    f.rolling.push_back(std::move(e));
+  }
   r.expect_end();
   return f;
 }

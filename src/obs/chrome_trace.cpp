@@ -58,10 +58,13 @@ void append_request_events(Json::Array& events,
   // about per-phase magnitudes.
   const std::pair<const char*, double> phases[] = {
       {"admission", rec.phases.admission_s},
+      {"route", rec.phases.route_s},
+      {"wire_send", rec.phases.wire_send_s},
       {"queue", rec.phases.queue_s},
       {"batch_wait", rec.phases.batch_wait_s},
       {"transform", rec.phases.transform_s},
       {"predict", rec.phases.predict_s},
+      {"wire_recv", rec.phases.wire_recv_s},
   };
   double cursor_us = start_us;
   for (const auto& [name, dur_s] : phases) {
@@ -92,7 +95,7 @@ double append_span_events(Json::Array& events, const SpanStats& span,
 }  // namespace
 
 Json chrome_trace_json(std::span<const RequestTraceRecord> records,
-                       const SpanStats& span_root) {
+                       const SpanStats& span_root, Json::Object meta) {
   Json::Array events;
   events.push_back(process_name_event(kRequestPid, "scwc requests"));
   events.push_back(process_name_event(kSpanPid, "scwc span tree"));
@@ -106,6 +109,7 @@ Json chrome_trace_json(std::span<const RequestTraceRecord> records,
   Json::Object doc;
   doc.emplace("displayTimeUnit", Json("ms"));
   doc.emplace("traceEvents", Json(std::move(events)));
+  if (!meta.empty()) doc.emplace("scwcMeta", Json(std::move(meta)));
   return Json(std::move(doc));
 }
 
@@ -151,10 +155,10 @@ std::string validate_chrome_trace_json(const Json& doc) {
 
 bool write_chrome_trace_file(const std::string& path,
                              std::span<const RequestTraceRecord> records,
-                             const SpanStats& span_root) {
+                             const SpanStats& span_root, Json::Object meta) {
   std::ofstream out(path);
   if (!out) return false;
-  chrome_trace_json(records, span_root).write(out, 2);
+  chrome_trace_json(records, span_root, std::move(meta)).write(out, 2);
   out << '\n';
   return out.good();
 }

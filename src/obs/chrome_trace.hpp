@@ -26,9 +26,13 @@ namespace scwc::obs {
 
 /// Builds the full trace document: {"displayTimeUnit": "ms",
 /// "traceEvents": [...]} with process-name metadata, one slice group per
-/// record and the span tree. Deterministic for fixed inputs.
+/// record and the span tree. Deterministic for fixed inputs. A non-empty
+/// `meta` object is attached as a top-level "scwcMeta" key — extra
+/// top-level keys are legal trace-event JSON (the validator ignores them);
+/// scwc_tracemerge uses it to carry tracer epochs and clock offsets.
 [[nodiscard]] Json chrome_trace_json(std::span<const RequestTraceRecord> records,
-                                     const SpanStats& span_root);
+                                     const SpanStats& span_root,
+                                     Json::Object meta = {});
 
 /// Structural self-check: "" when `doc` is a well-formed trace-event
 /// document (object with a traceEvents array; every event has string
@@ -40,6 +44,7 @@ namespace scwc::obs {
 /// when the file cannot be opened/written; never throws.
 bool write_chrome_trace_file(const std::string& path,
                              std::span<const RequestTraceRecord> records,
-                             const SpanStats& span_root);
+                             const SpanStats& span_root,
+                             Json::Object meta = {});
 
 }  // namespace scwc::obs

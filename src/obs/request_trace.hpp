@@ -51,13 +51,31 @@ namespace scwc::obs {
   return std::chrono::duration<double>(to - from).count();
 }
 
-/// Per-request phase-timing breakdown, all in seconds.
+/// A steady-clock stamp as nanoseconds since the clock's (process-wide)
+/// epoch — the blessed chrono path for wire timestamps: the clock-offset
+/// handshake ships these in pong frames, and chrome-trace files record
+/// their tracer epoch this way so scwc_tracemerge can align processes.
+[[nodiscard]] inline std::uint64_t steady_ns(
+    std::chrono::steady_clock::time_point t =
+        std::chrono::steady_clock::now()) noexcept {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      t.time_since_epoch());
+  return ns.count() > 0 ? static_cast<std::uint64_t>(ns.count()) : 0;
+}
+
+/// Per-request phase-timing breakdown, all in seconds. The first five
+/// phases are stamped by the in-process serve stack; route/wire_send/
+/// wire_recv stay 0 there and are filled by the ShardRouter when the
+/// request crossed SCWCWIRE (DESIGN.md §13).
 struct RequestPhases {
   double admission_s = 0.0;   ///< submit entry → admission verdict/enqueue
+  double route_s = 0.0;       ///< router only: ring lookup → shard chosen
+  double wire_send_s = 0.0;   ///< router only: frame encode + send_all
   double queue_s = 0.0;       ///< enqueue → batch cut
   double batch_wait_s = 0.0;  ///< batch cut → executor pickup
   double transform_s = 0.0;   ///< batch feature transform (batch-level time)
   double predict_s = 0.0;     ///< batch model predict (batch-level time)
+  double wire_recv_s = 0.0;   ///< router only: residual wire/verdict return
   double total_s = 0.0;       ///< submit entry → promise fulfilled
 };
 

@@ -15,6 +15,13 @@ Json audit_record_to_json(const AuditRecord& record) {
   phases.emplace("transform_s", Json(record.phases.transform_s));
   phases.emplace("predict_s", Json(record.phases.predict_s));
   phases.emplace("total_s", Json(record.phases.total_s));
+  if (record.shard_id.has_value()) {
+    // Wire phases only mean something on routed records; in-process
+    // records keep the original six-key phase object byte-for-byte.
+    phases.emplace("route_s", Json(record.phases.route_s));
+    phases.emplace("wire_send_s", Json(record.phases.wire_send_s));
+    phases.emplace("wire_recv_s", Json(record.phases.wire_recv_s));
+  }
 
   Json::Object out;
   out.emplace("schema", Json(kAuditSchema));
@@ -40,6 +47,9 @@ Json audit_record_to_json(const AuditRecord& record) {
   if (record.deadline_slack_s.has_value()) {
     out.emplace("deadline_slack_s", Json(*record.deadline_slack_s));
   }
+  if (record.shard_id.has_value()) {
+    out.emplace("shard_id", Json(static_cast<double>(*record.shard_id)));
+  }
   return Json(std::move(out));
 }
 
@@ -47,6 +57,8 @@ namespace {
 
 const char* kPhaseKeys[] = {"admission_s", "queue_s",   "batch_wait_s",
                             "transform_s", "predict_s", "total_s"};
+
+const char* kWirePhaseKeys[] = {"route_s", "wire_send_s", "wire_recv_s"};
 
 }  // namespace
 
@@ -83,6 +95,16 @@ std::string validate_audit_record_json(const Json& record) {
   for (const char* key : kPhaseKeys) {
     if (!phases.contains(key) || !phases.at(key).is_number()) {
       return std::string("phases lacks numeric ") + key;
+    }
+    if (phases.at(key).as_number() < 0.0) {
+      return std::string("phases.") + key + " is negative";
+    }
+  }
+  // Router-side wire phases are optional but typed when present.
+  for (const char* key : kWirePhaseKeys) {
+    if (!phases.contains(key)) continue;
+    if (!phases.at(key).is_number()) {
+      return std::string("phases.") + key + " must be a number";
     }
     if (phases.at(key).as_number() < 0.0) {
       return std::string("phases.") + key + " is negative";
@@ -127,6 +149,14 @@ std::string validate_audit_record_json(const Json& record) {
   if (record.contains("deadline_slack_s") &&
       !record.at("deadline_slack_s").is_number()) {
     return "deadline_slack_s must be a number";
+  }
+  if (record.contains("shard_id")) {
+    if (!record.at("shard_id").is_number()) {
+      return "shard_id must be a number";
+    }
+    if (record.at("shard_id").as_number() < 0.0) {
+      return "shard_id must be >= 0";
+    }
   }
   return "";
 }

@@ -23,9 +23,13 @@
 //   missing_values    number ≥ 0, present iff accepted
 //   repaired_values   number ≥ 0, present iff accepted
 //   phases            object {admission_s, queue_s, batch_wait_s,
-//                     transform_s, predict_s, total_s}, all numbers ≥ 0
+//                     transform_s, predict_s, total_s}, all numbers ≥ 0;
+//                     router-side records add route_s, wire_send_s and
+//                     wire_recv_s (optional in the schema, numbers ≥ 0)
 //   deadline_slack_s  number, present iff the request had a deadline
 //                     (positive = answered with room to spare)
+//   shard_id          number ≥ 0, present iff a ShardRouter wrote the
+//                     record (which shard served the request)
 //
 // Writes are mutex-serialised; the logger is shared by the batch
 // executor threads. Durability favours throughput: lines are flushed on
@@ -63,6 +67,7 @@ struct AuditRecord {
   std::size_t repaired_values = 0;
   obs::RequestPhases phases;
   std::optional<double> deadline_slack_s;  ///< set iff a deadline existed
+  std::optional<std::uint32_t> shard_id;   ///< set iff routed over SCWCWIRE
 };
 
 /// Serialises one record (without trailing newline).

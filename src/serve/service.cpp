@@ -161,16 +161,33 @@ std::future<ServeResult> ClassificationService::submit(
   return submit_traced(std::move(window), steps, sensors, deadline, -1);
 }
 
+std::future<ServeResult> ClassificationService::submit_with_trace(
+    std::vector<double> window, std::size_t steps, std::size_t sensors,
+    std::chrono::steady_clock::time_point deadline, std::uint64_t trace_id,
+    bool trace_sampled) {
+  return submit_traced(std::move(window), steps, sensors, deadline, -1,
+                       trace_id, trace_sampled);
+}
+
 std::future<ServeResult> ClassificationService::submit_traced(
     std::vector<double> window, std::size_t steps, std::size_t sensors,
-    std::chrono::steady_clock::time_point deadline, std::int64_t job_id) {
+    std::chrono::steady_clock::time_point deadline, std::int64_t job_id,
+    std::uint64_t trace_id, bool trace_sampled) {
   obs_requests_.inc();
   BatchRequest request;
   request.window = std::move(window);
   request.steps = steps;
   request.sensors = sensors;
-  request.trace_id = tracer_.begin_trace();
-  request.trace_sampled = tracer_.sampled(request.trace_id);
+  if (trace_id != 0) {
+    // Adopted (router-issued) identity: the caller's sampler already
+    // decided; our own seeded sampler stays out of the picture so router
+    // and worker keep records for exactly the same requests.
+    request.trace_id = trace_id;
+    request.trace_sampled = trace_sampled;
+  } else {
+    request.trace_id = tracer_.begin_trace();
+    request.trace_sampled = tracer_.sampled(request.trace_id);
+  }
   request.job_id = job_id;
   request.submitted = std::chrono::steady_clock::now();
   // The batcher re-stamps `enqueued` on acceptance; until then both stamps

@@ -96,6 +96,15 @@ class ClassificationService {
       std::vector<double> window, std::size_t steps, std::size_t sensors,
       std::chrono::steady_clock::time_point deadline);
 
+  /// Cluster entry: submit under an externally-issued trace identity (the
+  /// router's trace id + sampling verdict, propagated over SCWCWIRE) so
+  /// worker-side phases land under the same trace as the router's record.
+  /// trace_id 0 falls back to a locally-issued id (untraced v1 peer).
+  [[nodiscard]] std::future<ServeResult> submit_with_trace(
+      std::vector<double> window, std::size_t steps, std::size_t sensors,
+      std::chrono::steady_clock::time_point deadline, std::uint64_t trace_id,
+      bool trace_sampled);
+
   /// Streaming front door: feeds one sample row (or several with
   /// ingest_block) into the WindowAssembler and submits every window that
   /// closed. Returns the pending results (usually 0 or 1 per call).
@@ -135,9 +144,12 @@ class ClassificationService {
  private:
   /// The real submit: stamps trace identity (and the source job) before
   /// admission. job_id -1 = unattributed (direct submit() calls).
+  /// trace_id 0 = issue a fresh local id; nonzero adopts the caller's id
+  /// and sampling verdict (cluster workers; see submit_with_trace).
   [[nodiscard]] std::future<ServeResult> submit_traced(
       std::vector<double> window, std::size_t steps, std::size_t sensors,
-      std::chrono::steady_clock::time_point deadline, std::int64_t job_id);
+      std::chrono::steady_clock::time_point deadline, std::int64_t job_id,
+      std::uint64_t trace_id = 0, bool trace_sampled = false);
   /// Tracing/audit tap, called once per verdict just before the promise
   /// is fulfilled. `done` is the verdict timestamp.
   void note_verdict(const BatchRequest& request, const ServeResult& result,

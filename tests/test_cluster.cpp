@@ -18,6 +18,8 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
 #include "serve/bundle_io.hpp"
 #include "serve/retry.hpp"
 
@@ -371,6 +373,189 @@ TEST(Cluster, StatsRoundTripReportsServingCounters) {
   EXPECT_LE(stats->abstained, stats->answered);
   EXPECT_EQ(stats->model_version, "cluster-v1");
   router.stop();
+}
+
+// ------------------------------------------------- cluster observability
+
+/// Current value of a global counter (they are cumulative across tests in
+/// this process, so assertions work on before/after deltas).
+std::uint64_t global_counter(const char* name) {
+  return obs::counter_value(obs::MetricsRegistry::global().snapshot(), name);
+}
+
+TEST(ClusterObservability, TracePropagatesAndPhasesComeBackOverV2) {
+  const TinyWorld& w = tiny_world();
+  Shard s0(0, w.v1);
+  cluster::RouterConfig config;
+  config.trace.sample_rate = 1.0;  // trace everything: ids must all join
+  cluster::ShardRouter router(config);
+  (void)router.add_shard(s0.worker->port());
+  ASSERT_EQ(router.shards().size(), 1u);
+  EXPECT_EQ(router.shards()[0].wire_version, net::kWireVersion);
+
+  const std::uint64_t untraced_before =
+      global_counter("scwc_cluster_untraced_submits_total");
+  const std::uint64_t unphased_before =
+      global_counter("scwc_cluster_unphased_verdicts_total");
+
+  Rng rng(29);
+  serve::RetryPolicy policy;
+  const std::size_t n = 10;
+  for (std::size_t i = 0; i < n; ++i) {
+    const serve::ServeResult r = router.submit_and_wait(
+        static_cast<std::int64_t>(i), make_window(rng, 1), kSteps, kSensors,
+        policy, rng);
+    ASSERT_TRUE(r.accepted);
+    EXPECT_GE(r.trace_id, 1u) << "router must stamp every request";
+    // The verdict frame brought the worker-side split back: inference ran,
+    // so predict time is strictly positive; the rest must be sane.
+    EXPECT_GT(r.phases.predict_s, 0.0);
+    EXPECT_GE(r.phases.queue_s, 0.0);
+    EXPECT_GE(r.phases.transform_s, 0.0);
+    EXPECT_GE(r.phases.wire_send_s, 0.0);
+    EXPECT_GE(r.phases.wire_recv_s, 0.0);
+    EXPECT_GT(r.phases.total_s, 0.0);
+  }
+  // A v2 fleet never degrades: the typed counters must not have moved.
+  EXPECT_EQ(global_counter("scwc_cluster_untraced_submits_total"),
+            untraced_before);
+  EXPECT_EQ(global_counter("scwc_cluster_unphased_verdicts_total"),
+            unphased_before);
+
+  // Both processes sampled the same requests under the same ids — the
+  // invariant scwc_tracemerge's join step relies on.
+  std::set<std::uint64_t> router_ids;
+  for (const obs::RequestTraceRecord& rec : router.tracer().drain()) {
+    router_ids.insert(rec.trace_id);
+  }
+  std::set<std::uint64_t> worker_ids;
+  for (const obs::RequestTraceRecord& rec :
+       s0.worker->service().tracer().drain()) {
+    worker_ids.insert(rec.trace_id);
+  }
+  EXPECT_EQ(router_ids.size(), n);
+  EXPECT_EQ(router_ids, worker_ids);
+
+  // And the fleet-metrics pull path works on a v2 link.
+  const auto metrics = router.fetch_metrics(0);
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_FALSE(metrics->counters.empty());
+  router.stop();
+}
+
+TEST(ClusterObservability, V1WorkerDegradesToUntracedNeverToDecodeError) {
+  // A fake shard that speaks wire v1: hello at v1, verdicts at v1. The
+  // router must negotiate down, serve normally, count the degradation on
+  // the typed counters — and never surface a decode error.
+  net::TcpListener listener;
+  listener.listen(0);
+  std::thread fake([&listener] {
+    net::Socket sock = listener.accept();
+    if (!sock.valid()) return;
+    net::HelloFrame hello;
+    hello.shard_id = 0;
+    hello.window_steps = kSteps;
+    hello.sensors = kSensors;
+    hello.model_version = "v1-fake";
+    (void)net::write_frame(sock, net::FrameType::kHello,
+                           net::encode_hello(hello), 1);
+    try {
+      while (const auto frame = net::read_frame(sock)) {
+        if (frame->type != net::FrameType::kSubmitWindow) continue;
+        const net::SubmitWindowFrame submit =
+            net::decode_submit_window(frame->payload, frame->version);
+        EXPECT_EQ(frame->version, 1)
+            << "router must talk v1 to a v1 shard";
+        EXPECT_EQ(submit.trace_id, 0u) << "v1 submits carry no trace";
+        net::VerdictFrame verdict;
+        verdict.request_id = submit.request_id;
+        verdict.job_id = submit.job_id;
+        verdict.accepted = true;
+        verdict.label = 1;
+        verdict.batch_size = 1;
+        verdict.quality = 1.0;
+        verdict.model_version = "v1-fake";
+        if (!net::write_frame(sock, net::FrameType::kVerdict,
+                              net::encode_verdict(verdict, 1), 1)) {
+          break;
+        }
+      }
+    } catch (const Error&) {
+    }
+  });
+
+  const std::uint64_t untraced_before =
+      global_counter("scwc_cluster_untraced_submits_total");
+  const std::uint64_t unphased_before =
+      global_counter("scwc_cluster_unphased_verdicts_total");
+
+  cluster::RouterConfig config;
+  config.trace.sample_rate = 1.0;
+  cluster::ShardRouter router(config);
+  ASSERT_EQ(router.add_shard(listener.port()), 0u);
+  EXPECT_EQ(router.shards()[0].wire_version, 1)
+      << "hello at v1 must negotiate the connection down";
+  EXPECT_EQ(router.shards()[0].clock_offset_ns, 0)
+      << "no clock handshake on a v1 link";
+
+  Rng rng(31);
+  std::future<serve::ServeResult> f =
+      router.submit(7, make_window(rng, 1), kSteps, kSensors);
+  const serve::ServeResult r = f.get();
+  ASSERT_TRUE(r.accepted);
+  EXPECT_EQ(r.model_version, "v1-fake");
+  EXPECT_GE(r.trace_id, 1u) << "the router still traces locally";
+  EXPECT_DOUBLE_EQ(r.phases.queue_s, 0.0) << "v1 verdicts carry no phases";
+  EXPECT_DOUBLE_EQ(r.phases.predict_s, 0.0);
+
+  EXPECT_EQ(global_counter("scwc_cluster_untraced_submits_total"),
+            untraced_before + 1);
+  EXPECT_EQ(global_counter("scwc_cluster_unphased_verdicts_total"),
+            unphased_before + 1);
+
+  // Metrics scrape frames are v2-only: the router must refuse to send one
+  // to a v1 peer (degrade, don't surprise), not error out.
+  EXPECT_FALSE(router.fetch_metrics(0).has_value());
+
+  router.stop();
+  listener.shutdown_now();
+  fake.join();
+}
+
+TEST(ClusterObservability, V1RouterIsServedUnderALocalWorkerTraceId) {
+  // The other direction: a v1 router against a real v2 worker. The worker
+  // serves normally under a locally-issued trace id and counts the
+  // untraced submit — never a decode error.
+  const TinyWorld& w = tiny_world();
+  Shard s0(0, w.v1);
+  const std::uint64_t untraced_before =
+      global_counter("scwc_cluster_worker_untraced_submits_total");
+
+  net::Socket sock = net::connect_loopback(s0.worker->port(), 5.0);
+  ASSERT_TRUE(sock.valid());
+  const auto hello = net::read_frame(sock);
+  ASSERT_TRUE(hello.has_value());
+  ASSERT_EQ(hello->type, net::FrameType::kHello);
+
+  Rng rng(37);
+  net::SubmitWindowFrame submit;
+  submit.request_id = 1;
+  submit.job_id = 3;
+  submit.steps = kSteps;
+  submit.sensors = kSensors;
+  submit.values = make_window(rng, 2);
+  ASSERT_TRUE(net::write_frame(sock, net::FrameType::kSubmitWindow,
+                               net::encode_submit_window(submit, 1), 1));
+  const auto reply = net::read_frame(sock);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, net::FrameType::kVerdict);
+  EXPECT_EQ(reply->version, 1) << "the worker must answer at our version";
+  const net::VerdictFrame verdict =
+      net::decode_verdict(reply->payload, reply->version);
+  EXPECT_EQ(verdict.request_id, submit.request_id);
+  EXPECT_TRUE(verdict.accepted);
+  EXPECT_EQ(global_counter("scwc_cluster_worker_untraced_submits_total"),
+            untraced_before + 1);
 }
 
 }  // namespace

@@ -592,14 +592,30 @@ TEST(LintRules, RawSocketCallSuppressible) {
                      "no-raw-socket-calls"));
 }
 
-TEST(LintRules, RawChronoDeltaInClusterFires) {
-  // The cluster layer is request-path code like serve: inline clock
-  // deltas must use the shared obs helpers there too.
+TEST(LintRules, RawChronoDeltaInClusterAndNetFires) {
+  // The cluster and net layers are request-path code like serve: inline
+  // clock deltas must use the shared obs helpers there too (the wire layer
+  // joined when the clock-offset handshake gave it timing code of its own).
   const std::string delta =
       "double s = std::chrono::duration<double>(now - start).count();\n";
   EXPECT_TRUE(fired(lint("src/cluster/router.cpp", delta),
                     "no-raw-chrono-timing"));
-  EXPECT_FALSE(fired(lint("src/net/socket.cpp", delta),
+  EXPECT_TRUE(fired(lint("src/net/socket.cpp", delta),
+                    "no-raw-chrono-timing"));
+  EXPECT_TRUE(fired(lint("src/net/wire.cpp", delta),
+                    "no-raw-chrono-timing"));
+}
+
+TEST(LintRules, NetNonDeltaDurationsStayClean) {
+  // Timeout configuration in the socket layer is not timing measurement;
+  // only a clock subtraction inside the duration argument fires.
+  EXPECT_FALSE(
+      fired(lint("src/net/socket.cpp",
+                 "auto d = std::chrono::duration<double>(timeout_s);\n"),
+            "no-raw-chrono-timing"));
+  EXPECT_FALSE(fired(lint("src/net/socket.cpp",
+                          "auto d = std::chrono::duration<double>(a - b);"
+                          "  // scwc-lint: allow(no-raw-chrono-timing)\n"),
                      "no-raw-chrono-timing"));
 }
 

@@ -1,8 +1,10 @@
-// SCWCWIRE v1 codec tests: round-trips for every frame type, header
-// validation, and the byte-level fuzz pass the wire header promises — every
-// single-byte corruption and every truncation of every frame type either
-// decodes (the flip hit a don't-care byte) or throws a typed scwc::Error.
-// Nothing may crash, hang, or allocate unbounded memory.
+// SCWCWIRE codec tests: round-trips for every frame type, header
+// validation, v1↔v2 version compatibility (a v1 peer degrades to untraced
+// operation, never a decode error), and the byte-level fuzz pass the wire
+// header promises — every single-byte corruption and every truncation of
+// every frame type either decodes (the flip hit a don't-care byte) or
+// throws a typed scwc::Error. Nothing may crash, hang, or allocate
+// unbounded memory.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -41,6 +43,8 @@ TEST(WireCodec, SubmitWindowRoundTrip) {
   f.steps = 3;
   f.sensors = 2;
   f.values = {1.5, -2.25, 0.0, 1e-300, -1e300, 42.0};
+  f.trace_id = 0xabcdULL;
+  f.trace_sampled = true;
   const SubmitWindowFrame back = decode_submit_window(encode_submit_window(f));
   EXPECT_EQ(back.request_id, f.request_id);
   EXPECT_EQ(back.job_id, f.job_id);
@@ -48,6 +52,8 @@ TEST(WireCodec, SubmitWindowRoundTrip) {
   EXPECT_EQ(back.steps, f.steps);
   EXPECT_EQ(back.sensors, f.sensors);
   EXPECT_EQ(back.values, f.values);
+  EXPECT_EQ(back.trace_id, f.trace_id);
+  EXPECT_EQ(back.trace_sampled, f.trace_sampled);
 }
 
 TEST(WireCodec, TelemetryRowRoundTrip) {
@@ -78,6 +84,9 @@ TEST(WireCodec, VerdictRoundTrip) {
   f.missing_values = 4;
   f.repaired_values = 3;
   f.model_version = "rf-cov-v2";
+  f.worker_queue_s = 0.001;
+  f.worker_transform_s = 0.0005;
+  f.worker_predict_s = 0.002;
   const VerdictFrame back = decode_verdict(encode_verdict(f));
   EXPECT_EQ(back.request_id, f.request_id);
   EXPECT_EQ(back.trace_id, f.trace_id);
@@ -93,6 +102,9 @@ TEST(WireCodec, VerdictRoundTrip) {
   EXPECT_EQ(back.missing_values, f.missing_values);
   EXPECT_EQ(back.repaired_values, f.repaired_values);
   EXPECT_EQ(back.model_version, f.model_version);
+  EXPECT_DOUBLE_EQ(back.worker_queue_s, f.worker_queue_s);
+  EXPECT_DOUBLE_EQ(back.worker_transform_s, f.worker_transform_s);
+  EXPECT_DOUBLE_EQ(back.worker_predict_s, f.worker_predict_s);
 }
 
 TEST(WireCodec, SwapFramesRoundTrip) {
@@ -135,6 +147,13 @@ TEST(WireCodec, SmallFramesRoundTrip) {
   ping.nonce = 0xabcdef;
   EXPECT_EQ(decode_ping(encode_ping(ping)).nonce, ping.nonce);
 
+  PongFrame pong;
+  pong.nonce = 0xabcdef;
+  pong.t_mono_ns = 123'456'789'000ULL;
+  const PongFrame pong_back = decode_pong(encode_pong(pong));
+  EXPECT_EQ(pong_back.nonce, pong.nonce);
+  EXPECT_EQ(pong_back.t_mono_ns, pong.t_mono_ns);
+
   StatsReplyFrame stats;
   stats.submitted = 100;
   stats.answered = 90;
@@ -155,6 +174,136 @@ TEST(WireCodec, SmallFramesRoundTrip) {
   const ErrorFrame err_back = decode_error(encode_error(err));
   EXPECT_EQ(err_back.code, err.code);
   EXPECT_EQ(err_back.message, err.message);
+}
+
+TEST(WireCodec, MetricsReplyRoundTrip) {
+  MetricsReplyFrame f;
+  f.counters = {{"scwc_serve_submitted_total", 100},
+                {"scwc_serve_shed_total", 3}};
+  f.gauges = {{"scwc_serve_inflight", 7.0},
+              {"scwc_idle_ratio", std::numeric_limits<double>::quiet_NaN()}};
+  MetricsRollingEntry e;
+  e.name = "scwc_serve_latency_seconds";
+  e.count = 97;
+  e.p50 = 0.001;
+  e.p90 = 0.004;
+  e.p99 = 0.009;
+  f.rolling = {e};
+  const MetricsReplyFrame back = decode_metrics_reply(encode_metrics_reply(f));
+  ASSERT_EQ(back.counters.size(), 2u);
+  EXPECT_EQ(back.counters[0].first, "scwc_serve_submitted_total");
+  EXPECT_EQ(back.counters[0].second, 100u);
+  ASSERT_EQ(back.gauges.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.gauges[0].second, 7.0);
+  EXPECT_TRUE(std::isnan(back.gauges[1].second));  // NaN travels intact
+  ASSERT_EQ(back.rolling.size(), 1u);
+  EXPECT_EQ(back.rolling[0].name, e.name);
+  EXPECT_EQ(back.rolling[0].count, e.count);
+  EXPECT_DOUBLE_EQ(back.rolling[0].p99, e.p99);
+}
+
+TEST(WireCodec, MetricsReplyRejectsOverCapEntryCounts) {
+  MetricsReplyFrame f;
+  f.counters.assign(kMaxMetricsEntries + 1,
+                    std::pair<std::string, std::uint64_t>{"c", 1});
+  EXPECT_THROW((void)encode_metrics_reply(f), Error);
+  // A hostile count in the bytes must throw before the decoder allocates.
+  MetricsReplyFrame ok;
+  ok.counters = {{"c", 1}};
+  std::string payload = encode_metrics_reply(ok);
+  const std::uint32_t huge =
+      static_cast<std::uint32_t>(kMaxMetricsEntries) + 1;
+  std::memcpy(payload.data(), &huge, sizeof(huge));
+  EXPECT_THROW((void)decode_metrics_reply(payload), Error);
+}
+
+// ---------------------------------------------------- v1 ↔ v2 compatibility
+//
+// The contract: both versions stay decodable, and a v1 peer loses the v2
+// fields (trace context, worker phases, pong timestamp) — it never causes
+// a decode error. The header's version drives the codec, so mixing a
+// payload with the wrong version IS an error (strict expect_end both ways).
+
+TEST(WireCompat, V1SubmitCarriesNoTraceContext) {
+  SubmitWindowFrame f;
+  f.request_id = 9;
+  f.steps = 1;
+  f.sensors = 1;
+  f.values = {1.0};
+  f.trace_id = 0xdeadULL;  // set, but v1 has nowhere to put it
+  f.trace_sampled = true;
+  const std::string v1 = encode_submit_window(f, 1);
+  const std::string v2 = encode_submit_window(f, 2);
+  EXPECT_EQ(v2.size(), v1.size() + 9);  // u64 trace id + u8 sampled bit
+  const SubmitWindowFrame back = decode_submit_window(v1, 1);
+  EXPECT_EQ(back.request_id, f.request_id);
+  EXPECT_EQ(back.values, f.values);
+  EXPECT_EQ(back.trace_id, 0u);  // degraded to untraced, not an error
+  EXPECT_FALSE(back.trace_sampled);
+  // Version mismatch between header and codec is a typed error, both ways.
+  EXPECT_THROW((void)decode_submit_window(v2, 1), Error);
+  EXPECT_THROW((void)decode_submit_window(v1, 2), Error);
+}
+
+TEST(WireCompat, V1VerdictCarriesNoWorkerPhases) {
+  VerdictFrame f;
+  f.request_id = 4;
+  f.accepted = true;
+  f.label = 1;
+  f.model_version = "v1";
+  f.worker_queue_s = 0.5;  // set, but v1 has nowhere to put it
+  f.worker_predict_s = 0.25;
+  const std::string v1 = encode_verdict(f, 1);
+  const VerdictFrame back = decode_verdict(v1, 1);
+  EXPECT_EQ(back.request_id, f.request_id);
+  EXPECT_EQ(back.model_version, f.model_version);
+  EXPECT_DOUBLE_EQ(back.worker_queue_s, 0.0);  // phases degrade to zero
+  EXPECT_DOUBLE_EQ(back.worker_transform_s, 0.0);
+  EXPECT_DOUBLE_EQ(back.worker_predict_s, 0.0);
+  EXPECT_THROW((void)decode_verdict(encode_verdict(f, 2), 1), Error);
+  EXPECT_THROW((void)decode_verdict(v1, 2), Error);
+}
+
+TEST(WireCompat, V1PongCarriesNoTimestamp) {
+  PongFrame f;
+  f.nonce = 11;
+  f.t_mono_ns = 999;
+  const PongFrame back = decode_pong(encode_pong(f, 1), 1);
+  EXPECT_EQ(back.nonce, f.nonce);
+  EXPECT_EQ(back.t_mono_ns, 0u);  // no clock handshake on a v1 link
+  EXPECT_THROW((void)decode_pong(encode_pong(f, 2), 1), Error);
+}
+
+TEST(WireCompat, FrameHeaderCarriesTheVersionThroughDecode) {
+  // The frame layer is how a reader learns which codec variant to run:
+  // the header version must survive into the decoded Frame for BOTH
+  // supported versions, and the matching decode must then succeed.
+  SubmitWindowFrame f;
+  f.request_id = 1;
+  f.steps = 1;
+  f.sensors = 1;
+  f.values = {2.0};
+  f.trace_id = 77;
+  f.trace_sampled = true;
+  for (const std::uint16_t version : {std::uint16_t{1}, std::uint16_t{2}}) {
+    const Frame frame = decode_frame(encode_frame(
+        FrameType::kSubmitWindow, encode_submit_window(f, version), version));
+    EXPECT_EQ(frame.version, version);
+    const SubmitWindowFrame back =
+        decode_submit_window(frame.payload, frame.version);
+    EXPECT_EQ(back.trace_id, version >= 2 ? 77u : 0u);
+  }
+}
+
+TEST(WireCompat, RejectsVersionsOutsideTheSupportedRange) {
+  const std::string payload = encode_ping(PingFrame{1});
+  EXPECT_THROW((void)encode_frame(FrameType::kPing, payload, 0), Error);
+  EXPECT_THROW(
+      (void)encode_frame(FrameType::kPing, payload,
+                         static_cast<std::uint16_t>(kWireVersion + 1)),
+      Error);
+  EXPECT_THROW((void)decode_submit_window("", 0), Error);
+  EXPECT_THROW((void)encode_submit_window(SubmitWindowFrame{}, 3), Error);
 }
 
 // -------------------------------------------------------- frame validation
@@ -292,7 +441,7 @@ std::vector<std::pair<std::string, std::string>> corpus() {
   add("verdict", FrameType::kVerdict, encode_verdict(verdict));
 
   add("ping", FrameType::kPing, encode_ping(PingFrame{7}));
-  add("pong", FrameType::kPong, encode_ping(PingFrame{7}));
+  add("pong", FrameType::kPong, encode_pong(PongFrame{7, 123456}));
 
   SwapBeginFrame begin;
   begin.version = "v2";
@@ -324,10 +473,38 @@ std::vector<std::pair<std::string, std::string>> corpus() {
 
   add("error", FrameType::kError,
       encode_error(ErrorFrame{1, "decode failed"}));
+  add("metrics_scrape", FrameType::kMetricsScrape, "");
+
+  MetricsReplyFrame metrics;
+  metrics.counters = {{"scwc_serve_submitted_total", 10}};
+  metrics.gauges = {{"scwc_serve_inflight", 2.0}};
+  MetricsRollingEntry rolling;
+  rolling.name = "scwc_serve_latency_seconds";
+  rolling.count = 9;
+  rolling.p50 = 0.001;
+  rolling.p90 = 0.002;
+  rolling.p99 = 0.003;
+  metrics.rolling = {rolling};
+  add("metrics_reply", FrameType::kMetricsReply,
+      encode_metrics_reply(metrics));
+
+  // The same traffic on a v1 link: the fuzz promise (typed error or clean
+  // decode, nothing else) holds for both protocol versions on the wire.
+  SubmitWindowFrame v1_submit = submit;
+  frames.emplace_back("submit_window_v1",
+                      encode_frame(FrameType::kSubmitWindow,
+                                   encode_submit_window(v1_submit, 1), 1));
+  frames.emplace_back(
+      "verdict_v1",
+      encode_frame(FrameType::kVerdict, encode_verdict(verdict, 1), 1));
+  frames.emplace_back(
+      "pong_v1",
+      encode_frame(FrameType::kPong, encode_pong(PongFrame{7, 0}, 1), 1));
   return frames;
 }
 
-/// Full decode: frame layer + the payload codec for the decoded type. Any
+/// Full decode: frame layer + the payload codec for the decoded type, at
+/// the version the header carried (exactly what a real reader does). Any
 /// input must either fully decode or throw scwc::Error — nothing else.
 bool decode_fully(const std::string& bytes) {
   const Frame frame = decode_frame(bytes);
@@ -336,17 +513,19 @@ bool decode_fully(const std::string& bytes) {
       (void)decode_hello(frame.payload);
       break;
     case FrameType::kSubmitWindow:
-      (void)decode_submit_window(frame.payload);
+      (void)decode_submit_window(frame.payload, frame.version);
       break;
     case FrameType::kTelemetryRow:
       (void)decode_telemetry_row(frame.payload);
       break;
     case FrameType::kVerdict:
-      (void)decode_verdict(frame.payload);
+      (void)decode_verdict(frame.payload, frame.version);
       break;
     case FrameType::kPing:
-    case FrameType::kPong:
       (void)decode_ping(frame.payload);
+      break;
+    case FrameType::kPong:
+      (void)decode_pong(frame.payload, frame.version);
       break;
     case FrameType::kSwapBegin:
       (void)decode_swap_begin(frame.payload);
@@ -371,6 +550,11 @@ bool decode_fully(const std::string& bytes) {
       break;
     case FrameType::kError:
       (void)decode_error(frame.payload);
+      break;
+    case FrameType::kMetricsScrape:
+      break;  // empty payload, like kStats
+    case FrameType::kMetricsReply:
+      (void)decode_metrics_reply(frame.payload);
       break;
   }
   return true;

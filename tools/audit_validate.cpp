@@ -1,6 +1,6 @@
-// Telemetry-artifact validator — the teeth of the telemetry-smoke CTest.
+// Telemetry-artifact validator — the teeth of the telemetry-smoke CTests.
 //
-// Two modes, both exit 0 on success and 1 with a one-line diagnostic:
+// Three modes, all exit 0 on success and 1 with a one-line diagnostic:
 //
 //   audit_validate AUDIT.jsonl [--expect-records N]
 //     Every line must parse as JSON and conform to scwc.audit/v1
@@ -12,9 +12,19 @@
 //     The file must be a structurally valid Chrome trace-event document
 //     (obs/chrome_trace.hpp's validator) — loadable by chrome://tracing
 //     without a browser in the loop.
+//
+//   audit_validate --cluster AUDIT.jsonl [--chrome-trace MERGED.json]
+//                  [--expect-records N]
+//     Router-side audit log: on top of the base schema, every accepted
+//     record must carry shard_id and the wire phase keys (route_s,
+//     wire_send_s, wire_recv_s). With --chrome-trace, every accepted
+//     record's trace_id must appear as a request lane in the merged
+//     document — proving the id the router stamped is the id the worker
+//     traced (the cluster-telemetry-smoke gate runs exactly this).
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -24,27 +34,65 @@
 
 namespace {
 
+using scwc::obs::Json;
+
 int fail(const std::string& message) {
   std::cerr << "audit_validate: " << message << '\n';
   return 1;
 }
 
-int validate_chrome_trace(const std::string& path) {
+/// Parses + structurally validates a chrome trace file into `doc`.
+int load_chrome_trace(const std::string& path, Json& doc) {
   std::ifstream in(path);
   if (!in) return fail("cannot open '" + path + "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  scwc::obs::Json doc;
   try {
-    doc = scwc::obs::Json::parse(buffer.str());
+    doc = Json::parse(buffer.str());
   } catch (const scwc::obs::JsonError& e) {
     return fail(path + ": " + e.what());
   }
   const std::string violation = scwc::obs::validate_chrome_trace_json(doc);
   if (!violation.empty()) return fail(path + ": " + violation);
-  std::cout << path << ": valid chrome trace-event document ("
-            << doc.at("traceEvents").as_array().size() << " events)\n";
   return 0;
+}
+
+/// The trace ids of every "request" lane in a trace document.
+std::set<long long> request_trace_ids(const Json& doc) {
+  std::set<long long> ids;
+  for (const Json& event : doc.at("traceEvents").as_array()) {
+    if (event.at("ph").as_string() != "X") continue;
+    if (event.at("name").as_string() != "request") continue;
+    ids.insert(static_cast<long long>(event.at("tid").as_number()));
+  }
+  return ids;
+}
+
+/// Cluster-mode extras on one already-schema-valid record: accepted
+/// records must be attributable (shard + wire phases) and joinable
+/// (trace id present in the merged trace when one was given).
+std::string validate_cluster_record(const Json& record, bool have_trace,
+                                    const std::set<long long>& trace_ids) {
+  const std::string& event = record.at("event").as_string();
+  if (event == "shed") return "";  // sheds may never have reached a shard
+  if (!record.contains("shard_id")) {
+    return "accepted cluster record lacks shard_id";
+  }
+  const Json& phases = record.at("phases");
+  for (const char* key : {"route_s", "wire_send_s", "wire_recv_s"}) {
+    if (!phases.contains(key)) {
+      return std::string("accepted cluster record lacks phases.") + key;
+    }
+  }
+  if (have_trace) {
+    const auto id =
+        static_cast<long long>(record.at("trace_id").as_number());
+    if (trace_ids.count(id) == 0) {
+      return "trace_id " + std::to_string(id) +
+             " has no request lane in the chrome trace";
+    }
+  }
+  return "";
 }
 
 }  // namespace
@@ -52,12 +100,15 @@ int validate_chrome_trace(const std::string& path) {
 int main(int argc, char** argv) {
   std::string path;
   std::string chrome_trace_path;
+  bool cluster = false;
   long expect_records = -1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--chrome-trace") {
       if (i + 1 >= argc) return fail("--chrome-trace needs a path");
       chrome_trace_path = argv[++i];
+    } else if (arg == "--cluster") {
+      cluster = true;
     } else if (arg == "--expect-records") {
       if (i + 1 >= argc) return fail("--expect-records needs a count");
       expect_records = std::atol(argv[++i]);
@@ -67,16 +118,32 @@ int main(int argc, char** argv) {
       return fail("unexpected argument '" + arg + "'");
     }
   }
-  if (!chrome_trace_path.empty()) {
+  if (!cluster && !chrome_trace_path.empty()) {
     if (!path.empty() || expect_records >= 0) {
       return fail("--chrome-trace takes no other arguments");
     }
-    return validate_chrome_trace(chrome_trace_path);
+    Json doc;
+    const int rc = load_chrome_trace(chrome_trace_path, doc);
+    if (rc != 0) return rc;
+    std::cout << chrome_trace_path << ": valid chrome trace-event document ("
+              << doc.at("traceEvents").as_array().size() << " events)\n";
+    return 0;
   }
   if (path.empty()) {
     return fail(
         "usage: audit_validate AUDIT.jsonl [--expect-records N]\n"
-        "       audit_validate --chrome-trace TRACE.json");
+        "       audit_validate --chrome-trace TRACE.json\n"
+        "       audit_validate --cluster AUDIT.jsonl "
+        "[--chrome-trace MERGED.json] [--expect-records N]");
+  }
+
+  std::set<long long> trace_ids;
+  const bool have_trace = cluster && !chrome_trace_path.empty();
+  if (have_trace) {
+    Json doc;
+    const int rc = load_chrome_trace(chrome_trace_path, doc);
+    if (rc != 0) return rc;
+    trace_ids = request_trace_ids(doc);
   }
 
   std::ifstream in(path);
@@ -84,24 +151,28 @@ int main(int argc, char** argv) {
   std::string line;
   long line_no = 0;
   long records = 0;
+  long routed = 0;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;  // tolerate a trailing blank line
-    scwc::obs::Json record;
+    Json record;
     try {
-      record = scwc::obs::Json::parse(line);
+      record = Json::parse(line);
     } catch (const scwc::obs::JsonError& e) {
       std::ostringstream msg;
       msg << path << ":" << line_no << ": " << e.what();
       return fail(msg.str());
     }
-    const std::string violation =
-        scwc::serve::validate_audit_record_json(record);
+    std::string violation = scwc::serve::validate_audit_record_json(record);
+    if (violation.empty() && cluster) {
+      violation = validate_cluster_record(record, have_trace, trace_ids);
+    }
     if (!violation.empty()) {
       std::ostringstream msg;
       msg << path << ":" << line_no << ": " << violation;
       return fail(msg.str());
     }
+    if (record.contains("shard_id")) ++routed;
     ++records;
   }
   if (expect_records >= 0 && records != expect_records) {
@@ -110,6 +181,14 @@ int main(int argc, char** argv) {
         << expect_records;
     return fail(msg.str());
   }
-  std::cout << path << ": " << records << " valid scwc.audit/v1 records\n";
+  std::cout << path << ": " << records << " valid scwc.audit/v1 records";
+  if (cluster) {
+    std::cout << " (" << routed << " routed";
+    if (have_trace) {
+      std::cout << ", trace ids joined against " << chrome_trace_path;
+    }
+    std::cout << ")";
+  }
+  std::cout << '\n';
   return 0;
 }

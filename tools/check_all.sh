@@ -7,6 +7,9 @@
 #   chaos-smoke  fault-injection sweep of the self-healing serve stack
 #   cluster-smoke sharded-serving bench: real worker fleet over loopback
 #                TCP, shard-kill availability + fleet-wide hot-swap gates
+#   cluster-telemetry-smoke
+#                fully-sampled 2-worker fleet: merged cross-process chrome
+#                trace, aggregated per-shard /metrics, cluster audit log
 #   obs-overhead instrumentation cost bounds      (micro_kernels obs benches)
 #   asan         full suite under ASan+UBSan      (tests/run_sanitized.sh)
 #   tsan         full suite under ThreadSanitizer (tests/run_tsan.sh)
@@ -114,6 +117,27 @@ if [ -x build/bench/cluster_throughput ] && [ -x build/tools/scwc_worker ]; then
 else
   echo "check_all.sh: build/bench/cluster_throughput or build/tools/scwc_worker missing (release gate failed?)" >&2
   record cluster-smoke 1
+fi
+
+# -- cluster-telemetry-smoke -----------------------------------------------
+# The cluster observability pipeline end to end: 2-worker fleet with full
+# request sampling; the merged chrome trace must join every accepted
+# request to its worker-side slices, the fleet metrics must carry
+# per-shard labels, and the cluster audit log must cross-check against
+# the merged trace. Same script as the ctest of the same name.
+echo "==> gate: cluster-telemetry-smoke"
+if [ -x build/tools/scwc_router ] && [ -x build/tools/scwc_tracemerge ]; then
+  if env SCWC_SMOKE=1 SCWC_SCALE=tiny tests/cluster_telemetry_smoke.sh \
+       build/tools/scwc_serve build/tools/scwc_worker \
+       build/tools/scwc_router build/tools/scwc_tracemerge \
+       build/tools/audit_validate build/cluster_telemetry_smoke_out; then
+    record cluster-telemetry-smoke 0
+  else
+    record cluster-telemetry-smoke 1
+  fi
+else
+  echo "check_all.sh: build/tools/scwc_router or scwc_tracemerge missing (release gate failed?)" >&2
+  record cluster-telemetry-smoke 1
 fi
 
 # -- obs-overhead ----------------------------------------------------------

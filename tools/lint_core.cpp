@@ -694,6 +694,7 @@ FileContext classify_path(std::string_view rel_path) {
   ctx.is_env_impl = rel_path.starts_with("src/common/env.");
   ctx.in_serve = rel_path.starts_with("src/serve/");
   ctx.in_cluster = rel_path.starts_with("src/cluster/");
+  ctx.in_net = rel_path.starts_with("src/net/");
   ctx.is_sync_impl = rel_path.starts_with("src/common/mutex.") ||
                      rel_path.starts_with("src/common/lock_order.") ||
                      rel_path.starts_with("src/common/thread_annotations.");
@@ -998,12 +999,13 @@ std::vector<Finding> lint_source(std::string_view rel_path,
   }
 
   // no-raw-chrono-timing: whole-text scan (the delta often spans lines).
-  // In src/serve/ and src/cluster/, `duration<double>(a - b)` /
+  // In src/serve/, src/cluster/ and src/net/, `duration<double>(a - b)` /
   // `duration_cast<...>(a - b)` is an inline clock delta — request timing
   // must flow through obs::seconds_between / signed_seconds_between
   // instead, so every phase measurement shares one clamped, lint-visible
-  // helper.
-  if (ctx.in_serve || ctx.in_cluster) {
+  // helper. (src/net/ joined when the clock-offset handshake gave the wire
+  // layer its own timing code.)
+  if (ctx.in_serve || ctx.in_cluster || ctx.in_net) {
     const std::string_view text = stripped;
     for (const std::string_view token : {"duration", "duration_cast"}) {
       std::size_t pos = 0;

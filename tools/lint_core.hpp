@@ -87,6 +87,7 @@ struct FileContext {
   bool is_env_impl = false;  ///< src/common/env.* → no-raw-getenv exempt
   bool in_serve = false;     ///< src/serve/ → no-raw-chrono-timing applies
   bool in_cluster = false;   ///< src/cluster/ → no-raw-chrono-timing applies
+  bool in_net = false;       ///< src/net/ → no-raw-chrono-timing applies
   /// src/common/{mutex,lock_order,thread_annotations}.* — the sync layer
   /// itself wraps the raw std primitives, so no-raw-std-mutex,
   /// guarded-field-coverage and no-lock-across-blocking-call are exempt.

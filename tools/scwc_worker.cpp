@@ -7,17 +7,49 @@
 // bound port for the parent process (bench/cluster_throughput and the
 // cluster-smoke gate use exactly that rendezvous).
 //
+// Cluster observability (ISSUE 10): --trace-out writes the shard's sampled
+// request traces as a chrome://tracing document whose scwcMeta block names
+// the shard and its steady-clock epoch, so scwc_tracemerge can align it
+// with the router's file; --listen embeds the obs scrape server (GET
+// /metrics, /healthz) and --listen-port-file publishes its bound port the
+// same write-then-rename way --port-file does.
+//
 // Usage:
 //   scwc_worker --shard-id 0 --bundle model.scwcbndl --port 0
 //               --port-file /tmp/shard0.port
+//               [--trace-out shard0_trace.json [--trace-sample 1.0]]
+//               [--listen 0 --listen-port-file /tmp/shard0.http]
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "cluster/worker.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scrape.hpp"
+#include "obs/trace.hpp"
 #include "serve/bundle_io.hpp"
+
+namespace {
+
+// Write-then-rename so the parent never reads a torn value.
+bool publish_file(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    if (!os.is_open()) return false;
+    os << contents << '\n';
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace scwc;
@@ -32,6 +64,17 @@ int main(int argc, char** argv) {
   cli.add_flag("max-batch", "64", "micro-batch size bound");
   cli.add_flag("max-pending", "4096", "admission bound on queued requests");
   cli.add_flag("batch-delay-ms", "2", "micro-batch max delay");
+  cli.add_flag("trace-out", "",
+               "write this shard's sampled request traces as a "
+               "chrome://tracing JSON document at exit");
+  cli.add_flag("trace-sample", "1.0",
+               "request head-sampling rate in [0,1]; router-propagated "
+               "sampling decisions override this per request");
+  cli.add_flag("listen", "-1",
+               "serve GET /metrics, /healthz on this loopback port "
+               "(0 = ephemeral; -1 disables)");
+  cli.add_flag("listen-port-file", "",
+               "write the scrape server's bound port here once listening");
   cli.parse(argc, argv);
   if (cli.help_requested()) return 0;
 
@@ -60,6 +103,10 @@ int main(int argc, char** argv) {
         cli.get_double("batch-delay-ms") / 1000.0;
     config.service.admission.max_pending =
         static_cast<std::size_t>(cli.get_int("max-pending"));
+    const std::string trace_out = cli.get_string("trace-out");
+    if (!trace_out.empty()) {
+      config.service.trace.sample_rate = cli.get_double("trace-sample");
+    }
 
     cluster::ClusterWorker worker(registry, config);
     worker.start();
@@ -67,22 +114,75 @@ int main(int argc, char** argv) {
               << worker.port() << '\n';
 
     const std::string port_file = cli.get_string("port-file");
-    if (!port_file.empty()) {
-      // Write-then-rename so the parent never reads a torn port number.
-      const std::string tmp = port_file + ".tmp";
-      {
-        std::ofstream os(tmp);
-        if (!os.is_open()) {
-          std::cerr << "cannot write port file " << tmp << '\n';
-          return 1;
-        }
-        os << worker.port() << '\n';
+    if (!port_file.empty() &&
+        !publish_file(port_file, std::to_string(worker.port()))) {
+      std::cerr << "cannot write port file " << port_file << '\n';
+      return 1;
+    }
+
+    // Shard-local scrape endpoint: the same registry the router pulls over
+    // the wire, for operators who want to curl one shard directly.
+    std::unique_ptr<obs::ScrapeServer> scrape;
+    const int listen_port = cli.get_int("listen");
+    if (listen_port >= 0) {
+      obs::ScrapeConfig scrape_config;
+      scrape_config.port = static_cast<std::uint16_t>(listen_port);
+      scrape = std::make_unique<obs::ScrapeServer>(scrape_config);
+      scrape->add_route("/metrics", "text/plain; version=0.0.4", [] {
+        return obs::to_prometheus(obs::MetricsRegistry::global().snapshot());
+      });
+      scrape->add_route("/healthz", "application/json", [&worker, &config] {
+        obs::Json::Object health;
+        health.emplace("status", obs::Json("ok"));
+        health.emplace("shard_id",
+                       obs::Json(static_cast<double>(config.shard_id)));
+        health.emplace("submitted", obs::Json(static_cast<double>(
+                                        worker.counters().submitted)));
+        return obs::Json(std::move(health)).dump() + "\n";
+      });
+      scrape->start();
+      std::cout << "scrape endpoint: http://127.0.0.1:" << scrape->port()
+                << "  (/metrics /healthz)\n";
+      const std::string listen_port_file = cli.get_string("listen-port-file");
+      if (!listen_port_file.empty() &&
+          !publish_file(listen_port_file, std::to_string(scrape->port()))) {
+        std::cerr << "cannot write port file " << listen_port_file << '\n';
+        return 1;
       }
-      std::rename(tmp.c_str(), port_file.c_str());
     }
 
     worker.wait_shutdown();
+
+    // Export the trace BEFORE stop(): stop drains in-flight verdicts, but
+    // the tracer's record ring is complete once shutdown was requested.
+    // (stop first would also work — this ordering just keeps the file
+    // write outside the teardown path.)
     worker.stop();
+    if (scrape != nullptr) scrape->stop();
+    if (!trace_out.empty()) {
+      obs::RequestTracer& tracer = worker.service().tracer();
+      const std::vector<obs::RequestTraceRecord> records = tracer.drain();
+      // scwcMeta lets scwc_tracemerge place this file on the router's
+      // timeline: which shard it is, and where this process's steady
+      // clock had its tracer epoch.
+      obs::Json::Object meta;
+      meta.emplace("process", obs::Json("worker"));
+      meta.emplace("shard_id",
+                   obs::Json(static_cast<double>(config.shard_id)));
+      meta.emplace("epoch_steady_ns",
+                   obs::Json(static_cast<double>(
+                       obs::steady_ns(tracer.epoch()))));
+      const obs::SpanStats span_root = obs::span_tree_snapshot();
+      if (obs::write_chrome_trace_file(trace_out, records, span_root,
+                                       std::move(meta))) {
+        std::cout << "chrome trace: " << trace_out << " (" << records.size()
+                  << " sampled requests)\n";
+      } else {
+        std::cerr << "cannot write chrome trace to " << trace_out << '\n';
+        return 1;
+      }
+    }
+
     const cluster::WorkerCounters c = worker.counters();
     std::cout << "shard " << config.shard_id << " exiting: " << c.submitted
               << " submitted, " << c.answered << " answered, " << c.shed
